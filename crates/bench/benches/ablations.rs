@@ -1,0 +1,205 @@
+//! Design-choice ablations called out in DESIGN.md §5:
+//!
+//! * `contextual_space` — exact `d_C` via the full 3-D table
+//!   (inspectable, `O(n·m·(n+m))` memory) vs the rolling two-row
+//!   variant (the paper's "quadratic space" remark);
+//! * `levenshtein_variants` — two-row vs full-matrix vs bounded
+//!   (banded) `d_E`;
+//! * `pivot_selection` — LAESA query cost with greedy max-sum pivots
+//!   vs uniform-random pivots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cned_core::contextual::exact::{contextual_distance, ContextualTable};
+use cned_core::levenshtein::{levenshtein, levenshtein_bounded, levenshtein_matrix};
+use cned_core::levenshtein::Levenshtein;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned_search::laesa::Laesa;
+use cned_search::pivots::{select_pivots_max_sum, select_pivots_random};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = |rng: &mut StdRng| (0..len).map(|_| rng.random_range(0..4u8)).collect();
+    (gen(&mut rng), gen(&mut rng))
+}
+
+fn bench_contextual_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_contextual_space");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for len in [24usize, 48, 96] {
+        let (x, y) = random_pair(len, 7);
+        group.bench_with_input(BenchmarkId::new("two_row", len), &len, |b, _| {
+            b.iter(|| contextual_distance(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_table", len), &len, |b, _| {
+            b.iter(|| ContextualTable::new(black_box(&x), black_box(&y)).distance())
+        });
+    }
+    group.finish();
+}
+
+fn bench_levenshtein_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_levenshtein");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for len in [32usize, 128] {
+        let (x, y) = random_pair(len, 9);
+        let d = levenshtein(&x, &y);
+        group.bench_with_input(BenchmarkId::new("two_row", len), &len, |b, _| {
+            b.iter(|| levenshtein(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_matrix", len), &len, |b, _| {
+            b.iter(|| levenshtein_matrix(black_box(&x), black_box(&y)))
+        });
+        // The regime banding is for: a bound slightly above the true
+        // distance (NN search with a good current best).
+        group.bench_with_input(BenchmarkId::new("bounded_tight", len), &len, |b, _| {
+            b.iter(|| levenshtein_bounded(black_box(&x), black_box(&y), d))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_reject", len), &len, |b, _| {
+            b.iter(|| levenshtein_bounded(black_box(&x), black_box(&y), d / 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pivot_selection(c: &mut Criterion) {
+    const N: usize = 800;
+    const P: usize = 48;
+    let dict = spanish_dictionary(N, 3);
+    let queries = gen_queries(&dict, 16, 2, ASCII_LOWER, 4);
+
+    let greedy = Laesa::build(
+        dict.clone(),
+        select_pivots_max_sum(&dict, P, 0, &Levenshtein),
+        &Levenshtein,
+    );
+    let random = Laesa::build(
+        dict.clone(),
+        select_pivots_random(N, P, 42),
+        &Levenshtein,
+    );
+
+    let mut group = c.benchmark_group("ablation_pivots");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("greedy_max_sum", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(greedy.nn(black_box(q), &Levenshtein));
+            }
+        })
+    });
+    group.bench_function("uniform_random", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(random.nn(black_box(q), &Levenshtein));
+            }
+        })
+    });
+    group.finish();
+
+    // Also report the computation counts once (criterion measures
+    // time; the counts are the paper's currency).
+    let count = |idx: &Laesa<u8>| -> f64 {
+        let total: u64 = queries
+            .iter()
+            .map(|q| idx.nn(q, &Levenshtein).unwrap().1.distance_computations)
+            .sum();
+        total as f64 / queries.len() as f64
+    };
+    eprintln!(
+        "[ablation_pivots] avg distance computations: greedy {:.1}, random {:.1} (n = {N}, p = {P})",
+        count(&greedy),
+        count(&random)
+    );
+}
+
+fn bench_index_structures(c: &mut Criterion) {
+    use cned_search::aesa::Aesa;
+    use cned_search::linear::linear_nn;
+    use cned_search::vptree::VpTree;
+
+    const N: usize = 600;
+    let dict = spanish_dictionary(N, 5);
+    let queries = gen_queries(&dict, 16, 2, ASCII_LOWER, 6);
+
+    let laesa = Laesa::build(
+        dict.clone(),
+        select_pivots_max_sum(&dict, 48, 0, &Levenshtein),
+        &Levenshtein,
+    );
+    let vptree = VpTree::build(dict.clone(), &Levenshtein);
+    let aesa = Aesa::build(dict.clone(), &Levenshtein);
+
+    let mut group = c.benchmark_group("ablation_indexes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("laesa_48p", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(laesa.nn(black_box(q), &Levenshtein));
+            }
+        })
+    });
+    group.bench_function("vptree", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(vptree.nn(black_box(q), &Levenshtein));
+            }
+        })
+    });
+    group.bench_function("aesa", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(aesa.nn(black_box(q), &Levenshtein));
+            }
+        })
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(linear_nn(&dict, black_box(q), &Levenshtein));
+            }
+        })
+    });
+    group.finish();
+
+    let avg = |f: &dyn Fn(&Vec<u8>) -> u64| -> f64 {
+        queries.iter().map(f).sum::<u64>() as f64 / queries.len() as f64
+    };
+    eprintln!(
+        "[ablation_indexes] avg distance computations: laesa {:.1}, vptree {:.1}, aesa {:.1}, linear {} \
+         (preprocessing: laesa {}, vptree {}, aesa {})",
+        avg(&|q| laesa.nn(q, &Levenshtein).unwrap().1.distance_computations),
+        avg(&|q| vptree.nn(q, &Levenshtein).unwrap().1.distance_computations),
+        avg(&|q| aesa.nn(q, &Levenshtein).unwrap().1.distance_computations),
+        N,
+        laesa.preprocessing_computations(),
+        vptree.preprocessing_computations(),
+        aesa.preprocessing_computations(),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_contextual_space,
+    bench_levenshtein_variants,
+    bench_pivot_selection,
+    bench_index_structures
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Per-pair distance cost on each of the paper's three benchmarks —
+//! the time axis of Figures 3–4 decomposed into its per-distance
+//! constant factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cned_core::metric::DistanceKind;
+use cned_datasets::digits::generate_digits;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::dna::dna_sequences;
+
+fn bench_datasets(c: &mut Criterion) {
+    let dict = spanish_dictionary(64, 1);
+    let digits: Vec<Vec<u8>> = generate_digits(4, 1).into_iter().map(|s| s.chain).collect();
+    let genes = dna_sequences(8, 1);
+
+    let datasets: [(&str, &[Vec<u8>]); 3] = [
+        ("dictionary", &dict),
+        ("digit_chains", &digits),
+        ("genes", &genes),
+    ];
+
+    // The five-figure panel + exact d_C (Table 2 also uses it).
+    let kinds = [
+        DistanceKind::Levenshtein,
+        DistanceKind::ContextualHeuristic,
+        DistanceKind::Contextual,
+        DistanceKind::YujianBo,
+        DistanceKind::MaxNorm,
+        DistanceKind::MarzalVidal,
+    ];
+
+    let mut group = c.benchmark_group("distance_datasets");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    for (ds_name, data) in datasets {
+        for kind in kinds {
+            // Exact/MV on genes is ~2.5 ms/pair; keep one pair there.
+            let pairs: Vec<(&[u8], &[u8])> = match (ds_name, kind) {
+                ("genes", DistanceKind::Contextual | DistanceKind::MarzalVidal) => {
+                    vec![(&data[0], &data[1])]
+                }
+                _ => (0..data.len().min(8))
+                    .map(|i| {
+                        (
+                            data[i].as_slice(),
+                            data[(i + data.len() / 2) % data.len()].as_slice(),
+                        )
+                    })
+                    .collect(),
+            };
+            let dist = kind.build::<u8>();
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(',', "_"), ds_name),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for (x, y) in pairs {
+                            acc += dist.distance(black_box(x), black_box(y));
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

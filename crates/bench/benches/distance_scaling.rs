@@ -1,0 +1,60 @@
+//! Experiment E10: asymptotic cost of each distance vs string length.
+//!
+//! Regenerates the paper's complexity claims: `d_E`, `d_C,h`, `d_YB`
+//! and `d_max` are quadratic; `d_C` (exact Algorithm 1) and `d_MV` are
+//! cubic; and "the computation time of the contextual distance is
+//! around twice the computation time of the Levenshtein distance"
+//! (§4.3) — compare the `d_C,h` and `d_E` series at equal length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cned_core::contextual::exact::contextual_distance;
+use cned_core::contextual::heuristic::contextual_heuristic;
+use cned_core::levenshtein::levenshtein;
+use cned_core::normalized::marzal_vidal::marzal_vidal;
+use cned_core::normalized::simple::d_max;
+use cned_core::normalized::yujian_bo::yujian_bo;
+
+fn random_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = |rng: &mut StdRng| (0..len).map(|_| rng.random_range(0..4u8)).collect();
+    (gen(&mut rng), gen(&mut rng))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for len in [16usize, 32, 64, 128] {
+        let (x, y) = random_pair(len, len as u64);
+        group.bench_with_input(BenchmarkId::new("d_E", len), &len, |b, _| {
+            b.iter(|| levenshtein(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_C,h", len), &len, |b, _| {
+            b.iter(|| contextual_heuristic(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_YB", len), &len, |b, _| {
+            b.iter(|| yujian_bo(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_max", len), &len, |b, _| {
+            b.iter(|| d_max(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_C_exact", len), &len, |b, _| {
+            b.iter(|| contextual_distance(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("d_MV", len), &len, |b, _| {
+            b.iter(|| marzal_vidal(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

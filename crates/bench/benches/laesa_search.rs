@@ -1,0 +1,60 @@
+//! Query latency of LAESA vs exhaustive scan as a function of pivot
+//! count — the wall-clock side of Figures 3–4, here measured with
+//! criterion instead of the experiment driver's coarse timer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cned_core::contextual::heuristic::ContextualHeuristic;
+use cned_core::levenshtein::Levenshtein;
+use cned_core::metric::Distance;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned_search::laesa::Laesa;
+use cned_search::linear::linear_nn;
+use cned_search::pivots::select_pivots_max_sum;
+
+fn bench_laesa(c: &mut Criterion) {
+    const N: usize = 1000;
+    let dict = spanish_dictionary(N, 1);
+    let queries = gen_queries(&dict, 16, 2, ASCII_LOWER, 2);
+
+    let mut group = c.benchmark_group("laesa_search");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    // Build once with the maximum pivot count per distance and sweep
+    // prefixes (greedy selection is incremental).
+    let run_sweep = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+                     label: &str,
+                     dist: &dyn Distance<u8>| {
+        let pivots = select_pivots_max_sum(&dict, 128, 0, dist);
+        let index = Laesa::build(dict.clone(), pivots, dist);
+        for p in [8usize, 32, 128] {
+            group.bench_with_input(BenchmarkId::new(format!("{label}/laesa"), p), &p, |b, &p| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(index.nn_limited(black_box(q), dist, p));
+                    }
+                })
+            });
+        }
+        group.bench_function(BenchmarkId::new(format!("{label}/linear"), N), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(linear_nn(&dict, black_box(q), dist));
+                }
+            })
+        });
+    };
+
+    run_sweep(&mut group, "d_E", &Levenshtein);
+    run_sweep(&mut group, "d_C_h", &ContextualHeuristic);
+    group.finish();
+}
+
+criterion_group!(benches, bench_laesa);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Classification evaluation: error rates and confusion matrices.
+
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+
+use crate::nn::NnClassifier;
+
+/// A `k × k` confusion matrix over `u8` class labels `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    /// `counts[true_label][predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty `k`-class matrix.
+    pub fn new(k: usize) -> ConfusionMatrix {
+        assert!(k > 0);
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Record one (truth, prediction) pair.
+    pub fn record(&mut self, truth: u8, predicted: u8) {
+        assert!((truth as usize) < self.k && (predicted as usize) < self.k);
+        self.counts[truth as usize * self.k + predicted as usize] += 1;
+    }
+
+    /// Count for a (truth, prediction) cell.
+    pub fn get(&self, truth: u8, predicted: u8) -> u64 {
+        self.counts[truth as usize * self.k + predicted as usize]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of misclassified samples (off-diagonal mass).
+    pub fn errors(&self) -> u64 {
+        let mut e = 0;
+        for t in 0..self.k {
+            for p in 0..self.k {
+                if t != p {
+                    e += self.counts[t * self.k + p];
+                }
+            }
+        }
+        e
+    }
+
+    /// Error rate in percent (the unit of Table 2); 0 when empty.
+    pub fn error_rate_percent(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.errors() as f64 / total as f64
+        }
+    }
+
+    /// The class most often confused with `truth` (excluding itself),
+    /// if any errors exist for that class.
+    pub fn worst_confusion(&self, truth: u8) -> Option<(u8, u64)> {
+        (0..self.k)
+            .filter(|&p| p != truth as usize)
+            .map(|p| (p as u8, self.get(truth, p as u8)))
+            .filter(|&(_, c)| c > 0)
+            .max_by_key(|&(_, c)| c)
+    }
+}
+
+/// Run a labelled test set through a classifier; returns the confusion
+/// matrix and total distance computations spent.
+pub fn evaluate<S: Symbol, D: Distance<S> + ?Sized>(
+    classifier: &NnClassifier<S>,
+    test: &[(Vec<S>, u8)],
+    dist: &D,
+    classes: usize,
+) -> (ConfusionMatrix, u64) {
+    let mut cm = ConfusionMatrix::new(classes);
+    let mut computations = 0u64;
+    for (query, truth) in test {
+        let (pred, _, stats) = classifier.classify(query, dist);
+        cm.record(*truth, pred);
+        computations += stats.distance_computations;
+    }
+    (cm, computations)
+}
+
+/// Convenience: error rate in percent for a labelled test set.
+pub fn error_rate<S: Symbol, D: Distance<S> + ?Sized>(
+    classifier: &NnClassifier<S>,
+    test: &[(Vec<S>, u8)],
+    dist: &D,
+    classes: usize,
+) -> f64 {
+    evaluate(classifier, test, dist, classes).0.error_rate_percent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::SearchBackend;
+    use cned_core::levenshtein::Levenshtein;
+
+    #[test]
+    fn confusion_matrix_bookkeeping() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.errors(), 2);
+        assert_eq!(cm.error_rate_percent(), 50.0);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.worst_confusion(0), Some((1, 1)));
+        assert_eq!(cm.worst_confusion(1), None);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero_rate() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.error_rate_percent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn end_to_end_error_rate() {
+        let train: Vec<Vec<u8>> = [&b"aaaa"[..], b"bbbb"].iter().map(|w| w.to_vec()).collect();
+        let labels = vec![0, 1];
+        let c = NnClassifier::new(train, labels, SearchBackend::Exhaustive, &Levenshtein);
+        let test: Vec<(Vec<u8>, u8)> = vec![
+            (b"aaab".to_vec(), 0), // correct
+            (b"bbba".to_vec(), 1), // correct
+            (b"aabb".to_vec(), 1), // tie aaaa/bbbb at d=2; first index wins -> predicted 0: error
+        ];
+        let (cm, comps) = evaluate(&c, &test, &Levenshtein, 2);
+        assert_eq!(cm.total(), 3);
+        assert_eq!(cm.errors(), 1);
+        assert_eq!(comps, 6);
+        let rate = error_rate(&c, &test, &Levenshtein, 2);
+        assert!((rate - 100.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! k-NN majority-vote classification — the natural extension of the
+//! paper's 1-NN protocol (§4.4), built on the same search backends.
+//!
+//! The query takes the majority label among its `k` nearest
+//! neighbours; ties are broken towards the label of the *nearest*
+//! neighbour carrying a tied count (the standard distance-weighted
+//! tie-break).
+
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use cned_search::laesa::Laesa;
+use cned_search::linear::linear_knn;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{Neighbour, SearchStats};
+
+/// A labelled k-NN classifier.
+pub struct KnnClassifier<S: Symbol> {
+    training: Vec<Vec<S>>,
+    labels: Vec<u8>,
+    laesa: Option<Laesa<S>>,
+    k: usize,
+}
+
+impl<S: Symbol> KnnClassifier<S> {
+    /// Build an exhaustive-search k-NN classifier.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, training is empty, or lengths mismatch.
+    pub fn new(training: Vec<Vec<S>>, labels: Vec<u8>, k: usize) -> KnnClassifier<S> {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(training.len(), labels.len(), "one label per training item");
+        assert!(!training.is_empty(), "training set must be non-empty");
+        KnnClassifier {
+            training,
+            labels,
+            laesa: None,
+            k,
+        }
+    }
+
+    /// Build a LAESA-backed k-NN classifier with `pivots` max-sum
+    /// pivots.
+    pub fn with_laesa<D: Distance<S> + ?Sized>(
+        training: Vec<Vec<S>>,
+        labels: Vec<u8>,
+        k: usize,
+        pivots: usize,
+        dist: &D,
+    ) -> KnnClassifier<S> {
+        let mut c = KnnClassifier::new(training, labels, k);
+        let piv = select_pivots_max_sum(&c.training, pivots, 0, dist);
+        c.laesa = Some(Laesa::build(c.training.clone(), piv, dist));
+        c
+    }
+
+    /// Majority vote over neighbours; ties go to the label whose
+    /// closest tied representative is nearest.
+    fn vote(&self, neighbours: &[Neighbour]) -> u8 {
+        debug_assert!(!neighbours.is_empty());
+        // Counts and best (smallest) distance per label.
+        let mut tally: Vec<(u8, usize, f64)> = Vec::new();
+        for nb in neighbours {
+            let label = self.labels[nb.index];
+            match tally.iter_mut().find(|(l, _, _)| *l == label) {
+                Some((_, c, best)) => {
+                    *c += 1;
+                    if nb.distance < *best {
+                        *best = nb.distance;
+                    }
+                }
+                None => tally.push((label, 1, nb.distance)),
+            }
+        }
+        tally
+            .into_iter()
+            .max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then(b.2.total_cmp(&a.2)) // smaller best-distance wins ties
+            })
+            .map(|(l, _, _)| l)
+            .expect("non-empty tally")
+    }
+
+    /// Classify one query.
+    pub fn classify<D: Distance<S> + ?Sized>(&self, query: &[S], dist: &D) -> (u8, SearchStats) {
+        let (neighbours, stats) = match &self.laesa {
+            None => linear_knn(&self.training, query, dist, self.k),
+            Some(idx) => idx.knn(query, dist, self.k),
+        };
+        (self.vote(&neighbours), stats)
+    }
+
+    /// Error rate (%) over a labelled test set.
+    pub fn error_rate<D: Distance<S> + ?Sized>(&self, test: &[(Vec<S>, u8)], dist: &D) -> f64 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let errors = test
+            .iter()
+            .filter(|(q, truth)| self.classify(q, dist).0 != *truth)
+            .count();
+        100.0 * errors as f64 / test.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::contextual::heuristic::ContextualHeuristic;
+    use cned_core::levenshtein::Levenshtein;
+
+    fn toy() -> (Vec<Vec<u8>>, Vec<u8>) {
+        let train: Vec<Vec<u8>> = [
+            &b"aaaa"[..],
+            b"aaab",
+            b"aaba",
+            b"bbbb",
+            b"bbba",
+            b"bbab",
+            b"cccc",
+            b"cccd",
+        ]
+        .iter()
+        .map(|w| w.to_vec())
+        .collect();
+        (train, vec![0, 0, 0, 1, 1, 1, 2, 2])
+    }
+
+    #[test]
+    fn k1_matches_nearest_label() {
+        let (train, labels) = toy();
+        let c = KnnClassifier::new(train, labels, 1);
+        assert_eq!(c.classify(b"aaaa", &Levenshtein).0, 0);
+        assert_eq!(c.classify(b"bbbb", &Levenshtein).0, 1);
+        assert_eq!(c.classify(b"cccc", &Levenshtein).0, 2);
+    }
+
+    #[test]
+    fn k3_majority_overrules_single_outlier() {
+        // Query "aabb": nearest are aaab/aaba (d=1? aabb vs aaab d=2?
+        // compute: aabb vs aaab = 2 subs? a a b b vs a a a b: one sub
+        // at pos 2 -> 1). aaba: a a b b vs a a b a: one sub -> 1.
+        // bbab/bbba: d=2. With k=3, labels {0,0,?} -> 0.
+        let (train, labels) = toy();
+        let c = KnnClassifier::new(train, labels, 3);
+        assert_eq!(c.classify(b"aabb", &Levenshtein).0, 0);
+    }
+
+    #[test]
+    fn laesa_backend_agrees_with_exhaustive() {
+        let (train, labels) = toy();
+        let ex = KnnClassifier::new(train.clone(), labels.clone(), 3);
+        let la = KnnClassifier::with_laesa(train, labels, 3, 4, &ContextualHeuristic);
+        for q in [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"] {
+            let (le, _) = ex.classify(q, &ContextualHeuristic);
+            let (ll, _) = la.classify(q, &ContextualHeuristic);
+            assert_eq!(le, ll, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn error_rate_counts_mismatches() {
+        let (train, labels) = toy();
+        let c = KnnClassifier::new(train, labels, 1);
+        let test: Vec<(Vec<u8>, u8)> = vec![
+            (b"aaaa".to_vec(), 0), // right
+            (b"bbbb".to_vec(), 0), // wrong (true NN label is 1)
+        ];
+        assert_eq!(c.error_rate(&test, &Levenshtein), 50.0);
+        assert_eq!(c.error_rate(&[], &Levenshtein), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (train, labels) = toy();
+        KnnClassifier::new(train, labels, 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cned-classify
+//!
+//! Nearest-neighbour classification (the paper's Section 4.4 /
+//! Table 2): an unlabelled query takes the label of its nearest
+//! neighbour in a labelled training set; mismatches against the true
+//! label count as errors.
+//!
+//! Two search backends mirror the two columns of Table 2:
+//! * **exhaustive** — linear scan, always the true 1-NN;
+//! * **LAESA** — pivot-based search; identical answers for metrics,
+//!   possibly different for non-metrics (`d_max`, `d_C,h`).
+
+pub mod eval;
+pub mod knn;
+pub mod nn;
+
+pub use eval::{error_rate, ConfusionMatrix};
+pub use knn::KnnClassifier;
+pub use nn::{NnClassifier, SearchBackend};

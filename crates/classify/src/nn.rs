@@ -1,0 +1,172 @@
+//! The 1-NN classifier over an arbitrary string distance.
+
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use cned_search::laesa::Laesa;
+use cned_search::linear::linear_nn;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::SearchStats;
+
+/// Which search engine answers the nearest-neighbour queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchBackend {
+    /// Exhaustive linear scan — `n` distance computations per query.
+    Exhaustive,
+    /// LAESA with the given number of max-sum pivots.
+    Laesa {
+        /// Number of base prototypes (pivots).
+        pivots: usize,
+    },
+}
+
+/// A labelled 1-NN classifier.
+pub struct NnClassifier<S: Symbol> {
+    training: Vec<Vec<S>>,
+    labels: Vec<u8>,
+    laesa: Option<Laesa<S>>,
+}
+
+impl<S: Symbol> NnClassifier<S> {
+    /// Build a classifier from labelled training data.
+    ///
+    /// For [`SearchBackend::Laesa`], pivot selection and row
+    /// precomputation happen here (preprocessing; not counted in query
+    /// statistics).
+    ///
+    /// # Panics
+    /// Panics if `training` and `labels` lengths differ or training is
+    /// empty.
+    pub fn new<D: Distance<S> + ?Sized>(
+        training: Vec<Vec<S>>,
+        labels: Vec<u8>,
+        backend: SearchBackend,
+        dist: &D,
+    ) -> NnClassifier<S> {
+        assert_eq!(training.len(), labels.len(), "one label per training item");
+        assert!(!training.is_empty(), "training set must be non-empty");
+        let laesa = match backend {
+            SearchBackend::Exhaustive => None,
+            SearchBackend::Laesa { pivots } => {
+                let piv = select_pivots_max_sum(&training, pivots, 0, dist);
+                Some(Laesa::build(training.clone(), piv, dist))
+            }
+        };
+        NnClassifier {
+            training,
+            labels,
+            laesa,
+        }
+    }
+
+    /// Classify one query: the label of its nearest neighbour, plus
+    /// the neighbour's distance and the search statistics.
+    pub fn classify<D: Distance<S> + ?Sized>(&self, query: &[S], dist: &D) -> (u8, f64, SearchStats) {
+        match &self.laesa {
+            None => {
+                let (nn, stats) =
+                    linear_nn(&self.training, query, dist).expect("training set is non-empty");
+                (self.labels[nn.index], nn.distance, stats)
+            }
+            Some(idx) => {
+                let (nn, stats) = idx.nn(query, dist).expect("training set is non-empty");
+                (self.labels[nn.index], nn.distance, stats)
+            }
+        }
+    }
+
+    /// Number of training items.
+    pub fn len(&self) -> usize {
+        self.training.len()
+    }
+
+    /// Always false (construction rejects empty training sets); kept
+    /// for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.training.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::levenshtein::Levenshtein;
+
+    fn toy() -> (Vec<Vec<u8>>, Vec<u8>) {
+        let train: Vec<Vec<u8>> = [
+            &b"aaaa"[..],
+            b"aaab",
+            b"abab",
+            b"bbbb",
+            b"bbba",
+            b"babb",
+        ]
+        .iter()
+        .map(|w| w.to_vec())
+        .collect();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        (train, labels)
+    }
+
+    #[test]
+    fn classifies_obvious_queries() {
+        let (train, labels) = toy();
+        let c = NnClassifier::new(train, labels, SearchBackend::Exhaustive, &Levenshtein);
+        let (label_a, d_a, stats) = c.classify(b"aaaa", &Levenshtein);
+        assert_eq!(label_a, 0);
+        assert_eq!(d_a, 0.0);
+        assert_eq!(stats.distance_computations, 6);
+        let (label_b, _, _) = c.classify(b"bbbb", &Levenshtein);
+        assert_eq!(label_b, 1);
+    }
+
+    #[test]
+    fn laesa_backend_agrees_with_exhaustive_for_metric() {
+        let (train, labels) = toy();
+        let ex = NnClassifier::new(
+            train.clone(),
+            labels.clone(),
+            SearchBackend::Exhaustive,
+            &Levenshtein,
+        );
+        let la = NnClassifier::new(
+            train,
+            labels,
+            SearchBackend::Laesa { pivots: 3 },
+            &Levenshtein,
+        );
+        let (train, _) = toy();
+        for q in [&b"aaba"[..], b"bbab", b"aabb", b"abba"] {
+            let (le, de, _) = ex.classify(q, &Levenshtein);
+            let (ll, dl, _) = la.classify(q, &Levenshtein);
+            assert_eq!(de, dl, "distance mismatch on {q:?}");
+            // Labels must agree whenever the nearest neighbour is
+            // unique; on ties either backend may pick either witness.
+            let min_count = train
+                .iter()
+                .filter(|t| {
+                    cned_core::levenshtein::levenshtein(t, q) as f64 == de
+                })
+                .count();
+            if min_count == 1 {
+                assert_eq!(le, ll, "label mismatch on {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per training item")]
+    fn mismatched_labels_rejected() {
+        NnClassifier::new(
+            vec![b"a".to_vec()],
+            vec![0, 1],
+            SearchBackend::Exhaustive,
+            &Levenshtein,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_rejected() {
+        NnClassifier::<u8>::new(Vec::new(), Vec::new(), SearchBackend::Exhaustive, &Levenshtein);
+    }
+}

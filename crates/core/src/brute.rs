@@ -1,0 +1,355 @@
+//! Brute-force oracles: shortest rewriting paths found by explicit
+//! search over string space.
+//!
+//! These are deliberately naive — exponential-state Dijkstra/BFS over
+//! actual strings — and exist purely to validate the dynamic programs
+//! on small inputs with **zero shared code**: they know nothing about
+//! internality (Proposition 1), canonical operation order (Lemma 1) or
+//! the closed weight formula; they just explore `u → v` rewriting steps
+//! and accumulate exact rational costs.
+//!
+//! State-space bound: by the paper's Theorem 1 (point 1), optimal paths
+//! never visit strings longer than `|x| + |y|`, so the search is
+//! complete once capped at that length.
+//!
+//! Alphabet: for unit costs, inserting or substituting a symbol that
+//! occurs in neither `x` nor `y` can always be replaced by a target
+//! symbol without changing any cost, so restricting to
+//! `symbols(x) ∪ symbols(y)` preserves the optimum.
+
+use crate::ratio::Ratio;
+use crate::Symbol;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// Collect the working alphabet for the oracle searches.
+fn alphabet<S: Symbol + Hash>(x: &[S], y: &[S]) -> Vec<S> {
+    let mut set: HashSet<S> = HashSet::with_capacity(x.len() + y.len());
+    let mut out = Vec::new();
+    for &s in x.iter().chain(y) {
+        if set.insert(s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// All strings reachable from `s` in one elementary operation, capped
+/// at `max_len`, paired with the exact contextual cost of the step.
+fn neighbours<S: Symbol + Hash>(s: &[S], sigma: &[S], max_len: usize) -> Vec<(Vec<S>, Ratio)> {
+    let mut out = Vec::new();
+    let n = s.len();
+    // Deletions: cost 1/n.
+    if n > 0 {
+        let c = Ratio::recip_of(n as i128);
+        for pos in 0..n {
+            let mut t = Vec::with_capacity(n - 1);
+            t.extend_from_slice(&s[..pos]);
+            t.extend_from_slice(&s[pos + 1..]);
+            out.push((t, c));
+        }
+    }
+    // Substitutions: cost 1/n.
+    if n > 0 {
+        let c = Ratio::recip_of(n as i128);
+        for pos in 0..n {
+            for &a in sigma {
+                if a != s[pos] {
+                    let mut t = s.to_vec();
+                    t[pos] = a;
+                    out.push((t, c));
+                }
+            }
+        }
+    }
+    // Insertions: cost 1/(n+1).
+    if n < max_len {
+        let c = Ratio::recip_of(n as i128 + 1);
+        for pos in 0..=n {
+            for &a in sigma {
+                let mut t = Vec::with_capacity(n + 1);
+                t.extend_from_slice(&s[..pos]);
+                t.push(a);
+                t.extend_from_slice(&s[pos..]);
+                out.push((t, c));
+            }
+        }
+    }
+    out
+}
+
+/// Exact contextual distance by Dijkstra over string space, as a
+/// rational number. Exponential — intended for `|x| + |y| ≲ 8` in
+/// tests.
+pub fn brute_contextual_exact<S: Symbol + Hash + Ord>(x: &[S], y: &[S]) -> Ratio {
+    if x == y {
+        return Ratio::ZERO;
+    }
+    let sigma = alphabet(x, y);
+    let max_len = x.len() + y.len();
+    let target: Vec<S> = y.to_vec();
+
+    let mut dist: HashMap<Vec<S>, Ratio> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<Ratio>, Vec<S>)> = BinaryHeap::new();
+    dist.insert(x.to_vec(), Ratio::ZERO);
+    heap.push((Reverse(Ratio::ZERO), x.to_vec()));
+
+    while let Some((Reverse(d), s)) = heap.pop() {
+        if let Some(&best) = dist.get(&s) {
+            if d > best {
+                continue; // stale heap entry
+            }
+        }
+        if s == target {
+            return d;
+        }
+        for (t, c) in neighbours(&s, &sigma, max_len) {
+            let nd = d + c;
+            match dist.get(&t) {
+                Some(&old) if old <= nd => {}
+                _ => {
+                    dist.insert(t.clone(), nd);
+                    heap.push((Reverse(nd), t));
+                }
+            }
+        }
+    }
+    unreachable!("target is always reachable (delete all + insert all)")
+}
+
+/// Exact contextual distance by brute force, as `f64`.
+pub fn brute_contextual<S: Symbol + Hash + Ord>(x: &[S], y: &[S]) -> f64 {
+    brute_contextual_exact(x, y).to_f64()
+}
+
+/// **Generalised contextual distance by Dijkstra** — the sound (if
+/// exponential) reference for the paper's §5 open problem.
+///
+/// Charges `w_op(symbols) / max(|u|, |v|)` per step, searching over
+/// *all* rewriting paths through strings of length at most `max_len`
+/// over `symbols(x) ∪ symbols(y) ∪ extra_symbols`. Unlike the naive
+/// internal-path DP ([`crate::generalized::naive_contextual_generalized`])
+/// this explores non-internal paths, so it witnesses the dummy-symbol
+/// exploit: pass the cheap dummy via `extra_symbols` and a larger
+/// `max_len`, and the returned value drops below every internal path.
+///
+/// With [`crate::generalized::UnitCosts`], `extra_symbols = []` and
+/// `max_len = |x| + |y|` this coincides with the (unit) contextual
+/// distance — asserted by tests.
+///
+/// Note: for generalised costs the infimum over unbounded path
+/// lengths may require intermediate strings *longer* than
+/// `|x| + |y|`; `max_len` is the caller's truncation of that search,
+/// so the result is an upper bound of the true infimum that is exact
+/// once `max_len` covers the optimal padding.
+pub fn brute_contextual_generalized<C: crate::generalized::CostModel<u8>>(
+    x: &[u8],
+    y: &[u8],
+    costs: &C,
+    extra_symbols: &[u8],
+    max_len: usize,
+) -> f64 {
+    if x == y {
+        return 0.0;
+    }
+    let mut sigma = alphabet(x, y);
+    for &s in extra_symbols {
+        if !sigma.contains(&s) {
+            sigma.push(s);
+        }
+    }
+    let max_len = max_len.max(x.len()).max(y.len());
+    let target: Vec<u8> = y.to_vec();
+
+    // f64 priorities ordered via total_cmp (no NaNs are produced:
+    // weights are finite non-negative and lengths >= 1 at every op).
+    #[derive(PartialEq)]
+    struct P(f64);
+    impl Eq for P {}
+    impl PartialOrd for P {
+        fn partial_cmp(&self, other: &P) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for P {
+        fn cmp(&self, other: &P) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    let mut dist: HashMap<Vec<u8>, f64> = HashMap::new();
+    let mut heap: BinaryHeap<(Reverse<P>, Vec<u8>)> = BinaryHeap::new();
+    dist.insert(x.to_vec(), 0.0);
+    heap.push((Reverse(P(0.0)), x.to_vec()));
+
+    while let Some((Reverse(P(d)), s)) = heap.pop() {
+        if let Some(&best) = dist.get(&s) {
+            if d > best {
+                continue;
+            }
+        }
+        if s == target {
+            return d;
+        }
+        let n = s.len();
+        let push = |t: Vec<u8>, c: f64, dist: &mut HashMap<Vec<u8>, f64>,
+                        heap: &mut BinaryHeap<(Reverse<P>, Vec<u8>)>| {
+            let nd = d + c;
+            match dist.get(&t) {
+                Some(&old) if old <= nd => {}
+                _ => {
+                    dist.insert(t.clone(), nd);
+                    heap.push((Reverse(P(nd)), t));
+                }
+            }
+        };
+        // Deletions and substitutions: divide by |u| = n.
+        if n > 0 {
+            for pos in 0..n {
+                let mut t = Vec::with_capacity(n - 1);
+                t.extend_from_slice(&s[..pos]);
+                t.extend_from_slice(&s[pos + 1..]);
+                push(t, costs.delete(s[pos]) / n as f64, &mut dist, &mut heap);
+                for &a in &sigma {
+                    if a != s[pos] {
+                        let mut t = s.to_vec();
+                        t[pos] = a;
+                        push(t, costs.substitute(s[pos], a) / n as f64, &mut dist, &mut heap);
+                    }
+                }
+            }
+        }
+        // Insertions: divide by |v| = n + 1.
+        if n < max_len {
+            for pos in 0..=n {
+                for &a in &sigma {
+                    let mut t = Vec::with_capacity(n + 1);
+                    t.extend_from_slice(&s[..pos]);
+                    t.push(a);
+                    t.extend_from_slice(&s[pos..]);
+                    push(t, costs.insert(a) / (n as f64 + 1.0), &mut dist, &mut heap);
+                }
+            }
+        }
+    }
+    unreachable!("target is always reachable (delete all + insert all)")
+}
+
+/// Levenshtein distance by BFS over string space (unit costs, so BFS
+/// layers are exact). Exponential — tests only.
+pub fn brute_levenshtein<S: Symbol + Hash>(x: &[S], y: &[S]) -> usize {
+    if x == y {
+        return 0;
+    }
+    let sigma = alphabet(x, y);
+    let max_len = x.len() + y.len();
+    let target: Vec<S> = y.to_vec();
+
+    let mut seen: HashSet<Vec<S>> = HashSet::new();
+    let mut queue: VecDeque<(Vec<S>, usize)> = VecDeque::new();
+    seen.insert(x.to_vec());
+    queue.push_back((x.to_vec(), 0));
+
+    while let Some((s, d)) = queue.pop_front() {
+        for (t, _) in neighbours(&s, &sigma, max_len) {
+            if t == target {
+                return d + 1;
+            }
+            if seen.insert(t.clone()) {
+                queue.push_back((t, d + 1));
+            }
+        }
+    }
+    unreachable!("target is always reachable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contextual::exact::contextual_distance;
+    use crate::levenshtein::levenshtein;
+
+    #[test]
+    fn brute_levenshtein_matches_dp_on_tiny_strings() {
+        let words: [&[u8]; 6] = [b"", b"a", b"ab", b"ba", b"aab", b"bb"];
+        for &a in &words {
+            for &b in &words {
+                assert_eq!(brute_levenshtein(a, b), levenshtein(a, b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn brute_contextual_matches_dp_on_tiny_strings() {
+        let words: [&[u8]; 6] = [b"", b"a", b"ab", b"ba", b"aab", b"abb"];
+        for &a in &words {
+            for &b in &words {
+                let brute = brute_contextual(a, b);
+                let dp = contextual_distance(a, b);
+                assert!(
+                    (brute - dp).abs() < 1e-12,
+                    "{a:?} vs {b:?}: brute {brute} dp {dp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_contextual_example_4_exact_rational() {
+        let d = brute_contextual_exact(b"ababa", b"baab");
+        assert_eq!(d, Ratio::new(8, 15));
+    }
+
+    #[test]
+    fn brute_contextual_zero_iff_equal() {
+        assert!(brute_contextual_exact(b"ab", b"ab").is_zero());
+        assert!(!brute_contextual_exact(b"ab", b"ba").is_zero());
+    }
+
+    #[test]
+    fn generalized_brute_with_unit_costs_matches_contextual_dp() {
+        use crate::generalized::UnitCosts;
+        let words: [&[u8]; 5] = [b"", b"a", b"ab", b"ba", b"abb"];
+        for &a in &words {
+            for &b in &words {
+                let brute =
+                    brute_contextual_generalized(a, b, &UnitCosts, &[], a.len() + b.len());
+                let dp = contextual_distance(a, b);
+                assert!((brute - dp).abs() < 1e-12, "{a:?} vs {b:?}: {brute} vs {dp}");
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_brute_finds_the_dummy_exploit() {
+        // §5: substitutions cost 10, dummy symbol 2 inserts/deletes
+        // for 0.01. Dijkstra (which explores non-internal paths) must
+        // beat the best internal path once allowed to pad.
+        use crate::generalized::{naive_contextual_generalized, TableCosts};
+        let mut costs = TableCosts::uniform(3, 10.0, 1.0, 1.0);
+        costs.set_indel(2, 0.01, 0.01);
+        let x = [0u8, 0];
+        let y = [1u8, 1];
+        let internal = naive_contextual_generalized(&x, &y, &costs);
+        // Cap the search at length 12 (pad 10) to keep it fast.
+        let dijkstra = brute_contextual_generalized(&x, &y, &costs, &[2], 12);
+        assert!(
+            dijkstra < internal - 1e-9,
+            "dijkstra {dijkstra} should beat internal {internal}"
+        );
+        // And more padding can only help (monotone in max_len).
+        let tighter = brute_contextual_generalized(&x, &y, &costs, &[2], 8);
+        assert!(dijkstra <= tighter + 1e-12);
+    }
+
+    #[test]
+    fn neighbours_respect_length_cap() {
+        let sigma = [b'a', b'b'];
+        let ns = neighbours(b"ab", &sigma, 2);
+        assert!(ns.iter().all(|(t, _)| t.len() <= 2));
+        // With cap 3, insertions appear.
+        let ns3 = neighbours(b"ab", &sigma, 3);
+        assert!(ns3.iter().any(|(t, _)| t.len() == 3));
+    }
+}

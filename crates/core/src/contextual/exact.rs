@@ -1,0 +1,423 @@
+//! Exact computation of the contextual distance — the paper's
+//! **Algorithm 1**.
+//!
+//! For every prefix pair `(x[..i], y[..j])` and every path length `k`,
+//! the dynamic program tracks `ni[i][j][k]`: the **maximum number of
+//! insertions** on an internal path of exactly `k` cost-bearing
+//! operations from `x[..i]` to `y[..j]` (`−∞` when no such path
+//! exists). By Lemma 1, for a fixed `k` the cheapest canonical path
+//! uses as many insertions as possible, so the distance is
+//!
+//! ```text
+//! d_C(x, y) = min over feasible k of
+//!             weight(PathShape::from_k_ni(|x|, |y|, k, ni[|x|][|y|][k]))
+//! ```
+//!
+//! Complexity: `O(|x|·|y|·(|x|+|y|))` time. Two space variants:
+//!
+//! * [`contextual_distance`] — rolling two-row table,
+//!   `O(|y|·(|x|+|y|))` space (the "quadratic space" variant the paper
+//!   mentions can "easily be deduced by standard techniques");
+//! * [`ContextualTable`] — full 3-D table kept for inspection: the
+//!   feasible `(k, n_i)` profile and the optimal alignment shape,
+//!   useful for diagnostics, teaching and tests.
+
+use crate::contextual::weight::PathShape;
+use crate::metric::Distance;
+use crate::Symbol;
+
+/// Sentinel for −∞ in the `ni` tables. `i32::MIN / 4` keeps both
+/// `max(sentinel, …)` and `sentinel + 1` far below any real count.
+const NEG: i32 = i32::MIN / 4;
+
+/// Result of an exact contextual-distance computation: the optimal
+/// path length, its shape, and its weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContextualAlignment {
+    /// Number of cost-bearing operations on the optimal path.
+    pub k: usize,
+    /// Insertion/substitution/deletion counts of the optimal canonical
+    /// path (Lemma 1 order: insertions, then substitutions, then
+    /// deletions).
+    pub shape: PathShape,
+    /// The distance `d_C(x, y)`.
+    pub weight: f64,
+}
+
+/// Exact contextual distance `d_C(x, y)` (Algorithm 1, rolling rows).
+///
+/// ```
+/// use cned_core::contextual::exact::contextual_distance;
+/// // Paper, Example 4: d_C(ababa, baab) = 8/15.
+/// let d = contextual_distance(b"ababa", b"baab");
+/// assert!((d - 8.0 / 15.0).abs() < 1e-12);
+/// ```
+pub fn contextual_distance<S: Symbol>(x: &[S], y: &[S]) -> f64 {
+    contextual_alignment(x, y).weight
+}
+
+/// Exact contextual distance together with the optimal path shape,
+/// using the rolling two-row table.
+pub fn contextual_alignment<S: Symbol>(x: &[S], y: &[S]) -> ContextualAlignment {
+    let (n, m) = (x.len(), y.len());
+    if n == 0 && m == 0 {
+        return ContextualAlignment {
+            k: 0,
+            shape: PathShape::from_k_ni(0, 0, 0, 0).expect("empty shape"),
+            weight: 0.0,
+        };
+    }
+    let kw = n + m + 1; // row stride per j-cell: entries for k = 0..=n+m
+
+    // prev = row i-1, cur = row i; each row holds (m+1) cells of kw
+    // i32 entries, contiguous in k for cache-friendly inner loops.
+    let mut prev = vec![NEG; (m + 1) * kw];
+    let mut cur = vec![NEG; (m + 1) * kw];
+
+    // Row 0: ni[0][j][j] = j (insert everything).
+    for j in 0..=m {
+        prev[j * kw + j] = j as i32;
+    }
+
+    for i in 1..=n {
+        cur.fill(NEG);
+        // Column 0: ni[i][0][i] = 0 (delete everything).
+        cur[i] = 0;
+        for j in 1..=m {
+            let (cur_left, cur_cell) = cur.split_at_mut(j * kw);
+            let cell = &mut cur_cell[..kw];
+            let left = &cur_left[(j - 1) * kw..j * kw];
+            let diag = &prev[(j - 1) * kw..j * kw];
+            let up = &prev[j * kw..(j + 1) * kw];
+
+            if x[i - 1] == y[j - 1] {
+                // Free match: same k, inherited insertions.
+                cell.copy_from_slice(diag);
+            } else {
+                // Substitution: k-1 from the diagonal.
+                cell[1..kw].copy_from_slice(&diag[..kw - 1]);
+            }
+            for k in 1..kw {
+                // Deletion from above (k-1), insertion from the left
+                // (k-1, one more insertion).
+                let cand = up[k - 1].max(left[k - 1] + 1);
+                if cand > cell[k] {
+                    cell[k] = cand;
+                }
+            }
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+
+    best_over_k(n, m, &prev[m * kw..(m + 1) * kw])
+}
+
+/// Scan the final cell's `k`-profile and take the cheapest feasible
+/// canonical path (the closing loop of Algorithm 1).
+fn best_over_k(n: usize, m: usize, profile: &[i32]) -> ContextualAlignment {
+    let mut best: Option<ContextualAlignment> = None;
+    for (k, &ni) in profile.iter().enumerate() {
+        if ni < 0 {
+            continue;
+        }
+        let shape = PathShape::from_k_ni(n, m, k, ni as usize)
+            .expect("DP produced an infeasible (k, ni) pair");
+        let weight = shape.weight();
+        if best.is_none_or(|b| weight < b.weight) {
+            best = Some(ContextualAlignment { k, shape, weight });
+        }
+    }
+    best.expect("at least one feasible path always exists")
+}
+
+/// Full 3-D `ni` table of Algorithm 1, retained for inspection.
+///
+/// `O(|x|·|y|·(|x|+|y|))` space — use [`contextual_distance`] unless
+/// you need per-`k` diagnostics. The table answers: for a path of
+/// exactly `k` operations between the full strings (or any prefix
+/// pair), how many insertions can it contain at most?
+pub struct ContextualTable {
+    n: usize,
+    m: usize,
+    kw: usize,
+    table: Vec<i32>,
+}
+
+impl ContextualTable {
+    /// Run Algorithm 1 keeping the whole table.
+    pub fn new<S: Symbol>(x: &[S], y: &[S]) -> ContextualTable {
+        let (n, m) = (x.len(), y.len());
+        let kw = n + m + 1;
+        let mut table = vec![NEG; (n + 1) * (m + 1) * kw];
+        let idx = |i: usize, j: usize| (i * (m + 1) + j) * kw;
+
+        table[idx(0, 0)] = 0;
+        for j in 1..=m {
+            table[idx(0, j) + j] = j as i32;
+        }
+        for i in 1..=n {
+            table[idx(i, 0) + i] = 0;
+        }
+        for i in 1..=n {
+            for j in 1..=m {
+                let (head, tail) = table.split_at_mut(idx(i, j));
+                let cell = &mut tail[..kw];
+                let diag = &head[idx(i - 1, j - 1)..idx(i - 1, j - 1) + kw];
+                let up = &head[idx(i - 1, j)..idx(i - 1, j) + kw];
+                let left = &head[idx(i, j - 1)..idx(i, j - 1) + kw];
+                if x[i - 1] == y[j - 1] {
+                    cell.copy_from_slice(diag);
+                } else {
+                    cell[1..kw].copy_from_slice(&diag[..kw - 1]);
+                }
+                for k in 1..kw {
+                    let cand = up[k - 1].max(left[k - 1] + 1);
+                    if cand > cell[k] {
+                        cell[k] = cand;
+                    }
+                }
+            }
+        }
+        ContextualTable { n, m, kw, table }
+    }
+
+    /// Maximum number of insertions over internal paths of exactly `k`
+    /// operations from `x[..i]` to `y[..j]`; `None` when no such path
+    /// exists.
+    pub fn max_insertions(&self, i: usize, j: usize, k: usize) -> Option<usize> {
+        assert!(i <= self.n && j <= self.m && k < self.kw, "index out of range");
+        let v = self.table[(i * (self.m + 1) + j) * self.kw + k];
+        (v >= 0).then_some(v as usize)
+    }
+
+    /// The feasible `(k, n_i, weight)` profile of the full strings —
+    /// one entry per path length with at least one internal path.
+    pub fn profile(&self) -> Vec<ContextualAlignment> {
+        let base = (self.n * (self.m + 1) + self.m) * self.kw;
+        (0..self.kw)
+            .filter_map(|k| {
+                let ni = self.table[base + k];
+                (ni >= 0).then(|| {
+                    let shape = PathShape::from_k_ni(self.n, self.m, k, ni as usize)
+                        .expect("DP produced an infeasible (k, ni) pair");
+                    ContextualAlignment {
+                        k,
+                        shape,
+                        weight: shape.weight(),
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// The optimal alignment (minimum weight over the profile).
+    pub fn best(&self) -> ContextualAlignment {
+        if self.n == 0 && self.m == 0 {
+            return ContextualAlignment {
+                k: 0,
+                shape: PathShape::from_k_ni(0, 0, 0, 0).expect("empty shape"),
+                weight: 0.0,
+            };
+        }
+        let base = (self.n * (self.m + 1) + self.m) * self.kw;
+        best_over_k(self.n, self.m, &self.table[base..base + self.kw])
+    }
+
+    /// The distance `d_C(x, y)`.
+    pub fn distance(&self) -> f64 {
+        self.best().weight
+    }
+
+    /// Smallest feasible `k` — this equals the Levenshtein distance
+    /// `d_E(x, y)`, a structural fact the tests exploit.
+    pub fn min_feasible_k(&self) -> usize {
+        let base = (self.n * (self.m + 1) + self.m) * self.kw;
+        (0..self.kw)
+            .find(|&k| self.table[base + k] >= 0)
+            .expect("some k is always feasible")
+    }
+}
+
+/// `d_C` as a [`Distance`] implementation (exact Algorithm 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Contextual;
+
+impl<S: Symbol> Distance<S> for Contextual {
+    fn distance(&self, a: &[S], b: &[S]) -> f64 {
+        contextual_distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "d_C"
+    }
+
+    fn is_metric(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(contextual_distance(b"abcabc", b"abcabc"), 0.0);
+        assert_eq!(contextual_distance::<u8>(b"", b""), 0.0);
+    }
+
+    #[test]
+    fn paper_example_4() {
+        let d = contextual_distance(b"ababa", b"baab");
+        assert!((d - 8.0 / 15.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn paper_example_4_alignment_shape() {
+        let a = contextual_alignment(b"ababa", b"baab");
+        assert_eq!(a.k, 3);
+        assert_eq!(a.shape.insertions, 1);
+        assert_eq!(a.shape.substitutions, 0);
+        assert_eq!(a.shape.deletions, 2);
+    }
+
+    #[test]
+    fn empty_to_string_is_harmonic() {
+        // λ -> abc: insertions at growing lengths 1, 2, 3.
+        let d = contextual_distance(b"", b"abc");
+        assert!((d - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        // abc -> λ: deletions at shrinking lengths 3, 2, 1 (same sum).
+        let d2 = contextual_distance(b"abc", b"");
+        assert!((d - d2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_substitution_cost() {
+        // abc -> abd: one substitution on a string of length 3 = 1/3...
+        // unless a longer path is cheaper; here 1/3 is optimal since
+        // insert+delete costs 1/4 + 1/4 = 1/2 > 1/3.
+        let d = contextual_distance(b"abc", b"abd");
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substitution_on_short_string_prefers_growth() {
+        // a -> b: direct substitution costs 1. Insert then delete:
+        // 1/2 + 1/2 = 1. No improvement — verify d = 1 exactly and the
+        // algorithm doesn't undercut it.
+        let d = contextual_distance(b"a", b"b");
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_on_samples() {
+        let words: [&[u8]; 6] = [b"ab", b"aba", b"ba", b"contexto", b"context", b""];
+        for &a in &words {
+            for &b in &words {
+                let dab = contextual_distance(a, b);
+                let dba = contextual_distance(b, a);
+                assert!((dab - dba).abs() < 1e-12, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_feasible_k_is_levenshtein() {
+        let pairs: [(&[u8], &[u8]); 5] = [
+            (b"ababa", b"baab"),
+            (b"abaa", b"aab"),
+            (b"kitten", b"sitting"),
+            (b"", b"abc"),
+            (b"same", b"same"),
+        ];
+        for (a, b) in pairs {
+            let t = ContextualTable::new(a, b);
+            assert_eq!(t.min_feasible_k(), levenshtein(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn table_and_rolling_agree() {
+        let pairs: [(&[u8], &[u8]); 6] = [
+            (b"ababa", b"baab"),
+            (b"abaa", b"aab"),
+            (b"kitten", b"sitting"),
+            (b"", b"abc"),
+            (b"aaaa", b"bbbb"),
+            (b"abcabcabc", b"cbacba"),
+        ];
+        for (a, b) in pairs {
+            let t = ContextualTable::new(a, b).distance();
+            let r = contextual_distance(a, b);
+            assert!((t - r).abs() < 1e-12, "{a:?} vs {b:?}: {t} vs {r}");
+        }
+    }
+
+    #[test]
+    fn profile_k_values_have_matching_parity() {
+        // Internal path lengths k between fixed strings all share the
+        // parity of d_E plus steps of... in fact k can vary by 1 (swap
+        // a substitution for insert+delete), so feasible k form a
+        // contiguous-ish set. Just check the profile is sorted, starts
+        // at d_E, and all weights are positive.
+        let t = ContextualTable::new(b"abaa", b"baab");
+        let prof = t.profile();
+        assert_eq!(prof.first().unwrap().k, levenshtein(b"abaa", b"baab"));
+        for w in prof.windows(2) {
+            assert!(w[0].k < w[1].k);
+        }
+        for p in &prof {
+            assert!(p.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn max_insertions_bounds() {
+        let t = ContextualTable::new(b"abaa", b"baab");
+        // ni can never exceed |y| for internal paths.
+        for k in 0..=(4 + 4) {
+            if let Some(ni) = t.max_insertions(4, 4, k) {
+                assert!(ni <= 4);
+            }
+        }
+        // k = 0 is infeasible for distinct strings.
+        assert_eq!(t.max_insertions(4, 4, 0), None);
+    }
+
+    #[test]
+    fn longer_k_can_be_cheaper_than_levenshtein_k() {
+        // The essence of the contextual distance: ababa -> baab has
+        // d_E = 3 but also longer internal paths; Example 4's optimum
+        // already uses k = 3. Construct a case where the optimum uses
+        // k > d_E: substitutions on a short string are expensive, so
+        // grow the string first when possible. x = "ab", y = "ba":
+        // d_E = 2 (two substitutions, weight 2/2 = 1.0). The
+        // alternative k = 4 path (2 ins + 2 del, e.g. via "bab")
+        // costs 1/3 + 1/4 + 1/4 + 1/3 = 7/6 — worse. A case that
+        // genuinely flips is harder to craft by hand, so assert the
+        // invariant instead: the chosen k is argmin over the profile.
+        let t = ContextualTable::new(b"ab", b"ba");
+        let best = t.best();
+        for p in t.profile() {
+            assert!(best.weight <= p.weight + 1e-15);
+        }
+    }
+
+    #[test]
+    fn distance_trait_impl() {
+        let d = Contextual;
+        let v = Distance::<u8>::distance(&d, b"ababa", b"baab");
+        assert!((v - 8.0 / 15.0).abs() < 1e-12);
+        assert_eq!(Distance::<u8>::name(&d), "d_C");
+        assert!(Distance::<u8>::is_metric(&d));
+    }
+
+    #[test]
+    fn one_sided_empty_table() {
+        let t = ContextualTable::new(b"", b"ab");
+        assert!((t.distance() - 1.5).abs() < 1e-12);
+        let t2 = ContextualTable::new(b"ab", b"");
+        assert!((t2.distance() - 1.5).abs() < 1e-12);
+    }
+}

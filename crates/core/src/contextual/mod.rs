@@ -1,0 +1,29 @@
+//! The contextual normalised edit distance `d_C` — the paper's
+//! contribution (Section 3).
+//!
+//! Each elementary operation `u → v` is charged `1 / max(|u|, |v|)`:
+//! a substitution or deletion applied to a string of length `L` costs
+//! `1/L`; an insertion producing a string of length `L+1` costs
+//! `1/(L+1)`. The distance is the cheapest total over all rewriting
+//! paths from `x` to `y`, and is a metric (Theorem 1).
+//!
+//! Three structural results make the computation tractable:
+//!
+//! 1. **Lemma 1** — among paths with a fixed number `k` of operations,
+//!    one of minimal contextual weight performs all insertions first,
+//!    then all substitutions, then all deletions (long intermediate
+//!    strings make every subsequent operation cheaper). The weight of
+//!    such a canonical path is a closed formula over
+//!    `(|x|, |y|, k, n_i)` — see [`weight`].
+//! 2. **Proposition 1** — only *internal* paths matter (every inserted
+//!    symbol survives into `y`, every deleted symbol came from `x`), so
+//!    the optimum is reachable by a Wagner–Fischer-style alignment DP.
+//! 3. **Algorithm 1** — for each prefix pair and each path length `k`,
+//!    track the maximum possible number of insertions `ni[i][j][k]`;
+//!    the distance is the minimum of the closed formula over `k`.
+//!    See [`exact`]. The `O(|x|·|y|)` heuristic that only examines the
+//!    minimal feasible `k` per cell is in [`heuristic`].
+
+pub mod exact;
+pub mod heuristic;
+pub mod weight;

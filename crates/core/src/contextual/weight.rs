@@ -1,0 +1,287 @@
+//! Closed-form weight of a canonical (insertions-first) contextual
+//! path, and the harmonic sums it is built from.
+//!
+//! By Lemma 1, the cheapest path from `x` to `y` among those using
+//! exactly `k` operations — `n_i` insertions, `n_s` substitutions and
+//! `n_d` deletions — performs the insertions first (growing `x` to
+//! length `|x| + n_i`), then the substitutions on that longest string,
+//! then the deletions (shrinking to `|y|`). Its weight is
+//!
+//! ```text
+//!      |x|+n_i            n_s        |y|+n_d
+//!        Σ     1/i   +  ────────  +    Σ     1/i
+//!     i=|x|+1           |x|+n_i     i=|y|+1
+//! ```
+//!
+//! with `n_d = |x| − |y| + n_i` and `n_s = k − n_i − n_d` (Algorithm 1,
+//! closing loop). Both DP variants ([`super::exact`],
+//! [`super::heuristic`]) reduce to evaluating this formula over
+//! feasible `(k, n_i)` pairs.
+
+use crate::ratio::{harmonic_segment_exact, Ratio};
+
+/// Harmonic segment `Σ_{i=a+1}^{b} 1/i` in `f64` (zero when `b <= a`).
+///
+/// Lengths in this crate are small enough (≤ a few thousand) that a
+/// direct summation is both exact-enough and fast; summing from the
+/// large end down adds the small terms first which keeps the error
+/// comfortably below 1e-14 for the ranges we use.
+#[inline]
+pub fn harmonic_segment(a: usize, b: usize) -> f64 {
+    let mut total = 0.0;
+    let mut i = b;
+    while i > a {
+        total += 1.0 / i as f64;
+        i -= 1;
+    }
+    total
+}
+
+/// The shape of a canonical contextual path between strings of lengths
+/// `x_len` and `y_len`: how many insertions, substitutions and
+/// deletions it performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathShape {
+    /// Source string length `|x|`.
+    pub x_len: usize,
+    /// Target string length `|y|`.
+    pub y_len: usize,
+    /// Number of insertions `n_i`.
+    pub insertions: usize,
+    /// Number of substitutions `n_s`.
+    pub substitutions: usize,
+    /// Number of deletions `n_d`.
+    pub deletions: usize,
+}
+
+impl PathShape {
+    /// Build the shape implied by Algorithm 1's closing loop from the
+    /// path length `k` and the insertion count `n_i`.
+    ///
+    /// Returns `None` when `(k, n_i)` is infeasible for the given
+    /// lengths, i.e. when the implied deletion or substitution count
+    /// would be negative or the parity/length bookkeeping cannot hold.
+    pub fn from_k_ni(x_len: usize, y_len: usize, k: usize, ni: usize) -> Option<PathShape> {
+        // n_d = |x| - |y| + n_i must be >= 0 ...
+        let nd = (x_len + ni).checked_sub(y_len)?;
+        // ... and n_s = k - n_i - n_d must be >= 0.
+        let ns = k.checked_sub(ni + nd)?;
+        Some(PathShape {
+            x_len,
+            y_len,
+            insertions: ni,
+            substitutions: ns,
+            deletions: nd,
+        })
+    }
+
+    /// Total number of (cost-bearing) operations `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.insertions + self.substitutions + self.deletions
+    }
+
+    /// Length of the longest intermediate string, `|x| + n_i`.
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.x_len + self.insertions
+    }
+
+    /// Contextual weight of the canonical path with this shape.
+    ///
+    /// # Panics
+    /// Panics (debug) if the shape is inconsistent, i.e.
+    /// `x_len + insertions - deletions != y_len`.
+    pub fn weight(&self) -> f64 {
+        debug_assert_eq!(
+            self.x_len + self.insertions - self.deletions,
+            self.y_len,
+            "inconsistent path shape {self:?}"
+        );
+        let peak = self.peak_len();
+        let mut w = harmonic_segment(self.x_len, peak);
+        if self.substitutions > 0 {
+            // A substitution requires a non-empty string; peak >= 1
+            // whenever n_s >= 1 on a feasible path.
+            w += self.substitutions as f64 / peak as f64;
+        }
+        w += harmonic_segment(self.y_len, self.y_len + self.deletions);
+        w
+    }
+
+    /// Exact rational version of [`PathShape::weight`], used by tests
+    /// to validate float evaluation and by the brute-force oracle.
+    pub fn weight_exact(&self) -> Ratio {
+        debug_assert_eq!(self.x_len + self.insertions - self.deletions, self.y_len);
+        let peak = self.peak_len();
+        let mut w = harmonic_segment_exact(self.x_len, peak);
+        if self.substitutions > 0 {
+            w += Ratio::new(self.substitutions as i128, peak as i128);
+        }
+        w += harmonic_segment_exact(self.y_len, self.y_len + self.deletions);
+        w
+    }
+}
+
+/// Weight of the canonical contextual path determined by `(k, n_i)`,
+/// or `None` when infeasible. Convenience wrapper over [`PathShape`].
+#[inline]
+pub fn contextual_path_weight(x_len: usize, y_len: usize, k: usize, ni: usize) -> Option<f64> {
+    PathShape::from_k_ni(x_len, y_len, k, ni).map(|s| s.weight())
+}
+
+/// Hard upper bound on the contextual distance between strings of
+/// lengths `n` and `m`: the weight of the trivial path that deletes
+/// all of `x` then inserts all of `y`.
+///
+/// Useful as an initial "best" in searches and as a sanity bound in
+/// tests. (It is *not* tight: longer paths through long intermediate
+/// strings are often cheaper, which is the whole point of `d_C`.)
+pub fn trivial_path_weight(n: usize, m: usize) -> f64 {
+    // Delete n symbols from lengths n..1, then insert m symbols
+    // reaching lengths 1..m: H(n) + H(m).
+    harmonic_segment(0, n) + harmonic_segment(0, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_segment_basic_values() {
+        assert_eq!(harmonic_segment(0, 0), 0.0);
+        assert_eq!(harmonic_segment(3, 3), 0.0);
+        assert_eq!(harmonic_segment(5, 3), 0.0);
+        assert!((harmonic_segment(0, 1) - 1.0).abs() < 1e-15);
+        assert!((harmonic_segment(0, 4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-15);
+        assert!((harmonic_segment(5, 7) - (1.0 / 6.0 + 1.0 / 7.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn harmonic_segment_agrees_with_exact() {
+        for a in 0..30 {
+            for b in a..40 {
+                let f = harmonic_segment(a, b);
+                let e = harmonic_segment_exact(a, b).to_f64();
+                assert!((f - e).abs() < 1e-13, "H({a}..{b}] float {f} exact {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_from_k_ni_rejects_infeasible() {
+        // |x|=2, |y|=5: need at least 3 insertions.
+        assert_eq!(PathShape::from_k_ni(2, 5, 3, 2), None);
+        // k too small for the implied nd+ni.
+        assert_eq!(PathShape::from_k_ni(5, 2, 2, 0), None);
+        // Feasible: pure deletions.
+        let s = PathShape::from_k_ni(5, 2, 3, 0).unwrap();
+        assert_eq!(s.deletions, 3);
+        assert_eq!(s.substitutions, 0);
+    }
+
+    #[test]
+    fn example_4_optimal_shape_weight_is_8_15ths() {
+        // ababa -> baab: k = 3 with 1 insertion, 0 substitutions,
+        // 2 deletions gives the optimal 8/15.
+        let s = PathShape::from_k_ni(5, 4, 3, 1).unwrap();
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.deletions, 2);
+        assert_eq!(s.substitutions, 0);
+        assert!((s.weight() - 8.0 / 15.0).abs() < 1e-12);
+        assert_eq!(s.weight_exact(), crate::ratio::Ratio::new(8, 15));
+    }
+
+    #[test]
+    fn example_4_suboptimal_shape_weight_is_7_10ths() {
+        // k = 3 with 1 insertion after two deletions is canonicalised
+        // to insertions-first; the 7/10 path of Example 4 corresponds
+        // to shape (ni=1, ns=0, nd=2) *walked deletions-first*, which
+        // Lemma 1 tells us is never cheaper. The deletions-first walk
+        // costs 1/5 + 1/4 + 1/4 = 7/10 > 8/15.
+        let deletions_first = 1.0 / 5.0 + 1.0 / 4.0 + 1.0 / 4.0;
+        let canonical = PathShape::from_k_ni(5, 4, 3, 1).unwrap().weight();
+        assert!(canonical < deletions_first);
+    }
+
+    #[test]
+    fn substitution_only_shape() {
+        // Same lengths, k substitutions: weight = k / n.
+        let s = PathShape::from_k_ni(6, 6, 2, 0).unwrap();
+        assert_eq!(s.substitutions, 2);
+        assert!((s.weight() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pure_insertion_shape_is_harmonic_segment() {
+        // λ -> y of length 3: 1 + 1/2 + 1/3.
+        let s = PathShape::from_k_ni(0, 3, 3, 3).unwrap();
+        assert!((s.weight() - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pure_deletion_shape_is_harmonic_segment() {
+        // x of length 3 -> λ: deleting at lengths 3, 2, 1.
+        let s = PathShape::from_k_ni(3, 0, 3, 0).unwrap();
+        assert!((s.weight() - (1.0 / 3.0 + 0.5 + 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_to_empty_zero_ops() {
+        let s = PathShape::from_k_ni(0, 0, 0, 0).unwrap();
+        assert_eq!(s.weight(), 0.0);
+        assert!(s.weight_exact().is_zero());
+    }
+
+    #[test]
+    fn weight_decreases_with_more_insertions_at_fixed_k() {
+        // The analytic argument behind Lemma 1 / Algorithm 1's "max
+        // insertions" choice: for fixed k, weight is non-increasing in
+        // n_i. Check numerically over a grid.
+        for n in 1..10usize {
+            for m in 1..10usize {
+                let kmin = n.abs_diff(m);
+                for k in kmin..=(n + m) {
+                    let mut prev: Option<f64> = None;
+                    for ni in 0..=k {
+                        if let Some(w) = contextual_path_weight(n, m, k, ni) {
+                            if let Some(p) = prev {
+                                assert!(
+                                    w <= p + 1e-12,
+                                    "weight increased with ni: n={n} m={m} k={k} ni={ni}"
+                                );
+                            }
+                            prev = Some(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_path_weight_upper_bounds_some_shapes() {
+        let t = trivial_path_weight(4, 3);
+        // delete-all/insert-all is itself the shape (ni=3, ns=0, nd=4)
+        // walked insertions-first, which is cheaper or equal.
+        let s = PathShape::from_k_ni(4, 3, 7, 3).unwrap();
+        assert!(s.weight() <= t + 1e-12);
+    }
+
+    #[test]
+    fn float_weight_matches_exact_weight_on_grid() {
+        for n in 0..8usize {
+            for m in 0..8usize {
+                for k in 0..=(n + m) {
+                    for ni in 0..=k {
+                        if let Some(s) = PathShape::from_k_ni(n, m, k, ni) {
+                            let f = s.weight();
+                            let e = s.weight_exact().to_f64();
+                            assert!((f - e).abs() < 1e-12, "{s:?}: {f} vs {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

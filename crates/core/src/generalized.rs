@@ -1,0 +1,420 @@
+//! Generalised (weighted) edit distance — and why the *naive*
+//! contextual generalisation fails (paper §5).
+//!
+//! The generalised edit distance assigns context-independent weights to
+//! operations: `w_sub(a, b)`, `w_ins(b)`, `w_del(a)`. Both Marzal–Vidal
+//! and Yujian–Bo extend to this setting (paper §2.2); the contextual
+//! distance does not extend naively: dividing each weighted operation
+//! by the current string length lets a path **insert cheap dummy
+//! symbols to inflate the string, perform the expensive substitutions
+//! at a discount, and delete the dummies again** — so inserted symbols
+//! no longer need to survive into `y`, Proposition 1 (internality)
+//! breaks, and the alignment DP no longer computes the true infimum.
+//! [`naive_contextual_generalized_is_broken`] exhibits a concrete
+//! witness used by the test suite and example binaries.
+
+use crate::metric::Distance;
+use crate::Symbol;
+
+/// Operation weights for the generalised edit distance.
+///
+/// Weights must be non-negative; for the distance to behave like one,
+/// substitution weights should be symmetric with zero diagonal.
+pub trait CostModel<S: Symbol>: Send + Sync {
+    /// Weight of substituting `a` by `b`. Must be `0` when `a == b`.
+    fn substitute(&self, a: S, b: S) -> f64;
+    /// Weight of inserting `b`.
+    fn insert(&self, b: S) -> f64;
+    /// Weight of deleting `a`.
+    fn delete(&self, a: S) -> f64;
+}
+
+/// The unit-cost model: every operation weighs 1 — recovering the plain
+/// Levenshtein distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCosts;
+
+impl<S: Symbol> CostModel<S> for UnitCosts {
+    fn substitute(&self, a: S, b: S) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+    fn insert(&self, _: S) -> f64 {
+        1.0
+    }
+    fn delete(&self, _: S) -> f64 {
+        1.0
+    }
+}
+
+/// A dense per-symbol-pair cost table over a `u8` alphabet of size `k`
+/// (symbols `0..k`), the common case for experiment alphabets
+/// (nucleotides, Freeman directions).
+#[derive(Debug, Clone)]
+pub struct TableCosts {
+    k: usize,
+    sub: Vec<f64>,
+    ins: Vec<f64>,
+    del: Vec<f64>,
+}
+
+impl TableCosts {
+    /// Uniform table: substitutions cost `sub`, insertions `ins`,
+    /// deletions `del`, over an alphabet of `k` symbols.
+    pub fn uniform(k: usize, sub: f64, ins: f64, del: f64) -> TableCosts {
+        assert!(k > 0, "alphabet must be non-empty");
+        assert!(
+            sub >= 0.0 && ins >= 0.0 && del >= 0.0,
+            "weights must be non-negative"
+        );
+        let mut t = TableCosts {
+            k,
+            sub: vec![sub; k * k],
+            ins: vec![ins; k],
+            del: vec![del; k],
+        };
+        for a in 0..k {
+            t.sub[a * k + a] = 0.0;
+        }
+        t
+    }
+
+    /// Set the substitution weight for the unordered pair `{a, b}`.
+    pub fn set_substitution(&mut self, a: u8, b: u8, w: f64) -> &mut Self {
+        assert!(w >= 0.0);
+        assert!(a != b, "diagonal substitution weight is fixed at 0");
+        self.sub[a as usize * self.k + b as usize] = w;
+        self.sub[b as usize * self.k + a as usize] = w;
+        self
+    }
+
+    /// Set the insertion and deletion weight of symbol `a`.
+    pub fn set_indel(&mut self, a: u8, ins: f64, del: f64) -> &mut Self {
+        assert!(ins >= 0.0 && del >= 0.0);
+        self.ins[a as usize] = ins;
+        self.del[a as usize] = del;
+        self
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.k
+    }
+}
+
+impl CostModel<u8> for TableCosts {
+    fn substitute(&self, a: u8, b: u8) -> f64 {
+        self.sub[a as usize * self.k + b as usize]
+    }
+    fn insert(&self, b: u8) -> f64 {
+        self.ins[b as usize]
+    }
+    fn delete(&self, a: u8) -> f64 {
+        self.del[a as usize]
+    }
+}
+
+/// Generalised edit distance under `costs`: minimum total weight of an
+/// alignment of `x` and `y`. Two-row DP, `O(|x|·|y|)`.
+pub fn generalized_edit_distance<S: Symbol, C: CostModel<S>>(x: &[S], y: &[S], costs: &C) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    let mut prev: Vec<f64> = Vec::with_capacity(m + 1);
+    prev.push(0.0);
+    for j in 1..=m {
+        let w = prev[j - 1] + costs.insert(y[j - 1]);
+        prev.push(w);
+    }
+    let mut cur = vec![0.0f64; m + 1];
+
+    for i in 1..=n {
+        cur[0] = prev[0] + costs.delete(x[i - 1]);
+        for j in 1..=m {
+            let sub = prev[j - 1] + costs.substitute(x[i - 1], y[j - 1]);
+            let del = prev[j] + costs.delete(x[i - 1]);
+            let ins = cur[j - 1] + costs.insert(y[j - 1]);
+            cur[j] = sub.min(del).min(ins);
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Generalised Yujian–Bo-style normalisation of the weighted distance
+/// (their 2007 construction): `2·GED / (W_del(x) + W_ins(y) + GED)`
+/// where `W_del(x)` is the cost of deleting all of `x` and `W_ins(y)`
+/// of inserting all of `y`.
+pub fn generalized_yujian_bo<S: Symbol, C: CostModel<S>>(x: &[S], y: &[S], costs: &C) -> f64 {
+    let ged = generalized_edit_distance(x, y, costs);
+    if ged == 0.0 {
+        return 0.0;
+    }
+    let wx: f64 = x.iter().map(|&a| costs.delete(a)).sum();
+    let wy: f64 = y.iter().map(|&b| costs.insert(b)).sum();
+    2.0 * ged / (wx + wy + ged)
+}
+
+/// The *naive* contextual generalisation: run the internal-path DP of
+/// Algorithm 1 but charge `w_op / context_length` instead of
+/// `1 / context_length`.
+///
+/// **This is not a distance** — kept public (under a shouting name) so
+/// tests and the `metric_counterexamples` example can demonstrate the
+/// paper's §5 point: a non-internal path through cheap dummy symbols
+/// can undercut every internal path, so this DP does not compute the
+/// infimum over all rewriting paths, and the infimum itself collapses
+/// as dummy insertions get cheaper.
+pub fn naive_contextual_generalized<C: CostModel<u8>>(x: &[u8], y: &[u8], costs: &C) -> f64 {
+    // Internal canonical paths only: choose ni insertions (of y
+    // symbols), nd deletions (of x symbols), substitutions for the
+    // rest, charged contextually in Lemma 1 order. For simplicity we
+    // reuse the unit-cost DP to enumerate feasible (k, ni) and charge
+    // average op weights — enough to expose the failure mode without
+    // pretending to be a real algorithm.
+    //
+    // Weight of the canonical internal path for shape (ni, ns, nd):
+    //   insertions at lengths |x|+1 .. |x|+ni, each w̄_ins / length
+    //   substitutions at length |x|+ni, each w̄_sub / length
+    //   deletions at lengths |y|+nd .. |y|+1, each w̄_del / length
+    // with w̄ the mean weight over the symbols actually touched — we
+    // use uniform weights in the witness, so the mean is exact there.
+    let w_ins = if y.is_empty() {
+        0.0
+    } else {
+        y.iter().map(|&b| costs.insert(b)).sum::<f64>() / y.len() as f64
+    };
+    let w_del = if x.is_empty() {
+        0.0
+    } else {
+        x.iter().map(|&a| costs.delete(a)).sum::<f64>() / x.len() as f64
+    };
+    let w_sub = {
+        // Mean off-diagonal substitution weight across touched pairs.
+        let mut total = 0.0;
+        let mut cnt = 0usize;
+        for &a in x {
+            for &b in y {
+                if a != b {
+                    total += costs.substitute(a, b);
+                    cnt += 1;
+                }
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            total / cnt as f64
+        }
+    };
+
+    let table = crate::contextual::exact::ContextualTable::new(x, y);
+    let mut best = f64::INFINITY;
+    for p in table.profile() {
+        let s = p.shape;
+        let peak = s.peak_len();
+        let mut w = 0.0;
+        for l in (s.x_len + 1)..=peak {
+            w += w_ins / l as f64;
+        }
+        if s.substitutions > 0 {
+            w += s.substitutions as f64 * w_sub / peak as f64;
+        }
+        for l in (s.y_len + 1)..=(s.y_len + s.deletions) {
+            w += w_del / l as f64;
+        }
+        best = best.min(w);
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// Weight of the §5 exploit path for the naive contextual
+/// generalisation: insert `pad` copies of a dummy symbol (insertion
+/// weight `w_dummy`), substitute every position of `x` into `y` at the
+/// inflated length, then delete the dummies.
+///
+/// As `pad → ∞` with `w_dummy` small, this weight drops **below** the
+/// best internal-path weight, demonstrating that internality
+/// (Proposition 1) fails for generalised costs.
+pub fn dummy_exploit_weight(
+    x_len: usize,
+    subs: usize,
+    w_sub: f64,
+    w_dummy: f64,
+    pad: usize,
+) -> f64 {
+    let mut w = 0.0;
+    // Insert `pad` dummies: lengths x_len+1 ..= x_len+pad.
+    for l in (x_len + 1)..=(x_len + pad) {
+        w += w_dummy / l as f64;
+    }
+    // Perform the expensive substitutions at the inflated length.
+    w += subs as f64 * w_sub / (x_len + pad) as f64;
+    // Delete the dummies again: lengths x_len+pad ..= x_len+1.
+    for l in (x_len + 1)..=(x_len + pad) {
+        w += w_dummy / l as f64;
+    }
+    w
+}
+
+/// Returns a witness `(internal_best, exploit)` with
+/// `exploit < internal_best`, proving the naive generalisation broken.
+///
+/// Witness: `x = "aa…a"`, `y = "bb…b"` (length `n`), substitutions
+/// weigh 10, dummy symbol `c` inserts/deletes for 0.01.
+pub fn naive_contextual_generalized_is_broken(n: usize, pad: usize) -> (f64, f64) {
+    assert!(n > 0);
+    let mut costs = TableCosts::uniform(3, 10.0, 1.0, 1.0);
+    costs.set_indel(2, 0.01, 0.01); // symbol 2 = cheap dummy 'c'
+    let x = vec![0u8; n];
+    let y = vec![1u8; n];
+    let internal = naive_contextual_generalized(&x, &y, &costs);
+    let exploit = dummy_exploit_weight(n, n, 10.0, 0.01, pad);
+    (internal, exploit)
+}
+
+/// The generalised edit distance as a [`Distance`] over `u8`, wrapping
+/// a [`TableCosts`].
+pub struct GeneralizedEditDistance {
+    costs: TableCosts,
+}
+
+impl GeneralizedEditDistance {
+    /// Wrap a cost table.
+    pub fn new(costs: TableCosts) -> GeneralizedEditDistance {
+        GeneralizedEditDistance { costs }
+    }
+}
+
+impl Distance<u8> for GeneralizedEditDistance {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        generalized_edit_distance(a, b, &self.costs)
+    }
+
+    fn name(&self) -> &'static str {
+        "GED"
+    }
+
+    fn is_metric(&self) -> bool {
+        // Metric iff the cost table is symmetric with zero diagonal and
+        // satisfies its own triangle inequalities; TableCosts enforces
+        // symmetry and the zero diagonal but not op-level triangles,
+        // so report false conservatively.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein;
+
+    #[test]
+    fn unit_costs_recover_levenshtein() {
+        let pairs: [(&[u8], &[u8]); 5] = [
+            (b"kitten", b"sitting"),
+            (b"abaa", b"aab"),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"same", b"same"),
+        ];
+        for (a, b) in pairs {
+            let g = generalized_edit_distance(a, b, &UnitCosts);
+            assert_eq!(g, levenshtein(a, b) as f64, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn cheap_substitution_changes_the_optimum() {
+        // Alphabet {0,1}: substituting 0<->1 costs 0.2, indels cost 1.
+        let costs = TableCosts::uniform(2, 0.2, 1.0, 1.0);
+        let x = [0u8, 0, 0];
+        let y = [1u8, 1, 1];
+        // Three cheap substitutions: 0.6, versus 6.0 all-indel.
+        let g = generalized_edit_distance(&x, &y, &costs);
+        assert!((g - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expensive_substitution_prefers_indel() {
+        let costs = TableCosts::uniform(2, 5.0, 1.0, 1.0);
+        let x = [0u8];
+        let y = [1u8];
+        // delete + insert = 2 < substitute = 5.
+        let g = generalized_edit_distance(&x, &y, &costs);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_indel_weights_respected() {
+        let mut costs = TableCosts::uniform(2, 1.0, 1.0, 1.0);
+        costs.set_indel(0, 0.5, 2.0); // symbol 0: cheap insert, dear delete
+        let g_del = generalized_edit_distance(&[0u8], &[], &costs);
+        let g_ins = generalized_edit_distance(&[], &[0u8], &costs);
+        assert_eq!(g_del, 2.0);
+        assert_eq!(g_ins, 0.5);
+    }
+
+    #[test]
+    fn generalized_yb_zero_iff_zero_ged() {
+        let costs = TableCosts::uniform(2, 1.0, 1.0, 1.0);
+        assert_eq!(generalized_yujian_bo(&[0u8, 1], &[0u8, 1], &costs), 0.0);
+        assert!(generalized_yujian_bo(&[0u8], &[1u8], &costs) > 0.0);
+    }
+
+    #[test]
+    fn generalized_yb_unit_costs_match_plain_yb() {
+        use crate::normalized::yujian_bo::yujian_bo;
+        let pairs: [(&[u8], &[u8]); 3] = [(b"ab", b"ba"), (b"kitten", b"sitting"), (b"", b"xy")];
+        for (a, b) in pairs {
+            let g = generalized_yujian_bo(a, b, &UnitCosts);
+            let p = yujian_bo(a, b);
+            assert!((g - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_section5_dummy_exploit_beats_internal_paths() {
+        // The core §5 claim: with expensive substitutions and a cheap
+        // dummy symbol, padding makes the non-internal path cheaper
+        // than every internal path.
+        let (internal, exploit) = naive_contextual_generalized_is_broken(4, 60);
+        assert!(
+            exploit < internal,
+            "exploit {exploit} should undercut internal optimum {internal}"
+        );
+    }
+
+    #[test]
+    fn dummy_exploit_weight_decreases_with_padding_then_settles() {
+        // More padding keeps reducing the substitution term while the
+        // dummy round-trips add ~2·w_dummy·ln factor — for small
+        // w_dummy the curve is decreasing over a long prefix.
+        let w10 = dummy_exploit_weight(4, 4, 10.0, 0.01, 10);
+        let w50 = dummy_exploit_weight(4, 4, 10.0, 0.01, 50);
+        assert!(w50 < w10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        TableCosts::uniform(2, -1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn table_costs_accessors() {
+        let mut t = TableCosts::uniform(4, 2.0, 1.0, 1.5);
+        t.set_substitution(1, 3, 0.25);
+        assert_eq!(t.substitute(1, 3), 0.25);
+        assert_eq!(t.substitute(3, 1), 0.25);
+        assert_eq!(t.substitute(2, 2), 0.0);
+        assert_eq!(t.insert(0), 1.0);
+        assert_eq!(t.delete(0), 1.5);
+        assert_eq!(t.alphabet(), 4);
+    }
+}

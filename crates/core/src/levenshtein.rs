@@ -1,0 +1,318 @@
+//! The Levenshtein (edit) distance `d_E` and its variants.
+//!
+//! This is the substrate of every normalisation in the paper: the
+//! smallest number `k` of single-symbol insertions, deletions and
+//! substitutions rewriting `x` into `y` (paper Definition 2, computed
+//! with the classic Wagner–Fischer dynamic program \[7\]).
+//!
+//! Provided variants:
+//! * [`levenshtein`] — two-row `O(|x|·|y|)` time, `O(min(|x|,|y|))`
+//!   space; the workhorse;
+//! * [`levenshtein_bounded`] — early-exit version returning `None`
+//!   when the distance exceeds a bound (Ukkonen banding), used by
+//!   search structures that only need "is it closer than my current
+//!   best";
+//! * [`levenshtein_matrix`] / [`edit_script`] — full-table version with
+//!   optimal edit-script recovery.
+
+use crate::metric::Distance;
+use crate::ops::EditOp;
+use crate::Symbol;
+
+/// Levenshtein distance between `x` and `y`.
+///
+/// Two-row dynamic program: `O(|x|·|y|)` time, `O(min(|x|,|y|))` space.
+///
+/// ```
+/// use cned_core::levenshtein::levenshtein;
+/// assert_eq!(levenshtein(b"abaa", b"aab"), 2); // paper, Example 1
+/// ```
+pub fn levenshtein<S: Symbol>(x: &[S], y: &[S]) -> usize {
+    // Iterate over the shorter string in the inner loop's row buffer.
+    let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, &ls) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ss) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(ls != ss);
+            let del = prev[j + 1] + 1;
+            let ins = cur[j] + 1;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance, abandoning early when it provably exceeds
+/// `bound`; returns `None` in that case.
+///
+/// Only cells within the diagonal band of half-width `bound` can hold a
+/// value ≤ `bound`, so the program visits `O(bound · min(|x|,|y|))`
+/// cells. Useful in nearest-neighbour search where most comparisons
+/// lose against the current best.
+///
+/// ```
+/// use cned_core::levenshtein::levenshtein_bounded;
+/// assert_eq!(levenshtein_bounded(b"kitten", b"sitting", 3), Some(3));
+/// assert_eq!(levenshtein_bounded(b"kitten", b"sitting", 2), None);
+/// ```
+pub fn levenshtein_bounded<S: Symbol>(x: &[S], y: &[S], bound: usize) -> Option<usize> {
+    let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    let (n, m) = (long.len(), short.len());
+    // Length difference is a lower bound on the distance.
+    if n - m > bound {
+        return None;
+    }
+    if m == 0 {
+        return Some(n);
+    }
+
+    const INF: usize = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=m).map(|j| if j <= bound { j } else { INF }).collect();
+    let mut cur: Vec<usize> = vec![INF; m + 1];
+
+    for (i, &ls) in long.iter().enumerate() {
+        // Band: |(i+1) - j| <= bound  =>  j in [i+1-bound, i+1+bound].
+        let lo = (i + 1).saturating_sub(bound);
+        let hi = m.min(i + 1 + bound);
+        if lo > hi {
+            return None;
+        }
+        cur[0] = if i < bound { i + 1 } else { INF };
+        // The `cur` buffer still holds row i-1 (two swaps ago): clear
+        // the cell just left of the band so the insertion source for
+        // j = lo reads INF, not a stale value.
+        if lo >= 2 {
+            cur[lo - 1] = INF;
+        }
+        let mut row_min = cur[0];
+        for j in lo.max(1)..=hi {
+            let ss = short[j - 1];
+            let sub = prev[j - 1].saturating_add(usize::from(ls != ss));
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        // Clear the cell just right of the band: the next row's
+        // deletion source at j = hi+1 would otherwise read a stale
+        // value from two rows back.
+        if hi < m {
+            cur[hi + 1] = INF;
+        }
+        if row_min > bound {
+            return None;
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= bound).then_some(d)
+}
+
+/// Full `(|x|+1) × (|y|+1)` Levenshtein dynamic-programming matrix.
+///
+/// `matrix[i][j]` is the distance between the prefixes `x[..i]` and
+/// `y[..j]`; `matrix[|x|][|y|]` is the distance. Kept around for
+/// edit-script recovery and for teaching/diagnostic output.
+pub fn levenshtein_matrix<S: Symbol>(x: &[S], y: &[S]) -> Vec<Vec<usize>> {
+    let (n, m) = (x.len(), y.len());
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in d[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = d[i - 1][j - 1] + usize::from(x[i - 1] != y[j - 1]);
+            let del = d[i - 1][j] + 1;
+            let ins = d[i][j - 1] + 1;
+            d[i][j] = sub.min(del).min(ins);
+        }
+    }
+    d
+}
+
+/// Recover one optimal edit script transforming `x` into `y`.
+///
+/// The script is expressed left-to-right and can be replayed with
+/// [`crate::ops::apply_script`]; its length equals
+/// [`levenshtein`]`(x, y)`.
+///
+/// Tie-breaking prefers substitution, then deletion, then insertion,
+/// which yields the conventional alignment-order script.
+pub fn edit_script<S: Symbol>(x: &[S], y: &[S]) -> Vec<EditOp<S>> {
+    let d = levenshtein_matrix(x, y);
+    let (mut i, mut j) = (x.len(), y.len());
+    // Collect alignment columns in reverse, then convert to a
+    // left-to-right applicable script.
+    let mut rev: Vec<EditOp<S>> = Vec::new();
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 && x[i - 1] == y[j - 1] && d[i][j] == d[i - 1][j - 1] {
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && j > 0 && d[i][j] == d[i - 1][j - 1] + 1 {
+            rev.push(EditOp::Substitute {
+                pos: i - 1,
+                sym: y[j - 1],
+            });
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && d[i][j] == d[i - 1][j] + 1 {
+            rev.push(EditOp::Delete { pos: i - 1 });
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && d[i][j] == d[i][j - 1] + 1);
+            rev.push(EditOp::Insert {
+                pos: i,
+                sym: y[j - 1],
+            });
+            j -= 1;
+        }
+    }
+    // Positions were recorded against the original `x` during a
+    // right-to-left walk. Applying the ops in exactly this order
+    // (rightmost first) keeps every position valid: an operation never
+    // shifts indices to its left.
+    rev
+}
+
+/// `d_E` as a [`Distance`] implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+impl<S: Symbol> Distance<S> for Levenshtein {
+    fn distance(&self, a: &[S], b: &[S]) -> f64 {
+        levenshtein(a, b) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "d_E"
+    }
+
+    fn is_metric(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::apply_script;
+
+    #[test]
+    fn identical_strings_have_distance_zero() {
+        assert_eq!(levenshtein(b"hello", b"hello"), 0);
+        assert_eq!(levenshtein::<u8>(b"", b""), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_length() {
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abcd", b""), 4);
+    }
+
+    #[test]
+    fn paper_example_1() {
+        assert_eq!(levenshtein(b"abaa", b"aab"), 2);
+    }
+
+    #[test]
+    fn paper_example_2_upper_bound() {
+        // d_E(abaa, baab) <= 3 via the internal path in Example 2; the
+        // actual distance is 2 (delete leading 'a', append 'b').
+        assert_eq!(levenshtein(b"abaa", b"baab"), 2);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+    }
+
+    #[test]
+    fn symmetric_on_assorted_pairs() {
+        let pairs: [(&[u8], &[u8]); 4] = [
+            (b"abc", b"cba"),
+            (b"", b"xyz"),
+            (b"aaaa", b"aa"),
+            (b"spanish", b"dictionary"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn works_on_non_byte_symbols() {
+        let a = [1u32, 2, 3, 4];
+        let b = [1u32, 3, 4, 5];
+        assert_eq!(levenshtein(&a, &b), 2);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_within() {
+        let cases: [(&[u8], &[u8]); 5] = [
+            (b"kitten", b"sitting"),
+            (b"abaa", b"aab"),
+            (b"", b"abc"),
+            (b"same", b"same"),
+            (b"abcdef", b"ghijkl"),
+        ];
+        for (a, b) in cases {
+            let d = levenshtein(a, b);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d), "{a:?} vs {b:?}");
+            assert_eq!(levenshtein_bounded(a, b, d + 2), Some(d));
+            if d > 0 {
+                assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_zero_bound_detects_equality() {
+        assert_eq!(levenshtein_bounded(b"abc", b"abc", 0), Some(0));
+        assert_eq!(levenshtein_bounded(b"abc", b"abd", 0), None);
+    }
+
+    #[test]
+    fn matrix_corner_equals_distance() {
+        let m = levenshtein_matrix(b"abaa", b"baab");
+        assert_eq!(m[4][4], levenshtein(b"abaa", b"baab"));
+        assert_eq!(m[0][0], 0);
+        assert_eq!(m[4][0], 4);
+        assert_eq!(m[0][4], 4);
+    }
+
+    #[test]
+    fn edit_script_replays_to_target() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"abaa", b"aab"),
+            (b"kitten", b"sitting"),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"ababa", b"baab"),
+            (b"identical", b"identical"),
+        ];
+        for (a, b) in cases {
+            let script = edit_script(a, b);
+            assert_eq!(script.len(), levenshtein(a, b), "{a:?} vs {b:?}");
+            assert_eq!(apply_script(a, &script), b, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn distance_trait_impl_agrees() {
+        let d = Levenshtein;
+        assert_eq!(Distance::<u8>::distance(&d, b"abaa", b"aab"), 2.0);
+        assert_eq!(Distance::<u8>::name(&d), "d_E");
+        assert!(Distance::<u8>::is_metric(&d));
+    }
+}

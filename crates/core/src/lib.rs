@@ -1,0 +1,87 @@
+//! # cned-core
+//!
+//! Core algorithms for **"A Contextual Normalised Edit Distance"**
+//! (Colin de la Higuera & Luisa Micó, ICDE 2008).
+//!
+//! The paper proposes normalising the Levenshtein distance *locally*:
+//! each elementary edit operation `u → v` is charged `1 / max(|u|, |v|)`
+//! — the length of the string the operation acts on — instead of a flat
+//! cost of 1. The resulting *contextual edit distance* `d_C`:
+//!
+//! * is a metric (paper, Theorem 1), unlike the simple normalisations
+//!   `d_E/(|x|+|y|)`, `d_E/max(|x|,|y|)` and `d_E/min(|x|,|y|)`;
+//! * is computable exactly in `O(|x|·|y|·(|x|+|y|))` time by an
+//!   extension of the Wagner–Fischer dynamic program
+//!   ([`contextual::exact`], the paper's Algorithm 1);
+//! * admits an `O(|x|·|y|)` heuristic `d_C,h` that returns the exact
+//!   value in the vast majority of cases and never underestimates it
+//!   ([`contextual::heuristic`]).
+//!
+//! This crate also implements, from scratch, every distance the paper
+//! compares against:
+//!
+//! | distance | module | metric? |
+//! |----------|--------|---------|
+//! | Levenshtein `d_E` | [`levenshtein`] | yes |
+//! | contextual `d_C` (exact) | [`contextual::exact`] | yes |
+//! | contextual heuristic `d_C,h` | [`contextual::heuristic`] | no (upper bound of a metric) |
+//! | Marzal–Vidal `d_MV` | [`normalized::marzal_vidal`] | open for unit costs |
+//! | Yujian–Bo `d_YB` | [`normalized::yujian_bo`] | yes |
+//! | `d_max`, `d_min`, `d_sum` | [`normalized::simple`] | **no** (counterexamples in paper §2.2) |
+//!
+//! plus a generalised (weighted) edit distance substrate
+//! ([`generalized`]), exact rational arithmetic for float-free
+//! verification ([`ratio`]), and a brute-force Dijkstra oracle over
+//! string space ([`brute`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cned_core::prelude::*;
+//!
+//! let x = b"ababa";
+//! let y = b"baab";
+//!
+//! // Plain Levenshtein.
+//! assert_eq!(levenshtein(x, y), 3);
+//!
+//! // Exact contextual distance (paper, Example 4): 8/15.
+//! let d = contextual_distance(x, y);
+//! assert!((d - 8.0 / 15.0).abs() < 1e-12);
+//!
+//! // The fast heuristic never underestimates the exact value.
+//! let h = contextual_heuristic(x, y);
+//! assert!(h >= d - 1e-12);
+//! ```
+
+pub mod brute;
+pub mod contextual;
+pub mod generalized;
+pub mod levenshtein;
+pub mod metric;
+pub mod normalized;
+pub mod ops;
+pub mod ratio;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::contextual::exact::{contextual_distance, Contextual, ContextualAlignment};
+    pub use crate::contextual::heuristic::{contextual_heuristic, ContextualHeuristic};
+    pub use crate::contextual::weight::{contextual_path_weight, PathShape};
+    pub use crate::levenshtein::{levenshtein, Levenshtein};
+    pub use crate::metric::{Distance, DistanceKind};
+    pub use crate::normalized::marzal_vidal::{marzal_vidal, MarzalVidal};
+    pub use crate::normalized::simple::{d_max, d_min, d_sum, MaxNorm, MinNorm, SumNorm};
+    pub use crate::normalized::yujian_bo::{yujian_bo, YujianBo};
+    pub use crate::ops::{apply_script, EditOp};
+    pub use crate::Symbol;
+}
+
+/// Bound satisfied by every type usable as a string symbol.
+///
+/// The blanket implementation means any `Copy + Eq + Debug` type works:
+/// `u8` (dictionary words, Freeman chain codes), `char`, enum
+/// nucleotides, `u32` codepoints, …
+pub trait Symbol: Copy + Eq + core::fmt::Debug {}
+
+impl<T: Copy + Eq + core::fmt::Debug> Symbol for T {}

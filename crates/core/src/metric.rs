@@ -1,0 +1,338 @@
+//! The [`Distance`] abstraction and metric-axiom validation.
+//!
+//! Paper Definition 1: `d` is a *metric* over `X` when
+//! `d(x,y) = 0 ⇔ x = y`, `d(x,y) = d(y,x)` and
+//! `d(x,y) + d(y,z) ≥ d(x,z)`. Metric distances unlock
+//! triangle-inequality-based nearest-neighbour algorithms (AESA,
+//! LAESA); the validation helpers here let tests and experiments check
+//! the axioms empirically on sampled triples, and document which of the
+//! paper's distances are genuine metrics.
+
+use crate::Symbol;
+
+/// A (dis)similarity function over strings of symbols `S`.
+///
+/// Implementations are stateless value objects (`Levenshtein`,
+/// `Contextual`, …), so they are `Copy`-cheap to pass around and can be
+/// boxed behind `dyn Distance<S>` for experiment drivers that iterate
+/// over "all distances in the paper".
+pub trait Distance<S: Symbol>: Send + Sync {
+    /// Distance between `a` and `b`. Must be non-negative and `0` for
+    /// identical inputs; other axioms depend on the implementation
+    /// (see [`Distance::is_metric`]).
+    fn distance(&self, a: &[S], b: &[S]) -> f64;
+
+    /// Short display name matching the paper's notation (`d_E`, `d_C`,
+    /// `d_C,h`, `d_MV`, `d_YB`, `d_max`, …).
+    fn name(&self) -> &'static str;
+
+    /// Whether this distance is a metric (satisfies all of
+    /// Definition 1, including the triangle inequality).
+    fn is_metric(&self) -> bool;
+}
+
+impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for &D {
+    fn distance(&self, a: &[S], b: &[S]) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_metric(&self) -> bool {
+        (**self).is_metric()
+    }
+}
+
+impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for Box<D> {
+    fn distance(&self, a: &[S], b: &[S]) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_metric(&self) -> bool {
+        (**self).is_metric()
+    }
+}
+
+/// Enumeration of every distance evaluated in the paper's experiments
+/// (Section 4), used by experiment drivers to build the full panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// Plain Levenshtein `d_E`.
+    Levenshtein,
+    /// Exact contextual distance `d_C` (Algorithm 1).
+    Contextual,
+    /// Quadratic-time contextual heuristic `d_C,h` (Section 4.1).
+    ContextualHeuristic,
+    /// Marzal–Vidal normalised edit distance `d_MV` \[4\].
+    MarzalVidal,
+    /// Yujian–Bo normalised metric `d_YB` \[8\].
+    YujianBo,
+    /// `d_E / max(|x|,|y|)` — not a metric (§2.2).
+    MaxNorm,
+    /// `d_E / min(|x|,|y|)` — not a metric (§2.2).
+    MinNorm,
+    /// `d_E / (|x|+|y|)` — not a metric (§2.2).
+    SumNorm,
+}
+
+impl DistanceKind {
+    /// The five distances of Figures 2–4 and Table 1:
+    /// `d_YB, d_C,h, d_MV, d_max, d_E`.
+    pub const PAPER_PANEL: [DistanceKind; 5] = [
+        DistanceKind::YujianBo,
+        DistanceKind::ContextualHeuristic,
+        DistanceKind::MarzalVidal,
+        DistanceKind::MaxNorm,
+        DistanceKind::Levenshtein,
+    ];
+
+    /// The six distances of Table 2 (classification):
+    /// `d_YB, d_MV, d_C, d_C,h, d_max, d_E`.
+    pub const TABLE2_PANEL: [DistanceKind; 6] = [
+        DistanceKind::YujianBo,
+        DistanceKind::MarzalVidal,
+        DistanceKind::Contextual,
+        DistanceKind::ContextualHeuristic,
+        DistanceKind::MaxNorm,
+        DistanceKind::Levenshtein,
+    ];
+
+    /// Instantiate the distance for symbol type `S`.
+    pub fn build<S: Symbol>(self) -> Box<dyn Distance<S>> {
+        match self {
+            DistanceKind::Levenshtein => Box::new(crate::levenshtein::Levenshtein),
+            DistanceKind::Contextual => Box::new(crate::contextual::exact::Contextual),
+            DistanceKind::ContextualHeuristic => {
+                Box::new(crate::contextual::heuristic::ContextualHeuristic)
+            }
+            DistanceKind::MarzalVidal => Box::new(crate::normalized::marzal_vidal::MarzalVidal),
+            DistanceKind::YujianBo => Box::new(crate::normalized::yujian_bo::YujianBo),
+            DistanceKind::MaxNorm => Box::new(crate::normalized::simple::MaxNorm),
+            DistanceKind::MinNorm => Box::new(crate::normalized::simple::MinNorm),
+            DistanceKind::SumNorm => Box::new(crate::normalized::simple::SumNorm),
+        }
+    }
+
+    /// Paper notation for the distance.
+    pub fn label(self) -> &'static str {
+        match self {
+            DistanceKind::Levenshtein => "d_E",
+            DistanceKind::Contextual => "d_C",
+            DistanceKind::ContextualHeuristic => "d_C,h",
+            DistanceKind::MarzalVidal => "d_MV",
+            DistanceKind::YujianBo => "d_YB",
+            DistanceKind::MaxNorm => "d_max",
+            DistanceKind::MinNorm => "d_min",
+            DistanceKind::SumNorm => "d_sum",
+        }
+    }
+}
+
+/// A concrete violation of one of the metric axioms, carrying the
+/// witness strings so failures are reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricViolation<S: Symbol> {
+    /// `d(x, x) != 0`, or `d(x, y) == 0` with `x != y`.
+    Identity { x: Vec<S>, y: Vec<S>, d: f64 },
+    /// `d(x, y) != d(y, x)`.
+    Symmetry { x: Vec<S>, y: Vec<S>, dxy: f64, dyx: f64 },
+    /// `d(x, z) > d(x, y) + d(y, z)` beyond tolerance.
+    Triangle {
+        x: Vec<S>,
+        y: Vec<S>,
+        z: Vec<S>,
+        dxz: f64,
+        via: f64,
+    },
+}
+
+/// Absolute tolerance used when comparing floating-point distances in
+/// the validation helpers.
+pub const METRIC_EPS: f64 = 1e-9;
+
+/// Check the identity axiom on every pair from `sample`.
+pub fn check_identity<S: Symbol, D: Distance<S> + ?Sized>(
+    d: &D,
+    sample: &[Vec<S>],
+) -> Option<MetricViolation<S>> {
+    for x in sample {
+        let dxx = d.distance(x, x);
+        if dxx.abs() > METRIC_EPS {
+            return Some(MetricViolation::Identity {
+                x: x.clone(),
+                y: x.clone(),
+                d: dxx,
+            });
+        }
+    }
+    for (i, x) in sample.iter().enumerate() {
+        for y in &sample[i + 1..] {
+            if x != y {
+                let dxy = d.distance(x, y);
+                if dxy.abs() <= METRIC_EPS {
+                    return Some(MetricViolation::Identity {
+                        x: x.clone(),
+                        y: y.clone(),
+                        d: dxy,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Check symmetry on every pair from `sample`.
+pub fn check_symmetry<S: Symbol, D: Distance<S> + ?Sized>(
+    d: &D,
+    sample: &[Vec<S>],
+) -> Option<MetricViolation<S>> {
+    for (i, x) in sample.iter().enumerate() {
+        for y in &sample[i + 1..] {
+            let dxy = d.distance(x, y);
+            let dyx = d.distance(y, x);
+            if (dxy - dyx).abs() > METRIC_EPS {
+                return Some(MetricViolation::Symmetry {
+                    x: x.clone(),
+                    y: y.clone(),
+                    dxy,
+                    dyx,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Check the triangle inequality on every ordered triple from `sample`.
+///
+/// `O(|sample|³)` distance computations — intended for small samples in
+/// tests and for the paper's §2.2-style counterexample hunting.
+pub fn check_triangle<S: Symbol, D: Distance<S> + ?Sized>(
+    d: &D,
+    sample: &[Vec<S>],
+) -> Option<MetricViolation<S>> {
+    let n = sample.len();
+    // Cache the pairwise matrix to avoid 3x recomputation.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = d.distance(&sample[i], &sample[j]);
+            m[i * n + j] = v;
+            m[j * n + i] = v;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                let dxz = m[i * n + k];
+                let via = m[i * n + j] + m[j * n + k];
+                if dxz > via + METRIC_EPS {
+                    return Some(MetricViolation::Triangle {
+                        x: sample[i].clone(),
+                        y: sample[j].clone(),
+                        z: sample[k].clone(),
+                        dxz,
+                        via,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Run all three axiom checks; returns the first violation found.
+pub fn check_metric_axioms<S: Symbol, D: Distance<S> + ?Sized>(
+    d: &D,
+    sample: &[Vec<S>],
+) -> Option<MetricViolation<S>> {
+    check_identity(d, sample)
+        .or_else(|| check_symmetry(d, sample))
+        .or_else(|| check_triangle(d, sample))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::Levenshtein;
+
+    fn words() -> Vec<Vec<u8>> {
+        [&b"ab"[..], b"aba", b"ba", b"b", b"aa", b"", b"abab"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn levenshtein_passes_all_axioms_on_sample() {
+        assert_eq!(check_metric_axioms(&Levenshtein, &words()), None);
+    }
+
+    #[test]
+    fn a_broken_distance_is_caught_by_identity() {
+        struct AlwaysOne;
+        impl Distance<u8> for AlwaysOne {
+            fn distance(&self, _: &[u8], _: &[u8]) -> f64 {
+                1.0
+            }
+            fn name(&self) -> &'static str {
+                "one"
+            }
+            fn is_metric(&self) -> bool {
+                false
+            }
+        }
+        assert!(matches!(
+            check_identity(&AlwaysOne, &words()),
+            Some(MetricViolation::Identity { .. })
+        ));
+    }
+
+    #[test]
+    fn an_asymmetric_distance_is_caught() {
+        struct LenDiff;
+        impl Distance<u8> for LenDiff {
+            fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+                // Deliberately asymmetric.
+                a.len() as f64 - b.len() as f64
+            }
+            fn name(&self) -> &'static str {
+                "lendiff"
+            }
+            fn is_metric(&self) -> bool {
+                false
+            }
+        }
+        assert!(matches!(
+            check_symmetry(&LenDiff, &words()),
+            Some(MetricViolation::Symmetry { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_labels_match_paper_notation() {
+        assert_eq!(DistanceKind::Contextual.label(), "d_C");
+        assert_eq!(DistanceKind::ContextualHeuristic.label(), "d_C,h");
+        assert_eq!(DistanceKind::YujianBo.label(), "d_YB");
+        assert_eq!(DistanceKind::MarzalVidal.label(), "d_MV");
+        assert_eq!(DistanceKind::MaxNorm.label(), "d_max");
+        assert_eq!(DistanceKind::Levenshtein.label(), "d_E");
+    }
+
+    #[test]
+    fn panels_have_expected_sizes_and_members() {
+        assert_eq!(DistanceKind::PAPER_PANEL.len(), 5);
+        assert_eq!(DistanceKind::TABLE2_PANEL.len(), 6);
+        assert!(DistanceKind::TABLE2_PANEL.contains(&DistanceKind::Contextual));
+        assert!(!DistanceKind::PAPER_PANEL.contains(&DistanceKind::Contextual));
+    }
+}

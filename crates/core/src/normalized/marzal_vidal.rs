@@ -1,0 +1,318 @@
+//! The Marzal–Vidal normalised edit distance `d_MV` (1993, ref \[4\]).
+//!
+//! `d_MV(x, y) = min over editing paths π of  dE(π) / lE(π)`
+//!
+//! where `dE(π)` is the total weight of the path and `lE(π)` the number
+//! of *steps* of the corresponding marked (internal) path — matches
+//! included. Unlike the post-hoc normalisations, the ratio is optimised
+//! over paths, so a long path with a few errors can beat a short path
+//! with the same number of errors.
+//!
+//! Computation: the classic length-indexed dynamic program. Let
+//! `w[i][j][L]` be the minimum weight of an alignment of `x[..i]` and
+//! `y[..j]` using exactly `L` steps, where every step (match,
+//! substitution, insertion, deletion) advances the alignment by one.
+//! Feasible `L` range over `max(i, j) ..= i + j`, so the program costs
+//! `O(|x|·|y|·(|x|+|y|))` time — the same shape as the contextual
+//! Algorithm 1 — implemented here with two rolling rows
+//! (`O(|y|·(|x|+|y|))` space).
+//!
+//! Marzal & Vidal showed `d_MV` is not a metric for general cost
+//! functions; whether it is one for unit costs is, per the paper,
+//! still open. We therefore conservatively report
+//! [`Distance::is_metric`]` = false`.
+
+use crate::metric::Distance;
+use crate::Symbol;
+
+const INF: u32 = u32::MAX / 2;
+
+/// Marzal–Vidal normalised edit distance with unit costs.
+///
+/// Returns 0 for two empty strings (no path, conventionally zero).
+///
+/// ```
+/// use cned_core::normalized::marzal_vidal::marzal_vidal;
+/// // One error in an alignment of length 3 (aba vs ab can be aligned
+/// // in 3 steps: two matches + one deletion): 1/3.
+/// let d = marzal_vidal(b"aba", b"ab");
+/// assert!((d - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn marzal_vidal<S: Symbol>(x: &[S], y: &[S]) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    let lw = n + m + 1; // entries for L = 0..=n+m per cell
+
+    let mut prev = vec![INF; (m + 1) * lw];
+    let mut cur = vec![INF; (m + 1) * lw];
+
+    // Row 0: aligning λ with y[..j] takes exactly j insertions.
+    for j in 0..=m {
+        prev[j * lw + j] = j as u32;
+    }
+
+    for i in 1..=n {
+        cur.fill(INF);
+        // Column 0: i deletions, L = i.
+        cur[i] = i as u32;
+        for j in 1..=m {
+            let (cur_left, cur_cell) = cur.split_at_mut(j * lw);
+            let cell = &mut cur_cell[..lw];
+            let left = &cur_left[(j - 1) * lw..j * lw];
+            let diag = &prev[(j - 1) * lw..j * lw];
+            let up = &prev[j * lw..(j + 1) * lw];
+
+            let sub_cost = u32::from(x[i - 1] != y[j - 1]);
+            for l in 1..lw {
+                let via_diag = diag[l - 1].saturating_add(sub_cost);
+                let via_del = up[l - 1].saturating_add(1);
+                let via_ins = left[l - 1].saturating_add(1);
+                cell[l] = via_diag.min(via_del).min(via_ins);
+            }
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+
+    let profile = &prev[m * lw..(m + 1) * lw];
+    let mut best = f64::INFINITY;
+    for (l, &w) in profile.iter().enumerate().skip(1) {
+        if w < INF {
+            let ratio = w as f64 / l as f64;
+            if ratio < best {
+                best = ratio;
+            }
+        }
+    }
+    // x == y == λ handled above; any other pair has a feasible L >= 1.
+    debug_assert!(best.is_finite());
+    best
+}
+
+/// Generalised Marzal–Vidal distance: minimum over alignments of
+/// (total weighted cost) / (alignment length), with per-symbol
+/// operation weights — the extension the paper credits to \[4\]
+/// ("Yujian and Bo's method (and Marzal and Vidal's) extends to the
+/// case where the distance is generalised", §2.2).
+///
+/// Same length-indexed DP as [`marzal_vidal`] with an `f64` weight
+/// table. Reduces to the unit-cost version under
+/// [`crate::generalized::UnitCosts`] (asserted by tests).
+pub fn marzal_vidal_generalized<S: Symbol, C: crate::generalized::CostModel<S>>(
+    x: &[S],
+    y: &[S],
+    costs: &C,
+) -> f64 {
+    let (n, m) = (x.len(), y.len());
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    let lw = n + m + 1;
+    const FINF: f64 = f64::INFINITY;
+
+    let mut prev = vec![FINF; (m + 1) * lw];
+    let mut cur = vec![FINF; (m + 1) * lw];
+
+    prev[0] = 0.0;
+    let mut acc = 0.0;
+    for j in 1..=m {
+        acc += costs.insert(y[j - 1]);
+        prev[j * lw + j] = acc;
+    }
+
+    let mut del_acc = 0.0;
+    for i in 1..=n {
+        cur.fill(FINF);
+        del_acc += costs.delete(x[i - 1]);
+        cur[i] = del_acc;
+        for j in 1..=m {
+            let (cur_left, cur_cell) = cur.split_at_mut(j * lw);
+            let cell = &mut cur_cell[..lw];
+            let left = &cur_left[(j - 1) * lw..j * lw];
+            let diag = &prev[(j - 1) * lw..j * lw];
+            let up = &prev[j * lw..(j + 1) * lw];
+
+            let sub_cost = costs.substitute(x[i - 1], y[j - 1]);
+            let del_cost = costs.delete(x[i - 1]);
+            let ins_cost = costs.insert(y[j - 1]);
+            for l in 1..lw {
+                let best = (diag[l - 1] + sub_cost)
+                    .min(up[l - 1] + del_cost)
+                    .min(left[l - 1] + ins_cost);
+                cell[l] = best;
+            }
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+
+    let profile = &prev[m * lw..(m + 1) * lw];
+    let mut best = FINF;
+    for (l, &w) in profile.iter().enumerate().skip(1) {
+        if w.is_finite() {
+            best = best.min(w / l as f64);
+        }
+    }
+    debug_assert!(best.is_finite());
+    best
+}
+
+/// `d_MV` as a [`Distance`] implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarzalVidal;
+
+impl<S: Symbol> Distance<S> for MarzalVidal {
+    fn distance(&self, a: &[S], b: &[S]) -> f64 {
+        marzal_vidal(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "d_MV"
+    }
+
+    fn is_metric(&self) -> bool {
+        // Not a metric for generalised costs; open for unit costs
+        // (paper §2.2) — report false conservatively.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein;
+
+    #[test]
+    fn zero_iff_equal() {
+        assert_eq!(marzal_vidal(b"abc", b"abc"), 0.0);
+        assert_eq!(marzal_vidal::<u8>(b"", b""), 0.0);
+        assert!(marzal_vidal(b"abc", b"abd") > 0.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_one() {
+        // Only paths: |y| insertions in |y| steps — ratio 1.
+        assert_eq!(marzal_vidal(b"", b"abc"), 1.0);
+        assert_eq!(marzal_vidal(b"abcd", b""), 1.0);
+    }
+
+    #[test]
+    fn single_error_normalised_by_alignment_length() {
+        // kitten vs sitting: d_E = 3, best alignment length 7
+        // (6 matches/subs + 1 insertion): 3/7.
+        let d = marzal_vidal(b"kitten", b"sitting");
+        assert!((d - 3.0 / 7.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn prefers_longer_paths_when_ratio_improves() {
+        // ab vs ba: the 2-step path (two substitutions) has ratio
+        // 2/2 = 1; the 3-step path (delete a, match b, insert a) has
+        // ratio 2/3 < 1. d_MV must find 2/3.
+        let d = marzal_vidal(b"ab", b"ba");
+        assert!((d - 2.0 / 3.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn bounded_by_one_and_nonnegative() {
+        let words: [&[u8]; 6] = [b"a", b"ab", b"ba", b"abcabc", b"", b"zzzz"];
+        for &a in &words {
+            for &b in &words {
+                let d = marzal_vidal(a, b);
+                assert!((0.0..=1.0 + 1e-12).contains(&d), "{a:?} vs {b:?}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounded_by_levenshtein_over_max_len() {
+        // d_MV <= d_E / max(|x|,|y|) is FALSE in general (the minimal
+        // alignment has length >= max(|x|,|y|) but d_MV minimises the
+        // ratio, so d_MV <= d_E/max always holds — the d_E-optimal path
+        // aligned in max-or-more steps is itself a candidate).
+        let words: [&[u8]; 5] = [b"ab", b"aba", b"ba", b"abcabc", b"z"];
+        for &a in &words {
+            for &b in &words {
+                if a.is_empty() && b.is_empty() {
+                    continue;
+                }
+                let dmv = marzal_vidal(a, b);
+                let bound = levenshtein(a, b) as f64 / a.len().max(b.len()).max(1) as f64;
+                assert!(dmv <= bound + 1e-12, "{a:?} vs {b:?}: {dmv} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let words: [&[u8]; 5] = [b"ab", b"aba", b"ba", b"abcabc", b""];
+        for &a in &words {
+            for &b in &words {
+                assert!((marzal_vidal(a, b) - marzal_vidal(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_dsum_relation() {
+        // Marzal & Vidal proved d_MV(x,y) <= 2·d_sum(x,y); spot-check.
+        let words: [&[u8]; 4] = [b"ab", b"aba", b"ba", b"abab"];
+        for &a in &words {
+            for &b in &words {
+                if a.is_empty() && b.is_empty() {
+                    continue;
+                }
+                let lhs = marzal_vidal(a, b);
+                let rhs = 2.0 * levenshtein(a, b) as f64 / (a.len() + b.len()).max(1) as f64;
+                assert!(lhs <= rhs + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_trait_impl() {
+        let d = MarzalVidal;
+        assert_eq!(Distance::<u8>::name(&d), "d_MV");
+        assert!(!Distance::<u8>::is_metric(&d));
+    }
+
+    #[test]
+    fn generalized_with_unit_costs_matches_plain() {
+        use crate::generalized::UnitCosts;
+        let pairs: [(&[u8], &[u8]); 6] = [
+            (b"kitten", b"sitting"),
+            (b"ab", b"ba"),
+            (b"aba", b"ab"),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"same", b"same"),
+        ];
+        for (a, b) in pairs {
+            let g = marzal_vidal_generalized(a, b, &UnitCosts);
+            let p = marzal_vidal(a, b);
+            assert!((g - p).abs() < 1e-12, "{a:?} vs {b:?}: {g} vs {p}");
+        }
+    }
+
+    #[test]
+    fn generalized_weights_steer_the_optimal_alignment() {
+        use crate::generalized::TableCosts;
+        // Cheap substitutions: the 2-step all-substitution alignment
+        // of ab/ba costs 0.4/2 = 0.2; the 3-step del+match+ins path
+        // costs 2.0/3 ≈ 0.67. Unit costs prefer the 3-step path
+        // (2/3 < 2/2); cheap substitutions flip the preference.
+        let costs = TableCosts::uniform(2, 0.2, 1.0, 1.0);
+        let x = [0u8, 1];
+        let y = [1u8, 0];
+        let g = marzal_vidal_generalized(&x, &y, &costs);
+        assert!((g - 0.2).abs() < 1e-12, "got {g}");
+    }
+
+    #[test]
+    fn generalized_is_zero_iff_equal() {
+        use crate::generalized::TableCosts;
+        let costs = TableCosts::uniform(3, 2.0, 0.5, 0.5);
+        assert_eq!(marzal_vidal_generalized(&[0u8, 1], &[0u8, 1], &costs), 0.0);
+        assert!(marzal_vidal_generalized(&[0u8], &[1u8], &costs) > 0.0);
+    }
+}

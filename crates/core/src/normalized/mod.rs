@@ -1,0 +1,18 @@
+//! The normalised edit distances the paper compares against (§2.2).
+//!
+//! * [`simple`] — divide `d_E` by `|x|+|y|`, `max(|x|,|y|)` or
+//!   `min(|x|,|y|)`. Cheap, intuitive, and **not metrics**: the module
+//!   carries the paper's explicit triangle-inequality counterexamples.
+//! * [`marzal_vidal`] — the 1993 normalised edit distance `d_MV`:
+//!   minimum over editing paths of (path weight)/(path length). A real
+//!   optimisation over paths, quadratic-space cubic-time; not known to
+//!   be a metric even with unit costs.
+//! * [`yujian_bo`] — the 2007 normalised metric
+//!   `d_YB = 2·d_E/(|x|+|y|+d_E)`: a closed formula on top of `d_E`
+//!   that *is* a metric, but whose value saturates for very different
+//!   strings (the paper's rewriting `d_YB = 2 − 2(|x|+|y|)/(|x|+|y|+d_E)`
+//!   makes the insensitivity visible).
+
+pub mod marzal_vidal;
+pub mod simple;
+pub mod yujian_bo;

@@ -1,0 +1,191 @@
+//! Simple length normalisations of the edit distance — and why they
+//! fail to be metrics (paper §2.2).
+//!
+//! Each divides `d_E(x, y)` by a symmetric function of the lengths:
+//!
+//! * `d_sum = d_E/(|x|+|y|)` — triangle inequality fails on
+//!   `x = ab, y = aba, z = ba`: `d_sum(ab, aba) + d_sum(aba, ba) =
+//!   1/5 + 1/5 < 2/4 = d_sum(ab, ba)`;
+//! * `d_max = d_E/max(|x|,|y|)` — same witness triple;
+//! * `d_min = d_E/min(|x|,|y|)` — witness `x = b, y = ba, z = aa`.
+//!
+//! They remain useful as *similarity scores*: Table 2 shows `d_max`
+//! actually achieves the best classification error on the handwritten
+//! digits — but a non-metric cannot drive AESA/LAESA elimination
+//! soundly, which is the contextual distance's selling point.
+
+use crate::levenshtein::levenshtein;
+use crate::metric::Distance;
+use crate::Symbol;
+
+/// `d_E(x,y) / (|x|+|y|)`, with `d(λ, λ) = 0`.
+pub fn d_sum<S: Symbol>(x: &[S], y: &[S]) -> f64 {
+    let denom = x.len() + y.len();
+    if denom == 0 {
+        return 0.0;
+    }
+    levenshtein(x, y) as f64 / denom as f64
+}
+
+/// `d_E(x,y) / max(|x|,|y|)`, with `d(λ, λ) = 0`.
+pub fn d_max<S: Symbol>(x: &[S], y: &[S]) -> f64 {
+    let denom = x.len().max(y.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    levenshtein(x, y) as f64 / denom as f64
+}
+
+/// `d_E(x,y) / min(|x|,|y|)`.
+///
+/// When exactly one string is empty the minimum length is zero; we
+/// follow the convention `d_min = |other|` (the limit of dividing by
+/// 1), keeping the function total. Both empty gives 0.
+pub fn d_min<S: Symbol>(x: &[S], y: &[S]) -> f64 {
+    let denom = x.len().min(y.len());
+    if denom == 0 {
+        return levenshtein(x, y) as f64;
+    }
+    levenshtein(x, y) as f64 / denom as f64
+}
+
+macro_rules! simple_norm {
+    ($(#[$doc:meta])* $name:ident, $func:path, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl<S: Symbol> Distance<S> for $name {
+            fn distance(&self, a: &[S], b: &[S]) -> f64 {
+                $func(a, b)
+            }
+            fn name(&self) -> &'static str {
+                $label
+            }
+            fn is_metric(&self) -> bool {
+                false
+            }
+        }
+    };
+}
+
+simple_norm!(
+    /// `d_max = d_E/max(|x|,|y|)` as a [`Distance`]. **Not a metric.**
+    MaxNorm,
+    d_max,
+    "d_max"
+);
+simple_norm!(
+    /// `d_min = d_E/min(|x|,|y|)` as a [`Distance`]. **Not a metric.**
+    MinNorm,
+    d_min,
+    "d_min"
+);
+simple_norm!(
+    /// `d_sum = d_E/(|x|+|y|)` as a [`Distance`]. **Not a metric.**
+    SumNorm,
+    d_sum,
+    "d_sum"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{check_triangle, MetricViolation};
+
+    #[test]
+    fn values_on_simple_pairs() {
+        assert_eq!(d_sum(b"ab", b"aba"), 1.0 / 5.0);
+        assert_eq!(d_sum(b"ab", b"ba"), 2.0 / 4.0);
+        assert_eq!(d_max(b"ab", b"aba"), 1.0 / 3.0);
+        assert_eq!(d_min(b"ab", b"aba"), 1.0 / 2.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(d_sum::<u8>(b"", b""), 0.0);
+        assert_eq!(d_max::<u8>(b"", b""), 0.0);
+        assert_eq!(d_min::<u8>(b"", b""), 0.0);
+        assert_eq!(d_sum(b"", b"abc"), 1.0);
+        assert_eq!(d_max(b"", b"abc"), 1.0);
+        assert_eq!(d_min(b"", b"abc"), 3.0);
+    }
+
+    #[test]
+    fn paper_counterexample_dsum_triangle_violation() {
+        // Paper §2.2: d_sum(ab, aba) + d_sum(aba, ba) = 1/5 + 1/5
+        // < 2/4 = d_sum(ab, ba).
+        let lhs = d_sum(b"ab", b"aba") + d_sum(b"aba", b"ba");
+        let rhs = d_sum(b"ab", b"ba");
+        assert!(
+            rhs > lhs,
+            "expected triangle violation: {rhs} should exceed {lhs}"
+        );
+    }
+
+    #[test]
+    fn paper_counterexample_dmax_triangle_violation() {
+        // Same witness triple works for d_max (paper §2.2):
+        // 1/3 + 1/3 vs 2/2 = 1.
+        let lhs = d_max(b"ab", b"aba") + d_max(b"aba", b"ba");
+        let rhs = d_max(b"ab", b"ba");
+        assert!(rhs > lhs, "{rhs} vs {lhs}");
+    }
+
+    #[test]
+    fn paper_counterexample_dmin_triangle_violation() {
+        // Paper §2.2 witness for d_min: x = b, y = ba, z = aa.
+        // d_min(b, ba) = 1/1, d_min(ba, aa) = 1/2... check the actual
+        // violation numerically.
+        let lhs = d_min(b"b", b"ba") + d_min(b"ba", b"aa");
+        let rhs = d_min(b"b", b"aa");
+        assert!(rhs > lhs, "{rhs} vs {lhs}");
+    }
+
+    #[test]
+    fn check_triangle_finds_the_violations() {
+        let sample: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba"].iter().map(|w| w.to_vec()).collect();
+        assert!(matches!(
+            check_triangle(&SumNorm, &sample),
+            Some(MetricViolation::Triangle { .. })
+        ));
+        assert!(matches!(
+            check_triangle(&MaxNorm, &sample),
+            Some(MetricViolation::Triangle { .. })
+        ));
+        let sample2: Vec<Vec<u8>> = [&b"b"[..], b"ba", b"aa"].iter().map(|w| w.to_vec()).collect();
+        assert!(matches!(
+            check_triangle(&MinNorm, &sample2),
+            Some(MetricViolation::Triangle { .. })
+        ));
+    }
+
+    #[test]
+    fn all_simple_norms_are_symmetric_and_zero_on_equal() {
+        let words: [&[u8]; 4] = [b"ab", b"aba", b"", b"zz"];
+        for &a in &words {
+            for &b in &words {
+                for f in [d_sum::<u8>, d_max::<u8>, d_min::<u8>] {
+                    assert_eq!(f(a, b), f(b, a));
+                    if a == b {
+                        assert_eq!(f(a, b), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_bounded() {
+        // d_max and d_sum are <= 1; d_sum <= 1/2 actually when both
+        // non-empty? No: d_E <= max(|x|,|y|), so d_sum <= max/(sum)
+        // <= 1 and d_max <= 1.
+        let words: [&[u8]; 5] = [b"a", b"bbbb", b"abab", b"zzzzzzz", b"q"];
+        for &a in &words {
+            for &b in &words {
+                assert!(d_max(a, b) <= 1.0 + 1e-12);
+                assert!(d_sum(a, b) <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Elementary edit operations and edit scripts.
+//!
+//! The paper (Definition 2) uses three correction rules over strings in
+//! `Σ*`: single-symbol deletion (`uav → uv`), insertion (`uv → uav`)
+//! and substitution (`uav → ubv`). An *edit script* is a sequence of
+//! such operations; applying a script to `x` step by step produces a
+//! rewriting path `x = w₀ → w₁ → … → w_k = y`.
+//!
+//! Positions in an [`EditOp`] refer to the string *the operation is
+//! applied to*, so a script must be applied in order; positions are not
+//! relative to the original `x`.
+
+use crate::Symbol;
+
+/// A single elementary edit operation.
+///
+/// `pos` is an index into the string the operation is applied to:
+/// * `Delete { pos }` removes the symbol at `pos`;
+/// * `Insert { pos, sym }` inserts `sym` *before* index `pos`
+///   (so `pos == len` appends);
+/// * `Substitute { pos, sym }` replaces the symbol at `pos` by `sym`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EditOp<S: Symbol> {
+    /// Remove the symbol at `pos`.
+    Delete { pos: usize },
+    /// Insert `sym` before index `pos`.
+    Insert { pos: usize, sym: S },
+    /// Replace the symbol at `pos` with `sym`.
+    Substitute { pos: usize, sym: S },
+}
+
+impl<S: Symbol> EditOp<S> {
+    /// Unit (Levenshtein) cost of the operation: always 1.
+    #[inline]
+    pub fn unit_cost(&self) -> usize {
+        1
+    }
+
+    /// Contextual cost of applying this operation to a string of length
+    /// `len` (paper, Section 3): `1/max(|u|,|v|)` where `u → v`.
+    ///
+    /// * substitution on `u`: result has the same length, cost `1/len`;
+    /// * deletion from `u`: `|u| > |v|`, cost `1/len`;
+    /// * insertion into `u`: `|v| = |u|+1`, cost `1/(len+1)`.
+    ///
+    /// # Panics
+    /// Panics if the operation cannot apply to a string of length `len`
+    /// (e.g. a deletion from the empty string), mirroring the paper's
+    /// requirement `uv ≠ λ`.
+    #[inline]
+    pub fn contextual_cost(&self, len: usize) -> f64 {
+        match self {
+            EditOp::Delete { .. } | EditOp::Substitute { .. } => {
+                assert!(len > 0, "cannot delete/substitute on the empty string");
+                1.0 / len as f64
+            }
+            EditOp::Insert { .. } => 1.0 / (len as f64 + 1.0),
+        }
+    }
+
+    /// Length of the string after applying this operation to a string
+    /// of length `len`.
+    #[inline]
+    pub fn result_len(&self, len: usize) -> usize {
+        match self {
+            EditOp::Delete { .. } => len - 1,
+            EditOp::Insert { .. } => len + 1,
+            EditOp::Substitute { .. } => len,
+        }
+    }
+
+    /// Apply the operation to `s`, returning the rewritten string.
+    ///
+    /// # Panics
+    /// Panics when `pos` is out of bounds for the operation.
+    pub fn apply(&self, s: &[S]) -> Vec<S> {
+        let mut out = Vec::with_capacity(s.len() + 1);
+        match *self {
+            EditOp::Delete { pos } => {
+                assert!(pos < s.len(), "delete position {pos} out of bounds");
+                out.extend_from_slice(&s[..pos]);
+                out.extend_from_slice(&s[pos + 1..]);
+            }
+            EditOp::Insert { pos, sym } => {
+                assert!(pos <= s.len(), "insert position {pos} out of bounds");
+                out.extend_from_slice(&s[..pos]);
+                out.push(sym);
+                out.extend_from_slice(&s[pos..]);
+            }
+            EditOp::Substitute { pos, sym } => {
+                assert!(pos < s.len(), "substitute position {pos} out of bounds");
+                out.extend_from_slice(s);
+                out[pos] = sym;
+            }
+        }
+        out
+    }
+}
+
+/// Apply a whole edit script to `x`, returning the final string.
+///
+/// Equivalent to folding [`EditOp::apply`] over the script.
+pub fn apply_script<S: Symbol>(x: &[S], script: &[EditOp<S>]) -> Vec<S> {
+    let mut cur = x.to_vec();
+    for op in script {
+        cur = op.apply(&cur);
+    }
+    cur
+}
+
+/// Total unit (Levenshtein) weight of a script: its length.
+#[inline]
+pub fn script_unit_weight<S: Symbol>(script: &[EditOp<S>]) -> usize {
+    script.len()
+}
+
+/// Total contextual weight of a script applied starting from a string
+/// of length `start_len` — the quantity `d_C(π)` of Definition 4.
+///
+/// This walks the path, charging each operation by the length of the
+/// string it acts on, and is the reference used by tests to validate
+/// the dynamic-programming algorithms.
+pub fn script_contextual_weight<S: Symbol>(start_len: usize, script: &[EditOp<S>]) -> f64 {
+    let mut len = start_len;
+    let mut total = 0.0;
+    for op in script {
+        total += op.contextual_cost(len);
+        len = op.result_len(len);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delete_removes_symbol() {
+        let op = EditOp::Delete { pos: 1 };
+        assert_eq!(op.apply(b"abc"), b"ac");
+    }
+
+    #[test]
+    fn insert_at_front_middle_end() {
+        assert_eq!(EditOp::Insert { pos: 0, sym: b'x' }.apply(b"ab"), b"xab");
+        assert_eq!(EditOp::Insert { pos: 1, sym: b'x' }.apply(b"ab"), b"axb");
+        assert_eq!(EditOp::Insert { pos: 2, sym: b'x' }.apply(b"ab"), b"abx");
+    }
+
+    #[test]
+    fn substitute_replaces_in_place() {
+        let op = EditOp::Substitute { pos: 2, sym: b'z' };
+        assert_eq!(op.apply(b"abc"), b"abz");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn delete_out_of_bounds_panics() {
+        EditOp::<u8>::Delete { pos: 3 }.apply(b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_past_end_panics() {
+        EditOp::Insert { pos: 4, sym: b'x' }.apply(b"abc");
+    }
+
+    #[test]
+    fn apply_script_example_1_from_paper() {
+        // Paper Example 1: abaa → aab via deletion of 'b' and
+        // substitution of the last 'a' by 'b'.
+        let script = [
+            EditOp::Delete { pos: 1 },
+            EditOp::Substitute { pos: 2, sym: b'b' },
+        ];
+        assert_eq!(apply_script(b"abaa", &script), b"aab");
+        assert_eq!(script_unit_weight(&script), 2);
+    }
+
+    #[test]
+    fn contextual_cost_of_substitution_and_deletion_is_one_over_len() {
+        let sub = EditOp::Substitute { pos: 0, sym: b'z' };
+        let del = EditOp::<u8>::Delete { pos: 0 };
+        assert_eq!(sub.contextual_cost(5), 1.0 / 5.0);
+        assert_eq!(del.contextual_cost(5), 1.0 / 5.0);
+    }
+
+    #[test]
+    fn contextual_cost_of_insertion_is_one_over_len_plus_one() {
+        let ins = EditOp::Insert { pos: 0, sym: b'z' };
+        assert_eq!(ins.contextual_cost(5), 1.0 / 6.0);
+        // Inserting into the empty string costs 1 (max(0, 1) = 1).
+        assert_eq!(ins.contextual_cost(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty string")]
+    fn contextual_cost_of_deletion_from_empty_panics() {
+        EditOp::<u8>::Delete { pos: 0 }.contextual_cost(0);
+    }
+
+    #[test]
+    fn script_contextual_weight_example_4_first_path() {
+        // Paper Example 4, first path:
+        // ababa →d abaa →d baa →i baab, weight 1/5 + 1/4 + 1/4 = 7/10.
+        let script = [
+            EditOp::Delete { pos: 3 },        // ababa(5) -> abaa, cost 1/5
+            EditOp::Delete { pos: 0 },        // abaa(4) -> baa, cost 1/4
+            EditOp::Insert { pos: 3, sym: b'b' }, // baa(3) -> baab, cost 1/4
+        ];
+        assert_eq!(apply_script(b"ababa", &script), b"baab");
+        let w = script_contextual_weight(5, &script);
+        assert!((w - 0.7).abs() < 1e-12, "weight was {w}");
+    }
+
+    #[test]
+    fn script_contextual_weight_example_4_second_path() {
+        // Paper Example 4, alternative path:
+        // ababa →i ababab →d babab →d baab, weight 1/6 + 1/6 + ... the
+        // paper states the total optimum is 8/15 = 1/6 + 1/5 + 1/5.
+        // (An insertion to length 6 costs 1/6; the two deletions act on
+        // strings of length 6 and 5: 1/6 + 1/5; total 1/6+1/6+1/5 for
+        // this particular path = 0.5333... = 8/15.)
+        let script = [
+            EditOp::Insert { pos: 5, sym: b'b' }, // ababa(5) -> ababab, cost 1/6
+            EditOp::Delete { pos: 0 },            // ababab(6) -> babab, cost 1/6
+            EditOp::Delete { pos: 2 },            // babab(5) -> baab,  cost 1/5
+        ];
+        assert_eq!(apply_script(b"ababa", &script), b"baab");
+        let w = script_contextual_weight(5, &script);
+        assert!((w - 8.0 / 15.0).abs() < 1e-12, "weight was {w}");
+    }
+
+    #[test]
+    fn result_len_tracks_length_changes() {
+        assert_eq!(EditOp::<u8>::Delete { pos: 0 }.result_len(4), 3);
+        assert_eq!(EditOp::Insert { pos: 0, sym: b'a' }.result_len(4), 5);
+        assert_eq!(EditOp::Substitute { pos: 0, sym: b'a' }.result_len(4), 4);
+    }
+}

@@ -1,0 +1,265 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! The contextual distance is a sum of unit fractions (harmonic-number
+//! segments), so comparing candidate paths with `f64` could in
+//! principle pick the wrong minimum when two paths are extremely close.
+//! This module provides a small exact fraction type used by the test
+//! oracle ([`crate::brute`]) and by the exact-weight variant of the
+//! path-weight formula, so the dynamic programs can be validated
+//! without any floating-point tolerance.
+//!
+//! `i128` numerators/denominators overflow only for string lengths far
+//! beyond anything the cubic algorithm could process anyway (the lcm of
+//! `1..=n` exceeds `i128` around `n ≈ 90`; we reduce by gcd after every
+//! operation, which in practice keeps values tiny for the lengths the
+//! oracle handles). All operations panic on overflow in debug builds.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den`, always kept in lowest terms
+/// with a strictly positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (non-negative).
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Construct `num/den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The integer `n` as a rational.
+    pub fn from_integer(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The unit fraction `1/n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn recip_of(n: i128) -> Ratio {
+        Ratio::new(1, n)
+    }
+
+    /// Numerator (lowest terms, sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (lowest terms, always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Nearest `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True when the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d); going
+        // through the lcm rather than b·d delays overflow.
+        let g = gcd(self.den, rhs.den);
+        let l = self.den / g * rhs.den;
+        Ratio::new(self.num * (l / self.den) + rhs.num * (l / rhs.den), l)
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Ratio::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division by zero ratio");
+        self * Ratio::new(rhs.den, rhs.num)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b ? c/d  <=>  a·d ? c·b   (b, d > 0). Cross-reduce first.
+        let g1 = gcd(self.num, other.num).max(1);
+        let g2 = gcd(self.den, other.den);
+        ((self.num / g1) * (other.den / g2)).cmp(&((other.num / g1) * (self.den / g2)))
+    }
+}
+
+/// Exact harmonic segment `Σ_{i=a+1}^{b} 1/i` (zero when `b <= a`).
+///
+/// This is the quantity appearing twice in the closing formula of
+/// Algorithm 1: the cost of `b−a` consecutive insertions growing a
+/// string from length `a` to `b`, and symmetrically for deletions.
+pub fn harmonic_segment_exact(a: usize, b: usize) -> Ratio {
+    let mut total = Ratio::ZERO;
+    for i in (a + 1)..=b {
+        total += Ratio::recip_of(i as i128);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces_to_lowest_terms() {
+        let r = Ratio::new(6, 8);
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 4);
+    }
+
+    #[test]
+    fn negative_denominator_normalises_sign() {
+        let r = Ratio::new(1, -2);
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+        assert_eq!(Ratio::new(-1, -2), Ratio::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Ratio::new(1, 6);
+        let b = Ratio::new(1, 10);
+        assert_eq!(a + b, Ratio::new(4, 15));
+        assert_eq!(a - b, Ratio::new(1, 15));
+    }
+
+    #[test]
+    fn multiplication_and_division() {
+        let a = Ratio::new(2, 3);
+        let b = Ratio::new(9, 4);
+        assert_eq!(a * b, Ratio::new(3, 2));
+        assert_eq!(a / b, Ratio::new(8, 27));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Ratio::new(1, 3) < Ratio::new(34, 100));
+        assert!(Ratio::new(1, 3) > Ratio::new(33, 100));
+        assert_eq!(Ratio::new(2, 6).cmp(&Ratio::new(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn example_4_weights_compare_exactly() {
+        // 7/10 (first path of Example 4) vs 8/15 (optimal path).
+        let first = Ratio::new(1, 5) + Ratio::new(1, 4) + Ratio::new(1, 4);
+        let second = Ratio::new(1, 6) + Ratio::new(1, 6) + Ratio::new(1, 5);
+        assert_eq!(first, Ratio::new(7, 10));
+        assert_eq!(second, Ratio::new(8, 15));
+        assert!(second < first);
+    }
+
+    #[test]
+    fn harmonic_segment_matches_manual_sum() {
+        // Σ_{i=6}^{8} 1/i = 1/6 + 1/7 + 1/8 = 73/168.
+        assert_eq!(harmonic_segment_exact(5, 8), Ratio::new(73, 168));
+        assert_eq!(harmonic_segment_exact(4, 4), Ratio::ZERO);
+        assert_eq!(harmonic_segment_exact(7, 3), Ratio::ZERO);
+    }
+
+    #[test]
+    fn to_f64_round_trips_simple_fractions() {
+        assert_eq!(Ratio::new(1, 2).to_f64(), 0.5);
+        assert!((Ratio::new(8, 15).to_f64() - 8.0 / 15.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ratio::new(3, 4).to_string(), "3/4");
+        assert_eq!(Ratio::from_integer(5).to_string(), "5");
+        assert_eq!(Ratio::new(-1, 2).to_string(), "-1/2");
+    }
+}

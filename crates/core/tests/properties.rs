@@ -1,0 +1,312 @@
+//! Property-based tests for the core distance algorithms.
+//!
+//! Strategy sizes are tuned so the heaviest oracles (brute-force
+//! Dijkstra over string space, cubic DPs on triples) stay fast: the
+//! brute oracle sees strings with `|x| + |y| <= 8`, the metric-axiom
+//! triples use lengths <= 10.
+
+use cned_core::brute::{brute_contextual, brute_levenshtein};
+use cned_core::contextual::exact::{contextual_alignment, contextual_distance, ContextualTable};
+use cned_core::contextual::heuristic::{contextual_heuristic, heuristic_k_ni};
+use cned_core::contextual::weight::trivial_path_weight;
+use cned_core::generalized::{generalized_edit_distance, UnitCosts};
+use cned_core::levenshtein::{edit_script, levenshtein, levenshtein_bounded};
+use cned_core::normalized::marzal_vidal::marzal_vidal;
+use cned_core::normalized::yujian_bo::yujian_bo;
+use cned_core::ops::{apply_script, script_contextual_weight};
+use cned_core::ratio::Ratio;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Short strings over a tiny alphabet — the regime where brute-force
+/// oracles are feasible and edge cases are dense.
+fn tiny_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b')], 0..=4)
+}
+
+/// Medium strings over a small alphabet for DP-vs-DP comparisons.
+fn small_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..=10)
+}
+
+/// Longer strings over a wider alphabet for cheap invariants.
+fn medium_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 0..=24)
+}
+
+proptest! {
+    // ---------------- Levenshtein ----------------
+
+    #[test]
+    fn levenshtein_matches_brute_force(x in tiny_string(), y in tiny_string()) {
+        prop_assert_eq!(levenshtein(&x, &y), brute_levenshtein(&x, &y));
+    }
+
+    #[test]
+    fn levenshtein_symmetry(x in medium_string(), y in medium_string()) {
+        prop_assert_eq!(levenshtein(&x, &y), levenshtein(&y, &x));
+    }
+
+    #[test]
+    fn levenshtein_triangle(x in small_string(), y in small_string(), z in small_string()) {
+        prop_assert!(levenshtein(&x, &z) <= levenshtein(&x, &y) + levenshtein(&y, &z));
+    }
+
+    #[test]
+    fn levenshtein_length_bounds(x in medium_string(), y in medium_string()) {
+        let d = levenshtein(&x, &y);
+        prop_assert!(d >= x.len().abs_diff(y.len()));
+        prop_assert!(d <= x.len().max(y.len()));
+    }
+
+    #[test]
+    fn levenshtein_bounded_agrees(x in small_string(), y in small_string(), slack in 0usize..3) {
+        let d = levenshtein(&x, &y);
+        prop_assert_eq!(levenshtein_bounded(&x, &y, d + slack), Some(d));
+        if d > 0 {
+            prop_assert_eq!(levenshtein_bounded(&x, &y, d - 1), None);
+        }
+    }
+
+    #[test]
+    fn edit_script_is_optimal_and_replays(x in small_string(), y in small_string()) {
+        let script = edit_script(&x, &y);
+        prop_assert_eq!(script.len(), levenshtein(&x, &y));
+        prop_assert_eq!(apply_script(&x, &script), y);
+    }
+
+    #[test]
+    fn generalized_unit_costs_recover_levenshtein(x in medium_string(), y in medium_string()) {
+        let g = generalized_edit_distance(&x, &y, &UnitCosts);
+        prop_assert!((g - levenshtein(&x, &y) as f64).abs() < EPS);
+    }
+
+    // ---------------- Contextual: exactness ----------------
+
+    #[test]
+    fn contextual_dp_matches_brute_force(x in tiny_string(), y in tiny_string()) {
+        let dp = contextual_distance(&x, &y);
+        let oracle = brute_contextual(&x, &y);
+        prop_assert!((dp - oracle).abs() < EPS, "dp {} vs oracle {}", dp, oracle);
+    }
+
+    #[test]
+    fn contextual_table_matches_rolling(x in small_string(), y in small_string()) {
+        let a = ContextualTable::new(&x, &y).distance();
+        let b = contextual_distance(&x, &y);
+        prop_assert!((a - b).abs() < EPS);
+    }
+
+    #[test]
+    fn contextual_optimal_shape_is_a_real_path(x in small_string(), y in small_string()) {
+        // The alignment's shape must be consistent bookkeeping and its
+        // weight must equal the reported distance exactly.
+        let a = contextual_alignment(&x, &y);
+        prop_assert_eq!(x.len() + a.shape.insertions - a.shape.deletions, y.len());
+        prop_assert_eq!(a.k, a.shape.k());
+        prop_assert!((a.shape.weight() - a.weight).abs() < EPS);
+        // Its exact rational weight round-trips through f64 within EPS.
+        let exact: Ratio = a.shape.weight_exact();
+        prop_assert!((exact.to_f64() - a.weight).abs() < EPS);
+    }
+
+    // ---------------- Contextual: metric axioms ----------------
+
+    #[test]
+    fn contextual_zero_iff_equal(x in small_string(), y in small_string()) {
+        let d = contextual_distance(&x, &y);
+        if x == y {
+            prop_assert!(d == 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn contextual_symmetry(x in small_string(), y in small_string()) {
+        let dxy = contextual_distance(&x, &y);
+        let dyx = contextual_distance(&y, &x);
+        prop_assert!((dxy - dyx).abs() < EPS);
+    }
+
+    #[test]
+    fn contextual_triangle_inequality(
+        x in small_string(),
+        y in small_string(),
+        z in small_string(),
+    ) {
+        // Theorem 1: d_C is a metric.
+        let dxz = contextual_distance(&x, &z);
+        let via = contextual_distance(&x, &y) + contextual_distance(&y, &z);
+        prop_assert!(dxz <= via + EPS, "triangle violated: {} > {}", dxz, via);
+    }
+
+    // ---------------- Contextual: bounds & heuristic ----------------
+
+    #[test]
+    fn contextual_upper_bounds(x in medium_string(), y in medium_string()) {
+        let d = contextual_distance(&x, &y);
+        // Each unit operation costs at most 1, so d_C <= d_E.
+        prop_assert!(d <= levenshtein(&x, &y) as f64 + EPS);
+        // Delete-all-insert-all is a valid path.
+        prop_assert!(d <= trivial_path_weight(x.len(), y.len()) + EPS);
+    }
+
+    #[test]
+    fn contextual_lower_bound_first_op(x in medium_string(), y in medium_string()) {
+        // Any path's first operation acts on x (cost >= 1/(|x|+1)), so
+        // for x != y the distance is at least 1/(|x|+1); symmetrically
+        // for y. (Weights along a path only shrink as strings grow, so
+        // this is a weak but valid sanity bound.)
+        if x != y {
+            let d = contextual_distance(&x, &y);
+            let lb = 1.0 / (x.len().max(y.len()) as f64 + 1.0);
+            prop_assert!(d >= lb - EPS, "{} < {}", d, lb);
+        }
+    }
+
+    #[test]
+    fn heuristic_never_underestimates(x in small_string(), y in small_string()) {
+        let h = contextual_heuristic(&x, &y);
+        let d = contextual_distance(&x, &y);
+        prop_assert!(h >= d - EPS, "heuristic {} under exact {}", h, d);
+    }
+
+    #[test]
+    fn heuristic_k_is_levenshtein(x in medium_string(), y in medium_string()) {
+        let (k, ni) = heuristic_k_ni(&x, &y);
+        prop_assert_eq!(k, levenshtein(&x, &y));
+        prop_assert!(ni <= y.len());
+    }
+
+    #[test]
+    fn heuristic_ni_matches_exact_table_at_min_k(x in small_string(), y in small_string()) {
+        let (k, ni) = heuristic_k_ni(&x, &y);
+        let t = ContextualTable::new(&x, &y);
+        prop_assert_eq!(t.min_feasible_k(), k);
+        prop_assert_eq!(t.max_insertions(x.len(), y.len(), k), Some(ni));
+    }
+
+    #[test]
+    fn heuristic_symmetry(x in small_string(), y in small_string()) {
+        let hxy = contextual_heuristic(&x, &y);
+        let hyx = contextual_heuristic(&y, &x);
+        prop_assert!((hxy - hyx).abs() < EPS);
+    }
+
+    // ---------------- Canonical-path cross-check ----------------
+
+    #[test]
+    fn canonical_path_weight_is_walkable(x in small_string(), y in small_string()) {
+        // Materialise the canonical insertions-first path implied by
+        // the optimal shape and re-price it operation by operation via
+        // script_contextual_weight; must equal the DP distance. This
+        // exercises Lemma 1's ordering end to end.
+        let a = contextual_alignment(&x, &y);
+        // Build a concrete script: insert `ni` placeholder symbols at
+        // the end, substitute `ns` positions, delete `nd` from the end.
+        // Symbol identities don't affect weights, only lengths do.
+        let mut script = Vec::new();
+        let mut len = x.len();
+        for _ in 0..a.shape.insertions {
+            script.push(cned_core::ops::EditOp::Insert { pos: len, sym: 0u8 });
+            len += 1;
+        }
+        for p in 0..a.shape.substitutions {
+            script.push(cned_core::ops::EditOp::Substitute { pos: p % len.max(1), sym: 1u8 });
+        }
+        for _ in 0..a.shape.deletions {
+            script.push(cned_core::ops::EditOp::Delete { pos: len - 1 });
+            len -= 1;
+        }
+        let w = script_contextual_weight(x.len(), &script);
+        prop_assert!((w - a.weight).abs() < EPS, "walked {} vs dp {}", w, a.weight);
+    }
+
+    // ---------------- Yujian–Bo ----------------
+
+    #[test]
+    fn yujian_bo_unit_interval(x in medium_string(), y in medium_string()) {
+        let d = yujian_bo(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn yujian_bo_triangle(x in small_string(), y in small_string(), z in small_string()) {
+        let dxz = yujian_bo(&x, &z);
+        let via = yujian_bo(&x, &y) + yujian_bo(&y, &z);
+        prop_assert!(dxz <= via + EPS);
+    }
+
+    #[test]
+    fn yujian_bo_monotone_in_edit_distance_for_fixed_lengths(
+        x in small_string(), y in small_string(), z in small_string(),
+    ) {
+        // For fixed |x|+|y|, d_YB is increasing in d_E: check the
+        // formula's monotonicity through sampled pairs of equal total
+        // length.
+        if x.len() + y.len() == x.len() + z.len() {
+            let (de_y, de_z) = (levenshtein(&x, &y), levenshtein(&x, &z));
+            let (db_y, db_z) = (yujian_bo(&x, &y), yujian_bo(&x, &z));
+            if de_y < de_z {
+                prop_assert!(db_y <= db_z + EPS);
+            }
+        }
+    }
+
+    // ---------------- Marzal–Vidal ----------------
+
+    #[test]
+    fn marzal_vidal_unit_interval(x in small_string(), y in small_string()) {
+        let d = marzal_vidal(&x, &y);
+        prop_assert!((0.0..=1.0 + EPS).contains(&d));
+    }
+
+    #[test]
+    fn marzal_vidal_zero_iff_equal(x in small_string(), y in small_string()) {
+        let d = marzal_vidal(&x, &y);
+        if x == y { prop_assert!(d == 0.0); } else { prop_assert!(d > 0.0); }
+    }
+
+    #[test]
+    fn marzal_vidal_at_most_dmax(x in small_string(), y in small_string()) {
+        // The d_E-optimal alignment has length >= max(|x|,|y|), so its
+        // ratio is <= d_E/max and d_MV can only be smaller.
+        if !(x.is_empty() && y.is_empty()) {
+            let dmv = marzal_vidal(&x, &y);
+            let dmax = levenshtein(&x, &y) as f64 / x.len().max(y.len()).max(1) as f64;
+            prop_assert!(dmv <= dmax + EPS);
+        }
+    }
+
+    #[test]
+    fn marzal_vidal_symmetry(x in small_string(), y in small_string()) {
+        prop_assert!((marzal_vidal(&x, &y) - marzal_vidal(&y, &x)).abs() < EPS);
+    }
+
+    // ---------------- Cross-distance orderings ----------------
+
+    #[test]
+    fn normalised_distances_all_agree_on_equality(x in medium_string()) {
+        prop_assert!(contextual_heuristic(&x, &x) == 0.0);
+        prop_assert!(yujian_bo(&x, &x) == 0.0);
+        prop_assert!(marzal_vidal(&x, &x) == 0.0);
+    }
+}
+
+/// Exact-rational regression: the DP distance of random small pairs,
+/// recomputed through the exact-weight path shapes, matches the brute
+/// oracle's exact rational — no float tolerance at all.
+#[test]
+fn exact_rational_agreement_on_corpus() {
+    let corpus: [&[u8]; 8] = [b"", b"a", b"b", b"ab", b"ba", b"aab", b"bba", b"abab"];
+    for &x in &corpus {
+        for &y in &corpus {
+            let brute = cned_core::brute::brute_contextual_exact(x, y);
+            let a = contextual_alignment(x, y);
+            let dp_exact = a.shape.weight_exact();
+            assert_eq!(dp_exact, brute, "{x:?} vs {y:?}");
+        }
+    }
+}

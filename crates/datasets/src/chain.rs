@@ -1,0 +1,158 @@
+//! Freeman chain codes: contour pixel sequences → strings over an
+//! 8-symbol alphabet.
+//!
+//! The NIST contour-string representation encodes each step between
+//! consecutive boundary pixels as one of 8 directions. We use the
+//! standard Freeman convention (with image `y` growing downwards):
+//!
+//! ```text
+//!   3  2  1
+//!   4  ·  0        0 = East, 2 = North, 4 = West, 6 = South
+//!   5  6  7
+//! ```
+//!
+//! The closed contour of `n` pixels yields a chain string of length
+//! `n` (the last symbol closes the loop back to the start pixel).
+//! Chain strings are the inputs to every digit experiment: an
+//! 8-symbol alphabet with length ≈ glyph perimeter.
+
+/// Number of Freeman directions.
+pub const DIRECTIONS: usize = 8;
+
+/// Map a unit step `(dx, dy)` (`y` downwards) to its Freeman code.
+///
+/// Returns `None` for non-unit steps (including `(0, 0)`).
+pub fn freeman_direction(dx: i32, dy: i32) -> Option<u8> {
+    match (dx, dy) {
+        (1, 0) => Some(0),
+        (1, -1) => Some(1),
+        (0, -1) => Some(2),
+        (-1, -1) => Some(3),
+        (-1, 0) => Some(4),
+        (-1, 1) => Some(5),
+        (0, 1) => Some(6),
+        (1, 1) => Some(7),
+        _ => None,
+    }
+}
+
+/// The inverse of [`freeman_direction`].
+pub fn freeman_step(code: u8) -> (i32, i32) {
+    match code {
+        0 => (1, 0),
+        1 => (1, -1),
+        2 => (0, -1),
+        3 => (-1, -1),
+        4 => (-1, 0),
+        5 => (-1, 1),
+        6 => (0, 1),
+        7 => (1, 1),
+        _ => panic!("invalid Freeman code {code}"),
+    }
+}
+
+/// Encode a **closed** contour (as produced by
+/// [`crate::contour::trace_boundary`]) into its Freeman chain string.
+///
+/// Contours with fewer than 2 pixels produce an empty chain.
+///
+/// # Panics
+/// Panics if consecutive contour pixels are not 8-adjacent.
+pub fn chain_code(contour: &[(i32, i32)]) -> Vec<u8> {
+    if contour.len() < 2 {
+        return Vec::new();
+    }
+    let mut chain = Vec::with_capacity(contour.len());
+    for w in contour.windows(2) {
+        let (dx, dy) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+        chain.push(
+            freeman_direction(dx, dy)
+                .unwrap_or_else(|| panic!("non-adjacent contour pixels {:?} -> {:?}", w[0], w[1])),
+        );
+    }
+    // Closing step back to the start pixel.
+    let first = contour[0];
+    let last = contour[contour.len() - 1];
+    let (dx, dy) = (first.0 - last.0, first.1 - last.1);
+    chain.push(
+        freeman_direction(dx, dy)
+            .unwrap_or_else(|| panic!("contour does not close: {last:?} -> {first:?}")),
+    );
+    chain
+}
+
+/// Replay a chain string from `start`, returning the visited pixels —
+/// the inverse of [`chain_code`], used by tests to verify round-trips.
+pub fn replay_chain(start: (i32, i32), chain: &[u8]) -> Vec<(i32, i32)> {
+    let mut pts = Vec::with_capacity(chain.len() + 1);
+    let mut cur = start;
+    pts.push(cur);
+    for &c in chain {
+        let (dx, dy) = freeman_step(c);
+        cur = (cur.0 + dx, cur.1 + dy);
+        pts.push(cur);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_and_step_are_inverse() {
+        for code in 0..8u8 {
+            let (dx, dy) = freeman_step(code);
+            assert_eq!(freeman_direction(dx, dy), Some(code));
+        }
+    }
+
+    #[test]
+    fn non_unit_steps_rejected() {
+        assert_eq!(freeman_direction(0, 0), None);
+        assert_eq!(freeman_direction(2, 0), None);
+        assert_eq!(freeman_direction(-1, 2), None);
+    }
+
+    #[test]
+    fn square_contour_chain() {
+        // Clockwise unit square (y down): E, S, W, N.
+        let contour = [(0, 0), (1, 0), (1, 1), (0, 1)];
+        assert_eq!(chain_code(&contour), vec![0, 6, 4, 2]);
+    }
+
+    #[test]
+    fn chain_replays_to_original_contour() {
+        let contour = [(2, 3), (3, 3), (4, 4), (4, 5), (3, 6), (2, 5), (2, 4)];
+        let chain = chain_code(&contour);
+        let replay = replay_chain(contour[0], &chain);
+        // Replay revisits every contour pixel and returns to start.
+        assert_eq!(&replay[..contour.len()], &contour[..]);
+        assert_eq!(*replay.last().unwrap(), contour[0]);
+    }
+
+    #[test]
+    fn closed_chain_displacement_is_zero() {
+        let contour = [(0, 0), (1, 0), (2, 1), (1, 2), (0, 1)];
+        let chain = chain_code(&contour);
+        let (mut x, mut y) = (0i32, 0i32);
+        for &c in &chain {
+            let (dx, dy) = freeman_step(c);
+            x += dx;
+            y += dy;
+        }
+        assert_eq!((x, y), (0, 0));
+    }
+
+    #[test]
+    fn tiny_contours_give_empty_chain() {
+        assert!(chain_code(&[]).is_empty());
+        assert!(chain_code(&[(3, 3)]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent")]
+    fn gaps_panic() {
+        chain_code(&[(0, 0), (5, 5), (0, 0)]);
+    }
+}

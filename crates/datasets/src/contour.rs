@@ -1,0 +1,208 @@
+//! Moore boundary tracing: bitmap → ordered contour pixels.
+//!
+//! The classic 8-neighbourhood boundary-following algorithm with
+//! Jacob's stopping criterion: start at the first ink pixel in scan
+//! order (top-to-bottom, left-to-right), walk the Moore neighbourhood
+//! clockwise from the backtrack direction, and stop on re-entering the
+//! start pixel from the same direction as the first time. The result
+//! is the closed outer contour of the ink component containing the
+//! start pixel — exactly the curve the NIST contour-string pipeline
+//! encodes as a Freeman chain.
+
+use crate::raster::Bitmap;
+
+/// Moore neighbourhood in clockwise order starting East, as
+/// `(dx, dy)` with `y` growing downwards:
+/// E, SE, S, SW, W, NW, N, NE.
+pub const MOORE: [(i32, i32); 8] = [
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+];
+
+/// Trace the outer boundary of the ink component containing the first
+/// ink pixel (scan order). Returns the closed sequence of boundary
+/// pixel coordinates (first pixel not repeated at the end), or an
+/// empty vector for a blank bitmap.
+///
+/// An isolated single pixel yields a one-element contour.
+pub fn trace_boundary(bitmap: &Bitmap) -> Vec<(i32, i32)> {
+    // Find the start pixel.
+    let mut start = None;
+    'scan: for y in 0..bitmap.height() as i32 {
+        for x in 0..bitmap.width() as i32 {
+            if bitmap.get(x, y) {
+                start = Some((x, y));
+                break 'scan;
+            }
+        }
+    }
+    let Some(start) = start else {
+        return Vec::new();
+    };
+
+    // One tracing step: from pixel `cur` entered via direction `dir`,
+    // scan the Moore neighbourhood clockwise starting just past the
+    // backtrack direction (opposite of `dir`) and return the first ink
+    // neighbour with its direction. `None` only for isolated pixels.
+    let step = |cur: (i32, i32), dir: usize| -> Option<((i32, i32), usize)> {
+        let backtrack = (dir + 4) % 8;
+        for s in 1..=8 {
+            let d = (backtrack + s) % 8;
+            let (dx, dy) = MOORE[d];
+            if bitmap.get(cur.0 + dx, cur.1 + dy) {
+                return Some(((cur.0 + dx, cur.1 + dy), d));
+            }
+        }
+        None
+    };
+
+    // The start pixel is the topmost-leftmost ink pixel, so its W, NW,
+    // N and NE neighbours are background: entering "via W" (dir 0's
+    // backtrack) makes the first clockwise scan begin at NW.
+    let Some(s0) = step(start, 0) else {
+        return vec![start]; // isolated pixel
+    };
+
+    // The walk is deterministic in the state (pixel, arrival
+    // direction), so the boundary is exactly one period of the state
+    // cycle seeded at s0. Emit pixels until the state repeats.
+    let mut contour = Vec::new();
+    let mut state = s0;
+    let max_steps = 4 * bitmap.width() * bitmap.height() + 16;
+    for _ in 0..max_steps {
+        contour.push(state.0);
+        state = step(state.0, state.1).expect("contour pixel has an ink neighbour");
+        if state == s0 {
+            // Rotate so the scan-order start pixel comes first.
+            if let Some(pos) = contour.iter().position(|&p| p == start) {
+                contour.rotate_left(pos);
+            }
+            return contour;
+        }
+    }
+    debug_assert!(false, "boundary tracing failed to terminate");
+    contour
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bitmap_from_ascii(art: &str) -> Bitmap {
+        let lines: Vec<&str> = art.trim().lines().map(str::trim).collect();
+        let h = lines.len();
+        let w = lines[0].len();
+        let mut b = Bitmap::new(w, h);
+        for (y, line) in lines.iter().enumerate() {
+            for (x, c) in line.chars().enumerate() {
+                if c == '#' {
+                    b.set(x as i32, y as i32);
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn blank_bitmap_gives_empty_contour() {
+        let b = Bitmap::new(8, 8);
+        assert!(trace_boundary(&b).is_empty());
+    }
+
+    #[test]
+    fn isolated_pixel_gives_single_point() {
+        let mut b = Bitmap::new(8, 8);
+        b.set(3, 3);
+        assert_eq!(trace_boundary(&b), vec![(3, 3)]);
+    }
+
+    #[test]
+    fn square_contour_walks_the_perimeter() {
+        let b = bitmap_from_ascii(
+            "........
+             .####...
+             .####...
+             .####...
+             .####...
+             ........",
+        );
+        let c = trace_boundary(&b);
+        // 4x4 square: 12 boundary pixels.
+        assert_eq!(c.len(), 12, "contour was {c:?}");
+        // Starts at topmost-leftmost ink pixel.
+        assert_eq!(c[0], (1, 1));
+        // All contour pixels are ink and on the border of the square.
+        for &(x, y) in &c {
+            assert!(b.get(x, y));
+            assert!(x == 1 || x == 4 || y == 1 || y == 4);
+        }
+        // Consecutive pixels are 8-adjacent.
+        for w in c.windows(2) {
+            let (dx, dy) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            assert!(dx.abs() <= 1 && dy.abs() <= 1 && (dx, dy) != (0, 0));
+        }
+    }
+
+    #[test]
+    fn line_contour_traverses_both_sides() {
+        let b = bitmap_from_ascii(
+            ".......
+             .#####.
+             .......",
+        );
+        let c = trace_boundary(&b);
+        // A 1-px line of length 5: boundary covers each pixel, going
+        // right then back left: 2·5 − 2 = 8 entries.
+        assert_eq!(c.len(), 8, "contour was {c:?}");
+    }
+
+    #[test]
+    fn contour_ignores_interior_pixels() {
+        let b = bitmap_from_ascii(
+            ".....
+             .###.
+             .###.
+             .###.
+             .....",
+        );
+        let c = trace_boundary(&b);
+        assert!(!c.contains(&(2, 2)), "interior pixel leaked into contour");
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn traces_first_component_only() {
+        let b = bitmap_from_ascii(
+            ".......
+             .##....
+             .##....
+             .......
+             ....##.
+             ....##.",
+        );
+        let c = trace_boundary(&b);
+        assert!(c.iter().all(|&(x, y)| x <= 2 && y <= 2));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn ring_traces_outer_boundary() {
+        let b = bitmap_from_ascii(
+            ".......
+             .#####.
+             .#...#.
+             .#...#.
+             .#####.
+             .......",
+        );
+        let c = trace_boundary(&b);
+        // Outer boundary of the 5x4 ring: every ink pixel is on it.
+        assert_eq!(c.len(), 14, "contour was {c:?}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Spanish-like dictionary words (stand-in for the SISAP Spanish
+//! dictionary, 86 062 words).
+//!
+//! A character-bigram Markov model is trained on an embedded lexicon
+//! of real Spanish words (with start/end markers), then sampled to the
+//! requested dictionary size. The generated vocabulary matches the
+//! seed lexicon's length distribution (mean ≈ 8–9 characters) and
+//! bigram statistics, which is what drives edit-distance histograms
+//! and nearest-neighbour behaviour on a natural-language word list.
+//! Diacritics are folded to ASCII so the alphabet is `a..=z` + `ñ→n`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Embedded seed lexicon: common Spanish words (diacritics folded).
+/// Training data for the bigram model *and* the first entries of every
+/// generated dictionary.
+pub const SEED_LEXICON: &[&str] = &[
+    "casa", "perro", "gato", "mesa", "silla", "ventana", "puerta", "libro", "papel", "ciudad",
+    "campo", "montana", "playa", "coche", "camion", "bicicleta", "tren", "avion", "barco", "agua",
+    "fuego", "tierra", "viento", "tiempo", "momento", "historia", "palabra", "frase", "idioma",
+    "lengua", "persona", "hombre", "mujer", "nino", "nina", "familia", "padre", "madre", "hermano",
+    "hermana", "abuelo", "abuela", "amigo", "amiga", "trabajo", "oficina", "escuela",
+    "universidad", "estudiante", "profesor", "maestro", "medico", "enfermera", "abogado",
+    "ingeniero", "musica", "cancion", "baile", "pintura", "cuadro", "museo", "teatro", "cine",
+    "pelicula", "television", "radio", "periodico", "revista", "noticia", "mercado", "tienda",
+    "restaurante", "comida", "desayuno", "almuerzo", "cena", "pan", "leche", "queso", "huevo",
+    "carne", "pescado", "pollo", "arroz", "frijoles", "verdura", "fruta", "manzana", "naranja",
+    "platano", "uva", "fresa", "limon", "tomate", "cebolla", "papa", "zanahoria", "azucar", "sal",
+    "pimienta", "aceite", "vinagre", "vino", "cerveza", "cafe", "te", "jugo", "refresco", "hielo",
+    "cocina", "comedor", "dormitorio", "bano", "jardin", "garaje", "techo", "pared", "suelo",
+    "escalera", "ascensor", "edificio", "apartamento", "calle", "avenida", "plaza", "parque",
+    "puente", "camino", "carretera", "semaforo", "esquina", "barrio", "pueblo", "pais", "mundo",
+    "continente", "oceano", "rio", "lago", "isla", "bosque", "selva", "desierto", "nieve",
+    "lluvia", "tormenta", "nube", "sol", "luna", "estrella", "cielo", "amanecer", "atardecer",
+    "noche", "dia", "semana", "mes", "ano", "siglo", "hora", "minuto", "segundo", "reloj",
+    "calendario", "fecha", "cumpleanos", "fiesta", "regalo", "sorpresa", "alegria", "tristeza",
+    "miedo", "esperanza", "amor", "odio", "paz", "guerra", "libertad", "justicia", "verdad",
+    "mentira", "pregunta", "respuesta", "problema", "solucion", "idea", "pensamiento", "memoria",
+    "recuerdo", "sueno", "realidad", "futuro", "pasado", "presente", "principio", "final",
+    "centro", "lado", "arriba", "abajo", "dentro", "fuera", "cerca", "lejos", "grande", "pequeno",
+    "alto", "bajo", "largo", "corto", "ancho", "estrecho", "gordo", "delgado", "fuerte", "debil",
+    "rapido", "lento", "nuevo", "viejo", "joven", "antiguo", "moderno", "facil", "dificil",
+    "posible", "imposible", "importante", "necesario", "suficiente", "demasiado", "bastante",
+    "poco", "mucho", "todo", "nada", "algo", "alguien", "nadie", "siempre", "nunca", "ahora",
+    "luego", "despues", "antes", "durante", "mientras", "cuando", "donde", "como", "porque",
+    "aunque", "entonces", "tambien", "tampoco", "quizas", "claro", "exacto", "correcto",
+    "equivocado", "verdadero", "falso", "bueno", "malo", "mejor", "peor", "primero", "ultimo",
+    "siguiente", "anterior", "caballo", "vaca", "toro", "oveja", "cabra", "cerdo", "gallina",
+    "pato", "pajaro", "aguila", "paloma", "raton", "conejo", "ardilla", "lobo", "zorro", "oso",
+    "leon", "tigre", "elefante", "jirafa", "mono", "serpiente", "tortuga", "rana", "pez",
+    "tiburon", "ballena", "delfin", "pulpo", "cangrejo", "abeja", "mariposa", "hormiga", "arana",
+    "mosca", "mosquito", "caminar", "correr", "saltar", "nadar", "volar", "subir", "bajar",
+    "entrar", "salir", "llegar", "partir", "viajar", "conducir", "parar", "esperar", "buscar",
+    "encontrar", "perder", "ganar", "comprar", "vender", "pagar", "costar", "deber", "prestar",
+    "devolver", "dar", "recibir", "tomar", "dejar", "poner", "quitar", "abrir", "cerrar",
+    "empezar", "terminar", "seguir", "cambiar", "mejorar", "empeorar", "crecer", "nacer", "vivir",
+    "morir", "comer", "beber", "cocinar", "probar", "dormir", "despertar", "levantar", "sentar",
+    "acostar", "banar", "duchar", "vestir", "lavar", "limpiar", "ordenar", "romper", "arreglar",
+    "construir", "destruir", "crear", "inventar", "descubrir", "aprender", "ensenar", "estudiar",
+    "leer", "escribir", "contar", "hablar", "decir", "preguntar", "responder", "escuchar", "oir",
+    "mirar", "ver", "observar", "mostrar", "explicar", "entender", "comprender", "saber",
+    "conocer", "pensar", "creer", "recordar", "olvidar", "imaginar", "sonar", "querer", "desear",
+    "necesitar", "poder", "intentar", "lograr", "conseguir", "ayudar", "servir", "cuidar",
+    "proteger", "defender", "atacar", "luchar", "jugar", "cantar", "bailar", "tocar", "pintar",
+    "dibujar", "cortar", "pegar", "coser", "tejer", "plantar", "regar", "cosechar", "cazar",
+    "pescar", "trabajador", "panaderia", "carniceria", "farmacia", "hospital", "biblioteca",
+    "iglesia", "catedral", "castillo", "palacio", "torre", "muralla", "fuente", "estatua",
+    "monumento", "bandera", "himno", "gobierno", "presidente", "ministro", "alcalde", "policia",
+    "bombero", "soldado", "ejercito", "batalla", "victoria", "derrota", "campeon", "equipo",
+    "partido", "pelota", "porteria", "cancha", "estadio", "carrera", "meta", "premio", "medalla",
+    "zapato", "calcetin", "pantalon", "camisa", "chaqueta", "abrigo", "bufanda", "guante",
+    "sombrero", "gorra", "vestido", "falda", "cinturon", "bolsillo", "boton", "corbata",
+];
+
+/// A character-bigram Markov model over word characters with explicit
+/// start/end states.
+#[derive(Debug, Clone)]
+pub struct MarkovWordModel {
+    /// 28 states: 26 letters + start marker; state 27 is "end".
+    /// `counts[ctx0][ctx1][next]` over a compact alphabet.
+    counts: Vec<u32>,
+    /// Cumulative tables derived from `counts`, built lazily at train
+    /// time for O(log k) sampling.
+    cumulative: Vec<Vec<(u32, u8)>>,
+    min_len: usize,
+    max_len: usize,
+}
+
+const ALPHA: usize = 26; // a..=z
+const START: usize = ALPHA; // virtual start-of-word symbol
+const END: u8 = ALPHA as u8 + 1; // virtual end-of-word symbol
+const STATES: usize = ALPHA + 1;
+const OUTCOMES: usize = ALPHA + 2;
+
+fn char_index(c: u8) -> usize {
+    debug_assert!(c.is_ascii_lowercase());
+    (c - b'a') as usize
+}
+
+impl MarkovWordModel {
+    /// Train a bigram model from `lexicon` (ASCII lowercase words;
+    /// other bytes are skipped).
+    pub fn train(lexicon: &[&str]) -> MarkovWordModel {
+        let mut counts = vec![0u32; STATES * STATES * OUTCOMES];
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        for word in lexicon {
+            let bytes: Vec<u8> = word.bytes().filter(u8::is_ascii_lowercase).collect();
+            if bytes.is_empty() {
+                continue;
+            }
+            min_len = min_len.min(bytes.len());
+            max_len = max_len.max(bytes.len());
+            let mut ctx = (START, START);
+            for &b in &bytes {
+                let n = char_index(b);
+                counts[(ctx.0 * STATES + ctx.1) * OUTCOMES + n] += 1;
+                ctx = (ctx.1, n);
+            }
+            counts[(ctx.0 * STATES + ctx.1) * OUTCOMES + END as usize] += 1;
+        }
+        // Build cumulative sampling tables per context.
+        let mut cumulative = Vec::with_capacity(STATES * STATES);
+        for ctx in 0..STATES * STATES {
+            let slice = &counts[ctx * OUTCOMES..(ctx + 1) * OUTCOMES];
+            let mut acc = 0u32;
+            let mut table = Vec::new();
+            for (sym, &c) in slice.iter().enumerate() {
+                if c > 0 {
+                    acc += c;
+                    table.push((acc, sym as u8));
+                }
+            }
+            cumulative.push(table);
+        }
+        MarkovWordModel {
+            counts,
+            cumulative,
+            min_len: min_len.min(2),
+            max_len: max_len.max(4),
+        }
+    }
+
+    /// Sample one word. Length is clamped to the lexicon's observed
+    /// range (re-rolling the end decision when too short, forcing an
+    /// end when too long and the context has no escape).
+    pub fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        loop {
+            if let Some(w) = self.try_generate(rng) {
+                return w;
+            }
+        }
+    }
+
+    fn try_generate(&self, rng: &mut StdRng) -> Option<Vec<u8>> {
+        let mut word = Vec::with_capacity(12);
+        let mut ctx = (START, START);
+        loop {
+            let table = &self.cumulative[ctx.0 * STATES + ctx.1];
+            if table.is_empty() {
+                return None; // dead-end context (shouldn't happen after training)
+            }
+            let total = table.last().expect("non-empty").0;
+            let mut pick = rng.random_range(0..total);
+            // Re-draw end decisions outside the allowed length band.
+            let sym = loop {
+                let idx = table.partition_point(|&(acc, _)| acc <= pick);
+                let (_, sym) = table[idx];
+                if sym == END && word.len() < self.min_len && table.len() > 1 {
+                    pick = rng.random_range(0..total);
+                    continue;
+                }
+                break sym;
+            };
+            if sym == END {
+                return Some(word);
+            }
+            word.push(b'a' + sym);
+            if word.len() >= self.max_len {
+                return Some(word);
+            }
+            ctx = (ctx.1, sym as usize);
+        }
+    }
+
+    /// Raw transition count for tests/diagnostics.
+    pub fn count(&self, ctx: (usize, usize), next: usize) -> u32 {
+        self.counts[(ctx.0 * STATES + ctx.1) * OUTCOMES + next]
+    }
+}
+
+/// Generate a deterministic Spanish-like dictionary of `n` distinct
+/// words (as byte strings). The first entries are the embedded seed
+/// lexicon itself (up to `n`); the rest are Markov samples, de-duped.
+///
+/// ```
+/// use cned_datasets::dictionary::spanish_dictionary;
+/// let dict = spanish_dictionary(500, 42);
+/// assert_eq!(dict.len(), 500);
+/// assert!(dict.iter().all(|w| !w.is_empty()));
+/// // Deterministic:
+/// assert_eq!(dict, spanish_dictionary(500, 42));
+/// ```
+pub fn spanish_dictionary(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let model = MarkovWordModel::train(SEED_LEXICON);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(n * 2);
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for w in SEED_LEXICON.iter().take(n) {
+        let bytes = w.as_bytes().to_vec();
+        if seen.insert(bytes.clone()) {
+            out.push(bytes);
+        }
+    }
+    while out.len() < n {
+        let w = model.generate(&mut rng);
+        if seen.insert(w.clone()) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_lexicon_is_clean_ascii_lowercase() {
+        for w in SEED_LEXICON {
+            assert!(!w.is_empty());
+            assert!(
+                w.bytes().all(|b| b.is_ascii_lowercase()),
+                "non-lowercase word {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_lexicon_has_no_duplicates() {
+        let mut set = HashSet::new();
+        for w in SEED_LEXICON {
+            assert!(set.insert(*w), "duplicate seed word {w}");
+        }
+    }
+
+    #[test]
+    fn model_counts_reflect_training_data() {
+        let model = MarkovWordModel::train(&["casa"]);
+        // (START, START) -> 'c'
+        assert_eq!(model.count((START, START), char_index(b'c')), 1);
+        // ('c','a') -> 's'
+        assert_eq!(
+            model.count((char_index(b'c'), char_index(b'a')), char_index(b's')),
+            1
+        );
+        // ('s','a') -> END
+        assert_eq!(
+            model.count((char_index(b's'), char_index(b'a')), END as usize),
+            1
+        );
+    }
+
+    #[test]
+    fn generated_words_are_lowercase_and_bounded() {
+        let model = MarkovWordModel::train(SEED_LEXICON);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let w = model.generate(&mut rng);
+            assert!(!w.is_empty());
+            assert!(w.len() <= model.max_len);
+            assert!(w.iter().all(u8::is_ascii_lowercase));
+        }
+    }
+
+    #[test]
+    fn dictionary_is_deterministic_distinct_and_sized() {
+        let d1 = spanish_dictionary(800, 7);
+        let d2 = spanish_dictionary(800, 7);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 800);
+        let set: HashSet<_> = d1.iter().collect();
+        assert_eq!(set.len(), 800, "words must be distinct");
+    }
+
+    #[test]
+    fn different_seeds_differ_beyond_the_lexicon() {
+        let d1 = spanish_dictionary(600, 1);
+        let d2 = spanish_dictionary(600, 2);
+        assert_ne!(d1, d2);
+        // But both start with the seed lexicon.
+        assert_eq!(d1[0], SEED_LEXICON[0].as_bytes());
+        assert_eq!(d2[0], SEED_LEXICON[0].as_bytes());
+    }
+
+    #[test]
+    fn length_distribution_resembles_spanish() {
+        let d = spanish_dictionary(2000, 3);
+        let mean: f64 = d.iter().map(|w| w.len() as f64).sum::<f64>() / d.len() as f64;
+        assert!(
+            (4.0..=12.0).contains(&mean),
+            "mean word length {mean} outside plausible Spanish range"
+        );
+    }
+
+    #[test]
+    fn small_request_returns_lexicon_prefix() {
+        let d = spanish_dictionary(10, 0);
+        for (i, w) in d.iter().enumerate() {
+            assert_eq!(w, SEED_LEXICON[i].as_bytes());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Gene-like DNA sequences (stand-in for the 20 660 Listeria
+//! monocytogenes genes).
+//!
+//! Sequences over `{A, C, G, T}` are drawn from an order-1 Markov
+//! chain whose transition matrix has mild nearest-neighbour structure
+//! (purine/pyrimidine persistence, ≈38 % GC — in the ballpark of
+//! *Listeria*), with lengths from a log-normal law.
+//!
+//! **Scale substitution (see DESIGN.md):** real gene lengths are
+//! 10³–10⁴ bases; the cubic exact algorithm made even the *paper* fall
+//! back to the heuristic on this dataset. The default length law here
+//! is scaled down (median ≈ 200) so the full experiment sweep stays
+//! laptop-scale; all code paths are identical and the histogram /
+//! intrinsic-dimensionality *shape* (genes = widest relative spread,
+//! lowest ρ) is preserved. Pass a larger [`LengthLaw`] to approach the
+//! original scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nucleotide alphabet used by the generator, as bytes.
+pub const NUCLEOTIDES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Log-normal length law for generated sequences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthLaw {
+    /// Median sequence length (the log-normal's `exp(µ)`).
+    pub median: f64,
+    /// Log-space standard deviation (spread; 0.35–0.5 looks genuinely
+    /// gene-like).
+    pub sigma: f64,
+    /// Hard lower clamp.
+    pub min: usize,
+    /// Hard upper clamp.
+    pub max: usize,
+}
+
+impl Default for LengthLaw {
+    fn default() -> LengthLaw {
+        LengthLaw {
+            median: 200.0,
+            sigma: 0.45,
+            min: 40,
+            max: 700,
+        }
+    }
+}
+
+impl LengthLaw {
+    /// Sample one length.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // Box–Muller: two uniforms -> one standard normal.
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = self.median * (self.sigma * z).exp();
+        (len.round() as usize).clamp(self.min, self.max)
+    }
+}
+
+/// Order-1 Markov transition matrix over `ACGT`, row-stochastic.
+///
+/// Rows/columns are indexed in [`NUCLEOTIDES`] order. The default has
+/// mild self-persistence and a Listeria-like AT bias.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionMatrix(pub [[f64; 4]; 4]);
+
+impl Default for TransitionMatrix {
+    fn default() -> TransitionMatrix {
+        // ~62% AT overall; weak persistence on the diagonal.
+        TransitionMatrix([
+            // to:   A     C     G     T      from:
+            [0.34, 0.17, 0.19, 0.30], // A
+            [0.33, 0.20, 0.17, 0.30], // C
+            [0.30, 0.19, 0.20, 0.31], // G
+            [0.29, 0.18, 0.19, 0.34], // T
+        ])
+    }
+}
+
+impl TransitionMatrix {
+    /// Validate row-stochasticity within tolerance.
+    pub fn is_stochastic(&self) -> bool {
+        self.0
+            .iter()
+            .all(|row| (row.iter().sum::<f64>() - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0))
+    }
+
+    fn step(&self, from: usize, rng: &mut StdRng) -> usize {
+        let row = &self.0[from];
+        let mut u: f64 = rng.random();
+        for (i, &p) in row.iter().enumerate() {
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        3 // numerical slack lands on the last symbol
+    }
+}
+
+/// Generate `n` gene-like sequences with the default length law and
+/// transition matrix.
+///
+/// ```
+/// use cned_datasets::dna::dna_sequences;
+/// let genes = dna_sequences(50, 42);
+/// assert_eq!(genes.len(), 50);
+/// assert!(genes.iter().all(|g| g.iter().all(|b| b"ACGT".contains(b))));
+/// assert_eq!(genes, dna_sequences(50, 42)); // deterministic
+/// ```
+pub fn dna_sequences(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    dna_sequences_with(n, seed, LengthLaw::default(), TransitionMatrix::default())
+}
+
+/// Generate `n` sequences with explicit length law and transition
+/// matrix.
+pub fn dna_sequences_with(
+    n: usize,
+    seed: u64,
+    law: LengthLaw,
+    matrix: TransitionMatrix,
+) -> Vec<Vec<u8>> {
+    assert!(matrix.is_stochastic(), "transition matrix must be row-stochastic");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = law.sample(&mut rng);
+            let mut seq = Vec::with_capacity(len);
+            let mut state = rng.random_range(0..4usize);
+            for _ in 0..len {
+                seq.push(NUCLEOTIDES[state]);
+                state = matrix.step(state, &mut rng);
+            }
+            seq
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_is_stochastic() {
+        assert!(TransitionMatrix::default().is_stochastic());
+    }
+
+    #[test]
+    fn sequences_use_only_nucleotides() {
+        for g in dna_sequences(100, 1) {
+            assert!(g.iter().all(|b| NUCLEOTIDES.contains(b)));
+        }
+    }
+
+    #[test]
+    fn lengths_respect_the_law() {
+        let law = LengthLaw {
+            median: 100.0,
+            sigma: 0.3,
+            min: 50,
+            max: 200,
+        };
+        let seqs = dna_sequences_with(300, 2, law, TransitionMatrix::default());
+        for s in &seqs {
+            assert!((50..=200).contains(&s.len()));
+        }
+        let mean: f64 = seqs.iter().map(|s| s.len() as f64).sum::<f64>() / seqs.len() as f64;
+        assert!((80.0..=130.0).contains(&mean), "mean length {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(dna_sequences(20, 9), dna_sequences(20, 9));
+        assert_ne!(dna_sequences(20, 9), dna_sequences(20, 10));
+    }
+
+    #[test]
+    fn at_bias_roughly_holds() {
+        let seqs = dna_sequences(100, 5);
+        let (mut at, mut total) = (0usize, 0usize);
+        for s in &seqs {
+            for &b in s {
+                if b == b'A' || b == b'T' {
+                    at += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = at as f64 / total as f64;
+        assert!(
+            (0.52..=0.72).contains(&frac),
+            "AT fraction {frac} outside Listeria-like band"
+        );
+    }
+
+    #[test]
+    fn length_law_sampling_is_clamped() {
+        let law = LengthLaw {
+            median: 10.0,
+            sigma: 3.0, // huge spread to stress the clamps
+            min: 5,
+            max: 50,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let l = law.sample(&mut rng);
+            assert!((5..=50).contains(&l));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row-stochastic")]
+    fn non_stochastic_matrix_rejected() {
+        let bad = TransitionMatrix([[0.5; 4]; 4]);
+        dna_sequences_with(1, 0, LengthLaw::default(), bad);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cned-datasets
+//!
+//! Synthetic stand-ins for the three benchmarks of the paper's
+//! Section 4. The originals (SISAP Spanish dictionary, Listeria
+//! monocytogenes genes, NIST SD3 digit contours) are external
+//! downloads; every experiment here instead consumes generators that
+//! reproduce the *string statistics* the experiments actually depend
+//! on — length laws, alphabet sizes, n-gram structure, and class
+//! structure. The substitutions are documented per-dataset in
+//! `DESIGN.md`.
+//!
+//! * [`dictionary`] — Spanish-like words from a character-bigram
+//!   Markov model trained on an embedded lexicon of real Spanish words
+//!   (dataset 1: "A Spanish dictionary with 86062 words").
+//! * [`dna`] — gene-like nucleotide sequences from an order-1 Markov
+//!   chain with a log-normal length law (dataset 2: "20,660 DNA
+//!   sequences of genes of Listeria monocytogenes").
+//! * [`digits`] + [`raster`] + [`contour`] + [`chain`] — a full
+//!   synthetic handwriting pipeline: per-class stroke templates →
+//!   random affine "writer" jitter → rasterised bitmap → Moore
+//!   boundary tracing → 8-direction Freeman chain code (dataset 3:
+//!   "contour strings of handwritten digits from NIST SPECIAL
+//!   DATABASE 3"; the paper stresses "no preprocessing of the digits:
+//!   orientation and sizes are widely different from scribe to
+//!   scribe", which the jitter reproduces).
+//! * [`mod@perturb`] — the `genqueries` equivalent: test queries made by
+//!   applying a fixed number of random edit operations to training
+//!   strings ("a perturbation of two operations over the training
+//!   dataset", §4.3).
+//!
+//! All generators are deterministic given a seed (`StdRng`), so every
+//! experiment and test is reproducible.
+
+pub mod chain;
+pub mod contour;
+pub mod dictionary;
+pub mod digits;
+pub mod dna;
+pub mod perturb;
+pub mod raster;
+
+pub use dictionary::spanish_dictionary;
+pub use digits::{generate_digits, DigitSample};
+pub use dna::dna_sequences;
+pub use perturb::perturb;

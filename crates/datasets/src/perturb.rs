@@ -1,0 +1,129 @@
+//! Query generation by perturbation — the `genqueries` equivalent.
+//!
+//! The paper builds dictionary test queries "using the program
+//! `genqueries` … with a perturbation of two operations over the
+//! training dataset" (§4.3): take a training string and apply a fixed
+//! number of uniformly random edit operations (insert / delete /
+//! substitute at random positions, symbols drawn from a given
+//! alphabet).
+
+use cned_core::ops::EditOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Apply `ops` uniformly random edit operations to `word`.
+///
+/// Operation kinds are drawn uniformly from {insert, delete,
+/// substitute}; deletions/substitutions on an empty string fall back
+/// to insertion. Inserted/substituted symbols come from `alphabet`.
+pub fn perturb(word: &[u8], ops: usize, alphabet: &[u8], rng: &mut StdRng) -> Vec<u8> {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut cur = word.to_vec();
+    for _ in 0..ops {
+        let kind = rng.random_range(0..3u8);
+        let op = if kind == 0 || cur.is_empty() {
+            EditOp::Insert {
+                pos: rng.random_range(0..=cur.len()),
+                sym: alphabet[rng.random_range(0..alphabet.len())],
+            }
+        } else if kind == 1 {
+            EditOp::Delete {
+                pos: rng.random_range(0..cur.len()),
+            }
+        } else {
+            EditOp::Substitute {
+                pos: rng.random_range(0..cur.len()),
+                sym: alphabet[rng.random_range(0..alphabet.len())],
+            }
+        };
+        cur = op.apply(&cur);
+    }
+    cur
+}
+
+/// Generate `n` queries by perturbing strings sampled (with
+/// replacement) from `training`, each with `ops` random operations.
+/// Deterministic in `seed`.
+pub fn gen_queries(
+    training: &[Vec<u8>],
+    n: usize,
+    ops: usize,
+    alphabet: &[u8],
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    assert!(!training.is_empty(), "training set must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let base = &training[rng.random_range(0..training.len())];
+            perturb(base, ops, alphabet, &mut rng)
+        })
+        .collect()
+}
+
+/// The lowercase ASCII alphabet used for dictionary perturbations.
+pub const ASCII_LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::levenshtein::levenshtein;
+
+    #[test]
+    fn zero_ops_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(perturb(b"palabra", 0, ASCII_LOWER, &mut rng), b"palabra");
+    }
+
+    #[test]
+    fn perturbed_distance_is_bounded_by_ops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let q = perturb(b"diccionario", 2, ASCII_LOWER, &mut rng);
+            assert!(levenshtein(b"diccionario", &q) <= 2);
+        }
+    }
+
+    #[test]
+    fn perturbation_usually_changes_the_string() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let changed = (0..100)
+            .filter(|_| perturb(b"palabra", 2, ASCII_LOWER, &mut rng) != b"palabra")
+            .count();
+        assert!(changed > 80, "only {changed}/100 perturbations changed the word");
+    }
+
+    #[test]
+    fn empty_string_perturbation_inserts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let q = perturb(b"", 2, ASCII_LOWER, &mut rng);
+            assert!(q.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn gen_queries_deterministic_and_sized() {
+        let training: Vec<Vec<u8>> = vec![b"uno".to_vec(), b"dos".to_vec(), b"tres".to_vec()];
+        let q1 = gen_queries(&training, 50, 2, ASCII_LOWER, 9);
+        let q2 = gen_queries(&training, 50, 2, ASCII_LOWER, 9);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.len(), 50);
+    }
+
+    #[test]
+    fn queries_stay_near_training_set() {
+        let training: Vec<Vec<u8>> = vec![b"palabra".to_vec(), b"contexto".to_vec()];
+        for q in gen_queries(&training, 30, 2, ASCII_LOWER, 4) {
+            let dmin = training.iter().map(|t| levenshtein(t, &q)).min().unwrap();
+            assert!(dmin <= 2, "query {q:?} drifted {dmin} ops away");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet")]
+    fn empty_alphabet_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        perturb(b"x", 1, &[], &mut rng);
+    }
+}

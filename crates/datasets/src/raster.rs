@@ -1,0 +1,240 @@
+//! Tiny binary rasteriser for the synthetic handwriting pipeline.
+//!
+//! Digit glyphs are defined as polylines and ellipse arcs in the unit
+//! square; this module renders them onto a binary [`Bitmap`] with a
+//! configurable stroke radius, after an affine "writer jitter"
+//! transform. No external imaging dependency — the experiments only
+//! need a boolean grid good enough for boundary tracing.
+
+/// A binary image, row-major, `true` = ink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<bool>,
+}
+
+impl Bitmap {
+    /// A blank `width × height` bitmap.
+    pub fn new(width: usize, height: usize) -> Bitmap {
+        assert!(width > 0 && height > 0, "bitmap must be non-empty");
+        Bitmap {
+            width,
+            height,
+            pixels: vec![false; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor; out-of-bounds reads are background.
+    #[inline]
+    pub fn get(&self, x: i32, y: i32) -> bool {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            false
+        } else {
+            self.pixels[y as usize * self.width + x as usize]
+        }
+    }
+
+    /// Set a pixel; out-of-bounds writes are ignored (strokes may
+    /// jitter past the canvas edge).
+    #[inline]
+    pub fn set(&mut self, x: i32, y: i32) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = true;
+        }
+    }
+
+    /// Number of ink pixels.
+    pub fn ink(&self) -> usize {
+        self.pixels.iter().filter(|&&p| p).count()
+    }
+
+    /// Stamp a filled disc of radius `r` (in pixels) at `(cx, cy)`.
+    pub fn stamp(&mut self, cx: f64, cy: f64, r: f64) {
+        let r_ceil = r.ceil() as i32;
+        let (icx, icy) = (cx.round() as i32, cy.round() as i32);
+        for dy in -r_ceil..=r_ceil {
+            for dx in -r_ceil..=r_ceil {
+                let (fx, fy) = (icx + dx, icy + dy);
+                let (ddx, ddy) = (fx as f64 - cx, fy as f64 - cy);
+                if ddx * ddx + ddy * ddy <= r * r {
+                    self.set(fx, fy);
+                }
+            }
+        }
+    }
+
+    /// Draw a stroked line segment from `(x0, y0)` to `(x1, y1)`
+    /// (pixel coordinates) with stroke radius `r`, by stamping discs
+    /// at sub-pixel steps.
+    pub fn line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, r: f64) {
+        let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+        let steps = (len * 2.0).ceil().max(1.0) as usize;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            self.stamp(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, r);
+        }
+    }
+
+    /// ASCII-art dump for debugging and doc examples ('#' = ink).
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                s.push(if self.pixels[y * self.width + x] { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// An affine transform of the unit square into pixel coordinates,
+/// encoding the "writer jitter" (scale, rotation, shear, translation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Matrix `[[a, b], [c, d]]` applied before translation.
+    pub a: f64,
+    /// Matrix entry (row 0, col 1).
+    pub b: f64,
+    /// Matrix entry (row 1, col 0).
+    pub c: f64,
+    /// Matrix entry (row 1, col 1).
+    pub d: f64,
+    /// Translation x.
+    pub tx: f64,
+    /// Translation y.
+    pub ty: f64,
+}
+
+impl Affine {
+    /// Identity scaled to a `size × size` canvas with a small margin.
+    pub fn canvas(size: usize) -> Affine {
+        let s = size as f64 * 0.8;
+        let m = size as f64 * 0.1;
+        Affine {
+            a: s,
+            b: 0.0,
+            c: 0.0,
+            d: s,
+            tx: m,
+            ty: m,
+        }
+    }
+
+    /// Compose writer jitter on top of `self`: rotation `theta`
+    /// (radians), anisotropic scale `(sx, sy)`, shear `sh` and
+    /// translation `(dx, dy)` in pixels — applied about the canvas
+    /// centre so glyphs stay roughly on-canvas.
+    pub fn jittered(self, theta: f64, sx: f64, sy: f64, sh: f64, dx: f64, dy: f64) -> Affine {
+        // J = R(theta) · Shear(sh) · Scale(sx, sy):
+        //   Shear·Scale = [[sx, sh·sy], [0, sy]]
+        let (sin, cos) = theta.sin_cos();
+        let (ja, jb) = (cos * sx, cos * sh * sy - sin * sy);
+        let (jc, jd) = (sin * sx, sin * sh * sy + cos * sy);
+        // New transform: p -> base(J·(p − c) + c) + (dx, dy), with the
+        // glyph centre c = (0.5, 0.5) in unit space. Matrix = B·J;
+        // translation = B·(c − J·c) + t_base + (dx, dy).
+        let (cx, cy) = (0.5f64, 0.5f64);
+        let (rx, ry) = (cx - (ja * cx + jb * cy), cy - (jc * cx + jd * cy));
+        Affine {
+            a: self.a * ja + self.b * jc,
+            b: self.a * jb + self.b * jd,
+            c: self.c * ja + self.d * jc,
+            d: self.c * jb + self.d * jd,
+            tx: self.a * rx + self.b * ry + self.tx + dx,
+            ty: self.c * rx + self.d * ry + self.ty + dy,
+        }
+    }
+
+    /// Map a unit-square point to pixel coordinates.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.a * x + self.b * y + self.tx, self.c * x + self.d * y + self.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_bitmap_has_no_ink() {
+        let b = Bitmap::new(8, 8);
+        assert_eq!(b.ink(), 0);
+        assert!(!b.get(3, 3));
+        assert!(!b.get(-1, 0));
+        assert!(!b.get(100, 0));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut b = Bitmap::new(8, 8);
+        b.set(2, 5);
+        assert!(b.get(2, 5));
+        // Out of bounds is silently ignored.
+        b.set(-1, -1);
+        b.set(99, 99);
+        assert_eq!(b.ink(), 1);
+    }
+
+    #[test]
+    fn stamp_covers_a_disc() {
+        let mut b = Bitmap::new(16, 16);
+        b.stamp(8.0, 8.0, 2.0);
+        assert!(b.get(8, 8));
+        assert!(b.get(10, 8));
+        assert!(b.get(8, 6));
+        assert!(!b.get(11, 11)); // outside radius 2
+        assert!(b.ink() >= 9);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut b = Bitmap::new(32, 32);
+        b.line(2.0, 2.0, 29.0, 29.0, 1.0);
+        assert!(b.get(2, 2));
+        assert!(b.get(29, 29));
+        assert!(b.get(15, 15) || b.get(16, 16));
+    }
+
+    #[test]
+    fn canvas_affine_keeps_unit_square_inside() {
+        let t = Affine::canvas(32);
+        for &(x, y) in &[(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (1.0, 0.0)] {
+            let (px, py) = t.apply(x, y);
+            assert!((0.0..32.0).contains(&px), "px {px}");
+            assert!((0.0..32.0).contains(&py), "py {py}");
+        }
+    }
+
+    #[test]
+    fn jitter_identity_is_near_base() {
+        let base = Affine::canvas(32);
+        let j = base.jittered(0.0, 1.0, 1.0, 0.0, 0.0, 0.0);
+        for &(x, y) in &[(0.0, 0.0), (1.0, 1.0), (0.3, 0.7)] {
+            let (bx, by) = base.apply(x, y);
+            let (jx, jy) = j.apply(x, y);
+            assert!((bx - jx).abs() < 1e-9 && (by - jy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ascii_dump_dimensions() {
+        let mut b = Bitmap::new(4, 2);
+        b.set(0, 0);
+        let art = b.to_ascii();
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.starts_with('#'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the dataset generators, especially the
+//! raster → contour → chain-code pipeline, whose invariants must hold
+//! for *any* bitmap, not just digit glyphs.
+
+use cned_datasets::chain::{chain_code, freeman_step, replay_chain};
+use cned_datasets::contour::trace_boundary;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::dna::{dna_sequences_with, LengthLaw, TransitionMatrix};
+use cned_datasets::perturb::{perturb, ASCII_LOWER};
+use cned_datasets::raster::Bitmap;
+use cned_core::levenshtein::levenshtein;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random small bitmaps: dimensions 1..=12, arbitrary ink.
+fn bitmap_strategy() -> impl Strategy<Value = Bitmap> {
+    (1usize..=12, 1usize..=12)
+        .prop_flat_map(|(w, h)| {
+            proptest::collection::vec(proptest::bool::weighted(0.35), w * h)
+                .prop_map(move |cells| {
+                    let mut b = Bitmap::new(w, h);
+                    for (i, &ink) in cells.iter().enumerate() {
+                        if ink {
+                            b.set((i % w) as i32, (i / w) as i32);
+                        }
+                    }
+                    b
+                })
+        })
+}
+
+proptest! {
+    // ------------- Moore boundary tracing -------------
+
+    #[test]
+    fn contour_pixels_are_ink_and_adjacent(bmp in bitmap_strategy()) {
+        let c = trace_boundary(&bmp);
+        for &(x, y) in &c {
+            prop_assert!(bmp.get(x, y), "contour pixel ({x},{y}) is background");
+        }
+        for w in c.windows(2) {
+            let (dx, dy) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            prop_assert!(dx.abs() <= 1 && dy.abs() <= 1 && (dx, dy) != (0, 0));
+        }
+        // Closure: last pixel is 8-adjacent to the first (len >= 2).
+        if c.len() >= 2 {
+            let (dx, dy) = (c[0].0 - c[c.len() - 1].0, c[0].1 - c[c.len() - 1].1);
+            prop_assert!(dx.abs() <= 1 && dy.abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn contour_nonempty_iff_ink(bmp in bitmap_strategy()) {
+        let c = trace_boundary(&bmp);
+        prop_assert_eq!(c.is_empty(), bmp.ink() == 0);
+    }
+
+    #[test]
+    fn contour_starts_at_scan_order_first_ink(bmp in bitmap_strategy()) {
+        let c = trace_boundary(&bmp);
+        if let Some(&first) = c.first() {
+            'scan: for y in 0..bmp.height() as i32 {
+                for x in 0..bmp.width() as i32 {
+                    if bmp.get(x, y) {
+                        prop_assert_eq!(first, (x, y));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contour_never_visits_interior(bmp in bitmap_strategy()) {
+        // An interior pixel (all 4-neighbours ink) cannot be on the
+        // outer boundary.
+        let c = trace_boundary(&bmp);
+        for &(x, y) in &c {
+            let interior = bmp.get(x - 1, y) && bmp.get(x + 1, y)
+                && bmp.get(x, y - 1) && bmp.get(x, y + 1)
+                && bmp.get(x - 1, y - 1) && bmp.get(x + 1, y - 1)
+                && bmp.get(x - 1, y + 1) && bmp.get(x + 1, y + 1);
+            prop_assert!(!interior, "interior pixel ({x},{y}) on contour");
+        }
+    }
+
+    // ------------- Freeman chain codes -------------
+
+    #[test]
+    fn chain_code_replays_and_closes(bmp in bitmap_strategy()) {
+        let c = trace_boundary(&bmp);
+        if c.len() >= 2 {
+            let chain = chain_code(&c);
+            prop_assert_eq!(chain.len(), c.len());
+            prop_assert!(chain.iter().all(|&s| s < 8));
+            // Replaying ends back at the start pixel.
+            let replay = replay_chain(c[0], &chain);
+            prop_assert_eq!(*replay.last().unwrap(), c[0]);
+            // Net displacement per axis is zero.
+            let (mut dx, mut dy) = (0i32, 0i32);
+            for &s in &chain {
+                let (a, b) = freeman_step(s);
+                dx += a;
+                dy += b;
+            }
+            prop_assert_eq!((dx, dy), (0, 0));
+        }
+    }
+
+    // ------------- Perturbation (genqueries) -------------
+
+    #[test]
+    fn perturbation_distance_bounded_by_ops(
+        word in proptest::collection::vec(97u8..=99, 0..=12),
+        ops in 0usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = perturb(&word, ops, ASCII_LOWER, &mut rng);
+        prop_assert!(levenshtein(&word, &q) <= ops);
+    }
+
+    // ------------- Generators -------------
+
+    #[test]
+    fn dictionary_prefix_stability(n in 1usize..=400, seed in 0u64..20) {
+        // Generating a bigger dictionary extends, never rewrites, a
+        // smaller one with the same seed (streaming determinism).
+        let small = spanish_dictionary(n, seed);
+        let large = spanish_dictionary(n + 50, seed);
+        prop_assert_eq!(&large[..n], &small[..]);
+    }
+
+    #[test]
+    fn dna_lengths_always_clamped(median in 20.0f64..200.0, sigma in 0.05f64..1.0, seed in 0u64..30) {
+        let law = LengthLaw { median, sigma, min: 10, max: 300 };
+        for s in dna_sequences_with(20, seed, law, TransitionMatrix::default()) {
+            prop_assert!((10..=300).contains(&s.len()));
+        }
+    }
+}

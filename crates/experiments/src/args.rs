@@ -1,0 +1,88 @@
+//! Minimal `key=value` command-line argument parsing for the
+//! experiment binaries — no external dependency, no subcommands.
+//!
+//! ```text
+//! cargo run --release --bin fig3_laesa_dictionary -- training=1000 queries=1000 reps=10
+//! ```
+
+use std::collections::HashMap;
+
+/// Parsed `key=value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (without the program
+    /// name). Arguments not of the form `key=value` are rejected.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        for a in raw {
+            let Some((k, v)) = a.split_once('=') else {
+                return Err(format!("expected key=value, got {a:?}"));
+            };
+            values.insert(k.trim().to_string(), v.trim().to_string());
+        }
+        Ok(Args { values })
+    }
+
+    /// Parse from the process environment, exiting with a usage
+    /// message on malformed input.
+    pub fn from_env() -> Args {
+        match Args::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("argument error: {e}\nusage: <binary> [key=value]...");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Typed lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.values.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("argument error: cannot parse {key}={raw}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Whether a key was provided at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_values() {
+        let a = Args::parse(["n=100".to_string(), "seed=7".to_string()]).unwrap();
+        assert_eq!(a.get("n", 0usize), 100);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert!(a.has("n"));
+        assert!(!a.has("reps"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = Args::parse(std::iter::empty()).unwrap();
+        assert_eq!(a.get("reps", 3usize), 3);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(["nonsense".to_string()]).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let a = Args::parse([" n = 5 ".to_string()]).unwrap();
+        assert_eq!(a.get("n", 0usize), 5);
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 1: histograms of exact vs heuristic contextual distance on
+//! the Spanish dictionary. Args: `samples=2000 bins=100`.
+
+use cned_experiments::args::Args;
+use cned_experiments::fig1;
+
+fn main() -> std::io::Result<()> {
+    let a = Args::from_env();
+    let params = fig1::Params {
+        samples: a.get("samples", fig1::Params::default().samples),
+        bins: a.get("bins", fig1::Params::default().bins),
+        hist_max: a.get("hist_max", fig1::Params::default().hist_max),
+    };
+    println!("running Figure 1 with {params:?}");
+    fig1::run(params).report()
+}

@@ -1,0 +1,16 @@
+//! Figure 2: distance histograms over the genes dataset.
+//! Args: `samples=110 bins=100`.
+
+use cned_experiments::args::Args;
+use cned_experiments::fig2;
+
+fn main() -> std::io::Result<()> {
+    let a = Args::from_env();
+    let d = fig2::Params::default();
+    let params = fig2::Params {
+        samples: a.get("samples", d.samples),
+        bins: a.get("bins", d.bins),
+    };
+    println!("running Figure 2 with {params:?}");
+    fig2::run(params).report()
+}

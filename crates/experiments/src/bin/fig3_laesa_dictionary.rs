@@ -1,0 +1,20 @@
+//! Figure 3: LAESA distance computations & search time vs pivots,
+//! Spanish dictionary. Args: `training=1000 queries=500 reps=5`.
+
+use cned_experiments::args::Args;
+use cned_experiments::laesa_sweep::{self, Params};
+
+fn main() -> std::io::Result<()> {
+    let a = Args::from_env();
+    let mut params = Params::fig3();
+    params.training = a.get("training", params.training);
+    params.queries = a.get("queries", params.queries);
+    params.reps = a.get("reps", params.reps);
+    println!("running Figure 3 with {params:?}");
+    let sweeps = laesa_sweep::run(&params);
+    laesa_sweep::report(
+        &sweeps,
+        "fig3_laesa_dictionary",
+        "Figure 3: LAESA on the Spanish dictionary",
+    )
+}

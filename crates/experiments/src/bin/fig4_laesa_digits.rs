@@ -1,0 +1,20 @@
+//! Figure 4: LAESA distance computations & search time vs pivots,
+//! handwritten digits. Args: `training=250 queries=100 reps=2`.
+
+use cned_experiments::args::Args;
+use cned_experiments::laesa_sweep::{self, Params};
+
+fn main() -> std::io::Result<()> {
+    let a = Args::from_env();
+    let mut params = Params::fig4();
+    params.training = a.get("training", params.training);
+    params.queries = a.get("queries", params.queries);
+    params.reps = a.get("reps", params.reps);
+    println!("running Figure 4 with {params:?}");
+    let sweeps = laesa_sweep::run(&params);
+    laesa_sweep::report(
+        &sweeps,
+        "fig4_laesa_digits",
+        "Figure 4: LAESA on handwritten digits",
+    )
+}

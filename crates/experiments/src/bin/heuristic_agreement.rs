@@ -1,0 +1,19 @@
+//! §4.1: how often d_C,h equals d_C, per dataset.
+//! Args: `dict_pairs=30000 digit_pairs=1500 gene_pairs=400 seed=1`.
+
+use cned_experiments::agreement::{self, Params};
+use cned_experiments::args::Args;
+
+fn main() {
+    let a = Args::from_env();
+    let d = Params::default();
+    let params = Params {
+        dict_pairs: a.get("dict_pairs", d.dict_pairs),
+        digit_pairs: a.get("digit_pairs", d.digit_pairs),
+        gene_pairs: a.get("gene_pairs", d.gene_pairs),
+        seed: a.get("seed", d.seed),
+    };
+    println!("running §4.1 agreement with {params:?}");
+    let results = agreement::run(params);
+    agreement::report(&results);
+}

@@ -1,0 +1,45 @@
+//! Run every experiment with default (single-core-sized) parameters,
+//! filling `results/`. Paper-scale runs: invoke the individual
+//! binaries with explicit `key=value` arguments.
+
+use cned_experiments::{agreement, fig1, fig2, laesa_sweep, table1, table2};
+use std::time::Instant;
+
+fn timed<F: FnOnce()>(name: &str, f: F) {
+    let t = Instant::now();
+    f();
+    println!("[{name} done in {:.1?}]\n", t.elapsed());
+}
+
+fn main() -> std::io::Result<()> {
+    let t0 = Instant::now();
+    timed("fig1", || {
+        fig1::run(fig1::Params::default()).report().expect("fig1 report");
+    });
+    timed("agreement", || {
+        agreement::report(&agreement::run(agreement::Params::default()));
+    });
+    timed("fig2", || {
+        fig2::run(fig2::Params::default()).report().expect("fig2 report");
+    });
+    timed("table1", || {
+        table1::run(table1::Params::default()).report().expect("table1 report");
+    });
+    timed("fig3", || {
+        let p = laesa_sweep::Params::fig3();
+        let sweeps = laesa_sweep::run(&p);
+        laesa_sweep::report(&sweeps, "fig3_laesa_dictionary", "Figure 3: LAESA on the Spanish dictionary")
+            .expect("fig3 report");
+    });
+    timed("fig4", || {
+        let p = laesa_sweep::Params::fig4();
+        let sweeps = laesa_sweep::run(&p);
+        laesa_sweep::report(&sweeps, "fig4_laesa_digits", "Figure 4: LAESA on handwritten digits")
+            .expect("fig4 report");
+    });
+    timed("table2", || {
+        table2::run(table2::Params::default()).report().expect("table2 report");
+    });
+    println!("all experiments done in {:.1?}", t0.elapsed());
+    Ok(())
+}

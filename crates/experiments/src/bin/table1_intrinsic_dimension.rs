@@ -1,0 +1,17 @@
+//! Table 1: intrinsic dimensionality of 5 distances × 3 datasets.
+//! Args: `dict=1500 digits_per_class=15 genes=110`.
+
+use cned_experiments::args::Args;
+use cned_experiments::table1;
+
+fn main() -> std::io::Result<()> {
+    let a = Args::from_env();
+    let d = table1::Params::default();
+    let params = table1::Params {
+        dict: a.get("dict", d.dict),
+        digits_per_class: a.get("digits_per_class", d.digits_per_class),
+        genes: a.get("genes", d.genes),
+    };
+    println!("running Table 1 with {params:?}");
+    table1::run(params).report()
+}

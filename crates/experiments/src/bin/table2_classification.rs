@@ -1,0 +1,18 @@
+//! Table 2: 1-NN digit classification error, LAESA vs exhaustive.
+//! Args: `train_per_class=25 test_per_class=25 reps=1 pivots=20`.
+
+use cned_experiments::args::Args;
+use cned_experiments::table2::{self, Params};
+
+fn main() -> std::io::Result<()> {
+    let a = Args::from_env();
+    let d = Params::default();
+    let params = Params {
+        train_per_class: a.get("train_per_class", d.train_per_class),
+        test_per_class: a.get("test_per_class", d.test_per_class),
+        reps: a.get("reps", d.reps),
+        pivots: a.get("pivots", d.pivots),
+    };
+    println!("running Table 2 with {params:?}");
+    table2::run(params).report()
+}

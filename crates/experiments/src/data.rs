@@ -1,0 +1,57 @@
+//! Standard dataset instances with fixed seeds, shared by all
+//! experiment runners so figures and tables describe the same data.
+
+use cned_datasets::digits::{generate_digits, DigitSample};
+use cned_datasets::dna::dna_sequences;
+use cned_datasets::dictionary::spanish_dictionary;
+
+/// Canonical seed for training-side data.
+pub const TRAIN_SEED: u64 = 0xCED_2008;
+/// Canonical seed for test-side data (digits: "different writers").
+pub const TEST_SEED: u64 = 0xCED_2009;
+
+/// Spanish-like dictionary of `n` words.
+pub fn dictionary(n: usize) -> Vec<Vec<u8>> {
+    spanish_dictionary(n, TRAIN_SEED)
+}
+
+/// Gene-like DNA sequences.
+pub fn genes(n: usize) -> Vec<Vec<u8>> {
+    dna_sequences(n, TRAIN_SEED)
+}
+
+/// Digit chain codes, `per_class` samples per digit (training side).
+pub fn digit_samples(per_class: usize) -> Vec<DigitSample> {
+    generate_digits(per_class, TRAIN_SEED)
+}
+
+/// Digit chain codes from "different writers" (independent jitter
+/// stream — the paper's test digits come from different scribes).
+pub fn digit_samples_test(per_class: usize) -> Vec<DigitSample> {
+    generate_digits(per_class, TEST_SEED)
+}
+
+/// Strip digit samples to bare chains (for unlabelled experiments).
+pub fn chains(samples: &[DigitSample]) -> Vec<Vec<u8>> {
+    samples.iter().map(|s| s.chain.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_stable_across_calls() {
+        assert_eq!(dictionary(50), dictionary(50));
+        assert_eq!(genes(5), genes(5));
+        assert_eq!(digit_samples(2), digit_samples(2));
+    }
+
+    #[test]
+    fn train_and_test_digits_differ() {
+        let a = digit_samples(2);
+        let b = digit_samples_test(2);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(chains(&a), chains(&b));
+    }
+}

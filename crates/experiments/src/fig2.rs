@@ -1,0 +1,181 @@
+//! **Figure 2** — histograms of the four normalised distances
+//! (`d_YB, d_C,h, d_MV, d_max`, top panel) and of the plain
+//! Levenshtein distance (bottom panel) over the genes dataset.
+//!
+//! The paper's observation: the other normalised distances are much
+//! more *concentrated* than the contextual one — `d_YB` in particular
+//! piles up near its saturation value — while `d_C,h` (like raw `d_E`)
+//! spreads widely; concentrated histograms mean high intrinsic
+//! dimensionality and poor discrimination.
+
+use crate::report::{results_dir, write_dat};
+use cned_core::metric::{Distance, DistanceKind};
+use cned_stats::{Histogram, Moments};
+
+/// Parameters for the Figure 2 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Gene sample size (paper ≈ 1000; d_MV/d_C,h cost dominates).
+    pub samples: usize,
+    /// Bins for the normalised-distance histograms over `[0, 3)`.
+    pub bins: usize,
+}
+
+impl Default for Params {
+    fn default() -> Params {
+        Params {
+            samples: 110,
+            bins: 100,
+        }
+    }
+}
+
+/// One distance's histogram + moments.
+pub struct Series {
+    /// Paper label (`d_YB`, …).
+    pub label: &'static str,
+    /// The histogram (normalised panel: `[0,3)`; `d_E`: `[0, max]`).
+    pub histogram: Histogram,
+    /// Moments for ρ.
+    pub moments: Moments,
+}
+
+/// Output: the four normalised series plus the `d_E` series.
+pub struct Output {
+    /// `d_YB, d_C,h, d_MV, d_max` histograms over `[0, 3)`.
+    pub normalised: Vec<Series>,
+    /// Levenshtein histogram (own scale).
+    pub levenshtein: Series,
+    /// Pairs evaluated.
+    pub pairs: u64,
+}
+
+/// Run the experiment.
+pub fn run(p: Params) -> Output {
+    let genes = crate::data::genes(p.samples);
+    let max_len = genes.iter().map(Vec::len).max().unwrap_or(1) as f64;
+
+    let kinds = [
+        DistanceKind::YujianBo,
+        DistanceKind::ContextualHeuristic,
+        DistanceKind::MarzalVidal,
+        DistanceKind::MaxNorm,
+    ];
+    let panel = crate::distance_panel(&kinds);
+
+    let mut normalised: Vec<Series> = panel
+        .iter()
+        .map(|(label, _)| Series {
+            label,
+            histogram: Histogram::new(0.0, 3.0, p.bins),
+            moments: Moments::new(),
+        })
+        .collect();
+    let mut lev = Series {
+        label: "d_E",
+        histogram: Histogram::new(0.0, 2.0 * max_len, p.bins),
+        moments: Moments::new(),
+    };
+
+    let mut pairs = 0u64;
+    for i in 0..genes.len() {
+        for j in (i + 1)..genes.len() {
+            for (series, (_, dist)) in normalised.iter_mut().zip(&panel) {
+                let d = dist.distance(&genes[i], &genes[j]);
+                series.histogram.add(d);
+                series.moments.add(d);
+            }
+            let de = cned_core::levenshtein::levenshtein(&genes[i], &genes[j]) as f64;
+            lev.histogram.add(de);
+            lev.moments.add(de);
+            pairs += 1;
+        }
+    }
+
+    Output {
+        normalised,
+        levenshtein: lev,
+        pairs,
+    }
+}
+
+impl Output {
+    /// Print ρ summary and write
+    /// `results/fig2_gene_histograms_normalised.dat` /
+    /// `results/fig2_gene_histogram_levenshtein.dat`.
+    pub fn report(&self) -> std::io::Result<()> {
+        println!("== Figure 2: gene distance histograms ==");
+        println!("pairs evaluated: {}", self.pairs);
+        for s in self.normalised.iter().chain(std::iter::once(&self.levenshtein)) {
+            println!(
+                "{:<6} mean {:>8.4}  std {:>8.4}  rho {:>7.2}  mode-bin width {:>3}",
+                s.label,
+                s.moments.mean(),
+                s.moments.std_dev(),
+                s.moments.intrinsic_dimensionality().unwrap_or(f64::NAN),
+                s.histogram.bins_above_fraction_of_mode(0.5),
+            );
+        }
+
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for bin in 0..self.normalised[0].histogram.counts().len() {
+            let mut row = vec![self.normalised[0].histogram.bin_center(bin)];
+            for s in &self.normalised {
+                row.push(s.histogram.counts()[bin] as f64);
+            }
+            rows.push(row);
+        }
+        let headers: Vec<&str> = std::iter::once("bin_center")
+            .chain(self.normalised.iter().map(|s| s.label))
+            .collect();
+        let p1 = results_dir().join("fig2_gene_histograms_normalised.dat");
+        write_dat(&p1, &headers, &rows)?;
+
+        let rows_e: Vec<Vec<f64>> = self
+            .levenshtein
+            .histogram
+            .rows()
+            .iter()
+            .map(|&(c, n)| vec![c, n as f64])
+            .collect();
+        let p2 = results_dir().join("fig2_gene_histogram_levenshtein.dat");
+        write_dat(&p2, &["bin_center", "d_E"], &rows_e)?;
+        println!("series written to {} and {}", p1.display(), p2.display());
+        Ok(())
+    }
+
+    /// The paper's qualitative claim, used as a test oracle: the
+    /// contextual histogram is *less concentrated* than `d_YB`'s
+    /// (its std/mean ratio is larger).
+    pub fn contextual_spreads_more_than_yb(&self) -> bool {
+        let find = |label: &str| {
+            self.normalised
+                .iter()
+                .find(|s| s.label == label)
+                .expect("series present")
+        };
+        let spread = |s: &Series| s.moments.std_dev() / s.moments.mean().max(1e-12);
+        spread(find("d_C,h")) > spread(find("d_YB"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_shapes_hold() {
+        let out = run(Params {
+            samples: 30,
+            bins: 60,
+        });
+        assert_eq!(out.pairs, 30 * 29 / 2);
+        assert_eq!(out.normalised.len(), 4);
+        assert!(out.contextual_spreads_more_than_yb());
+        // Every histogram saw every pair.
+        for s in &out.normalised {
+            assert_eq!(s.histogram.total(), out.pairs);
+        }
+        assert_eq!(out.levenshtein.histogram.total(), out.pairs);
+    }
+}

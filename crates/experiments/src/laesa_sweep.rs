@@ -1,0 +1,295 @@
+//! **Figures 3 & 4** — LAESA: average distance computations and search
+//! time per query as a function of the number of pivots (base
+//! prototypes), for the five distances of the paper's panel.
+//!
+//! Protocol (paper §4.3): repeated experiments with fresh prototype
+//! sets; dictionary queries are `genqueries`-style 2-op perturbations
+//! of training words; digit queries come from different writers.
+//! Pivot sweeps reuse one LAESA build per (repetition, distance) via
+//! [`cned_search::laesa::Laesa::nn_limited`] — greedy pivot selection
+//! is incremental, so the first `p` pivots equal a dedicated
+//! `p`-pivot build.
+//!
+//! The paper's claims we reproduce:
+//! * `d_C,h` needs about as few distance computations as `d_E` —
+//!   markedly fewer than `d_YB` (whose concentrated histogram makes
+//!   elimination ineffective);
+//! * per-distance computation *time* ranks the contextual heuristic
+//!   ≈2× Levenshtein, compensated by fewer computations.
+
+use crate::report::{results_dir, write_dat};
+use cned_core::metric::DistanceKind;
+use cned_datasets::digits::generate_digits;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned_search::laesa::Laesa;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_stats::Moments;
+use std::time::Instant;
+
+/// Which benchmark the sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepDataset {
+    /// Figure 3: Spanish dictionary, queries = 2-op perturbations.
+    Dictionary,
+    /// Figure 4: handwritten digits, queries from different writers.
+    Digits,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// The benchmark.
+    pub dataset: SweepDataset,
+    /// Training set size (paper: 1000).
+    pub training: usize,
+    /// Queries per repetition (paper: 1000).
+    pub queries: usize,
+    /// Repetitions with fresh prototype sets (paper: 10).
+    pub reps: usize,
+    /// Pivot counts to evaluate (paper: 0–300).
+    pub pivots: Vec<usize>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Defaults for Figure 3 (word distances are cheap — close to
+    /// paper scale).
+    pub fn fig3() -> Params {
+        Params {
+            dataset: SweepDataset::Dictionary,
+            training: 1000,
+            queries: 500,
+            reps: 5,
+            pivots: vec![10, 25, 50, 75, 100, 150, 200, 250, 300],
+            seed: 11,
+        }
+    }
+
+    /// Defaults for Figure 4 (chain-code `d_MV` costs ≈1 ms/pair, so
+    /// the default scale is reduced; raise via CLI for paper scale).
+    pub fn fig4() -> Params {
+        Params {
+            dataset: SweepDataset::Digits,
+            training: 250,
+            queries: 100,
+            reps: 2,
+            pivots: vec![5, 10, 25, 50, 75, 100],
+            seed: 12,
+        }
+    }
+}
+
+/// One point of one distance's sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Number of pivots.
+    pub pivots: usize,
+    /// Mean distance computations per query.
+    pub avg_computations: f64,
+    /// Standard deviation of per-query computations.
+    pub std_computations: f64,
+    /// Mean wall-clock search time per query, seconds.
+    pub avg_time_s: f64,
+}
+
+/// A full sweep for one distance.
+#[derive(Debug, Clone)]
+pub struct DistanceSweep {
+    /// Paper label.
+    pub label: &'static str,
+    /// One point per pivot count.
+    pub points: Vec<SweepPoint>,
+}
+
+fn make_data(p: &Params, rep: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let rep_seed = p.seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9);
+    match p.dataset {
+        SweepDataset::Dictionary => {
+            // Fresh prototype set per repetition: disjoint slices of a
+            // larger generated dictionary.
+            let pool = spanish_dictionary(p.training * p.reps, crate::data::TRAIN_SEED);
+            let training: Vec<Vec<u8>> =
+                pool[rep * p.training..(rep + 1) * p.training].to_vec();
+            let queries = gen_queries(&training, p.queries, 2, ASCII_LOWER, rep_seed);
+            (training, queries)
+        }
+        SweepDataset::Digits => {
+            let per_class = p.training.div_ceil(10);
+            let train = generate_digits(per_class, crate::data::TRAIN_SEED ^ rep_seed);
+            let test = generate_digits(
+                p.queries.div_ceil(10),
+                crate::data::TEST_SEED ^ rep_seed,
+            );
+            let training: Vec<Vec<u8>> =
+                train.iter().take(p.training).map(|s| s.chain.clone()).collect();
+            let queries: Vec<Vec<u8>> =
+                test.iter().take(p.queries).map(|s| s.chain.clone()).collect();
+            (training, queries)
+        }
+    }
+}
+
+/// Run the sweep for the paper's five-distance panel.
+pub fn run(p: &Params) -> Vec<DistanceSweep> {
+    let panel = crate::distance_panel(&DistanceKind::PAPER_PANEL);
+    let max_pivots = p.pivots.iter().copied().max().unwrap_or(0);
+
+    // Accumulators: per distance, per pivot-count.
+    let mut comp_moments = vec![vec![Moments::new(); p.pivots.len()]; panel.len()];
+    let mut time_total = vec![vec![0.0f64; p.pivots.len()]; panel.len()];
+    let mut query_counts = vec![vec![0u64; p.pivots.len()]; panel.len()];
+
+    for rep in 0..p.reps {
+        let (training, queries) = make_data(p, rep);
+        for (di, (_, dist)) in panel.iter().enumerate() {
+            let piv = select_pivots_max_sum(&training, max_pivots, 0, dist.as_ref());
+            let index = Laesa::build(training.clone(), piv, dist.as_ref());
+            for (pi, &pcount) in p.pivots.iter().enumerate() {
+                let t0 = Instant::now();
+                for q in &queries {
+                    let (_, stats) = index
+                        .nn_limited(q, dist.as_ref(), pcount)
+                        .expect("non-empty training set");
+                    comp_moments[di][pi].add(stats.distance_computations as f64);
+                }
+                time_total[di][pi] += t0.elapsed().as_secs_f64();
+                query_counts[di][pi] += queries.len() as u64;
+            }
+        }
+    }
+
+    panel
+        .iter()
+        .enumerate()
+        .map(|(di, (label, _))| DistanceSweep {
+            label,
+            points: p
+                .pivots
+                .iter()
+                .enumerate()
+                .map(|(pi, &pcount)| SweepPoint {
+                    pivots: pcount,
+                    avg_computations: comp_moments[di][pi].mean(),
+                    std_computations: comp_moments[di][pi].std_dev(),
+                    avg_time_s: time_total[di][pi] / query_counts[di][pi] as f64,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Print the sweep and write the two `.dat` series (computations,
+/// times) named after `stem` (e.g. `fig3_dictionary`).
+pub fn report(sweeps: &[DistanceSweep], stem: &str, title: &str) -> std::io::Result<()> {
+    println!("== {title} ==");
+    print!("{:>8}", "pivots");
+    for s in sweeps {
+        print!(" {:>10}", s.label);
+    }
+    println!("   (avg distance computations per query)");
+    let npoints = sweeps[0].points.len();
+    for i in 0..npoints {
+        print!("{:>8}", sweeps[0].points[i].pivots);
+        for s in sweeps {
+            print!(" {:>10.1}", s.points[i].avg_computations);
+        }
+        println!();
+    }
+    print!("{:>8}", "pivots");
+    for s in sweeps {
+        print!(" {:>10}", s.label);
+    }
+    println!("   (avg search time per query, microseconds)");
+    for i in 0..npoints {
+        print!("{:>8}", sweeps[0].points[i].pivots);
+        for s in sweeps {
+            print!(" {:>10.1}", s.points[i].avg_time_s * 1e6);
+        }
+        println!();
+    }
+
+    let headers: Vec<String> = std::iter::once("pivots".to_string())
+        .chain(sweeps.iter().flat_map(|s| {
+            [
+                s.label.to_string(),
+                format!("{}_std", s.label),
+                format!("{}_time_us", s.label),
+            ]
+        }))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<f64>> = (0..npoints)
+        .map(|i| {
+            let mut row = vec![sweeps[0].points[i].pivots as f64];
+            for s in sweeps {
+                row.push(s.points[i].avg_computations);
+                row.push(s.points[i].std_computations);
+                row.push(s.points[i].avg_time_s * 1e6);
+            }
+            row
+        })
+        .collect();
+    let path = results_dir().join(format!("{stem}.dat"));
+    write_dat(&path, &header_refs, &rows)?;
+    println!("series written to {}", path.display());
+    Ok(())
+}
+
+/// Qualitative oracle used by tests and EXPERIMENTS.md: with ample
+/// pivots, the metric distances (`d_E`, and `d_C,h` in practice)
+/// eliminate most of the database, while `d_YB` (concentrated
+/// histogram) eliminates least — i.e. needs the most computations.
+pub fn yb_needs_most_computations(sweeps: &[DistanceSweep]) -> bool {
+    let find = |label: &str| sweeps.iter().find(|s| s.label == label).expect("series");
+    let last = |s: &DistanceSweep| s.points.last().expect("points").avg_computations;
+    let yb = last(find("d_YB"));
+    yb >= last(find("d_E")) && yb >= last(find("d_C,h"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dictionary_sweep_runs_and_orders() {
+        let p = Params {
+            dataset: SweepDataset::Dictionary,
+            training: 150,
+            queries: 40,
+            reps: 2,
+            pivots: vec![5, 20, 60],
+            seed: 3,
+        };
+        let sweeps = run(&p);
+        assert_eq!(sweeps.len(), 5);
+        for s in &sweeps {
+            assert_eq!(s.points.len(), 3);
+            for pt in &s.points {
+                assert!(pt.avg_computations >= 1.0);
+                assert!(pt.avg_computations <= 150.0);
+            }
+        }
+        assert!(yb_needs_most_computations(&sweeps), "{sweeps:?}");
+    }
+
+    #[test]
+    fn pivots_reduce_computations_for_levenshtein() {
+        let p = Params {
+            dataset: SweepDataset::Dictionary,
+            training: 200,
+            queries: 40,
+            reps: 1,
+            pivots: vec![2, 40],
+            seed: 5,
+        };
+        let sweeps = run(&p);
+        let de = sweeps.iter().find(|s| s.label == "d_E").unwrap();
+        assert!(
+            de.points[1].avg_computations < de.points[0].avg_computations,
+            "{:?}",
+            de.points
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # cned-experiments
+//!
+//! One runner per table/figure of the paper's Section 4, plus the
+//! §4.1 heuristic-agreement measurement. Every runner:
+//!
+//! * prints the paper's rows/series to stdout in a comparable layout;
+//! * writes gnuplot-ready `.dat` series into `results/`;
+//! * is deterministic given its seed parameters;
+//! * accepts scaled-down defaults sized for a single-core run of a few
+//!   minutes, with paper-scale parameters reachable via `key=value`
+//!   command-line arguments (see [`args`]).
+//!
+//! | experiment | binary | paper artefact |
+//! |---|---|---|
+//! | [`fig1`] | `fig1_heuristic_histogram` | Figure 1 — histograms of `d_C` vs `d_C,h` (Spanish dictionary) |
+//! | [`agreement`] | `heuristic_agreement` | §4.1 — how often `d_C,h = d_C`, deviation sizes |
+//! | [`fig2`] | `fig2_gene_histograms` | Figure 2 — histograms of normalised distances + `d_E` (genes) |
+//! | [`table1`] | `table1_intrinsic_dimension` | Table 1 — intrinsic dimensionality, 5 distances × 3 datasets |
+//! | [`laesa_sweep`] | `fig3_laesa_dictionary` | Figure 3 — LAESA computations & time vs pivots (dictionary) |
+//! | [`laesa_sweep`] | `fig4_laesa_digits` | Figure 4 — same on handwritten digits |
+//! | [`table2`] | `table2_classification` | Table 2 — 1-NN error rate, LAESA vs exhaustive, 6 distances |
+//!
+//! `run_all` executes everything with default parameters and fills
+//! `results/`.
+
+pub mod agreement;
+pub mod args;
+pub mod data;
+pub mod fig1;
+pub mod fig2;
+pub mod laesa_sweep;
+pub mod report;
+pub mod table1;
+pub mod table2;
+
+/// Distances evaluated in most figures, with paper labels, as boxed
+/// trait objects over byte symbols.
+pub fn distance_panel(
+    kinds: &[cned_core::metric::DistanceKind],
+) -> Vec<(&'static str, Box<dyn cned_core::metric::Distance<u8>>)> {
+    kinds.iter().map(|k| (k.label(), k.build::<u8>())).collect()
+}

@@ -1,0 +1,62 @@
+//! Result files: gnuplot-ready `.dat` tables under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory all experiment outputs go to (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("CNED_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Write a whitespace-separated data table with a `#`-prefixed header
+/// line — the format gnuplot, numpy and R all ingest directly.
+pub fn write_dat(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "# {}", header.join("\t"))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", line.join("\t"))?;
+    }
+    Ok(())
+}
+
+/// Write a free-form text report (the printed table, for archival).
+pub fn write_text(path: &Path, content: &str) -> std::io::Result<()> {
+    fs::write(path, content)
+}
+
+/// Format a float cell with sensible width for console tables.
+pub fn cell(v: f64) -> String {
+    if v == 0.0 || (0.01..100000.0).contains(&v.abs()) {
+        format!("{v:>10.2}")
+    } else {
+        format!("{v:>10.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dat_roundtrip() {
+        let dir = std::env::temp_dir().join("cned_report_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.dat");
+        write_dat(&p, &["x", "y"], &[vec![1.0, 2.0], vec![3.5, -4.0]]).unwrap();
+        let content = fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("# x\ty"));
+        assert!(content.contains("3.5\t-4"));
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(5.0).trim(), "5.00");
+        assert!(cell(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,210 @@
+//! AESA — Approximating and Eliminating Search Algorithm.
+//!
+//! The quadratic-memory ancestor of LAESA: preprocessing stores the
+//! **full pairwise distance matrix** of the database (`O(n²)` time and
+//! memory), and at query time *every* computed element acts as a
+//! pivot, tightening the lower bound of all remaining candidates. AESA
+//! famously achieves an (empirically) constant number of distance
+//! computations per query — at a preprocessing price that is
+//! prohibitive for large `n`, which is exactly the gap LAESA \[5\]
+//! closes. Included as the reference point discussed with \[6\]
+//! (Rico-Juan & Micó compare AESA and LAESA with string edit
+//! distances).
+
+use crate::{Neighbour, SearchStats};
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+
+/// An AESA index: the full pairwise distance matrix.
+pub struct Aesa<S: Symbol> {
+    db: Vec<Vec<S>>,
+    /// Row-major `n × n` matrix; `matrix[i*n + j] = d(db[i], db[j])`.
+    matrix: Vec<f64>,
+    preprocessing_computations: u64,
+}
+
+impl<S: Symbol> Aesa<S> {
+    /// Build the full matrix: `n·(n−1)/2` distance computations.
+    pub fn build<D: Distance<S> + ?Sized>(db: Vec<Vec<S>>, dist: &D) -> Aesa<S> {
+        let n = db.len();
+        let mut matrix = vec![0.0f64; n * n];
+        let mut computations = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist.distance(&db[i], &db[j]);
+                computations += 1;
+                matrix[i * n + j] = d;
+                matrix[j * n + i] = d;
+            }
+        }
+        Aesa {
+            db,
+            matrix,
+            preprocessing_computations: computations,
+        }
+    }
+
+    /// The database the index was built over.
+    pub fn database(&self) -> &[Vec<S>] {
+        &self.db
+    }
+
+    /// Distance computations spent building the matrix.
+    pub fn preprocessing_computations(&self) -> u64 {
+        self.preprocessing_computations
+    }
+
+    /// Nearest neighbour of `query`; every computed element updates
+    /// every candidate's lower bound.
+    pub fn nn<D: Distance<S> + ?Sized>(
+        &self,
+        query: &[S],
+        dist: &D,
+    ) -> Option<(Neighbour, SearchStats)> {
+        let n = self.db.len();
+        if n == 0 {
+            return None;
+        }
+        let mut alive = vec![true; n];
+        let mut lower = vec![0.0f64; n];
+        let mut n_alive = n;
+        let mut computations = 0u64;
+        let mut best = Neighbour {
+            index: usize::MAX,
+            distance: f64::INFINITY,
+        };
+        let mut selected = Some(0usize);
+
+        while let Some(s) = selected.take() {
+            let d = dist.distance(&self.db[s], query);
+            computations += 1;
+            if d < best.distance {
+                best = Neighbour { index: s, distance: d };
+            }
+            alive[s] = false;
+            n_alive -= 1;
+
+            // Every computed element is a pivot in AESA.
+            let row = &self.matrix[s * n..(s + 1) * n];
+            let mut next: Option<(usize, f64)> = None;
+            for u in 0..n {
+                if !alive[u] {
+                    continue;
+                }
+                let g = (d - row[u]).abs();
+                if g > lower[u] {
+                    lower[u] = g;
+                }
+                if lower[u] > best.distance {
+                    alive[u] = false;
+                    n_alive -= 1;
+                } else if next.is_none_or(|(_, bg)| lower[u] < bg) {
+                    next = Some((u, lower[u]));
+                }
+            }
+            if n_alive == 0 {
+                break;
+            }
+            // `next` may have been eliminated later in the same sweep
+            // or missed (eliminated candidates skipped) — re-scan only
+            // if needed.
+            selected = match next {
+                Some((u, _)) if alive[u] => Some(u),
+                _ => {
+                    let mut fallback: Option<(usize, f64)> = None;
+                    for u in 0..n {
+                        if alive[u] && fallback.is_none_or(|(_, bg)| lower[u] < bg) {
+                            fallback = Some((u, lower[u]));
+                        }
+                    }
+                    fallback.map(|(u, _)| u)
+                }
+            };
+        }
+
+        Some((
+            best,
+            SearchStats {
+                distance_computations: computations,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laesa::Laesa;
+    use crate::linear::linear_nn;
+    use crate::pivots::select_pivots_max_sum;
+    use cned_core::levenshtein::Levenshtein;
+
+    fn corpus(n: usize, len: usize, alphabet: u8, seed: u64) -> Vec<Vec<u8>> {
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let l = 1 + (rng() % len as u64) as usize;
+                (0..l).map(|_| b'a' + (rng() % alphabet as u64) as u8).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_db_returns_none() {
+        let idx: Aesa<u8> = Aesa::build(Vec::new(), &Levenshtein);
+        assert!(idx.nn(b"x", &Levenshtein).is_none());
+    }
+
+    #[test]
+    fn matrix_preprocessing_count() {
+        let db = corpus(20, 6, 3, 9);
+        let idx = Aesa::build(db, &Levenshtein);
+        assert_eq!(idx.preprocessing_computations(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        let db = corpus(100, 9, 3, 19);
+        let queries = corpus(30, 9, 3, 191);
+        let idx = Aesa::build(db.clone(), &Levenshtein);
+        for q in &queries {
+            let (l_nn, _) = linear_nn(&db, q, &Levenshtein).unwrap();
+            let (a_nn, _) = idx.nn(q, &Levenshtein).unwrap();
+            assert_eq!(a_nn.distance, l_nn.distance, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn aesa_uses_no_more_computations_than_laesa_on_average() {
+        let db = corpus(200, 10, 3, 29);
+        let queries = corpus(25, 10, 3, 291);
+        let aesa = Aesa::build(db.clone(), &Levenshtein);
+        let pivots = select_pivots_max_sum(&db, 12, 0, &Levenshtein);
+        let laesa = Laesa::build(db, pivots, &Levenshtein);
+        let (mut a_total, mut l_total) = (0u64, 0u64);
+        for q in &queries {
+            a_total += aesa.nn(q, &Levenshtein).unwrap().1.distance_computations;
+            l_total += laesa.nn(q, &Levenshtein).unwrap().1.distance_computations;
+        }
+        assert!(
+            a_total <= l_total,
+            "AESA ({a_total}) should not exceed LAESA ({l_total}) in total computations"
+        );
+    }
+
+    #[test]
+    fn finds_exact_member_with_few_computations() {
+        let db = corpus(150, 8, 3, 41);
+        let probe = db[42].clone();
+        let idx = Aesa::build(db, &Levenshtein);
+        let (nn, stats) = idx.nn(&probe, &Levenshtein).unwrap();
+        assert_eq!(nn.distance, 0.0);
+        assert!(stats.distance_computations < 150);
+    }
+}

@@ -1,0 +1,125 @@
+//! Distance-evaluation counting.
+//!
+//! Figures 3–4 of the paper plot "number of distance computations" —
+//! the honest currency of metric-space search, independent of machine
+//! speed. [`CountingDistance`] wraps any distance and counts every
+//! real evaluation through an atomic, so the same wrapper works from
+//! the multi-threaded experiment drivers.
+
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`Distance`] decorator that counts evaluations.
+///
+/// ```
+/// use cned_core::levenshtein::Levenshtein;
+/// use cned_core::metric::Distance;
+/// use cned_search::counter::CountingDistance;
+///
+/// let d = CountingDistance::new(Levenshtein);
+/// let _ = d.distance(b"ab", b"ba");
+/// let _ = d.distance(b"ab", b"ab");
+/// assert_eq!(d.count(), 2);
+/// d.reset();
+/// assert_eq!(d.count(), 0);
+/// ```
+pub struct CountingDistance<D> {
+    inner: D,
+    count: AtomicU64,
+}
+
+impl<D> CountingDistance<D> {
+    /// Wrap `inner`, starting the counter at zero.
+    pub fn new(inner: D) -> CountingDistance<D> {
+        CountingDistance {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of distance evaluations since construction or the last
+    /// [`CountingDistance::reset`].
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset the counter to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Take the current count and reset — convenient for per-query
+    /// accounting in loops.
+    pub fn take(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
+
+    /// Access the wrapped distance.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<S: Symbol, D: Distance<S>> Distance<S> for CountingDistance<D> {
+    fn distance(&self, a: &[S], b: &[S]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn is_metric(&self) -> bool {
+        self.inner.is_metric()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::levenshtein::Levenshtein;
+
+    #[test]
+    fn counts_every_evaluation() {
+        let d = CountingDistance::new(Levenshtein);
+        for _ in 0..5 {
+            let _ = d.distance(b"abc", b"abd");
+        }
+        assert_eq!(d.count(), 5);
+    }
+
+    #[test]
+    fn take_resets() {
+        let d = CountingDistance::new(Levenshtein);
+        let _ = d.distance(b"a", b"b");
+        assert_eq!(d.take(), 1);
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn forwards_name_and_metric_flag() {
+        let d = CountingDistance::new(Levenshtein);
+        assert_eq!(Distance::<u8>::name(&d), "d_E");
+        assert!(Distance::<u8>::is_metric(&d));
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let d = std::sync::Arc::new(CountingDistance::new(Levenshtein));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let _ = d.distance(b"abc", b"abd");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.count(), 400);
+    }
+}

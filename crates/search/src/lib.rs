@@ -1,0 +1,60 @@
+//! # cned-search
+//!
+//! Nearest-neighbour search over arbitrary [`cned_core::metric::Distance`]s,
+//! implementing the machinery of the paper's Section 4.3:
+//!
+//! * [`laesa`] — **LAESA** (Micó, Oncina & Vidal 1994, ref \[5\]):
+//!   linear preprocessing time and memory; at query time, distances to
+//!   a fixed set of *pivots* (base prototypes) give triangle-inequality
+//!   lower bounds that eliminate most candidates, so only a handful of
+//!   real distance computations remain. This is the engine behind
+//!   Figures 3–4 and the "LAESA" column of Table 2.
+//! * [`aesa`] — AESA (ref \[6\] context): the quadratic-memory variant
+//!   that stores the full pairwise matrix and uses *every* computed
+//!   distance as a pivot; fewest computations, largest preprocessing.
+//! * [`linear`] — exhaustive scan: the "Exhaustive search" column of
+//!   Table 2 and the correctness oracle for the tests.
+//! * [`pivots`] — greedy maximum-sum pivot selection (the classic
+//!   LAESA strategy) and a random baseline for the ablation bench.
+//! * [`vptree`] — a vantage-point tree, backing the paper's remark
+//!   that its results "apply in similar cases" for other
+//!   metric-property-based methods.
+//! * [`counter`] — a `Distance` wrapper counting real distance
+//!   evaluations, the y-axis of Figures 3–4.
+//!
+//! Elimination via lower bounds is only *sound* when the distance is a
+//! metric — with a non-metric (e.g. `d_max`) LAESA may return a
+//! non-optimal neighbour. The paper exploits exactly this contrast
+//! (Table 2 shows `d_max` LAESA ≠ exhaustive); these implementations
+//! accept non-metrics and reproduce that behaviour.
+
+pub mod aesa;
+pub mod counter;
+pub mod laesa;
+pub mod linear;
+pub mod pivots;
+pub mod vptree;
+
+pub use aesa::Aesa;
+pub use counter::CountingDistance;
+pub use laesa::Laesa;
+pub use linear::{linear_knn, linear_nn};
+pub use pivots::{select_pivots_max_sum, select_pivots_random};
+pub use vptree::VpTree;
+
+/// The outcome of a nearest-neighbour query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbour {
+    /// Index of the neighbour in the database.
+    pub index: usize,
+    /// Its distance to the query.
+    pub distance: f64,
+}
+
+/// Search statistics reported alongside results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of real distance evaluations performed for the query
+    /// (excluding preprocessing).
+    pub distance_computations: u64,
+}

@@ -1,0 +1,126 @@
+//! Exhaustive (linear-scan) nearest-neighbour search.
+//!
+//! Computes the distance from the query to *every* database element —
+//! `n` distance computations, no preprocessing, correct for any
+//! distance function (metric or not). This is the "Exhaustive search"
+//! column of Table 2 and the correctness oracle for LAESA/AESA tests.
+
+use crate::{Neighbour, SearchStats};
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+
+/// Nearest neighbour of `query` in `db` by exhaustive scan.
+///
+/// Ties are broken towards the smallest index. Returns `None` on an
+/// empty database.
+pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
+    db: &[Vec<S>],
+    query: &[S],
+    dist: &D,
+) -> Option<(Neighbour, SearchStats)> {
+    let mut best: Option<Neighbour> = None;
+    for (i, item) in db.iter().enumerate() {
+        let d = dist.distance(item, query);
+        if best.is_none_or(|b| d < b.distance) {
+            best = Some(Neighbour { index: i, distance: d });
+        }
+    }
+    best.map(|b| {
+        (
+            b,
+            SearchStats {
+                distance_computations: db.len() as u64,
+            },
+        )
+    })
+}
+
+/// The `k` nearest neighbours of `query` in `db`, sorted by increasing
+/// distance (ties towards smaller index). Returns fewer than `k`
+/// entries when the database is smaller than `k`.
+pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
+    db: &[Vec<S>],
+    query: &[S],
+    dist: &D,
+    k: usize,
+) -> (Vec<Neighbour>, SearchStats) {
+    let stats = SearchStats {
+        distance_computations: db.len() as u64,
+    };
+    if k == 0 {
+        return (Vec::new(), stats);
+    }
+    let mut all: Vec<Neighbour> = db
+        .iter()
+        .enumerate()
+        .map(|(i, item)| Neighbour {
+            index: i,
+            distance: dist.distance(item, query),
+        })
+        .collect();
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("distances must not be NaN")
+            .then(a.index.cmp(&b.index))
+    });
+    all.truncate(k);
+    (all, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::levenshtein::Levenshtein;
+
+    fn db() -> Vec<Vec<u8>> {
+        [&b"casa"[..], b"cosa", b"masa", b"taza", b"cesta"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_obvious_neighbour() {
+        let (nn, stats) = linear_nn(&db(), b"casa", &Levenshtein).unwrap();
+        assert_eq!(nn.index, 0);
+        assert_eq!(nn.distance, 0.0);
+        assert_eq!(stats.distance_computations, 5);
+    }
+
+    #[test]
+    fn empty_db_returns_none() {
+        let db: Vec<Vec<u8>> = Vec::new();
+        assert!(linear_nn(&db, b"x", &Levenshtein).is_none());
+    }
+
+    #[test]
+    fn tie_breaks_to_first_index() {
+        // "casa" and "cosa" are both at distance 1 from "cysa"... make
+        // a clean tie: query "c?sa" pattern equidistant from both.
+        let db: Vec<Vec<u8>> = vec![b"aa".to_vec(), b"bb".to_vec()];
+        let (nn, _) = linear_nn(&db, b"ab", &Levenshtein).unwrap();
+        assert_eq!(nn.index, 0);
+    }
+
+    #[test]
+    fn knn_sorted_and_truncated() {
+        let (nns, stats) = linear_knn(&db(), b"casa", &Levenshtein, 3);
+        assert_eq!(nns.len(), 3);
+        assert!(nns.windows(2).all(|w| w[0].distance <= w[1].distance));
+        assert_eq!(nns[0].index, 0);
+        assert_eq!(stats.distance_computations, 5);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_db() {
+        let (nns, _) = linear_knn(&db(), b"casa", &Levenshtein, 100);
+        assert_eq!(nns.len(), 5);
+    }
+
+    #[test]
+    fn knn_zero_is_empty() {
+        let (nns, _) = linear_knn(&db(), b"casa", &Levenshtein, 0);
+        assert!(nns.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Vantage-point tree — a second triangle-inequality index, included
+//! to back the paper's §4.3 remark that "in the literature there
+//! exist other methods that also use the metric properties of the
+//! distances to accelerate the search, and we argue that our results
+//! will apply in similar cases".
+//!
+//! Construction recursively picks a *vantage point*, computes the
+//! distance from it to every remaining element, and splits at the
+//! median: the "inside" child holds elements within the median
+//! radius, the "outside" child the rest (`O(n log n)` distance
+//! computations). A query descends the tree, pruning a child whenever
+//! the triangle inequality proves it cannot contain anything closer
+//! than the current best:
+//!
+//! * skip *inside* when `d(q, vp) − best > radius`;
+//! * skip *outside* when `radius − d(q, vp) > best`.
+//!
+//! Like LAESA, correctness requires a metric; with a non-metric the
+//! answer may be approximate. Unlike LAESA there is no per-query
+//! `O(n)` bookkeeping — the trade-off the paper's discussion of \[1\]
+//! alludes to.
+
+use crate::{Neighbour, SearchStats};
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+
+struct Node {
+    /// Index into the database.
+    vantage: usize,
+    /// Median distance from the vantage point to its subtree.
+    radius: f64,
+    inside: Option<Box<Node>>,
+    outside: Option<Box<Node>>,
+}
+
+/// A vantage-point tree over an owned database.
+pub struct VpTree<S: Symbol> {
+    db: Vec<Vec<S>>,
+    root: Option<Box<Node>>,
+    preprocessing_computations: u64,
+}
+
+impl<S: Symbol> VpTree<S> {
+    /// Build the tree. Vantage points are taken deterministically
+    /// (first element of each partition), so builds are reproducible.
+    pub fn build<D: Distance<S> + ?Sized>(db: Vec<Vec<S>>, dist: &D) -> VpTree<S> {
+        let mut computations = 0u64;
+        let mut indices: Vec<usize> = (0..db.len()).collect();
+        let root = Self::build_node(&db, &mut indices[..], dist, &mut computations);
+        VpTree {
+            db,
+            root,
+            preprocessing_computations: computations,
+        }
+    }
+
+    fn build_node<D: Distance<S> + ?Sized>(
+        db: &[Vec<S>],
+        indices: &mut [usize],
+        dist: &D,
+        computations: &mut u64,
+    ) -> Option<Box<Node>> {
+        let (&mut vantage, rest) = indices.split_first_mut()?;
+        if rest.is_empty() {
+            return Some(Box::new(Node {
+                vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            }));
+        }
+        // Distances from the vantage point to the rest.
+        let mut with_d: Vec<(usize, f64)> = rest
+            .iter()
+            .map(|&i| {
+                *computations += 1;
+                (i, dist.distance(&db[vantage], &db[i]))
+            })
+            .collect();
+        with_d.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mid = with_d.len() / 2;
+        // Median radius: elements with d <= radius go inside.
+        let radius = with_d[mid].1;
+        let split = with_d.partition_point(|&(_, d)| d <= radius);
+        let (ins, outs) = with_d.split_at(split);
+
+        let mut ins_idx: Vec<usize> = ins.iter().map(|&(i, _)| i).collect();
+        let mut out_idx: Vec<usize> = outs.iter().map(|&(i, _)| i).collect();
+        let inside = Self::build_node(db, &mut ins_idx[..], dist, computations);
+        let outside = Self::build_node(db, &mut out_idx[..], dist, computations);
+        Some(Box::new(Node {
+            vantage,
+            radius,
+            inside,
+            outside,
+        }))
+    }
+
+    /// The database the tree was built over.
+    pub fn database(&self) -> &[Vec<S>] {
+        &self.db
+    }
+
+    /// Distance computations spent building the tree.
+    pub fn preprocessing_computations(&self) -> u64 {
+        self.preprocessing_computations
+    }
+
+    /// Nearest neighbour of `query`.
+    pub fn nn<D: Distance<S> + ?Sized>(
+        &self,
+        query: &[S],
+        dist: &D,
+    ) -> Option<(Neighbour, SearchStats)> {
+        let root = self.root.as_ref()?;
+        let mut best = Neighbour {
+            index: usize::MAX,
+            distance: f64::INFINITY,
+        };
+        let mut computations = 0u64;
+        self.search(root, query, dist, &mut best, &mut computations);
+        Some((
+            best,
+            SearchStats {
+                distance_computations: computations,
+            },
+        ))
+    }
+
+    fn search<D: Distance<S> + ?Sized>(
+        &self,
+        node: &Node,
+        query: &[S],
+        dist: &D,
+        best: &mut Neighbour,
+        computations: &mut u64,
+    ) {
+        let d = dist.distance(&self.db[node.vantage], query);
+        *computations += 1;
+        if d < best.distance {
+            *best = Neighbour {
+                index: node.vantage,
+                distance: d,
+            };
+        }
+        // Visit the more promising side first; prune with the triangle
+        // inequality against the (possibly improved) best.
+        let (first, second) = if d <= node.radius {
+            (&node.inside, &node.outside)
+        } else {
+            (&node.outside, &node.inside)
+        };
+        if let Some(child) = first {
+            // The first side always intersects the best-ball when we
+            // are on its side of the boundary.
+            self.search(child, query, dist, best, computations);
+        }
+        if let Some(child) = second {
+            let crosses = if d <= node.radius {
+                // Second = outside: reachable iff d + best >= radius.
+                d + best.distance >= node.radius
+            } else {
+                // Second = inside: reachable iff d - best <= radius.
+                d - best.distance <= node.radius
+            };
+            if crosses {
+                self.search(child, query, dist, best, computations);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::linear_nn;
+    use cned_core::contextual::heuristic::ContextualHeuristic;
+    use cned_core::levenshtein::Levenshtein;
+
+    fn corpus(n: usize, len: usize, alphabet: u8, seed: u64) -> Vec<Vec<u8>> {
+        let mut state = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let l = 1 + (rng() % len as u64) as usize;
+                (0..l).map(|_| b'a' + (rng() % alphabet as u64) as u8).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_db_returns_none() {
+        let t: VpTree<u8> = VpTree::build(Vec::new(), &Levenshtein);
+        assert!(t.nn(b"abc", &Levenshtein).is_none());
+    }
+
+    #[test]
+    fn singleton_db() {
+        let t = VpTree::build(vec![b"hola".to_vec()], &Levenshtein);
+        let (nn, stats) = t.nn(b"ha", &Levenshtein).unwrap();
+        assert_eq!(nn.index, 0);
+        assert_eq!(nn.distance, 2.0);
+        assert_eq!(stats.distance_computations, 1);
+    }
+
+    #[test]
+    fn matches_linear_scan_for_levenshtein() {
+        let db = corpus(200, 10, 3, 71);
+        let queries = corpus(50, 10, 3, 711);
+        let t = VpTree::build(db.clone(), &Levenshtein);
+        for q in &queries {
+            let (lin, _) = linear_nn(&db, q, &Levenshtein).unwrap();
+            let (nn, _) = t.nn(q, &Levenshtein).unwrap();
+            assert_eq!(nn.distance, lin.distance, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_for_contextual_heuristic() {
+        let db = corpus(150, 9, 3, 73);
+        let queries = corpus(30, 9, 3, 731);
+        let t = VpTree::build(db.clone(), &ContextualHeuristic);
+        for q in &queries {
+            let (lin, _) = linear_nn(&db, q, &ContextualHeuristic).unwrap();
+            let (nn, _) = t.nn(q, &ContextualHeuristic).unwrap();
+            assert!((nn.distance - lin.distance).abs() < 1e-9, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn prunes_relative_to_exhaustive() {
+        let db = corpus(400, 10, 3, 79);
+        let queries = corpus(30, 10, 3, 791);
+        let t = VpTree::build(db.clone(), &Levenshtein);
+        let total: u64 = queries
+            .iter()
+            .map(|q| t.nn(q, &Levenshtein).unwrap().1.distance_computations)
+            .sum();
+        let avg = total as f64 / queries.len() as f64;
+        assert!(
+            avg < db.len() as f64 * 0.9,
+            "VP-tree should prune: avg {avg} vs n {}",
+            db.len()
+        );
+    }
+
+    #[test]
+    fn preprocessing_is_n_log_n_ish() {
+        let db = corpus(128, 8, 3, 83);
+        let t = VpTree::build(db, &Levenshtein);
+        let c = t.preprocessing_computations();
+        // Between n-1 (degenerate chain would be worse) and n^2/2.
+        assert!(c >= 127);
+        assert!(c < 128 * 64, "preprocessing {c} too close to quadratic");
+    }
+
+    #[test]
+    fn member_probe_finds_itself() {
+        let db = corpus(100, 8, 3, 89);
+        let probe = db[33].clone();
+        let t = VpTree::build(db, &Levenshtein);
+        let (nn, _) = t.nn(&probe, &Levenshtein).unwrap();
+        assert_eq!(nn.distance, 0.0);
+    }
+}

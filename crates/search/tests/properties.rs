@@ -1,0 +1,135 @@
+//! Property-based tests for the search engines: LAESA and AESA must
+//! agree with exhaustive scan on *any* database under a metric
+//! distance, for any pivot configuration.
+
+use cned_core::levenshtein::Levenshtein;
+use cned_core::normalized::yujian_bo::YujianBo;
+use cned_search::aesa::Aesa;
+use cned_search::laesa::Laesa;
+use cned_search::linear::{linear_knn, linear_nn};
+use cned_search::pivots::{select_pivots_max_sum, select_pivots_random};
+use cned_search::vptree::VpTree;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(97u8..=99, 1..=8)
+}
+
+fn database() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(word(), 2..=40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn laesa_nn_distance_matches_linear_scan(
+        db in database(),
+        q in word(),
+        n_pivots in 0usize..=10,
+    ) {
+        let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Levenshtein);
+        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
+        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+        let (nn, stats) = index.nn(&q, &Levenshtein).unwrap();
+        prop_assert_eq!(nn.distance, lin.distance);
+        prop_assert!(stats.distance_computations >= 1);
+        prop_assert!(stats.distance_computations <= db.len() as u64);
+    }
+
+    #[test]
+    fn laesa_with_random_pivots_is_also_exact(
+        db in database(),
+        q in word(),
+        n_pivots in 0usize..=10,
+        seed in 0u64..100,
+    ) {
+        // Pivot *quality* affects cost, never correctness.
+        let pivots = select_pivots_random(db.len(), n_pivots, seed);
+        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
+        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+        let (nn, _) = index.nn(&q, &Levenshtein).unwrap();
+        prop_assert_eq!(nn.distance, lin.distance);
+    }
+
+    #[test]
+    fn laesa_exact_under_yujian_bo_metric(
+        db in database(),
+        q in word(),
+        n_pivots in 0usize..=8,
+    ) {
+        let pivots = select_pivots_max_sum(&db, n_pivots, 0, &YujianBo);
+        let index = Laesa::build(db.clone(), pivots, &YujianBo);
+        let (lin, _) = linear_nn(&db, &q, &YujianBo).unwrap();
+        let (nn, _) = index.nn(&q, &YujianBo).unwrap();
+        prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aesa_matches_linear_scan(db in database(), q in word()) {
+        let index = Aesa::build(db.clone(), &Levenshtein);
+        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+        let (nn, stats) = index.nn(&q, &Levenshtein).unwrap();
+        prop_assert_eq!(nn.distance, lin.distance);
+        prop_assert!(stats.distance_computations <= db.len() as u64);
+    }
+
+    #[test]
+    fn laesa_knn_distances_match_linear(
+        db in database(),
+        q in word(),
+        k in 1usize..=5,
+        n_pivots in 0usize..=8,
+    ) {
+        let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Levenshtein);
+        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
+        let (lin, _) = linear_knn(&db, &q, &Levenshtein, k);
+        let (knn, _) = index.knn(&q, &Levenshtein, k);
+        let ld: Vec<f64> = lin.iter().map(|n| n.distance).collect();
+        let kd: Vec<f64> = knn.iter().map(|n| n.distance).collect();
+        prop_assert_eq!(ld, kd);
+    }
+
+    #[test]
+    fn nn_limited_prefixes_are_consistent(
+        db in database(),
+        q in word(),
+    ) {
+        // All prefix limits return the same (correct) distance; the
+        // computation count is what varies.
+        let n_piv = (db.len() / 3).max(1);
+        let pivots = select_pivots_max_sum(&db, n_piv, 0, &Levenshtein);
+        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
+        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+        for limit in 0..=n_piv {
+            let (nn, _) = index.nn_limited(&q, &Levenshtein, limit).unwrap();
+            prop_assert_eq!(nn.distance, lin.distance, "limit {}", limit);
+        }
+    }
+
+    #[test]
+    fn vptree_matches_linear_scan(db in database(), q in word()) {
+        let tree = VpTree::build(db.clone(), &Levenshtein);
+        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+        let (nn, stats) = tree.nn(&q, &Levenshtein).unwrap();
+        prop_assert_eq!(nn.distance, lin.distance);
+        prop_assert!(stats.distance_computations <= db.len() as u64);
+    }
+
+    #[test]
+    fn vptree_matches_linear_scan_under_yujian_bo(db in database(), q in word()) {
+        let tree = VpTree::build(db.clone(), &YujianBo);
+        let (lin, _) = linear_nn(&db, &q, &YujianBo).unwrap();
+        let (nn, _) = tree.nn(&q, &YujianBo).unwrap();
+        prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn member_queries_return_distance_zero(db in database(), idx in 0usize..40) {
+        let probe = db[idx % db.len()].clone();
+        let pivots = select_pivots_max_sum(&db, 4.min(db.len()), 0, &Levenshtein);
+        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
+        let (nn, _) = index.nn(&probe, &Levenshtein).unwrap();
+        prop_assert_eq!(nn.distance, 0.0);
+    }
+}

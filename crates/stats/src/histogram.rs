@@ -1,0 +1,150 @@
+//! Fixed-bin histograms over `f64` samples (Figures 1–2).
+
+/// A histogram with uniform bins over `[lo, hi)`; samples outside the
+/// range are clamped into the first/last bin so mass is never lost
+/// (matching how the paper's plots saturate at the axis ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "empty range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let t = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Add many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        for v in it {
+            self.add(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// `(bin_center, count)` rows — the gnuplot-ready series of
+    /// Figures 1–2.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// Index of the fullest bin (the histogram mode).
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// A crude spread measure: number of bins holding at least
+    /// `frac` of the modal count. Concentrated histograms (high
+    /// intrinsic dimension) have few such bins.
+    pub fn bins_above_fraction_of_mode(&self, frac: f64) -> usize {
+        let peak = self.counts[self.mode_bin()] as f64;
+        self.counts.iter().filter(|&&c| c as f64 >= frac * peak).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.1, 0.3, 0.6, 0.9, 0.35]);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(7.0);
+        h.add(1.0); // hi boundary lands in the last bin
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 2.0, 4);
+        assert_eq!(h.bin_center(0), 0.25);
+        assert_eq!(h.bin_center(3), 1.75);
+    }
+
+    #[test]
+    fn rows_align_with_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([0.2, 0.7, 0.8]);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0.25, 1));
+        assert_eq!(rows[1], (0.75, 2));
+    }
+
+    #[test]
+    fn mode_and_spread() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        // Concentrated mass near 0.55.
+        for _ in 0..100 {
+            h.add(0.55);
+        }
+        h.add(0.1);
+        assert_eq!(h.mode_bin(), 5);
+        assert_eq!(h.bins_above_fraction_of_mode(0.5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,212 @@
+//! Moments of distance distributions and the intrinsic dimensionality
+//! (Table 1).
+
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+
+/// Streaming mean/variance via Welford's algorithm — numerically
+/// stable over the millions of pairwise distances the experiments
+/// produce.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Moments {
+        Moments::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Intrinsic dimensionality `ρ = µ²/(2σ²)` (Chávez et al.).
+    /// `None` when the variance is zero.
+    pub fn intrinsic_dimensionality(&self) -> Option<f64> {
+        let v = self.variance();
+        (v > 0.0).then(|| self.mean * self.mean / (2.0 * v))
+    }
+
+    /// The paper's printed variant `µ²/σ²` (exactly `2ρ`).
+    pub fn intrinsic_dimensionality_paper(&self) -> Option<f64> {
+        self.intrinsic_dimensionality().map(|r| 2.0 * r)
+    }
+}
+
+/// All pairwise distances `d(x_i, x_j)` for `i < j`.
+///
+/// `O(n²/2)` distance computations; the experiment drivers use their
+/// own sharded version — this helper serves tests, examples, and small
+/// runs.
+pub fn pairwise_distances<S: Symbol, D: Distance<S> + ?Sized>(
+    sample: &[Vec<S>],
+    dist: &D,
+) -> Vec<f64> {
+    let n = sample.len();
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push(dist.distance(&sample[i], &sample[j]));
+        }
+    }
+    out
+}
+
+/// Intrinsic dimensionality of a sample under a distance: moments of
+/// all pairwise distances, then `ρ = µ²/(2σ²)`.
+pub fn intrinsic_dimensionality<S: Symbol, D: Distance<S> + ?Sized>(
+    sample: &[Vec<S>],
+    dist: &D,
+) -> Option<f64> {
+    let mut m = Moments::new();
+    for d in pairwise_distances(sample, dist) {
+        m.add(d);
+    }
+    m.intrinsic_dimensionality()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::levenshtein::Levenshtein;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0, -3.0];
+        let mut m = Moments::new();
+        for &x in &xs {
+            m.add(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert_eq!(m.count(), 6);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Moments::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Moments::new();
+        a.add(3.0);
+        a.add(5.0);
+        let before = a;
+        a.merge(&Moments::new());
+        assert_eq!(a, before);
+        let mut empty = Moments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn constant_sample_has_no_dimensionality() {
+        let mut m = Moments::new();
+        for _ in 0..10 {
+            m.add(4.2);
+        }
+        assert!(m.variance() < 1e-20);
+        assert_eq!(m.intrinsic_dimensionality(), None);
+    }
+
+    #[test]
+    fn paper_variant_is_twice_chavez() {
+        let mut m = Moments::new();
+        for x in [1.0, 2.0, 3.0] {
+            m.add(x);
+        }
+        let rho = m.intrinsic_dimensionality().unwrap();
+        let paper = m.intrinsic_dimensionality_paper().unwrap();
+        assert!((paper - 2.0 * rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_count_is_n_choose_2() {
+        let sample: Vec<Vec<u8>> = [&b"aa"[..], b"ab", b"ba", b"bb"].iter().map(|w| w.to_vec()).collect();
+        let d = pairwise_distances(&sample, &Levenshtein);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn concentrated_space_has_higher_rho() {
+        // Strings of identical length and near-identical pairwise
+        // distance → high ρ; mixed lengths → broader spectrum → lower ρ.
+        let concentrated: Vec<Vec<u8>> =
+            [&b"aaaa"[..], b"bbbb", b"cccc", b"dddd", b"eeee"].iter().map(|w| w.to_vec()).collect();
+        let spread: Vec<Vec<u8>> =
+            [&b"a"[..], b"bbbb", b"cc", b"ddddddd", b"eee"].iter().map(|w| w.to_vec()).collect();
+        let r_conc = intrinsic_dimensionality(&concentrated, &Levenshtein);
+        let r_spread = intrinsic_dimensionality(&spread, &Levenshtein).unwrap();
+        // All pairwise distances in `concentrated` are exactly 4 → no
+        // variance at all.
+        assert_eq!(r_conc, None);
+        assert!(r_spread > 0.0);
+    }
+}

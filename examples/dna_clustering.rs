@@ -1,0 +1,100 @@
+//! Comparing gene sequences under normalised edit distances — the
+//! paper's genes benchmark as an analysis session.
+//!
+//! ```sh
+//! cargo run --release --example dna_clustering
+//! ```
+//!
+//! Generates gene-like DNA sequences of widely varying length, then
+//! shows why normalisation matters: raw `d_E` ranks a short unrelated
+//! sequence "closer" than a long homolog, while `d_C,h` corrects for
+//! length. Also prints each distance's intrinsic dimensionality on
+//! this data (the paper's Table 1, genes column).
+
+use cned::core::contextual::heuristic::contextual_heuristic;
+use cned::core::levenshtein::levenshtein;
+use cned::core::metric::{Distance, DistanceKind};
+use cned::datasets::dna::{dna_sequences, dna_sequences_with, LengthLaw, TransitionMatrix};
+use cned::datasets::perturb::perturb;
+use cned::stats::Moments;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Length bias of the raw edit distance ------------------------
+    // A "gene family": one sequence and a mutated homolog (5% edits),
+    // plus a short unrelated sequence.
+    let law = LengthLaw {
+        median: 300.0,
+        sigma: 0.1,
+        min: 250,
+        max: 400,
+    };
+    let base = dna_sequences_with(1, 1, law, TransitionMatrix::default()).remove(0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let homolog = perturb(&base, base.len() / 20, b"ACGT", &mut rng);
+    let short_law = LengthLaw {
+        median: 14.0,
+        sigma: 0.05,
+        min: 10,
+        max: 18,
+    };
+    let unrelated = dna_sequences_with(1, 99, short_law, TransitionMatrix::default()).remove(0);
+
+    // A second pair: two *unrelated* short fragments.
+    let short_a = unrelated.clone();
+    let short_b = dna_sequences_with(1, 123, short_law, TransitionMatrix::default()).remove(0);
+
+    println!(
+        "pair A: gene ({} bp) vs 5%-mutated homolog ({} bp) — biologically close",
+        base.len(),
+        homolog.len()
+    );
+    println!(
+        "pair B: two unrelated short fragments ({} bp, {} bp) — biologically far\n",
+        short_a.len(),
+        short_b.len()
+    );
+    let de_a = levenshtein(&base, &homolog);
+    let de_b = levenshtein(&short_a, &short_b);
+    println!("raw d_E:   pair A {de_a:>5}    pair B {de_b:>5}");
+    if de_b < de_a {
+        println!("  -> d_E calls the unrelated pair closer: editing twice on a string of");
+        println!("     length 2 is not the same as editing twice on one of length 200 (§1)!");
+    }
+    let dc_a = contextual_heuristic(&base, &homolog);
+    let dc_b = contextual_heuristic(&short_a, &short_b);
+    println!("d_C,h:     pair A {dc_a:>8.3} pair B {dc_b:>8.3}");
+    assert!(dc_a < dc_b, "contextual distance ranks the homolog pair closer");
+    println!("  -> d_C,h ranks the homolog pair closer, as biology expects.\n");
+
+    // --- Intrinsic dimensionality on a gene sample -------------------
+    let genes = dna_sequences(80, 7);
+    println!(
+        "intrinsic dimensionality over {} genes (lower = easier NN search):",
+        genes.len()
+    );
+    for kind in [
+        DistanceKind::YujianBo,
+        DistanceKind::ContextualHeuristic,
+        DistanceKind::MaxNorm,
+        DistanceKind::Levenshtein,
+    ] {
+        let dist = kind.build::<u8>();
+        let mut m = Moments::new();
+        for i in 0..genes.len() {
+            for j in (i + 1)..genes.len() {
+                m.add(dist.distance(&genes[i], &genes[j]));
+            }
+        }
+        println!(
+            "  {:<6} mean {:>8.3}  std {:>7.3}  rho {:>7.2}",
+            kind.label(),
+            m.mean(),
+            m.std_dev(),
+            m.intrinsic_dimensionality().unwrap_or(f64::NAN)
+        );
+    }
+    println!("\nthe contextual distance keeps genes spread out (low rho), which is");
+    println!("exactly what lets LAESA discard most candidates during search.");
+}

@@ -1,0 +1,96 @@
+//! The paper's negative results, demonstrated concretely:
+//!
+//! 1. §2.2 — the simple normalisations `d_sum`, `d_max`, `d_min`
+//!    violate the triangle inequality (exact witness triples from the
+//!    paper);
+//! 2. §5 — the *naive* generalisation of the contextual distance to
+//!    weighted operations breaks: cheap dummy insertions make
+//!    non-internal paths beat every internal one.
+//!
+//! ```sh
+//! cargo run --release --example metric_counterexamples
+//! ```
+
+use cned::core::generalized::{
+    dummy_exploit_weight, naive_contextual_generalized_is_broken,
+};
+use cned::core::metric::{check_triangle, Distance, MetricViolation};
+use cned::core::normalized::simple::{d_max, d_min, d_sum, MaxNorm, MinNorm, SumNorm};
+
+fn report_violation(name: &str, v: Option<MetricViolation<u8>>) {
+    match v {
+        Some(MetricViolation::Triangle { x, y, z, dxz, via }) => {
+            let s = |b: &[u8]| String::from_utf8_lossy(b).into_owned();
+            println!(
+                "  {name}: d({}, {}) = {dxz:.3} > {via:.3} = d({}, {}) + d({}, {})  -> NOT a metric",
+                s(&x), s(&z), s(&x), s(&y), s(&y), s(&z)
+            );
+        }
+        Some(other) => println!("  {name}: unexpected violation {other:?}"),
+        None => println!("  {name}: no violation found on this sample"),
+    }
+}
+
+fn main() {
+    println!("== §2.2: simple normalisations are not metrics ==\n");
+
+    // The paper's exact numbers for d_sum on (ab, aba, ba):
+    println!(
+        "d_sum(ab, aba) + d_sum(aba, ba) = {:.3} + {:.3} = {:.3}",
+        d_sum(b"ab", b"aba"),
+        d_sum(b"aba", b"ba"),
+        d_sum(b"ab", b"aba") + d_sum(b"aba", b"ba"),
+    );
+    println!("d_sum(ab, ba) = {:.3}  -> triangle inequality fails\n", d_sum(b"ab", b"ba"));
+
+    // Automated witness search over the paper's triples:
+    let sample1: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba"].iter().map(|w| w.to_vec()).collect();
+    let sample2: Vec<Vec<u8>> = [&b"b"[..], b"ba", b"aa"].iter().map(|w| w.to_vec()).collect();
+    report_violation("d_sum", check_triangle(&SumNorm, &sample1));
+    report_violation("d_max", check_triangle(&MaxNorm, &sample1));
+    report_violation("d_min", check_triangle(&MinNorm, &sample2));
+
+    println!("\n(d_max values on the witness: {:.3}, {:.3} vs {:.3};",
+        d_max(b"ab", b"aba"), d_max(b"aba", b"ba"), d_max(b"ab", b"ba"));
+    println!(" d_min values on its witness: {:.3}, {:.3} vs {:.3})",
+        d_min(b"b", b"ba"), d_min(b"ba", b"aa"), d_min(b"b", b"aa"));
+
+    // By contrast, d_C and d_YB pass the same sweep:
+    let all: Vec<Vec<u8>> = [
+        &b"ab"[..], b"aba", b"ba", b"b", b"aa", b"", b"abab", b"bb",
+    ]
+    .iter()
+    .map(|w| w.to_vec())
+    .collect();
+    let dc = cned::core::contextual::exact::Contextual;
+    let dyb = cned::core::normalized::yujian_bo::YujianBo;
+    println!(
+        "\nd_C  triangle sweep over {} strings: {}",
+        all.len(),
+        if check_triangle(&dc, &all).is_none() { "clean (it is a metric, Theorem 1)" } else { "violated!?" }
+    );
+    println!(
+        "d_YB triangle sweep over {} strings: {}",
+        all.len(),
+        if check_triangle(&dyb, &all).is_none() { "clean (Yujian & Bo 2007)" } else { "violated!?" }
+    );
+    assert!(Distance::<u8>::is_metric(&dc));
+
+    println!("\n== §5: naive generalised contextual distance breaks ==\n");
+    println!("setup: x = aaaa, y = bbbb; substitutions cost 10; a dummy symbol");
+    println!("inserts/deletes for 0.01. Internal paths (Proposition 1) cannot");
+    println!("use the dummy — but a rewriting path can:");
+    let (internal, exploit) = naive_contextual_generalized_is_broken(4, 60);
+    println!("  best internal-path weight:      {internal:.4}");
+    println!("  dummy-padding exploit (pad=60): {exploit:.4}");
+    assert!(exploit < internal);
+    println!("\npadding sweep (exploit weight keeps dropping):");
+    for pad in [0, 5, 20, 60, 200] {
+        println!(
+            "  pad {pad:>4}: {:.4}",
+            dummy_exploit_weight(4, 4, 10.0, 0.01, pad)
+        );
+    }
+    println!("\n-> internality fails for generalised costs, so Algorithm 1 does not");
+    println!("   extend naively (the paper leaves this as an open problem).");
+}

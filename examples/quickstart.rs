@@ -1,0 +1,78 @@
+//! Quickstart: the contextual normalised edit distance in five
+//! minutes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the paper's running examples: the plain edit
+//! distance, why naive normalisations break the triangle inequality,
+//! the contextual distance `d_C` and its fast heuristic `d_C,h`.
+
+use cned::core::contextual::exact::{contextual_alignment, contextual_distance};
+use cned::core::contextual::heuristic::contextual_heuristic;
+use cned::core::levenshtein::{edit_script, levenshtein};
+use cned::core::normalized::simple::d_sum;
+use cned::core::normalized::yujian_bo::yujian_bo;
+
+fn main() {
+    // --- The edit distance (paper, Example 1) -----------------------
+    let (x, y) = (b"abaa".as_slice(), b"aab".as_slice());
+    println!("d_E({:?}, {:?}) = {}", "abaa", "aab", levenshtein(x, y));
+    println!("  one optimal script: {:?}", edit_script(x, y));
+
+    // --- Why dividing by length is not enough (paper, §2.2) ---------
+    // d_sum = d_E/(|x|+|y|) violates the triangle inequality:
+    let (a, b, c) = (b"ab".as_slice(), b"aba".as_slice(), b"ba".as_slice());
+    let direct = d_sum(a, c);
+    let via = d_sum(a, b) + d_sum(b, c);
+    println!("\nd_sum(ab, ba) = {direct:.3} > {via:.3} = d_sum(ab, aba) + d_sum(aba, ba)");
+    println!("  -> d_sum is NOT a metric; same for d_max and d_min");
+
+    // --- The contextual distance (paper, Example 4) ------------------
+    // Each operation on a string of length L costs 1/L (insertions
+    // 1/(L+1)), so editing long strings is cheaper than editing short
+    // ones — and the result is still a metric (Theorem 1).
+    let (x, y) = (b"ababa".as_slice(), b"baab".as_slice());
+    let d = contextual_distance(x, y);
+    println!("\nd_C(ababa, baab) = {d:.6} (= 8/15 = {:.6})", 8.0 / 15.0);
+    let alignment = contextual_alignment(x, y);
+    println!(
+        "  optimal path: {} insertions, {} substitutions, {} deletions (k = {})",
+        alignment.shape.insertions,
+        alignment.shape.substitutions,
+        alignment.shape.deletions,
+        alignment.k
+    );
+
+    // --- The fast heuristic ------------------------------------------
+    // d_C,h evaluates only the Levenshtein-optimal path length:
+    // quadratic instead of cubic, equal to d_C most of the time and
+    // never below it.
+    let h = contextual_heuristic(x, y);
+    println!("d_C,h(ababa, baab) = {h:.6} (here equal to d_C)");
+
+    // --- Comparison with Yujian–Bo ------------------------------------
+    // d_YB is also a metric but saturates for very different strings:
+    let far_x = b"aaaaaaaaaa".as_slice();
+    let far_y = b"bbbbbbbbbb".as_slice();
+    println!(
+        "\nfor two totally different length-10 strings:\n  d_YB = {:.4} (capped at 2/3 for equal lengths)\n  d_C  = {:.4} (keeps discriminating)",
+        yujian_bo(far_x, far_y),
+        contextual_distance(far_x, far_y),
+    );
+
+    // --- The metric property in action --------------------------------
+    let (p, q, r) = (b"casa".as_slice(), b"cosa".as_slice(), b"cose".as_slice());
+    let (dpq, dqr, dpr) = (
+        contextual_distance(p, q),
+        contextual_distance(q, r),
+        contextual_distance(p, r),
+    );
+    println!(
+        "\ntriangle inequality: d_C(casa, cose) = {dpr:.4} <= {:.4} = d_C(casa, cosa) + d_C(cosa, cose)",
+        dpq + dqr
+    );
+    assert!(dpr <= dpq + dqr + 1e-12);
+    println!("  -> safe to use with AESA/LAESA pruning (see dictionary_search example)");
+}

@@ -1,0 +1,36 @@
+//! # cned — A Contextual Normalised Edit Distance
+//!
+//! Facade crate re-exporting the full workspace: a reproduction of
+//! *"A Contextual Normalised Edit Distance"* (Colin de la Higuera &
+//! Luisa Micó, ICDE 2008).
+//!
+//! * [`core`] — every distance in the paper: Levenshtein `d_E`, the
+//!   contextual metric `d_C` (exact Algorithm 1) and its fast heuristic
+//!   `d_C,h`, Marzal–Vidal `d_MV`, Yujian–Bo `d_YB`, and the
+//!   non-metric normalisations `d_max`/`d_min`/`d_sum`.
+//! * [`search`] — LAESA / AESA / linear-scan nearest-neighbour search
+//!   with distance-computation counting.
+//! * [`datasets`] — synthetic stand-ins for the paper's three
+//!   benchmarks: a Spanish-like dictionary, DNA gene sequences, and
+//!   handwritten-digit contour chain codes.
+//! * [`stats`] — distance histograms and intrinsic dimensionality.
+//! * [`classify`] — 1-NN classification and error rates.
+//!
+//! ```
+//! use cned::prelude::*;
+//!
+//! // Paper, Example 4: d_C(ababa, baab) = 8/15.
+//! let d = contextual_distance(b"ababa", b"baab");
+//! assert!((d - 8.0 / 15.0).abs() < 1e-12);
+//! ```
+
+pub use cned_classify as classify;
+pub use cned_core as core;
+pub use cned_datasets as datasets;
+pub use cned_search as search;
+pub use cned_stats as stats;
+
+/// One-stop imports for examples and quick scripts.
+pub mod prelude {
+    pub use cned_core::prelude::*;
+}

@@ -1,0 +1,228 @@
+//! Cross-crate integration tests: exercise the full pipelines a user
+//! of the `cned` facade would run, spanning datasets → distances →
+//! search → stats → classification.
+
+use cned::classify::eval::evaluate;
+use cned::classify::nn::{NnClassifier, SearchBackend};
+use cned::core::contextual::exact::{contextual_distance, Contextual};
+use cned::core::contextual::heuristic::{contextual_heuristic, ContextualHeuristic};
+use cned::core::levenshtein::Levenshtein;
+use cned::core::metric::{check_metric_axioms, DistanceKind};
+use cned::core::normalized::yujian_bo::YujianBo;
+use cned::datasets::digits::generate_digits;
+use cned::datasets::dictionary::spanish_dictionary;
+use cned::datasets::dna::dna_sequences;
+use cned::datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned::search::aesa::Aesa;
+use cned::search::laesa::Laesa;
+use cned::search::linear::linear_nn;
+use cned::search::pivots::select_pivots_max_sum;
+use cned::stats::{Histogram, Moments};
+
+/// The contextual distance passes a full metric-axiom sweep on real
+/// dictionary words (identity, symmetry, triangle over all triples).
+#[test]
+fn contextual_is_a_metric_on_dictionary_words() {
+    let words = spanish_dictionary(18, 3);
+    assert_eq!(check_metric_axioms(&Contextual, &words), None);
+}
+
+/// Same sweep on DNA fragments and digit chains — different alphabets
+/// and length regimes.
+#[test]
+fn contextual_is_a_metric_on_dna_fragments() {
+    // Short fragments keep the O(n^3) triple sweep fast.
+    let frags: Vec<Vec<u8>> = dna_sequences(60, 5)
+        .into_iter()
+        .map(|g| g[..12.min(g.len())].to_vec())
+        .take(14)
+        .collect();
+    assert_eq!(check_metric_axioms(&Contextual, &frags), None);
+}
+
+#[test]
+fn yujian_bo_is_a_metric_on_digit_chain_prefixes() {
+    let chains: Vec<Vec<u8>> = generate_digits(2, 9)
+        .into_iter()
+        .map(|s| s.chain[..20.min(s.chain.len())].to_vec())
+        .take(12)
+        .collect();
+    assert_eq!(check_metric_axioms(&YujianBo, &chains), None);
+}
+
+/// LAESA over the contextual (exact) metric returns exactly the
+/// linear-scan nearest neighbour on dictionary data.
+#[test]
+fn laesa_exactness_for_contextual_metric_on_dictionary() {
+    let dict = spanish_dictionary(250, 11);
+    let queries = gen_queries(&dict, 40, 2, ASCII_LOWER, 13);
+    let pivots = select_pivots_max_sum(&dict, 16, 0, &Contextual);
+    let index = Laesa::build(dict.clone(), pivots, &Contextual);
+    for q in &queries {
+        let (lin, _) = linear_nn(&dict, q, &Contextual).expect("non-empty");
+        let (nn, stats) = index.nn(q, &Contextual).expect("non-empty");
+        assert!((nn.distance - lin.distance).abs() < 1e-9, "query {q:?}");
+        assert!(stats.distance_computations <= dict.len() as u64);
+    }
+}
+
+/// AESA and LAESA agree with each other and with linear scan, and
+/// AESA needs no more query-time computations than LAESA overall.
+#[test]
+fn aesa_laesa_linear_concordance() {
+    let dict = spanish_dictionary(150, 17);
+    let queries = gen_queries(&dict, 25, 2, ASCII_LOWER, 19);
+    let aesa = Aesa::build(dict.clone(), &Levenshtein);
+    let pivots = select_pivots_max_sum(&dict, 12, 0, &Levenshtein);
+    let laesa = Laesa::build(dict.clone(), pivots, &Levenshtein);
+    let (mut ca, mut cl) = (0u64, 0u64);
+    for q in &queries {
+        let (lin, _) = linear_nn(&dict, q, &Levenshtein).expect("non-empty");
+        let (na, sa) = aesa.nn(q, &Levenshtein).expect("non-empty");
+        let (nl, sl) = laesa.nn(q, &Levenshtein).expect("non-empty");
+        assert_eq!(na.distance, lin.distance);
+        assert_eq!(nl.distance, lin.distance);
+        ca += sa.distance_computations;
+        cl += sl.distance_computations;
+    }
+    assert!(ca <= cl, "AESA ({ca}) should not exceed LAESA ({cl})");
+}
+
+/// End-to-end digit classification beats chance by a wide margin with
+/// every distance in the Table 2 panel.
+#[test]
+fn digit_classification_beats_chance_for_all_distances() {
+    let train_raw = generate_digits(6, 21);
+    let test_raw = generate_digits(6, 22);
+    let training: Vec<Vec<u8>> = train_raw.iter().map(|s| s.chain.clone()).collect();
+    let labels: Vec<u8> = train_raw.iter().map(|s| s.label).collect();
+    let test: Vec<(Vec<u8>, u8)> = test_raw.iter().map(|s| (s.chain.clone(), s.label)).collect();
+
+    for kind in DistanceKind::TABLE2_PANEL {
+        let dist = kind.build::<u8>();
+        let clf = NnClassifier::new(
+            training.clone(),
+            labels.clone(),
+            SearchBackend::Exhaustive,
+            &dist,
+        );
+        let (cm, _) = evaluate(&clf, &test, &dist, 10);
+        // Chance is 90% error; anything competent lands far below.
+        assert!(
+            cm.error_rate_percent() < 40.0,
+            "{} error {}%",
+            kind.label(),
+            cm.error_rate_percent()
+        );
+    }
+}
+
+/// The headline heuristic contract on every dataset: d_C <= d_C,h,
+/// equality in most cases (the paper's 90% figure, loosely checked).
+#[test]
+fn heuristic_contract_across_datasets() {
+    let mut all_pairs = 0usize;
+    let mut agreements = 0usize;
+    let dict = spanish_dictionary(40, 23);
+    let digits: Vec<Vec<u8>> = generate_digits(1, 23)
+        .into_iter()
+        .map(|s| s.chain[..30.min(s.chain.len())].to_vec())
+        .collect();
+    let dna: Vec<Vec<u8>> = dna_sequences(10, 23)
+        .into_iter()
+        .map(|g| g[..25.min(g.len())].to_vec())
+        .collect();
+    for sample in [dict, digits, dna] {
+        for i in 0..sample.len() {
+            for j in (i + 1)..sample.len() {
+                let exact = contextual_distance(&sample[i], &sample[j]);
+                let heur = contextual_heuristic(&sample[i], &sample[j]);
+                assert!(heur >= exact - 1e-9);
+                all_pairs += 1;
+                if (heur - exact).abs() < 1e-12 {
+                    agreements += 1;
+                }
+            }
+        }
+    }
+    let rate = agreements as f64 / all_pairs as f64;
+    assert!(rate > 0.6, "agreement rate {rate} suspiciously low");
+}
+
+/// Distance histograms + moments compose across crates: the contextual
+/// histogram over dictionary words is wider (relative to its mean)
+/// than Yujian–Bo's — the paper's discrimination argument.
+#[test]
+fn contextual_histogram_spreads_wider_than_yb_on_words() {
+    let words = spanish_dictionary(120, 29);
+    let mut h_c = Histogram::new(0.0, 2.0, 50);
+    let mut h_yb = Histogram::new(0.0, 1.0, 50);
+    let mut m_c = Moments::new();
+    let mut m_yb = Moments::new();
+    for i in 0..words.len() {
+        for j in (i + 1)..words.len() {
+            let dc = contextual_heuristic(&words[i], &words[j]);
+            let dyb = cned::core::normalized::yujian_bo::yujian_bo(&words[i], &words[j]);
+            h_c.add(dc);
+            h_yb.add(dyb);
+            m_c.add(dc);
+            m_yb.add(dyb);
+        }
+    }
+    let spread_c = m_c.std_dev() / m_c.mean();
+    let spread_yb = m_yb.std_dev() / m_yb.mean();
+    assert!(
+        spread_c > spread_yb,
+        "contextual {spread_c} vs yb {spread_yb}"
+    );
+    // And therefore lower intrinsic dimensionality.
+    assert!(
+        m_c.intrinsic_dimensionality().unwrap() < m_yb.intrinsic_dimensionality().unwrap()
+    );
+}
+
+/// The counting wrapper integrates with LAESA: reported stats equal
+/// the wrapper's observed count.
+#[test]
+fn counting_wrapper_matches_reported_stats() {
+    use cned::search::counter::CountingDistance;
+    let dict = spanish_dictionary(100, 31);
+    let counting = CountingDistance::new(ContextualHeuristic);
+    let pivots = select_pivots_max_sum(&dict, 8, 0, &counting);
+    let index = Laesa::build(dict.clone(), pivots, &counting);
+    counting.reset(); // drop preprocessing counts
+    let q = b"palabra".to_vec();
+    let (_, stats) = index.nn(&q, &counting).expect("non-empty");
+    assert_eq!(stats.distance_computations, counting.count());
+}
+
+/// Dataset generators + distances are all deterministic end to end:
+/// two fresh runs of a small classification task give identical
+/// confusion matrices.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let train_raw = generate_digits(4, 37);
+        let test_raw = generate_digits(4, 38);
+        let training: Vec<Vec<u8>> = train_raw.iter().map(|s| s.chain.clone()).collect();
+        let labels: Vec<u8> = train_raw.iter().map(|s| s.label).collect();
+        let test: Vec<(Vec<u8>, u8)> =
+            test_raw.iter().map(|s| (s.chain.clone(), s.label)).collect();
+        let d = ContextualHeuristic;
+        let clf = NnClassifier::new(training, labels, SearchBackend::Laesa { pivots: 6 }, &d);
+        let (cm, comps) = evaluate(&clf, &test, &d, 10);
+        (format!("{cm:?}"), comps)
+    };
+    assert_eq!(run(), run());
+}
+
+/// The facade's prelude exposes the headline API.
+#[test]
+fn prelude_smoke() {
+    use cned::prelude::*;
+    assert_eq!(levenshtein(b"abaa", b"aab"), 2);
+    let d = contextual_distance(b"ababa", b"baab");
+    assert!((d - 8.0 / 15.0).abs() < 1e-12);
+    assert!(contextual_heuristic(b"ababa", b"baab") >= d - 1e-12);
+    assert_eq!(Distance::<u8>::name(&Levenshtein), "d_E");
+}
