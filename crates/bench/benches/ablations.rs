@@ -13,8 +13,8 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use cned_core::contextual::exact::{contextual_distance, ContextualTable};
-use cned_core::levenshtein::{levenshtein, levenshtein_bounded, levenshtein_matrix};
 use cned_core::levenshtein::Levenshtein;
+use cned_core::levenshtein::{levenshtein, levenshtein_bounded, levenshtein_matrix};
 use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
@@ -84,11 +84,7 @@ fn bench_pivot_selection(c: &mut Criterion) {
         select_pivots_max_sum(&dict, P, 0, &Levenshtein),
         &Levenshtein,
     );
-    let random = Laesa::build(
-        dict.clone(),
-        select_pivots_random(N, P, 42),
-        &Levenshtein,
-    );
+    let random = Laesa::build(dict.clone(), select_pivots_random(N, P, 42), &Levenshtein);
 
     let mut group = c.benchmark_group("ablation_pivots");
     group

@@ -7,8 +7,8 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use cned_core::metric::DistanceKind;
-use cned_datasets::digits::generate_digits;
 use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::digits::generate_digits;
 use cned_datasets::dna::dna_sequences;
 
 fn bench_datasets(c: &mut Criterion) {

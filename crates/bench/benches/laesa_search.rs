@@ -28,28 +28,33 @@ fn bench_laesa(c: &mut Criterion) {
 
     // Build once with the maximum pivot count per distance and sweep
     // prefixes (greedy selection is incremental).
-    let run_sweep = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-                     label: &str,
-                     dist: &dyn Distance<u8>| {
-        let pivots = select_pivots_max_sum(&dict, 128, 0, dist);
-        let index = Laesa::build(dict.clone(), pivots, dist);
-        for p in [8usize, 32, 128] {
-            group.bench_with_input(BenchmarkId::new(format!("{label}/laesa"), p), &p, |b, &p| {
+    let run_sweep =
+        |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+         label: &str,
+         dist: &dyn Distance<u8>| {
+            let pivots = select_pivots_max_sum(&dict, 128, 0, dist);
+            let index = Laesa::build(dict.clone(), pivots, dist);
+            for p in [8usize, 32, 128] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}/laesa"), p),
+                    &p,
+                    |b, &p| {
+                        b.iter(|| {
+                            for q in &queries {
+                                black_box(index.nn_limited(black_box(q), dist, p));
+                            }
+                        })
+                    },
+                );
+            }
+            group.bench_function(BenchmarkId::new(format!("{label}/linear"), N), |b| {
                 b.iter(|| {
                     for q in &queries {
-                        black_box(index.nn_limited(black_box(q), dist, p));
+                        black_box(linear_nn(&dict, black_box(q), dist));
                     }
                 })
             });
-        }
-        group.bench_function(BenchmarkId::new(format!("{label}/linear"), N), |b| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(linear_nn(&dict, black_box(q), dist));
-                }
-            })
-        });
-    };
+        };
 
     run_sweep(&mut group, "d_E", &Levenshtein);
     run_sweep(&mut group, "d_C_h", &ContextualHeuristic);

@@ -2,6 +2,7 @@
 
 use cned_core::metric::Distance;
 use cned_core::Symbol;
+use cned_search::SearchStatsAtomic;
 
 use crate::nn::NnClassifier;
 
@@ -75,20 +76,31 @@ impl ConfusionMatrix {
 
 /// Run a labelled test set through a classifier; returns the confusion
 /// matrix and total distance computations spent.
+///
+/// Queries are evaluated in parallel across all cores (each worker
+/// routes through the classifier's prepared-query search path);
+/// per-query statistics are streamed into a [`SearchStatsAtomic`]
+/// rather than materialised, and the confusion matrix is folded in
+/// input order afterwards, so results are deterministic and identical
+/// to a sequential evaluation.
 pub fn evaluate<S: Symbol, D: Distance<S> + ?Sized>(
     classifier: &NnClassifier<S>,
     test: &[(Vec<S>, u8)],
     dist: &D,
     classes: usize,
 ) -> (ConfusionMatrix, u64) {
-    let mut cm = ConfusionMatrix::new(classes);
-    let mut computations = 0u64;
-    for (query, truth) in test {
+    let total = SearchStatsAtomic::new();
+    let per_query = cned_search::par_map(test.len(), |i| {
+        let (query, truth) = &test[i];
         let (pred, _, stats) = classifier.classify(query, dist);
-        cm.record(*truth, pred);
-        computations += stats.distance_computations;
+        total.add(stats);
+        (*truth, pred)
+    });
+    let mut cm = ConfusionMatrix::new(classes);
+    for (truth, pred) in per_query {
+        cm.record(truth, pred);
     }
-    (cm, computations)
+    (cm, total.snapshot().distance_computations)
 }
 
 /// Convenience: error rate in percent for a labelled test set.
@@ -98,7 +110,9 @@ pub fn error_rate<S: Symbol, D: Distance<S> + ?Sized>(
     dist: &D,
     classes: usize,
 ) -> f64 {
-    evaluate(classifier, test, dist, classes).0.error_rate_percent()
+    evaluate(classifier, test, dist, classes)
+        .0
+        .error_rate_percent()
 }
 
 #[cfg(test)]

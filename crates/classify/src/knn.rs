@@ -9,7 +9,7 @@
 use cned_core::metric::Distance;
 use cned_core::Symbol;
 use cned_search::laesa::Laesa;
-use cned_search::linear::linear_knn;
+use cned_search::linear::{linear_knn, linear_knn_batch};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::{Neighbour, SearchStats};
 
@@ -74,8 +74,7 @@ impl<S: Symbol> KnnClassifier<S> {
         tally
             .into_iter()
             .max_by(|a, b| {
-                a.1.cmp(&b.1)
-                    .then(b.2.total_cmp(&a.2)) // smaller best-distance wins ties
+                a.1.cmp(&b.1).then(b.2.total_cmp(&a.2)) // smaller best-distance wins ties
             })
             .map(|(l, _, _)| l)
             .expect("non-empty tally")
@@ -90,14 +89,36 @@ impl<S: Symbol> KnnClassifier<S> {
         (self.vote(&neighbours), stats)
     }
 
-    /// Error rate (%) over a labelled test set.
+    /// Classify a batch of queries, parallelised across queries via
+    /// the search layer's batch k-NN pipeline. Returns one
+    /// `(label, stats)` per query in input order.
+    pub fn classify_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+    ) -> Vec<(u8, SearchStats)> {
+        let results = match &self.laesa {
+            None => linear_knn_batch(&self.training, queries, dist, self.k),
+            Some(idx) => idx.knn_batch(queries, dist, self.k),
+        };
+        results
+            .into_iter()
+            .map(|(neighbours, stats)| (self.vote(&neighbours), stats))
+            .collect()
+    }
+
+    /// Error rate (%) over a labelled test set, evaluated through the
+    /// parallel [`KnnClassifier::classify_batch`] pipeline.
     pub fn error_rate<D: Distance<S> + ?Sized>(&self, test: &[(Vec<S>, u8)], dist: &D) -> f64 {
         if test.is_empty() {
             return 0.0;
         }
-        let errors = test
+        let queries: Vec<Vec<S>> = test.iter().map(|(q, _)| q.clone()).collect();
+        let errors = self
+            .classify_batch(&queries, dist)
             .iter()
-            .filter(|(q, truth)| self.classify(q, dist).0 != *truth)
+            .zip(test)
+            .filter(|((pred, _), (_, truth))| pred != truth)
             .count();
         100.0 * errors as f64 / test.len() as f64
     }
@@ -175,5 +196,25 @@ mod tests {
     fn zero_k_rejected() {
         let (train, labels) = toy();
         KnnClassifier::new(train, labels, 0);
+    }
+
+    #[test]
+    fn batch_classification_matches_single() {
+        let (train, labels) = toy();
+        let exhaustive = KnnClassifier::new(train.clone(), labels.clone(), 3);
+        let laesa = KnnClassifier::with_laesa(train, labels, 3, 4, &Levenshtein);
+        let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"]
+            .iter()
+            .map(|q| q.to_vec())
+            .collect();
+        for c in [&exhaustive, &laesa] {
+            let batch = c.classify_batch(&queries, &Levenshtein);
+            assert_eq!(batch.len(), queries.len());
+            for (q, (label, stats)) in queries.iter().zip(&batch) {
+                let (sl, sstats) = c.classify(q, &Levenshtein);
+                assert_eq!(*label, sl, "query {q:?}");
+                assert_eq!(stats.distance_computations, sstats.distance_computations);
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 use cned_core::metric::Distance;
 use cned_core::Symbol;
 use cned_search::laesa::Laesa;
-use cned_search::linear::linear_nn;
+use cned_search::linear::{linear_nn, linear_nn_batch};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::SearchStats;
 
@@ -60,7 +60,11 @@ impl<S: Symbol> NnClassifier<S> {
 
     /// Classify one query: the label of its nearest neighbour, plus
     /// the neighbour's distance and the search statistics.
-    pub fn classify<D: Distance<S> + ?Sized>(&self, query: &[S], dist: &D) -> (u8, f64, SearchStats) {
+    pub fn classify<D: Distance<S> + ?Sized>(
+        &self,
+        query: &[S],
+        dist: &D,
+    ) -> (u8, f64, SearchStats) {
         match &self.laesa {
             None => {
                 let (nn, stats) =
@@ -72,6 +76,26 @@ impl<S: Symbol> NnClassifier<S> {
                 (self.labels[nn.index], nn.distance, stats)
             }
         }
+    }
+
+    /// Classify a batch of queries, parallelised across queries via
+    /// the search layer's batch pipeline (per-query prepared caches,
+    /// all cores). Returns `(label, nn distance, stats)` per query in
+    /// input order.
+    pub fn classify_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+    ) -> Vec<(u8, f64, SearchStats)> {
+        let results = match &self.laesa {
+            None => linear_nn_batch(&self.training, queries, dist),
+            Some(idx) => idx.nn_batch(queries, dist),
+        };
+        results
+            .expect("training set is non-empty")
+            .into_iter()
+            .map(|(nn, stats)| (self.labels[nn.index], nn.distance, stats))
+            .collect()
     }
 
     /// Number of training items.
@@ -92,17 +116,10 @@ mod tests {
     use cned_core::levenshtein::Levenshtein;
 
     fn toy() -> (Vec<Vec<u8>>, Vec<u8>) {
-        let train: Vec<Vec<u8>> = [
-            &b"aaaa"[..],
-            b"aaab",
-            b"abab",
-            b"bbbb",
-            b"bbba",
-            b"babb",
-        ]
-        .iter()
-        .map(|w| w.to_vec())
-        .collect();
+        let train: Vec<Vec<u8>> = [&b"aaaa"[..], b"aaab", b"abab", b"bbbb", b"bbba", b"babb"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect();
         let labels = vec![0, 0, 0, 1, 1, 1];
         (train, labels)
     }
@@ -143,12 +160,33 @@ mod tests {
             // unique; on ties either backend may pick either witness.
             let min_count = train
                 .iter()
-                .filter(|t| {
-                    cned_core::levenshtein::levenshtein(t, q) as f64 == de
-                })
+                .filter(|t| cned_core::levenshtein::levenshtein(t, q) as f64 == de)
                 .count();
             if min_count == 1 {
                 assert_eq!(le, ll, "label mismatch on {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_classification_matches_single() {
+        let (train, labels) = toy();
+        for backend in [
+            SearchBackend::Exhaustive,
+            SearchBackend::Laesa { pivots: 3 },
+        ] {
+            let c = NnClassifier::new(train.clone(), labels.clone(), backend, &Levenshtein);
+            let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbab", b"aabb", b"abba"]
+                .iter()
+                .map(|q| q.to_vec())
+                .collect();
+            let batch = c.classify_batch(&queries, &Levenshtein);
+            assert_eq!(batch.len(), queries.len());
+            for (q, (label, d, stats)) in queries.iter().zip(&batch) {
+                let (sl, sd, sstats) = c.classify(q, &Levenshtein);
+                assert_eq!(*label, sl, "query {q:?}");
+                assert_eq!(*d, sd);
+                assert_eq!(stats.distance_computations, sstats.distance_computations);
             }
         }
     }
@@ -167,6 +205,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_training_rejected() {
-        NnClassifier::<u8>::new(Vec::new(), Vec::new(), SearchBackend::Exhaustive, &Levenshtein);
+        NnClassifier::<u8>::new(
+            Vec::new(),
+            Vec::new(),
+            SearchBackend::Exhaustive,
+            &Levenshtein,
+        );
     }
 }

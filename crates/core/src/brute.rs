@@ -193,8 +193,10 @@ pub fn brute_contextual_generalized<C: crate::generalized::CostModel<u8>>(
             return d;
         }
         let n = s.len();
-        let push = |t: Vec<u8>, c: f64, dist: &mut HashMap<Vec<u8>, f64>,
-                        heap: &mut BinaryHeap<(Reverse<P>, Vec<u8>)>| {
+        let push = |t: Vec<u8>,
+                    c: f64,
+                    dist: &mut HashMap<Vec<u8>, f64>,
+                    heap: &mut BinaryHeap<(Reverse<P>, Vec<u8>)>| {
             let nd = d + c;
             match dist.get(&t) {
                 Some(&old) if old <= nd => {}
@@ -215,7 +217,12 @@ pub fn brute_contextual_generalized<C: crate::generalized::CostModel<u8>>(
                     if a != s[pos] {
                         let mut t = s.to_vec();
                         t[pos] = a;
-                        push(t, costs.substitute(s[pos], a) / n as f64, &mut dist, &mut heap);
+                        push(
+                            t,
+                            costs.substitute(s[pos], a) / n as f64,
+                            &mut dist,
+                            &mut heap,
+                        );
                     }
                 }
             }
@@ -313,10 +320,12 @@ mod tests {
         let words: [&[u8]; 5] = [b"", b"a", b"ab", b"ba", b"abb"];
         for &a in &words {
             for &b in &words {
-                let brute =
-                    brute_contextual_generalized(a, b, &UnitCosts, &[], a.len() + b.len());
+                let brute = brute_contextual_generalized(a, b, &UnitCosts, &[], a.len() + b.len());
                 let dp = contextual_distance(a, b);
-                assert!((brute - dp).abs() < 1e-12, "{a:?} vs {b:?}: {brute} vs {dp}");
+                assert!(
+                    (brute - dp).abs() < 1e-12,
+                    "{a:?} vs {b:?}: {brute} vs {dp}"
+                );
             }
         }
     }

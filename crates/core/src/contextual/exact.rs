@@ -185,7 +185,10 @@ impl ContextualTable {
     /// operations from `x[..i]` to `y[..j]`; `None` when no such path
     /// exists.
     pub fn max_insertions(&self, i: usize, j: usize, k: usize) -> Option<usize> {
-        assert!(i <= self.n && j <= self.m && k < self.kw, "index out of range");
+        assert!(
+            i <= self.n && j <= self.m && k < self.kw,
+            "index out of range"
+        );
         let v = self.table[(i * (self.m + 1) + j) * self.kw + k];
         (v >= 0).then_some(v as usize)
     }

@@ -69,10 +69,7 @@ pub fn heuristic_k_ni<S: Symbol>(x: &[S], y: &[S]) -> (usize, usize) {
     let mut cur: Vec<Cell> = vec![Cell { k: 0, ni: 0 }; m + 1];
 
     for i in 1..=n {
-        cur[0] = Cell {
-            k: i as u32,
-            ni: 0,
-        };
+        cur[0] = Cell { k: i as u32, ni: 0 };
         for j in 1..=m {
             let diag = prev[j - 1];
             let up = prev[j];
@@ -183,9 +180,7 @@ mod tests {
 
     #[test]
     fn never_underestimates_exact() {
-        let words: [&[u8]; 8] = [
-            b"ab", b"aba", b"ba", b"b", b"aa", b"", b"abab", b"bbaa",
-        ];
+        let words: [&[u8]; 8] = [b"ab", b"aba", b"ba", b"b", b"aa", b"", b"abab", b"bbaa"];
         for &a in &words {
             for &b in &words {
                 let h = contextual_heuristic(a, b);

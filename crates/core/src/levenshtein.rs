@@ -2,32 +2,82 @@
 //!
 //! This is the substrate of every normalisation in the paper: the
 //! smallest number `k` of single-symbol insertions, deletions and
-//! substitutions rewriting `x` into `y` (paper Definition 2, computed
-//! with the classic Wagner–Fischer dynamic program \[7\]).
+//! substitutions rewriting `x` into `y` (paper Definition 2).
 //!
-//! Provided variants:
-//! * [`levenshtein`] — two-row `O(|x|·|y|)` time, `O(min(|x|,|y|))`
-//!   space; the workhorse;
-//! * [`levenshtein_bounded`] — early-exit version returning `None`
-//!   when the distance exceeds a bound (Ukkonen banding), used by
-//!   search structures that only need "is it closer than my current
-//!   best";
-//! * [`levenshtein_matrix`] / [`edit_script`] — full-table version with
-//!   optimal edit-script recovery.
+//! ## Engine selection
+//!
+//! Three engines compute `d_E`, each optimal in a different regime:
+//!
+//! * **two-row scalar** ([`wagner_fischer`]) — the classic
+//!   Wagner–Fischer dynamic program \[7\]: `O(|x|·|y|)` time,
+//!   `O(min(|x|,|y|))` space. Fastest for very short strings, where
+//!   the bit-parallel setup cost dominates; also the readable
+//!   reference every other engine is property-tested against.
+//! * **bit-parallel** ([`crate::myers`]) — Myers' 1999 bit-vector
+//!   algorithm: one DP column packed into `⌈m/64⌉` machine words,
+//!   ~64 cells advanced per word operation. The throughput workhorse
+//!   for everything beyond toy lengths, and — via
+//!   [`crate::myers::MyersPattern`] — the batch engine that
+//!   precomputes per-query symbol bitmaps once and reuses them across
+//!   a whole database scan.
+//! * **banded scalar** ([`levenshtein_bounded`]) — Ukkonen's
+//!   diagonal band: visits only `O(bound · min(|x|,|y|))` cells, so a
+//!   *small* explicit bound beats even the bit-parallel engine on
+//!   long strings; with a large or absent bound prefer
+//!   [`crate::myers::myers_bounded`], which costs one extra counter
+//!   per column over plain `myers`.
+//!
+//! The public entry points dispatch: [`levenshtein`] picks two-row
+//! below [`MYERS_CUTOFF`] and bit-parallel above;
+//! [`Levenshtein`]'s [`Distance`] implementation additionally routes
+//! `distance_bounded` through the bit-parallel bounded kernel and
+//! `prepare` through the pattern-bitmap cache, which is what the
+//! search structures in `cned-search` call.
+//!
+//! Also provided: [`levenshtein_matrix`] / [`edit_script`] — the full
+//! `O(|x|·|y|)`-space table with optimal edit-script recovery.
 
-use crate::metric::Distance;
+use crate::metric::{Distance, PreparedQuery};
+use crate::myers::{myers, myers_bounded, MyersPattern};
 use crate::ops::EditOp;
 use crate::Symbol;
 
+/// Shorter-string length at or below which [`levenshtein`] uses the
+/// two-row scalar engine instead of the bit-parallel one.
+///
+/// Below this the Myers setup (allocating and filling the `Peq`
+/// bitmaps) costs more than the whole scalar DP. The crossover,
+/// measured with the `myers_vs_wagner_fischer` bench on a 4-symbol
+/// alphabet, sits near length 3 (by length 8 the bit-parallel engine
+/// already wins 2×); a small margin is kept for wider alphabets,
+/// whose `Peq` construction costs slightly more.
+pub const MYERS_CUTOFF: usize = 4;
+
 /// Levenshtein distance between `x` and `y`.
 ///
-/// Two-row dynamic program: `O(|x|·|y|)` time, `O(min(|x|,|y|))` space.
+/// Dispatches between the scalar and bit-parallel engines (see the
+/// module docs); `O(|x|·|y| / 64)` time beyond [`MYERS_CUTOFF`].
 ///
 /// ```
 /// use cned_core::levenshtein::levenshtein;
 /// assert_eq!(levenshtein(b"abaa", b"aab"), 2); // paper, Example 1
 /// ```
 pub fn levenshtein<S: Symbol>(x: &[S], y: &[S]) -> usize {
+    if x.len().min(y.len()) <= MYERS_CUTOFF {
+        wagner_fischer(x, y)
+    } else {
+        myers(x, y)
+    }
+}
+
+/// Levenshtein distance by the classic two-row Wagner–Fischer dynamic
+/// program: `O(|x|·|y|)` time, `O(min(|x|,|y|))` space.
+///
+/// This is the scalar reference engine: always correct, never fastest
+/// beyond toy lengths. [`levenshtein`] dispatches to it only below
+/// [`MYERS_CUTOFF`]; the property suite cross-checks the bit-parallel
+/// engine against it on every run.
+pub fn wagner_fischer<S: Symbol>(x: &[S], y: &[S]) -> usize {
     // Iterate over the shorter string in the inner loop's row buffer.
     let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
     if short.is_empty() {
@@ -66,9 +116,18 @@ pub fn levenshtein<S: Symbol>(x: &[S], y: &[S]) -> usize {
 pub fn levenshtein_bounded<S: Symbol>(x: &[S], y: &[S], bound: usize) -> Option<usize> {
     let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
     let (n, m) = (long.len(), short.len());
-    // Length difference is a lower bound on the distance.
-    if n - m > bound {
+    // Length difference is a lower bound on the distance. The ordering
+    // above guarantees `n >= m`; `saturating_sub` keeps the check
+    // correct even if that invariant is ever disturbed.
+    if n.saturating_sub(m) > bound {
         return None;
+    }
+    // A bound at or above the longer length can never bite (d_E <=
+    // max(|x|, |y|)): skip the banding entirely — this also keeps the
+    // `i + 1 + bound` band arithmetic below safely away from overflow
+    // for huge bounds.
+    if bound >= n {
+        return Some(levenshtein(x, y));
     }
     if m == 0 {
         return Some(n);
@@ -189,9 +248,38 @@ pub fn edit_script<S: Symbol>(x: &[S], y: &[S]) -> Vec<EditOp<S>> {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Levenshtein;
 
+/// Convert a [`Distance::distance_bounded`]-style `f64` budget into an
+/// integer edit-distance bound; `None` when no distance can satisfy
+/// it (negative budget). Shared by the trait and prepared-query paths
+/// so their semantics cannot diverge.
+fn int_bound(bound: f64) -> Option<usize> {
+    if bound < 0.0 {
+        return None;
+    }
+    Some(if bound >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        bound.floor() as usize
+    })
+}
+
 impl<S: Symbol> Distance<S> for Levenshtein {
     fn distance(&self, a: &[S], b: &[S]) -> f64 {
         levenshtein(a, b) as f64
+    }
+
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        let bound = int_bound(bound)?;
+        let engine_result = if a.len().min(b.len()) <= MYERS_CUTOFF {
+            levenshtein_bounded(a, b, bound)
+        } else {
+            myers_bounded(a, b, bound)
+        };
+        engine_result.map(|d| d as f64)
+    }
+
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        Box::new(MyersPattern::new(query))
     }
 
     fn name(&self) -> &'static str {
@@ -200,6 +288,17 @@ impl<S: Symbol> Distance<S> for Levenshtein {
 
     fn is_metric(&self) -> bool {
         true
+    }
+}
+
+impl<S: Symbol> PreparedQuery<S> for MyersPattern<S> {
+    fn distance_to(&self, target: &[S]) -> f64 {
+        self.distance(target) as f64
+    }
+
+    fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64> {
+        let bound = int_bound(bound)?;
+        self.distance_bounded(target, bound).map(|d| d as f64)
     }
 }
 
@@ -283,6 +382,62 @@ mod tests {
     }
 
     #[test]
+    fn bounded_huge_bound_takes_fast_path() {
+        // bound >= max(|x|, |y|) short-circuits to the unbounded
+        // engine; usize::MAX must not overflow the band arithmetic.
+        assert_eq!(
+            levenshtein_bounded(b"kitten", b"sitting", usize::MAX),
+            Some(3)
+        );
+        assert_eq!(levenshtein_bounded(b"kitten", b"sitting", 7), Some(3));
+        assert_eq!(levenshtein_bounded(b"", b"abc", usize::MAX), Some(3));
+    }
+
+    #[test]
+    fn bounded_band_edges_are_cleared_between_rows() {
+        // Regression: `cur` still holds row i-1 (two swaps ago), so the
+        // cells just outside the band must be reset to INF or the band
+        // reads stale values. These inputs have band width exactly 1
+        // and force both the left-edge (`lo - 1`) and right-edge
+        // (`hi + 1`) clears to matter: any stale read shifts the
+        // result or the early-exit decision.
+        for len in [4usize, 8, 16, 33, 64] {
+            let x: Vec<u8> = (0..len).map(|i| (i % 3) as u8).collect();
+            let mut y = x.clone();
+            y.rotate_left(1); // distance <= 2, band stays tight
+            let d = wagner_fischer(&x, &y);
+            for bound in [1usize, 2, 3] {
+                let expect = (d <= bound).then_some(d);
+                assert_eq!(
+                    levenshtein_bounded(&x, &y, bound),
+                    expect,
+                    "len {len} bound {bound}"
+                );
+            }
+        }
+        // The historical failure shape: long strings, small bound,
+        // distance just above the bound — stale band-edge cells used
+        // to let a path "tunnel" outside the band.
+        let x: Vec<u8> = (0..120).map(|i| (i % 2) as u8).collect();
+        let mut y = x.clone();
+        y[3] = 7;
+        y[60] = 7;
+        y[110] = 7;
+        assert_eq!(wagner_fischer(&x, &y), 3);
+        assert_eq!(levenshtein_bounded(&x, &y, 2), None);
+        assert_eq!(levenshtein_bounded(&x, &y, 3), Some(3));
+    }
+
+    #[test]
+    fn dispatcher_agrees_with_scalar_reference_across_cutoff() {
+        for len in [MYERS_CUTOFF - 1, MYERS_CUTOFF, MYERS_CUTOFF + 1, 100] {
+            let x: Vec<u8> = (0..len).map(|i| (i % 5) as u8).collect();
+            let y: Vec<u8> = (0..len + 3).map(|i| (i % 4) as u8).collect();
+            assert_eq!(levenshtein(&x, &y), wagner_fischer(&x, &y), "len {len}");
+        }
+    }
+
+    #[test]
     fn matrix_corner_equals_distance() {
         let m = levenshtein_matrix(b"abaa", b"baab");
         assert_eq!(m[4][4], levenshtein(b"abaa", b"baab"));
@@ -314,5 +469,44 @@ mod tests {
         assert_eq!(Distance::<u8>::distance(&d, b"abaa", b"aab"), 2.0);
         assert_eq!(Distance::<u8>::name(&d), "d_E");
         assert!(Distance::<u8>::is_metric(&d));
+    }
+
+    #[test]
+    fn distance_bounded_trait_matches_plain_distance() {
+        let d = Levenshtein;
+        let pairs: [(&[u8], &[u8]); 4] = [
+            (b"kitten", b"sitting"),
+            (b"abaa", b"aab"),
+            (b"", b"abc"),
+            (
+                b"longer-than-the-cutoff-string-aaaa",
+                b"longer-than-the-cutoff-string-bbbb",
+            ),
+        ];
+        for (a, b) in pairs {
+            let full = d.distance(a, b);
+            assert_eq!(d.distance_bounded(a, b, full), Some(full));
+            assert_eq!(d.distance_bounded(a, b, f64::INFINITY), Some(full));
+            if full > 0.0 {
+                assert_eq!(d.distance_bounded(a, b, full - 1.0), None);
+            }
+            assert_eq!(d.distance_bounded(a, b, -1.0), None);
+        }
+    }
+
+    #[test]
+    fn prepared_query_matches_plain_distance() {
+        let d = Levenshtein;
+        let query = b"electroencephalography";
+        let prepared = Distance::<u8>::prepare(&d, query);
+        let targets: [&[u8]; 4] = [b"electro", b"encephalogram", b"", b"electroencephalography"];
+        for t in targets {
+            let full = d.distance(query, t);
+            assert_eq!(prepared.distance_to(t), full);
+            assert_eq!(prepared.distance_to_bounded(t, full), Some(full));
+            if full > 0.0 {
+                assert_eq!(prepared.distance_to_bounded(t, full - 1.0), None);
+            }
+        }
     }
 }

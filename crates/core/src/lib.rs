@@ -34,6 +34,13 @@
 //! verification ([`ratio`]), and a brute-force Dijkstra oracle over
 //! string space ([`brute`]).
 //!
+//! `d_E` itself is served by a three-engine stack — the scalar
+//! two-row reference, Myers' 64×-word-parallel bit-vector kernel
+//! ([`myers`], with a per-query `Peq` cache for batch search), and a
+//! banded bounded variant — selected automatically; see
+//! [`levenshtein`] for the strategy and [`metric::Distance`] for the
+//! `distance_bounded` / `prepare` hooks search structures build on.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -59,6 +66,7 @@ pub mod contextual;
 pub mod generalized;
 pub mod levenshtein;
 pub mod metric;
+pub mod myers;
 pub mod normalized;
 pub mod ops;
 pub mod ratio;
@@ -68,8 +76,9 @@ pub mod prelude {
     pub use crate::contextual::exact::{contextual_distance, Contextual, ContextualAlignment};
     pub use crate::contextual::heuristic::{contextual_heuristic, ContextualHeuristic};
     pub use crate::contextual::weight::{contextual_path_weight, PathShape};
-    pub use crate::levenshtein::{levenshtein, Levenshtein};
-    pub use crate::metric::{Distance, DistanceKind};
+    pub use crate::levenshtein::{levenshtein, levenshtein_bounded, wagner_fischer, Levenshtein};
+    pub use crate::metric::{Distance, DistanceKind, PreparedQuery};
+    pub use crate::myers::{myers, myers_bounded, MyersPattern};
     pub use crate::normalized::marzal_vidal::{marzal_vidal, MarzalVidal};
     pub use crate::normalized::simple::{d_max, d_min, d_sum, MaxNorm, MinNorm, SumNorm};
     pub use crate::normalized::yujian_bo::{yujian_bo, YujianBo};
@@ -79,9 +88,12 @@ pub mod prelude {
 
 /// Bound satisfied by every type usable as a string symbol.
 ///
-/// The blanket implementation means any `Copy + Eq + Debug` type works:
-/// `u8` (dictionary words, Freeman chain codes), `char`, enum
-/// nucleotides, `u32` codepoints, …
-pub trait Symbol: Copy + Eq + core::fmt::Debug {}
+/// The blanket implementation means any `Copy + Eq + Debug` type that
+/// is thread-safe works: `u8` (dictionary words, Freeman chain codes),
+/// `char`, enum nucleotides, `u32` codepoints, … The `Send + Sync`
+/// requirement (trivially met by all of those) is what lets index
+/// construction and batch search fan out across cores without extra
+/// bounds at every call site.
+pub trait Symbol: Copy + Eq + core::fmt::Debug + Send + Sync {}
 
-impl<T: Copy + Eq + core::fmt::Debug> Symbol for T {}
+impl<T: Copy + Eq + core::fmt::Debug + Send + Sync> Symbol for T {}

@@ -22,6 +22,30 @@ pub trait Distance<S: Symbol>: Send + Sync {
     /// (see [`Distance::is_metric`]).
     fn distance(&self, a: &[S], b: &[S]) -> f64;
 
+    /// Distance with an early-exit budget: `Some(d)` iff
+    /// `d = distance(a, b) <= bound`, `None` otherwise.
+    ///
+    /// The default computes the full distance and compares; engines
+    /// with a cheaper "is it within `bound`" answer (Levenshtein via
+    /// [`crate::myers::myers_bounded`]) override it. Nearest-neighbour
+    /// search passes its current best as the bound, so most database
+    /// comparisons can abandon early.
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        let d = self.distance(a, b);
+        (d <= bound).then_some(d)
+    }
+
+    /// Prepare `query` for repeated comparisons against many strings.
+    ///
+    /// The default is a thin wrapper adding nothing; engines with a
+    /// reusable per-query precomputation (Levenshtein's `Peq` symbol
+    /// bitmaps, [`crate::myers::MyersPattern`]) override it. Search
+    /// structures call this once per query and route every database
+    /// comparison through the returned [`PreparedQuery`].
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        Box::new(GenericPrepared { dist: self, query })
+    }
+
     /// Short display name matching the paper's notation (`d_E`, `d_C`,
     /// `d_C,h`, `d_MV`, `d_YB`, `d_max`, …).
     fn name(&self) -> &'static str;
@@ -31,9 +55,42 @@ pub trait Distance<S: Symbol>: Send + Sync {
     fn is_metric(&self) -> bool;
 }
 
+/// A query string bound to a distance, ready for repeated evaluation
+/// against database strings (see [`Distance::prepare`]).
+pub trait PreparedQuery<S: Symbol> {
+    /// Distance from the prepared query to `target`.
+    fn distance_to(&self, target: &[S]) -> f64;
+
+    /// Bounded distance from the prepared query to `target`:
+    /// `Some(d)` iff `d <= bound` (see [`Distance::distance_bounded`]).
+    fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64>;
+}
+
+/// Default [`PreparedQuery`]: no precomputation, forwards to the
+/// underlying distance.
+struct GenericPrepared<'q, S: Symbol, D: Distance<S> + ?Sized> {
+    dist: &'q D,
+    query: &'q [S],
+}
+
+impl<S: Symbol, D: Distance<S> + ?Sized> PreparedQuery<S> for GenericPrepared<'_, S, D> {
+    fn distance_to(&self, target: &[S]) -> f64 {
+        self.dist.distance(self.query, target)
+    }
+    fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64> {
+        self.dist.distance_bounded(self.query, target, bound)
+    }
+}
+
 impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for &D {
     fn distance(&self, a: &[S], b: &[S]) -> f64 {
         (**self).distance(a, b)
+    }
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        (**self).distance_bounded(a, b, bound)
+    }
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        (**self).prepare(query)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -46,6 +103,12 @@ impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for &D {
 impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for Box<D> {
     fn distance(&self, a: &[S], b: &[S]) -> f64 {
         (**self).distance(a, b)
+    }
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        (**self).distance_bounded(a, b, bound)
+    }
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        (**self).prepare(query)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -137,7 +200,12 @@ pub enum MetricViolation<S: Symbol> {
     /// `d(x, x) != 0`, or `d(x, y) == 0` with `x != y`.
     Identity { x: Vec<S>, y: Vec<S>, d: f64 },
     /// `d(x, y) != d(y, x)`.
-    Symmetry { x: Vec<S>, y: Vec<S>, dxy: f64, dyx: f64 },
+    Symmetry {
+        x: Vec<S>,
+        y: Vec<S>,
+        dxy: f64,
+        dyx: f64,
+    },
     /// `d(x, z) > d(x, y) + d(y, z)` beyond tolerance.
     Triangle {
         x: Vec<S>,

@@ -1,0 +1,400 @@
+//! Myers' bit-parallel Levenshtein engine.
+//!
+//! Myers (J. ACM 46(3), 1999) observed that one column of the
+//! Wagner–Fischer dynamic program can be encoded in two bit-vectors —
+//! the positions where the value increases (`Pv`) or decreases (`Mv`)
+//! going down the column, every other position being flat — and that
+//! the transition to the next column is a constant number of word-wide
+//! boolean operations plus one addition whose carry chain performs the
+//! column's min-propagation. The result is a **64× word-parallel**
+//! edit-distance kernel:
+//!
+//! * [`myers`] — drop-in equivalent of
+//!   [`crate::levenshtein::levenshtein`]: single-word fast path when
+//!   the pattern fits in 64 bits, blocked multi-word version beyond
+//!   (Hyyrö's block formulation, the same recurrence edlib and
+//!   Hyyrö's own implementations use);
+//! * [`myers_bounded`] — early-exit variant equivalent to
+//!   [`crate::levenshtein::levenshtein_bounded`]: abandons as soon as
+//!   the running score provably cannot return below the bound;
+//! * [`MyersPattern`] — the batch-search workhorse: precomputes the
+//!   pattern's symbol bitmaps (`Peq`) **once per query string** and
+//!   reuses them against every database string, which removes the
+//!   dominant per-pair setup cost from LAESA/AESA/linear scans.
+//!
+//! Symbols are generic ([`crate::Symbol`] only requires `Copy + Eq`),
+//! so `Peq` is stored per *distinct symbol of the pattern* and looked
+//! up by linear scan — the paper's alphabets (ASCII letters, 4
+//! nucleotides, 8 Freeman directions) are small enough that this
+//! beats hashing, and symbols absent from the pattern short-circuit
+//! to an all-zero row.
+
+use crate::Symbol;
+
+const WORD: usize = 64;
+
+/// Per-symbol match bitmaps (`Peq`) of a fixed pattern string.
+///
+/// `masks[k * words + w]` has bit `i` set iff
+/// `pattern[w * 64 + i] == alphabet[k]`.
+#[derive(Debug, Clone)]
+pub struct PatternBits<S> {
+    len: usize,
+    words: usize,
+    alphabet: Vec<S>,
+    masks: Vec<u64>,
+}
+
+impl<S: Symbol> PatternBits<S> {
+    /// Precompute the bitmaps for `pattern`.
+    pub fn new(pattern: &[S]) -> PatternBits<S> {
+        let words = pattern.len().div_ceil(WORD).max(1);
+        let mut alphabet: Vec<S> = Vec::new();
+        let mut masks: Vec<u64> = Vec::new();
+        for (i, &s) in pattern.iter().enumerate() {
+            let k = match alphabet.iter().position(|&a| a == s) {
+                Some(k) => k,
+                None => {
+                    alphabet.push(s);
+                    masks.resize(masks.len() + words, 0);
+                    alphabet.len() - 1
+                }
+            };
+            masks[k * words + i / WORD] |= 1u64 << (i % WORD);
+        }
+        PatternBits {
+            len: pattern.len(),
+            words,
+            alphabet,
+            masks,
+        }
+    }
+
+    /// Pattern length in symbols.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pattern is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 64-bit words per bitmap row.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The bitmap row for `s`, or `None` when `s` does not occur in
+    /// the pattern (an all-zero row).
+    #[inline]
+    fn row(&self, s: S) -> Option<&[u64]> {
+        self.alphabet
+            .iter()
+            .position(|&a| a == s)
+            .map(|k| &self.masks[k * self.words..(k + 1) * self.words])
+    }
+
+    /// First bitmap word for `s` (single-word fast path).
+    #[inline]
+    fn word0(&self, s: S) -> u64 {
+        match self.alphabet.iter().position(|&a| a == s) {
+            Some(k) => self.masks[k * self.words],
+            None => 0,
+        }
+    }
+}
+
+/// One Myers column transition for a 64-row block.
+///
+/// `hin`/`hout` are the horizontal deltas entering the block's bottom
+/// row and leaving its top row (each −1, 0 or +1). Returns
+/// `(hout, ph, mh)` with `ph`/`mh` the **pre-shift** horizontal delta
+/// masks, whose bit `i` describes row `i + 1` of the block — the
+/// caller reads the score delta of a partial final block from them.
+#[inline]
+fn advance_block(pv: &mut u64, mv: &mut u64, eq: u64, hin: i32) -> (i32, u64, u64) {
+    let hin_neg = u64::from(hin < 0);
+    let mut eq = eq;
+    let xv = eq | *mv;
+    eq |= hin_neg;
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let ph = *mv | !(xh | *pv);
+    let mh = *pv & xh;
+    let hout = ((ph >> (WORD - 1)) & 1) as i32 - ((mh >> (WORD - 1)) & 1) as i32;
+    let ph_shift = (ph << 1) | u64::from(hin > 0);
+    let mh_shift = (mh << 1) | hin_neg;
+    *pv = mh_shift | !(xv | ph_shift);
+    *mv = ph_shift & xv;
+    (hout, ph, mh)
+}
+
+/// Single-word kernel: pattern length `1..=64`.
+fn run_single<S: Symbol>(bits: &PatternBits<S>, text: &[S]) -> usize {
+    let m = bits.len;
+    debug_assert!((1..=WORD).contains(&m));
+    let hbit = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    for &c in text {
+        let eq = bits.word0(c);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & hbit != 0 {
+            score += 1;
+        } else if mh & hbit != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        let mh = mh << 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+/// Blocked kernel: any pattern length, `⌈m/64⌉` words per column.
+///
+/// With `bound = Some(b)`, abandons and returns `None` as soon as the
+/// score cannot come back to `b` within the remaining columns (the
+/// score changes by at most 1 per column).
+fn run_blocked<S: Symbol>(
+    bits: &PatternBits<S>,
+    text: &[S],
+    bound: Option<usize>,
+) -> Option<usize> {
+    let m = bits.len;
+    let blocks = bits.words;
+    let last = blocks - 1;
+    let hbit_shift = (m - 1) % WORD;
+    let mut pv = vec![!0u64; blocks];
+    let mut mv = vec![0u64; blocks];
+    let mut score = m;
+    for (j, &c) in text.iter().enumerate() {
+        let row = bits.row(c);
+        let mut hin = 1i32;
+        for b in 0..blocks {
+            let eq = row.map_or(0, |r| r[b]);
+            let (hout, ph, mh) = advance_block(&mut pv[b], &mut mv[b], eq, hin);
+            if b == last {
+                score += ((ph >> hbit_shift) & 1) as usize;
+                score -= ((mh >> hbit_shift) & 1) as usize;
+            }
+            hin = hout;
+        }
+        if let Some(b) = bound {
+            let remaining = text.len() - (j + 1);
+            if score > b + remaining {
+                return None;
+            }
+        }
+    }
+    match bound {
+        Some(b) if score > b => None,
+        _ => Some(score),
+    }
+}
+
+/// A query string prepared for repeated Myers comparisons.
+///
+/// Build once per query, then compare against a whole database: the
+/// `Peq` bitmaps are computed a single time, which is where batch
+/// search wins over calling [`myers`] per pair.
+///
+/// ```
+/// use cned_core::myers::MyersPattern;
+///
+/// let query = MyersPattern::new(b"kitten");
+/// assert_eq!(query.distance(b"sitting"), 3);
+/// assert_eq!(query.distance_bounded(b"sitting", 3), Some(3));
+/// assert_eq!(query.distance_bounded(b"sitting", 2), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MyersPattern<S> {
+    bits: PatternBits<S>,
+}
+
+impl<S: Symbol> MyersPattern<S> {
+    /// Precompute the bitmaps for `query`.
+    pub fn new(query: &[S]) -> MyersPattern<S> {
+        MyersPattern {
+            bits: PatternBits::new(query),
+        }
+    }
+
+    /// Length of the prepared query.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the prepared query is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Levenshtein distance between the prepared query and `text`.
+    pub fn distance(&self, text: &[S]) -> usize {
+        let m = self.bits.len;
+        if m == 0 {
+            return text.len();
+        }
+        if text.is_empty() {
+            return m;
+        }
+        if self.bits.words == 1 {
+            run_single(&self.bits, text)
+        } else {
+            run_blocked(&self.bits, text, None).expect("unbounded run always completes")
+        }
+    }
+
+    /// Bounded distance: `Some(d)` iff `d <= bound`.
+    pub fn distance_bounded(&self, text: &[S], bound: usize) -> Option<usize> {
+        let m = self.bits.len;
+        let n = text.len();
+        if n.abs_diff(m) > bound {
+            return None;
+        }
+        if bound >= n.max(m) {
+            // The bound can never bite: run unbounded (also dodges any
+            // `bound + remaining` overflow for huge bounds).
+            return Some(self.distance(text));
+        }
+        if m == 0 {
+            return Some(n); // n <= bound via the length check above
+        }
+        run_blocked(&self.bits, text, Some(bound))
+    }
+}
+
+/// Levenshtein distance via the bit-parallel engine.
+///
+/// Picks the shorter string as the pattern so the column height (and
+/// word count) is minimal. Equivalent to
+/// [`crate::levenshtein::levenshtein`] on every input.
+///
+/// ```
+/// use cned_core::myers::myers;
+/// assert_eq!(myers(b"abaa", b"aab"), 2);
+/// assert_eq!(myers(b"kitten", b"sitting"), 3);
+/// ```
+pub fn myers<S: Symbol>(x: &[S], y: &[S]) -> usize {
+    let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    if short.is_empty() {
+        return long.len();
+    }
+    MyersPattern::new(short).distance(long)
+}
+
+/// Bounded Levenshtein distance via the bit-parallel engine:
+/// `Some(d)` iff `d <= bound`. Equivalent to
+/// [`crate::levenshtein::levenshtein_bounded`] on every input.
+pub fn myers_bounded<S: Symbol>(x: &[S], y: &[S], bound: usize) -> Option<usize> {
+    let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    if long.len() - short.len() > bound {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+    MyersPattern::new(short).distance_bounded(long, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::{levenshtein_bounded, wagner_fischer};
+
+    #[test]
+    fn agrees_on_classic_pairs() {
+        let cases: [(&[u8], &[u8]); 7] = [
+            (b"kitten", b"sitting"),
+            (b"abaa", b"aab"),
+            (b"abaa", b"baab"),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"same", b"same"),
+            (b"abcdef", b"ghijkl"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(myers(a, b), wagner_fischer(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn single_word_boundary_lengths() {
+        // Exercise pattern lengths 63, 64, 65 — the word boundary.
+        for m in [1usize, 2, 63, 64, 65, 127, 128, 129, 200] {
+            let x: Vec<u8> = (0..m).map(|i| (i % 7) as u8).collect();
+            let y: Vec<u8> = (0..m + 13).map(|i| (i % 5) as u8).collect();
+            assert_eq!(myers(&x, &y), wagner_fischer(&x, &y), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn deep_match_run_crosses_block_carries() {
+        // Long identical prefixes/suffixes stress the inter-block
+        // horizontal carries.
+        let x: Vec<u8> = std::iter::repeat_n(b'a', 180).collect();
+        let mut y = x.clone();
+        y[70] = b'b';
+        y.insert(130, b'c');
+        assert_eq!(myers(&x, &y), 2);
+        assert_eq!(myers(&x, &x), 0);
+    }
+
+    #[test]
+    fn bounded_agrees_with_scalar_banded() {
+        let x: Vec<u8> = (0..150).map(|i| (i % 4) as u8).collect();
+        let y: Vec<u8> = (0..140).map(|i| ((i + 1) % 4) as u8).collect();
+        let d = wagner_fischer(&x, &y);
+        for bound in [0, 1, d.saturating_sub(1), d, d + 1, d + 50, usize::MAX] {
+            assert_eq!(
+                myers_bounded(&x, &y, bound),
+                levenshtein_bounded(&x, &y, bound),
+                "bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_empty_and_tiny() {
+        assert_eq!(myers_bounded(b"", b"abc", 2), None);
+        assert_eq!(myers_bounded(b"", b"abc", 3), Some(3));
+        assert_eq!(myers_bounded(b"a", b"a", 0), Some(0));
+        assert_eq!(myers_bounded(b"a", b"b", 0), None);
+        assert_eq!(myers_bounded::<u8>(b"", b"", 0), Some(0));
+    }
+
+    #[test]
+    fn pattern_reuse_matches_one_shot() {
+        let query = b"abracadabra";
+        let prepared = MyersPattern::new(query);
+        let db: [&[u8]; 5] = [b"abracadabra", b"cadabra", b"abrakadabra", b"", b"xyz"];
+        for item in db {
+            assert_eq!(prepared.distance(item), wagner_fischer(query, item));
+            let d = wagner_fischer(query, item);
+            assert_eq!(prepared.distance_bounded(item, d), Some(d));
+            if d > 0 {
+                assert_eq!(prepared.distance_bounded(item, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn non_byte_symbols_work() {
+        let x: Vec<u32> = (0..100).collect();
+        let y: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(myers(&x, &y), wagner_fischer(&x, &y));
+    }
+
+    #[test]
+    fn symbols_absent_from_pattern_mismatch_everywhere() {
+        let x = vec![1u8; 70];
+        let y = vec![2u8; 70];
+        assert_eq!(myers(&x, &y), 70);
+    }
+}

@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn check_triangle_finds_the_violations() {
-        let sample: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba"].iter().map(|w| w.to_vec()).collect();
+        let sample: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect();
         assert!(matches!(
             check_triangle(&SumNorm, &sample),
             Some(MetricViolation::Triangle { .. })
@@ -153,7 +156,10 @@ mod tests {
             check_triangle(&MaxNorm, &sample),
             Some(MetricViolation::Triangle { .. })
         ));
-        let sample2: Vec<Vec<u8>> = [&b"b"[..], b"ba", b"aa"].iter().map(|w| w.to_vec()).collect();
+        let sample2: Vec<Vec<u8>> = [&b"b"[..], b"ba", b"aa"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect();
         assert!(matches!(
             check_triangle(&MinNorm, &sample2),
             Some(MetricViolation::Triangle { .. })

@@ -204,8 +204,8 @@ mod tests {
         // Paper Example 4, first path:
         // ababa →d abaa →d baa →i baab, weight 1/5 + 1/4 + 1/4 = 7/10.
         let script = [
-            EditOp::Delete { pos: 3 },        // ababa(5) -> abaa, cost 1/5
-            EditOp::Delete { pos: 0 },        // abaa(4) -> baa, cost 1/4
+            EditOp::Delete { pos: 3 },            // ababa(5) -> abaa, cost 1/5
+            EditOp::Delete { pos: 0 },            // abaa(4) -> baa, cost 1/4
             EditOp::Insert { pos: 3, sym: b'b' }, // baa(3) -> baab, cost 1/4
         ];
         assert_eq!(apply_script(b"ababa", &script), b"baab");

@@ -10,7 +10,10 @@ use cned_core::contextual::exact::{contextual_alignment, contextual_distance, Co
 use cned_core::contextual::heuristic::{contextual_heuristic, heuristic_k_ni};
 use cned_core::contextual::weight::trivial_path_weight;
 use cned_core::generalized::{generalized_edit_distance, UnitCosts};
-use cned_core::levenshtein::{edit_script, levenshtein, levenshtein_bounded};
+use cned_core::levenshtein::{
+    edit_script, levenshtein, levenshtein_bounded, wagner_fischer, MYERS_CUTOFF,
+};
+use cned_core::myers::{myers, myers_bounded, MyersPattern};
 use cned_core::normalized::marzal_vidal::marzal_vidal;
 use cned_core::normalized::yujian_bo::yujian_bo;
 use cned_core::ops::{apply_script, script_contextual_weight};
@@ -33,6 +36,19 @@ fn small_string() -> impl Strategy<Value = Vec<u8>> {
 /// Longer strings over a wider alphabet for cheap invariants.
 fn medium_string() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(0u8..8, 0..=24)
+}
+
+/// Long byte strings spanning the bit-parallel engine's 64-symbol
+/// word boundary (single-word vs blocked kernels) and the dispatcher
+/// cutoff.
+fn long_string() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..6, 0..=200)
+}
+
+/// Long strings of wide (u32) symbols — the generic-symbol path of
+/// the Peq cache.
+fn long_u32_string() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..9, 0..=200)
 }
 
 proptest! {
@@ -80,6 +96,71 @@ proptest! {
     fn generalized_unit_costs_recover_levenshtein(x in medium_string(), y in medium_string()) {
         let g = generalized_edit_distance(&x, &y, &UnitCosts);
         prop_assert!((g - levenshtein(&x, &y) as f64).abs() < EPS);
+    }
+
+    // ---------------- Myers bit-parallel engine ----------------
+
+    #[test]
+    fn myers_matches_wagner_fischer_on_long_u8(x in long_string(), y in long_string()) {
+        // Lengths 0–200 span the 64-symbol word boundary: single-word
+        // kernel, blocked kernel and the dispatcher cutoff all land in
+        // this range.
+        prop_assert_eq!(myers(&x, &y), wagner_fischer(&x, &y));
+        prop_assert_eq!(levenshtein(&x, &y), wagner_fischer(&x, &y));
+    }
+
+    #[test]
+    fn myers_matches_wagner_fischer_on_long_u32(x in long_u32_string(), y in long_u32_string()) {
+        prop_assert_eq!(myers(&x, &y), wagner_fischer(&x, &y));
+        prop_assert_eq!(levenshtein(&x, &y), wagner_fischer(&x, &y));
+    }
+
+    #[test]
+    fn myers_bounded_matches_levenshtein_bounded(
+        x in long_string(),
+        y in long_string(),
+        slack in 0usize..4,
+    ) {
+        let d = wagner_fischer(&x, &y);
+        // Around the true distance (the regime search cares about)…
+        prop_assert_eq!(myers_bounded(&x, &y, d + slack), Some(d));
+        prop_assert_eq!(levenshtein_bounded(&x, &y, d + slack), Some(d));
+        if d > 0 {
+            let below = d - 1 - (slack.min(d - 1));
+            prop_assert_eq!(myers_bounded(&x, &y, below), levenshtein_bounded(&x, &y, below));
+            prop_assert_eq!(myers_bounded(&x, &y, below), None);
+        }
+        // …and at arbitrary small bounds the engines agree exactly.
+        prop_assert_eq!(myers_bounded(&x, &y, slack), levenshtein_bounded(&x, &y, slack));
+    }
+
+    #[test]
+    fn myers_pattern_reuse_is_consistent(
+        q in long_string(),
+        targets in proptest::collection::vec(long_string(), 1..=6),
+    ) {
+        // One prepared pattern against many targets must equal
+        // independent one-shot computations (cache reuse is pure).
+        let prepared = MyersPattern::new(&q);
+        for t in &targets {
+            let expect = wagner_fischer(&q, t);
+            prop_assert_eq!(prepared.distance(t), expect);
+            prop_assert_eq!(prepared.distance_bounded(t, expect), Some(expect));
+            if expect > 0 {
+                prop_assert_eq!(prepared.distance_bounded(t, expect - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_cutoff_is_seamless(
+        x in proptest::collection::vec(0u8..4, 0..=40),
+        y in proptest::collection::vec(0u8..4, 0..=40),
+    ) {
+        // Strings straddling MYERS_CUTOFF on either side: the public
+        // dispatcher must be engine-invisible.
+        prop_assert!(MYERS_CUTOFF < 40, "strategy must straddle the cutoff");
+        prop_assert_eq!(levenshtein(&x, &y), wagner_fischer(&x, &y));
     }
 
     // ---------------- Contextual: exactness ----------------

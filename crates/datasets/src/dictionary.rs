@@ -17,61 +17,490 @@ use std::collections::HashSet;
 /// Training data for the bigram model *and* the first entries of every
 /// generated dictionary.
 pub const SEED_LEXICON: &[&str] = &[
-    "casa", "perro", "gato", "mesa", "silla", "ventana", "puerta", "libro", "papel", "ciudad",
-    "campo", "montana", "playa", "coche", "camion", "bicicleta", "tren", "avion", "barco", "agua",
-    "fuego", "tierra", "viento", "tiempo", "momento", "historia", "palabra", "frase", "idioma",
-    "lengua", "persona", "hombre", "mujer", "nino", "nina", "familia", "padre", "madre", "hermano",
-    "hermana", "abuelo", "abuela", "amigo", "amiga", "trabajo", "oficina", "escuela",
-    "universidad", "estudiante", "profesor", "maestro", "medico", "enfermera", "abogado",
-    "ingeniero", "musica", "cancion", "baile", "pintura", "cuadro", "museo", "teatro", "cine",
-    "pelicula", "television", "radio", "periodico", "revista", "noticia", "mercado", "tienda",
-    "restaurante", "comida", "desayuno", "almuerzo", "cena", "pan", "leche", "queso", "huevo",
-    "carne", "pescado", "pollo", "arroz", "frijoles", "verdura", "fruta", "manzana", "naranja",
-    "platano", "uva", "fresa", "limon", "tomate", "cebolla", "papa", "zanahoria", "azucar", "sal",
-    "pimienta", "aceite", "vinagre", "vino", "cerveza", "cafe", "te", "jugo", "refresco", "hielo",
-    "cocina", "comedor", "dormitorio", "bano", "jardin", "garaje", "techo", "pared", "suelo",
-    "escalera", "ascensor", "edificio", "apartamento", "calle", "avenida", "plaza", "parque",
-    "puente", "camino", "carretera", "semaforo", "esquina", "barrio", "pueblo", "pais", "mundo",
-    "continente", "oceano", "rio", "lago", "isla", "bosque", "selva", "desierto", "nieve",
-    "lluvia", "tormenta", "nube", "sol", "luna", "estrella", "cielo", "amanecer", "atardecer",
-    "noche", "dia", "semana", "mes", "ano", "siglo", "hora", "minuto", "segundo", "reloj",
-    "calendario", "fecha", "cumpleanos", "fiesta", "regalo", "sorpresa", "alegria", "tristeza",
-    "miedo", "esperanza", "amor", "odio", "paz", "guerra", "libertad", "justicia", "verdad",
-    "mentira", "pregunta", "respuesta", "problema", "solucion", "idea", "pensamiento", "memoria",
-    "recuerdo", "sueno", "realidad", "futuro", "pasado", "presente", "principio", "final",
-    "centro", "lado", "arriba", "abajo", "dentro", "fuera", "cerca", "lejos", "grande", "pequeno",
-    "alto", "bajo", "largo", "corto", "ancho", "estrecho", "gordo", "delgado", "fuerte", "debil",
-    "rapido", "lento", "nuevo", "viejo", "joven", "antiguo", "moderno", "facil", "dificil",
-    "posible", "imposible", "importante", "necesario", "suficiente", "demasiado", "bastante",
-    "poco", "mucho", "todo", "nada", "algo", "alguien", "nadie", "siempre", "nunca", "ahora",
-    "luego", "despues", "antes", "durante", "mientras", "cuando", "donde", "como", "porque",
-    "aunque", "entonces", "tambien", "tampoco", "quizas", "claro", "exacto", "correcto",
-    "equivocado", "verdadero", "falso", "bueno", "malo", "mejor", "peor", "primero", "ultimo",
-    "siguiente", "anterior", "caballo", "vaca", "toro", "oveja", "cabra", "cerdo", "gallina",
-    "pato", "pajaro", "aguila", "paloma", "raton", "conejo", "ardilla", "lobo", "zorro", "oso",
-    "leon", "tigre", "elefante", "jirafa", "mono", "serpiente", "tortuga", "rana", "pez",
-    "tiburon", "ballena", "delfin", "pulpo", "cangrejo", "abeja", "mariposa", "hormiga", "arana",
-    "mosca", "mosquito", "caminar", "correr", "saltar", "nadar", "volar", "subir", "bajar",
-    "entrar", "salir", "llegar", "partir", "viajar", "conducir", "parar", "esperar", "buscar",
-    "encontrar", "perder", "ganar", "comprar", "vender", "pagar", "costar", "deber", "prestar",
-    "devolver", "dar", "recibir", "tomar", "dejar", "poner", "quitar", "abrir", "cerrar",
-    "empezar", "terminar", "seguir", "cambiar", "mejorar", "empeorar", "crecer", "nacer", "vivir",
-    "morir", "comer", "beber", "cocinar", "probar", "dormir", "despertar", "levantar", "sentar",
-    "acostar", "banar", "duchar", "vestir", "lavar", "limpiar", "ordenar", "romper", "arreglar",
-    "construir", "destruir", "crear", "inventar", "descubrir", "aprender", "ensenar", "estudiar",
-    "leer", "escribir", "contar", "hablar", "decir", "preguntar", "responder", "escuchar", "oir",
-    "mirar", "ver", "observar", "mostrar", "explicar", "entender", "comprender", "saber",
-    "conocer", "pensar", "creer", "recordar", "olvidar", "imaginar", "sonar", "querer", "desear",
-    "necesitar", "poder", "intentar", "lograr", "conseguir", "ayudar", "servir", "cuidar",
-    "proteger", "defender", "atacar", "luchar", "jugar", "cantar", "bailar", "tocar", "pintar",
-    "dibujar", "cortar", "pegar", "coser", "tejer", "plantar", "regar", "cosechar", "cazar",
-    "pescar", "trabajador", "panaderia", "carniceria", "farmacia", "hospital", "biblioteca",
-    "iglesia", "catedral", "castillo", "palacio", "torre", "muralla", "fuente", "estatua",
-    "monumento", "bandera", "himno", "gobierno", "presidente", "ministro", "alcalde", "policia",
-    "bombero", "soldado", "ejercito", "batalla", "victoria", "derrota", "campeon", "equipo",
-    "partido", "pelota", "porteria", "cancha", "estadio", "carrera", "meta", "premio", "medalla",
-    "zapato", "calcetin", "pantalon", "camisa", "chaqueta", "abrigo", "bufanda", "guante",
-    "sombrero", "gorra", "vestido", "falda", "cinturon", "bolsillo", "boton", "corbata",
+    "casa",
+    "perro",
+    "gato",
+    "mesa",
+    "silla",
+    "ventana",
+    "puerta",
+    "libro",
+    "papel",
+    "ciudad",
+    "campo",
+    "montana",
+    "playa",
+    "coche",
+    "camion",
+    "bicicleta",
+    "tren",
+    "avion",
+    "barco",
+    "agua",
+    "fuego",
+    "tierra",
+    "viento",
+    "tiempo",
+    "momento",
+    "historia",
+    "palabra",
+    "frase",
+    "idioma",
+    "lengua",
+    "persona",
+    "hombre",
+    "mujer",
+    "nino",
+    "nina",
+    "familia",
+    "padre",
+    "madre",
+    "hermano",
+    "hermana",
+    "abuelo",
+    "abuela",
+    "amigo",
+    "amiga",
+    "trabajo",
+    "oficina",
+    "escuela",
+    "universidad",
+    "estudiante",
+    "profesor",
+    "maestro",
+    "medico",
+    "enfermera",
+    "abogado",
+    "ingeniero",
+    "musica",
+    "cancion",
+    "baile",
+    "pintura",
+    "cuadro",
+    "museo",
+    "teatro",
+    "cine",
+    "pelicula",
+    "television",
+    "radio",
+    "periodico",
+    "revista",
+    "noticia",
+    "mercado",
+    "tienda",
+    "restaurante",
+    "comida",
+    "desayuno",
+    "almuerzo",
+    "cena",
+    "pan",
+    "leche",
+    "queso",
+    "huevo",
+    "carne",
+    "pescado",
+    "pollo",
+    "arroz",
+    "frijoles",
+    "verdura",
+    "fruta",
+    "manzana",
+    "naranja",
+    "platano",
+    "uva",
+    "fresa",
+    "limon",
+    "tomate",
+    "cebolla",
+    "papa",
+    "zanahoria",
+    "azucar",
+    "sal",
+    "pimienta",
+    "aceite",
+    "vinagre",
+    "vino",
+    "cerveza",
+    "cafe",
+    "te",
+    "jugo",
+    "refresco",
+    "hielo",
+    "cocina",
+    "comedor",
+    "dormitorio",
+    "bano",
+    "jardin",
+    "garaje",
+    "techo",
+    "pared",
+    "suelo",
+    "escalera",
+    "ascensor",
+    "edificio",
+    "apartamento",
+    "calle",
+    "avenida",
+    "plaza",
+    "parque",
+    "puente",
+    "camino",
+    "carretera",
+    "semaforo",
+    "esquina",
+    "barrio",
+    "pueblo",
+    "pais",
+    "mundo",
+    "continente",
+    "oceano",
+    "rio",
+    "lago",
+    "isla",
+    "bosque",
+    "selva",
+    "desierto",
+    "nieve",
+    "lluvia",
+    "tormenta",
+    "nube",
+    "sol",
+    "luna",
+    "estrella",
+    "cielo",
+    "amanecer",
+    "atardecer",
+    "noche",
+    "dia",
+    "semana",
+    "mes",
+    "ano",
+    "siglo",
+    "hora",
+    "minuto",
+    "segundo",
+    "reloj",
+    "calendario",
+    "fecha",
+    "cumpleanos",
+    "fiesta",
+    "regalo",
+    "sorpresa",
+    "alegria",
+    "tristeza",
+    "miedo",
+    "esperanza",
+    "amor",
+    "odio",
+    "paz",
+    "guerra",
+    "libertad",
+    "justicia",
+    "verdad",
+    "mentira",
+    "pregunta",
+    "respuesta",
+    "problema",
+    "solucion",
+    "idea",
+    "pensamiento",
+    "memoria",
+    "recuerdo",
+    "sueno",
+    "realidad",
+    "futuro",
+    "pasado",
+    "presente",
+    "principio",
+    "final",
+    "centro",
+    "lado",
+    "arriba",
+    "abajo",
+    "dentro",
+    "fuera",
+    "cerca",
+    "lejos",
+    "grande",
+    "pequeno",
+    "alto",
+    "bajo",
+    "largo",
+    "corto",
+    "ancho",
+    "estrecho",
+    "gordo",
+    "delgado",
+    "fuerte",
+    "debil",
+    "rapido",
+    "lento",
+    "nuevo",
+    "viejo",
+    "joven",
+    "antiguo",
+    "moderno",
+    "facil",
+    "dificil",
+    "posible",
+    "imposible",
+    "importante",
+    "necesario",
+    "suficiente",
+    "demasiado",
+    "bastante",
+    "poco",
+    "mucho",
+    "todo",
+    "nada",
+    "algo",
+    "alguien",
+    "nadie",
+    "siempre",
+    "nunca",
+    "ahora",
+    "luego",
+    "despues",
+    "antes",
+    "durante",
+    "mientras",
+    "cuando",
+    "donde",
+    "como",
+    "porque",
+    "aunque",
+    "entonces",
+    "tambien",
+    "tampoco",
+    "quizas",
+    "claro",
+    "exacto",
+    "correcto",
+    "equivocado",
+    "verdadero",
+    "falso",
+    "bueno",
+    "malo",
+    "mejor",
+    "peor",
+    "primero",
+    "ultimo",
+    "siguiente",
+    "anterior",
+    "caballo",
+    "vaca",
+    "toro",
+    "oveja",
+    "cabra",
+    "cerdo",
+    "gallina",
+    "pato",
+    "pajaro",
+    "aguila",
+    "paloma",
+    "raton",
+    "conejo",
+    "ardilla",
+    "lobo",
+    "zorro",
+    "oso",
+    "leon",
+    "tigre",
+    "elefante",
+    "jirafa",
+    "mono",
+    "serpiente",
+    "tortuga",
+    "rana",
+    "pez",
+    "tiburon",
+    "ballena",
+    "delfin",
+    "pulpo",
+    "cangrejo",
+    "abeja",
+    "mariposa",
+    "hormiga",
+    "arana",
+    "mosca",
+    "mosquito",
+    "caminar",
+    "correr",
+    "saltar",
+    "nadar",
+    "volar",
+    "subir",
+    "bajar",
+    "entrar",
+    "salir",
+    "llegar",
+    "partir",
+    "viajar",
+    "conducir",
+    "parar",
+    "esperar",
+    "buscar",
+    "encontrar",
+    "perder",
+    "ganar",
+    "comprar",
+    "vender",
+    "pagar",
+    "costar",
+    "deber",
+    "prestar",
+    "devolver",
+    "dar",
+    "recibir",
+    "tomar",
+    "dejar",
+    "poner",
+    "quitar",
+    "abrir",
+    "cerrar",
+    "empezar",
+    "terminar",
+    "seguir",
+    "cambiar",
+    "mejorar",
+    "empeorar",
+    "crecer",
+    "nacer",
+    "vivir",
+    "morir",
+    "comer",
+    "beber",
+    "cocinar",
+    "probar",
+    "dormir",
+    "despertar",
+    "levantar",
+    "sentar",
+    "acostar",
+    "banar",
+    "duchar",
+    "vestir",
+    "lavar",
+    "limpiar",
+    "ordenar",
+    "romper",
+    "arreglar",
+    "construir",
+    "destruir",
+    "crear",
+    "inventar",
+    "descubrir",
+    "aprender",
+    "ensenar",
+    "estudiar",
+    "leer",
+    "escribir",
+    "contar",
+    "hablar",
+    "decir",
+    "preguntar",
+    "responder",
+    "escuchar",
+    "oir",
+    "mirar",
+    "ver",
+    "observar",
+    "mostrar",
+    "explicar",
+    "entender",
+    "comprender",
+    "saber",
+    "conocer",
+    "pensar",
+    "creer",
+    "recordar",
+    "olvidar",
+    "imaginar",
+    "sonar",
+    "querer",
+    "desear",
+    "necesitar",
+    "poder",
+    "intentar",
+    "lograr",
+    "conseguir",
+    "ayudar",
+    "servir",
+    "cuidar",
+    "proteger",
+    "defender",
+    "atacar",
+    "luchar",
+    "jugar",
+    "cantar",
+    "bailar",
+    "tocar",
+    "pintar",
+    "dibujar",
+    "cortar",
+    "pegar",
+    "coser",
+    "tejer",
+    "plantar",
+    "regar",
+    "cosechar",
+    "cazar",
+    "pescar",
+    "trabajador",
+    "panaderia",
+    "carniceria",
+    "farmacia",
+    "hospital",
+    "biblioteca",
+    "iglesia",
+    "catedral",
+    "castillo",
+    "palacio",
+    "torre",
+    "muralla",
+    "fuente",
+    "estatua",
+    "monumento",
+    "bandera",
+    "himno",
+    "gobierno",
+    "presidente",
+    "ministro",
+    "alcalde",
+    "policia",
+    "bombero",
+    "soldado",
+    "ejercito",
+    "batalla",
+    "victoria",
+    "derrota",
+    "campeon",
+    "equipo",
+    "partido",
+    "pelota",
+    "porteria",
+    "cancha",
+    "estadio",
+    "carrera",
+    "meta",
+    "premio",
+    "medalla",
+    "zapato",
+    "calcetin",
+    "pantalon",
+    "camisa",
+    "chaqueta",
+    "abrigo",
+    "bufanda",
+    "guante",
+    "sombrero",
+    "gorra",
+    "vestido",
+    "falda",
+    "cinturon",
+    "bolsillo",
+    "boton",
+    "corbata",
 ];
 
 /// A character-bigram Markov model over word characters with explicit

@@ -270,7 +270,10 @@ pub fn generate_digits_with(per_class: usize, seed: u64, cfg: DigitConfig) -> Ve
                     break chain;
                 }
             };
-            out.push(DigitSample { label: digit, chain });
+            out.push(DigitSample {
+                label: digit,
+                chain,
+            });
         }
     }
     out
@@ -348,7 +351,12 @@ mod tests {
             let v: Vec<_> = data.iter().filter(|s| s.label == d).collect();
             v.iter().map(|s| s.chain.len()).sum::<usize>() as f64 / v.len() as f64
         };
-        assert!(avg(0) > avg(1) * 0.8, "0 perimeter {} vs 1 {}", avg(0), avg(1));
+        assert!(
+            avg(0) > avg(1) * 0.8,
+            "0 perimeter {} vs 1 {}",
+            avg(0),
+            avg(1)
+        );
     }
 
     #[test]

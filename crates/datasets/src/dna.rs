@@ -81,9 +81,9 @@ impl Default for TransitionMatrix {
 impl TransitionMatrix {
     /// Validate row-stochasticity within tolerance.
     pub fn is_stochastic(&self) -> bool {
-        self.0
-            .iter()
-            .all(|row| (row.iter().sum::<f64>() - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0))
+        self.0.iter().all(|row| {
+            (row.iter().sum::<f64>() - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0)
+        })
     }
 
     fn step(&self, from: usize, rng: &mut StdRng) -> usize {
@@ -121,7 +121,10 @@ pub fn dna_sequences_with(
     law: LengthLaw,
     matrix: TransitionMatrix,
 ) -> Vec<Vec<u8>> {
-    assert!(matrix.is_stochastic(), "transition matrix must be row-stochastic");
+    assert!(
+        matrix.is_stochastic(),
+        "transition matrix must be row-stochastic"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {

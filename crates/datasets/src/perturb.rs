@@ -90,7 +90,10 @@ mod tests {
         let changed = (0..100)
             .filter(|_| perturb(b"palabra", 2, ASCII_LOWER, &mut rng) != b"palabra")
             .count();
-        assert!(changed > 80, "only {changed}/100 perturbations changed the word");
+        assert!(
+            changed > 80,
+            "only {changed}/100 perturbations changed the word"
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl Bitmap {
         let mut s = String::with_capacity((self.width + 1) * self.height);
         for y in 0..self.height {
             for x in 0..self.width {
-                s.push(if self.pixels[y * self.width + x] { '#' } else { '.' });
+                s.push(if self.pixels[y * self.width + x] {
+                    '#'
+                } else {
+                    '.'
+                });
             }
             s.push('\n');
         }
@@ -160,7 +164,10 @@ impl Affine {
     /// Map a unit-square point to pixel coordinates.
     #[inline]
     pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
-        (self.a * x + self.b * y + self.tx, self.c * x + self.d * y + self.ty)
+        (
+            self.a * x + self.b * y + self.tx,
+            self.c * x + self.d * y + self.ty,
+        )
     }
 }
 

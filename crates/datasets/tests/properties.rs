@@ -2,32 +2,30 @@
 //! raster → contour → chain-code pipeline, whose invariants must hold
 //! for *any* bitmap, not just digit glyphs.
 
+use cned_core::levenshtein::levenshtein;
 use cned_datasets::chain::{chain_code, freeman_step, replay_chain};
 use cned_datasets::contour::trace_boundary;
 use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::dna::{dna_sequences_with, LengthLaw, TransitionMatrix};
 use cned_datasets::perturb::{perturb, ASCII_LOWER};
 use cned_datasets::raster::Bitmap;
-use cned_core::levenshtein::levenshtein;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Random small bitmaps: dimensions 1..=12, arbitrary ink.
 fn bitmap_strategy() -> impl Strategy<Value = Bitmap> {
-    (1usize..=12, 1usize..=12)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(proptest::bool::weighted(0.35), w * h)
-                .prop_map(move |cells| {
-                    let mut b = Bitmap::new(w, h);
-                    for (i, &ink) in cells.iter().enumerate() {
-                        if ink {
-                            b.set((i % w) as i32, (i / w) as i32);
-                        }
-                    }
-                    b
-                })
+    (1usize..=12, 1usize..=12).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(proptest::bool::weighted(0.35), w * h).prop_map(move |cells| {
+            let mut b = Bitmap::new(w, h);
+            for (i, &ink) in cells.iter().enumerate() {
+                if ink {
+                    b.set((i % w) as i32, (i / w) as i32);
+                }
+            }
+            b
         })
+    })
 }
 
 proptest! {

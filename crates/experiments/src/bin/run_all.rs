@@ -14,31 +14,47 @@ fn timed<F: FnOnce()>(name: &str, f: F) {
 fn main() -> std::io::Result<()> {
     let t0 = Instant::now();
     timed("fig1", || {
-        fig1::run(fig1::Params::default()).report().expect("fig1 report");
+        fig1::run(fig1::Params::default())
+            .report()
+            .expect("fig1 report");
     });
     timed("agreement", || {
         agreement::report(&agreement::run(agreement::Params::default()));
     });
     timed("fig2", || {
-        fig2::run(fig2::Params::default()).report().expect("fig2 report");
+        fig2::run(fig2::Params::default())
+            .report()
+            .expect("fig2 report");
     });
     timed("table1", || {
-        table1::run(table1::Params::default()).report().expect("table1 report");
+        table1::run(table1::Params::default())
+            .report()
+            .expect("table1 report");
     });
     timed("fig3", || {
         let p = laesa_sweep::Params::fig3();
         let sweeps = laesa_sweep::run(&p);
-        laesa_sweep::report(&sweeps, "fig3_laesa_dictionary", "Figure 3: LAESA on the Spanish dictionary")
-            .expect("fig3 report");
+        laesa_sweep::report(
+            &sweeps,
+            "fig3_laesa_dictionary",
+            "Figure 3: LAESA on the Spanish dictionary",
+        )
+        .expect("fig3 report");
     });
     timed("fig4", || {
         let p = laesa_sweep::Params::fig4();
         let sweeps = laesa_sweep::run(&p);
-        laesa_sweep::report(&sweeps, "fig4_laesa_digits", "Figure 4: LAESA on handwritten digits")
-            .expect("fig4 report");
+        laesa_sweep::report(
+            &sweeps,
+            "fig4_laesa_digits",
+            "Figure 4: LAESA on handwritten digits",
+        )
+        .expect("fig4 report");
     });
     timed("table2", || {
-        table2::run(table2::Params::default()).report().expect("table2 report");
+        table2::run(table2::Params::default())
+            .report()
+            .expect("table2 report");
     });
     println!("all experiments done in {:.1?}", t0.elapsed());
     Ok(())

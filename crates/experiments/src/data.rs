@@ -1,9 +1,9 @@
 //! Standard dataset instances with fixed seeds, shared by all
 //! experiment runners so figures and tables describe the same data.
 
+use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::digits::{generate_digits, DigitSample};
 use cned_datasets::dna::dna_sequences;
-use cned_datasets::dictionary::spanish_dictionary;
 
 /// Canonical seed for training-side data.
 pub const TRAIN_SEED: u64 = 0xCED_2008;

@@ -88,7 +88,9 @@ impl Output {
             "d_C   : mean {:.4}  std {:.4}  rho(Chavez) {:.2}  rho(paper mu^2/s^2) {:.2}",
             self.moments_exact.mean(),
             self.moments_exact.std_dev(),
-            self.moments_exact.intrinsic_dimensionality().unwrap_or(f64::NAN),
+            self.moments_exact
+                .intrinsic_dimensionality()
+                .unwrap_or(f64::NAN),
             self.moments_exact
                 .intrinsic_dimensionality_paper()
                 .unwrap_or(f64::NAN),

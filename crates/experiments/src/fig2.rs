@@ -106,7 +106,11 @@ impl Output {
     pub fn report(&self) -> std::io::Result<()> {
         println!("== Figure 2: gene distance histograms ==");
         println!("pairs evaluated: {}", self.pairs);
-        for s in self.normalised.iter().chain(std::iter::once(&self.levenshtein)) {
+        for s in self
+            .normalised
+            .iter()
+            .chain(std::iter::once(&self.levenshtein))
+        {
             println!(
                 "{:<6} mean {:>8.4}  std {:>8.4}  rho {:>7.2}  mode-bin width {:>3}",
                 s.label,

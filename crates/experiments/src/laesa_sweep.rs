@@ -19,8 +19,8 @@
 
 use crate::report::{results_dir, write_dat};
 use cned_core::metric::DistanceKind;
-use cned_datasets::digits::generate_digits;
 use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::digits::generate_digits;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
 use cned_search::pivots::select_pivots_max_sum;
@@ -110,22 +110,24 @@ fn make_data(p: &Params, rep: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
             // Fresh prototype set per repetition: disjoint slices of a
             // larger generated dictionary.
             let pool = spanish_dictionary(p.training * p.reps, crate::data::TRAIN_SEED);
-            let training: Vec<Vec<u8>> =
-                pool[rep * p.training..(rep + 1) * p.training].to_vec();
+            let training: Vec<Vec<u8>> = pool[rep * p.training..(rep + 1) * p.training].to_vec();
             let queries = gen_queries(&training, p.queries, 2, ASCII_LOWER, rep_seed);
             (training, queries)
         }
         SweepDataset::Digits => {
             let per_class = p.training.div_ceil(10);
             let train = generate_digits(per_class, crate::data::TRAIN_SEED ^ rep_seed);
-            let test = generate_digits(
-                p.queries.div_ceil(10),
-                crate::data::TEST_SEED ^ rep_seed,
-            );
-            let training: Vec<Vec<u8>> =
-                train.iter().take(p.training).map(|s| s.chain.clone()).collect();
-            let queries: Vec<Vec<u8>> =
-                test.iter().take(p.queries).map(|s| s.chain.clone()).collect();
+            let test = generate_digits(p.queries.div_ceil(10), crate::data::TEST_SEED ^ rep_seed);
+            let training: Vec<Vec<u8>> = train
+                .iter()
+                .take(p.training)
+                .map(|s| s.chain.clone())
+                .collect();
+            let queries: Vec<Vec<u8>> = test
+                .iter()
+                .take(p.queries)
+                .map(|s| s.chain.clone())
+                .collect();
             (training, queries)
         }
     }

@@ -144,7 +144,11 @@ impl Output {
         }
         text.push_str(&format!(
             "\nordering claim (d_C,h lowest normalised rho, d_E lowest overall): {}\n",
-            if self.ordering_holds() { "HOLDS" } else { "VIOLATED" }
+            if self.ordering_holds() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         ));
         print!("{text}");
         let path = results_dir().join("table1_intrinsic_dimension.txt");

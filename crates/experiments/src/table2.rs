@@ -117,8 +117,7 @@ pub fn run(p: Params) -> Output {
 
             row.exhaustive_error += cm_e.error_rate_percent() / p.reps as f64;
             row.laesa_error += cm_l.error_rate_percent() / p.reps as f64;
-            row.exhaustive_computations +=
-                comp_e as f64 / test.len() as f64 / p.reps as f64;
+            row.exhaustive_computations += comp_e as f64 / test.len() as f64 / p.reps as f64;
             row.laesa_computations += comp_l as f64 / test.len() as f64 / p.reps as f64;
         }
     }
@@ -141,10 +140,8 @@ impl Output {
         let all_normalised_beat_de = ["d_YB", "d_MV", "d_C", "d_C,h", "d_max"]
             .iter()
             .all(|l| self.row(l).exhaustive_error <= de);
-        let heuristic_matches_exact = (self.row("d_C").exhaustive_error
-            - self.row("d_C,h").exhaustive_error)
-            .abs()
-            < 1e-9;
+        let heuristic_matches_exact =
+            (self.row("d_C").exhaustive_error - self.row("d_C,h").exhaustive_error).abs() < 1e-9;
         all_normalised_beat_de && heuristic_matches_exact
     }
 
@@ -169,7 +166,11 @@ impl Output {
         }
         text.push_str(&format!(
             "\nordering claim (normalisations beat d_E; d_C == d_C,h): {}\n",
-            if self.ordering_holds() { "HOLDS" } else { "VIOLATED" }
+            if self.ordering_holds() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         ));
         print!("{text}");
         let path = results_dir().join("table2_classification.txt");

@@ -11,6 +11,7 @@
 //! (Rico-Juan & Micó compare AESA and LAESA with string edit
 //! distances).
 
+use crate::parallel::par_map;
 use crate::{Neighbour, SearchStats};
 use cned_core::metric::Distance;
 use cned_core::Symbol;
@@ -24,15 +25,22 @@ pub struct Aesa<S: Symbol> {
 }
 
 impl<S: Symbol> Aesa<S> {
-    /// Build the full matrix: `n·(n−1)/2` distance computations.
+    /// Build the full matrix: `n·(n−1)/2` distance computations,
+    /// fanned out across cores (see [`crate::parallel`]; the strided
+    /// work split balances the triangle's shrinking rows). Each worker
+    /// prepares row `i`'s element once and streams it against
+    /// `j > i`, so for `d_E` the Myers `Peq` cache is built `n` times
+    /// instead of `n²/2`.
     pub fn build<D: Distance<S> + ?Sized>(db: Vec<Vec<S>>, dist: &D) -> Aesa<S> {
         let n = db.len();
+        let upper_rows: Vec<Vec<f64>> = par_map(n, |i| {
+            let prepared = dist.prepare(&db[i]);
+            ((i + 1)..n).map(|j| prepared.distance_to(&db[j])).collect()
+        });
         let mut matrix = vec![0.0f64; n * n];
-        let mut computations = 0u64;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = dist.distance(&db[i], &db[j]);
-                computations += 1;
+        for (i, row) in upper_rows.iter().enumerate() {
+            for (off, &d) in row.iter().enumerate() {
+                let j = i + 1 + off;
                 matrix[i * n + j] = d;
                 matrix[j * n + i] = d;
             }
@@ -40,7 +48,7 @@ impl<S: Symbol> Aesa<S> {
         Aesa {
             db,
             matrix,
-            preprocessing_computations: computations,
+            preprocessing_computations: (n * n.saturating_sub(1) / 2) as u64,
         }
     }
 
@@ -65,6 +73,11 @@ impl<S: Symbol> Aesa<S> {
         if n == 0 {
             return None;
         }
+        // Prepared once per query (Myers Peq cache for d_E). Every
+        // computed element is a pivot in AESA — its exact distance
+        // tightens all remaining lower bounds — so unlike LAESA there
+        // is no bounded-evaluation shortcut to take here.
+        let prepared = dist.prepare(query);
         let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n];
         let mut n_alive = n;
@@ -76,10 +89,13 @@ impl<S: Symbol> Aesa<S> {
         let mut selected = Some(0usize);
 
         while let Some(s) = selected.take() {
-            let d = dist.distance(&self.db[s], query);
+            let d = prepared.distance_to(&self.db[s]);
             computations += 1;
             if d < best.distance {
-                best = Neighbour { index: s, distance: d };
+                best = Neighbour {
+                    index: s,
+                    distance: d,
+                };
             }
             alive[s] = false;
             n_alive -= 1;
@@ -129,6 +145,23 @@ impl<S: Symbol> Aesa<S> {
             },
         ))
     }
+
+    /// [`Aesa::nn`] for a batch of queries, parallelised across
+    /// queries (each worker prepares its query once). Returns `None`
+    /// on an empty database, mirroring the single-query API.
+    pub fn nn_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+    ) -> Option<Vec<(Neighbour, SearchStats)>> {
+        if self.db.is_empty() {
+            return None;
+        }
+        Some(par_map(queries.len(), |q| {
+            self.nn(&queries[q], dist)
+                .expect("database checked non-empty")
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +183,9 @@ mod tests {
         (0..n)
             .map(|_| {
                 let l = 1 + (rng() % len as u64) as usize;
-                (0..l).map(|_| b'a' + (rng() % alphabet as u64) as u8).collect()
+                (0..l)
+                    .map(|_| b'a' + (rng() % alphabet as u64) as u8)
+                    .collect()
             })
             .collect()
     }
@@ -206,5 +241,36 @@ mod tests {
         let (nn, stats) = idx.nn(&probe, &Levenshtein).unwrap();
         assert_eq!(nn.distance, 0.0);
         assert!(stats.distance_computations < 150);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let db = corpus(80, 9, 3, 47);
+        let queries = corpus(15, 9, 3, 471);
+        let idx = Aesa::build(db, &Levenshtein);
+        let batch = idx.nn_batch(&queries, &Levenshtein).unwrap();
+        for (q, (nn, stats)) in queries.iter().zip(&batch) {
+            let (snn, sstats) = idx.nn(q, &Levenshtein).unwrap();
+            assert_eq!(nn.distance, snn.distance, "query {q:?}");
+            assert_eq!(stats.distance_computations, sstats.distance_computations);
+        }
+        let empty: Aesa<u8> = Aesa::build(Vec::new(), &Levenshtein);
+        assert!(empty.nn_batch(&queries, &Levenshtein).is_none());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build() {
+        let db = corpus(60, 8, 3, 51);
+        let _guard = crate::TEST_ENV_LOCK.lock().unwrap();
+        crate::parallel::set_thread_override(Some(4));
+        let parallel = Aesa::build(db.clone(), &Levenshtein);
+        crate::parallel::set_thread_override(Some(1));
+        let sequential = Aesa::build(db, &Levenshtein);
+        crate::parallel::set_thread_override(None);
+        assert_eq!(parallel.matrix, sequential.matrix);
+        assert_eq!(
+            parallel.preprocessing_computations(),
+            sequential.preprocessing_computations()
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! real evaluation through an atomic, so the same wrapper works from
 //! the multi-threaded experiment drivers.
 
-use cned_core::metric::Distance;
+use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -67,12 +67,45 @@ impl<S: Symbol, D: Distance<S>> Distance<S> for CountingDistance<D> {
         self.inner.distance(a, b)
     }
 
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        // A bounded evaluation that abandons early still did real
+        // work: it counts like any other evaluation.
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance_bounded(a, b, bound)
+    }
+
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        Box::new(CountingPrepared {
+            inner: self.inner.prepare(query),
+            count: &self.count,
+        })
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }
 
     fn is_metric(&self) -> bool {
         self.inner.is_metric()
+    }
+}
+
+/// [`PreparedQuery`] wrapper that counts evaluations through the
+/// parent [`CountingDistance`]'s counter.
+struct CountingPrepared<'q, S: Symbol> {
+    inner: Box<dyn PreparedQuery<S> + 'q>,
+    count: &'q AtomicU64,
+}
+
+impl<S: Symbol> PreparedQuery<S> for CountingPrepared<'_, S> {
+    fn distance_to(&self, target: &[S]) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance_to(target)
+    }
+
+    fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance_to_bounded(target, bound)
     }
 }
 

@@ -21,6 +21,7 @@
 //! heuristic and the answer may be approximate — exactly the effect
 //! visible in Table 2 of the paper.
 
+use crate::parallel::par_map;
 use crate::{Neighbour, SearchStats};
 use cned_core::metric::Distance;
 use cned_core::Symbol;
@@ -41,13 +42,21 @@ pub struct Laesa<S: Symbol> {
 impl<S: Symbol> Laesa<S> {
     /// Build the index: store the pivot-to-everything distance rows.
     ///
+    /// The `p·n` distance computations are fanned out across cores
+    /// (see [`crate::parallel`]); each worker prepares its pivot once
+    /// and streams it against its share of the database.
+    ///
     /// `pivots` are indices into `db` (typically from
     /// [`crate::pivots::select_pivots_max_sum`]); duplicates are
     /// rejected.
     ///
     /// # Panics
     /// Panics if a pivot index is out of range or repeated.
-    pub fn build<D: Distance<S> + ?Sized>(db: Vec<Vec<S>>, pivots: Vec<usize>, dist: &D) -> Laesa<S> {
+    pub fn build<D: Distance<S> + ?Sized>(
+        db: Vec<Vec<S>>,
+        pivots: Vec<usize>,
+        dist: &D,
+    ) -> Laesa<S> {
         let n = db.len();
         let mut pivot_row = vec![usize::MAX; n];
         for (r, &p) in pivots.iter().enumerate() {
@@ -55,11 +64,10 @@ impl<S: Symbol> Laesa<S> {
             assert!(pivot_row[p] == usize::MAX, "duplicate pivot {p}");
             pivot_row[p] = r;
         }
-        let mut rows = Vec::with_capacity(pivots.len());
-        for &p in &pivots {
-            let row: Vec<f64> = db.iter().map(|u| dist.distance(&db[p], u)).collect();
-            rows.push(row);
-        }
+        let rows: Vec<Vec<f64>> = par_map(pivots.len(), |r| {
+            let prepared = dist.prepare(&db[pivots[r]]);
+            db.iter().map(|u| prepared.distance_to(u)).collect()
+        });
         let preprocessing_computations = (pivots.len() * n) as u64;
         Laesa {
             db,
@@ -114,6 +122,9 @@ impl<S: Symbol> Laesa<S> {
         if n == 0 {
             return None;
         }
+        // Prepared once per query; for d_E this caches the Myers Peq
+        // bitmaps reused by every comparison below.
+        let prepared = dist.prepare(query);
 
         let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n]; // G[u]
@@ -136,11 +147,25 @@ impl<S: Symbol> Laesa<S> {
         };
 
         while let Some(s) = selected.take() {
-            // 1. Real distance to the selected element.
-            let d = dist.distance(&self.db[s], query);
+            // 1. Real distance to the selected element. A pivot's
+            //    distance feeds the lower-bound updates, so it is
+            //    computed exactly; a plain candidate only competes
+            //    with the current best, so its computation may abandon
+            //    early at that budget.
+            let is_active_pivot = self.pivot_row[s] < limit;
+            let d = if is_active_pivot {
+                prepared.distance_to(&self.db[s])
+            } else {
+                prepared
+                    .distance_to_bounded(&self.db[s], best.distance)
+                    .unwrap_or(f64::INFINITY)
+            };
             computations += 1;
             if d < best.distance {
-                best = Neighbour { index: s, distance: d };
+                best = Neighbour {
+                    index: s,
+                    distance: d,
+                };
             }
             if alive[s] {
                 alive[s] = false;
@@ -226,6 +251,7 @@ impl<S: Symbol> Laesa<S> {
         if n == 0 || k == 0 {
             return (Vec::new(), SearchStats::default());
         }
+        let prepared = dist.prepare(query);
 
         let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n];
@@ -248,18 +274,35 @@ impl<S: Symbol> Laesa<S> {
         };
 
         while let Some(s) = selected.take() {
-            let d = dist.distance(&self.db[s], query);
+            // Pivot distances feed bound updates: exact. Plain
+            // candidates only compete for the k-th slot: bounded.
+            let is_pivot = self.pivot_row[s] != usize::MAX;
+            let d = if is_pivot {
+                prepared.distance_to(&self.db[s])
+            } else {
+                prepared
+                    .distance_to_bounded(&self.db[s], kth(&best))
+                    .unwrap_or(f64::INFINITY)
+            };
             computations += 1;
-            let pos = best
-                .binary_search_by(|nb| {
-                    nb.distance
-                        .partial_cmp(&d)
-                        .expect("distances must not be NaN")
-                        .then(core::cmp::Ordering::Less)
-                })
-                .unwrap_or_else(|e| e);
-            best.insert(pos, Neighbour { index: s, distance: d });
-            best.truncate(k);
+            if d < f64::INFINITY {
+                let pos = best
+                    .binary_search_by(|nb| {
+                        nb.distance
+                            .partial_cmp(&d)
+                            .expect("distances must not be NaN")
+                            .then(core::cmp::Ordering::Less)
+                    })
+                    .unwrap_or_else(|e| e);
+                best.insert(
+                    pos,
+                    Neighbour {
+                        index: s,
+                        distance: d,
+                    },
+                );
+                best.truncate(k);
+            }
             if alive[s] {
                 alive[s] = false;
                 n_alive -= 1;
@@ -327,6 +370,34 @@ impl<S: Symbol> Laesa<S> {
             },
         )
     }
+
+    /// [`Laesa::nn`] for a batch of queries, parallelised across
+    /// queries (each worker prepares its query once). Returns `None`
+    /// on an empty database, mirroring the single-query API.
+    pub fn nn_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+    ) -> Option<Vec<(Neighbour, SearchStats)>> {
+        if self.db.is_empty() {
+            return None;
+        }
+        Some(crate::parallel::par_map(queries.len(), |q| {
+            self.nn(&queries[q], dist)
+                .expect("database checked non-empty")
+        }))
+    }
+
+    /// [`Laesa::knn`] for a batch of queries, parallelised across
+    /// queries.
+    pub fn knn_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+        k: usize,
+    ) -> Vec<(Vec<Neighbour>, SearchStats)> {
+        crate::parallel::par_map(queries.len(), |q| self.knn(&queries[q], dist, k))
+    }
 }
 
 #[cfg(test)]
@@ -350,7 +421,9 @@ mod tests {
         (0..n)
             .map(|_| {
                 let l = 1 + (rng() % len as u64) as usize;
-                (0..l).map(|_| b'a' + (rng() % alphabet as u64) as u8).collect()
+                (0..l)
+                    .map(|_| b'a' + (rng() % alphabet as u64) as u8)
+                    .collect()
             })
             .collect()
     }
@@ -516,7 +589,12 @@ mod tests {
         let avg = |p: usize| -> f64 {
             let total: u64 = queries
                 .iter()
-                .map(|q| idx.nn_limited(q, &Levenshtein, p).unwrap().1.distance_computations)
+                .map(|q| {
+                    idx.nn_limited(q, &Levenshtein, p)
+                        .unwrap()
+                        .1
+                        .distance_computations
+                })
                 .sum();
             total as f64 / queries.len() as f64
         };
@@ -531,5 +609,52 @@ mod tests {
     fn duplicate_pivots_rejected() {
         let db = corpus(10, 5, 2, 1);
         Laesa::build(db, vec![1, 1], &Levenshtein);
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let db = corpus(120, 10, 3, 57);
+        let queries = corpus(25, 10, 3, 571);
+        let pivots = select_pivots_max_sum(&db, 10, 0, &Levenshtein);
+        let idx = Laesa::build(db, pivots, &Levenshtein);
+        let batch = idx.nn_batch(&queries, &Levenshtein).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, (nn, stats)) in queries.iter().zip(&batch) {
+            let (snn, sstats) = idx.nn(q, &Levenshtein).unwrap();
+            assert_eq!(nn.distance, snn.distance, "query {q:?}");
+            assert_eq!(stats.distance_computations, sstats.distance_computations);
+        }
+        let kbatch = idx.knn_batch(&queries, &Levenshtein, 4);
+        for (q, (nns, _)) in queries.iter().zip(&kbatch) {
+            let (snns, _) = idx.knn(q, &Levenshtein, 4);
+            let bd: Vec<f64> = nns.iter().map(|n| n.distance).collect();
+            let sd: Vec<f64> = snns.iter().map(|n| n.distance).collect();
+            assert_eq!(bd, sd, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build() {
+        // Force a multi-threaded build even on a single-core box and
+        // check the index is bit-identical to the sequential one.
+        let db = corpus(90, 9, 3, 63);
+        let pivots = select_pivots_max_sum(&db, 8, 0, &Levenshtein);
+        let _guard = crate::TEST_ENV_LOCK.lock().unwrap();
+        crate::parallel::set_thread_override(Some(4));
+        let parallel = Laesa::build(db.clone(), pivots.clone(), &Levenshtein);
+        crate::parallel::set_thread_override(Some(1));
+        let sequential = Laesa::build(db.clone(), pivots, &Levenshtein);
+        crate::parallel::set_thread_override(None);
+        assert_eq!(parallel.rows, sequential.rows);
+        assert_eq!(
+            parallel.preprocessing_computations(),
+            sequential.preprocessing_computations()
+        );
+        for q in corpus(10, 9, 3, 631) {
+            let (a, _) = parallel.nn(&q, &Levenshtein).unwrap();
+            let (b, _) = sequential.nn(&q, &Levenshtein).unwrap();
+            assert_eq!(a.distance, b.distance);
+            assert_eq!(a.index, b.index);
+        }
     }
 }

@@ -28,19 +28,51 @@
 //! (Table 2 shows `d_max` LAESA ≠ exhaustive); these implementations
 //! accept non-metrics and reproduce that behaviour.
 
+//! ## Throughput machinery
+//!
+//! Beyond the paper's algorithms, this crate provides the plumbing
+//! that makes them fast on real hardware:
+//!
+//! * **parallel preprocessing** — [`Aesa::build`] and [`Laesa::build`]
+//!   fan their `n·(n−1)/2` / `p·n` distance loops across cores
+//!   ([`parallel`]);
+//! * **batch queries** — `nn_batch`/`knn_batch` on linear scan, LAESA
+//!   and AESA parallelise across queries and reuse each query's
+//!   prepared form ([`cned_core::metric::Distance::prepare`], the
+//!   Myers `Peq` bitmap cache for `d_E`) across the whole database;
+//! * **bounded evaluation** — comparisons whose exact value is only
+//!   needed when it beats the running best (linear nn/k-NN scans,
+//!   LAESA non-pivot candidates) are requested through
+//!   [`cned_core::metric::Distance::distance_bounded`] with that best
+//!   as the budget, so engines with early exit (bit-parallel `d_E`)
+//!   abandon hopeless comparisons. Pivot distances, AESA elements and
+//!   vp-tree vantage points stay exact — their values feed
+//!   lower-bound updates and traversal decisions;
+//! * **thread-safe statistics** — [`SearchStatsAtomic`] accumulates
+//!   [`SearchStats`] across worker threads.
+
 pub mod aesa;
 pub mod counter;
 pub mod laesa;
 pub mod linear;
+pub mod parallel;
 pub mod pivots;
 pub mod vptree;
 
 pub use aesa::Aesa;
 pub use counter::CountingDistance;
 pub use laesa::Laesa;
-pub use linear::{linear_knn, linear_nn};
+pub use linear::{linear_knn, linear_knn_batch, linear_nn, linear_nn_batch};
+pub use parallel::{num_threads, par_map};
 pub use pivots::{select_pivots_max_sum, select_pivots_random};
 pub use vptree::VpTree;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Serialises tests that set the process-global worker-count override
+/// ([`parallel::set_thread_override`]).
+#[cfg(test)]
+pub(crate) static TEST_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// The outcome of a nearest-neighbour query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,4 +89,52 @@ pub struct SearchStats {
     /// Number of real distance evaluations performed for the query
     /// (excluding preprocessing).
     pub distance_computations: u64,
+}
+
+/// Thread-safe accumulator for [`SearchStats`], for batch pipelines
+/// that tally across worker threads (e.g. `cned-classify`'s parallel
+/// test-set evaluation, which streams totals instead of materialising
+/// per-query statistics).
+///
+/// ```
+/// use cned_search::{SearchStats, SearchStatsAtomic};
+///
+/// let total = SearchStatsAtomic::default();
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| total.add(SearchStats { distance_computations: 10 }));
+///     }
+/// });
+/// assert_eq!(total.snapshot().distance_computations, 40);
+/// ```
+#[derive(Debug, Default)]
+pub struct SearchStatsAtomic {
+    distance_computations: AtomicU64,
+}
+
+impl SearchStatsAtomic {
+    /// A zeroed accumulator.
+    pub fn new() -> SearchStatsAtomic {
+        SearchStatsAtomic::default()
+    }
+
+    /// Fold one query's statistics into the running total.
+    pub fn add(&self, stats: SearchStats) {
+        self.distance_computations
+            .fetch_add(stats.distance_computations, Ordering::Relaxed);
+    }
+
+    /// Current totals as a plain [`SearchStats`].
+    pub fn snapshot(&self) -> SearchStats {
+        SearchStats {
+            distance_computations: self.distance_computations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset to zero, returning the totals accumulated so far.
+    pub fn take(&self) -> SearchStats {
+        SearchStats {
+            distance_computations: self.distance_computations.swap(0, Ordering::Relaxed),
+        }
+    }
 }

@@ -4,7 +4,14 @@
 //! `n` distance computations, no preprocessing, correct for any
 //! distance function (metric or not). This is the "Exhaustive search"
 //! column of Table 2 and the correctness oracle for LAESA/AESA tests.
+//!
+//! Even the exhaustive scan benefits from the throughput machinery:
+//! the query is [prepared](cned_core::metric::Distance::prepare) once
+//! (for `d_E` that caches the Myers `Peq` bitmaps), each comparison is
+//! requested with the current best as an early-exit budget, and the
+//! `_batch` variants fan out across queries on all cores.
 
+use crate::parallel::par_map;
 use crate::{Neighbour, SearchStats};
 use cned_core::metric::Distance;
 use cned_core::Symbol;
@@ -18,11 +25,29 @@ pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
     query: &[S],
     dist: &D,
 ) -> Option<(Neighbour, SearchStats)> {
+    let prepared = dist.prepare(query);
     let mut best: Option<Neighbour> = None;
     for (i, item) in db.iter().enumerate() {
-        let d = dist.distance(item, query);
-        if best.is_none_or(|b| d < b.distance) {
-            best = Some(Neighbour { index: i, distance: d });
+        match best {
+            None => {
+                let d = prepared.distance_to(item);
+                best = Some(Neighbour {
+                    index: i,
+                    distance: d,
+                });
+            }
+            Some(b) => {
+                // Early-exit budget: anything at or above the current
+                // best cannot replace it (ties keep the smaller index).
+                if let Some(d) = prepared.distance_to_bounded(item, b.distance) {
+                    if d < b.distance {
+                        best = Some(Neighbour {
+                            index: i,
+                            distance: d,
+                        });
+                    }
+                }
+            }
         }
     }
     best.map(|b| {
@@ -38,6 +63,10 @@ pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
 /// The `k` nearest neighbours of `query` in `db`, sorted by increasing
 /// distance (ties towards smaller index). Returns fewer than `k`
 /// entries when the database is smaller than `k`.
+///
+/// Each comparison is budgeted at the current `k`-th-best distance,
+/// so engines with early exit abandon items that cannot enter the
+/// result; output is identical to a full sort-and-truncate.
 pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
     db: &[Vec<S>],
     query: &[S],
@@ -50,22 +79,65 @@ pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
     if k == 0 {
         return (Vec::new(), stats);
     }
-    let mut all: Vec<Neighbour> = db
-        .iter()
-        .enumerate()
-        .map(|(i, item)| Neighbour {
-            index: i,
-            distance: dist.distance(item, query),
-        })
-        .collect();
-    all.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .expect("distances must not be NaN")
-            .then(a.index.cmp(&b.index))
-    });
-    all.truncate(k);
-    (all, stats)
+    let prepared = dist.prepare(query);
+    // Current k best, sorted ascending; scanning in index order keeps
+    // equal-distance ties on the smaller index (equal keys insert
+    // after their peers, and the k-th boundary admits d == kth only
+    // to be truncated away — exactly the sort-and-truncate outcome).
+    let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
+    for (i, item) in db.iter().enumerate() {
+        let budget = if best.len() < k {
+            f64::INFINITY
+        } else {
+            best[k - 1].distance
+        };
+        let Some(d) = prepared.distance_to_bounded(item, budget) else {
+            continue;
+        };
+        let pos = best
+            .binary_search_by(|nb| {
+                nb.distance
+                    .partial_cmp(&d)
+                    .expect("distances must not be NaN")
+                    .then(core::cmp::Ordering::Less)
+            })
+            .unwrap_or_else(|e| e);
+        best.insert(
+            pos,
+            Neighbour {
+                index: i,
+                distance: d,
+            },
+        );
+        best.truncate(k);
+    }
+    (best, stats)
+}
+
+/// [`linear_nn`] for a batch of queries, parallelised across queries;
+/// each worker prepares its query once. Returns `None` on an empty
+/// database (mirroring the single-query API).
+pub fn linear_nn_batch<S: Symbol, D: Distance<S> + ?Sized>(
+    db: &[Vec<S>],
+    queries: &[Vec<S>],
+    dist: &D,
+) -> Option<Vec<(Neighbour, SearchStats)>> {
+    if db.is_empty() {
+        return None;
+    }
+    Some(par_map(queries.len(), |q| {
+        linear_nn(db, &queries[q], dist).expect("database checked non-empty")
+    }))
+}
+
+/// [`linear_knn`] for a batch of queries, parallelised across queries.
+pub fn linear_knn_batch<S: Symbol, D: Distance<S> + ?Sized>(
+    db: &[Vec<S>],
+    queries: &[Vec<S>],
+    dist: &D,
+    k: usize,
+) -> Vec<(Vec<Neighbour>, SearchStats)> {
+    par_map(queries.len(), |q| linear_knn(db, &queries[q], dist, k))
 }
 
 #[cfg(test)]
@@ -92,6 +164,7 @@ mod tests {
     fn empty_db_returns_none() {
         let db: Vec<Vec<u8>> = Vec::new();
         assert!(linear_nn(&db, b"x", &Levenshtein).is_none());
+        assert!(linear_nn_batch(&db, &[b"x".to_vec()], &Levenshtein).is_none());
     }
 
     #[test]
@@ -122,5 +195,31 @@ mod tests {
     fn knn_zero_is_empty() {
         let (nns, _) = linear_knn(&db(), b"casa", &Levenshtein, 0);
         assert!(nns.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let db = db();
+        let queries: Vec<Vec<u8>> = vec![
+            b"casa".to_vec(),
+            b"tazas".to_vec(),
+            b"".to_vec(),
+            b"mesa".to_vec(),
+        ];
+        let batch = linear_nn_batch(&db, &queries, &Levenshtein).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, (nn, stats)) in queries.iter().zip(&batch) {
+            let (snn, sstats) = linear_nn(&db, q, &Levenshtein).unwrap();
+            assert_eq!(nn.index, snn.index, "query {q:?}");
+            assert_eq!(nn.distance, snn.distance);
+            assert_eq!(stats.distance_computations, sstats.distance_computations);
+        }
+        let kbatch = linear_knn_batch(&db, &queries, &Levenshtein, 2);
+        for (q, (nns, _)) in queries.iter().zip(&kbatch) {
+            let (snns, _) = linear_knn(&db, q, &Levenshtein, 2);
+            let bd: Vec<(usize, f64)> = nns.iter().map(|n| (n.index, n.distance)).collect();
+            let sd: Vec<(usize, f64)> = snns.iter().map(|n| (n.index, n.distance)).collect();
+            assert_eq!(bd, sd, "query {q:?}");
+        }
     }
 }

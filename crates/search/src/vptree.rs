@@ -113,12 +113,15 @@ impl<S: Symbol> VpTree<S> {
         dist: &D,
     ) -> Option<(Neighbour, SearchStats)> {
         let root = self.root.as_ref()?;
+        // Prepared once per query (Myers Peq cache for d_E); every
+        // vantage-point comparison during the descent reuses it.
+        let prepared = dist.prepare(query);
         let mut best = Neighbour {
             index: usize::MAX,
             distance: f64::INFINITY,
         };
         let mut computations = 0u64;
-        self.search(root, query, dist, &mut best, &mut computations);
+        self.search(root, &*prepared, &mut best, &mut computations);
         Some((
             best,
             SearchStats {
@@ -127,15 +130,14 @@ impl<S: Symbol> VpTree<S> {
         ))
     }
 
-    fn search<D: Distance<S> + ?Sized>(
+    fn search(
         &self,
         node: &Node,
-        query: &[S],
-        dist: &D,
+        prepared: &dyn cned_core::metric::PreparedQuery<S>,
         best: &mut Neighbour,
         computations: &mut u64,
     ) {
-        let d = dist.distance(&self.db[node.vantage], query);
+        let d = prepared.distance_to(&self.db[node.vantage]);
         *computations += 1;
         if d < best.distance {
             *best = Neighbour {
@@ -153,7 +155,7 @@ impl<S: Symbol> VpTree<S> {
         if let Some(child) = first {
             // The first side always intersects the best-ball when we
             // are on its side of the boundary.
-            self.search(child, query, dist, best, computations);
+            self.search(child, prepared, best, computations);
         }
         if let Some(child) = second {
             let crosses = if d <= node.radius {
@@ -164,7 +166,7 @@ impl<S: Symbol> VpTree<S> {
                 d - best.distance <= node.radius
             };
             if crosses {
-                self.search(child, query, dist, best, computations);
+                self.search(child, prepared, best, computations);
             }
         }
     }
@@ -191,7 +193,9 @@ mod tests {
         (0..n)
             .map(|_| {
                 let l = 1 + (rng() % len as u64) as usize;
-                (0..l).map(|_| b'a' + (rng() % alphabet as u64) as u8).collect()
+                (0..l)
+                    .map(|_| b'a' + (rng() % alphabet as u64) as u8)
+                    .collect()
             })
             .collect()
     }

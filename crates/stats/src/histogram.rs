@@ -82,7 +82,10 @@ impl Histogram {
     /// intrinsic dimension) have few such bins.
     pub fn bins_above_fraction_of_mode(&self, frac: f64) -> usize {
         let peak = self.counts[self.mode_bin()] as f64;
-        self.counts.iter().filter(|&&c| c as f64 >= frac * peak).count()
+        self.counts
+            .iter()
+            .filter(|&&c| c as f64 >= frac * peak)
+            .count()
     }
 }
 

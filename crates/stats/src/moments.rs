@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn pairwise_count_is_n_choose_2() {
-        let sample: Vec<Vec<u8>> = [&b"aa"[..], b"ab", b"ba", b"bb"].iter().map(|w| w.to_vec()).collect();
+        let sample: Vec<Vec<u8>> = [&b"aa"[..], b"ab", b"ba", b"bb"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect();
         let d = pairwise_distances(&sample, &Levenshtein);
         assert_eq!(d.len(), 6);
     }
@@ -198,10 +201,14 @@ mod tests {
     fn concentrated_space_has_higher_rho() {
         // Strings of identical length and near-identical pairwise
         // distance → high ρ; mixed lengths → broader spectrum → lower ρ.
-        let concentrated: Vec<Vec<u8>> =
-            [&b"aaaa"[..], b"bbbb", b"cccc", b"dddd", b"eeee"].iter().map(|w| w.to_vec()).collect();
-        let spread: Vec<Vec<u8>> =
-            [&b"a"[..], b"bbbb", b"cc", b"ddddddd", b"eee"].iter().map(|w| w.to_vec()).collect();
+        let concentrated: Vec<Vec<u8>> = [&b"aaaa"[..], b"bbbb", b"cccc", b"dddd", b"eeee"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect();
+        let spread: Vec<Vec<u8>> = [&b"a"[..], b"bbbb", b"cc", b"ddddddd", b"eee"]
+            .iter()
+            .map(|w| w.to_vec())
+            .collect();
         let r_conc = intrinsic_dimensionality(&concentrated, &Levenshtein);
         let r_spread = intrinsic_dimensionality(&spread, &Levenshtein).unwrap();
         // All pairwise distances in `concentrated` are exactly 4 → no

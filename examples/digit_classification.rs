@@ -27,10 +27,12 @@ fn main() {
     let test_raw = generate_digits(TEST_PER_CLASS, 2); // different writers
     let training: Vec<Vec<u8>> = train_raw.iter().map(|s| s.chain.clone()).collect();
     let labels: Vec<u8> = train_raw.iter().map(|s| s.label).collect();
-    let test: Vec<(Vec<u8>, u8)> = test_raw.iter().map(|s| (s.chain.clone(), s.label)).collect();
+    let test: Vec<(Vec<u8>, u8)> = test_raw
+        .iter()
+        .map(|s| (s.chain.clone(), s.label))
+        .collect();
 
-    let mean_len =
-        training.iter().map(Vec::len).sum::<usize>() as f64 / training.len() as f64;
+    let mean_len = training.iter().map(Vec::len).sum::<usize>() as f64 / training.len() as f64;
     println!(
         "{} training digits, {} test digits; mean contour length {:.0} symbols (alphabet 8)\n",
         training.len(),

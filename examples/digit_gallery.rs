@@ -57,14 +57,22 @@ fn main() {
     let e2 = chain(8, 41);
     let z1 = chain(0, 40);
 
-    let show = |c: &[u8]| {
-        c.iter()
-            .map(|d| char::from(b'0' + d))
-            .collect::<String>()
-    };
-    println!("chain('8', scribe A) = {} symbols: {}…", e1.len(), &show(&e1)[..30.min(e1.len())]);
-    println!("chain('8', scribe B) = {} symbols: {}…", e2.len(), &show(&e2)[..30.min(e2.len())]);
-    println!("chain('0', scribe A) = {} symbols: {}…", z1.len(), &show(&z1)[..30.min(z1.len())]);
+    let show = |c: &[u8]| c.iter().map(|d| char::from(b'0' + d)).collect::<String>();
+    println!(
+        "chain('8', scribe A) = {} symbols: {}…",
+        e1.len(),
+        &show(&e1)[..30.min(e1.len())]
+    );
+    println!(
+        "chain('8', scribe B) = {} symbols: {}…",
+        e2.len(),
+        &show(&e2)[..30.min(e2.len())]
+    );
+    println!(
+        "chain('0', scribe A) = {} symbols: {}…",
+        z1.len(),
+        &show(&z1)[..30.min(z1.len())]
+    );
 
     let d_same = contextual_heuristic(&e1, &e2);
     let d_cross = contextual_heuristic(&e1, &z1);

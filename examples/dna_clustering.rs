@@ -65,7 +65,10 @@ fn main() {
     let dc_a = contextual_heuristic(&base, &homolog);
     let dc_b = contextual_heuristic(&short_a, &short_b);
     println!("d_C,h:     pair A {dc_a:>8.3} pair B {dc_b:>8.3}");
-    assert!(dc_a < dc_b, "contextual distance ranks the homolog pair closer");
+    assert!(
+        dc_a < dc_b,
+        "contextual distance ranks the homolog pair closer"
+    );
     println!("  -> d_C,h ranks the homolog pair closer, as biology expects.\n");
 
     // --- Intrinsic dimensionality on a gene sample -------------------

@@ -11,9 +11,7 @@
 //! cargo run --release --example metric_counterexamples
 //! ```
 
-use cned::core::generalized::{
-    dummy_exploit_weight, naive_contextual_generalized_is_broken,
-};
+use cned::core::generalized::{dummy_exploit_weight, naive_contextual_generalized_is_broken};
 use cned::core::metric::{check_triangle, Distance, MetricViolation};
 use cned::core::normalized::simple::{d_max, d_min, d_sum, MaxNorm, MinNorm, SumNorm};
 
@@ -41,38 +39,61 @@ fn main() {
         d_sum(b"aba", b"ba"),
         d_sum(b"ab", b"aba") + d_sum(b"aba", b"ba"),
     );
-    println!("d_sum(ab, ba) = {:.3}  -> triangle inequality fails\n", d_sum(b"ab", b"ba"));
+    println!(
+        "d_sum(ab, ba) = {:.3}  -> triangle inequality fails\n",
+        d_sum(b"ab", b"ba")
+    );
 
     // Automated witness search over the paper's triples:
-    let sample1: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba"].iter().map(|w| w.to_vec()).collect();
-    let sample2: Vec<Vec<u8>> = [&b"b"[..], b"ba", b"aa"].iter().map(|w| w.to_vec()).collect();
+    let sample1: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba"]
+        .iter()
+        .map(|w| w.to_vec())
+        .collect();
+    let sample2: Vec<Vec<u8>> = [&b"b"[..], b"ba", b"aa"]
+        .iter()
+        .map(|w| w.to_vec())
+        .collect();
     report_violation("d_sum", check_triangle(&SumNorm, &sample1));
     report_violation("d_max", check_triangle(&MaxNorm, &sample1));
     report_violation("d_min", check_triangle(&MinNorm, &sample2));
 
-    println!("\n(d_max values on the witness: {:.3}, {:.3} vs {:.3};",
-        d_max(b"ab", b"aba"), d_max(b"aba", b"ba"), d_max(b"ab", b"ba"));
-    println!(" d_min values on its witness: {:.3}, {:.3} vs {:.3})",
-        d_min(b"b", b"ba"), d_min(b"ba", b"aa"), d_min(b"b", b"aa"));
+    println!(
+        "\n(d_max values on the witness: {:.3}, {:.3} vs {:.3};",
+        d_max(b"ab", b"aba"),
+        d_max(b"aba", b"ba"),
+        d_max(b"ab", b"ba")
+    );
+    println!(
+        " d_min values on its witness: {:.3}, {:.3} vs {:.3})",
+        d_min(b"b", b"ba"),
+        d_min(b"ba", b"aa"),
+        d_min(b"b", b"aa")
+    );
 
     // By contrast, d_C and d_YB pass the same sweep:
-    let all: Vec<Vec<u8>> = [
-        &b"ab"[..], b"aba", b"ba", b"b", b"aa", b"", b"abab", b"bb",
-    ]
-    .iter()
-    .map(|w| w.to_vec())
-    .collect();
+    let all: Vec<Vec<u8>> = [&b"ab"[..], b"aba", b"ba", b"b", b"aa", b"", b"abab", b"bb"]
+        .iter()
+        .map(|w| w.to_vec())
+        .collect();
     let dc = cned::core::contextual::exact::Contextual;
     let dyb = cned::core::normalized::yujian_bo::YujianBo;
     println!(
         "\nd_C  triangle sweep over {} strings: {}",
         all.len(),
-        if check_triangle(&dc, &all).is_none() { "clean (it is a metric, Theorem 1)" } else { "violated!?" }
+        if check_triangle(&dc, &all).is_none() {
+            "clean (it is a metric, Theorem 1)"
+        } else {
+            "violated!?"
+        }
     );
     println!(
         "d_YB triangle sweep over {} strings: {}",
         all.len(),
-        if check_triangle(&dyb, &all).is_none() { "clean (Yujian & Bo 2007)" } else { "violated!?" }
+        if check_triangle(&dyb, &all).is_none() {
+            "clean (Yujian & Bo 2007)"
+        } else {
+            "violated!?"
+        }
     );
     assert!(Distance::<u8>::is_metric(&dc));
 

@@ -9,8 +9,8 @@ use cned::core::contextual::heuristic::{contextual_heuristic, ContextualHeuristi
 use cned::core::levenshtein::Levenshtein;
 use cned::core::metric::{check_metric_axioms, DistanceKind};
 use cned::core::normalized::yujian_bo::YujianBo;
-use cned::datasets::digits::generate_digits;
 use cned::datasets::dictionary::spanish_dictionary;
+use cned::datasets::digits::generate_digits;
 use cned::datasets::dna::dna_sequences;
 use cned::datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned::search::aesa::Aesa;
@@ -96,7 +96,10 @@ fn digit_classification_beats_chance_for_all_distances() {
     let test_raw = generate_digits(6, 22);
     let training: Vec<Vec<u8>> = train_raw.iter().map(|s| s.chain.clone()).collect();
     let labels: Vec<u8> = train_raw.iter().map(|s| s.label).collect();
-    let test: Vec<(Vec<u8>, u8)> = test_raw.iter().map(|s| (s.chain.clone(), s.label)).collect();
+    let test: Vec<(Vec<u8>, u8)> = test_raw
+        .iter()
+        .map(|s| (s.chain.clone(), s.label))
+        .collect();
 
     for kind in DistanceKind::TABLE2_PANEL {
         let dist = kind.build::<u8>();
@@ -176,9 +179,7 @@ fn contextual_histogram_spreads_wider_than_yb_on_words() {
         "contextual {spread_c} vs yb {spread_yb}"
     );
     // And therefore lower intrinsic dimensionality.
-    assert!(
-        m_c.intrinsic_dimensionality().unwrap() < m_yb.intrinsic_dimensionality().unwrap()
-    );
+    assert!(m_c.intrinsic_dimensionality().unwrap() < m_yb.intrinsic_dimensionality().unwrap());
 }
 
 /// The counting wrapper integrates with LAESA: reported stats equal
@@ -206,8 +207,10 @@ fn full_pipeline_is_deterministic() {
         let test_raw = generate_digits(4, 38);
         let training: Vec<Vec<u8>> = train_raw.iter().map(|s| s.chain.clone()).collect();
         let labels: Vec<u8> = train_raw.iter().map(|s| s.label).collect();
-        let test: Vec<(Vec<u8>, u8)> =
-            test_raw.iter().map(|s| (s.chain.clone(), s.label)).collect();
+        let test: Vec<(Vec<u8>, u8)> = test_raw
+            .iter()
+            .map(|s| (s.chain.clone(), s.label))
+            .collect();
         let d = ContextualHeuristic;
         let clf = NnClassifier::new(training, labels, SearchBackend::Laesa { pivots: 6 }, &d);
         let (cm, comps) = evaluate(&clf, &test, &d, 10);

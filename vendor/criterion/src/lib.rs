@@ -1,0 +1,337 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for the configured
+//! warm-up time, sizes an inner batch so one sample takes roughly
+//! `measurement_time / sample_size`, then records `sample_size`
+//! samples and reports the **median ns/iter**. Results are printed to
+//! stdout and appended to `BENCH_<target>.json` at the workspace root
+//! (upstream criterion writes `target/criterion/`; a flat JSON file
+//! keeps the perf trajectory diffable in-repo).
+
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement marker types (subset: wall-clock only).
+pub mod measurement {
+    /// Wall-clock time measurement (the default and only option).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            _lifetime: PhantomData,
+        }
+    }
+
+    /// Top-level bench outside any group (kept for API parity).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("_");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier of a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _lifetime: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (prints nothing extra; results stream as they
+    /// complete).
+    pub fn finish(self) {}
+
+    fn record(&self, id: BenchmarkId, bencher: Bencher) {
+        let Some((median_ns, mean_ns, iters, samples)) = bencher.result else {
+            return;
+        };
+        println!(
+            "{:<60} median {:>12.1} ns/iter ({} samples x {} iters)",
+            format!("{}/{}", self.name, id.id),
+            median_ns,
+            samples,
+            iters
+        );
+        RECORDS.lock().expect("bench record lock").push(Record {
+            group: self.name.clone(),
+            id: id.id,
+            median_ns,
+            mean_ns,
+            iters_per_sample: iters,
+            samples,
+        });
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// (median ns/iter, mean ns/iter, iters per sample, samples)
+    result: Option<(f64, f64, u64, usize)>,
+}
+
+impl Bencher {
+    /// Measure `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Size one sample at measurement / sample_size.
+        let sample_budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((sample_budget_ns / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.result = Some((median, mean, iters, samples_ns.len()));
+    }
+}
+
+/// Write all recorded results as JSON to
+/// `<workspace-root>/BENCH_<target>.json`. Called by
+/// [`criterion_main!`]; `bench_manifest_dir` is the benching crate's
+/// manifest directory (`crates/bench`), from which the workspace root
+/// is two levels up.
+pub fn write_report(target: &str, bench_manifest_dir: &str) {
+    let records = RECORDS.lock().expect("bench record lock");
+    let root = std::path::Path::new(bench_manifest_dir)
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let path = root.join(format!("BENCH_{target}.json"));
+    let mut out = String::from("{\n  \"target\": ");
+    push_json_str(&mut out, target);
+    out.push_str(",\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\"group\": ");
+        push_json_str(&mut out, &r.group);
+        out.push_str(", \"id\": ");
+        push_json_str(&mut out, &r.id);
+        out.push_str(&format!(
+            ", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}",
+            r.median_ns, r.mean_ns, r.iters_per_sample, r.samples
+        ));
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("bench report written to {}", path.display());
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Define a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, then writing the report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_report(env!("CARGO_CRATE_NAME"), env!("CARGO_MANIFEST_DIR"));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_sane_numbers() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            sample_size: 5,
+            result: None,
+        };
+        b.iter(|| black_box(41u64) + 1);
+        let (median, mean, iters, samples) = b.result.expect("result recorded");
+        assert!(median > 0.0 && mean > 0.0);
+        assert!(iters >= 1);
+        assert_eq!(samples, 5);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("d_E", 64).id, "d_E/64");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000a\"");
+    }
+}

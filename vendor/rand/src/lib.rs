@@ -1,0 +1,223 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.9 API this workspace uses:
+//! [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`],
+//! [`rngs::StdRng`] and [`SeedableRng::seed_from_u64`]. The generator
+//! is xoshiro256++ (public-domain construction by Blackman & Vigna)
+//! seeded through SplitMix64 — deterministic per seed, statistically
+//! strong, **not** cryptographic, and not stream-compatible with
+//! upstream `StdRng`. Nothing in this repository depends on the exact
+//! stream, only on per-seed determinism.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it with
+    /// SplitMix64 as recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of randomness plus the derived sampling helpers.
+pub trait Rng {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (see [`Random`]).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// A uniform sample from `range`; panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" sample.
+pub trait Random {
+    /// Draw one sample from `rng`.
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one sample; panics if the range is empty.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        lo + f64::random(rng) * (hi - lo)
+    }
+}
+
+/// Named generators (subset: only [`rngs::StdRng`]).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, per the xoshiro reference code.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u8..9);
+            assert!((3..9).contains(&v));
+            let w = rng.random_range(0usize..=5);
+            assert!(w <= 5);
+            let f = rng.random_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn full_width_ranges_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
