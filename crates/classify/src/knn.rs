@@ -180,6 +180,19 @@ mod tests {
     }
 
     #[test]
+    fn exact_contextual_classification_through_bounded_engine() {
+        use cned_core::contextual::exact::Contextual;
+        let (train, labels) = toy();
+        let ex = KnnClassifier::new(train.clone(), labels.clone(), 3);
+        let la = KnnClassifier::with_laesa(train, labels, 3, 4, &Contextual);
+        for q in [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"] {
+            let (le, _) = ex.classify(q, &Contextual);
+            let (ll, _) = la.classify(q, &Contextual);
+            assert_eq!(le, ll, "query {q:?}");
+        }
+    }
+
+    #[test]
     fn error_rate_counts_mismatches() {
         let (train, labels) = toy();
         let c = KnnClassifier::new(train, labels, 1);

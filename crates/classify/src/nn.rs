@@ -192,6 +192,43 @@ mod tests {
     }
 
     #[test]
+    fn contextual_backends_agree_through_bounded_engine() {
+        // The classifier's queries route through the search layer's
+        // prepared path, which for d_C is the band-pruned bounded
+        // engine; both backends must agree with each other and with
+        // the batch pipeline.
+        use cned_core::contextual::exact::Contextual;
+        let (train, labels) = toy();
+        let ex = NnClassifier::new(
+            train.clone(),
+            labels.clone(),
+            SearchBackend::Exhaustive,
+            &Contextual,
+        );
+        let la = NnClassifier::new(
+            train,
+            labels,
+            SearchBackend::Laesa { pivots: 3 },
+            &Contextual,
+        );
+        let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbab", b"aabb", b"abba"]
+            .iter()
+            .map(|q| q.to_vec())
+            .collect();
+        for q in &queries {
+            let (_, de, _) = ex.classify(q, &Contextual);
+            let (_, dl, _) = la.classify(q, &Contextual);
+            assert!((de - dl).abs() < 1e-12, "distance mismatch on {q:?}");
+        }
+        let batch = ex.classify_batch(&queries, &Contextual);
+        for (q, (label, d, _)) in queries.iter().zip(&batch) {
+            let (sl, sd, _) = ex.classify(q, &Contextual);
+            assert_eq!(*label, sl, "query {q:?}");
+            assert_eq!(*d, sd);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "one label per training item")]
     fn mismatched_labels_rejected() {
         NnClassifier::new(

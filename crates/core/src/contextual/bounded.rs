@@ -1,0 +1,568 @@
+//! Bounded evaluation of the contextual distance: Algorithm 1 with an
+//! early-exit budget, the `d_C` counterpart of
+//! [`crate::myers::myers_bounded`].
+//!
+//! Nearest-neighbour search rarely needs the exact value of a
+//! distance — it needs to know whether the candidate can beat the
+//! current best. For `d_E` that insight (PR 1) made mixed workloads
+//! 15–29× faster; this module extends it to the cubic contextual DP,
+//! which ROADMAP identified as the dominant cost of every mixed
+//! workload since.
+//!
+//! [`contextual_bounded`]`(x, y, bound)` returns `Some(d_C(x, y))` iff
+//! the distance is at most `bound`, and `None` otherwise — usually
+//! *without* running the cubic DP at all. Three admissible gates run
+//! first, cheapest to most expensive:
+//!
+//! 1. **length gate** — any path between lengths `n` and `m` performs
+//!    at least `|n − m|` insertions (or deletions) at string lengths at
+//!    most `max(n, m)`, so `d_C ≥ H(min) − H(max)` segment
+//!    `Σ_{i=min+1}^{max} 1/i`;
+//! 2. **per-`k` weight gate** — for every path length `k` the
+//!    closed-form weight with the *maximum* feasible insertion count is
+//!    a lower bound on any length-`k` path (Lemma 1: weight is
+//!    non-increasing in `n_i` at fixed `k`). The largest `k` whose
+//!    bound fits the budget caps the DP's third dimension (`k_max`);
+//!    if no `k` fits, the candidate is rejected outright;
+//! 3. **bit-parallel `d_E` gate** — every internal path has
+//!    `k ≥ d_E(x, y)` (Proposition 1), so
+//!    [`myers_bounded`]`(x, y, k_max)` rejecting means every feasible
+//!    path length exceeds `k_max`, hence every weight exceeds `bound`.
+//!
+//! Only survivors run the DP, and that DP is itself pruned: the `k`
+//! dimension stops at `k_max`, columns are banded to the diagonal
+//! corridor `|i−j| + |(n−i)−(m−j)| ≤ k_max`, each cell caps its `k`
+//! loop by the operations its suffix still requires, and whole rows
+//! abandon the computation when the best weight completable from the
+//! row frontier already exceeds the budget.
+//!
+//! [`ContextualScratch`] keeps the row buffers and harmonic tables
+//! alive across calls; [`PreparedContextual`] adds the per-query
+//! [`MyersPattern`] so a whole database scan pays the `Peq`
+//! construction once — this is what
+//! [`crate::metric::Distance::prepare`] returns for
+//! [`super::exact::Contextual`] and what every index in `cned-search`
+//! therefore drives.
+
+use core::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::contextual::kernel::{advance_cell, NEG};
+use crate::contextual::weight::PathShape;
+use crate::metric::PreparedQuery;
+use crate::myers::{myers_bounded, MyersPattern};
+use crate::Symbol;
+
+/// Slack added to every *pruning* comparison, so float noise in the
+/// prefix-summed harmonic tables can only cause a little extra work,
+/// never a wrong rejection. The final answer is still the exact DP
+/// value compared strictly against `bound`.
+pub const PRUNE_EPS: f64 = 1e-9;
+
+static DP_RUNS: AtomicU64 = AtomicU64::new(0);
+static GATE_REJECTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of bounded evaluations that actually ran the
+/// (pruned) DP. Monotone, relaxed ordering — meant for benchmarks and
+/// experiments to difference around a workload, not for control flow.
+pub fn dp_runs() -> u64 {
+    DP_RUNS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of bounded evaluations rejected by the cheap
+/// gates (length / per-`k` weight / bit-parallel `d_E`) without
+/// touching the DP. See [`dp_runs`].
+pub fn gate_rejections() -> u64 {
+    GATE_REJECTIONS.load(Ordering::Relaxed)
+}
+
+/// Reusable state for bounded contextual evaluations: DP row buffers,
+/// the harmonic prefix table and the per-`k` bound table. Keeping one
+/// of these per query (or per worker) removes every per-call
+/// allocation from the hot path.
+#[derive(Debug, Default)]
+pub struct ContextualScratch {
+    /// `harmonic[t] = Σ_{i=1}^{t} 1/i` (so `harmonic[0] = 0`).
+    harmonic: Vec<f64>,
+    /// Per-`k` weight lower bounds; transformed in place into suffix
+    /// minima before the DP runs.
+    kbound: Vec<f64>,
+    prev: Vec<i32>,
+    cur: Vec<i32>,
+}
+
+impl ContextualScratch {
+    /// An empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> ContextualScratch {
+        ContextualScratch::default()
+    }
+
+    /// Bounded contextual distance: `Some(d_C(x, y))` iff it is at
+    /// most `bound`. One-shot `d_E` gate via [`myers_bounded`]; use
+    /// [`PreparedContextual`] to amortise the pattern bitmaps over a
+    /// database scan.
+    pub fn distance_bounded<S: Symbol>(&mut self, x: &[S], y: &[S], bound: f64) -> Option<f64> {
+        self.run(x, y, bound, |k_max| myers_bounded(x, y, k_max))
+    }
+
+    fn ensure_harmonic(&mut self, upto: usize) {
+        if self.harmonic.is_empty() {
+            self.harmonic.push(0.0);
+        }
+        while self.harmonic.len() <= upto {
+            let t = self.harmonic.len();
+            self.harmonic.push(self.harmonic[t - 1] + 1.0 / t as f64);
+        }
+    }
+
+    /// Harmonic segment `Σ_{i=a+1}^{b} 1/i` from the prefix table.
+    #[inline]
+    fn h(&self, a: usize, b: usize) -> f64 {
+        self.harmonic[b] - self.harmonic[a]
+    }
+
+    /// Lower bound on the weight of any internal path of exactly `k`
+    /// operations between lengths `n` and `m` (`∞` when no such path
+    /// shape exists). Admissible by Lemma 1: at fixed `k` the weight
+    /// is non-increasing in the insertion count, so the shape with the
+    /// maximum feasible `n_i = min(m, ⌊(k − n + m)/2⌋)` is cheapest.
+    fn k_lower_bound(&self, n: usize, m: usize, k: usize) -> f64 {
+        if k < n.abs_diff(m) || k > n + m {
+            return f64::INFINITY;
+        }
+        let ni = ((k + m - n) / 2).min(m);
+        let nd = n + ni - m;
+        let ns = k - ni - nd;
+        let peak = n + ni;
+        let mut w = self.h(n, peak) + self.h(m, m + nd);
+        if ns > 0 {
+            w += ns as f64 / peak as f64;
+        }
+        w
+    }
+
+    /// Largest admissible path length for `(n, m, bound)`: the maximal
+    /// `k` whose per-`k` lower bound fits the budget. Fills
+    /// `self.kbound` with the per-`k` bounds as a side effect. `None`
+    /// when no path length can fit — the candidate is rejected without
+    /// looking at a single symbol.
+    fn k_ceiling(&mut self, n: usize, m: usize, bound: f64) -> Option<usize> {
+        self.ensure_harmonic(n + m);
+        // Length gate first: the cheapest feasible k is |n - m|, whose
+        // bound is exactly the harmonic segment between the lengths.
+        if self.h(n.min(m), n.max(m)) > bound + PRUNE_EPS {
+            return None;
+        }
+        self.kbound.clear();
+        self.kbound.resize(n + m + 1, f64::INFINITY);
+        let mut k_max = None;
+        for k in n.abs_diff(m)..=n + m {
+            let w = self.k_lower_bound(n, m, k);
+            self.kbound[k] = w;
+            if w <= bound + PRUNE_EPS {
+                k_max = Some(k);
+            }
+        }
+        k_max
+    }
+
+    /// Shared driver: gates, then the pruned DP. `gate(k_max)` must
+    /// return `Some(d_E(x, y))` iff `d_E(x, y) <= k_max` (one-shot
+    /// [`myers_bounded`] or a prepared [`MyersPattern`]).
+    fn run<S: Symbol>(
+        &mut self,
+        x: &[S],
+        y: &[S],
+        bound: f64,
+        gate: impl FnOnce(usize) -> Option<usize>,
+    ) -> Option<f64> {
+        if x == y {
+            return (0.0 <= bound).then_some(0.0);
+        }
+        let Some(k_max) = self.k_ceiling(x.len(), y.len(), bound) else {
+            GATE_REJECTIONS.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        // An infinite budget (the exact-evaluation path index builds
+        // and pivot distances take) can never be rejected — skip the
+        // d_E pass, it would be dead work.
+        if bound.is_finite() {
+            let Some(de) = gate(k_max) else {
+                // d_E > k_max: every feasible path length is ruled out.
+                GATE_REJECTIONS.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            // No further admissibility check is useful here: k_max is
+            // itself admissible by construction and de <= k_max, so
+            // the surviving k range always contains it.
+            debug_assert!(de <= k_max);
+        }
+        DP_RUNS.fetch_add(1, Ordering::Relaxed);
+        self.pruned_dp(x, y, bound, k_max)
+    }
+
+    /// The band-pruned Algorithm 1 over `k <= k_max`. Caller has
+    /// established that at least one admissible `k` exists.
+    fn pruned_dp<S: Symbol>(&mut self, x: &[S], y: &[S], bound: f64, k_max: usize) -> Option<f64> {
+        let (n, m) = (x.len(), y.len());
+        let kw = k_max + 1;
+        // Band geometry: with t = i - j and D = n - m, a completed path
+        // through (i, j) needs at least |t| + |D - t| operations, which
+        // equals |D| + 2·dist(t, [min(0,D), max(0,D)]). Cells farther
+        // than s = (k_max - |D|)/2 from the skew corridor can never
+        // finish within k_max.
+        let d_pos = n.saturating_sub(m); // max(0, D)
+        let d_neg = m.saturating_sub(n); // max(0, -D)
+        let s = (k_max - n.abs_diff(m)) / 2;
+
+        // Suffix minima of the per-k bounds over [0, k_max]; the entry
+        // at k_max + 1 is the "cannot complete" sentinel.
+        self.kbound.truncate(kw);
+        self.kbound.push(f64::INFINITY);
+        for k in (0..kw).rev() {
+            if self.kbound[k + 1] < self.kbound[k] {
+                self.kbound[k] = self.kbound[k + 1];
+            }
+        }
+
+        self.prev.clear();
+        self.prev.resize((m + 1) * kw, NEG);
+        self.cur.clear();
+        self.cur.resize((m + 1) * kw, NEG);
+
+        // Row 0: ni[0][j][j] = j (insert everything), within the band.
+        let hi0 = (s + d_neg).min(m);
+        for j in 0..=hi0 {
+            self.prev[j * kw + j] = j as i32;
+        }
+
+        for i in 1..=n {
+            let lo = i.saturating_sub(d_pos + s);
+            let hi = (i + d_neg + s).min(m);
+            debug_assert!(lo <= hi, "band cannot be empty inside the corridor");
+
+            // Clear the stale band neighbourhood: `cur` still holds row
+            // i-2, and both this row's left-read at lo-1 and the next
+            // row's up/diag reads one past hi must see NEG, not junk.
+            let clr_lo = lo.saturating_sub(1);
+            let clr_hi = (hi + 1).min(m);
+            self.cur[clr_lo * kw..(clr_hi + 1) * kw].fill(NEG);
+
+            if lo == 0 {
+                // Column 0: ni[i][0][i] = 0 (delete everything) — kept
+                // only if the cell's suffix still fits the budget.
+                let gap = (n - i).abs_diff(m);
+                if gap <= k_max && i <= k_max - gap {
+                    self.cur[i] = 0;
+                }
+            }
+
+            let xi = x[i - 1];
+            for j in lo.max(1)..=hi {
+                // Within the band, gap <= k_max (see geometry above).
+                let kcap = k_max - (n - i).abs_diff(m - j);
+                let (cur_left, cur_cell) = self.cur.split_at_mut(j * kw);
+                let cell = &mut cur_cell[..kw];
+                let left = &cur_left[(j - 1) * kw..j * kw];
+                let diag = &self.prev[(j - 1) * kw..j * kw];
+                let up = &self.prev[j * kw..(j + 1) * kw];
+                advance_cell(cell, diag, up, left, xi == y[j - 1], kcap);
+            }
+
+            // Row frontier early-exit: every x-prefix row lies on every
+            // path, so if no cell of this row can complete below the
+            // budget, no path can. (Skipped for infinite budgets, where
+            // the check could never fire and would only tax the row.)
+            if bound.is_finite() && i < n {
+                let mut frontier = f64::INFINITY;
+                for j in lo..=hi {
+                    let cell = &self.cur[j * kw..(j + 1) * kw];
+                    if let Some(k_min) = cell.iter().position(|&v| v >= 0) {
+                        let gap = (n - i).abs_diff(m - j);
+                        let lb = self.kbound[(k_min + gap).min(kw)];
+                        if lb < frontier {
+                            frontier = lb;
+                        }
+                    }
+                }
+                if frontier > bound + PRUNE_EPS {
+                    return None;
+                }
+            }
+            core::mem::swap(&mut self.prev, &mut self.cur);
+        }
+
+        // Closing loop of Algorithm 1 over the surviving k range; uses
+        // PathShape::weight (the same arithmetic as the exact DP) so a
+        // within-bound answer is bit-identical to contextual_distance.
+        let profile = &self.prev[m * kw..(m + 1) * kw];
+        let mut best = f64::INFINITY;
+        for (k, &ni) in profile.iter().enumerate() {
+            if ni < 0 {
+                continue;
+            }
+            let shape = PathShape::from_k_ni(n, m, k, ni as usize)
+                .expect("DP produced an infeasible (k, ni) pair");
+            let w = shape.weight();
+            if w < best {
+                best = w;
+            }
+        }
+        (best <= bound).then_some(best)
+    }
+}
+
+/// Bounded contextual distance `d_C` with a fresh scratch:
+/// `Some(d_C(x, y))` iff `d_C(x, y) <= bound`, `None` otherwise.
+///
+/// ```
+/// use cned_core::contextual::bounded::contextual_bounded;
+/// // Paper, Example 4: d_C(ababa, baab) = 8/15.
+/// assert_eq!(contextual_bounded(b"ababa", b"baab", 0.5), None);
+/// let d = contextual_bounded(b"ababa", b"baab", 0.6).unwrap();
+/// assert!((d - 8.0 / 15.0).abs() < 1e-12);
+/// ```
+pub fn contextual_bounded<S: Symbol>(x: &[S], y: &[S], bound: f64) -> Option<f64> {
+    ContextualScratch::new().distance_bounded(x, y, bound)
+}
+
+/// A query prepared for repeated bounded `d_C` comparisons: the Myers
+/// `Peq` bitmaps for the `d_E` gate are built once, and the DP scratch
+/// is reused across every target.
+///
+/// This is what [`crate::metric::Distance::prepare`] returns for
+/// [`super::exact::Contextual`]; the search structures in `cned-search`
+/// route all database comparisons through it.
+pub struct PreparedContextual<'q, S: Symbol> {
+    query: &'q [S],
+    pattern: MyersPattern<S>,
+    scratch: RefCell<ContextualScratch>,
+}
+
+impl<'q, S: Symbol> PreparedContextual<'q, S> {
+    /// Prepare `query` for comparisons against many strings.
+    pub fn new(query: &'q [S]) -> PreparedContextual<'q, S> {
+        PreparedContextual {
+            query,
+            pattern: MyersPattern::new(query),
+            scratch: RefCell::new(ContextualScratch::new()),
+        }
+    }
+}
+
+impl<S: Symbol> PreparedQuery<S> for PreparedContextual<'_, S> {
+    fn distance_to(&self, target: &[S]) -> f64 {
+        self.distance_to_bounded(target, f64::INFINITY)
+            .expect("an infinite bound always admits the distance")
+    }
+
+    fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64> {
+        self.scratch
+            .borrow_mut()
+            .run(self.query, target, bound, |k| {
+                self.pattern.distance_bounded(target, k)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contextual::exact::contextual_distance;
+    use crate::contextual::weight::trivial_path_weight;
+
+    fn corpus() -> Vec<Vec<u8>> {
+        [
+            &b""[..],
+            b"a",
+            b"b",
+            b"ab",
+            b"ba",
+            b"ababa",
+            b"baab",
+            b"abaa",
+            b"aab",
+            b"kitten",
+            b"sitting",
+            b"aaaa",
+            b"bbbb",
+            b"abcabcabc",
+            b"cbacba",
+            b"aaaaaaaaaaaaaaaa",
+        ]
+        .iter()
+        .map(|w| w.to_vec())
+        .collect()
+    }
+
+    #[test]
+    fn infinite_bound_equals_exact_bitwise() {
+        for x in corpus() {
+            for y in corpus() {
+                let exact = contextual_distance(&x, &y);
+                let bounded = contextual_bounded(&x, &y, f64::INFINITY);
+                assert_eq!(bounded, Some(exact), "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_at_exact_value_accepts_and_below_rejects() {
+        for x in corpus() {
+            for y in corpus() {
+                let d = contextual_distance(&x, &y);
+                assert_eq!(contextual_bounded(&x, &y, d), Some(d), "{x:?} vs {y:?}");
+                if d > 0.0 {
+                    assert_eq!(
+                        contextual_bounded(&x, &y, d * 0.999 - 1e-6),
+                        None,
+                        "{x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_of_bounds_is_consistent() {
+        let words = corpus();
+        for x in &words {
+            for y in &words {
+                let d = contextual_distance(x, y);
+                let top = trivial_path_weight(x.len(), y.len()) + 0.5;
+                let mut b = 0.0;
+                while b < top {
+                    match contextual_bounded(x, y, b) {
+                        Some(v) => {
+                            assert!((v - d).abs() < 1e-12, "{x:?} vs {y:?} at {b}");
+                            assert!(v <= b);
+                        }
+                        None => assert!(d > b, "{x:?} vs {y:?}: rejected at {b} but d = {d}"),
+                    }
+                    b += 0.17;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_bound_rejects_everything() {
+        assert_eq!(contextual_bounded(b"abc", b"abc", -1.0), None);
+        assert_eq!(contextual_bounded(b"abc", b"abd", -1.0), None);
+        assert_eq!(contextual_bounded::<u8>(b"", b"", -0.5), None);
+    }
+
+    #[test]
+    fn zero_bound_detects_equality_only() {
+        assert_eq!(contextual_bounded(b"abc", b"abc", 0.0), Some(0.0));
+        assert_eq!(contextual_bounded::<u8>(b"", b"", 0.0), Some(0.0));
+        assert_eq!(contextual_bounded(b"abc", b"abd", 0.0), None);
+    }
+
+    #[test]
+    fn empty_versus_long_is_gated_cheaply() {
+        // λ -> abc costs 1 + 1/2 + 1/3; any bound below that rejects
+        // via the length gate. (Gate/DP counters are process-global, so
+        // this asserts through the rejection counter, which can only
+        // grow concurrently — never shrink.)
+        let gates_before = gate_rejections();
+        assert_eq!(contextual_bounded(b"", b"abc", 1.0), None);
+        assert!(
+            gate_rejections() > gates_before,
+            "a sub-harmonic bound must be rejected by the gates"
+        );
+        let d = contextual_bounded(b"", b"abc", 2.0).unwrap();
+        assert!((d - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut scratch = ContextualScratch::new();
+        let words = corpus();
+        for x in &words {
+            for y in &words {
+                let d = contextual_distance(x, y);
+                assert_eq!(scratch.distance_bounded(x, y, f64::INFINITY), Some(d));
+                assert_eq!(scratch.distance_bounded(x, y, d / 2.0), {
+                    if d <= d / 2.0 {
+                        Some(d)
+                    } else {
+                        None
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_query_matches_one_shot() {
+        let words = corpus();
+        for q in &words {
+            let prepared = PreparedContextual::new(q);
+            for t in &words {
+                let d = contextual_distance(q, t);
+                assert_eq!(prepared.distance_to(t), d, "{q:?} vs {t:?}");
+                assert_eq!(prepared.distance_to_bounded(t, d), Some(d));
+                if d > 0.0 {
+                    assert_eq!(prepared.distance_to_bounded(t, d * 0.999 - 1e-6), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_bound_skips_most_dps_on_a_scan() {
+        // A dictionary-like scan with a tight budget: the gates must
+        // reject the bulk of candidates before the cubic DP.
+        let db: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| {
+                let len = 6 + (i % 7) as usize;
+                (0..len)
+                    .map(|j| b'a' + ((i + j as u32 * 7) % 4) as u8)
+                    .collect()
+            })
+            .collect();
+        let query: Vec<u8> = b"abcdabcd".to_vec();
+        let prepared = PreparedContextual::new(&query);
+        let dp_before = dp_runs();
+        let gate_before = gate_rejections();
+        let mut hits = 0;
+        for t in &db {
+            if prepared.distance_to_bounded(t, 0.35).is_some() {
+                hits += 1;
+            }
+        }
+        let dps = dp_runs() - dp_before;
+        let gated = gate_rejections() - gate_before;
+        assert!(hits <= dps, "every hit runs the DP");
+        assert!(
+            gated >= db.len() as u64 / 2,
+            "gates should reject most of the scan: {gated} of {}",
+            db.len()
+        );
+        // Correctness of the survivors against the exact DP.
+        for t in &db {
+            let d = contextual_distance(&query, t);
+            let b = prepared.distance_to_bounded(t, 0.35);
+            if d <= 0.35 {
+                assert_eq!(b, Some(d));
+            } else {
+                assert_eq!(b, None);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_length_skew_stays_exact() {
+        // Long-vs-short pairs drive long k loops through the saturating
+        // sentinel arithmetic and the band clamping.
+        let x: Vec<u8> = (0..1200).map(|i| (i % 5) as u8).collect();
+        let y: Vec<u8> = vec![1, 2, 3];
+        let d = contextual_distance(&x, &y);
+        assert_eq!(contextual_bounded(&x, &y, f64::INFINITY), Some(d));
+        assert_eq!(contextual_bounded(&x, &y, d), Some(d));
+        assert_eq!(contextual_bounded(&x, &y, d - 1e-6), None);
+        let d_rev = contextual_distance(&y, &x);
+        assert!((d - d_rev).abs() < 1e-9);
+    }
+}

@@ -22,13 +22,11 @@
 //!   feasible `(k, n_i)` profile and the optimal alignment shape,
 //!   useful for diagnostics, teaching and tests.
 
+use crate::contextual::bounded::{contextual_bounded, PreparedContextual};
+use crate::contextual::kernel::{advance_cell, NEG};
 use crate::contextual::weight::PathShape;
-use crate::metric::Distance;
+use crate::metric::{Distance, PreparedQuery};
 use crate::Symbol;
-
-/// Sentinel for −∞ in the `ni` tables. `i32::MIN / 4` keeps both
-/// `max(sentinel, …)` and `sentinel + 1` far below any real count.
-const NEG: i32 = i32::MIN / 4;
 
 /// Result of an exact contextual-distance computation: the optimal
 /// path length, its shape, and its weight.
@@ -89,22 +87,7 @@ pub fn contextual_alignment<S: Symbol>(x: &[S], y: &[S]) -> ContextualAlignment 
             let left = &cur_left[(j - 1) * kw..j * kw];
             let diag = &prev[(j - 1) * kw..j * kw];
             let up = &prev[j * kw..(j + 1) * kw];
-
-            if x[i - 1] == y[j - 1] {
-                // Free match: same k, inherited insertions.
-                cell.copy_from_slice(diag);
-            } else {
-                // Substitution: k-1 from the diagonal.
-                cell[1..kw].copy_from_slice(&diag[..kw - 1]);
-            }
-            for k in 1..kw {
-                // Deletion from above (k-1), insertion from the left
-                // (k-1, one more insertion).
-                let cand = up[k - 1].max(left[k - 1] + 1);
-                if cand > cell[k] {
-                    cell[k] = cand;
-                }
-            }
+            advance_cell(cell, diag, up, left, x[i - 1] == y[j - 1], kw - 1);
         }
         core::mem::swap(&mut prev, &mut cur);
     }
@@ -165,17 +148,7 @@ impl ContextualTable {
                 let diag = &head[idx(i - 1, j - 1)..idx(i - 1, j - 1) + kw];
                 let up = &head[idx(i - 1, j)..idx(i - 1, j) + kw];
                 let left = &head[idx(i, j - 1)..idx(i, j - 1) + kw];
-                if x[i - 1] == y[j - 1] {
-                    cell.copy_from_slice(diag);
-                } else {
-                    cell[1..kw].copy_from_slice(&diag[..kw - 1]);
-                }
-                for k in 1..kw {
-                    let cand = up[k - 1].max(left[k - 1] + 1);
-                    if cand > cell[k] {
-                        cell[k] = cand;
-                    }
-                }
+                advance_cell(cell, diag, up, left, x[i - 1] == y[j - 1], kw - 1);
             }
         }
         ContextualTable { n, m, kw, table }
@@ -242,12 +215,28 @@ impl ContextualTable {
 }
 
 /// `d_C` as a [`Distance`] implementation (exact Algorithm 1).
+///
+/// The throughput hooks route through the band-pruned engine of
+/// [`super::bounded`]: `distance_bounded` rejects most over-budget
+/// candidates from cheap lower bounds (length, per-`k` weight,
+/// bit-parallel `d_E`) before the cubic DP, and `prepare` caches the
+/// query's Myers `Peq` bitmaps plus reusable DP scratch for whole
+/// database scans. Search structures in `cned-search` therefore prune
+/// `d_C` exactly as they do `d_E`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Contextual;
 
 impl<S: Symbol> Distance<S> for Contextual {
     fn distance(&self, a: &[S], b: &[S]) -> f64 {
         contextual_distance(a, b)
+    }
+
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        contextual_bounded(a, b, bound)
+    }
+
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        Box::new(PreparedContextual::new(query))
     }
 
     fn name(&self) -> &'static str {
@@ -414,6 +403,40 @@ mod tests {
         assert!((v - 8.0 / 15.0).abs() < 1e-12);
         assert_eq!(Distance::<u8>::name(&d), "d_C");
         assert!(Distance::<u8>::is_metric(&d));
+    }
+
+    #[test]
+    fn distance_trait_bounded_and_prepared_hooks() {
+        let d = Contextual;
+        let full = Distance::<u8>::distance(&d, b"ababa", b"baab");
+        assert_eq!(d.distance_bounded(b"ababa", b"baab", full), Some(full));
+        assert_eq!(d.distance_bounded(b"ababa", b"baab", full - 1e-6), None);
+        let prepared = Distance::<u8>::prepare(&d, b"ababa");
+        assert_eq!(prepared.distance_to(b"baab"), full);
+        assert_eq!(prepared.distance_to_bounded(b"baab", full), Some(full));
+        assert_eq!(prepared.distance_to_bounded(b"baab", 0.1), None);
+    }
+
+    #[test]
+    fn neg_sentinel_survives_extreme_length_skew() {
+        // Long-vs-short pairs drive the longest k loops in the kernel,
+        // where the infeasibility sentinel is repeatedly incremented;
+        // the saturating arithmetic must keep it pinned at -∞ while the
+        // feasible entries stay exact. Here y is a prefix of x, so the
+        // optimum is the pure-deletion path of weight H(|y|, |x|) —
+        // also the closed-form per-k lower bound at k = |x| - |y|,
+        // confirming both sides of the bookkeeping.
+        let n = 2000usize;
+        let x: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        let y: Vec<u8> = vec![0, 1, 2];
+        let a = contextual_alignment(&x, &y);
+        let expect = crate::contextual::weight::harmonic_segment(y.len(), n);
+        assert!((a.weight - expect).abs() < 1e-9, "got {}", a.weight);
+        assert_eq!(a.k, n - y.len());
+        assert_eq!(a.shape.insertions, 0);
+        assert_eq!(a.shape.deletions, n - y.len());
+        let rev = contextual_distance(&y, &x);
+        assert!((rev - expect).abs() < 1e-9);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //!   triangle inequality is only inherited approximately — use `d_C`
 //!   when a guaranteed metric is required.
 
-use crate::contextual::weight::PathShape;
-use crate::metric::Distance;
+use crate::contextual::bounded::PRUNE_EPS;
+use crate::contextual::weight::{harmonic_segment, PathShape};
+use crate::metric::{Distance, PreparedQuery};
+use crate::myers::MyersPattern;
 use crate::Symbol;
 
 /// Per-cell state: minimal feasible path length (`= d_E` of the
@@ -107,12 +109,63 @@ pub fn heuristic_k_ni<S: Symbol>(x: &[S], y: &[S]) -> (usize, usize) {
     (last.k as usize, last.ni as usize)
 }
 
+/// Lower bound on `d_C,h` between lengths `n` and `m` given
+/// `k = d_E`: the heuristic prices the canonical shape at the minimal
+/// feasible path length, and at fixed `k` that weight is minimised by
+/// the maximal insertion count (Lemma 1), which this evaluates.
+fn heuristic_lower_bound(n: usize, m: usize, de: usize) -> f64 {
+    debug_assert!(de >= n.abs_diff(m), "d_E is at least the length gap");
+    let ni = ((de + m - n) / 2).min(m);
+    PathShape::from_k_ni(n, m, de, ni)
+        .expect("minimal-k shape with maximal insertions is feasible")
+        .weight()
+}
+
+/// Shared gate-then-evaluate driver behind both the one-shot and the
+/// prepared bounded paths (one gate sequence, so the two can never
+/// silently diverge — the same principle as `forward_distance_impl!`):
+/// equality fast path → harmonic length bound → per-`k` bound at
+/// `k = d_E` (`de` supplied lazily: full bit-parallel computation or a
+/// prepared pattern) → full `O(n·m)` heuristic DP.
+fn gated_heuristic<S: Symbol>(
+    x: &[S],
+    y: &[S],
+    bound: f64,
+    de: impl FnOnce() -> usize,
+) -> Option<f64> {
+    if x == y {
+        return (0.0 <= bound).then_some(0.0);
+    }
+    // An infinite budget cannot be rejected — the gates (and their
+    // d_E pass) would be dead work, as in the exact engine's `run`.
+    if bound.is_finite() {
+        let (n, m) = (x.len(), y.len());
+        // d_C,h >= d_C >= the harmonic segment between the lengths.
+        if harmonic_segment(n.min(m), n.max(m)) > bound + PRUNE_EPS {
+            return None;
+        }
+        // d_C,h is the weight at k = d_E, never below the per-k bound.
+        if heuristic_lower_bound(n, m, de()) > bound + PRUNE_EPS {
+            return None;
+        }
+    }
+    let h = contextual_heuristic(x, y);
+    (h <= bound).then_some(h)
+}
+
 /// `d_C,h` as a [`Distance`] implementation.
 ///
 /// Reported as *not* a metric: it is an upper bound of the metric
 /// `d_C` that coincides with it most of the time, which is why the
 /// paper still uses it inside LAESA (and why Table 2 shows identical
 /// error rates for `d_C` and `d_C,h`).
+///
+/// `distance_bounded` front-runs the `O(|x|·|y|)` cell DP with the
+/// same admissible gates as the exact engine: the length bound
+/// (`d_C,h ≥ d_C ≥ H` segment between the lengths) and the per-`k`
+/// bound at `k = d_E` (computed bit-parallel), which the heuristic's
+/// value can never undercut. `prepare` caches the Myers `Peq` bitmaps
+/// driving that gate across a database scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ContextualHeuristic;
 
@@ -121,12 +174,47 @@ impl<S: Symbol> Distance<S> for ContextualHeuristic {
         contextual_heuristic(a, b)
     }
 
+    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+        gated_heuristic(a, b, bound, || crate::levenshtein::levenshtein(a, b))
+    }
+
+    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+        Box::new(PreparedHeuristic {
+            query,
+            pattern: MyersPattern::new(query),
+        })
+    }
+
     fn name(&self) -> &'static str {
         "d_C,h"
     }
 
     fn is_metric(&self) -> bool {
         false
+    }
+}
+
+/// A query prepared for repeated `d_C,h` comparisons: the Myers `Peq`
+/// bitmaps behind the `d_E` gate are built once per query.
+struct PreparedHeuristic<'q, S: Symbol> {
+    query: &'q [S],
+    pattern: MyersPattern<S>,
+}
+
+impl<S: Symbol> PreparedQuery<S> for PreparedHeuristic<'_, S> {
+    fn distance_to(&self, target: &[S]) -> f64 {
+        contextual_heuristic(self.query, target)
+    }
+
+    fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64> {
+        gated_heuristic(self.query, target, bound, || {
+            // A ceiling of max(n, m) never bites (d_E <= max), so the
+            // prepared pattern returns the exact d_E for the gate.
+            let ceiling = self.query.len().max(target.len());
+            self.pattern
+                .distance_bounded(target, ceiling)
+                .expect("d_E is at most the longer length")
+        })
     }
 }
 
@@ -227,5 +315,27 @@ mod tests {
         let d = ContextualHeuristic;
         assert_eq!(Distance::<u8>::name(&d), "d_C,h");
         assert!(!Distance::<u8>::is_metric(&d));
+    }
+
+    #[test]
+    fn bounded_and_prepared_agree_with_full_heuristic() {
+        let d = ContextualHeuristic;
+        let words: [&[u8]; 8] = [b"ab", b"aba", b"ba", b"b", b"aa", b"", b"abab", b"kitten"];
+        for &a in &words {
+            let prepared = Distance::<u8>::prepare(&d, a);
+            for &b in &words {
+                let h = contextual_heuristic(a, b);
+                for bound in [0.0, h * 0.5, h, h + 0.25, f64::INFINITY] {
+                    let expect = (h <= bound).then_some(h);
+                    assert_eq!(
+                        d.distance_bounded(a, b, bound),
+                        expect,
+                        "{a:?} vs {b:?} at {bound}"
+                    );
+                    assert_eq!(prepared.distance_to_bounded(b, bound), expect);
+                }
+                assert_eq!(prepared.distance_to(b), h);
+            }
+        }
     }
 }

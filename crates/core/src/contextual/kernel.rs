@@ -1,0 +1,60 @@
+//! The shared cell-transition kernel of Algorithm 1.
+//!
+//! Both DP variants — the exact rolling/table programs in [`super::exact`]
+//! and the band-pruned engine in [`super::bounded`] — advance the same
+//! per-cell `k`-profile recurrence over `ni[i][j][k]`, the maximum
+//! insertion count of an internal path of exactly `k` operations
+//! between the prefixes `x[..i]` and `y[..j]`:
+//!
+//! ```text
+//! ni[i][j][k] = max( ni[i-1][j-1][k]        if x[i-1] == y[j-1]  (free match)
+//!              ,     ni[i-1][j-1][k-1]      otherwise            (substitution)
+//!              ,     ni[i-1][j][k-1]                             (deletion)
+//!              ,     ni[i][j-1][k-1] + 1 )                       (insertion)
+//! ```
+//!
+//! Keeping this transition in one place means the bounded engine's
+//! pruning can never drift from the exact semantics — both compile the
+//! identical inner loop, the bounded variant merely caps the `k` range
+//! per cell.
+
+/// Sentinel for −∞ in the `ni` tables. `i32::MIN / 4` keeps both
+/// `max(sentinel, …)` and `sentinel + 1` far below any real count; the
+/// transition uses [`i32::saturating_add`] regardless, so even a
+/// pathological chain of `+1`s over astronomically long inputs can
+/// drift the sentinel towards zero but never wrap it around.
+pub(crate) const NEG: i32 = i32::MIN / 4;
+
+/// Advance one DP cell: fill `cell[0..=kcap]` from the `diag`/`up`/
+/// `left` neighbour profiles. Entries beyond `kcap` are left untouched
+/// (the exact programs pass `kcap = kw - 1`; the bounded engine passes
+/// the per-cell ceiling and guarantees the tail is already `NEG`).
+#[inline]
+pub(crate) fn advance_cell(
+    cell: &mut [i32],
+    diag: &[i32],
+    up: &[i32],
+    left: &[i32],
+    matches: bool,
+    kcap: usize,
+) {
+    let end = kcap + 1;
+    if matches {
+        // Free match: same k, inherited insertions.
+        cell[..end].copy_from_slice(&diag[..end]);
+    } else {
+        // Substitution: k-1 from the diagonal.
+        cell[0] = NEG;
+        cell[1..end].copy_from_slice(&diag[..end - 1]);
+    }
+    for k in 1..end {
+        // Deletion from above (k-1), insertion from the left (k-1, one
+        // more insertion). Saturating: the insertion increment must not
+        // creep an "infeasible" sentinel towards feasibility, however
+        // long the loop runs.
+        let cand = up[k - 1].max(left[k - 1].saturating_add(1));
+        if cand > cell[k] {
+            cell[k] = cand;
+        }
+    }
+}

@@ -22,8 +22,44 @@
 //!    track the maximum possible number of insertions `ni[i][j][k]`;
 //!    the distance is the minimum of the closed formula over `k`.
 //!    See [`exact`]. The `O(|x|·|y|)` heuristic that only examines the
-//!    minimal feasible `k` per cell is in [`heuristic`].
+//!    minimal feasible `k` per cell is in [`heuristic`]. Both share
+//!    the cell-transition kernel in `kernel`.
+//!
+//! ## Bounded evaluation and why its pruning is admissible
+//!
+//! Nearest-neighbour search only needs `d_C(x, y)` when it beats a
+//! budget; [`bounded`] answers exactly that question, usually without
+//! running the cubic DP. Every prune rests on three invariants:
+//!
+//! * **The per-`k` weight bound is admissible by Lemma 1.** Among
+//!   canonical paths of fixed length `k`, the closed-form weight is
+//!   non-increasing in the insertion count `n_i` (each extra insertion
+//!   raises the peak length, and every harmonic term only shrinks —
+//!   the same monotonicity that lets Algorithm 1 track only the
+//!   *maximum* `n_i` per cell). Evaluating the formula at the maximal
+//!   feasible `n_i = min(|y|, ⌊(k − |x| + |y|)/2⌋)` therefore lower
+//!   bounds every length-`k` path. Past the feasible band the bound
+//!   grows with `k` (each `+2` step adds two fresh harmonic terms and
+//!   only shrinks the substitution term), so a budget rules out every
+//!   `k` beyond some ceiling `k_max` — the DP's third dimension never
+//!   needs to extend past it.
+//! * **`d_E` floors the path length by Proposition 1.** Only internal
+//!   paths matter, and any internal path performs at least
+//!   `d_E(x, y)` operations, so a bit-parallel
+//!   [`crate::myers::myers_bounded`]`(x, y, k_max)` rejecting proves
+//!   every feasible `k` exceeds `k_max` — candidate eliminated for
+//!   the cost of an `O(|x|·|y|/64)` scan.
+//! * **The corridor band preserves every within-budget path.** A path
+//!   through prefix pair `(i, j)` uses at least `|i − j|` operations
+//!   before it and `|(|x|−i) − (|y|−j)|` after it, so cells with
+//!   `|i−j| + |(|x|−i)−(|y|−j)| > k_max` (and, per cell, `k` entries
+//!   whose suffix cannot fit) only host paths already over budget.
+//!   The same argument row-wise — every path crosses every row —
+//!   justifies abandoning the whole computation when no frontier cell
+//!   can complete below the budget.
 
+pub mod bounded;
 pub mod exact;
 pub mod heuristic;
+pub(crate) mod kernel;
 pub mod weight;

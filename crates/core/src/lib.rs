@@ -40,6 +40,11 @@
 //! banded bounded variant — selected automatically; see
 //! [`levenshtein`] for the strategy and [`metric::Distance`] for the
 //! `distance_bounded` / `prepare` hooks search structures build on.
+//! The cubic `d_C` DP has the same prepared/bounded architecture:
+//! [`contextual::bounded`] gates candidates on cheap admissible lower
+//! bounds (length, per-`k` weight, bit-parallel `d_E`) and band-prunes
+//! the surviving DPs, so metric-space search over `d_C` rejects most
+//! comparisons without paying the cubic cost.
 //!
 //! ## Quickstart
 //!
@@ -73,11 +78,14 @@ pub mod ratio;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::contextual::bounded::{
+        contextual_bounded, ContextualScratch, PreparedContextual,
+    };
     pub use crate::contextual::exact::{contextual_distance, Contextual, ContextualAlignment};
     pub use crate::contextual::heuristic::{contextual_heuristic, ContextualHeuristic};
     pub use crate::contextual::weight::{contextual_path_weight, PathShape};
     pub use crate::levenshtein::{levenshtein, levenshtein_bounded, wagner_fischer, Levenshtein};
-    pub use crate::metric::{Distance, DistanceKind, PreparedQuery};
+    pub use crate::metric::{Distance, DistanceKind, PreparedQuery, Unpruned};
     pub use crate::myers::{myers, myers_bounded, MyersPattern};
     pub use crate::normalized::marzal_vidal::{marzal_vidal, MarzalVidal};
     pub use crate::normalized::simple::{d_max, d_min, d_sum, MaxNorm, MinNorm, SumNorm};

@@ -82,39 +82,64 @@ impl<S: Symbol, D: Distance<S> + ?Sized> PreparedQuery<S> for GenericPrepared<'_
     }
 }
 
-impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for &D {
-    fn distance(&self, a: &[S], b: &[S]) -> f64 {
-        (**self).distance(a, b)
-    }
-    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
-        (**self).distance_bounded(a, b, bound)
-    }
-    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
-        (**self).prepare(query)
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-    fn is_metric(&self) -> bool {
-        (**self).is_metric()
-    }
+/// Forward every [`Distance`] method through a deref-style wrapper.
+///
+/// One macro, one method list: when a new hook is added to the trait
+/// (as `distance_bounded`/`prepare` were), it is forwarded by every
+/// wrapper at once instead of silently falling back to the trait
+/// default in whichever hand-written impl was forgotten — exactly the
+/// bug class that would make `Box<dyn Distance>` panels lose the
+/// engine's pruning while `&D` call sites kept it.
+macro_rules! forward_distance_impl {
+    ($($wrapper:ty),+ $(,)?) => {$(
+        impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for $wrapper {
+            fn distance(&self, a: &[S], b: &[S]) -> f64 {
+                (**self).distance(a, b)
+            }
+            fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
+                (**self).distance_bounded(a, b, bound)
+            }
+            fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
+                (**self).prepare(query)
+            }
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+            fn is_metric(&self) -> bool {
+                (**self).is_metric()
+            }
+        }
+    )+};
 }
 
-impl<S: Symbol, D: Distance<S> + ?Sized> Distance<S> for Box<D> {
+forward_distance_impl!(&D, Box<D>, std::sync::Arc<D>);
+
+/// Measurement adapter that strips every pruning hook from `D`:
+/// `distance` forwards, but `distance_bounded` and `prepare` stay at
+/// the trait defaults (full evaluation, then compare).
+///
+/// This is the unbounded *baseline* for benchmarks and for the
+/// experiment drivers' `bounded=false` toggle — the behaviour every
+/// distance had before it grew an engine, kept available so speedups
+/// stay measurable end-to-end. Results are identical to the wrapped
+/// distance; only the work per comparison changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Unpruned<D>(pub D);
+
+impl<S: Symbol, D: Distance<S>> Distance<S> for Unpruned<D> {
     fn distance(&self, a: &[S], b: &[S]) -> f64 {
-        (**self).distance(a, b)
+        self.0.distance(a, b)
     }
-    fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
-        (**self).distance_bounded(a, b, bound)
-    }
-    fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
-        (**self).prepare(query)
-    }
+
+    // `distance_bounded` and `prepare` deliberately keep the trait
+    // defaults: that *is* the baseline being measured.
+
     fn name(&self) -> &'static str {
-        (**self).name()
+        self.0.name()
     }
+
     fn is_metric(&self) -> bool {
-        (**self).is_metric()
+        self.0.is_metric()
     }
 }
 
@@ -384,6 +409,62 @@ mod tests {
             check_symmetry(&LenDiff, &words()),
             Some(MetricViolation::Symmetry { .. })
         ));
+    }
+
+    #[test]
+    fn wrappers_forward_engine_hooks() {
+        use crate::contextual::exact::Contextual;
+        let d = Distance::<u8>::distance(&Contextual, b"ababa", b"baab");
+        let boxed: Box<dyn Distance<u8>> = Box::new(Contextual);
+        let arc = std::sync::Arc::new(Contextual);
+        let by_ref = &Contextual;
+        // Through every wrapper the bounded/prepare hooks must agree
+        // with the engine, and the gates must reject through them too
+        // (visible as a growing gate-rejection counter — the trait
+        // default would compute the full DP instead).
+        let gates_before = crate::contextual::bounded::gate_rejections();
+        assert_eq!(boxed.distance_bounded(b"ababa", b"baab", 0.1), None);
+        assert_eq!(
+            Distance::<u8>::distance_bounded(&arc, b"ababa", b"baab", 0.1),
+            None
+        );
+        assert_eq!(
+            Distance::<u8>::distance_bounded(&by_ref, b"ababa", b"baab", 0.1),
+            None
+        );
+        assert!(
+            crate::contextual::bounded::gate_rejections() >= gates_before + 3,
+            "wrappers must route through the bounded engine's gates"
+        );
+        for prepared in [
+            boxed.prepare(b"ababa"),
+            Distance::<u8>::prepare(&arc, b"ababa"),
+            Distance::<u8>::prepare(&by_ref, b"ababa"),
+        ] {
+            assert_eq!(prepared.distance_to(b"baab"), d);
+            assert_eq!(prepared.distance_to_bounded(b"baab", d), Some(d));
+            assert_eq!(prepared.distance_to_bounded(b"baab", 0.1), None);
+        }
+    }
+
+    #[test]
+    fn unpruned_matches_wrapped_distance_values() {
+        use crate::contextual::exact::Contextual;
+        let base = Contextual;
+        let plain = Unpruned(Contextual);
+        let pairs: [(&[u8], &[u8]); 3] = [(b"ababa", b"baab"), (b"", b"abc"), (b"same", b"same")];
+        for (a, b) in pairs {
+            let d = Distance::<u8>::distance(&base, a, b);
+            assert_eq!(plain.distance(a, b), d);
+            assert_eq!(plain.distance_bounded(a, b, d), Some(d));
+            if d > 0.0 {
+                assert_eq!(plain.distance_bounded(a, b, d / 2.0), None);
+            }
+            let prepared = Distance::<u8>::prepare(&plain, a);
+            assert_eq!(prepared.distance_to(b), d);
+        }
+        assert_eq!(Distance::<u8>::name(&plain), "d_C");
+        assert!(Distance::<u8>::is_metric(&plain));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! triples use lengths <= 10.
 
 use cned_core::brute::{brute_contextual, brute_levenshtein};
+use cned_core::contextual::bounded::{contextual_bounded, ContextualScratch, PreparedContextual};
 use cned_core::contextual::exact::{contextual_alignment, contextual_distance, ContextualTable};
 use cned_core::contextual::heuristic::{contextual_heuristic, heuristic_k_ni};
 use cned_core::contextual::weight::trivial_path_weight;
@@ -49,6 +50,42 @@ fn long_string() -> impl Strategy<Value = Vec<u8>> {
 /// the Peq cache.
 fn long_u32_string() -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..9, 0..=200)
+}
+
+/// String pairs spanning the band-pruning edge cases of the bounded
+/// contextual engine: generic pairs, equal strings, one-sided empty
+/// strings, and maximal length skew (long vs near-empty, where the
+/// diagonal corridor is thinnest).
+fn contextual_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    prop_oneof![
+        (small_string(), small_string()),
+        small_string().prop_map(|x| (x.clone(), x)),
+        small_string().prop_map(|x| (x, Vec::new())),
+        small_string().prop_map(|x| (Vec::new(), x)),
+        (
+            proptest::collection::vec(0u8..4, 30..=60),
+            proptest::collection::vec(0u8..4, 0..=2),
+        ),
+        (
+            proptest::collection::vec(0u8..4, 0..=2),
+            proptest::collection::vec(0u8..4, 30..=60),
+        ),
+    ]
+}
+
+/// The same edge-case mix over wide (u32) symbols.
+fn contextual_pair_u32() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    prop_oneof![
+        (
+            proptest::collection::vec(0u32..5, 0..=10),
+            proptest::collection::vec(0u32..5, 0..=10),
+        ),
+        proptest::collection::vec(0u32..5, 0..=10).prop_map(|x| (x.clone(), x)),
+        (
+            proptest::collection::vec(0u32..5, 25..=50),
+            proptest::collection::vec(0u32..5, 0..=2),
+        ),
+    ]
 }
 
 proptest! {
@@ -190,6 +227,82 @@ proptest! {
         // Its exact rational weight round-trips through f64 within EPS.
         let exact: Ratio = a.shape.weight_exact();
         prop_assert!((exact.to_f64() - a.weight).abs() < EPS);
+    }
+
+    // ---------------- Contextual: bounded engine ----------------
+
+    #[test]
+    fn contextual_bounded_infinite_is_exact(pair in contextual_pair()) {
+        let (x, y) = pair;
+        // An infinite budget disables every gate and prune; the banded
+        // DP must then reproduce the exact DP bit for bit.
+        prop_assert_eq!(
+            contextual_bounded(&x, &y, f64::INFINITY),
+            Some(contextual_distance(&x, &y))
+        );
+    }
+
+    #[test]
+    fn contextual_bounded_none_implies_exceeds(
+        pair in contextual_pair(),
+        num in 0u32..16,
+    ) {
+        let (x, y) = pair;
+        // Sweep budgets from 0 to above the trivial-path ceiling:
+        // Some(v) must be the exact value within the budget, None must
+        // mean the exact value exceeds it.
+        let d = contextual_distance(&x, &y);
+        let bound = trivial_path_weight(x.len(), y.len()) * num as f64 / 14.0;
+        match contextual_bounded(&x, &y, bound) {
+            Some(v) => {
+                prop_assert!((v - d).abs() < EPS, "bounded {} vs exact {}", v, d);
+                prop_assert!(v <= bound);
+            }
+            None => prop_assert!(d > bound, "rejected at {} but exact is {}", bound, d),
+        }
+    }
+
+    #[test]
+    fn contextual_bounded_at_exact_value(pair in contextual_pair()) {
+        let (x, y) = pair;
+        let d = contextual_distance(&x, &y);
+        prop_assert_eq!(contextual_bounded(&x, &y, d), Some(d));
+        if d > 0.0 {
+            prop_assert_eq!(contextual_bounded(&x, &y, d * 0.999 - 1e-9), None);
+        }
+    }
+
+    #[test]
+    fn contextual_bounded_u32_symbols(pair in contextual_pair_u32()) {
+        let (x, y) = pair;
+        let d = contextual_distance(&x, &y);
+        prop_assert_eq!(contextual_bounded(&x, &y, f64::INFINITY), Some(d));
+        prop_assert_eq!(contextual_bounded(&x, &y, d), Some(d));
+        if d > 0.0 {
+            prop_assert_eq!(contextual_bounded(&x, &y, d * 0.999 - 1e-9), None);
+        }
+    }
+
+    #[test]
+    fn contextual_scratch_and_prepared_match_one_shot(
+        q in small_string(),
+        targets in proptest::collection::vec(small_string(), 1..=5),
+        num in 0u32..8,
+    ) {
+        // Buffer reuse across calls (scratch) and per-query preparation
+        // (Myers gate + scratch) must be pure: same answers as fresh
+        // one-shot evaluations at every budget.
+        let mut scratch = ContextualScratch::new();
+        let prepared = PreparedContextual::new(&q);
+        use cned_core::metric::PreparedQuery;
+        for t in &targets {
+            let d = contextual_distance(&q, t);
+            let bound = trivial_path_weight(q.len(), t.len()) * num as f64 / 7.0;
+            let expect = (d <= bound).then_some(d);
+            prop_assert_eq!(scratch.distance_bounded(&q, t, bound), expect);
+            prop_assert_eq!(prepared.distance_to_bounded(t, bound), expect);
+            prop_assert_eq!(prepared.distance_to(t), d);
+        }
     }
 
     // ---------------- Contextual: metric axioms ----------------

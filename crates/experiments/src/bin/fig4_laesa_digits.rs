@@ -10,6 +10,7 @@ fn main() -> std::io::Result<()> {
     params.training = a.get("training", params.training);
     params.queries = a.get("queries", params.queries);
     params.reps = a.get("reps", params.reps);
+    params.bounded = a.get("bounded", params.bounded);
     println!("running Figure 4 with {params:?}");
     let sweeps = laesa_sweep::run(&params);
     laesa_sweep::report(

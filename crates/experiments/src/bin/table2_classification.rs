@@ -12,6 +12,7 @@ fn main() -> std::io::Result<()> {
         test_per_class: a.get("test_per_class", d.test_per_class),
         reps: a.get("reps", d.reps),
         pivots: a.get("pivots", d.pivots),
+        bounded: a.get("bounded", d.bounded),
     };
     println!("running Table 2 with {params:?}");
     table2::run(params).report()

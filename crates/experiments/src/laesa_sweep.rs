@@ -51,6 +51,11 @@ pub struct Params {
     pub pivots: Vec<usize>,
     /// Base seed.
     pub seed: u64,
+    /// Drive queries through each distance's bounded/prepared engine
+    /// (`true`, the production path) or through the full-evaluation
+    /// [`cned_core::metric::Unpruned`] baseline (`false`). Changes
+    /// per-query *time*, never computation counts or results.
+    pub bounded: bool,
 }
 
 impl Params {
@@ -64,6 +69,7 @@ impl Params {
             reps: 5,
             pivots: vec![10, 25, 50, 75, 100, 150, 200, 250, 300],
             seed: 11,
+            bounded: true,
         }
     }
 
@@ -77,6 +83,7 @@ impl Params {
             reps: 2,
             pivots: vec![5, 10, 25, 50, 75, 100],
             seed: 12,
+            bounded: true,
         }
     }
 }
@@ -135,7 +142,7 @@ fn make_data(p: &Params, rep: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
 
 /// Run the sweep for the paper's five-distance panel.
 pub fn run(p: &Params) -> Vec<DistanceSweep> {
-    let panel = crate::distance_panel(&DistanceKind::PAPER_PANEL);
+    let panel = crate::distance_panel_mode(&DistanceKind::PAPER_PANEL, p.bounded);
     let max_pivots = p.pivots.iter().copied().max().unwrap_or(0);
 
     // Accumulators: per distance, per pivot-count.
@@ -263,6 +270,7 @@ mod tests {
             reps: 2,
             pivots: vec![5, 20, 60],
             seed: 3,
+            bounded: true,
         };
         let sweeps = run(&p);
         assert_eq!(sweeps.len(), 5);
@@ -277,6 +285,30 @@ mod tests {
     }
 
     #[test]
+    fn unpruned_baseline_matches_bounded_computation_counts() {
+        // The bounded engines change how much *work* one comparison
+        // costs, never which comparisons run or what they return, so
+        // the computation counts of both modes must agree exactly.
+        let mk = |bounded| Params {
+            dataset: SweepDataset::Dictionary,
+            training: 80,
+            queries: 15,
+            reps: 1,
+            pivots: vec![4, 16],
+            seed: 9,
+            bounded,
+        };
+        let fast = run(&mk(true));
+        let slow = run(&mk(false));
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.label, s.label);
+            for (fp, sp) in f.points.iter().zip(&s.points) {
+                assert_eq!(fp.avg_computations, sp.avg_computations, "{}", f.label);
+            }
+        }
+    }
+
+    #[test]
     fn pivots_reduce_computations_for_levenshtein() {
         let p = Params {
             dataset: SweepDataset::Dictionary,
@@ -285,6 +317,7 @@ mod tests {
             reps: 1,
             pivots: vec![2, 40],
             seed: 5,
+            bounded: true,
         };
         let sweeps = run(&p);
         let de = sweeps.iter().find(|s| s.label == "d_E").unwrap();

@@ -34,9 +34,35 @@ pub mod table1;
 pub mod table2;
 
 /// Distances evaluated in most figures, with paper labels, as boxed
-/// trait objects over byte symbols.
+/// trait objects over byte symbols. Engine pruning hooks enabled —
+/// the production path; see [`distance_panel_mode`].
 pub fn distance_panel(
     kinds: &[cned_core::metric::DistanceKind],
 ) -> Vec<(&'static str, Box<dyn cned_core::metric::Distance<u8>>)> {
-    kinds.iter().map(|k| (k.label(), k.build::<u8>())).collect()
+    distance_panel_mode(kinds, true)
+}
+
+/// [`distance_panel`] with an explicit engine mode: `bounded = true`
+/// keeps each distance's `distance_bounded`/`prepare` engine hooks
+/// (bit-parallel `d_E`, band-pruned `d_C`); `bounded = false` wraps
+/// every distance in [`cned_core::metric::Unpruned`], the
+/// full-evaluation baseline, so the end-to-end speedup of the bounded
+/// path stays measurable (the `bounded=` toggle of the Figure 3/4 and
+/// Table 2 binaries).
+pub fn distance_panel_mode(
+    kinds: &[cned_core::metric::DistanceKind],
+    bounded: bool,
+) -> Vec<(&'static str, Box<dyn cned_core::metric::Distance<u8>>)> {
+    kinds
+        .iter()
+        .map(|k| {
+            let dist = k.build::<u8>();
+            let dist: Box<dyn cned_core::metric::Distance<u8>> = if bounded {
+                dist
+            } else {
+                Box::new(cned_core::metric::Unpruned(dist))
+            };
+            (k.label(), dist)
+        })
+        .collect()
 }

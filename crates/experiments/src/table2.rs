@@ -34,6 +34,11 @@ pub struct Params {
     pub reps: usize,
     /// LAESA pivots.
     pub pivots: usize,
+    /// Engine mode: `true` routes queries through the bounded/prepared
+    /// engines, `false` through the full-evaluation
+    /// [`cned_core::metric::Unpruned`] baseline. Error rates and
+    /// computation counts are identical either way; wall-clock is not.
+    pub bounded: bool,
 }
 
 impl Default for Params {
@@ -43,6 +48,7 @@ impl Default for Params {
             test_per_class: 25,
             reps: 1,
             pivots: 20,
+            bounded: true,
         }
     }
 }
@@ -70,7 +76,7 @@ pub struct Output {
 
 /// Run the experiment.
 pub fn run(p: Params) -> Output {
-    let panel = crate::distance_panel(&DistanceKind::TABLE2_PANEL);
+    let panel = crate::distance_panel_mode(&DistanceKind::TABLE2_PANEL, p.bounded);
     let mut rows: Vec<Row> = panel
         .iter()
         .map(|(label, _)| Row {
@@ -193,6 +199,7 @@ mod tests {
             test_per_class: 8,
             reps: 1,
             pivots: 8,
+            bounded: true,
         });
         assert_eq!(out.rows.len(), 6);
         for r in &out.rows {

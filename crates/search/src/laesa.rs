@@ -489,6 +489,31 @@ mod tests {
     }
 
     #[test]
+    fn agrees_with_linear_scan_for_exact_contextual_and_gates_fire() {
+        // d_C is a metric, so LAESA must reproduce the linear-scan
+        // neighbour; along the way the bounded engine's cheap gates
+        // (not the cubic DP) should be absorbing most of the budgeted
+        // comparisons. The gate counter is process-global and can only
+        // grow concurrently, so `>` is race-safe.
+        use cned_core::contextual::bounded::gate_rejections;
+        use cned_core::contextual::exact::Contextual;
+        let db = corpus(80, 9, 3, 29);
+        let queries = corpus(15, 9, 3, 291);
+        let pivots = select_pivots_max_sum(&db, 8, 0, &Contextual);
+        let idx = Laesa::build(db.clone(), pivots, &Contextual);
+        let gates_before = gate_rejections();
+        for q in &queries {
+            let (l_nn, _) = linear_nn(&db, q, &Contextual).unwrap();
+            let (a_nn, _) = idx.nn(q, &Contextual).unwrap();
+            assert!((a_nn.distance - l_nn.distance).abs() < 1e-12, "query {q:?}");
+        }
+        assert!(
+            gate_rejections() > gates_before,
+            "searching d_C should reject candidates through the bounded gates"
+        );
+    }
+
+    #[test]
     fn uses_fewer_computations_than_linear_scan() {
         let db = corpus(300, 10, 3, 31);
         let queries = corpus(20, 10, 3, 301);

@@ -47,7 +47,12 @@
 //!   as the budget, so engines with early exit (bit-parallel `d_E`)
 //!   abandon hopeless comparisons. Pivot distances, AESA elements and
 //!   vp-tree vantage points stay exact — their values feed
-//!   lower-bound updates and traversal decisions;
+//!   lower-bound updates and traversal decisions. This is distance-
+//!   agnostic: the same call sites that abandon `d_E` comparisons via
+//!   the bit-parallel engine drive `d_C` through its band-pruned
+//!   bounded engine (`cned_core::contextual::bounded`), whose cheap
+//!   lower-bound gates reject most over-budget candidates before the
+//!   cubic DP runs at all;
 //! * **thread-safe statistics** — [`SearchStatsAtomic`] accumulates
 //!   [`SearchStats`] across worker threads.
 

@@ -2,7 +2,9 @@
 //! agree with exhaustive scan on *any* database under a metric
 //! distance, for any pivot configuration.
 
+use cned_core::contextual::exact::Contextual;
 use cned_core::levenshtein::Levenshtein;
+use cned_core::metric::Unpruned;
 use cned_core::normalized::yujian_bo::YujianBo;
 use cned_search::aesa::Aesa;
 use cned_search::laesa::Laesa;
@@ -121,6 +123,58 @@ proptest! {
         let tree = VpTree::build(db.clone(), &YujianBo);
         let (lin, _) = linear_nn(&db, &q, &YujianBo).unwrap();
         let (nn, _) = tree.nn(&q, &YujianBo).unwrap();
+        prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laesa_exact_under_contextual_metric(
+        db in database(),
+        q in word(),
+        n_pivots in 0usize..=8,
+    ) {
+        // d_C is a metric (Theorem 1), so LAESA driven through the
+        // band-pruned bounded engine must still return the linear-scan
+        // neighbour — elimination plus engine gating lose nothing.
+        let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Contextual);
+        let index = Laesa::build(db.clone(), pivots, &Contextual);
+        let (lin, _) = linear_nn(&db, &q, &Contextual).unwrap();
+        let (nn, _) = index.nn(&q, &Contextual).unwrap();
+        prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_contextual_path_matches_unpruned_baseline(
+        db in database(),
+        q in word(),
+        k in 1usize..=4,
+    ) {
+        // The engine hooks must be invisible in the results: linear
+        // scans (nn and k-NN) with the pruned d_C engine return exactly
+        // what the full-evaluation baseline returns.
+        let (fast, _) = linear_nn(&db, &q, &Contextual).unwrap();
+        let (slow, _) = linear_nn(&db, &q, &Unpruned(Contextual)).unwrap();
+        prop_assert_eq!(fast.index, slow.index);
+        prop_assert_eq!(fast.distance, slow.distance);
+        let (fast_k, _) = linear_knn(&db, &q, &Contextual, k);
+        let (slow_k, _) = linear_knn(&db, &q, &Unpruned(Contextual), k);
+        let fk: Vec<(usize, f64)> = fast_k.iter().map(|n| (n.index, n.distance)).collect();
+        let sk: Vec<(usize, f64)> = slow_k.iter().map(|n| (n.index, n.distance)).collect();
+        prop_assert_eq!(fk, sk);
+    }
+
+    #[test]
+    fn vptree_matches_linear_scan_under_contextual(db in database(), q in word()) {
+        let tree = VpTree::build(db.clone(), &Contextual);
+        let (lin, _) = linear_nn(&db, &q, &Contextual).unwrap();
+        let (nn, _) = tree.nn(&q, &Contextual).unwrap();
+        prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aesa_matches_linear_scan_under_contextual(db in database(), q in word()) {
+        let index = Aesa::build(db.clone(), &Contextual);
+        let (lin, _) = linear_nn(&db, &q, &Contextual).unwrap();
+        let (nn, _) = index.nn(&q, &Contextual).unwrap();
         prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
     }
 
