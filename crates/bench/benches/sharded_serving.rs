@@ -1,0 +1,150 @@
+//! Throughput of the sharded serving layer (`cned-serve`): shard
+//! builds, batch NN serving across shard/worker counts, and the mixed
+//! query/insert pipeline.
+//!
+//! Three groups:
+//! * `sharded_build` — `ShardedIndex::build` vs shard count (shard
+//!   builds run in parallel, so on a multi-core box build wall-clock
+//!   should drop with more shards);
+//! * `sharded_nn_batch` — a fixed query batch answered via
+//!   `nn_batch` for shard count × worker count combinations. On the
+//!   1-core CI container every worker count is the serial floor; the
+//!   interesting single-core signal is the *shard-count* axis, where
+//!   cross-shard bound propagation keeps total distance computations
+//!   near the single-index level;
+//! * `pipeline_mixed` — `QueryPipeline::run` over a mixed NN/k-NN
+//!   queue on a pre-built index (inserts are exercised by the test
+//!   suite; timing them would mutate the index across iterations).
+//!
+//! After the timed groups the bench replays one batch per shard count
+//! and reports total distance computations, making the "bound
+//! propagation keeps sharding nearly free" claim auditable in the
+//! JSON-adjacent output.
+//!
+//! Set `CNED_BENCH_FAST=1` (CI smoke) to shrink the workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cned_core::levenshtein::Levenshtein;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned_search::parallel::set_thread_override;
+use cned_serve::{QueryPipeline, Request, ShardConfig, ShardedIndex};
+
+fn fast() -> bool {
+    std::env::var("CNED_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn sizes() -> (usize, usize) {
+    if fast() {
+        (300, 8)
+    } else {
+        (1500, 48)
+    }
+}
+
+fn config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        pivots_per_shard: 12,
+        compact_threshold: 64,
+    }
+}
+
+fn data() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let (db_size, n_queries) = sizes();
+    let db = spanish_dictionary(db_size, 11);
+    let queries = gen_queries(&db, n_queries, 2, ASCII_LOWER, 17);
+    (db, queries)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (db, _) = data();
+    let mut group = c.benchmark_group("sharded_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &s| {
+            b.iter(|| ShardedIndex::build(black_box(db.clone()), config(s), &Levenshtein))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn_batch(c: &mut Criterion) {
+    let (db, queries) = data();
+    let mut group = c.benchmark_group("sharded_nn_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for shards in [1usize, 2, 4] {
+        let index = ShardedIndex::build(db.clone(), config(shards), &Levenshtein);
+        for threads in [1usize, 2, 4] {
+            let id = format!("s{shards}_t{threads}");
+            group.bench_with_input(BenchmarkId::new("nn", &id), &threads, |b, &t| {
+                set_thread_override(Some(t));
+                b.iter(|| black_box(index.nn_batch(black_box(&queries), &Levenshtein)));
+                set_thread_override(None);
+            });
+        }
+    }
+    group.finish();
+
+    // Instrumented replay: distance computations per shard count (the
+    // bound-propagation cost signal, independent of core count).
+    for shards in [1usize, 2, 4] {
+        let index = ShardedIndex::build(db.clone(), config(shards), &Levenshtein);
+        let total: u64 = index
+            .nn_batch(&queries, &Levenshtein)
+            .unwrap()
+            .iter()
+            .map(|(_, st)| st.total().distance_computations)
+            .sum();
+        eprintln!(
+            "[sharded_serving] shards={shards}: {total} distance computations \
+             for {} queries over {} items",
+            queries.len(),
+            db.len()
+        );
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (db, queries) = data();
+    let requests: Vec<Request<u8>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 3 == 0 {
+                Request::Knn {
+                    query: q.clone(),
+                    k: 5,
+                }
+            } else {
+                Request::Nn { query: q.clone() }
+            }
+        })
+        .collect();
+    let mut pipeline = QueryPipeline::new(ShardedIndex::build(db.clone(), config(4), &Levenshtein));
+    let mut group = c.benchmark_group("pipeline_mixed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            set_thread_override(Some(t));
+            b.iter(|| black_box(pipeline.run(&requests, &Levenshtein)));
+            set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_nn_batch, bench_pipeline);
+criterion_main!(benches);

@@ -12,12 +12,14 @@ use cned_search::laesa::Laesa;
 use cned_search::linear::{linear_knn, linear_knn_batch};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::{Neighbour, SearchStats};
+use cned_serve::{ShardConfig, ShardedIndex};
 
 /// A labelled k-NN classifier.
 pub struct KnnClassifier<S: Symbol> {
     training: Vec<Vec<S>>,
     labels: Vec<u8>,
     laesa: Option<Laesa<S>>,
+    sharded: Option<ShardedIndex<S>>,
     k: usize,
 }
 
@@ -34,6 +36,7 @@ impl<S: Symbol> KnnClassifier<S> {
             training,
             labels,
             laesa: None,
+            sharded: None,
             k,
         }
     }
@@ -50,6 +53,28 @@ impl<S: Symbol> KnnClassifier<S> {
         let mut c = KnnClassifier::new(training, labels, k);
         let piv = select_pivots_max_sum(&c.training, pivots, 0, dist);
         c.laesa = Some(Laesa::build(c.training.clone(), piv, dist));
+        c
+    }
+
+    /// Build a k-NN classifier backed by the sharded serving index
+    /// (`cned-serve`): the training set split into `shards` LAESA
+    /// shards queried with cross-shard bound propagation. For a metric
+    /// distance the answers match the other backends exactly.
+    pub fn with_sharded<D: Distance<S> + ?Sized>(
+        training: Vec<Vec<S>>,
+        labels: Vec<u8>,
+        k: usize,
+        shards: usize,
+        pivots_per_shard: usize,
+        dist: &D,
+    ) -> KnnClassifier<S> {
+        let mut c = KnnClassifier::new(training, labels, k);
+        let config = ShardConfig {
+            shards,
+            pivots_per_shard,
+            ..ShardConfig::default()
+        };
+        c.sharded = Some(ShardedIndex::build(c.training.clone(), config, dist));
         c
     }
 
@@ -82,6 +107,10 @@ impl<S: Symbol> KnnClassifier<S> {
 
     /// Classify one query.
     pub fn classify<D: Distance<S> + ?Sized>(&self, query: &[S], dist: &D) -> (u8, SearchStats) {
+        if let Some(idx) = &self.sharded {
+            let (neighbours, stats) = idx.knn(query, dist, self.k);
+            return (self.vote(&neighbours), stats.total());
+        }
         let (neighbours, stats) = match &self.laesa {
             None => linear_knn(&self.training, query, dist, self.k),
             Some(idx) => idx.knn(query, dist, self.k),
@@ -97,6 +126,13 @@ impl<S: Symbol> KnnClassifier<S> {
         queries: &[Vec<S>],
         dist: &D,
     ) -> Vec<(u8, SearchStats)> {
+        if let Some(idx) = &self.sharded {
+            return idx
+                .knn_batch(queries, dist, self.k)
+                .into_iter()
+                .map(|(neighbours, stats)| (self.vote(&neighbours), stats.total()))
+                .collect();
+        }
         let results = match &self.laesa {
             None => linear_knn_batch(&self.training, queries, dist, self.k),
             Some(idx) => idx.knn_batch(queries, dist, self.k),
@@ -177,6 +213,30 @@ mod tests {
             let (ll, _) = la.classify(q, &ContextualHeuristic);
             assert_eq!(le, ll, "query {q:?}");
         }
+    }
+
+    #[test]
+    fn sharded_backend_agrees_with_exhaustive() {
+        let (train, labels) = toy();
+        let ex = KnnClassifier::new(train.clone(), labels.clone(), 3);
+        let sh = KnnClassifier::with_sharded(train, labels, 3, 3, 2, &Levenshtein);
+        let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"]
+            .iter()
+            .map(|q| q.to_vec())
+            .collect();
+        for q in &queries {
+            let (le, _) = ex.classify(q, &Levenshtein);
+            let (ls, _) = sh.classify(q, &Levenshtein);
+            assert_eq!(le, ls, "query {q:?}");
+        }
+        let batch = sh.classify_batch(&queries, &Levenshtein);
+        for (q, (label, stats)) in queries.iter().zip(&batch) {
+            let (sl, sstats) = sh.classify(q, &Levenshtein);
+            assert_eq!(*label, sl, "query {q:?}");
+            assert_eq!(stats.distance_computations, sstats.distance_computations);
+        }
+        let test: Vec<(Vec<u8>, u8)> = vec![(b"aaaa".to_vec(), 0), (b"bbbb".to_vec(), 1)];
+        assert_eq!(sh.error_rate(&test, &Levenshtein), 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use cned_search::laesa::Laesa;
 use cned_search::linear::{linear_nn, linear_nn_batch};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::SearchStats;
+use cned_serve::{ShardConfig, ShardedIndex};
 
 /// Which search engine answers the nearest-neighbour queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,16 @@ pub enum SearchBackend {
         /// Number of base prototypes (pivots).
         pivots: usize,
     },
+    /// Sharded serving index (`cned-serve`): the training set split
+    /// into LAESA shards queried with cross-shard bound propagation.
+    /// Same answers as the other backends (for a metric distance),
+    /// built shard-parallel and ready for pipeline serving.
+    Sharded {
+        /// Number of LAESA shards.
+        shards: usize,
+        /// Max-sum pivots per shard.
+        pivots_per_shard: usize,
+    },
 }
 
 /// A labelled 1-NN classifier.
@@ -24,6 +35,7 @@ pub struct NnClassifier<S: Symbol> {
     training: Vec<Vec<S>>,
     labels: Vec<u8>,
     laesa: Option<Laesa<S>>,
+    sharded: Option<ShardedIndex<S>>,
 }
 
 impl<S: Symbol> NnClassifier<S> {
@@ -44,17 +56,31 @@ impl<S: Symbol> NnClassifier<S> {
     ) -> NnClassifier<S> {
         assert_eq!(training.len(), labels.len(), "one label per training item");
         assert!(!training.is_empty(), "training set must be non-empty");
-        let laesa = match backend {
-            SearchBackend::Exhaustive => None,
+        let mut laesa = None;
+        let mut sharded = None;
+        match backend {
+            SearchBackend::Exhaustive => {}
             SearchBackend::Laesa { pivots } => {
                 let piv = select_pivots_max_sum(&training, pivots, 0, dist);
-                Some(Laesa::build(training.clone(), piv, dist))
+                laesa = Some(Laesa::build(training.clone(), piv, dist));
+            }
+            SearchBackend::Sharded {
+                shards,
+                pivots_per_shard,
+            } => {
+                let config = ShardConfig {
+                    shards,
+                    pivots_per_shard,
+                    ..ShardConfig::default()
+                };
+                sharded = Some(ShardedIndex::build(training.clone(), config, dist));
             }
         };
         NnClassifier {
             training,
             labels,
             laesa,
+            sharded,
         }
     }
 
@@ -65,6 +91,10 @@ impl<S: Symbol> NnClassifier<S> {
         query: &[S],
         dist: &D,
     ) -> (u8, f64, SearchStats) {
+        if let Some(idx) = &self.sharded {
+            let (nn, stats) = idx.nn(query, dist).expect("training set is non-empty");
+            return (self.labels[nn.index], nn.distance, stats.total());
+        }
         match &self.laesa {
             None => {
                 let (nn, stats) =
@@ -87,6 +117,14 @@ impl<S: Symbol> NnClassifier<S> {
         queries: &[Vec<S>],
         dist: &D,
     ) -> Vec<(u8, f64, SearchStats)> {
+        if let Some(idx) = &self.sharded {
+            return idx
+                .nn_batch(queries, dist)
+                .expect("training set is non-empty")
+                .into_iter()
+                .map(|(nn, stats)| (self.labels[nn.index], nn.distance, stats.total()))
+                .collect();
+        }
         let results = match &self.laesa {
             None => linear_nn_batch(&self.training, queries, dist),
             Some(idx) => idx.nn_batch(queries, dist),
@@ -225,6 +263,46 @@ mod tests {
             let (sl, sd, _) = ex.classify(q, &Contextual);
             assert_eq!(*label, sl, "query {q:?}");
             assert_eq!(*d, sd);
+        }
+    }
+
+    #[test]
+    fn sharded_backend_agrees_with_exhaustive() {
+        let (train, labels) = toy();
+        let ex = NnClassifier::new(
+            train.clone(),
+            labels.clone(),
+            SearchBackend::Exhaustive,
+            &Levenshtein,
+        );
+        let sh = NnClassifier::new(
+            train,
+            labels,
+            SearchBackend::Sharded {
+                shards: 3,
+                pivots_per_shard: 2,
+            },
+            &Levenshtein,
+        );
+        let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbab", b"aabb", b"abba"]
+            .iter()
+            .map(|q| q.to_vec())
+            .collect();
+        for q in &queries {
+            let (le, de, _) = ex.classify(q, &Levenshtein);
+            let (ls, ds, _) = sh.classify(q, &Levenshtein);
+            // With the canonical (distance, index) tie-break both
+            // backends resolve to the same training item, so labels
+            // agree even on distance ties.
+            assert_eq!(de, ds, "distance mismatch on {q:?}");
+            assert_eq!(le, ls, "label mismatch on {q:?}");
+        }
+        let batch = sh.classify_batch(&queries, &Levenshtein);
+        for (q, (label, d, stats)) in queries.iter().zip(&batch) {
+            let (sl, sd, sstats) = sh.classify(q, &Levenshtein);
+            assert_eq!(*label, sl, "query {q:?}");
+            assert_eq!(*d, sd);
+            assert_eq!(stats.distance_computations, sstats.distance_computations);
         }
     }
 

@@ -30,8 +30,18 @@ pub trait Distance<S: Symbol>: Send + Sync {
     /// [`crate::myers::myers_bounded`]) override it. Nearest-neighbour
     /// search passes its current best as the bound, so most database
     /// comparisons can abandon early.
+    ///
+    /// A NaN distance (broken user cost table) fails `d <= bound` and
+    /// is therefore rejected like an over-budget candidate; the debug
+    /// assertion diagnoses it instead of letting it vanish silently.
+    /// (The engine overrides never produce NaN; `cned-search` guards
+    /// its unbounded call sites the same way.)
     fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
         let d = self.distance(a, b);
+        debug_assert!(
+            !d.is_nan(),
+            "Distance implementation returned NaN (broken cost table?)"
+        );
         (d <= bound).then_some(d)
     }
 
@@ -57,7 +67,18 @@ pub trait Distance<S: Symbol>: Send + Sync {
 
 /// A query string bound to a distance, ready for repeated evaluation
 /// against database strings (see [`Distance::prepare`]).
-pub trait PreparedQuery<S: Symbol> {
+///
+/// `Send` is a supertrait: batch and sharded serving pipelines prepare
+/// a query once and may hand the prepared form to a worker thread, so
+/// every implementation must be movable across threads. This is cheap
+/// to satisfy — prepared state is per-query scratch (Myers `Peq`
+/// bitmaps, contextual DP buffers), owned or behind `RefCell`, never
+/// shared — and the bound makes the contract explicit instead of
+/// leaving it to whichever pipeline first trips over a `!Send` cache.
+/// (`Sync` is deliberately **not** required: `RefCell` scratch means a
+/// prepared query must not be *shared* between threads; each worker
+/// either prepares its own or takes ownership.)
+pub trait PreparedQuery<S: Symbol>: Send {
     /// Distance from the prepared query to `target`.
     fn distance_to(&self, target: &[S]) -> f64;
 
@@ -465,6 +486,23 @@ mod tests {
         }
         assert_eq!(Distance::<u8>::name(&plain), "d_C");
         assert!(Distance::<u8>::is_metric(&plain));
+    }
+
+    #[test]
+    fn distances_and_prepared_queries_are_thread_mobile() {
+        // The Send/Sync audit behind the serving layer: distances are
+        // shared across workers (&D: Send requires D: Sync — already a
+        // Distance supertrait) and prepared queries move into workers
+        // (the PreparedQuery Send supertrait). A compile-time check.
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send_sync::<crate::levenshtein::Levenshtein>();
+        assert_send_sync::<crate::contextual::exact::Contextual>();
+        assert_send_sync::<crate::contextual::heuristic::ContextualHeuristic>();
+        assert_send_sync::<crate::normalized::yujian_bo::YujianBo>();
+        assert_send_sync::<crate::normalized::marzal_vidal::MarzalVidal>();
+        assert_send_sync::<Box<dyn Distance<u8>>>();
+        assert_send::<Box<dyn PreparedQuery<u8> + '_>>();
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Serving-layer demo: sharded LAESA + batch pipeline on the paper's
+//! two main workloads (Spanish-like dictionary words, handwritten-
+//! digit contour chain codes).
+//!
+//! For each workload it builds a [`ShardedIndex`], serves a mixed
+//! NN / k-NN / insert queue through the [`QueryPipeline`], verifies
+//! the answers against the linear-scan oracle, and prints throughput
+//! plus distance-computation totals per shard count.
+//!
+//! Args (key=value): `db=2000 queries=200 shards=4 pivots=16 k=5
+//! threads=0 workload=both` (`threads=0` keeps the
+//! `CNED_THREADS`/auto default; `workload` ∈ dictionary|digits|both).
+
+use cned_core::levenshtein::Levenshtein;
+use cned_experiments::args::Args;
+use cned_search::linear::linear_nn;
+use cned_search::parallel::set_thread_override;
+use cned_serve::{QueryPipeline, Request, Response, ShardConfig, ShardedIndex};
+use std::time::Instant;
+
+struct Params {
+    db: usize,
+    queries: usize,
+    shards: usize,
+    pivots: usize,
+    k: usize,
+}
+
+fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params) {
+    let dist = &Levenshtein;
+    println!(
+        "\n== {name}: {} items, {} queries, {} shards x {} pivots ==",
+        db.len(),
+        queries.len(),
+        p.shards,
+        p.pivots
+    );
+
+    let t0 = Instant::now();
+    let index = ShardedIndex::build(
+        db.clone(),
+        ShardConfig {
+            shards: p.shards,
+            pivots_per_shard: p.pivots,
+            compact_threshold: 64,
+        },
+        dist,
+    );
+    let build = t0.elapsed();
+    println!(
+        "build: {:.1} ms ({} preprocessing distance computations, {} shards)",
+        build.as_secs_f64() * 1e3,
+        index.preprocessing_computations(),
+        index.num_shards()
+    );
+
+    // Mixed queue: NN and k-NN queries with an insert barrier in the
+    // middle (the inserted items are perturbed queries, so they land
+    // near existing neighbourhoods).
+    let mut requests: Vec<Request<u8>> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        if i == queries.len() / 2 {
+            requests.push(Request::Insert { item: q.clone() });
+        }
+        if i % 3 == 0 {
+            requests.push(Request::Knn {
+                query: q.clone(),
+                k: p.k,
+            });
+        } else {
+            requests.push(Request::Nn { query: q.clone() });
+        }
+    }
+    let mut pipeline = QueryPipeline::new(index);
+    let t1 = Instant::now();
+    let responses = pipeline.run(&requests, dist);
+    let serve = t1.elapsed();
+    let mut computations = 0u64;
+    let mut answered = 0usize;
+    for r in &responses {
+        match r {
+            Response::Nn { stats, .. } | Response::Knn { stats, .. } => {
+                computations += stats.distance_computations;
+                answered += 1;
+            }
+            Response::Inserted { .. } => {}
+        }
+    }
+    println!(
+        "serve: {answered} queries in {:.1} ms ({:.0} queries/s, {computations} distance \
+         computations, {:.1} per query)",
+        serve.as_secs_f64() * 1e3,
+        answered as f64 / serve.as_secs_f64(),
+        computations as f64 / answered as f64
+    );
+
+    // Oracle check: replay every query against a linear scan over the
+    // index state it was answered at (before/after the insert barrier).
+    let index = pipeline.index();
+    let mut oracle_db = db.clone();
+    let mut checked = 0usize;
+    for (req, resp) in requests.iter().zip(&responses) {
+        match (req, resp) {
+            (Request::Insert { item }, Response::Inserted { .. }) => {
+                oracle_db.push(item.clone());
+            }
+            (Request::Nn { query }, Response::Nn { neighbour, .. }) => {
+                let (l_nn, _) = linear_nn(&oracle_db, query, dist).expect("non-empty");
+                let nb = neighbour.expect("non-empty index");
+                assert_eq!(
+                    (nb.index, nb.distance.to_bits()),
+                    (l_nn.index, l_nn.distance.to_bits()),
+                    "NN mismatch for {query:?}"
+                );
+                checked += 1;
+            }
+            (Request::Knn { query, k }, Response::Knn { neighbours, .. }) => {
+                let (l_knn, _) = cned_search::linear::linear_knn(&oracle_db, query, dist, *k);
+                let a: Vec<(usize, u64)> = neighbours
+                    .iter()
+                    .map(|n| (n.index, n.distance.to_bits()))
+                    .collect();
+                let b: Vec<(usize, u64)> = l_knn
+                    .iter()
+                    .map(|n| (n.index, n.distance.to_bits()))
+                    .collect();
+                assert_eq!(a, b, "k-NN mismatch for {query:?}");
+                checked += 1;
+            }
+            _ => panic!("response kind does not match request kind"),
+        }
+    }
+    println!(
+        "oracle: all {checked} answers match the linear scan (index now {} items, {} in delta)",
+        index.len(),
+        index.delta_len()
+    );
+}
+
+fn main() {
+    let a = Args::from_env();
+    let p = Params {
+        db: a.get("db", 2000usize),
+        queries: a.get("queries", 200usize),
+        shards: a.get("shards", 4usize),
+        pivots: a.get("pivots", 16usize),
+        k: a.get("k", 5usize),
+    };
+    let threads = a.get("threads", 0usize);
+    if threads > 0 {
+        set_thread_override(Some(threads));
+    }
+    let workload: String = a.get("workload", "both".to_string());
+
+    if workload == "dictionary" || workload == "both" {
+        let db = cned_datasets::dictionary::spanish_dictionary(p.db, 5);
+        let queries = cned_datasets::perturb::gen_queries(
+            &db,
+            p.queries,
+            2,
+            cned_datasets::perturb::ASCII_LOWER,
+            7,
+        );
+        run_workload("dictionary (d_E)", db, queries, &p);
+    }
+    if workload == "digits" || workload == "both" {
+        let per_class = (p.db / 10).max(1);
+        let samples = cned_datasets::digits::generate_digits(per_class, 5);
+        let db: Vec<Vec<u8>> = samples.iter().map(|s| s.chain.clone()).collect();
+        let q_samples = cned_datasets::digits::generate_digits((p.queries / 10).max(1), 977);
+        let queries: Vec<Vec<u8>> = q_samples.iter().map(|s| s.chain.clone()).collect();
+        run_workload("digit chain codes (d_E)", db, queries, &p);
+    }
+}

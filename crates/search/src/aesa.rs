@@ -12,7 +12,7 @@
 //! distances).
 
 use crate::parallel::par_map;
-use crate::{Neighbour, SearchStats};
+use crate::{sanitise_distance, Neighbour, SearchStats};
 use cned_core::metric::Distance;
 use cned_core::Symbol;
 
@@ -89,13 +89,16 @@ impl<S: Symbol> Aesa<S> {
         let mut selected = Some(0usize);
 
         while let Some(s) = selected.take() {
-            let d = prepared.distance_to(&self.db[s]);
+            let d = sanitise_distance(prepared.distance_to(&self.db[s]));
             computations += 1;
-            if d < best.distance {
-                best = Neighbour {
-                    index: s,
-                    distance: d,
-                };
+            let candidate = Neighbour {
+                index: s,
+                distance: d,
+            };
+            // Canonical tie-break: equal distances resolve to the
+            // smallest index, matching linear/LAESA/sharded paths.
+            if candidate.better_than(&best) {
+                best = candidate;
             }
             alive[s] = false;
             n_alive -= 1;
@@ -111,7 +114,7 @@ impl<S: Symbol> Aesa<S> {
                 if g > lower[u] {
                     lower[u] = g;
                 }
-                if lower[u] > best.distance {
+                if lower[u] > best.distance + crate::ELIMINATION_SLACK {
                     alive[u] = false;
                     n_alive -= 1;
                 } else if next.is_none_or(|(_, bg)| lower[u] < bg) {

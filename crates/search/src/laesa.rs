@@ -22,8 +22,8 @@
 //! visible in Table 2 of the paper.
 
 use crate::parallel::par_map;
-use crate::{Neighbour, SearchStats};
-use cned_core::metric::Distance;
+use crate::{sanitise_distance, Neighbour, SearchStats};
+use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
 /// A LAESA index over an owned database of strings.
@@ -66,7 +66,11 @@ impl<S: Symbol> Laesa<S> {
         }
         let rows: Vec<Vec<f64>> = par_map(pivots.len(), |r| {
             let prepared = dist.prepare(&db[pivots[r]]);
-            db.iter().map(|u| prepared.distance_to(u)).collect()
+            // NaN rows would silently disable elimination for the
+            // affected candidates; reject them at build time.
+            db.iter()
+                .map(|u| sanitise_distance(prepared.distance_to(u)))
+                .collect()
         });
         let preprocessing_computations = (pivots.len() * n) as u64;
         Laesa {
@@ -117,22 +121,65 @@ impl<S: Symbol> Laesa<S> {
         dist: &D,
         limit: usize,
     ) -> Option<(Neighbour, SearchStats)> {
-        let limit = limit.min(self.pivots.len());
-        let n = self.db.len();
-        if n == 0 {
+        if self.db.is_empty() {
             return None;
         }
         // Prepared once per query; for d_E this caches the Myers Peq
         // bitmaps reused by every comparison below.
         let prepared = dist.prepare(query);
+        let (best, stats) = self.nn_core(&*prepared, limit, f64::INFINITY);
+        Some((
+            best.expect("a non-empty database always yields a neighbour at an infinite radius"),
+            stats,
+        ))
+    }
+
+    /// Nearest neighbour **within `radius`** of an already-prepared
+    /// query: `Some(nb)` with `nb.distance <= radius` (ties towards
+    /// the smallest index), or `None` when no element lies within the
+    /// radius. The statistics are returned either way.
+    ///
+    /// This is the sharded serving layer's entry point
+    /// (`cned-serve`): the caller prepares the query **once** — so the
+    /// per-query caches (Myers `Peq` bitmaps, contextual DP scratch)
+    /// are reused across the whole pivot set of *every* shard — and
+    /// seeds each later shard with the best distance found so far,
+    /// which acts exactly like an already-known best: it bounds the
+    /// non-pivot candidate evaluations *and* feeds candidate
+    /// elimination from the first pivot onwards. Pivot distances are
+    /// still computed exactly even when they exceed the radius,
+    /// because their exact values are what make the triangle-
+    /// inequality lower bounds (and therefore the answer) correct.
+    pub fn nn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Option<Neighbour>, SearchStats) {
+        self.nn_core(prepared, self.pivots.len(), radius)
+    }
+
+    fn nn_core(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        limit: usize,
+        radius: f64,
+    ) -> (Option<Neighbour>, SearchStats) {
+        let limit = limit.min(self.pivots.len());
+        let n = self.db.len();
+        if n == 0 {
+            return (None, SearchStats::default());
+        }
 
         let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n]; // G[u]
         let mut n_alive = n;
         let mut computations = 0u64;
+        // The search radius doubles as a virtual incumbent: any real
+        // candidate at d <= radius beats it (usize::MAX loses every
+        // index tie-break).
         let mut best = Neighbour {
             index: usize::MAX,
-            distance: f64::INFINITY,
+            distance: radius,
         };
         // Pivots (within `limit`) not yet used for bound updates.
         let mut pivots_left = limit;
@@ -154,18 +201,19 @@ impl<S: Symbol> Laesa<S> {
             //    early at that budget.
             let is_active_pivot = self.pivot_row[s] < limit;
             let d = if is_active_pivot {
-                prepared.distance_to(&self.db[s])
+                sanitise_distance(prepared.distance_to(&self.db[s]))
             } else {
                 prepared
                     .distance_to_bounded(&self.db[s], best.distance)
                     .unwrap_or(f64::INFINITY)
             };
             computations += 1;
-            if d < best.distance {
-                best = Neighbour {
-                    index: s,
-                    distance: d,
-                };
+            let candidate = Neighbour {
+                index: s,
+                distance: d,
+            };
+            if candidate.better_than(&best) {
+                best = candidate;
             }
             if alive[s] {
                 alive[s] = false;
@@ -186,7 +234,7 @@ impl<S: Symbol> Laesa<S> {
                     if g > lower[u] {
                         lower[u] = g;
                     }
-                    if lower[u] > best.distance {
+                    if lower[u] > best.distance + crate::ELIMINATION_SLACK {
                         alive[u] = false;
                         n_alive -= 1;
                     }
@@ -209,7 +257,7 @@ impl<S: Symbol> Laesa<S> {
                     continue;
                 }
                 let g = lower[u];
-                if g > best.distance {
+                if g > best.distance + crate::ELIMINATION_SLACK {
                     alive[u] = false;
                     n_alive -= 1;
                     continue;
@@ -229,12 +277,13 @@ impl<S: Symbol> Laesa<S> {
             };
         }
 
-        Some((
-            best,
+        let found = (best.index != usize::MAX).then_some(best);
+        (
+            found,
             SearchStats {
                 distance_computations: computations,
             },
-        ))
+        )
     }
 
     /// The `k` nearest neighbours, sorted by increasing distance.
@@ -247,21 +296,42 @@ impl<S: Symbol> Laesa<S> {
         dist: &D,
         k: usize,
     ) -> (Vec<Neighbour>, SearchStats) {
+        let prepared = dist.prepare(query);
+        self.knn_prepared(&*prepared, k, f64::INFINITY)
+    }
+
+    /// The `k` nearest neighbours **within `radius`** of an
+    /// already-prepared query, sorted by the canonical
+    /// (distance, index) ordering. May return fewer than `k` entries
+    /// when fewer elements lie within the radius.
+    ///
+    /// The sharded k-NN counterpart of [`Laesa::nn_prepared`]: the
+    /// serving layer seeds each later shard with the running global
+    /// `k`-th-best distance, which bounds candidate evaluations and
+    /// elimination from the first pivot onwards, while pivot distances
+    /// stay exact (their values feed the lower-bound updates).
+    pub fn knn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+    ) -> (Vec<Neighbour>, SearchStats) {
         let n = self.db.len();
         if n == 0 || k == 0 {
             return (Vec::new(), SearchStats::default());
         }
-        let prepared = dist.prepare(query);
 
         let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n];
         let mut n_alive = n;
         let mut computations = 0u64;
-        // Current k best, kept sorted ascending by distance.
+        // Current k best, kept sorted by (distance, index); the radius
+        // caps the admission budget until k closer elements displace
+        // it.
         let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
         let kth = |best: &Vec<Neighbour>| -> f64 {
             if best.len() < k {
-                f64::INFINITY
+                radius
             } else {
                 best[k - 1].distance
             }
@@ -274,33 +344,30 @@ impl<S: Symbol> Laesa<S> {
         };
 
         while let Some(s) = selected.take() {
-            // Pivot distances feed bound updates: exact. Plain
-            // candidates only compete for the k-th slot: bounded.
+            // Pivot distances feed bound updates: exact (even beyond
+            // the radius — their values make the lower bounds
+            // correct). Plain candidates only compete for the k-th
+            // slot: bounded.
             let is_pivot = self.pivot_row[s] != usize::MAX;
             let d = if is_pivot {
-                prepared.distance_to(&self.db[s])
+                sanitise_distance(prepared.distance_to(&self.db[s]))
             } else {
                 prepared
                     .distance_to_bounded(&self.db[s], kth(&best))
                     .unwrap_or(f64::INFINITY)
             };
             computations += 1;
-            if d < f64::INFINITY {
+            // A rejected bounded evaluation surfaces as +inf and must
+            // never enter the result set, even at an infinite radius.
+            if d.is_finite() && d <= radius {
+                let candidate = Neighbour {
+                    index: s,
+                    distance: d,
+                };
                 let pos = best
-                    .binary_search_by(|nb| {
-                        nb.distance
-                            .partial_cmp(&d)
-                            .expect("distances must not be NaN")
-                            .then(core::cmp::Ordering::Less)
-                    })
+                    .binary_search_by(|nb| nb.ordering(&candidate))
                     .unwrap_or_else(|e| e);
-                best.insert(
-                    pos,
-                    Neighbour {
-                        index: s,
-                        distance: d,
-                    },
-                );
+                best.insert(pos, candidate);
                 best.truncate(k);
             }
             if alive[s] {
@@ -321,7 +388,7 @@ impl<S: Symbol> Laesa<S> {
                     if g > lower[u] {
                         lower[u] = g;
                     }
-                    if lower[u] > radius {
+                    if lower[u] > radius + crate::ELIMINATION_SLACK {
                         alive[u] = false;
                         n_alive -= 1;
                     }
@@ -343,7 +410,7 @@ impl<S: Symbol> Laesa<S> {
                     continue;
                 }
                 let g = lower[u];
-                if g > radius {
+                if g > radius + crate::ELIMINATION_SLACK {
                     alive[u] = false;
                     n_alive -= 1;
                     continue;
@@ -655,6 +722,75 @@ mod tests {
             let bd: Vec<f64> = nns.iter().map(|n| n.distance).collect();
             let sd: Vec<f64> = snns.iter().map(|n| n.distance).collect();
             assert_eq!(bd, sd, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_ascending_index_with_duplicate_strings() {
+        // Seed the corpus with duplicated strings so equal distances
+        // are guaranteed; the LAESA visit order (pivot-driven) differs
+        // from the linear scan's index order, so agreement here proves
+        // the tie-break is by database index, not by visit order.
+        let mut db = corpus(60, 6, 2, 41);
+        let dups: Vec<Vec<u8>> = db.iter().take(10).cloned().collect();
+        db.extend(dups);
+        let queries = corpus(20, 6, 2, 411);
+        let pivots = select_pivots_max_sum(&db, 6, 0, &Levenshtein);
+        let idx = Laesa::build(db.clone(), pivots, &Levenshtein);
+        for q in &queries {
+            let (l_nn, _) = linear_nn(&db, q, &Levenshtein).unwrap();
+            let (a_nn, _) = idx.nn(q, &Levenshtein).unwrap();
+            assert_eq!(a_nn.index, l_nn.index, "nn index mismatch on {q:?}");
+            assert_eq!(a_nn.distance, l_nn.distance);
+            let (l_knn, _) = linear_knn(&db, q, &Levenshtein, 5);
+            let (a_knn, _) = idx.knn(q, &Levenshtein, 5);
+            let li: Vec<(usize, u64)> = l_knn
+                .iter()
+                .map(|n| (n.index, n.distance.to_bits()))
+                .collect();
+            let ai: Vec<(usize, u64)> = a_knn
+                .iter()
+                .map(|n| (n.index, n.distance.to_bits()))
+                .collect();
+            assert_eq!(ai, li, "knn mismatch on {q:?}");
+        }
+    }
+
+    #[test]
+    fn prepared_radius_queries_match_plain_queries() {
+        // nn_prepared at an infinite radius is nn; at the exact best
+        // distance it still finds the neighbour (<= admission); just
+        // below it finds nothing.
+        let db = corpus(80, 8, 3, 47);
+        let queries = corpus(10, 8, 3, 471);
+        let pivots = select_pivots_max_sum(&db, 8, 0, &Levenshtein);
+        let idx = Laesa::build(db.clone(), pivots, &Levenshtein);
+        for q in &queries {
+            let (nn, stats) = idx.nn(q, &Levenshtein).unwrap();
+            let prepared = cned_core::metric::Distance::<u8>::prepare(&Levenshtein, q);
+            let (p_nn, p_stats) = idx.nn_prepared(&*prepared, f64::INFINITY);
+            let p_nn = p_nn.unwrap();
+            assert_eq!((p_nn.index, p_nn.distance), (nn.index, nn.distance));
+            assert_eq!(p_stats, stats);
+            let (at, _) = idx.nn_prepared(&*prepared, nn.distance);
+            let at = at.unwrap();
+            assert_eq!((at.index, at.distance), (nn.index, nn.distance));
+            if nn.distance > 0.0 {
+                let (below, _) = idx.nn_prepared(&*prepared, nn.distance - 0.5);
+                assert!(below.is_none(), "query {q:?}");
+            }
+            // knn via the prepared radius path agrees with plain knn.
+            let (knns, _) = idx.knn(q, &Levenshtein, 4);
+            let (p_knns, _) = idx.knn_prepared(&*prepared, 4, f64::INFINITY);
+            let a: Vec<(usize, u64)> = knns
+                .iter()
+                .map(|n| (n.index, n.distance.to_bits()))
+                .collect();
+            let b: Vec<(usize, u64)> = p_knns
+                .iter()
+                .map(|n| (n.index, n.distance.to_bits()))
+                .collect();
+            assert_eq!(a, b, "query {q:?}");
         }
     }
 

@@ -68,7 +68,7 @@ pub use aesa::Aesa;
 pub use counter::CountingDistance;
 pub use laesa::Laesa;
 pub use linear::{linear_knn, linear_knn_batch, linear_nn, linear_nn_batch};
-pub use parallel::{num_threads, par_map};
+pub use parallel::{num_threads, par_map, workers_for};
 pub use pivots::{select_pivots_max_sum, select_pivots_random};
 pub use vptree::VpTree;
 
@@ -88,12 +88,105 @@ pub struct Neighbour {
     pub distance: f64,
 }
 
+impl Neighbour {
+    /// Whether this candidate beats `incumbent` under the canonical
+    /// result ordering: ascending distance, ties broken by **ascending
+    /// database index**.
+    ///
+    /// Every search path — linear scan, LAESA, AESA, and the sharded
+    /// serving layer — resolves equal-distance ties with this rule, so
+    /// results cannot diverge between serial, batch and sharded
+    /// execution just because they visit candidates in different
+    /// orders. Distances are compared with [`f64::total_cmp`]; an
+    /// infinite distance (the "nothing found within the radius"
+    /// sentinel) never wins a tie.
+    pub fn better_than(&self, incumbent: &Neighbour) -> bool {
+        match self.distance.total_cmp(&incumbent.distance) {
+            core::cmp::Ordering::Less => true,
+            core::cmp::Ordering::Equal => self.distance.is_finite() && self.index < incumbent.index,
+            core::cmp::Ordering::Greater => false,
+        }
+    }
+
+    /// The canonical result ordering (ascending distance, then
+    /// ascending index) as a total order, for sorting and merging
+    /// neighbour lists.
+    pub fn ordering(&self, other: &Neighbour) -> core::cmp::Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+/// Absolute slack added to triangle-inequality elimination thresholds
+/// in LAESA/AESA.
+///
+/// The lower bound `G[u] = |d(q,p) − d(p,u)|` is computed from two
+/// *rounded* doubles, so for real-valued metrics (`d_C`, `d_YB`, …) it
+/// can land a few ulps **above** the true distance of a candidate that
+/// ties the pruning radius exactly (e.g. 8/15 − 1/5 = 1/3 in exact
+/// arithmetic, but one ulp above 1/3 in doubles) — silently dropping
+/// an exact-tie member that the linear-scan oracle keeps. Eliminating
+/// only when `G[u] > radius + SLACK` restores agreement: slack can
+/// only *admit* extra candidates, whose fate is then decided by their
+/// real computed distance, so results stay exact; the cost is a
+/// vanishing number of extra distance computations. Float rounding
+/// error here is O(1e-15); integer-valued metrics (`d_E`) have gaps of
+/// 1, so 1e-9 is safely between the two.
+pub const ELIMINATION_SLACK: f64 = 1e-9;
+
+/// Sanitise a raw distance value before it enters best-so-far
+/// tracking.
+///
+/// Distances must never be NaN, but a broken user-supplied
+/// [`Distance`](cned_core::metric::Distance) — e.g. a generalised
+/// edit distance over a cost table containing NaN weights — can
+/// produce one. Unguarded, NaN *poisons* the search: it loses every
+/// `<` comparison (so it silently never wins), yet if it becomes the
+/// running best its use as a pruning bound rejects every later
+/// candidate (`d <= NaN` is false for all `d`), and the scan returns
+/// garbage with no diagnostic.
+///
+/// In debug builds this fires an assertion naming the problem. In
+/// release builds it falls back to [`f64::total_cmp`] semantics —
+/// under which NaN orders after `+inf` — by mapping NaN to
+/// `f64::INFINITY`: the candidate is treated as infinitely far, can
+/// never win a comparison or become a pruning bound, and the search
+/// stays deterministic.
+#[inline]
+pub fn sanitise_distance(d: f64) -> f64 {
+    debug_assert!(
+        !d.is_nan(),
+        "Distance implementation returned NaN (broken cost table?)"
+    );
+    if d.is_nan() {
+        f64::INFINITY
+    } else {
+        d
+    }
+}
+
 /// Search statistics reported alongside results.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Number of real distance evaluations performed for the query
     /// (excluding preprocessing).
     pub distance_computations: u64,
+}
+
+impl SearchStats {
+    /// Fold another query's (or shard's) statistics into this one.
+    pub fn merge(&mut self, other: SearchStats) {
+        self.distance_computations += other.distance_computations;
+    }
+}
+
+impl core::ops::Add for SearchStats {
+    type Output = SearchStats;
+    fn add(mut self, other: SearchStats) -> SearchStats {
+        self.merge(other);
+        self
+    }
 }
 
 /// Thread-safe accumulator for [`SearchStats`], for batch pipelines

@@ -12,14 +12,17 @@
 //! `_batch` variants fan out across queries on all cores.
 
 use crate::parallel::par_map;
-use crate::{Neighbour, SearchStats};
+use crate::{sanitise_distance, Neighbour, SearchStats};
 use cned_core::metric::Distance;
 use cned_core::Symbol;
 
 /// Nearest neighbour of `query` in `db` by exhaustive scan.
 ///
-/// Ties are broken towards the smallest index. Returns `None` on an
-/// empty database.
+/// Ties are broken towards the smallest database index (the canonical
+/// ordering of [`Neighbour::better_than`], shared with the LAESA and
+/// sharded paths). Returns `None` on an empty database. NaN distances
+/// are rejected via [`sanitise_distance`] so a broken distance cannot
+/// poison the running best.
 pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
     db: &[Vec<S>],
     query: &[S],
@@ -30,7 +33,7 @@ pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
     for (i, item) in db.iter().enumerate() {
         match best {
             None => {
-                let d = prepared.distance_to(item);
+                let d = sanitise_distance(prepared.distance_to(item));
                 best = Some(Neighbour {
                     index: i,
                     distance: d,
@@ -80,10 +83,12 @@ pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
         return (Vec::new(), stats);
     }
     let prepared = dist.prepare(query);
-    // Current k best, sorted ascending; scanning in index order keeps
-    // equal-distance ties on the smaller index (equal keys insert
-    // after their peers, and the k-th boundary admits d == kth only
-    // to be truncated away — exactly the sort-and-truncate outcome).
+    // Current k best, kept sorted by the canonical (distance, index)
+    // ordering — the same rule every other search path uses, so equal-
+    // distance ties always resolve to the smallest database index and
+    // the k-th boundary admits d == kth only to be truncated away:
+    // exactly the sort-and-truncate outcome, independent of visit
+    // order.
     let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
     for (i, item) in db.iter().enumerate() {
         let budget = if best.len() < k {
@@ -94,21 +99,14 @@ pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
         let Some(d) = prepared.distance_to_bounded(item, budget) else {
             continue;
         };
+        let candidate = Neighbour {
+            index: i,
+            distance: d,
+        };
         let pos = best
-            .binary_search_by(|nb| {
-                nb.distance
-                    .partial_cmp(&d)
-                    .expect("distances must not be NaN")
-                    .then(core::cmp::Ordering::Less)
-            })
+            .binary_search_by(|nb| nb.ordering(&candidate))
             .unwrap_or_else(|e| e);
-        best.insert(
-            pos,
-            Neighbour {
-                index: i,
-                distance: d,
-            },
-        );
+        best.insert(pos, candidate);
         best.truncate(k);
     }
     (best, stats)
@@ -174,6 +172,91 @@ mod tests {
         let db: Vec<Vec<u8>> = vec![b"aa".to_vec(), b"bb".to_vec()];
         let (nn, _) = linear_nn(&db, b"ab", &Levenshtein).unwrap();
         assert_eq!(nn.index, 0);
+    }
+
+    /// A generalised edit distance over a deliberately broken cost
+    /// table whose weights are all NaN: `d(x, x) = 0` (the pure
+    /// diagonal path never touches a weight) but every other pair
+    /// evaluates to NaN.
+    struct BrokenCostTable;
+    impl cned_core::metric::Distance<u8> for BrokenCostTable {
+        fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+            struct NanCosts;
+            impl cned_core::generalized::CostModel<u8> for NanCosts {
+                fn substitute(&self, a: u8, b: u8) -> f64 {
+                    if a == b {
+                        0.0
+                    } else {
+                        f64::NAN
+                    }
+                }
+                fn insert(&self, _: u8) -> f64 {
+                    f64::NAN
+                }
+                fn delete(&self, _: u8) -> f64 {
+                    f64::NAN
+                }
+            }
+            cned_core::generalized::generalized_edit_distance(a, b, &NanCosts)
+        }
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+        fn is_metric(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn nan_distance_asserts_in_debug() {
+        // NaN at the first scanned element: caught by the unbounded
+        // call site's sanitise_distance guard.
+        let db: Vec<Vec<u8>> = vec![b"ab".to_vec(), b"zz".to_vec()];
+        let _ = linear_nn(&db, b"zz", &BrokenCostTable);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn nan_distance_asserts_in_debug_on_bounded_path() {
+        // NaN away from position 0 flows through distance_to_bounded;
+        // the default Distance::distance_bounded impl asserts there.
+        let db: Vec<Vec<u8>> = vec![b"zz".to_vec(), b"ab".to_vec()];
+        let _ = linear_nn(&db, b"zz", &BrokenCostTable);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_distance_never_wins_in_release() {
+        // The documented total_cmp fallback: NaN orders after +inf, so
+        // the poisoned comparison is treated as infinitely far and the
+        // genuine zero-distance match still wins.
+        let db: Vec<Vec<u8>> = vec![b"ab".to_vec(), b"zz".to_vec()];
+        let (nn, _) = linear_nn(&db, b"zz", &BrokenCostTable).unwrap();
+        assert_eq!(nn.index, 1);
+        assert_eq!(nn.distance, 0.0);
+        // k-NN: the NaN candidate is rejected by the admission budget,
+        // not inserted with a scrambled sort order.
+        let (nns, _) = linear_knn(&db, b"zz", &BrokenCostTable, 2);
+        assert_eq!(nns.len(), 1);
+        assert_eq!(nns[0].index, 1);
+    }
+
+    #[test]
+    fn knn_ties_resolve_to_ascending_index() {
+        // Three identical strings: every ordering-sensitive path must
+        // report them in ascending index order.
+        let db: Vec<Vec<u8>> = vec![
+            b"dup".to_vec(),
+            b"far".to_vec(),
+            b"dup".to_vec(),
+            b"dup".to_vec(),
+        ];
+        let (nns, _) = linear_knn(&db, b"dup", &Levenshtein, 3);
+        let idx: Vec<usize> = nns.iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![0, 2, 3]);
     }
 
     #[test]

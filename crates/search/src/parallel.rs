@@ -58,8 +58,21 @@ pub fn num_threads() -> usize {
     }
 }
 
-/// Compute `f(0), f(1), …, f(n - 1)` across [`num_threads`] scoped
-/// threads, returning the results in index order.
+/// Worker count for `n` independent work items: [`num_threads`]
+/// clamped to the number of items, and never zero.
+///
+/// Every consumer that spawns workers over a batch must fan out
+/// through this clamp rather than raw [`num_threads`]: with a large
+/// `CNED_THREADS` (or a future 128-core box) a 3-element batch would
+/// otherwise spawn dozens of workers whose strided ranges are empty —
+/// pure spawn/join overhead, and in a serving pipeline a thundering
+/// herd per tiny batch.
+pub fn workers_for(n: usize) -> usize {
+    num_threads().min(n).max(1)
+}
+
+/// Compute `f(0), f(1), …, f(n - 1)` across [`workers_for`]`(n)`
+/// scoped threads, returning the results in index order.
 ///
 /// Falls back to a plain sequential map when one thread suffices (or
 /// `n <= 1`), so callers pay no threading overhead in the small case.
@@ -69,7 +82,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = num_threads().min(n);
+    let threads = workers_for(n);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -133,6 +146,22 @@ mod tests {
         }
         set_thread_override(None);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_fan_out_is_clamped_to_items() {
+        // Regression: a huge thread override over a tiny batch must
+        // not spawn workers with empty strided ranges.
+        let _guard = crate::TEST_ENV_LOCK.lock().unwrap();
+        set_thread_override(Some(64));
+        assert_eq!(workers_for(3), 3);
+        assert_eq!(workers_for(1), 1);
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(100), 64);
+        // A 3-element batch under the 64-thread override still
+        // computes every element exactly once, in order.
+        assert_eq!(par_map(3, |i| i * 2), vec![0, 2, 4]);
+        set_thread_override(None);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! # cned-serve — the sharded concurrent serving layer
+//!
+//! Scales the paper's pivot-based search (LAESA — Micó, Oncina &
+//! Vidal 1994) past one index and one request at a time:
+//!
+//! * [`sharded`] — [`ShardedIndex`]: the database partitioned into
+//!   `k` contiguous LAESA shards (built in parallel), queried with
+//!   **cross-shard bound propagation**, plus a small unindexed *delta
+//!   shard* absorbing incremental inserts until compaction;
+//! * [`pipeline`] — [`QueryPipeline`]: a batch scheduler that accepts
+//!   a queue of mixed query/insert requests, prepares each query once,
+//!   and dispatches per-query work chains across worker threads.
+//!
+//! ## The cross-shard bound-propagation invariant
+//!
+//! A query fans across shards **in shard order**, and the pruning
+//! radius handed to shard `s` is always the *exact* best distance
+//! (for k-NN: the k-th best) found over shards `0..s` — so shard 2
+//! starts its elimination with shard 1's best already in hand, the
+//! way a single LAESA run reuses its own running best. This is sound
+//! for the same reason bounded evaluation is sound inside one index:
+//! a radius can only **reject** candidates, never answer for them.
+//! Candidates whose true distance exceeds the radius cannot enter the
+//! global result (something at least as close already exists in an
+//! earlier shard), and candidates within the radius are still
+//! evaluated and admitted, including exact ties (`d <= radius`), so
+//! the final merge — under the canonical (distance, ascending
+//! database index) ordering shared with `cned-search` — returns
+//! exactly the single-index answer. Chávez et al. 2001's cost model
+//! says distance evaluations dominate metric search, which is why the
+//! propagated bound is worth the serialisation it imposes *within*
+//! one query: it converts later shards' candidate evaluations into
+//! cheap gate rejections, and throughput parallelism comes from
+//! running many queries' chains concurrently instead.
+//!
+//! ## Why pivot distances stay exact
+//!
+//! Within every shard, distances from the query to the shard's
+//! *pivots* are computed exactly even when they exceed the current
+//! radius. A pivot's exact value feeds the triangle-inequality lower
+//! bounds `G[u] = max_p |d(q,p) − d(p,u)|` of every candidate in the
+//! shard; truncating it at the radius would corrupt those bounds and
+//! make elimination unsound. Only *candidate* evaluations — whose
+//! values merely compete against the running best — are bounded.
+//! The per-query cost of a shard is therefore at least its pivot
+//! count, which is the capacity knob: more shards with fewer pivots
+//! each lowers build cost and tail latency, fewer shards with more
+//! pivots minimises total distance computations.
+
+pub mod pipeline;
+pub mod sharded;
+
+pub use pipeline::{QueryPipeline, Request, Response};
+pub use sharded::{ShardConfig, ShardedIndex, ShardedStats};

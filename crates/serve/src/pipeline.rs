@@ -1,0 +1,204 @@
+//! [`QueryPipeline`] — a batch scheduler over a [`ShardedIndex`].
+//!
+//! Accepts a queue of mixed requests (NN / k-NN queries and inserts)
+//! and answers them with the semantics of strict in-order execution,
+//! while extracting all the parallelism that semantics allows:
+//!
+//! * consecutive **queries** form a batch dispatched across
+//!   [`cned_search::workers_for`] worker threads. Workers *pull* work
+//!   from a shared atomic cursor (dynamic load balancing — an
+//!   expensive `d_C` query next to a cheap `d_E`-style one no longer
+//!   pins the batch to the slowest stride). The (query × shard) tasks
+//!   of one query form a dependency chain — shard `s + 1`'s pruning
+//!   radius is the best distance over shards `0..=s` — so a worker
+//!   that takes a query runs its whole chain, preparing the query
+//!   once ([`Distance::prepare`]) and reusing the prepared form
+//!   across every shard. This keeps results (neighbours, distances,
+//!   *and* per-query computation counts) bit-identical for any worker
+//!   count, because no query's pruning bound ever depends on another
+//!   query's progress;
+//! * an **insert** is a barrier: the running batch flushes, the item
+//!   lands in the index's delta shard (compacting into a fresh LAESA
+//!   shard at the configured threshold), and later queries observe
+//!   it — exactly the serial queue semantics.
+
+use crate::sharded::ShardedIndex;
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use cned_search::{workers_for, Neighbour, SearchStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of work for the pipeline.
+#[derive(Debug, Clone)]
+pub enum Request<S: Symbol> {
+    /// Nearest-neighbour query.
+    Nn {
+        /// The query string.
+        query: Vec<S>,
+    },
+    /// k-nearest-neighbours query.
+    Knn {
+        /// The query string.
+        query: Vec<S>,
+        /// How many neighbours.
+        k: usize,
+    },
+    /// Incremental insert into the delta shard.
+    Insert {
+        /// The item to add.
+        item: Vec<S>,
+    },
+}
+
+/// The answer to one [`Request`], in request order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Nn`]; `None` when the index was empty at
+    /// that point in the queue.
+    Nn {
+        /// The nearest neighbour (global index + distance).
+        neighbour: Option<Neighbour>,
+        /// Total distance evaluations across shards + delta scan.
+        stats: SearchStats,
+    },
+    /// Answer to [`Request::Knn`].
+    Knn {
+        /// Up to `k` neighbours in (distance, index) order.
+        neighbours: Vec<Neighbour>,
+        /// Total distance evaluations across shards + delta scan.
+        stats: SearchStats,
+    },
+    /// Answer to [`Request::Insert`]: the item's global index.
+    Inserted {
+        /// Global index assigned to the inserted item.
+        index: usize,
+    },
+}
+
+/// A serving pipeline owning a [`ShardedIndex`].
+pub struct QueryPipeline<S: Symbol> {
+    index: ShardedIndex<S>,
+}
+
+impl<S: Symbol> QueryPipeline<S> {
+    /// Wrap an index for pipelined serving.
+    pub fn new(index: ShardedIndex<S>) -> QueryPipeline<S> {
+        QueryPipeline { index }
+    }
+
+    /// The underlying index (e.g. for direct single queries).
+    pub fn index(&self) -> &ShardedIndex<S> {
+        &self.index
+    }
+
+    /// Unwrap the pipeline back into its index.
+    pub fn into_index(self) -> ShardedIndex<S> {
+        self.index
+    }
+
+    /// Process `requests` with in-order semantics, returning one
+    /// [`Response`] per request in input order. See the module docs
+    /// for the scheduling model.
+    ///
+    /// Takes the queue by reference: queries are answered in place
+    /// (no copies) and only inserted items are cloned into the index,
+    /// so callers can reuse or replay the queue without paying a deep
+    /// copy per call.
+    pub fn run<D: Distance<S> + ?Sized>(
+        &mut self,
+        requests: &[Request<S>],
+        dist: &D,
+    ) -> Vec<Response> {
+        let mut out: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        // Indices of the queries batched since the last barrier.
+        let mut batch: Vec<usize> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            match request {
+                Request::Nn { .. } | Request::Knn { .. } => batch.push(i),
+                Request::Insert { item } => {
+                    self.flush(requests, &mut batch, dist, &mut out);
+                    let index = self.index.insert(item.clone(), dist);
+                    out[i] = Some(Response::Inserted { index });
+                }
+            }
+        }
+        self.flush(requests, &mut batch, dist, &mut out);
+        out.into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    /// Answer the batched queries against the index's current state,
+    /// in parallel, then clear the batch.
+    fn flush<D: Distance<S> + ?Sized>(
+        &self,
+        requests: &[Request<S>],
+        batch: &mut Vec<usize>,
+        dist: &D,
+        out: &mut [Option<Response>],
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let answer = |i: usize| -> Response {
+            match &requests[i] {
+                Request::Nn { query } => {
+                    let result = self.index.nn(query, dist);
+                    match result {
+                        None => Response::Nn {
+                            neighbour: None,
+                            stats: SearchStats::default(),
+                        },
+                        Some((nb, stats)) => Response::Nn {
+                            neighbour: Some(nb),
+                            stats: stats.total(),
+                        },
+                    }
+                }
+                Request::Knn { query, k } => {
+                    let (neighbours, stats) = self.index.knn(query, dist, *k);
+                    Response::Knn {
+                        neighbours,
+                        stats: stats.total(),
+                    }
+                }
+                Request::Insert { .. } => unreachable!("inserts are barriers, never batched"),
+            }
+        };
+
+        let workers = workers_for(batch.len());
+        if workers <= 1 {
+            for &i in batch.iter() {
+                out[i] = Some(answer(i));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let answers: Vec<(usize, Response)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let batch = &*batch;
+                        let answer = &answer;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = batch.get(t) else { break };
+                                local.push((i, answer(i)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("cned-serve worker thread panicked"))
+                    .collect()
+            });
+            for (i, response) in answers {
+                out[i] = Some(response);
+            }
+        }
+        batch.clear();
+    }
+}

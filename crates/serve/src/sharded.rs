@@ -1,0 +1,357 @@
+//! [`ShardedIndex`] — the database partitioned into contiguous LAESA
+//! shards, queried with cross-shard bound propagation (see the crate
+//! docs for the invariant), plus a linearly-scanned delta shard for
+//! incremental inserts.
+//!
+//! Global result indices are positions in the concatenated database
+//! (shard 0's items, then shard 1's, …, then the delta shard), which
+//! for an index built by [`ShardedIndex::build`] is exactly the input
+//! order — so results are interchangeable with a single-index or
+//! linear-scan run over the same data.
+
+use cned_core::metric::{Distance, PreparedQuery};
+use cned_core::Symbol;
+use cned_search::laesa::Laesa;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{par_map, Neighbour, SearchStats};
+
+/// Shape of a [`ShardedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of LAESA shards the initial database is split into
+    /// (clamped to the database size; at least 1).
+    pub shards: usize,
+    /// Max-sum pivots per shard (clamped to each shard's size).
+    pub pivots_per_shard: usize,
+    /// Delta-shard size that triggers compaction: once this many
+    /// inserts accumulate, they are rebuilt into a fresh LAESA shard.
+    pub compact_threshold: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            pivots_per_shard: 16,
+            compact_threshold: 64,
+        }
+    }
+}
+
+struct Shard<S: Symbol> {
+    /// Global index of this shard's first element.
+    offset: usize,
+    index: Laesa<S>,
+}
+
+/// Per-query statistics of a sharded search: one [`SearchStats`] per
+/// shard (in shard order) plus the delta-shard scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Statistics per LAESA shard, in shard order.
+    pub per_shard: Vec<SearchStats>,
+    /// Statistics of the linear delta-shard scan.
+    pub delta: SearchStats,
+}
+
+impl ShardedStats {
+    /// Totals across all shards and the delta scan.
+    pub fn total(&self) -> SearchStats {
+        self.per_shard.iter().fold(self.delta, |acc, s| acc + *s)
+    }
+}
+
+/// A database partitioned into `k` LAESA shards plus a delta shard.
+pub struct ShardedIndex<S: Symbol> {
+    shards: Vec<Shard<S>>,
+    /// Items inserted since the last compaction; global indices
+    /// `indexed_len..indexed_len + delta.len()`, scanned linearly.
+    delta: Vec<Vec<S>>,
+    /// Number of items living in LAESA shards.
+    indexed_len: usize,
+    config: ShardConfig,
+    preprocessing_computations: u64,
+}
+
+impl<S: Symbol> ShardedIndex<S> {
+    /// Partition `db` into `config.shards` contiguous chunks and build
+    /// one LAESA index per chunk, **in parallel** across shards (via
+    /// [`cned_search::parallel`]; each shard's pivot selection and row
+    /// computation run inside its worker).
+    pub fn build<D: Distance<S> + ?Sized>(
+        mut db: Vec<Vec<S>>,
+        config: ShardConfig,
+        dist: &D,
+    ) -> ShardedIndex<S> {
+        let n = db.len();
+        let k = config.shards.max(1).min(n.max(1));
+        // Near-equal contiguous chunks: the first `n % k` shards take
+        // one extra item, so offsets are a pure function of (n, k).
+        let base = n / k;
+        let extra = n % k;
+        let mut bounds = Vec::with_capacity(k + 1);
+        let mut at = 0;
+        bounds.push(0);
+        for s in 0..k {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+        }
+        // Split the owned database into per-shard chunks by moving the
+        // strings (split_off from the back) — building must not double
+        // the database's memory footprint. Each slot hands its chunk
+        // to exactly one worker.
+        let mut chunks: Vec<std::sync::Mutex<Option<Vec<Vec<S>>>>> = Vec::with_capacity(k);
+        for s in (0..k).rev() {
+            chunks.push(std::sync::Mutex::new(Some(db.split_off(bounds[s]))));
+        }
+        chunks.reverse();
+        let shards: Vec<Shard<S>> = par_map(k, |s| {
+            let chunk = chunks[s]
+                .lock()
+                .expect("chunk mutex never poisoned")
+                .take()
+                .expect("each chunk consumed exactly once");
+            let pivots = if chunk.is_empty() {
+                Vec::new()
+            } else {
+                select_pivots_max_sum(&chunk, config.pivots_per_shard, 0, dist)
+            };
+            Shard {
+                offset: bounds[s],
+                index: Laesa::build(chunk, pivots, dist),
+            }
+        });
+        let preprocessing_computations = shards
+            .iter()
+            .map(|s| s.index.preprocessing_computations())
+            .sum();
+        ShardedIndex {
+            shards,
+            delta: Vec::new(),
+            indexed_len: n,
+            config,
+            preprocessing_computations,
+        }
+    }
+
+    /// Total items (indexed shards + delta).
+    pub fn len(&self) -> usize {
+        self.indexed_len + self.delta.len()
+    }
+
+    /// Whether the index holds no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of LAESA shards (compaction appends new ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Items currently awaiting compaction in the delta shard.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Distance computations spent building/compacting shards
+    /// (pivot rows only; pivot *selection* is accounted by the
+    /// caller's pivot strategy, as in [`Laesa`]).
+    pub fn preprocessing_computations(&self) -> u64 {
+        self.preprocessing_computations
+    }
+
+    /// The item at global index `i` (panics when out of range).
+    pub fn item(&self, i: usize) -> &[S] {
+        if i >= self.indexed_len {
+            return &self.delta[i - self.indexed_len];
+        }
+        let shard = self
+            .shards
+            .iter()
+            .rfind(|s| s.offset <= i)
+            .expect("global index within an indexed shard");
+        &shard.index.database()[i - shard.offset]
+    }
+
+    /// Append `item` to the delta shard, returning its global index.
+    /// Once [`ShardConfig::compact_threshold`] inserts accumulate they
+    /// are compacted into a fresh LAESA shard (see
+    /// [`ShardedIndex::compact`]).
+    pub fn insert<D: Distance<S> + ?Sized>(&mut self, item: Vec<S>, dist: &D) -> usize {
+        let global = self.len();
+        self.delta.push(item);
+        if self.delta.len() >= self.config.compact_threshold {
+            self.compact(dist);
+        }
+        global
+    }
+
+    /// Rebuild the delta shard into a proper LAESA shard now (no-op on
+    /// an empty delta). Global indices are unchanged: the new shard
+    /// covers exactly the range the delta items already occupied.
+    pub fn compact<D: Distance<S> + ?Sized>(&mut self, dist: &D) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.delta);
+        let offset = self.indexed_len;
+        let pivots = select_pivots_max_sum(&items, self.config.pivots_per_shard, 0, dist);
+        let index = Laesa::build(items, pivots, dist);
+        self.indexed_len += index.database().len();
+        self.preprocessing_computations += index.preprocessing_computations();
+        self.shards.push(Shard { offset, index });
+    }
+
+    /// Nearest neighbour of `query` across all shards; `None` on an
+    /// empty index. See [`ShardedIndex::nn_prepared`].
+    pub fn nn<D: Distance<S> + ?Sized>(
+        &self,
+        query: &[S],
+        dist: &D,
+    ) -> Option<(Neighbour, ShardedStats)> {
+        let prepared = dist.prepare(query);
+        self.nn_prepared(&*prepared)
+    }
+
+    /// Nearest neighbour of an already-prepared query.
+    ///
+    /// Fans across shards in shard order, handing each shard the best
+    /// distance found so far as its pruning radius (the cross-shard
+    /// bound-propagation invariant — see the crate docs), then scans
+    /// the delta shard under the same running bound. Ties resolve to
+    /// the smallest global index: within a shard by the canonical
+    /// LAESA tie-break, across shards by the merge below (an equal-
+    /// distance find in a later shard never displaces an earlier one).
+    pub fn nn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+    ) -> Option<(Neighbour, ShardedStats)> {
+        let mut stats = ShardedStats::default();
+        let mut best: Option<Neighbour> = None;
+        for shard in &self.shards {
+            let radius = best.map_or(f64::INFINITY, |b| b.distance);
+            let (found, shard_stats) = shard.index.nn_prepared(prepared, radius);
+            stats.per_shard.push(shard_stats);
+            if let Some(local) = found {
+                let candidate = Neighbour {
+                    index: shard.offset + local.index,
+                    distance: local.distance,
+                };
+                if best.is_none_or(|b| candidate.better_than(&b)) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        for (pos, item) in self.delta.iter().enumerate() {
+            let incumbent = best.unwrap_or(Neighbour {
+                index: usize::MAX,
+                distance: f64::INFINITY,
+            });
+            stats.delta.distance_computations += 1;
+            if let Some(d) = prepared.distance_to_bounded(item, incumbent.distance) {
+                let candidate = Neighbour {
+                    index: self.indexed_len + pos,
+                    distance: d,
+                };
+                if candidate.better_than(&incumbent) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|b| (b, stats))
+    }
+
+    /// The `k` nearest neighbours of `query` across all shards, in the
+    /// canonical (distance, ascending global index) order. See
+    /// [`ShardedIndex::knn_prepared`].
+    pub fn knn<D: Distance<S> + ?Sized>(
+        &self,
+        query: &[S],
+        dist: &D,
+        k: usize,
+    ) -> (Vec<Neighbour>, ShardedStats) {
+        let prepared = dist.prepare(query);
+        self.knn_prepared(&*prepared, k)
+    }
+
+    /// k-NN counterpart of [`ShardedIndex::nn_prepared`]: each shard
+    /// is queried with the running global k-th-best distance as its
+    /// radius, and per-shard results merge under the canonical
+    /// ordering.
+    pub fn knn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+    ) -> (Vec<Neighbour>, ShardedStats) {
+        let mut stats = ShardedStats::default();
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
+        let kth = |best: &Vec<Neighbour>| -> f64 {
+            if best.len() < k {
+                f64::INFINITY
+            } else {
+                best[k - 1].distance
+            }
+        };
+        for shard in &self.shards {
+            let (locals, shard_stats) = shard.index.knn_prepared(prepared, k, kth(&best));
+            stats.per_shard.push(shard_stats);
+            for local in locals {
+                let candidate = Neighbour {
+                    index: shard.offset + local.index,
+                    distance: local.distance,
+                };
+                let pos = best
+                    .binary_search_by(|nb| nb.ordering(&candidate))
+                    .unwrap_or_else(|e| e);
+                best.insert(pos, candidate);
+                best.truncate(k);
+            }
+        }
+        for (pos, item) in self.delta.iter().enumerate() {
+            stats.delta.distance_computations += 1;
+            if let Some(d) = prepared.distance_to_bounded(item, kth(&best)) {
+                let candidate = Neighbour {
+                    index: self.indexed_len + pos,
+                    distance: d,
+                };
+                let at = best
+                    .binary_search_by(|nb| nb.ordering(&candidate))
+                    .unwrap_or_else(|e| e);
+                best.insert(at, candidate);
+                best.truncate(k);
+            }
+        }
+        (best, stats)
+    }
+
+    /// [`ShardedIndex::nn`] for a batch of queries, parallelised
+    /// across queries (each worker's query is prepared once and reused
+    /// across every shard). Returns `None` on an empty index.
+    pub fn nn_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+    ) -> Option<Vec<(Neighbour, ShardedStats)>> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(par_map(queries.len(), |q| {
+            self.nn(&queries[q], dist).expect("index checked non-empty")
+        }))
+    }
+
+    /// [`ShardedIndex::knn`] for a batch of queries, parallelised
+    /// across queries.
+    pub fn knn_batch<D: Distance<S> + ?Sized>(
+        &self,
+        queries: &[Vec<S>],
+        dist: &D,
+        k: usize,
+    ) -> Vec<(Vec<Neighbour>, ShardedStats)> {
+        par_map(queries.len(), |q| self.knn(&queries[q], dist, k))
+    }
+}

@@ -1,0 +1,368 @@
+//! Integration tests for the sharded serving layer: agreement with
+//! the single-index linear-scan oracle across metrics, shard counts
+//! and thread counts; deterministic tie-breaking on duplicate-heavy
+//! corpora; insert/compaction semantics; and the thread-count
+//! determinism sweep guarding the pipeline against
+//! scheduling-dependent results.
+
+use cned_core::contextual::exact::Contextual;
+use cned_core::levenshtein::Levenshtein;
+use cned_core::metric::Distance;
+use cned_core::normalized::yujian_bo::YujianBo;
+use cned_search::linear::{linear_knn, linear_nn};
+use cned_search::parallel::set_thread_override;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::Laesa;
+use cned_serve::{QueryPipeline, Request, Response, ShardConfig, ShardedIndex};
+use std::sync::Mutex;
+
+/// The thread override is process-global; tests that touch it
+/// serialise here.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-random word corpus (xorshift).
+fn corpus(n: usize, len: usize, alphabet: u8, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let l = 1 + (rng() % len as u64) as usize;
+            (0..l)
+                .map(|_| b'a' + (rng() % alphabet as u64) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        pivots_per_shard: 4,
+        compact_threshold: 8,
+    }
+}
+
+#[test]
+fn agrees_with_linear_scan_across_metrics_shards_and_threads() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let db = corpus(42, 7, 3, 97);
+    let queries = corpus(6, 7, 3, 971);
+    let metrics: [&dyn Distance<u8>; 3] = [&Levenshtein, &YujianBo, &Contextual];
+    for dist in metrics {
+        for shards in [1usize, 2, 5] {
+            for threads in [1usize, 4] {
+                set_thread_override(Some(threads));
+                let index = ShardedIndex::build(db.clone(), config(shards), dist);
+                for q in &queries {
+                    let (l_nn, l_stats) = linear_nn(&db, q, dist).unwrap();
+                    let (s_nn, s_stats) = index.nn(q, dist).unwrap();
+                    let label = format!(
+                        "metric {} shards {shards} threads {threads} query {q:?}",
+                        dist.name()
+                    );
+                    assert_eq!(s_nn.index, l_nn.index, "{label}");
+                    assert_eq!(s_nn.distance.to_bits(), l_nn.distance.to_bits(), "{label}");
+                    assert!(
+                        s_stats.total().distance_computations <= l_stats.distance_computations + 1,
+                        "{label}: sharded should not exceed exhaustive"
+                    );
+                    let (l_knn, _) = linear_knn(&db, q, dist, 5);
+                    let (s_knn, _) = index.knn(q, dist, 5);
+                    let l: Vec<(usize, u64)> = l_knn
+                        .iter()
+                        .map(|n| (n.index, n.distance.to_bits()))
+                        .collect();
+                    let s: Vec<(usize, u64)> = s_knn
+                        .iter()
+                        .map(|n| (n.index, n.distance.to_bits()))
+                        .collect();
+                    assert_eq!(s, l, "{label}");
+                }
+            }
+        }
+        set_thread_override(None);
+    }
+}
+
+#[test]
+fn duplicate_strings_tie_break_serial_batch_sharded() {
+    // Corpus seeded with duplicate strings: equal distances are
+    // guaranteed, so this pins the ascending-database-index tie-break
+    // across the serial, batch and sharded paths.
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let mut db = corpus(40, 5, 2, 13);
+    let dups: Vec<Vec<u8>> = db.iter().take(12).cloned().collect();
+    db.extend(dups);
+    let queries = corpus(10, 5, 2, 131);
+    let pivots = select_pivots_max_sum(&db, 5, 0, &Levenshtein);
+    let laesa = Laesa::build(db.clone(), pivots, &Levenshtein);
+    let sharded = ShardedIndex::build(db.clone(), config(3), &Levenshtein);
+    set_thread_override(Some(3));
+    let batch = sharded.nn_batch(&queries, &Levenshtein).unwrap();
+    set_thread_override(None);
+    for (q, (b_nn, _)) in queries.iter().zip(&batch) {
+        let (serial, _) = linear_nn(&db, q, &Levenshtein).unwrap();
+        let (single, _) = laesa.nn(q, &Levenshtein).unwrap();
+        let (shard_nn, _) = sharded.nn(q, &Levenshtein).unwrap();
+        assert_eq!(serial.index, single.index, "query {q:?}");
+        assert_eq!(serial.index, shard_nn.index, "query {q:?}");
+        assert_eq!(serial.index, b_nn.index, "query {q:?}");
+        assert_eq!(serial.distance.to_bits(), shard_nn.distance.to_bits());
+        let (l_knn, _) = linear_knn(&db, q, &Levenshtein, 6);
+        let (s_knn, _) = sharded.knn(q, &Levenshtein, 6);
+        let (a_knn, _) = laesa.knn(q, &Levenshtein, 6);
+        let key = |ns: &[cned_search::Neighbour]| -> Vec<(usize, u64)> {
+            ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+        };
+        assert_eq!(key(&s_knn), key(&l_knn), "query {q:?}");
+        assert_eq!(key(&a_knn), key(&l_knn), "query {q:?}");
+    }
+}
+
+#[test]
+fn thread_count_determinism_sweep() {
+    // nn_batch / knn_batch / pipeline answers must be bit-identical —
+    // neighbours, distances, and computation counts — for any worker
+    // count. Guards the pipeline against scheduling-dependent pruning.
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let db = corpus(70, 8, 3, 201);
+    let queries = corpus(13, 8, 3, 2011);
+    let index = ShardedIndex::build(db.clone(), config(3), &Levenshtein);
+    type NnKey = Vec<(usize, u64, u64)>;
+    type KnnKey = Vec<(Vec<(usize, u64)>, u64)>;
+    let mut nn_runs: Vec<NnKey> = Vec::new();
+    let mut knn_runs: Vec<KnnKey> = Vec::new();
+    let mut pipeline_runs: Vec<Vec<Response>> = Vec::new();
+    for threads in [1usize, 2, 7] {
+        set_thread_override(Some(threads));
+        let nn: NnKey = index
+            .nn_batch(&queries, &Levenshtein)
+            .unwrap()
+            .iter()
+            .map(|(nb, st)| {
+                (
+                    nb.index,
+                    nb.distance.to_bits(),
+                    st.total().distance_computations,
+                )
+            })
+            .collect();
+        let knn: KnnKey = index
+            .knn_batch(&queries, &Levenshtein, 4)
+            .iter()
+            .map(|(ns, st)| {
+                (
+                    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect(),
+                    st.total().distance_computations,
+                )
+            })
+            .collect();
+        let mut pipeline =
+            QueryPipeline::new(ShardedIndex::build(db.clone(), config(3), &Levenshtein));
+        let requests: Vec<Request<u8>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                if i % 2 == 0 {
+                    Request::Nn { query: q.clone() }
+                } else {
+                    Request::Knn {
+                        query: q.clone(),
+                        k: 3,
+                    }
+                }
+            })
+            .collect();
+        pipeline_runs.push(pipeline.run(&requests, &Levenshtein));
+        nn_runs.push(nn);
+        knn_runs.push(knn);
+    }
+    set_thread_override(None);
+    assert_eq!(nn_runs[0], nn_runs[1], "nn_batch: 1 vs 2 threads");
+    assert_eq!(nn_runs[0], nn_runs[2], "nn_batch: 1 vs 7 threads");
+    assert_eq!(knn_runs[0], knn_runs[1], "knn_batch: 1 vs 2 threads");
+    assert_eq!(knn_runs[0], knn_runs[2], "knn_batch: 1 vs 7 threads");
+    assert_eq!(pipeline_runs[0], pipeline_runs[1], "pipeline: 1 vs 2");
+    assert_eq!(pipeline_runs[0], pipeline_runs[2], "pipeline: 1 vs 7");
+}
+
+#[test]
+fn single_shard_matches_plain_laesa_exactly() {
+    let db = corpus(50, 7, 3, 301);
+    let queries = corpus(8, 7, 3, 3011);
+    let cfg = ShardConfig {
+        shards: 1,
+        pivots_per_shard: 6,
+        compact_threshold: 8,
+    };
+    let sharded = ShardedIndex::build(db.clone(), cfg, &Levenshtein);
+    let pivots = select_pivots_max_sum(&db, 6, 0, &Levenshtein);
+    let plain = Laesa::build(db, pivots, &Levenshtein);
+    for q in &queries {
+        let (s_nn, s_stats) = sharded.nn(q, &Levenshtein).unwrap();
+        let (p_nn, p_stats) = plain.nn(q, &Levenshtein).unwrap();
+        assert_eq!(s_nn.index, p_nn.index);
+        assert_eq!(s_nn.distance.to_bits(), p_nn.distance.to_bits());
+        assert_eq!(s_stats.total(), p_stats, "query {q:?}");
+    }
+}
+
+#[test]
+fn inserts_are_visible_and_compaction_preserves_answers() {
+    let db = corpus(30, 6, 3, 77);
+    let cfg = ShardConfig {
+        shards: 2,
+        pivots_per_shard: 4,
+        compact_threshold: 5,
+    };
+    let mut index = ShardedIndex::build(db.clone(), cfg, &Levenshtein);
+    assert_eq!(index.num_shards(), 2);
+    let mut all = db.clone();
+    // Insert items one by one; each must be findable immediately (in
+    // the delta shard) and survive compaction with a stable global
+    // index.
+    let extra = corpus(12, 6, 3, 771);
+    for (i, item) in extra.iter().enumerate() {
+        let global = index.insert(item.clone(), &Levenshtein);
+        assert_eq!(global, db.len() + i);
+        all.push(item.clone());
+        let (nn, _) = index.nn(item, &Levenshtein).unwrap();
+        assert_eq!(nn.distance, 0.0, "item {item:?} must be found at d=0");
+        assert_eq!(index.item(global), &item[..]);
+    }
+    // 12 inserts at threshold 5 → two compactions happened, 2 items
+    // still pending in the delta shard.
+    assert_eq!(index.num_shards(), 4);
+    assert_eq!(index.delta_len(), 2);
+    // The full index must agree with a linear scan over everything.
+    for q in corpus(10, 6, 3, 7711) {
+        let (l_nn, _) = linear_nn(&all, &q, &Levenshtein).unwrap();
+        let (s_nn, _) = index.nn(&q, &Levenshtein).unwrap();
+        assert_eq!(s_nn.index, l_nn.index, "query {q:?}");
+        assert_eq!(s_nn.distance.to_bits(), l_nn.distance.to_bits());
+        let (l_knn, _) = linear_knn(&all, &q, &Levenshtein, 5);
+        let (s_knn, _) = index.knn(&q, &Levenshtein, 5);
+        let l: Vec<(usize, u64)> = l_knn
+            .iter()
+            .map(|n| (n.index, n.distance.to_bits()))
+            .collect();
+        let s: Vec<(usize, u64)> = s_knn
+            .iter()
+            .map(|n| (n.index, n.distance.to_bits()))
+            .collect();
+        assert_eq!(s, l, "query {q:?}");
+    }
+    // Forced compaction flushes the tail and changes nothing.
+    index.compact(&Levenshtein);
+    assert_eq!(index.delta_len(), 0);
+    assert_eq!(index.num_shards(), 5);
+    for q in corpus(5, 6, 3, 77111) {
+        let (l_nn, _) = linear_nn(&all, &q, &Levenshtein).unwrap();
+        let (s_nn, _) = index.nn(&q, &Levenshtein).unwrap();
+        assert_eq!(
+            (s_nn.index, s_nn.distance.to_bits()),
+            (l_nn.index, l_nn.distance.to_bits())
+        );
+    }
+}
+
+#[test]
+fn pipeline_inserts_are_barriers() {
+    let db = corpus(20, 6, 3, 55);
+    let probe = b"zzzzzz".to_vec();
+    // The probe is far from the alphabet {a,b,c} corpus, so its
+    // nearest neighbour changes the moment an exact copy is inserted.
+    let mut pipeline = QueryPipeline::new(ShardedIndex::build(db.clone(), config(2), &Levenshtein));
+    let responses = pipeline.run(
+        &[
+            Request::Nn {
+                query: probe.clone(),
+            },
+            Request::Insert {
+                item: probe.clone(),
+            },
+            Request::Nn {
+                query: probe.clone(),
+            },
+            Request::Knn {
+                query: probe.clone(),
+                k: 2,
+            },
+        ],
+        &Levenshtein,
+    );
+    assert_eq!(responses.len(), 4);
+    let Response::Nn {
+        neighbour: Some(before),
+        ..
+    } = &responses[0]
+    else {
+        panic!("expected an Nn response, got {:?}", responses[0]);
+    };
+    assert!(before.distance > 0.0, "no exact copy before the insert");
+    assert_eq!(
+        responses[1],
+        Response::Inserted { index: db.len() },
+        "insert lands right after the seed database"
+    );
+    let Response::Nn {
+        neighbour: Some(after),
+        ..
+    } = &responses[2]
+    else {
+        panic!("expected an Nn response, got {:?}", responses[2]);
+    };
+    assert_eq!(after.index, db.len(), "the inserted copy is the new NN");
+    assert_eq!(after.distance, 0.0);
+    let Response::Knn { neighbours, .. } = &responses[3] else {
+        panic!("expected a Knn response, got {:?}", responses[3]);
+    };
+    assert_eq!(neighbours[0].index, db.len());
+    assert_eq!(neighbours[0].distance, 0.0);
+}
+
+#[test]
+fn empty_index_behaves() {
+    let index: ShardedIndex<u8> =
+        ShardedIndex::build(Vec::new(), ShardConfig::default(), &Levenshtein);
+    assert!(index.is_empty());
+    assert!(index.nn(b"abc", &Levenshtein).is_none());
+    assert!(index.nn_batch(&[b"abc".to_vec()], &Levenshtein).is_none());
+    let (knn, _) = index.knn(b"abc", &Levenshtein, 3);
+    assert!(knn.is_empty());
+    let mut pipeline = QueryPipeline::new(index);
+    let responses = pipeline.run(
+        &[
+            Request::Nn {
+                query: b"abc".to_vec(),
+            },
+            Request::Insert {
+                item: b"abc".to_vec(),
+            },
+            Request::Nn {
+                query: b"abc".to_vec(),
+            },
+        ],
+        &Levenshtein,
+    );
+    assert_eq!(
+        responses[0],
+        Response::Nn {
+            neighbour: None,
+            stats: cned_search::SearchStats::default()
+        }
+    );
+    let Response::Nn {
+        neighbour: Some(nb),
+        ..
+    } = &responses[2]
+    else {
+        panic!("the inserted item must be servable, got {:?}", responses[2]);
+    };
+    assert_eq!((nb.index, nb.distance), (0, 0.0));
+}

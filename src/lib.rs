@@ -10,6 +10,8 @@
 //!   non-metric normalisations `d_max`/`d_min`/`d_sum`.
 //! * [`search`] — LAESA / AESA / linear-scan nearest-neighbour search
 //!   with distance-computation counting.
+//! * [`serve`] — sharded serving layer: multi-shard LAESA with
+//!   cross-shard bound propagation and a batch query pipeline.
 //! * [`datasets`] — synthetic stand-ins for the paper's three
 //!   benchmarks: a Spanish-like dictionary, DNA gene sequences, and
 //!   handwritten-digit contour chain codes.
@@ -28,6 +30,7 @@ pub use cned_classify as classify;
 pub use cned_core as core;
 pub use cned_datasets as datasets;
 pub use cned_search as search;
+pub use cned_serve as serve;
 pub use cned_stats as stats;
 
 /// One-stop imports for examples and quick scripts.
