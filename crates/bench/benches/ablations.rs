@@ -19,6 +19,7 @@ use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
 use cned_search::pivots::{select_pivots_max_sum, select_pivots_random};
+use cned_search::{MetricIndex, QueryOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,12 +80,15 @@ fn bench_pivot_selection(c: &mut Criterion) {
     let dict = spanish_dictionary(N, 3);
     let queries = gen_queries(&dict, 16, 2, ASCII_LOWER, 4);
 
-    let greedy = Laesa::build(
+    let greedy = Laesa::try_build(
         dict.clone(),
         select_pivots_max_sum(&dict, P, 0, &Levenshtein),
         &Levenshtein,
-    );
-    let random = Laesa::build(dict.clone(), select_pivots_random(N, P, 42), &Levenshtein);
+    )
+    .expect("max-sum pivots are valid");
+    let random = Laesa::try_build(dict.clone(), select_pivots_random(N, P, 42), &Levenshtein)
+        .expect("random pivots are valid");
+    let opts = QueryOptions::new();
 
     let mut group = c.benchmark_group("ablation_pivots");
     group
@@ -94,14 +98,14 @@ fn bench_pivot_selection(c: &mut Criterion) {
     group.bench_function("greedy_max_sum", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(greedy.nn(black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&greedy, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
     group.bench_function("uniform_random", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(random.nn(black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&random, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
@@ -112,7 +116,12 @@ fn bench_pivot_selection(c: &mut Criterion) {
     let count = |idx: &Laesa<u8>| -> f64 {
         let total: u64 = queries
             .iter()
-            .map(|q| idx.nn(q, &Levenshtein).unwrap().1.distance_computations)
+            .map(|q| {
+                MetricIndex::nn(idx, q, &Levenshtein, &opts)
+                    .unwrap()
+                    .1
+                    .distance_computations
+            })
             .sum();
         total as f64 / queries.len() as f64
     };
@@ -125,20 +134,23 @@ fn bench_pivot_selection(c: &mut Criterion) {
 
 fn bench_index_structures(c: &mut Criterion) {
     use cned_search::aesa::Aesa;
-    use cned_search::linear::linear_nn;
     use cned_search::vptree::VpTree;
+    use cned_search::LinearIndex;
 
     const N: usize = 600;
     let dict = spanish_dictionary(N, 5);
     let queries = gen_queries(&dict, 16, 2, ASCII_LOWER, 6);
 
-    let laesa = Laesa::build(
+    let laesa = Laesa::try_build(
         dict.clone(),
         select_pivots_max_sum(&dict, 48, 0, &Levenshtein),
         &Levenshtein,
-    );
+    )
+    .expect("max-sum pivots are valid");
     let vptree = VpTree::build(dict.clone(), &Levenshtein);
     let aesa = Aesa::build(dict.clone(), &Levenshtein);
+    let linear = LinearIndex::new(dict.clone());
+    let opts = QueryOptions::new();
 
     let mut group = c.benchmark_group("ablation_indexes");
     group
@@ -148,28 +160,28 @@ fn bench_index_structures(c: &mut Criterion) {
     group.bench_function("laesa_48p", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(laesa.nn(black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&laesa, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
     group.bench_function("vptree", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(vptree.nn(black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&vptree, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
     group.bench_function("aesa", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(aesa.nn(black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&aesa, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
     group.bench_function("linear", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(linear_nn(&dict, black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&linear, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
@@ -181,9 +193,9 @@ fn bench_index_structures(c: &mut Criterion) {
     eprintln!(
         "[ablation_indexes] avg distance computations: laesa {:.1}, vptree {:.1}, aesa {:.1}, linear {} \
          (preprocessing: laesa {}, vptree {}, aesa {})",
-        avg(&|q| laesa.nn(q, &Levenshtein).unwrap().1.distance_computations),
-        avg(&|q| vptree.nn(q, &Levenshtein).unwrap().1.distance_computations),
-        avg(&|q| aesa.nn(q, &Levenshtein).unwrap().1.distance_computations),
+        avg(&|q| MetricIndex::nn(&laesa, q, &Levenshtein, &opts).unwrap().1.distance_computations),
+        avg(&|q| MetricIndex::nn(&vptree, q, &Levenshtein, &opts).unwrap().1.distance_computations),
+        avg(&|q| MetricIndex::nn(&aesa, q, &Levenshtein, &opts).unwrap().1.distance_computations),
         N,
         laesa.preprocessing_computations(),
         vptree.preprocessing_computations(),

@@ -31,8 +31,8 @@ use cned_core::metric::Unpruned;
 use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
-use cned_search::linear::linear_nn;
 use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{LinearIndex, MetricIndex, QueryOptions};
 
 fn random_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -79,6 +79,8 @@ fn scan_data() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
 
 fn bench_linear_scan(c: &mut Criterion) {
     let (db, queries) = scan_data();
+    let linear = LinearIndex::new(db.clone());
+    let opts = QueryOptions::new();
     let mut group = c.benchmark_group("dc_linear_scan");
     group
         .sample_size(10)
@@ -88,14 +90,18 @@ fn bench_linear_scan(c: &mut Criterion) {
     group.bench_function("bounded", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(linear_nn(&db, black_box(q), &Contextual));
+                black_box(linear.nn(black_box(q), &Contextual, &opts).unwrap());
             }
         })
     });
     group.bench_function("unpruned", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(linear_nn(&db, black_box(q), &Unpruned(Contextual)));
+                black_box(
+                    linear
+                        .nn(black_box(q), &Unpruned(Contextual), &opts)
+                        .unwrap(),
+                );
             }
         })
     });
@@ -105,7 +111,10 @@ fn bench_linear_scan(c: &mut Criterion) {
 fn bench_laesa(c: &mut Criterion) {
     let (db, queries) = scan_data();
     let pivots = select_pivots_max_sum(&db, N_PIVOTS, 0, &Contextual);
-    let index = Laesa::build(db.clone(), pivots, &Contextual);
+    let index =
+        Laesa::try_build(db.clone(), pivots, &Contextual).expect("max-sum pivots are valid");
+    let linear = LinearIndex::new(db.clone());
+    let opts = QueryOptions::new();
 
     let mut group = c.benchmark_group("dc_laesa");
     group
@@ -116,14 +125,16 @@ fn bench_laesa(c: &mut Criterion) {
     group.bench_function("bounded", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(index.nn(black_box(q), &Contextual));
+                black_box(MetricIndex::nn(&index, black_box(q), &Contextual, &opts).unwrap());
             }
         })
     });
     group.bench_function("unpruned", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(index.nn(black_box(q), &Unpruned(Contextual)));
+                black_box(
+                    MetricIndex::nn(&index, black_box(q), &Unpruned(Contextual), &opts).unwrap(),
+                );
             }
         })
     });
@@ -137,9 +148,9 @@ fn bench_laesa(c: &mut Criterion) {
         let mut comparisons = 0;
         for q in &queries {
             let stats = if laesa {
-                index.nn(q, &Contextual).unwrap().1
+                MetricIndex::nn(&index, q, &Contextual, &opts).unwrap().1
             } else {
-                linear_nn(&db, q, &Contextual).unwrap().1
+                linear.nn(q, &Contextual, &opts).unwrap().1
             };
             comparisons += stats.distance_computations;
         }

@@ -12,8 +12,8 @@ use cned_core::metric::Distance;
 use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
-use cned_search::linear::linear_nn;
 use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{LinearIndex, MetricIndex, QueryOptions};
 
 fn bench_laesa(c: &mut Criterion) {
     const N: usize = 1000;
@@ -28,33 +28,34 @@ fn bench_laesa(c: &mut Criterion) {
 
     // Build once with the maximum pivot count per distance and sweep
     // prefixes (greedy selection is incremental).
-    let run_sweep =
-        |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-         label: &str,
-         dist: &dyn Distance<u8>| {
-            let pivots = select_pivots_max_sum(&dict, 128, 0, dist);
-            let index = Laesa::build(dict.clone(), pivots, dist);
-            for p in [8usize, 32, 128] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{label}/laesa"), p),
-                    &p,
-                    |b, &p| {
-                        b.iter(|| {
-                            for q in &queries {
-                                black_box(index.nn_limited(black_box(q), dist, p));
-                            }
-                        })
-                    },
-                );
-            }
-            group.bench_function(BenchmarkId::new(format!("{label}/linear"), N), |b| {
+    let run_sweep = |group: &mut criterion::BenchmarkGroup<
+        '_,
+        criterion::measurement::WallTime,
+    >,
+                     label: &str,
+                     dist: &dyn Distance<u8>| {
+        let pivots = select_pivots_max_sum(&dict, 128, 0, dist);
+        let index = Laesa::try_build(dict.clone(), pivots, dist).expect("max-sum pivots are valid");
+        for p in [8usize, 32, 128] {
+            let opts = QueryOptions::new().pivot_budget(p);
+            group.bench_with_input(BenchmarkId::new(format!("{label}/laesa"), p), &p, |b, _| {
                 b.iter(|| {
                     for q in &queries {
-                        black_box(linear_nn(&dict, black_box(q), dist));
+                        black_box(MetricIndex::nn(&index, black_box(q), dist, &opts).unwrap());
                     }
                 })
             });
-        };
+        }
+        let linear = LinearIndex::new(dict.clone());
+        let opts = QueryOptions::new();
+        group.bench_function(BenchmarkId::new(format!("{label}/linear"), N), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(linear.nn(black_box(q), dist, &opts).unwrap());
+                }
+            })
+        });
+    };
 
     run_sweep(&mut group, "d_E", &Levenshtein);
     run_sweep(&mut group, "d_C_h", &ContextualHeuristic);

@@ -22,9 +22,9 @@ use cned_core::myers::{myers, myers_bounded, MyersPattern};
 use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
-use cned_search::linear::linear_nn;
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::Aesa;
+use cned_search::{LinearIndex, MetricIndex, QueryOptions};
 
 fn random_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -103,10 +103,12 @@ fn bench_batch_pipeline(c: &mut Criterion) {
     });
     // The full production path: prepared + bounded early exit against
     // the running best (what linear_nn does internally now).
+    let linear = LinearIndex::new(dict.clone());
+    let opts = QueryOptions::new();
     group.bench_function("scan/prepared_bounded_nn", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(linear_nn(&dict, black_box(q), &Levenshtein));
+                black_box(MetricIndex::nn(&linear, black_box(q), &Levenshtein, &opts).unwrap());
             }
         })
     });
@@ -126,7 +128,7 @@ fn bench_index_build(c: &mut Criterion) {
     let pivots = select_pivots_max_sum(&dict, 32, 0, &Levenshtein);
     group.bench_function("laesa_32p_400", |b| {
         b.iter(|| {
-            Laesa::build(
+            Laesa::try_build(
                 black_box(dict.clone()),
                 black_box(pivots.clone()),
                 &Levenshtein,

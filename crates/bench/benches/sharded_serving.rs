@@ -1,20 +1,28 @@
 //! Throughput of the sharded serving layer (`cned-serve`): shard
-//! builds, batch NN serving across shard/worker counts, and the mixed
-//! query/insert pipeline.
+//! builds, batch NN serving across shard/worker counts, trait-object
+//! dispatch overhead, and the mixed query/insert pipeline.
 //!
-//! Three groups:
-//! * `sharded_build` — `ShardedIndex::build` vs shard count (shard
-//!   builds run in parallel, so on a multi-core box build wall-clock
-//!   should drop with more shards);
+//! Four groups:
+//! * `sharded_build` — `ShardedIndex::try_build` vs shard count
+//!   (shard builds run in parallel, so on a multi-core box build
+//!   wall-clock should drop with more shards);
 //! * `sharded_nn_batch` — a fixed query batch answered via
-//!   `nn_batch` for shard count × worker count combinations. On the
-//!   1-core CI container every worker count is the serial floor; the
-//!   interesting single-core signal is the *shard-count* axis, where
-//!   cross-shard bound propagation keeps total distance computations
-//!   near the single-index level;
-//! * `pipeline_mixed` — `QueryPipeline::run` over a mixed NN/k-NN
-//!   queue on a pre-built index (inserts are exercised by the test
-//!   suite; timing them would mutate the index across iterations).
+//!   `MetricIndex::nn_batch` for shard count × worker count
+//!   combinations. On the 1-core CI container every worker count is
+//!   the serial floor; the interesting single-core signal is the
+//!   *shard-count* axis, where cross-shard bound propagation keeps
+//!   total distance computations near the single-index level;
+//! * `dispatch` — the same batch-NN workload answered through the
+//!   concrete `ShardedIndex` (static dispatch, monomorphised) vs
+//!   through `&dyn MetricIndex<u8>` (vtable dispatch). The unified
+//!   API routes everything through the trait, so this group guards
+//!   the claim that the indirection is in the noise (<2%): one
+//!   virtual call per query against thousands of distance
+//!   computations;
+//! * `pipeline_mixed` — `QueryPipeline::run` over a mixed
+//!   NN/k-NN/range queue on a pre-built index (inserts are exercised
+//!   by the test suite; timing them would mutate the index across
+//!   iterations).
 //!
 //! After the timed groups the bench replays one batch per shard count
 //! and reports total distance computations, making the "bound
@@ -31,6 +39,7 @@ use cned_core::levenshtein::Levenshtein;
 use cned_datasets::dictionary::spanish_dictionary;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::parallel::set_thread_override;
+use cned_search::{MetricIndex, QueryOptions};
 use cned_serve::{QueryPipeline, Request, ShardConfig, ShardedIndex};
 
 fn fast() -> bool {
@@ -60,6 +69,11 @@ fn data() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
     (db, queries)
 }
 
+fn build(db: &[Vec<u8>], shards: usize) -> ShardedIndex<u8> {
+    ShardedIndex::try_build(db.to_vec(), config(shards), &Levenshtein)
+        .expect("internally selected pivots are always valid")
+}
+
 fn bench_build(c: &mut Criterion) {
     let (db, _) = data();
     let mut group = c.benchmark_group("sharded_build");
@@ -69,7 +83,7 @@ fn bench_build(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     for shards in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &s| {
-            b.iter(|| ShardedIndex::build(black_box(db.clone()), config(s), &Levenshtein))
+            b.iter(|| build(black_box(&db), s))
         });
     }
     group.finish();
@@ -77,18 +91,26 @@ fn bench_build(c: &mut Criterion) {
 
 fn bench_nn_batch(c: &mut Criterion) {
     let (db, queries) = data();
+    let opts = QueryOptions::new();
     let mut group = c.benchmark_group("sharded_nn_batch");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     for shards in [1usize, 2, 4] {
-        let index = ShardedIndex::build(db.clone(), config(shards), &Levenshtein);
+        let index = build(&db, shards);
         for threads in [1usize, 2, 4] {
             let id = format!("s{shards}_t{threads}");
             group.bench_with_input(BenchmarkId::new("nn", &id), &threads, |b, &t| {
                 set_thread_override(Some(t));
-                b.iter(|| black_box(index.nn_batch(black_box(&queries), &Levenshtein)));
+                b.iter(|| {
+                    black_box(MetricIndex::nn_batch(
+                        &index,
+                        black_box(&queries),
+                        &Levenshtein,
+                        &opts,
+                    ))
+                });
                 set_thread_override(None);
             });
         }
@@ -98,12 +120,11 @@ fn bench_nn_batch(c: &mut Criterion) {
     // Instrumented replay: distance computations per shard count (the
     // bound-propagation cost signal, independent of core count).
     for shards in [1usize, 2, 4] {
-        let index = ShardedIndex::build(db.clone(), config(shards), &Levenshtein);
-        let total: u64 = index
-            .nn_batch(&queries, &Levenshtein)
+        let index = build(&db, shards);
+        let total: u64 = MetricIndex::nn_batch(&index, &queries, &Levenshtein, &opts)
             .unwrap()
             .iter()
-            .map(|(_, st)| st.total().distance_computations)
+            .map(|(_, st)| st.distance_computations)
             .sum();
         eprintln!(
             "[sharded_serving] shards={shards}: {total} distance computations \
@@ -114,23 +135,66 @@ fn bench_nn_batch(c: &mut Criterion) {
     }
 }
 
+fn bench_dispatch(c: &mut Criterion) {
+    // Static (concrete ShardedIndex) vs dynamic (&dyn MetricIndex)
+    // dispatch on the identical batch-NN workload. The whole unified
+    // API rides on the trait object being free at this granularity.
+    let (db, queries) = data();
+    let index = build(&db, 4);
+    let dyn_index: &dyn MetricIndex<u8> = &index;
+    let opts = QueryOptions::new();
+    let mut group = c.benchmark_group("dispatch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("static_nn_batch", |b| {
+        b.iter(|| {
+            black_box(MetricIndex::nn_batch(
+                &index,
+                black_box(&queries),
+                &Levenshtein,
+                &opts,
+            ))
+        })
+    });
+    group.bench_function("dyn_nn_batch", |b| {
+        b.iter(|| black_box(dyn_index.nn_batch(black_box(&queries), &Levenshtein, &opts)))
+    });
+    group.finish();
+
+    // Sanity: both paths return bit-identical answers.
+    let a = MetricIndex::nn_batch(&index, &queries, &Levenshtein, &opts).unwrap();
+    let b = dyn_index.nn_batch(&queries, &Levenshtein, &opts).unwrap();
+    assert_eq!(a.len(), b.len());
+    for ((x, xs), (y, ys)) in a.iter().zip(&b) {
+        let (x, y) = (x.unwrap(), y.unwrap());
+        assert_eq!(
+            (x.index, x.distance.to_bits()),
+            (y.index, y.distance.to_bits())
+        );
+        assert_eq!(xs, ys);
+    }
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     let (db, queries) = data();
     let requests: Vec<Request<u8>> = queries
         .iter()
         .enumerate()
-        .map(|(i, q)| {
-            if i % 3 == 0 {
-                Request::Knn {
-                    query: q.clone(),
-                    k: 5,
-                }
-            } else {
-                Request::Nn { query: q.clone() }
-            }
+        .map(|(i, q)| match i % 3 {
+            0 => Request::Knn {
+                query: q.clone(),
+                k: 5,
+            },
+            1 => Request::Range {
+                query: q.clone(),
+                radius: 2.0,
+            },
+            _ => Request::Nn { query: q.clone() },
         })
         .collect();
-    let mut pipeline = QueryPipeline::new(ShardedIndex::build(db.clone(), config(4), &Levenshtein));
+    let mut pipeline = QueryPipeline::new(build(&db, 4));
     let mut group = c.benchmark_group("pipeline_mixed");
     group
         .sample_size(10)
@@ -146,5 +210,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_nn_batch, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_nn_batch,
+    bench_dispatch,
+    bench_pipeline
+);
 criterion_main!(benches);

@@ -82,25 +82,28 @@ impl ConfusionMatrix {
 /// per-query statistics are streamed into a [`SearchStatsAtomic`]
 /// rather than materialised, and the confusion matrix is folded in
 /// input order afterwards, so results are deterministic and identical
-/// to a sequential evaluation.
+/// to a sequential evaluation. A failing query (impossible with a
+/// well-constructed classifier) surfaces as a typed error instead of
+/// a panic.
 pub fn evaluate<S: Symbol, D: Distance<S> + ?Sized>(
     classifier: &NnClassifier<S>,
     test: &[(Vec<S>, u8)],
     dist: &D,
     classes: usize,
-) -> (ConfusionMatrix, u64) {
+) -> Result<(ConfusionMatrix, u64), cned_search::SearchError> {
     let total = SearchStatsAtomic::new();
     let per_query = cned_search::par_map(test.len(), |i| {
         let (query, truth) = &test[i];
-        let (pred, _, stats) = classifier.classify(query, dist);
+        let (pred, _, stats) = classifier.classify(query, dist)?;
         total.add(stats);
-        (*truth, pred)
+        Ok((*truth, pred))
     });
     let mut cm = ConfusionMatrix::new(classes);
-    for (truth, pred) in per_query {
+    for result in per_query {
+        let (truth, pred) = result?;
         cm.record(truth, pred);
     }
-    (cm, total.snapshot().distance_computations)
+    Ok((cm, total.snapshot().distance_computations))
 }
 
 /// Convenience: error rate in percent for a labelled test set.
@@ -109,17 +112,17 @@ pub fn error_rate<S: Symbol, D: Distance<S> + ?Sized>(
     test: &[(Vec<S>, u8)],
     dist: &D,
     classes: usize,
-) -> f64 {
-    evaluate(classifier, test, dist, classes)
+) -> Result<f64, cned_search::SearchError> {
+    Ok(evaluate(classifier, test, dist, classes)?
         .0
-        .error_rate_percent()
+        .error_rate_percent())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nn::SearchBackend;
     use cned_core::levenshtein::Levenshtein;
+    use cned_search::LinearIndex;
 
     #[test]
     fn confusion_matrix_bookkeeping() {
@@ -153,17 +156,17 @@ mod tests {
     fn end_to_end_error_rate() {
         let train: Vec<Vec<u8>> = [&b"aaaa"[..], b"bbbb"].iter().map(|w| w.to_vec()).collect();
         let labels = vec![0, 1];
-        let c = NnClassifier::new(train, labels, SearchBackend::Exhaustive, &Levenshtein);
+        let c = NnClassifier::new(Box::new(LinearIndex::new(train)), labels).unwrap();
         let test: Vec<(Vec<u8>, u8)> = vec![
             (b"aaab".to_vec(), 0), // correct
             (b"bbba".to_vec(), 1), // correct
             (b"aabb".to_vec(), 1), // tie aaaa/bbbb at d=2; first index wins -> predicted 0: error
         ];
-        let (cm, comps) = evaluate(&c, &test, &Levenshtein, 2);
+        let (cm, comps) = evaluate(&c, &test, &Levenshtein, 2).unwrap();
         assert_eq!(cm.total(), 3);
         assert_eq!(cm.errors(), 1);
         assert_eq!(comps, 6);
-        let rate = error_rate(&c, &test, &Levenshtein, 2);
+        let rate = error_rate(&c, &test, &Levenshtein, 2).unwrap();
         assert!((rate - 100.0 / 3.0).abs() < 1e-9);
     }
 }

@@ -1,5 +1,6 @@
 //! k-NN majority-vote classification — the natural extension of the
-//! paper's 1-NN protocol (§4.4), built on the same search backends.
+//! paper's 1-NN protocol (§4.4), built on the same unified search
+//! surface ([`MetricIndex`]).
 //!
 //! The query takes the majority label among its `k` nearest
 //! neighbours; ties are broken towards the label of the *nearest*
@@ -8,74 +9,46 @@
 
 use cned_core::metric::Distance;
 use cned_core::Symbol;
-use cned_search::laesa::Laesa;
-use cned_search::linear::{linear_knn, linear_knn_batch};
-use cned_search::pivots::select_pivots_max_sum;
-use cned_search::{Neighbour, SearchStats};
-use cned_serve::{ShardConfig, ShardedIndex};
+use cned_search::{MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats};
 
-/// A labelled k-NN classifier.
+/// A labelled k-NN classifier over any search backend.
 pub struct KnnClassifier<S: Symbol> {
-    training: Vec<Vec<S>>,
+    index: Box<dyn MetricIndex<S>>,
     labels: Vec<u8>,
-    laesa: Option<Laesa<S>>,
-    sharded: Option<ShardedIndex<S>>,
     k: usize,
 }
 
 impl<S: Symbol> KnnClassifier<S> {
-    /// Build an exhaustive-search k-NN classifier.
+    /// Build a classifier from a search index, one label per indexed
+    /// item, and the neighbour count `k`.
     ///
-    /// # Panics
-    /// Panics if `k == 0`, training is empty, or lengths mismatch.
-    pub fn new(training: Vec<Vec<S>>, labels: Vec<u8>, k: usize) -> KnnClassifier<S> {
-        assert!(k > 0, "k must be positive");
-        assert_eq!(training.len(), labels.len(), "one label per training item");
-        assert!(!training.is_empty(), "training set must be non-empty");
-        KnnClassifier {
-            training,
-            labels,
-            laesa: None,
-            sharded: None,
-            k,
+    /// `k == 0`, label count mismatches and empty training sets are
+    /// typed errors.
+    pub fn new(
+        index: Box<dyn MetricIndex<S>>,
+        labels: Vec<u8>,
+        k: usize,
+    ) -> Result<KnnClassifier<S>, SearchError> {
+        if k == 0 {
+            return Err(SearchError::UnsupportedConfig {
+                reason: "k-NN classification needs k >= 1",
+            });
         }
+        if labels.len() != index.len() {
+            return Err(SearchError::LabelCount {
+                labels: labels.len(),
+                items: index.len(),
+            });
+        }
+        if index.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        Ok(KnnClassifier { index, labels, k })
     }
 
-    /// Build a LAESA-backed k-NN classifier with `pivots` max-sum
-    /// pivots.
-    pub fn with_laesa<D: Distance<S> + ?Sized>(
-        training: Vec<Vec<S>>,
-        labels: Vec<u8>,
-        k: usize,
-        pivots: usize,
-        dist: &D,
-    ) -> KnnClassifier<S> {
-        let mut c = KnnClassifier::new(training, labels, k);
-        let piv = select_pivots_max_sum(&c.training, pivots, 0, dist);
-        c.laesa = Some(Laesa::build(c.training.clone(), piv, dist));
-        c
-    }
-
-    /// Build a k-NN classifier backed by the sharded serving index
-    /// (`cned-serve`): the training set split into `shards` LAESA
-    /// shards queried with cross-shard bound propagation. For a metric
-    /// distance the answers match the other backends exactly.
-    pub fn with_sharded<D: Distance<S> + ?Sized>(
-        training: Vec<Vec<S>>,
-        labels: Vec<u8>,
-        k: usize,
-        shards: usize,
-        pivots_per_shard: usize,
-        dist: &D,
-    ) -> KnnClassifier<S> {
-        let mut c = KnnClassifier::new(training, labels, k);
-        let config = ShardConfig {
-            shards,
-            pivots_per_shard,
-            ..ShardConfig::default()
-        };
-        c.sharded = Some(ShardedIndex::build(c.training.clone(), config, dist));
-        c
+    /// The search index answering the queries.
+    pub fn index(&self) -> &dyn MetricIndex<S> {
+        &*self.index
     }
 
     /// Majority vote over neighbours; ties go to the label whose
@@ -106,16 +79,15 @@ impl<S: Symbol> KnnClassifier<S> {
     }
 
     /// Classify one query.
-    pub fn classify<D: Distance<S> + ?Sized>(&self, query: &[S], dist: &D) -> (u8, SearchStats) {
-        if let Some(idx) = &self.sharded {
-            let (neighbours, stats) = idx.knn(query, dist, self.k);
-            return (self.vote(&neighbours), stats.total());
-        }
-        let (neighbours, stats) = match &self.laesa {
-            None => linear_knn(&self.training, query, dist, self.k),
-            Some(idx) => idx.knn(query, dist, self.k),
-        };
-        (self.vote(&neighbours), stats)
+    pub fn classify<D: Distance<S> + ?Sized>(
+        &self,
+        query: &[S],
+        dist: &D,
+    ) -> Result<(u8, SearchStats), SearchError> {
+        let (neighbours, stats) = self
+            .index
+            .knn(query, &dist, &QueryOptions::new().k(self.k))?;
+        Ok((self.vote(&neighbours), stats))
     }
 
     /// Classify a batch of queries, parallelised across queries via
@@ -125,38 +97,34 @@ impl<S: Symbol> KnnClassifier<S> {
         &self,
         queries: &[Vec<S>],
         dist: &D,
-    ) -> Vec<(u8, SearchStats)> {
-        if let Some(idx) = &self.sharded {
-            return idx
-                .knn_batch(queries, dist, self.k)
-                .into_iter()
-                .map(|(neighbours, stats)| (self.vote(&neighbours), stats.total()))
-                .collect();
-        }
-        let results = match &self.laesa {
-            None => linear_knn_batch(&self.training, queries, dist, self.k),
-            Some(idx) => idx.knn_batch(queries, dist, self.k),
-        };
-        results
+    ) -> Result<Vec<(u8, SearchStats)>, SearchError> {
+        let results = self
+            .index
+            .knn_batch(queries, &dist, &QueryOptions::new().k(self.k))?;
+        Ok(results
             .into_iter()
             .map(|(neighbours, stats)| (self.vote(&neighbours), stats))
-            .collect()
+            .collect())
     }
 
     /// Error rate (%) over a labelled test set, evaluated through the
     /// parallel [`KnnClassifier::classify_batch`] pipeline.
-    pub fn error_rate<D: Distance<S> + ?Sized>(&self, test: &[(Vec<S>, u8)], dist: &D) -> f64 {
+    pub fn error_rate<D: Distance<S> + ?Sized>(
+        &self,
+        test: &[(Vec<S>, u8)],
+        dist: &D,
+    ) -> Result<f64, SearchError> {
         if test.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let queries: Vec<Vec<S>> = test.iter().map(|(q, _)| q.clone()).collect();
         let errors = self
-            .classify_batch(&queries, dist)
+            .classify_batch(&queries, dist)?
             .iter()
             .zip(test)
             .filter(|((pred, _), (_, truth))| pred != truth)
             .count();
-        100.0 * errors as f64 / test.len() as f64
+        Ok(100.0 * errors as f64 / test.len() as f64)
     }
 }
 
@@ -165,6 +133,9 @@ mod tests {
     use super::*;
     use cned_core::contextual::heuristic::ContextualHeuristic;
     use cned_core::levenshtein::Levenshtein;
+    use cned_search::pivots::select_pivots_max_sum;
+    use cned_search::{Laesa, LinearIndex};
+    use cned_serve::{ShardConfig, ShardedIndex};
 
     fn toy() -> (Vec<Vec<u8>>, Vec<u8>) {
         let train: Vec<Vec<u8>> = [
@@ -183,34 +154,38 @@ mod tests {
         (train, vec![0, 0, 0, 1, 1, 1, 2, 2])
     }
 
+    fn exhaustive(train: Vec<Vec<u8>>, labels: Vec<u8>, k: usize) -> KnnClassifier<u8> {
+        KnnClassifier::new(Box::new(LinearIndex::new(train)), labels, k).unwrap()
+    }
+
     #[test]
     fn k1_matches_nearest_label() {
         let (train, labels) = toy();
-        let c = KnnClassifier::new(train, labels, 1);
-        assert_eq!(c.classify(b"aaaa", &Levenshtein).0, 0);
-        assert_eq!(c.classify(b"bbbb", &Levenshtein).0, 1);
-        assert_eq!(c.classify(b"cccc", &Levenshtein).0, 2);
+        let c = exhaustive(train, labels, 1);
+        assert_eq!(c.classify(b"aaaa", &Levenshtein).unwrap().0, 0);
+        assert_eq!(c.classify(b"bbbb", &Levenshtein).unwrap().0, 1);
+        assert_eq!(c.classify(b"cccc", &Levenshtein).unwrap().0, 2);
     }
 
     #[test]
     fn k3_majority_overrules_single_outlier() {
-        // Query "aabb": nearest are aaab/aaba (d=1? aabb vs aaab d=2?
-        // compute: aabb vs aaab = 2 subs? a a b b vs a a a b: one sub
-        // at pos 2 -> 1). aaba: a a b b vs a a b a: one sub -> 1.
-        // bbab/bbba: d=2. With k=3, labels {0,0,?} -> 0.
+        // Query "aabb": nearest are aaab/aaba at d=1; bbab/bbba at
+        // d=2. With k=3, labels {0,0,?} -> 0.
         let (train, labels) = toy();
-        let c = KnnClassifier::new(train, labels, 3);
-        assert_eq!(c.classify(b"aabb", &Levenshtein).0, 0);
+        let c = exhaustive(train, labels, 3);
+        assert_eq!(c.classify(b"aabb", &Levenshtein).unwrap().0, 0);
     }
 
     #[test]
     fn laesa_backend_agrees_with_exhaustive() {
         let (train, labels) = toy();
-        let ex = KnnClassifier::new(train.clone(), labels.clone(), 3);
-        let la = KnnClassifier::with_laesa(train, labels, 3, 4, &ContextualHeuristic);
+        let ex = exhaustive(train.clone(), labels.clone(), 3);
+        let piv = select_pivots_max_sum(&train, 4, 0, &ContextualHeuristic);
+        let index = Laesa::try_build(train, piv, &ContextualHeuristic).unwrap();
+        let la = KnnClassifier::new(Box::new(index), labels, 3).unwrap();
         for q in [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"] {
-            let (le, _) = ex.classify(q, &ContextualHeuristic);
-            let (ll, _) = la.classify(q, &ContextualHeuristic);
+            let (le, _) = ex.classify(q, &ContextualHeuristic).unwrap();
+            let (ll, _) = la.classify(q, &ContextualHeuristic).unwrap();
             assert_eq!(le, ll, "query {q:?}");
         }
     }
@@ -218,36 +193,44 @@ mod tests {
     #[test]
     fn sharded_backend_agrees_with_exhaustive() {
         let (train, labels) = toy();
-        let ex = KnnClassifier::new(train.clone(), labels.clone(), 3);
-        let sh = KnnClassifier::with_sharded(train, labels, 3, 3, 2, &Levenshtein);
+        let ex = exhaustive(train.clone(), labels.clone(), 3);
+        let config = ShardConfig {
+            shards: 3,
+            pivots_per_shard: 2,
+            ..ShardConfig::default()
+        };
+        let index = ShardedIndex::try_build(train, config, &Levenshtein).unwrap();
+        let sh = KnnClassifier::new(Box::new(index), labels, 3).unwrap();
         let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"]
             .iter()
             .map(|q| q.to_vec())
             .collect();
         for q in &queries {
-            let (le, _) = ex.classify(q, &Levenshtein);
-            let (ls, _) = sh.classify(q, &Levenshtein);
+            let (le, _) = ex.classify(q, &Levenshtein).unwrap();
+            let (ls, _) = sh.classify(q, &Levenshtein).unwrap();
             assert_eq!(le, ls, "query {q:?}");
         }
-        let batch = sh.classify_batch(&queries, &Levenshtein);
+        let batch = sh.classify_batch(&queries, &Levenshtein).unwrap();
         for (q, (label, stats)) in queries.iter().zip(&batch) {
-            let (sl, sstats) = sh.classify(q, &Levenshtein);
+            let (sl, sstats) = sh.classify(q, &Levenshtein).unwrap();
             assert_eq!(*label, sl, "query {q:?}");
             assert_eq!(stats.distance_computations, sstats.distance_computations);
         }
         let test: Vec<(Vec<u8>, u8)> = vec![(b"aaaa".to_vec(), 0), (b"bbbb".to_vec(), 1)];
-        assert_eq!(sh.error_rate(&test, &Levenshtein), 0.0);
+        assert_eq!(sh.error_rate(&test, &Levenshtein).unwrap(), 0.0);
     }
 
     #[test]
     fn exact_contextual_classification_through_bounded_engine() {
         use cned_core::contextual::exact::Contextual;
         let (train, labels) = toy();
-        let ex = KnnClassifier::new(train.clone(), labels.clone(), 3);
-        let la = KnnClassifier::with_laesa(train, labels, 3, 4, &Contextual);
+        let ex = exhaustive(train.clone(), labels.clone(), 3);
+        let piv = select_pivots_max_sum(&train, 4, 0, &Contextual);
+        let index = Laesa::try_build(train, piv, &Contextual).unwrap();
+        let la = KnnClassifier::new(Box::new(index), labels, 3).unwrap();
         for q in [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"] {
-            let (le, _) = ex.classify(q, &Contextual);
-            let (ll, _) = la.classify(q, &Contextual);
+            let (le, _) = ex.classify(q, &Contextual).unwrap();
+            let (ll, _) = la.classify(q, &Contextual).unwrap();
             assert_eq!(le, ll, "query {q:?}");
         }
     }
@@ -255,36 +238,42 @@ mod tests {
     #[test]
     fn error_rate_counts_mismatches() {
         let (train, labels) = toy();
-        let c = KnnClassifier::new(train, labels, 1);
+        let c = exhaustive(train, labels, 1);
         let test: Vec<(Vec<u8>, u8)> = vec![
             (b"aaaa".to_vec(), 0), // right
             (b"bbbb".to_vec(), 0), // wrong (true NN label is 1)
         ];
-        assert_eq!(c.error_rate(&test, &Levenshtein), 50.0);
-        assert_eq!(c.error_rate(&[], &Levenshtein), 0.0);
+        assert_eq!(c.error_rate(&test, &Levenshtein).unwrap(), 50.0);
+        assert_eq!(c.error_rate(&[], &Levenshtein).unwrap(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "k must be positive")]
-    fn zero_k_rejected() {
+    fn zero_k_is_a_typed_error() {
         let (train, labels) = toy();
-        KnnClassifier::new(train, labels, 0);
+        let err = KnnClassifier::new(Box::new(LinearIndex::new(train)), labels, 0)
+            .err()
+            .expect("construction must fail");
+        assert!(matches!(err, SearchError::UnsupportedConfig { .. }));
     }
 
     #[test]
     fn batch_classification_matches_single() {
         let (train, labels) = toy();
-        let exhaustive = KnnClassifier::new(train.clone(), labels.clone(), 3);
-        let laesa = KnnClassifier::with_laesa(train, labels, 3, 4, &Levenshtein);
+        let piv = select_pivots_max_sum(&train, 4, 0, &Levenshtein);
+        let laesa_index = Laesa::try_build(train.clone(), piv, &Levenshtein).unwrap();
+        let classifiers = [
+            exhaustive(train, labels.clone(), 3),
+            KnnClassifier::new(Box::new(laesa_index), labels, 3).unwrap(),
+        ];
         let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbaa", b"ccdd", b"abcb"]
             .iter()
             .map(|q| q.to_vec())
             .collect();
-        for c in [&exhaustive, &laesa] {
-            let batch = c.classify_batch(&queries, &Levenshtein);
+        for c in &classifiers {
+            let batch = c.classify_batch(&queries, &Levenshtein).unwrap();
             assert_eq!(batch.len(), queries.len());
             for (q, (label, stats)) in queries.iter().zip(&batch) {
-                let (sl, sstats) = c.classify(q, &Levenshtein);
+                let (sl, sstats) = c.classify(q, &Levenshtein).unwrap();
                 assert_eq!(*label, sl, "query {q:?}");
                 assert_eq!(stats.distance_computations, sstats.distance_computations);
             }

@@ -5,10 +5,15 @@
 //! neighbour in a labelled training set; mismatches against the true
 //! label count as errors.
 //!
-//! Two search backends mirror the two columns of Table 2:
-//! * **exhaustive** — linear scan, always the true 1-NN;
-//! * **LAESA** — pivot-based search; identical answers for metrics,
-//!   possibly different for non-metrics (`d_max`, `d_C,h`).
+//! Classifiers are built over **any** search backend through the
+//! unified [`cned_search::MetricIndex`] trait — exhaustive scan
+//! ([`cned_search::LinearIndex`], always the true 1-NN), LAESA, AESA,
+//! vp-tree, or the sharded serving index. For a metric distance every
+//! backend answers identically; for non-metrics (`d_max`, `d_C,h`)
+//! pivot-based backends may differ from exhaustive — exactly the
+//! contrast Table 2 exploits. Construction and classification return
+//! typed [`cned_search::SearchError`]s (label/count mismatch, empty
+//! training set) instead of panicking.
 
 pub mod eval;
 pub mod knn;
@@ -16,4 +21,4 @@ pub mod nn;
 
 pub use eval::{error_rate, ConfusionMatrix};
 pub use knn::KnnClassifier;
-pub use nn::{NnClassifier, SearchBackend};
+pub use nn::NnClassifier;

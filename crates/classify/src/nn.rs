@@ -1,87 +1,46 @@
 //! The 1-NN classifier over an arbitrary string distance.
+//!
+//! The classifier consumes any [`MetricIndex`] trait object — linear
+//! scan, LAESA, AESA, vp-tree or the sharded serving index — instead
+//! of a closed backend enum, so a new search backend works here with
+//! zero classifier changes.
 
 use cned_core::metric::Distance;
 use cned_core::Symbol;
-use cned_search::laesa::Laesa;
-use cned_search::linear::{linear_nn, linear_nn_batch};
-use cned_search::pivots::select_pivots_max_sum;
-use cned_search::SearchStats;
-use cned_serve::{ShardConfig, ShardedIndex};
+use cned_search::{MetricIndex, QueryOptions, SearchError, SearchStats};
 
-/// Which search engine answers the nearest-neighbour queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SearchBackend {
-    /// Exhaustive linear scan — `n` distance computations per query.
-    Exhaustive,
-    /// LAESA with the given number of max-sum pivots.
-    Laesa {
-        /// Number of base prototypes (pivots).
-        pivots: usize,
-    },
-    /// Sharded serving index (`cned-serve`): the training set split
-    /// into LAESA shards queried with cross-shard bound propagation.
-    /// Same answers as the other backends (for a metric distance),
-    /// built shard-parallel and ready for pipeline serving.
-    Sharded {
-        /// Number of LAESA shards.
-        shards: usize,
-        /// Max-sum pivots per shard.
-        pivots_per_shard: usize,
-    },
-}
-
-/// A labelled 1-NN classifier.
+/// A labelled 1-NN classifier over any search backend.
 pub struct NnClassifier<S: Symbol> {
-    training: Vec<Vec<S>>,
+    index: Box<dyn MetricIndex<S>>,
     labels: Vec<u8>,
-    laesa: Option<Laesa<S>>,
-    sharded: Option<ShardedIndex<S>>,
 }
 
 impl<S: Symbol> NnClassifier<S> {
-    /// Build a classifier from labelled training data.
+    /// Build a classifier from a search index and one label per
+    /// indexed item.
     ///
-    /// For [`SearchBackend::Laesa`], pivot selection and row
-    /// precomputation happen here (preprocessing; not counted in query
-    /// statistics).
-    ///
-    /// # Panics
-    /// Panics if `training` and `labels` lengths differ or training is
-    /// empty.
-    pub fn new<D: Distance<S> + ?Sized>(
-        training: Vec<Vec<S>>,
+    /// The index must be built over the training set with the same
+    /// distance later passed to [`NnClassifier::classify`]. Label
+    /// count mismatches and empty training sets are typed errors.
+    pub fn new(
+        index: Box<dyn MetricIndex<S>>,
         labels: Vec<u8>,
-        backend: SearchBackend,
-        dist: &D,
-    ) -> NnClassifier<S> {
-        assert_eq!(training.len(), labels.len(), "one label per training item");
-        assert!(!training.is_empty(), "training set must be non-empty");
-        let mut laesa = None;
-        let mut sharded = None;
-        match backend {
-            SearchBackend::Exhaustive => {}
-            SearchBackend::Laesa { pivots } => {
-                let piv = select_pivots_max_sum(&training, pivots, 0, dist);
-                laesa = Some(Laesa::build(training.clone(), piv, dist));
-            }
-            SearchBackend::Sharded {
-                shards,
-                pivots_per_shard,
-            } => {
-                let config = ShardConfig {
-                    shards,
-                    pivots_per_shard,
-                    ..ShardConfig::default()
-                };
-                sharded = Some(ShardedIndex::build(training.clone(), config, dist));
-            }
-        };
-        NnClassifier {
-            training,
-            labels,
-            laesa,
-            sharded,
+    ) -> Result<NnClassifier<S>, SearchError> {
+        if labels.len() != index.len() {
+            return Err(SearchError::LabelCount {
+                labels: labels.len(),
+                items: index.len(),
+            });
         }
+        if index.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        Ok(NnClassifier { index, labels })
+    }
+
+    /// The search index answering the queries.
+    pub fn index(&self) -> &dyn MetricIndex<S> {
+        &*self.index
     }
 
     /// Classify one query: the label of its nearest neighbour, plus
@@ -90,22 +49,10 @@ impl<S: Symbol> NnClassifier<S> {
         &self,
         query: &[S],
         dist: &D,
-    ) -> (u8, f64, SearchStats) {
-        if let Some(idx) = &self.sharded {
-            let (nn, stats) = idx.nn(query, dist).expect("training set is non-empty");
-            return (self.labels[nn.index], nn.distance, stats.total());
-        }
-        match &self.laesa {
-            None => {
-                let (nn, stats) =
-                    linear_nn(&self.training, query, dist).expect("training set is non-empty");
-                (self.labels[nn.index], nn.distance, stats)
-            }
-            Some(idx) => {
-                let (nn, stats) = idx.nn(query, dist).expect("training set is non-empty");
-                (self.labels[nn.index], nn.distance, stats)
-            }
-        }
+    ) -> Result<(u8, f64, SearchStats), SearchError> {
+        let (found, stats) = self.index.nn(query, &dist, &QueryOptions::new())?;
+        let nn = found.expect("construction rejects empty training sets");
+        Ok((self.labels[nn.index], nn.distance, stats))
     }
 
     /// Classify a batch of queries, parallelised across queries via
@@ -116,35 +63,26 @@ impl<S: Symbol> NnClassifier<S> {
         &self,
         queries: &[Vec<S>],
         dist: &D,
-    ) -> Vec<(u8, f64, SearchStats)> {
-        if let Some(idx) = &self.sharded {
-            return idx
-                .nn_batch(queries, dist)
-                .expect("training set is non-empty")
-                .into_iter()
-                .map(|(nn, stats)| (self.labels[nn.index], nn.distance, stats.total()))
-                .collect();
-        }
-        let results = match &self.laesa {
-            None => linear_nn_batch(&self.training, queries, dist),
-            Some(idx) => idx.nn_batch(queries, dist),
-        };
-        results
-            .expect("training set is non-empty")
+    ) -> Result<Vec<(u8, f64, SearchStats)>, SearchError> {
+        let results = self.index.nn_batch(queries, &dist, &QueryOptions::new())?;
+        Ok(results
             .into_iter()
-            .map(|(nn, stats)| (self.labels[nn.index], nn.distance, stats))
-            .collect()
+            .map(|(found, stats)| {
+                let nn = found.expect("construction rejects empty training sets");
+                (self.labels[nn.index], nn.distance, stats)
+            })
+            .collect())
     }
 
     /// Number of training items.
     pub fn len(&self) -> usize {
-        self.training.len()
+        self.index.len()
     }
 
     /// Always false (construction rejects empty training sets); kept
     /// for API completeness.
     pub fn is_empty(&self) -> bool {
-        self.training.is_empty()
+        self.index.is_empty()
     }
 }
 
@@ -152,6 +90,9 @@ impl<S: Symbol> NnClassifier<S> {
 mod tests {
     use super::*;
     use cned_core::levenshtein::Levenshtein;
+    use cned_search::pivots::select_pivots_max_sum;
+    use cned_search::{Laesa, LinearIndex};
+    use cned_serve::{ShardConfig, ShardedIndex};
 
     fn toy() -> (Vec<Vec<u8>>, Vec<u8>) {
         let train: Vec<Vec<u8>> = [&b"aaaa"[..], b"aaab", b"abab", b"bbbb", b"bbba", b"babb"]
@@ -162,66 +103,65 @@ mod tests {
         (train, labels)
     }
 
+    fn exhaustive(train: Vec<Vec<u8>>, labels: Vec<u8>) -> NnClassifier<u8> {
+        NnClassifier::new(Box::new(LinearIndex::new(train)), labels).unwrap()
+    }
+
+    fn laesa(
+        train: Vec<Vec<u8>>,
+        labels: Vec<u8>,
+        pivots: usize,
+        dist: &dyn cned_core::metric::Distance<u8>,
+    ) -> NnClassifier<u8> {
+        let piv = select_pivots_max_sum(&train, pivots, 0, dist);
+        let index = Laesa::try_build(train, piv, dist).unwrap();
+        NnClassifier::new(Box::new(index), labels).unwrap()
+    }
+
     #[test]
     fn classifies_obvious_queries() {
         let (train, labels) = toy();
-        let c = NnClassifier::new(train, labels, SearchBackend::Exhaustive, &Levenshtein);
-        let (label_a, d_a, stats) = c.classify(b"aaaa", &Levenshtein);
+        let c = exhaustive(train, labels);
+        let (label_a, d_a, stats) = c.classify(b"aaaa", &Levenshtein).unwrap();
         assert_eq!(label_a, 0);
         assert_eq!(d_a, 0.0);
         assert_eq!(stats.distance_computations, 6);
-        let (label_b, _, _) = c.classify(b"bbbb", &Levenshtein);
+        let (label_b, _, _) = c.classify(b"bbbb", &Levenshtein).unwrap();
         assert_eq!(label_b, 1);
     }
 
     #[test]
     fn laesa_backend_agrees_with_exhaustive_for_metric() {
         let (train, labels) = toy();
-        let ex = NnClassifier::new(
-            train.clone(),
-            labels.clone(),
-            SearchBackend::Exhaustive,
-            &Levenshtein,
-        );
-        let la = NnClassifier::new(
-            train,
-            labels,
-            SearchBackend::Laesa { pivots: 3 },
-            &Levenshtein,
-        );
-        let (train, _) = toy();
+        let ex = exhaustive(train.clone(), labels.clone());
+        let la = laesa(train.clone(), labels, 3, &Levenshtein);
         for q in [&b"aaba"[..], b"bbab", b"aabb", b"abba"] {
-            let (le, de, _) = ex.classify(q, &Levenshtein);
-            let (ll, dl, _) = la.classify(q, &Levenshtein);
+            let (le, de, _) = ex.classify(q, &Levenshtein).unwrap();
+            let (ll, dl, _) = la.classify(q, &Levenshtein).unwrap();
             assert_eq!(de, dl, "distance mismatch on {q:?}");
-            // Labels must agree whenever the nearest neighbour is
-            // unique; on ties either backend may pick either witness.
-            let min_count = train
-                .iter()
-                .filter(|t| cned_core::levenshtein::levenshtein(t, q) as f64 == de)
-                .count();
-            if min_count == 1 {
-                assert_eq!(le, ll, "label mismatch on {q:?}");
-            }
+            // With the canonical (distance, index) tie-break both
+            // backends resolve to the same training item, so labels
+            // agree even on distance ties.
+            assert_eq!(le, ll, "label mismatch on {q:?}");
         }
     }
 
     #[test]
     fn batch_classification_matches_single() {
         let (train, labels) = toy();
-        for backend in [
-            SearchBackend::Exhaustive,
-            SearchBackend::Laesa { pivots: 3 },
-        ] {
-            let c = NnClassifier::new(train.clone(), labels.clone(), backend, &Levenshtein);
+        let classifiers = [
+            exhaustive(train.clone(), labels.clone()),
+            laesa(train, labels, 3, &Levenshtein),
+        ];
+        for c in &classifiers {
             let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbab", b"aabb", b"abba"]
                 .iter()
                 .map(|q| q.to_vec())
                 .collect();
-            let batch = c.classify_batch(&queries, &Levenshtein);
+            let batch = c.classify_batch(&queries, &Levenshtein).unwrap();
             assert_eq!(batch.len(), queries.len());
             for (q, (label, d, stats)) in queries.iter().zip(&batch) {
-                let (sl, sd, sstats) = c.classify(q, &Levenshtein);
+                let (sl, sd, sstats) = c.classify(q, &Levenshtein).unwrap();
                 assert_eq!(*label, sl, "query {q:?}");
                 assert_eq!(*d, sd);
                 assert_eq!(stats.distance_computations, sstats.distance_computations);
@@ -237,30 +177,20 @@ mod tests {
         // the batch pipeline.
         use cned_core::contextual::exact::Contextual;
         let (train, labels) = toy();
-        let ex = NnClassifier::new(
-            train.clone(),
-            labels.clone(),
-            SearchBackend::Exhaustive,
-            &Contextual,
-        );
-        let la = NnClassifier::new(
-            train,
-            labels,
-            SearchBackend::Laesa { pivots: 3 },
-            &Contextual,
-        );
+        let ex = exhaustive(train.clone(), labels.clone());
+        let la = laesa(train, labels, 3, &Contextual);
         let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbab", b"aabb", b"abba"]
             .iter()
             .map(|q| q.to_vec())
             .collect();
         for q in &queries {
-            let (_, de, _) = ex.classify(q, &Contextual);
-            let (_, dl, _) = la.classify(q, &Contextual);
+            let (_, de, _) = ex.classify(q, &Contextual).unwrap();
+            let (_, dl, _) = la.classify(q, &Contextual).unwrap();
             assert!((de - dl).abs() < 1e-12, "distance mismatch on {q:?}");
         }
-        let batch = ex.classify_batch(&queries, &Contextual);
+        let batch = ex.classify_batch(&queries, &Contextual).unwrap();
         for (q, (label, d, _)) in queries.iter().zip(&batch) {
-            let (sl, sd, _) = ex.classify(q, &Contextual);
+            let (sl, sd, _) = ex.classify(q, &Contextual).unwrap();
             assert_eq!(*label, sl, "query {q:?}");
             assert_eq!(*d, sd);
         }
@@ -269,37 +199,27 @@ mod tests {
     #[test]
     fn sharded_backend_agrees_with_exhaustive() {
         let (train, labels) = toy();
-        let ex = NnClassifier::new(
-            train.clone(),
-            labels.clone(),
-            SearchBackend::Exhaustive,
-            &Levenshtein,
-        );
-        let sh = NnClassifier::new(
-            train,
-            labels,
-            SearchBackend::Sharded {
-                shards: 3,
-                pivots_per_shard: 2,
-            },
-            &Levenshtein,
-        );
+        let ex = exhaustive(train.clone(), labels.clone());
+        let config = ShardConfig {
+            shards: 3,
+            pivots_per_shard: 2,
+            ..ShardConfig::default()
+        };
+        let index = ShardedIndex::try_build(train, config, &Levenshtein).unwrap();
+        let sh = NnClassifier::new(Box::new(index), labels).unwrap();
         let queries: Vec<Vec<u8>> = [&b"aaba"[..], b"bbab", b"aabb", b"abba"]
             .iter()
             .map(|q| q.to_vec())
             .collect();
         for q in &queries {
-            let (le, de, _) = ex.classify(q, &Levenshtein);
-            let (ls, ds, _) = sh.classify(q, &Levenshtein);
-            // With the canonical (distance, index) tie-break both
-            // backends resolve to the same training item, so labels
-            // agree even on distance ties.
+            let (le, de, _) = ex.classify(q, &Levenshtein).unwrap();
+            let (ls, ds, _) = sh.classify(q, &Levenshtein).unwrap();
             assert_eq!(de, ds, "distance mismatch on {q:?}");
             assert_eq!(le, ls, "label mismatch on {q:?}");
         }
-        let batch = sh.classify_batch(&queries, &Levenshtein);
+        let batch = sh.classify_batch(&queries, &Levenshtein).unwrap();
         for (q, (label, d, stats)) in queries.iter().zip(&batch) {
-            let (sl, sd, sstats) = sh.classify(q, &Levenshtein);
+            let (sl, sd, sstats) = sh.classify(q, &Levenshtein).unwrap();
             assert_eq!(*label, sl, "query {q:?}");
             assert_eq!(*d, sd);
             assert_eq!(stats.distance_computations, sstats.distance_computations);
@@ -307,24 +227,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one label per training item")]
-    fn mismatched_labels_rejected() {
-        NnClassifier::new(
-            vec![b"a".to_vec()],
-            vec![0, 1],
-            SearchBackend::Exhaustive,
-            &Levenshtein,
+    fn mismatched_labels_are_a_typed_error() {
+        let err = NnClassifier::new(Box::new(LinearIndex::new(vec![b"a".to_vec()])), vec![0, 1])
+            .err()
+            .expect("construction must fail");
+        assert_eq!(
+            err,
+            SearchError::LabelCount {
+                labels: 2,
+                items: 1
+            }
         );
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_training_rejected() {
-        NnClassifier::<u8>::new(
-            Vec::new(),
-            Vec::new(),
-            SearchBackend::Exhaustive,
-            &Levenshtein,
-        );
+    fn empty_training_is_a_typed_error() {
+        let err = NnClassifier::<u8>::new(Box::new(LinearIndex::new(Vec::new())), Vec::new())
+            .err()
+            .expect("construction must fail");
+        assert_eq!(err, SearchError::EmptyDatabase);
     }
 }

@@ -3,18 +3,18 @@
 //! digit contour chain codes).
 //!
 //! For each workload it builds a [`ShardedIndex`], serves a mixed
-//! NN / k-NN / insert queue through the [`QueryPipeline`], verifies
-//! the answers against the linear-scan oracle, and prints throughput
-//! plus distance-computation totals per shard count.
+//! NN / k-NN / **range** / insert queue through the [`QueryPipeline`],
+//! verifies every answer against the linear-scan oracle (range
+//! results included), and prints throughput plus distance-computation
+//! totals per shard count.
 //!
 //! Args (key=value): `db=2000 queries=200 shards=4 pivots=16 k=5
-//! threads=0 workload=both` (`threads=0` keeps the
+//! radius=2 threads=0 workload=both` (`threads=0` keeps the
 //! `CNED_THREADS`/auto default; `workload` ∈ dictionary|digits|both).
 
 use cned_core::levenshtein::Levenshtein;
 use cned_experiments::args::Args;
-use cned_search::linear::linear_nn;
-use cned_search::parallel::set_thread_override;
+use cned_search::{InsertableIndex, LinearIndex, MetricIndex, QueryOptions};
 use cned_serve::{QueryPipeline, Request, Response, ShardConfig, ShardedIndex};
 use std::time::Instant;
 
@@ -24,6 +24,7 @@ struct Params {
     shards: usize,
     pivots: usize,
     k: usize,
+    radius: f64,
 }
 
 fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params) {
@@ -37,7 +38,7 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
     );
 
     let t0 = Instant::now();
-    let index = ShardedIndex::build(
+    let index = ShardedIndex::try_build(
         db.clone(),
         ShardConfig {
             shards: p.shards,
@@ -45,7 +46,8 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
             compact_threshold: 64,
         },
         dist,
-    );
+    )
+    .expect("internally selected pivots are always valid");
     let build = t0.elapsed();
     println!(
         "build: {:.1} ms ({} preprocessing distance computations, {} shards)",
@@ -54,21 +56,24 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
         index.num_shards()
     );
 
-    // Mixed queue: NN and k-NN queries with an insert barrier in the
-    // middle (the inserted items are perturbed queries, so they land
-    // near existing neighbourhoods).
+    // Mixed queue: NN, k-NN and range queries with an insert barrier
+    // in the middle (the inserted items are perturbed queries, so they
+    // land near existing neighbourhoods).
     let mut requests: Vec<Request<u8>> = Vec::new();
     for (i, q) in queries.iter().enumerate() {
         if i == queries.len() / 2 {
             requests.push(Request::Insert { item: q.clone() });
         }
-        if i % 3 == 0 {
-            requests.push(Request::Knn {
+        match i % 3 {
+            0 => requests.push(Request::Knn {
                 query: q.clone(),
                 k: p.k,
-            });
-        } else {
-            requests.push(Request::Nn { query: q.clone() });
+            }),
+            1 => requests.push(Request::Range {
+                query: q.clone(),
+                radius: p.radius,
+            }),
+            _ => requests.push(Request::Nn { query: q.clone() }),
         }
     }
     let mut pipeline = QueryPipeline::new(index);
@@ -79,11 +84,14 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
     let mut answered = 0usize;
     for r in &responses {
         match r {
-            Response::Nn { stats, .. } | Response::Knn { stats, .. } => {
+            Response::Nn { stats, .. }
+            | Response::Knn { stats, .. }
+            | Response::Range { stats, .. } => {
                 computations += stats.distance_computations;
                 answered += 1;
             }
             Response::Inserted { .. } => {}
+            Response::Failed { error } => panic!("request failed: {error}"),
         }
     }
     println!(
@@ -97,15 +105,23 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
     // Oracle check: replay every query against a linear scan over the
     // index state it was answered at (before/after the insert barrier).
     let index = pipeline.index();
-    let mut oracle_db = db.clone();
+    // The oracle owns the database; the rare insert barrier mutates it
+    // in place, so the scan state matches whatever index state each
+    // request was answered at.
+    let mut oracle = LinearIndex::new(db.clone());
     let mut checked = 0usize;
+    let opts = QueryOptions::new();
+    let key = |ns: &[cned_search::Neighbour]| -> Vec<(usize, u64)> {
+        ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+    };
     for (req, resp) in requests.iter().zip(&responses) {
         match (req, resp) {
             (Request::Insert { item }, Response::Inserted { .. }) => {
-                oracle_db.push(item.clone());
+                InsertableIndex::insert(&mut oracle, item.clone(), dist);
             }
             (Request::Nn { query }, Response::Nn { neighbour, .. }) => {
-                let (l_nn, _) = linear_nn(&oracle_db, query, dist).expect("non-empty");
+                let (l_nn, _) = oracle.nn(query, dist, &opts).expect("non-empty");
+                let l_nn = l_nn.expect("infinite radius always finds");
                 let nb = neighbour.expect("non-empty index");
                 assert_eq!(
                     (nb.index, nb.distance.to_bits()),
@@ -115,16 +131,21 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
                 checked += 1;
             }
             (Request::Knn { query, k }, Response::Knn { neighbours, .. }) => {
-                let (l_knn, _) = cned_search::linear::linear_knn(&oracle_db, query, dist, *k);
-                let a: Vec<(usize, u64)> = neighbours
-                    .iter()
-                    .map(|n| (n.index, n.distance.to_bits()))
-                    .collect();
-                let b: Vec<(usize, u64)> = l_knn
-                    .iter()
-                    .map(|n| (n.index, n.distance.to_bits()))
-                    .collect();
-                assert_eq!(a, b, "k-NN mismatch for {query:?}");
+                let (l_knn, _) = oracle
+                    .knn(query, dist, &QueryOptions::new().k(*k))
+                    .expect("non-empty");
+                assert_eq!(key(neighbours), key(&l_knn), "k-NN mismatch for {query:?}");
+                checked += 1;
+            }
+            (Request::Range { query, radius }, Response::Range { neighbours, .. }) => {
+                let (l_range, _) = oracle
+                    .range(query, dist, &QueryOptions::new().radius(*radius))
+                    .expect("non-empty");
+                assert_eq!(
+                    key(neighbours),
+                    key(&l_range),
+                    "range mismatch for {query:?} at radius {radius}"
+                );
                 checked += 1;
             }
             _ => panic!("response kind does not match request kind"),
@@ -132,7 +153,7 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
     }
     println!(
         "oracle: all {checked} answers match the linear scan (index now {} items, {} in delta)",
-        index.len(),
+        MetricIndex::len(index),
         index.delta_len()
     );
 }
@@ -145,10 +166,11 @@ fn main() {
         shards: a.get("shards", 4usize),
         pivots: a.get("pivots", 16usize),
         k: a.get("k", 5usize),
+        radius: a.get("radius", 2.0f64),
     };
     let threads = a.get("threads", 0usize);
     if threads > 0 {
-        set_thread_override(Some(threads));
+        cned_search::parallel::set_thread_override(Some(threads));
     }
     let workload: String = a.get("workload", "both".to_string());
 

@@ -6,9 +6,9 @@
 //! sets; dictionary queries are `genqueries`-style 2-op perturbations
 //! of training words; digit queries come from different writers.
 //! Pivot sweeps reuse one LAESA build per (repetition, distance) via
-//! [`cned_search::laesa::Laesa::nn_limited`] — greedy pivot selection
-//! is incremental, so the first `p` pivots equal a dedicated
-//! `p`-pivot build.
+//! [`cned_search::QueryOptions::pivot_budget`] — greedy pivot
+//! selection is incremental, so the first `p` pivots equal a
+//! dedicated `p`-pivot build.
 //!
 //! The paper's claims we reproduce:
 //! * `d_C,h` needs about as few distance computations as `d_E` —
@@ -24,6 +24,7 @@ use cned_datasets::digits::generate_digits;
 use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned_search::laesa::Laesa;
 use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{MetricIndex, QueryOptions};
 use cned_stats::Moments;
 use std::time::Instant;
 
@@ -154,12 +155,13 @@ pub fn run(p: &Params) -> Vec<DistanceSweep> {
         let (training, queries) = make_data(p, rep);
         for (di, (_, dist)) in panel.iter().enumerate() {
             let piv = select_pivots_max_sum(&training, max_pivots, 0, dist.as_ref());
-            let index = Laesa::build(training.clone(), piv, dist.as_ref());
+            let index = Laesa::try_build(training.clone(), piv, dist.as_ref())
+                .expect("max-sum pivots are valid");
             for (pi, &pcount) in p.pivots.iter().enumerate() {
+                let opts = QueryOptions::new().pivot_budget(pcount);
                 let t0 = Instant::now();
                 for q in &queries {
-                    let (_, stats) = index
-                        .nn_limited(q, dist.as_ref(), pcount)
+                    let (_, stats) = MetricIndex::nn(&index, q, dist.as_ref(), &opts)
                         .expect("non-empty training set");
                     comp_moments[di][pi].add(stats.distance_computations as f64);
                 }

@@ -20,8 +20,10 @@
 
 use crate::report::{results_dir, write_text};
 use cned_classify::eval::evaluate;
-use cned_classify::nn::{NnClassifier, SearchBackend};
+use cned_classify::nn::NnClassifier;
 use cned_core::metric::DistanceKind;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{Laesa, LinearIndex};
 
 /// Parameters (paper: 100/class train, 1000 test, 10 repetitions).
 #[derive(Debug, Clone, Copy)]
@@ -106,20 +108,18 @@ pub fn run(p: Params) -> Output {
             .collect();
 
         for ((_, dist), row) in panel.iter().zip(rows.iter_mut()) {
-            let exhaustive = NnClassifier::new(
-                training.clone(),
-                labels.clone(),
-                SearchBackend::Exhaustive,
-                dist.as_ref(),
-            );
-            let (cm_e, comp_e) = evaluate(&exhaustive, &test, dist.as_ref(), 10);
-            let laesa = NnClassifier::new(
-                training.clone(),
-                labels.clone(),
-                SearchBackend::Laesa { pivots: p.pivots },
-                dist.as_ref(),
-            );
-            let (cm_l, comp_l) = evaluate(&laesa, &test, dist.as_ref(), 10);
+            let exhaustive =
+                NnClassifier::new(Box::new(LinearIndex::new(training.clone())), labels.clone())
+                    .expect("non-empty labelled training set");
+            let (cm_e, comp_e) =
+                evaluate(&exhaustive, &test, dist.as_ref(), 10).expect("well-formed classifier");
+            let pivots = select_pivots_max_sum(&training, p.pivots, 0, dist.as_ref());
+            let index = Laesa::try_build(training.clone(), pivots, dist.as_ref())
+                .expect("max-sum pivots are valid");
+            let laesa = NnClassifier::new(Box::new(index), labels.clone())
+                .expect("non-empty labelled training set");
+            let (cm_l, comp_l) =
+                evaluate(&laesa, &test, dist.as_ref(), 10).expect("well-formed classifier");
 
             row.exhaustive_error += cm_e.error_rate_percent() / p.reps as f64;
             row.laesa_error += cm_l.error_rate_percent() / p.reps as f64;

@@ -11,9 +11,11 @@
 //! (Rico-Juan & Micó compare AESA and LAESA with string edit
 //! distances).
 
+use crate::error::SearchError;
+use crate::index::{MetricIndex, QueryOptions};
 use crate::parallel::par_map;
 use crate::{sanitise_distance, Neighbour, SearchStats};
-use cned_core::metric::Distance;
+use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
 /// An AESA index: the full pairwise distance matrix.
@@ -64,27 +66,50 @@ impl<S: Symbol> Aesa<S> {
 
     /// Nearest neighbour of `query`; every computed element updates
     /// every candidate's lower bound.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
         dist: &D,
     ) -> Option<(Neighbour, SearchStats)> {
-        let n = self.db.len();
-        if n == 0 {
+        if self.db.is_empty() {
             return None;
         }
-        // Prepared once per query (Myers Peq cache for d_E). Every
-        // computed element is a pivot in AESA — its exact distance
-        // tightens all remaining lower bounds — so unlike LAESA there
-        // is no bounded-evaluation shortcut to take here.
         let prepared = dist.prepare(query);
+        let (best, stats) = self.nn_prepared(&*prepared, f64::INFINITY);
+        best.map(|nb| (nb, stats))
+    }
+
+    /// Nearest neighbour **within `radius`** of an already-prepared
+    /// query: `Some(nb)` with `nb.distance <= radius` (ties towards
+    /// the smallest index), or `None` when no element lies within the
+    /// radius. The statistics are returned either way.
+    ///
+    /// Every computed element is a pivot in AESA — its exact distance
+    /// tightens all remaining lower bounds — so unlike LAESA there is
+    /// no bounded-evaluation shortcut to take here; the radius seed
+    /// still pays off through earlier candidate elimination.
+    pub fn nn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Option<Neighbour>, SearchStats) {
+        let n = self.db.len();
+        if n == 0 {
+            return (None, SearchStats::default());
+        }
         let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n];
         let mut n_alive = n;
         let mut computations = 0u64;
+        // The radius doubles as a virtual incumbent (usize::MAX loses
+        // every index tie-break; an infinite distance never wins one).
         let mut best = Neighbour {
             index: usize::MAX,
-            distance: f64::INFINITY,
+            distance: radius,
         };
         let mut selected = Some(0usize);
 
@@ -141,17 +166,183 @@ impl<S: Symbol> Aesa<S> {
             };
         }
 
-        Some((
+        let found = (best.index != usize::MAX).then_some(best);
+        (
+            found,
+            SearchStats {
+                distance_computations: computations,
+            },
+        )
+    }
+
+    /// The `k` nearest neighbours **within `radius`** of an
+    /// already-prepared query, in the canonical (distance, index)
+    /// order. Same machinery as [`Aesa::nn_prepared`] but elimination
+    /// uses the running `k`-th-best distance.
+    pub fn knn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        let n = self.db.len();
+        if n == 0 || k == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
+        let mut alive = vec![true; n];
+        let mut lower = vec![0.0f64; n];
+        let mut n_alive = n;
+        let mut computations = 0u64;
+        let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
+        let kth = |best: &Vec<Neighbour>| -> f64 {
+            if best.len() < k {
+                radius
+            } else {
+                best[k - 1].distance
+            }
+        };
+        let mut selected = Some(0usize);
+
+        while let Some(s) = selected.take() {
+            let d = sanitise_distance(prepared.distance_to(&self.db[s]));
+            computations += 1;
+            if d.is_finite() && d <= radius {
+                let candidate = Neighbour {
+                    index: s,
+                    distance: d,
+                };
+                let pos = best
+                    .binary_search_by(|nb| nb.ordering(&candidate))
+                    .unwrap_or_else(|e| e);
+                best.insert(pos, candidate);
+                best.truncate(k);
+            }
+            alive[s] = false;
+            n_alive -= 1;
+
+            let bound = kth(&best);
+            let row = &self.matrix[s * n..(s + 1) * n];
+            let mut next: Option<(usize, f64)> = None;
+            for u in 0..n {
+                if !alive[u] {
+                    continue;
+                }
+                let g = (d - row[u]).abs();
+                if g > lower[u] {
+                    lower[u] = g;
+                }
+                if lower[u] > bound + crate::ELIMINATION_SLACK {
+                    alive[u] = false;
+                    n_alive -= 1;
+                } else if next.is_none_or(|(_, bg)| lower[u] < bg) {
+                    next = Some((u, lower[u]));
+                }
+            }
+            if n_alive == 0 {
+                break;
+            }
+            selected = match next {
+                Some((u, _)) if alive[u] => Some(u),
+                _ => {
+                    let mut fallback: Option<(usize, f64)> = None;
+                    for u in 0..n {
+                        if alive[u] && fallback.is_none_or(|(_, bg)| lower[u] < bg) {
+                            fallback = Some((u, lower[u]));
+                        }
+                    }
+                    fallback.map(|(u, _)| u)
+                }
+            };
+        }
+
+        (
             best,
             SearchStats {
                 distance_computations: computations,
             },
-        ))
+        )
     }
 
-    /// [`Aesa::nn`] for a batch of queries, parallelised across
-    /// queries (each worker prepares its query once). Returns `None`
-    /// on an empty database, mirroring the single-query API.
+    /// Every element **within `radius`** (inclusive) of an
+    /// already-prepared query, in canonical order. The radius never
+    /// shrinks, so elimination is against a fixed bound: each computed
+    /// element's exact distance answers its own membership and
+    /// tightens every survivor's lower bound.
+    pub fn range_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        let n = self.db.len();
+        let mut alive = vec![true; n];
+        let mut lower = vec![0.0f64; n];
+        let mut n_alive = n;
+        let mut computations = 0u64;
+        let mut hits: Vec<Neighbour> = Vec::new();
+        let mut selected = (n > 0).then_some(0usize);
+
+        while let Some(s) = selected.take() {
+            let d = sanitise_distance(prepared.distance_to(&self.db[s]));
+            computations += 1;
+            if d.is_finite() && d <= radius {
+                hits.push(Neighbour {
+                    index: s,
+                    distance: d,
+                });
+            }
+            alive[s] = false;
+            n_alive -= 1;
+
+            let row = &self.matrix[s * n..(s + 1) * n];
+            let mut next: Option<(usize, f64)> = None;
+            for u in 0..n {
+                if !alive[u] {
+                    continue;
+                }
+                let g = (d - row[u]).abs();
+                if g > lower[u] {
+                    lower[u] = g;
+                }
+                if lower[u] > radius + crate::ELIMINATION_SLACK {
+                    alive[u] = false;
+                    n_alive -= 1;
+                } else if next.is_none_or(|(_, bg)| lower[u] < bg) {
+                    next = Some((u, lower[u]));
+                }
+            }
+            if n_alive == 0 {
+                break;
+            }
+            selected = match next {
+                Some((u, _)) if alive[u] => Some(u),
+                _ => {
+                    let mut fallback: Option<(usize, f64)> = None;
+                    for u in 0..n {
+                        if alive[u] && fallback.is_none_or(|(_, bg)| lower[u] < bg) {
+                            fallback = Some((u, lower[u]));
+                        }
+                    }
+                    fallback.map(|(u, _)| u)
+                }
+            };
+        }
+
+        hits.sort_by(|a, b| a.ordering(b));
+        (
+            hits,
+            SearchStats {
+                distance_computations: computations,
+            },
+        )
+    }
+
+    /// `nn` for a batch of queries, parallelised across queries (each
+    /// worker prepares its query once). Returns `None` on an empty
+    /// database, mirroring the single-query API.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn_batch` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn_batch<D: Distance<S> + ?Sized>(
         &self,
         queries: &[Vec<S>],
@@ -161,14 +352,82 @@ impl<S: Symbol> Aesa<S> {
             return None;
         }
         Some(par_map(queries.len(), |q| {
-            self.nn(&queries[q], dist)
-                .expect("database checked non-empty")
+            let prepared = dist.prepare(&queries[q]);
+            let (best, stats) = self.nn_prepared(&*prepared, f64::INFINITY);
+            (best.expect("database checked non-empty"), stats)
         }))
+    }
+}
+
+impl<S: Symbol> MetricIndex<S> for Aesa<S> {
+    fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "aesa"
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        self.db.get(i).map(Vec::as_slice)
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (found, stats) = self.nn_prepared(&*prepared, radius);
+        opts.record(stats);
+        Ok((found, stats))
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (best, stats) = self.knn_prepared(&*prepared, opts.k, radius);
+        opts.record(stats);
+        Ok((best, stats))
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (hits, stats) = self.range_prepared(&*prepared, radius);
+        opts.record(stats);
+        Ok((hits, stats))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the deprecated forwarders' behaviour (they share
+    // cores with the MetricIndex path) until the legacy surface is
+    // removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::laesa::Laesa;
     use crate::linear::linear_nn;
@@ -259,6 +518,60 @@ mod tests {
         }
         let empty: Aesa<u8> = Aesa::build(Vec::new(), &Levenshtein);
         assert!(empty.nn_batch(&queries, &Levenshtein).is_none());
+    }
+
+    #[test]
+    fn knn_and_range_match_linear_oracles() {
+        use crate::index::{MetricIndex, QueryOptions};
+        let db = corpus(90, 9, 3, 61);
+        let queries = corpus(15, 9, 3, 611);
+        let idx = Aesa::build(db.clone(), &Levenshtein);
+        for q in &queries {
+            let prepared = cned_core::metric::Distance::<u8>::prepare(&Levenshtein, q);
+            let all: Vec<(usize, f64)> = db
+                .iter()
+                .enumerate()
+                .map(|(i, item)| (i, prepared.distance_to(item)))
+                .collect();
+            // k-NN oracle: sort-and-truncate under the canonical order.
+            let mut sorted = all.clone();
+            sorted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let (knn, _) = idx.knn(q, &Levenshtein, &QueryOptions::new().k(5)).unwrap();
+            let got: Vec<(usize, f64)> = knn.iter().map(|n| (n.index, n.distance)).collect();
+            assert_eq!(got, sorted[..5].to_vec(), "query {q:?}");
+            // Range oracle: filter at each radius.
+            for radius in [0.0, 1.0, 3.0] {
+                let oracle: Vec<(usize, f64)> = sorted
+                    .iter()
+                    .copied()
+                    .filter(|&(_, d)| d <= radius)
+                    .collect();
+                let (hits, stats) = idx
+                    .range(q, &Levenshtein, &QueryOptions::new().radius(radius))
+                    .unwrap();
+                let got: Vec<(usize, f64)> = hits.iter().map(|n| (n.index, n.distance)).collect();
+                assert_eq!(got, oracle, "query {q:?} radius {radius}");
+                assert!(stats.distance_computations <= db.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_seeded_nn_prunes_and_excludes() {
+        let db = corpus(60, 8, 3, 67);
+        let idx = Aesa::build(db.clone(), &Levenshtein);
+        for q in corpus(8, 8, 3, 671) {
+            let prepared = cned_core::metric::Distance::<u8>::prepare(&Levenshtein, &q);
+            let (nb, _) = idx.nn_prepared(&*prepared, f64::INFINITY);
+            let nb = nb.unwrap();
+            let (at, _) = idx.nn_prepared(&*prepared, nb.distance);
+            let at = at.unwrap();
+            assert_eq!((at.index, at.distance), (nb.index, nb.distance));
+            if nb.distance > 0.0 {
+                let (below, _) = idx.nn_prepared(&*prepared, nb.distance - 0.5);
+                assert!(below.is_none(), "query {q:?}");
+            }
+        }
     }
 
     #[test]

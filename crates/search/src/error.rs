@@ -1,0 +1,107 @@
+//! Typed errors for index construction and queries.
+//!
+//! Before the unified query API, misuse panicked (`Laesa::build` pivot
+//! asserts) or vanished into `Option`s (`None` on an empty database).
+//! Every public entry point of the [`MetricIndex`](crate::MetricIndex)
+//! surface now reports failure through [`SearchError`] instead, so
+//! serving layers can turn misuse into a response rather than a crash.
+
+use core::fmt;
+
+/// Everything that can go wrong building or querying a metric index.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without
+/// a breaking release, so downstream `match`es need a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The index holds no items, so no query has a well-defined
+    /// answer. Construction of classifiers also rejects this early.
+    EmptyDatabase,
+    /// A pivot index handed to [`Laesa::try_build`](crate::Laesa::try_build)
+    /// does not address a database element.
+    PivotOutOfRange {
+        /// The offending pivot index.
+        pivot: usize,
+        /// Database size it was checked against.
+        len: usize,
+    },
+    /// The same pivot index was supplied twice; duplicate rows would
+    /// silently waste a pivot slot, so they are rejected.
+    DuplicatePivot {
+        /// The repeated pivot index.
+        pivot: usize,
+    },
+    /// A query radius was NaN or negative — no result set is
+    /// well-defined under such a budget.
+    InvalidRadius {
+        /// The offending radius.
+        radius: f64,
+    },
+    /// A labelled classifier was given a label vector whose length
+    /// does not match the index.
+    LabelCount {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of items in the index.
+        items: usize,
+    },
+    /// A builder was asked for a combination of knobs no backend
+    /// implements (e.g. sharding a vantage-point tree).
+    UnsupportedConfig {
+        /// Human-readable description of the rejected combination.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::EmptyDatabase => write!(f, "empty database: no query has an answer"),
+            SearchError::PivotOutOfRange { pivot, len } => {
+                write!(
+                    f,
+                    "pivot index {pivot} out of range (database has {len} items)"
+                )
+            }
+            SearchError::DuplicatePivot { pivot } => write!(f, "duplicate pivot {pivot}"),
+            SearchError::InvalidRadius { radius } => {
+                write!(
+                    f,
+                    "invalid query radius {radius} (must be non-negative, not NaN)"
+                )
+            }
+            SearchError::LabelCount { labels, items } => {
+                write!(f, "label count {labels} does not match index size {items}")
+            }
+            SearchError::UnsupportedConfig { reason } => {
+                write!(f, "unsupported configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_witness_values() {
+        let e = SearchError::PivotOutOfRange { pivot: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        assert!(SearchError::DuplicatePivot { pivot: 3 }
+            .to_string()
+            .contains("duplicate pivot 3"));
+        let e = SearchError::InvalidRadius { radius: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(SearchError::EmptyDatabase);
+    }
+}

@@ -1,0 +1,321 @@
+//! The unified query surface: one object-safe trait every backend
+//! implements.
+//!
+//! The paper's point is that *metric-space machinery is generic in the
+//! metric*: AESA, LAESA, vantage-point trees and plain scans all
+//! answer the same questions — nearest neighbour, k nearest, everything
+//! within a radius — from the same two ingredients (a database and a
+//! [`Distance`]). [`MetricIndex`] captures that contract once, so
+//! classifiers, serving pipelines and the `cned::Database` facade hold
+//! *an index* abstractly (`&dyn MetricIndex<S>` / `Box<dyn …>`) instead
+//! of hard-coding a backend enum, and new backends plug in by
+//! implementing one trait.
+//!
+//! Query knobs travel in a [`QueryOptions`] struct instead of
+//! positional arguments, and every entry point returns
+//! `Result<_, `[`SearchError`]`>` — an empty database or a NaN radius
+//! is a typed error, not a panic or a silent `None`.
+
+use crate::error::SearchError;
+use crate::parallel::par_map_with;
+use crate::{Neighbour, SearchStats, SearchStatsAtomic};
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use std::sync::Arc;
+
+/// Options shared by every [`MetricIndex`] query.
+///
+/// Construction is builder-style (`QueryOptions::new().radius(1.5)`);
+/// the struct is `#[non_exhaustive]` so new knobs can be added without
+/// breaking callers. The defaults reproduce the classic calls: an
+/// unbounded nearest-neighbour search over all pivots on the calling
+/// thread's default worker pool.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Pruning-radius seed (and, for [`MetricIndex::range`], the range
+    /// radius itself): only neighbours at distance `<= radius` are
+    /// reported. Defaults to `f64::INFINITY` (no constraint). For NN
+    /// and k-NN a finite seed acts exactly like an already-known best
+    /// at that distance — it can only reject candidates, never change
+    /// which in-radius neighbour wins.
+    pub radius: f64,
+    /// Number of neighbours for [`MetricIndex::knn`] (default 1).
+    /// `k == 0` yields an empty result set.
+    pub k: usize,
+    /// Computation budget for pivot-table backends: only the first `n`
+    /// pivots are used for lower bounds, the rest are treated as plain
+    /// candidates. This replaces the old `Laesa::nn_limited` — greedy
+    /// max-sum selection is incremental, so a prefix of a large pivot
+    /// set behaves exactly like a dedicated smaller build. The sharded
+    /// backend applies the budget to **each shard's** pivot set;
+    /// backends without pivots ignore it. `None` (default) uses every
+    /// pivot.
+    pub pivot_budget: Option<usize>,
+    /// Worker-thread override for the `*_batch` entry points (`None`
+    /// defers to [`crate::parallel::num_threads`], i.e. the
+    /// `CNED_THREADS`/auto default). Results are bit-identical for any
+    /// worker count; this knob only caps fan-out.
+    pub threads: Option<usize>,
+    /// Optional sink that also receives every query's [`SearchStats`]
+    /// (in addition to the per-query stats in the return value) —
+    /// handy for streaming totals out of batch pipelines without
+    /// materialising per-query statistics.
+    pub stats_sink: Option<Arc<SearchStatsAtomic>>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions {
+            radius: f64::INFINITY,
+            k: 1,
+            pivot_budget: None,
+            threads: None,
+            stats_sink: None,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// The default options: unbounded radius, `k = 1`, all pivots,
+    /// default worker pool, no stats sink.
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// Set the pruning/range radius.
+    pub fn radius(mut self, radius: f64) -> QueryOptions {
+        self.radius = radius;
+        self
+    }
+
+    /// Set the neighbour count for k-NN queries.
+    pub fn k(mut self, k: usize) -> QueryOptions {
+        self.k = k;
+        self
+    }
+
+    /// Limit pivot-table backends to their first `n` pivots.
+    pub fn pivot_budget(mut self, n: usize) -> QueryOptions {
+        self.pivot_budget = Some(n);
+        self
+    }
+
+    /// Override the batch worker count.
+    pub fn threads(mut self, n: usize) -> QueryOptions {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Stream every query's statistics into `sink` as well.
+    pub fn stats_sink(mut self, sink: Arc<SearchStatsAtomic>) -> QueryOptions {
+        self.stats_sink = Some(sink);
+        self
+    }
+
+    /// Validate the radius: `Err(InvalidRadius)` for NaN or negative
+    /// values, the radius otherwise. Implementations call this before
+    /// touching the database.
+    pub fn checked_radius(&self) -> Result<f64, SearchError> {
+        if self.radius.is_nan() || self.radius < 0.0 {
+            Err(SearchError::InvalidRadius {
+                radius: self.radius,
+            })
+        } else {
+            Ok(self.radius)
+        }
+    }
+
+    /// Fold one query's statistics into the sink, if one is set.
+    /// Implementations call this exactly once per answered query.
+    pub fn record(&self, stats: SearchStats) {
+        if let Some(sink) = &self.stats_sink {
+            sink.add(stats);
+        }
+    }
+}
+
+/// An immutable nearest-neighbour index over a database of strings,
+/// queryable through any [`Distance`].
+///
+/// # Contract
+///
+/// Shared by every implementation (and pinned by the cross-backend
+/// agreement suite):
+///
+/// * **Canonical ordering** — results are ordered (and ties broken) by
+///   ascending `(distance, database index)`; see
+///   [`Neighbour::ordering`]. All backends return bit-identical
+///   neighbours and distances for a metric distance.
+/// * **Radius admission is inclusive** — a neighbour at exactly
+///   `opts.radius` is reported.
+/// * **Typed errors** — an empty index yields
+///   [`SearchError::EmptyDatabase`]; a NaN or negative radius yields
+///   [`SearchError::InvalidRadius`]. No query entry point panics in
+///   release builds.
+/// * **Statistics** — `SearchStats::distance_computations` counts real
+///   distance evaluations for the query (preprocessing excluded), and
+///   is deterministic for a given (index, query, options).
+///
+/// The trait is object-safe: serving layers and classifiers consume
+/// `&dyn MetricIndex<S>`, and the provided `*_batch` methods fan out
+/// across worker threads behind the same vtable.
+///
+/// The caller supplies the distance per query; it **must** be the one
+/// the index was built with (pivot rows / matrices / tree radii store
+/// its values). The `cned::Database` facade pairs the two so this
+/// footgun disappears at the application surface.
+pub trait MetricIndex<S: Symbol>: Send + Sync {
+    /// Number of items in the index.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short backend label (`"linear"`, `"laesa"`, …) for reports and
+    /// benchmarks.
+    fn backend_name(&self) -> &'static str;
+
+    /// The item at index `i`, or `None` when out of range. Result
+    /// indices from queries address this accessor.
+    fn item(&self, i: usize) -> Option<&[S]>;
+
+    /// Nearest neighbour of `query` within `opts.radius`.
+    ///
+    /// `Ok((None, stats))` when the database holds nothing within the
+    /// radius (only possible with a finite radius seed); statistics
+    /// are returned either way.
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError>;
+
+    /// The `opts.k` nearest neighbours of `query` within
+    /// `opts.radius`, in canonical order. May return fewer than `k`
+    /// entries when fewer elements lie within the radius.
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError>;
+
+    /// Every item within `opts.radius` of `query` (inclusive), in
+    /// canonical order — the one genuinely new operation of the
+    /// unified API. Pivot-table backends answer it with
+    /// triangle-inequality pruning: a candidate whose lower bound
+    /// exceeds the radius is never evaluated.
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError>;
+
+    /// [`MetricIndex::nn`] for a batch of queries, parallelised across
+    /// queries ([`QueryOptions::threads`] caps the fan-out). Results
+    /// are in input order and bit-identical to one-by-one calls.
+    fn nn_batch(
+        &self,
+        queries: &[Vec<S>],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<Vec<(Option<Neighbour>, SearchStats)>, SearchError> {
+        if self.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        opts.checked_radius()?;
+        par_map_with(opts.threads, queries.len(), |q| {
+            self.nn(&queries[q], dist, opts)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// [`MetricIndex::knn`] for a batch of queries, parallelised
+    /// across queries.
+    fn knn_batch(
+        &self,
+        queries: &[Vec<S>],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<Vec<(Vec<Neighbour>, SearchStats)>, SearchError> {
+        if self.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        opts.checked_radius()?;
+        par_map_with(opts.threads, queries.len(), |q| {
+            self.knn(&queries[q], dist, opts)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// A [`MetricIndex`] that additionally accepts incremental inserts —
+/// what a serving pipeline needs to own an index end to end.
+pub trait InsertableIndex<S: Symbol>: MetricIndex<S> {
+    /// Append `item`, returning its assigned index. `dist` must be the
+    /// index's distance (backends may rebuild internal structure, e.g.
+    /// delta-shard compaction).
+    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_the_classic_call() {
+        let opts = QueryOptions::new();
+        assert_eq!(opts.radius, f64::INFINITY);
+        assert_eq!(opts.k, 1);
+        assert!(opts.pivot_budget.is_none());
+        assert!(opts.threads.is_none());
+        assert!(opts.stats_sink.is_none());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let sink = Arc::new(SearchStatsAtomic::new());
+        let opts = QueryOptions::new()
+            .radius(2.5)
+            .k(7)
+            .pivot_budget(3)
+            .threads(2)
+            .stats_sink(sink.clone());
+        assert_eq!(opts.radius, 2.5);
+        assert_eq!(opts.k, 7);
+        assert_eq!(opts.pivot_budget, Some(3));
+        assert_eq!(opts.threads, Some(2));
+        opts.record(SearchStats {
+            distance_computations: 5,
+        });
+        assert_eq!(sink.snapshot().distance_computations, 5);
+    }
+
+    #[test]
+    fn radius_validation() {
+        assert_eq!(QueryOptions::new().checked_radius(), Ok(f64::INFINITY));
+        assert_eq!(QueryOptions::new().radius(0.0).checked_radius(), Ok(0.0));
+        assert!(matches!(
+            QueryOptions::new().radius(-0.5).checked_radius(),
+            Err(SearchError::InvalidRadius { .. })
+        ));
+        assert!(matches!(
+            QueryOptions::new().radius(f64::NAN).checked_radius(),
+            Err(SearchError::InvalidRadius { .. })
+        ));
+    }
+
+    #[test]
+    fn trait_objects_are_thread_mobile() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn MetricIndex<u8>>();
+        assert_send_sync::<Box<dyn MetricIndex<u8>>>();
+    }
+}

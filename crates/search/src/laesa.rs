@@ -21,12 +21,15 @@
 //! heuristic and the answer may be approximate — exactly the effect
 //! visible in Table 2 of the paper.
 
+use crate::error::SearchError;
+use crate::index::{MetricIndex, QueryOptions};
 use crate::parallel::par_map;
 use crate::{sanitise_distance, Neighbour, SearchStats};
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
 /// A LAESA index over an owned database of strings.
+#[derive(Debug)]
 pub struct Laesa<S: Symbol> {
     db: Vec<Vec<S>>,
     /// Indices (into `db`) of the pivot elements.
@@ -47,21 +50,24 @@ impl<S: Symbol> Laesa<S> {
     /// and streams it against its share of the database.
     ///
     /// `pivots` are indices into `db` (typically from
-    /// [`crate::pivots::select_pivots_max_sum`]); duplicates are
-    /// rejected.
-    ///
-    /// # Panics
-    /// Panics if a pivot index is out of range or repeated.
-    pub fn build<D: Distance<S> + ?Sized>(
+    /// [`crate::pivots::select_pivots_max_sum`]); an out-of-range or
+    /// repeated pivot is a typed error
+    /// ([`SearchError::PivotOutOfRange`] /
+    /// [`SearchError::DuplicatePivot`]), not a panic.
+    pub fn try_build<D: Distance<S> + ?Sized>(
         db: Vec<Vec<S>>,
         pivots: Vec<usize>,
         dist: &D,
-    ) -> Laesa<S> {
+    ) -> Result<Laesa<S>, SearchError> {
         let n = db.len();
         let mut pivot_row = vec![usize::MAX; n];
         for (r, &p) in pivots.iter().enumerate() {
-            assert!(p < n, "pivot index {p} out of range");
-            assert!(pivot_row[p] == usize::MAX, "duplicate pivot {p}");
+            if p >= n {
+                return Err(SearchError::PivotOutOfRange { pivot: p, len: n });
+            }
+            if pivot_row[p] != usize::MAX {
+                return Err(SearchError::DuplicatePivot { pivot: p });
+            }
             pivot_row[p] = r;
         }
         let rows: Vec<Vec<f64>> = par_map(pivots.len(), |r| {
@@ -73,12 +79,31 @@ impl<S: Symbol> Laesa<S> {
                 .collect()
         });
         let preprocessing_computations = (pivots.len() * n) as u64;
-        Laesa {
+        Ok(Laesa {
             db,
             pivots,
             rows,
             pivot_row,
             preprocessing_computations,
+        })
+    }
+
+    /// Panicking variant of [`Laesa::try_build`].
+    ///
+    /// # Panics
+    /// Panics if a pivot index is out of range or repeated.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Laesa::try_build`, which reports a typed error"
+    )]
+    pub fn build<D: Distance<S> + ?Sized>(
+        db: Vec<Vec<S>>,
+        pivots: Vec<usize>,
+        dist: &D,
+    ) -> Laesa<S> {
+        match Laesa::try_build(db, pivots, dist) {
+            Ok(index) => index,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -99,15 +124,24 @@ impl<S: Symbol> Laesa<S> {
 
     /// Nearest neighbour of `query`, counting real distance
     /// evaluations. Returns `None` on an empty database.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
         dist: &D,
     ) -> Option<(Neighbour, SearchStats)> {
-        self.nn_limited(query, dist, self.pivots.len())
+        if self.db.is_empty() {
+            return None;
+        }
+        let prepared = dist.prepare(query);
+        let (best, stats) = self.nn_core(&*prepared, self.pivots.len(), f64::INFINITY);
+        best.map(|nb| (nb, stats))
     }
 
-    /// [`Laesa::nn`] restricted to the first `limit` pivots.
+    /// [`MetricIndex::nn`] restricted to the first `limit` pivots.
     ///
     /// Because greedy max-sum selection is incremental, the first `p`
     /// pivots of an index built with `P ≥ p` pivots are exactly the
@@ -115,6 +149,10 @@ impl<S: Symbol> Laesa<S> {
     /// sweep (Figures 3–4) can reuse one index instead of rebuilding
     /// per point. Pivots beyond `limit` are treated as ordinary
     /// candidates.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn` with `QueryOptions::pivot_budget`"
+    )]
     pub fn nn_limited<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
@@ -128,10 +166,7 @@ impl<S: Symbol> Laesa<S> {
         // bitmaps reused by every comparison below.
         let prepared = dist.prepare(query);
         let (best, stats) = self.nn_core(&*prepared, limit, f64::INFINITY);
-        Some((
-            best.expect("a non-empty database always yields a neighbour at an infinite radius"),
-            stats,
-        ))
+        best.map(|nb| (nb, stats))
     }
 
     /// Nearest neighbour **within `radius`** of an already-prepared
@@ -156,6 +191,19 @@ impl<S: Symbol> Laesa<S> {
         radius: f64,
     ) -> (Option<Neighbour>, SearchStats) {
         self.nn_core(prepared, self.pivots.len(), radius)
+    }
+
+    /// [`Laesa::nn_prepared`] restricted to the first `limit` pivots
+    /// (the [`crate::QueryOptions::pivot_budget`] knob for callers
+    /// that manage prepared queries themselves, e.g. the sharded
+    /// serving layer applying a per-shard budget).
+    pub fn nn_prepared_limited(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+        limit: usize,
+    ) -> (Option<Neighbour>, SearchStats) {
+        self.nn_core(prepared, limit, radius)
     }
 
     fn nn_core(
@@ -288,8 +336,13 @@ impl<S: Symbol> Laesa<S> {
 
     /// The `k` nearest neighbours, sorted by increasing distance.
     ///
-    /// Same machinery as [`Laesa::nn`] but elimination uses the
-    /// current `k`-th best distance, so fewer candidates are pruned.
+    /// Same machinery as nearest-neighbour search but elimination uses
+    /// the current `k`-th best distance, so fewer candidates are
+    /// pruned.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::knn` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn knn<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
@@ -316,6 +369,28 @@ impl<S: Symbol> Laesa<S> {
         k: usize,
         radius: f64,
     ) -> (Vec<Neighbour>, SearchStats) {
+        self.knn_core(prepared, k, radius, self.pivots.len())
+    }
+
+    /// [`Laesa::knn_prepared`] restricted to the first `limit` pivots.
+    pub fn knn_prepared_limited(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+        limit: usize,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        self.knn_core(prepared, k, radius, limit)
+    }
+
+    fn knn_core(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+        limit: usize,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        let limit = limit.min(self.pivots.len());
         let n = self.db.len();
         if n == 0 || k == 0 {
             return (Vec::new(), SearchStats::default());
@@ -336,7 +411,7 @@ impl<S: Symbol> Laesa<S> {
                 best[k - 1].distance
             }
         };
-        let mut pivots_left = self.pivots.len();
+        let mut pivots_left = limit;
         let mut selected = if pivots_left > 0 {
             Some(self.pivots[0])
         } else {
@@ -348,7 +423,7 @@ impl<S: Symbol> Laesa<S> {
             // the radius — their values make the lower bounds
             // correct). Plain candidates only compete for the k-th
             // slot: bounded.
-            let is_pivot = self.pivot_row[s] != usize::MAX;
+            let is_pivot = self.pivot_row[s] < limit;
             let d = if is_pivot {
                 sanitise_distance(prepared.distance_to(&self.db[s]))
             } else {
@@ -376,7 +451,7 @@ impl<S: Symbol> Laesa<S> {
             }
 
             let row_idx = self.pivot_row[s];
-            if row_idx != usize::MAX {
+            if row_idx < limit {
                 pivots_left -= 1;
                 let row = &self.rows[row_idx];
                 let radius = kth(&best);
@@ -415,7 +490,7 @@ impl<S: Symbol> Laesa<S> {
                     n_alive -= 1;
                     continue;
                 }
-                if self.pivot_row[u] != usize::MAX {
+                if self.pivot_row[u] < limit {
                     if next_pivot.is_none_or(|(_, bg)| g < bg) {
                         next_pivot = Some((u, g));
                     }
@@ -438,9 +513,105 @@ impl<S: Symbol> Laesa<S> {
         )
     }
 
-    /// [`Laesa::nn`] for a batch of queries, parallelised across
-    /// queries (each worker prepares its query once). Returns `None`
-    /// on an empty database, mirroring the single-query API.
+    /// Every element **within `radius`** (inclusive) of an
+    /// already-prepared query, in the canonical (distance, index)
+    /// order.
+    ///
+    /// Unlike NN/k-NN the pruning radius never shrinks, so the
+    /// algorithm is a straight two-phase sweep: every active pivot is
+    /// computed exactly (its value both answers its own membership and
+    /// tightens every candidate's triangle-inequality lower bound
+    /// `G[u] = max_p |d(q,p) − d(p,u)|`), candidates whose bound
+    /// exceeds `radius` (plus [`crate::ELIMINATION_SLACK`]) are
+    /// eliminated unevaluated, and the survivors are evaluated with
+    /// `radius` as their early-exit budget.
+    pub fn range_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        self.range_core(prepared, radius, self.pivots.len())
+    }
+
+    /// [`Laesa::range_prepared`] restricted to the first `limit`
+    /// pivots.
+    pub fn range_prepared_limited(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+        limit: usize,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        self.range_core(prepared, radius, limit)
+    }
+
+    fn range_core(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+        limit: usize,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        let limit = limit.min(self.pivots.len());
+        let n = self.db.len();
+        let mut alive = vec![true; n];
+        let mut lower = vec![0.0f64; n];
+        let mut computations = 0u64;
+        let mut hits: Vec<Neighbour> = Vec::new();
+
+        for r in 0..limit {
+            let p = self.pivots[r];
+            let d = sanitise_distance(prepared.distance_to(&self.db[p]));
+            computations += 1;
+            alive[p] = false;
+            if d.is_finite() && d <= radius {
+                hits.push(Neighbour {
+                    index: p,
+                    distance: d,
+                });
+            }
+            let row = &self.rows[r];
+            for u in 0..n {
+                if !alive[u] {
+                    continue;
+                }
+                let g = (d - row[u]).abs();
+                if g > lower[u] {
+                    lower[u] = g;
+                }
+                if lower[u] > radius + crate::ELIMINATION_SLACK {
+                    alive[u] = false;
+                }
+            }
+        }
+        for u in 0..n {
+            if !alive[u] {
+                continue;
+            }
+            computations += 1;
+            if let Some(d) = prepared.distance_to_bounded(&self.db[u], radius) {
+                if d.is_finite() {
+                    hits.push(Neighbour {
+                        index: u,
+                        distance: d,
+                    });
+                }
+            }
+        }
+        hits.sort_by(|a, b| a.ordering(b));
+        (
+            hits,
+            SearchStats {
+                distance_computations: computations,
+            },
+        )
+    }
+
+    /// `nn` for a batch of queries, parallelised across queries (each
+    /// worker prepares its query once). Returns `None` on an empty
+    /// database, mirroring the single-query API.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn_batch` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn_batch<D: Distance<S> + ?Sized>(
         &self,
         queries: &[Vec<S>],
@@ -450,25 +621,102 @@ impl<S: Symbol> Laesa<S> {
             return None;
         }
         Some(crate::parallel::par_map(queries.len(), |q| {
-            self.nn(&queries[q], dist)
-                .expect("database checked non-empty")
+            let prepared = dist.prepare(&queries[q]);
+            let (best, stats) = self.nn_core(&*prepared, self.pivots.len(), f64::INFINITY);
+            (best.expect("database checked non-empty"), stats)
         }))
     }
 
-    /// [`Laesa::knn`] for a batch of queries, parallelised across
-    /// queries.
+    /// `knn` for a batch of queries, parallelised across queries.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::knn_batch` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn knn_batch<D: Distance<S> + ?Sized>(
         &self,
         queries: &[Vec<S>],
         dist: &D,
         k: usize,
     ) -> Vec<(Vec<Neighbour>, SearchStats)> {
-        crate::parallel::par_map(queries.len(), |q| self.knn(&queries[q], dist, k))
+        crate::parallel::par_map(queries.len(), |q| {
+            let prepared = dist.prepare(&queries[q]);
+            self.knn_prepared(&*prepared, k, f64::INFINITY)
+        })
+    }
+}
+
+impl<S: Symbol> MetricIndex<S> for Laesa<S> {
+    fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "laesa"
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        self.db.get(i).map(Vec::as_slice)
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let limit = opts.pivot_budget.unwrap_or(self.pivots.len());
+        let prepared = dist.prepare(query);
+        let (found, stats) = self.nn_core(&*prepared, limit, radius);
+        opts.record(stats);
+        Ok((found, stats))
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let limit = opts.pivot_budget.unwrap_or(self.pivots.len());
+        let prepared = dist.prepare(query);
+        let (best, stats) = self.knn_core(&*prepared, opts.k, radius, limit);
+        opts.record(stats);
+        Ok((best, stats))
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let limit = opts.pivot_budget.unwrap_or(self.pivots.len());
+        let prepared = dist.prepare(query);
+        let (hits, stats) = self.range_core(&*prepared, radius, limit);
+        opts.record(stats);
+        Ok((hits, stats))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the deprecated forwarders' behaviour (they share
+    // cores with the MetricIndex path, so coverage is common) until
+    // the legacy surface is removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::linear::{linear_knn, linear_nn};
     use crate::pivots::select_pivots_max_sum;
@@ -698,9 +946,114 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "duplicate pivot")]
-    fn duplicate_pivots_rejected() {
+    fn duplicate_pivots_still_panic_through_deprecated_build() {
         let db = corpus(10, 5, 2, 1);
         Laesa::build(db, vec![1, 1], &Levenshtein);
+    }
+
+    #[test]
+    fn bad_pivots_are_typed_errors() {
+        let db = corpus(10, 5, 2, 1);
+        assert_eq!(
+            Laesa::try_build(db.clone(), vec![1, 1], &Levenshtein).unwrap_err(),
+            SearchError::DuplicatePivot { pivot: 1 }
+        );
+        assert_eq!(
+            Laesa::try_build(db, vec![10], &Levenshtein).unwrap_err(),
+            SearchError::PivotOutOfRange { pivot: 10, len: 10 }
+        );
+    }
+
+    #[test]
+    fn range_matches_linear_scan_filter() {
+        let db = corpus(120, 9, 3, 91);
+        let queries = corpus(20, 9, 3, 911);
+        let pivots = select_pivots_max_sum(&db, 10, 0, &Levenshtein);
+        let idx = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        for q in &queries {
+            for radius in [0.0, 1.0, 2.0, 4.0] {
+                let opts = QueryOptions::new().radius(radius);
+                let (hits, stats) = MetricIndex::range(&idx, q, &Levenshtein, &opts).unwrap();
+                // Oracle: full scan + filter + canonical sort.
+                let prepared = cned_core::metric::Distance::<u8>::prepare(&Levenshtein, q);
+                let mut oracle: Vec<(usize, f64)> = db
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| (i, prepared.distance_to(item)))
+                    .filter(|&(_, d)| d <= radius)
+                    .collect();
+                oracle.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                let oracle: Vec<(usize, u64)> =
+                    oracle.into_iter().map(|(i, d)| (i, d.to_bits())).collect();
+                let got: Vec<(usize, u64)> = hits
+                    .iter()
+                    .map(|n| (n.index, n.distance.to_bits()))
+                    .collect();
+                assert_eq!(got, oracle, "query {q:?} radius {radius}");
+                assert!(stats.distance_computations <= db.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn range_pruning_saves_computations_at_small_radii() {
+        let db = corpus(300, 10, 3, 93);
+        let queries = corpus(15, 10, 3, 931);
+        let pivots = select_pivots_max_sum(&db, 24, 0, &Levenshtein);
+        let idx = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let opts = QueryOptions::new().radius(1.0);
+        let total: u64 = queries
+            .iter()
+            .map(|q| {
+                MetricIndex::range(&idx, q, &Levenshtein, &opts)
+                    .unwrap()
+                    .1
+                    .distance_computations
+            })
+            .sum();
+        let avg = total as f64 / queries.len() as f64;
+        assert!(
+            avg < db.len() as f64 * 0.8,
+            "triangle pruning should skip most of the database: avg {avg} vs n {}",
+            db.len()
+        );
+    }
+
+    #[test]
+    fn trait_path_matches_legacy_inherent_path() {
+        let db = corpus(100, 9, 3, 95);
+        let queries = corpus(15, 9, 3, 951);
+        let pivots = select_pivots_max_sum(&db, 8, 0, &Levenshtein);
+        let idx = Laesa::try_build(db, pivots, &Levenshtein).unwrap();
+        let dyn_idx: &dyn MetricIndex<u8> = &idx;
+        for q in &queries {
+            let (legacy, lstats) = idx.nn(q, &Levenshtein).unwrap();
+            let (nb, stats) = dyn_idx.nn(q, &Levenshtein, &QueryOptions::new()).unwrap();
+            let nb = nb.unwrap();
+            assert_eq!(
+                (nb.index, nb.distance.to_bits()),
+                (legacy.index, legacy.distance.to_bits())
+            );
+            assert_eq!(stats, lstats, "query {q:?}");
+            // pivot_budget reproduces nn_limited.
+            for limit in [0usize, 3, 8] {
+                let (legacy, lstats) = idx.nn_limited(q, &Levenshtein, limit).unwrap();
+                let opts = QueryOptions::new().pivot_budget(limit);
+                let (nb, stats) = dyn_idx.nn(q, &Levenshtein, &opts).unwrap();
+                let nb = nb.unwrap();
+                assert_eq!(nb.distance.to_bits(), legacy.distance.to_bits());
+                assert_eq!(stats, lstats, "query {q:?} limit {limit}");
+            }
+            let (lknn, lkstats) = idx.knn(q, &Levenshtein, 4);
+            let (knn, kstats) = dyn_idx
+                .knn(q, &Levenshtein, &QueryOptions::new().k(4))
+                .unwrap();
+            let key = |ns: &[Neighbour]| -> Vec<(usize, u64)> {
+                ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+            };
+            assert_eq!(key(&knn), key(&lknn), "query {q:?}");
+            assert_eq!(kstats, lkstats);
+        }
     }
 
     #[test]

@@ -56,8 +56,22 @@
 //! * **thread-safe statistics** — [`SearchStatsAtomic`] accumulates
 //!   [`SearchStats`] across worker threads.
 
+//! ## The unified query API
+//!
+//! Every backend — [`LinearIndex`], [`Laesa`], [`Aesa`], [`VpTree`],
+//! and `cned-serve`'s `ShardedIndex` — implements the object-safe
+//! [`MetricIndex`] trait: `nn` / `knn` / `range` / `nn_batch` /
+//! `knn_batch`, all driven by a [`QueryOptions`] struct (radius seed,
+//! `k`, pivot budget, worker override, stats sink) and returning
+//! `Result<_, `[`SearchError`]`>` instead of panicking. Range (radius)
+//! search is answered with triangle-inequality pruning on every
+//! backend. The pre-trait inherent methods and free functions remain
+//! as `#[deprecated]` forwarders for one release.
+
 pub mod aesa;
 pub mod counter;
+pub mod error;
+pub mod index;
 pub mod laesa;
 pub mod linear;
 pub mod parallel;
@@ -66,9 +80,13 @@ pub mod vptree;
 
 pub use aesa::Aesa;
 pub use counter::CountingDistance;
+pub use error::SearchError;
+pub use index::{InsertableIndex, MetricIndex, QueryOptions};
 pub use laesa::Laesa;
+pub use linear::LinearIndex;
+#[allow(deprecated)]
 pub use linear::{linear_knn, linear_knn_batch, linear_nn, linear_nn_batch};
-pub use parallel::{num_threads, par_map, workers_for};
+pub use parallel::{num_threads, par_map, par_map_with, workers_for};
 pub use pivots::{select_pivots_max_sum, select_pivots_random};
 pub use vptree::VpTree;
 

@@ -3,78 +3,73 @@
 //! Computes the distance from the query to *every* database element —
 //! `n` distance computations, no preprocessing, correct for any
 //! distance function (metric or not). This is the "Exhaustive search"
-//! column of Table 2 and the correctness oracle for LAESA/AESA tests.
+//! column of Table 2 and the correctness oracle for the other
+//! backends' tests.
+//!
+//! The public surface is [`LinearIndex`], the simplest
+//! [`MetricIndex`] implementation; the free
+//! functions (`linear_nn`, …) are the pre-trait API, kept as
+//! deprecated forwarders for one release.
 //!
 //! Even the exhaustive scan benefits from the throughput machinery:
 //! the query is [prepared](cned_core::metric::Distance::prepare) once
 //! (for `d_E` that caches the Myers `Peq` bitmaps), each comparison is
 //! requested with the current best as an early-exit budget, and the
-//! `_batch` variants fan out across queries on all cores.
+//! batch entry points fan out across queries on all cores.
 
+use crate::error::SearchError;
+use crate::index::{InsertableIndex, MetricIndex, QueryOptions};
 use crate::parallel::par_map;
-use crate::{sanitise_distance, Neighbour, SearchStats};
-use cned_core::metric::Distance;
+use crate::{Neighbour, SearchStats};
+use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
-/// Nearest neighbour of `query` in `db` by exhaustive scan.
-///
-/// Ties are broken towards the smallest database index (the canonical
-/// ordering of [`Neighbour::better_than`], shared with the LAESA and
-/// sharded paths). Returns `None` on an empty database. NaN distances
-/// are rejected via [`sanitise_distance`] so a broken distance cannot
-/// poison the running best.
-pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
+/// Nearest neighbour of a prepared query within `radius` by
+/// exhaustive scan: `(None, stats)` when nothing lies within the
+/// radius. Shared by [`LinearIndex`], the deprecated free functions
+/// and the sharded delta-shard scan.
+pub(crate) fn nn_scan<S: Symbol>(
     db: &[Vec<S>],
-    query: &[S],
-    dist: &D,
-) -> Option<(Neighbour, SearchStats)> {
-    let prepared = dist.prepare(query);
-    let mut best: Option<Neighbour> = None;
+    prepared: &dyn PreparedQuery<S>,
+    radius: f64,
+) -> (Option<Neighbour>, SearchStats) {
+    // The radius doubles as a virtual incumbent: any real candidate at
+    // d <= radius beats it (usize::MAX loses every index tie-break,
+    // and an infinite distance never wins a tie).
+    let mut best = Neighbour {
+        index: usize::MAX,
+        distance: radius,
+    };
     for (i, item) in db.iter().enumerate() {
-        match best {
-            None => {
-                let d = sanitise_distance(prepared.distance_to(item));
-                best = Some(Neighbour {
-                    index: i,
-                    distance: d,
-                });
-            }
-            Some(b) => {
-                // Early-exit budget: anything at or above the current
-                // best cannot replace it (ties keep the smaller index).
-                if let Some(d) = prepared.distance_to_bounded(item, b.distance) {
-                    if d < b.distance {
-                        best = Some(Neighbour {
-                            index: i,
-                            distance: d,
-                        });
-                    }
-                }
+        // Early-exit budget: anything above the current best cannot
+        // replace it; equal distances keep the smaller index, which is
+        // the scan order.
+        if let Some(d) = prepared.distance_to_bounded(item, best.distance) {
+            let candidate = Neighbour {
+                index: i,
+                distance: d,
+            };
+            if candidate.better_than(&best) {
+                best = candidate;
             }
         }
     }
-    best.map(|b| {
-        (
-            b,
-            SearchStats {
-                distance_computations: db.len() as u64,
-            },
-        )
-    })
+    let found = (best.index != usize::MAX).then_some(best);
+    (
+        found,
+        SearchStats {
+            distance_computations: db.len() as u64,
+        },
+    )
 }
 
-/// The `k` nearest neighbours of `query` in `db`, sorted by increasing
-/// distance (ties towards smaller index). Returns fewer than `k`
-/// entries when the database is smaller than `k`.
-///
-/// Each comparison is budgeted at the current `k`-th-best distance,
-/// so engines with early exit abandon items that cannot enter the
-/// result; output is identical to a full sort-and-truncate.
-pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
+/// The `k` nearest neighbours of a prepared query within `radius`, in
+/// canonical (distance, index) order.
+pub(crate) fn knn_scan<S: Symbol>(
     db: &[Vec<S>],
-    query: &[S],
-    dist: &D,
+    prepared: &dyn PreparedQuery<S>,
     k: usize,
+    radius: f64,
 ) -> (Vec<Neighbour>, SearchStats) {
     let stats = SearchStats {
         distance_computations: db.len() as u64,
@@ -82,23 +77,28 @@ pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
     if k == 0 {
         return (Vec::new(), stats);
     }
-    let prepared = dist.prepare(query);
     // Current k best, kept sorted by the canonical (distance, index)
     // ordering — the same rule every other search path uses, so equal-
     // distance ties always resolve to the smallest database index and
     // the k-th boundary admits d == kth only to be truncated away:
     // exactly the sort-and-truncate outcome, independent of visit
-    // order.
+    // order. Until k in-radius elements are known, the admission
+    // budget is the radius itself.
     let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
     for (i, item) in db.iter().enumerate() {
         let budget = if best.len() < k {
-            f64::INFINITY
+            radius
         } else {
             best[k - 1].distance
         };
         let Some(d) = prepared.distance_to_bounded(item, budget) else {
             continue;
         };
+        // A rejected bounded evaluation can surface as +inf; it must
+        // never enter the result set, even at an infinite radius.
+        if !d.is_finite() {
+            continue;
+        }
         let candidate = Neighbour {
             index: i,
             distance: d,
@@ -112,9 +112,172 @@ pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
     (best, stats)
 }
 
-/// [`linear_nn`] for a batch of queries, parallelised across queries;
+/// Every element within `radius` (inclusive) of a prepared query, in
+/// canonical order.
+pub(crate) fn range_scan<S: Symbol>(
+    db: &[Vec<S>],
+    prepared: &dyn PreparedQuery<S>,
+    radius: f64,
+) -> (Vec<Neighbour>, SearchStats) {
+    let mut hits: Vec<Neighbour> = Vec::new();
+    for (i, item) in db.iter().enumerate() {
+        if let Some(d) = prepared.distance_to_bounded(item, radius) {
+            if d.is_finite() {
+                hits.push(Neighbour {
+                    index: i,
+                    distance: d,
+                });
+            }
+        }
+    }
+    hits.sort_by(|a, b| a.ordering(b));
+    (
+        hits,
+        SearchStats {
+            distance_computations: db.len() as u64,
+        },
+    )
+}
+
+/// The exhaustive-scan [`MetricIndex`]: no preprocessing, `n` distance
+/// computations per query, correct for any distance (metric or not).
+/// The correctness oracle every other backend is tested against.
+pub struct LinearIndex<S: Symbol> {
+    db: Vec<Vec<S>>,
+}
+
+impl<S: Symbol> LinearIndex<S> {
+    /// Wrap a database for exhaustive scanning (no preprocessing).
+    pub fn new(db: Vec<Vec<S>>) -> LinearIndex<S> {
+        LinearIndex { db }
+    }
+
+    /// The database the index scans.
+    pub fn database(&self) -> &[Vec<S>] {
+        &self.db
+    }
+
+    /// Unwrap back into the database.
+    pub fn into_database(self) -> Vec<Vec<S>> {
+        self.db
+    }
+}
+
+impl<S: Symbol> MetricIndex<S> for LinearIndex<S> {
+    fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        self.db.get(i).map(Vec::as_slice)
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (found, stats) = nn_scan(&self.db, &*prepared, radius);
+        opts.record(stats);
+        Ok((found, stats))
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (best, stats) = knn_scan(&self.db, &*prepared, opts.k, radius);
+        opts.record(stats);
+        Ok((best, stats))
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (hits, stats) = range_scan(&self.db, &*prepared, radius);
+        opts.record(stats);
+        Ok((hits, stats))
+    }
+}
+
+impl<S: Symbol> InsertableIndex<S> for LinearIndex<S> {
+    fn insert(&mut self, item: Vec<S>, _dist: &dyn Distance<S>) -> usize {
+        self.db.push(item);
+        self.db.len() - 1
+    }
+}
+
+/// Nearest neighbour of `query` in `db` by exhaustive scan.
+///
+/// Ties are broken towards the smallest database index (the canonical
+/// ordering of [`Neighbour::better_than`], shared with all backends).
+/// Returns `None` on an empty database.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LinearIndex::new(db)` with `MetricIndex::nn` (or the `cned::Database` facade)"
+)]
+pub fn linear_nn<S: Symbol, D: Distance<S> + ?Sized>(
+    db: &[Vec<S>],
+    query: &[S],
+    dist: &D,
+) -> Option<(Neighbour, SearchStats)> {
+    if db.is_empty() {
+        return None;
+    }
+    let prepared = dist.prepare(query);
+    let (found, stats) = nn_scan(db, &*prepared, f64::INFINITY);
+    found.map(|nb| (nb, stats))
+}
+
+/// The `k` nearest neighbours of `query` in `db`, sorted by increasing
+/// distance (ties towards smaller index). Returns fewer than `k`
+/// entries when the database is smaller than `k`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LinearIndex::new(db)` with `MetricIndex::knn` (or the `cned::Database` facade)"
+)]
+pub fn linear_knn<S: Symbol, D: Distance<S> + ?Sized>(
+    db: &[Vec<S>],
+    query: &[S],
+    dist: &D,
+    k: usize,
+) -> (Vec<Neighbour>, SearchStats) {
+    let prepared = dist.prepare(query);
+    knn_scan(db, &*prepared, k, f64::INFINITY)
+}
+
+/// `linear_nn` for a batch of queries, parallelised across queries;
 /// each worker prepares its query once. Returns `None` on an empty
 /// database (mirroring the single-query API).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LinearIndex::new(db)` with `MetricIndex::nn_batch` (or the `cned::Database` facade)"
+)]
 pub fn linear_nn_batch<S: Symbol, D: Distance<S> + ?Sized>(
     db: &[Vec<S>],
     queries: &[Vec<S>],
@@ -124,22 +287,36 @@ pub fn linear_nn_batch<S: Symbol, D: Distance<S> + ?Sized>(
         return None;
     }
     Some(par_map(queries.len(), |q| {
-        linear_nn(db, &queries[q], dist).expect("database checked non-empty")
+        let prepared = dist.prepare(&queries[q]);
+        let (found, stats) = nn_scan(db, &*prepared, f64::INFINITY);
+        (found.expect("database checked non-empty"), stats)
     }))
 }
 
-/// [`linear_knn`] for a batch of queries, parallelised across queries.
+/// `linear_knn` for a batch of queries, parallelised across queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LinearIndex::new(db)` with `MetricIndex::knn_batch` (or the `cned::Database` facade)"
+)]
 pub fn linear_knn_batch<S: Symbol, D: Distance<S> + ?Sized>(
     db: &[Vec<S>],
     queries: &[Vec<S>],
     dist: &D,
     k: usize,
 ) -> Vec<(Vec<Neighbour>, SearchStats)> {
-    par_map(queries.len(), |q| linear_knn(db, &queries[q], dist, k))
+    par_map(queries.len(), |q| {
+        let prepared = dist.prepare(&queries[q]);
+        knn_scan(db, &*prepared, k, f64::INFINITY)
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions stay pinned by these tests until
+    // the forwarders are removed; they share their cores with
+    // `LinearIndex`, so this also covers the trait path's scan logic.
+    #![allow(deprecated)]
+
     use super::*;
     use cned_core::levenshtein::Levenshtein;
 
@@ -166,9 +343,103 @@ mod tests {
     }
 
     #[test]
+    fn empty_db_is_a_typed_error_through_the_trait() {
+        let idx: LinearIndex<u8> = LinearIndex::new(Vec::new());
+        let opts = QueryOptions::new();
+        assert_eq!(
+            idx.nn(b"x", &Levenshtein, &opts).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+        assert_eq!(
+            idx.knn(b"x", &Levenshtein, &opts).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+        assert_eq!(
+            idx.range(b"x", &Levenshtein, &opts).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+        assert_eq!(
+            idx.nn_batch(&[b"x".to_vec()], &Levenshtein, &opts)
+                .unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+    }
+
+    #[test]
+    fn invalid_radius_is_rejected() {
+        let idx = LinearIndex::new(db());
+        for r in [f64::NAN, -1.0] {
+            let opts = QueryOptions::new().radius(r);
+            assert!(matches!(
+                idx.nn(b"casa", &Levenshtein, &opts),
+                Err(SearchError::InvalidRadius { .. })
+            ));
+            assert!(matches!(
+                idx.range(b"casa", &Levenshtein, &opts),
+                Err(SearchError::InvalidRadius { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn trait_nn_matches_free_function() {
+        let idx = LinearIndex::new(db());
+        let opts = QueryOptions::new();
+        for q in [&b"casa"[..], b"tazas", b"", b"mesa"] {
+            let (legacy, lstats) = linear_nn(idx.database(), q, &Levenshtein).unwrap();
+            let (nb, stats) = idx.nn(q, &Levenshtein, &opts).unwrap();
+            let nb = nb.unwrap();
+            assert_eq!(
+                (nb.index, nb.distance.to_bits()),
+                (legacy.index, legacy.distance.to_bits())
+            );
+            assert_eq!(stats, lstats);
+        }
+    }
+
+    #[test]
+    fn radius_seed_prunes_and_excludes() {
+        let idx = LinearIndex::new(db());
+        // "cesa" is at distance 1 from both "casa" and "cosa" and from
+        // "cesta"; radius 0.5 excludes everything.
+        let (none, stats) = idx
+            .nn(b"cesa", &Levenshtein, &QueryOptions::new().radius(0.5))
+            .unwrap();
+        assert!(none.is_none());
+        assert_eq!(stats.distance_computations, 5);
+        // Radius exactly at the best distance still admits (inclusive).
+        let (at, _) = idx
+            .nn(b"cesa", &Levenshtein, &QueryOptions::new().radius(1.0))
+            .unwrap();
+        assert_eq!(at.unwrap().index, 0);
+    }
+
+    #[test]
+    fn range_returns_all_members_within_radius() {
+        let idx = LinearIndex::new(db());
+        let (hits, stats) = idx
+            .range(b"casa", &Levenshtein, &QueryOptions::new().radius(1.0))
+            .unwrap();
+        // casa (0), cosa (1), masa (2) at d<=1; taza d=2, cesta d=2.
+        let got: Vec<(usize, f64)> = hits.iter().map(|n| (n.index, n.distance)).collect();
+        assert_eq!(got, vec![(0, 0.0), (1, 1.0), (2, 1.0)]);
+        assert_eq!(stats.distance_computations, 5);
+        // Radius 0: exact matches only.
+        let (exact, _) = idx
+            .range(b"casa", &Levenshtein, &QueryOptions::new().radius(0.0))
+            .unwrap();
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].index, 0);
+        // Infinite radius: the whole database, canonically ordered.
+        let (all, _) = idx
+            .range(b"casa", &Levenshtein, &QueryOptions::new())
+            .unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(all.windows(2).all(|w| w[0].ordering(&w[1]).is_le()));
+    }
+
+    #[test]
     fn tie_breaks_to_first_index() {
-        // "casa" and "cosa" are both at distance 1 from "cysa"... make
-        // a clean tie: query "c?sa" pattern equidistant from both.
         let db: Vec<Vec<u8>> = vec![b"aa".to_vec(), b"bb".to_vec()];
         let (nn, _) = linear_nn(&db, b"ab", &Levenshtein).unwrap();
         assert_eq!(nn.index, 0);
@@ -211,28 +482,18 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "NaN")]
     fn nan_distance_asserts_in_debug() {
-        // NaN at the first scanned element: caught by the unbounded
-        // call site's sanitise_distance guard.
+        // NaN flows through distance_to_bounded; the default
+        // Distance::distance_bounded impl asserts there.
         let db: Vec<Vec<u8>> = vec![b"ab".to_vec(), b"zz".to_vec()];
-        let _ = linear_nn(&db, b"zz", &BrokenCostTable);
-    }
-
-    #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "NaN")]
-    fn nan_distance_asserts_in_debug_on_bounded_path() {
-        // NaN away from position 0 flows through distance_to_bounded;
-        // the default Distance::distance_bounded impl asserts there.
-        let db: Vec<Vec<u8>> = vec![b"zz".to_vec(), b"ab".to_vec()];
         let _ = linear_nn(&db, b"zz", &BrokenCostTable);
     }
 
     #[test]
     #[cfg(not(debug_assertions))]
     fn nan_distance_never_wins_in_release() {
-        // The documented total_cmp fallback: NaN orders after +inf, so
-        // the poisoned comparison is treated as infinitely far and the
-        // genuine zero-distance match still wins.
+        // The NaN comparison fails the bounded admission (NaN <= bound
+        // is false), so the poisoned candidate is simply skipped and
+        // the genuine zero-distance match still wins.
         let db: Vec<Vec<u8>> = vec![b"ab".to_vec(), b"zz".to_vec()];
         let (nn, _) = linear_nn(&db, b"zz", &BrokenCostTable).unwrap();
         assert_eq!(nn.index, 1);
@@ -278,31 +539,65 @@ mod tests {
     fn knn_zero_is_empty() {
         let (nns, _) = linear_knn(&db(), b"casa", &Levenshtein, 0);
         assert!(nns.is_empty());
+        let idx = LinearIndex::new(db());
+        let (nns, _) = idx
+            .knn(b"casa", &Levenshtein, &QueryOptions::new().k(0))
+            .unwrap();
+        assert!(nns.is_empty());
+    }
+
+    #[test]
+    fn insert_extends_the_scan() {
+        let mut idx = LinearIndex::new(db());
+        let at = InsertableIndex::insert(&mut idx, b"mesa".to_vec(), &Levenshtein);
+        assert_eq!(at, 5);
+        let (nb, _) = idx.nn(b"mesa", &Levenshtein, &QueryOptions::new()).unwrap();
+        let nb = nb.unwrap();
+        assert_eq!((nb.index, nb.distance), (5, 0.0));
+        assert_eq!(idx.item(5), Some(&b"mesa"[..]));
+        assert_eq!(idx.item(6), None);
     }
 
     #[test]
     fn batch_matches_single_queries() {
         let db = db();
+        let idx = LinearIndex::new(db.clone());
+        let opts = QueryOptions::new().threads(3);
         let queries: Vec<Vec<u8>> = vec![
             b"casa".to_vec(),
             b"tazas".to_vec(),
             b"".to_vec(),
             b"mesa".to_vec(),
         ];
-        let batch = linear_nn_batch(&db, &queries, &Levenshtein).unwrap();
+        let batch = idx.nn_batch(&queries, &Levenshtein, &opts).unwrap();
         assert_eq!(batch.len(), queries.len());
         for (q, (nn, stats)) in queries.iter().zip(&batch) {
-            let (snn, sstats) = linear_nn(&db, q, &Levenshtein).unwrap();
+            let (snn, sstats) = idx.nn(q, &Levenshtein, &opts).unwrap();
+            let (nn, snn) = (nn.unwrap(), snn.unwrap());
             assert_eq!(nn.index, snn.index, "query {q:?}");
             assert_eq!(nn.distance, snn.distance);
             assert_eq!(stats.distance_computations, sstats.distance_computations);
         }
-        let kbatch = linear_knn_batch(&db, &queries, &Levenshtein, 2);
+        let kbatch = idx
+            .knn_batch(&queries, &Levenshtein, &QueryOptions::new().k(2))
+            .unwrap();
         for (q, (nns, _)) in queries.iter().zip(&kbatch) {
             let (snns, _) = linear_knn(&db, q, &Levenshtein, 2);
             let bd: Vec<(usize, f64)> = nns.iter().map(|n| (n.index, n.distance)).collect();
             let sd: Vec<(usize, f64)> = snns.iter().map(|n| (n.index, n.distance)).collect();
             assert_eq!(bd, sd, "query {q:?}");
         }
+    }
+
+    #[test]
+    fn stats_sink_accumulates_across_a_batch() {
+        use crate::SearchStatsAtomic;
+        use std::sync::Arc;
+        let idx = LinearIndex::new(db());
+        let sink = Arc::new(SearchStatsAtomic::new());
+        let opts = QueryOptions::new().stats_sink(sink.clone());
+        let queries: Vec<Vec<u8>> = vec![b"casa".to_vec(), b"mesa".to_vec()];
+        idx.nn_batch(&queries, &Levenshtein, &opts).unwrap();
+        assert_eq!(sink.snapshot().distance_computations, 10);
     }
 }

@@ -20,8 +20,10 @@
 //! `O(n)` bookkeeping — the trade-off the paper's discussion of \[1\]
 //! alludes to.
 
-use crate::{Neighbour, SearchStats};
-use cned_core::metric::Distance;
+use crate::error::SearchError;
+use crate::index::{MetricIndex, QueryOptions};
+use crate::{sanitise_distance, Neighbour, SearchStats};
+use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
 struct Node {
@@ -107,46 +109,71 @@ impl<S: Symbol> VpTree<S> {
     }
 
     /// Nearest neighbour of `query`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
         dist: &D,
     ) -> Option<(Neighbour, SearchStats)> {
-        let root = self.root.as_ref()?;
-        // Prepared once per query (Myers Peq cache for d_E); every
-        // vantage-point comparison during the descent reuses it.
+        if self.db.is_empty() {
+            return None;
+        }
         let prepared = dist.prepare(query);
+        let (found, stats) = self.nn_prepared(&*prepared, f64::INFINITY);
+        found.map(|nb| (nb, stats))
+    }
+
+    /// Nearest neighbour **within `radius`** of an already-prepared
+    /// query (`None` when nothing lies within it; statistics returned
+    /// either way). Ties resolve to the smallest database index, the
+    /// canonical ordering shared with every other backend.
+    pub fn nn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Option<Neighbour>, SearchStats) {
         let mut best = Neighbour {
             index: usize::MAX,
-            distance: f64::INFINITY,
+            distance: radius,
         };
         let mut computations = 0u64;
-        self.search(root, &*prepared, &mut best, &mut computations);
-        Some((
-            best,
+        if let Some(root) = self.root.as_ref() {
+            self.search(root, prepared, &mut best, &mut computations);
+        }
+        let found = (best.index != usize::MAX).then_some(best);
+        (
+            found,
             SearchStats {
                 distance_computations: computations,
             },
-        ))
+        )
     }
 
     fn search(
         &self,
         node: &Node,
-        prepared: &dyn cned_core::metric::PreparedQuery<S>,
+        prepared: &dyn PreparedQuery<S>,
         best: &mut Neighbour,
         computations: &mut u64,
     ) {
-        let d = prepared.distance_to(&self.db[node.vantage]);
+        // Vantage distances stay exact: their values drive the descent
+        // decisions, not just the incumbent comparison.
+        let d = sanitise_distance(prepared.distance_to(&self.db[node.vantage]));
         *computations += 1;
-        if d < best.distance {
-            *best = Neighbour {
-                index: node.vantage,
-                distance: d,
-            };
+        let candidate = Neighbour {
+            index: node.vantage,
+            distance: d,
+        };
+        if candidate.better_than(best) {
+            *best = candidate;
         }
         // Visit the more promising side first; prune with the triangle
-        // inequality against the (possibly improved) best.
+        // inequality against the (possibly improved) best. The slack
+        // mirrors LAESA/AESA elimination: float rounding must only ever
+        // *admit* extra subtrees, never drop an exact tie.
         let (first, second) = if d <= node.radius {
             (&node.inside, &node.outside)
         } else {
@@ -160,20 +187,220 @@ impl<S: Symbol> VpTree<S> {
         if let Some(child) = second {
             let crosses = if d <= node.radius {
                 // Second = outside: reachable iff d + best >= radius.
-                d + best.distance >= node.radius
+                d + best.distance >= node.radius - crate::ELIMINATION_SLACK
             } else {
                 // Second = inside: reachable iff d - best <= radius.
-                d - best.distance <= node.radius
+                d - best.distance <= node.radius + crate::ELIMINATION_SLACK
             };
             if crosses {
                 self.search(child, prepared, best, computations);
             }
         }
     }
+
+    /// The `k` nearest neighbours **within `radius`** of an
+    /// already-prepared query, in canonical order. Pruning uses the
+    /// running `k`-th-best distance (the admission radius while fewer
+    /// than `k` are known).
+    pub fn knn_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
+        let mut computations = 0u64;
+        if k > 0 {
+            if let Some(root) = self.root.as_ref() {
+                self.search_knn(root, prepared, k, radius, &mut best, &mut computations);
+            }
+        }
+        (
+            best,
+            SearchStats {
+                distance_computations: computations,
+            },
+        )
+    }
+
+    fn search_knn(
+        &self,
+        node: &Node,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+        best: &mut Vec<Neighbour>,
+        computations: &mut u64,
+    ) {
+        let kth = |best: &Vec<Neighbour>| -> f64 {
+            if best.len() < k {
+                radius
+            } else {
+                best[k - 1].distance
+            }
+        };
+        let d = sanitise_distance(prepared.distance_to(&self.db[node.vantage]));
+        *computations += 1;
+        if d.is_finite() && d <= radius {
+            let candidate = Neighbour {
+                index: node.vantage,
+                distance: d,
+            };
+            let pos = best
+                .binary_search_by(|nb| nb.ordering(&candidate))
+                .unwrap_or_else(|e| e);
+            best.insert(pos, candidate);
+            best.truncate(k);
+        }
+        let (first, second) = if d <= node.radius {
+            (&node.inside, &node.outside)
+        } else {
+            (&node.outside, &node.inside)
+        };
+        if let Some(child) = first {
+            self.search_knn(child, prepared, k, radius, best, computations);
+        }
+        if let Some(child) = second {
+            let bound = kth(best);
+            let crosses = if d <= node.radius {
+                d + bound >= node.radius - crate::ELIMINATION_SLACK
+            } else {
+                d - bound <= node.radius + crate::ELIMINATION_SLACK
+            };
+            if crosses {
+                self.search_knn(child, prepared, k, radius, best, computations);
+            }
+        }
+    }
+
+    /// Every element **within `radius`** (inclusive) of an
+    /// already-prepared query, in canonical order. A subtree is
+    /// visited only when the query ball can intersect its region:
+    /// *inside* requires `d(q, vp) − radius <= node.radius`, *outside*
+    /// requires `d(q, vp) + radius >= node.radius`.
+    pub fn range_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Vec<Neighbour>, SearchStats) {
+        let mut hits: Vec<Neighbour> = Vec::new();
+        let mut computations = 0u64;
+        if let Some(root) = self.root.as_ref() {
+            self.search_range(root, prepared, radius, &mut hits, &mut computations);
+        }
+        hits.sort_by(|a, b| a.ordering(b));
+        (
+            hits,
+            SearchStats {
+                distance_computations: computations,
+            },
+        )
+    }
+
+    fn search_range(
+        &self,
+        node: &Node,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+        hits: &mut Vec<Neighbour>,
+        computations: &mut u64,
+    ) {
+        let d = sanitise_distance(prepared.distance_to(&self.db[node.vantage]));
+        *computations += 1;
+        if d.is_finite() && d <= radius {
+            hits.push(Neighbour {
+                index: node.vantage,
+                distance: d,
+            });
+        }
+        if let Some(child) = &node.inside {
+            // Anything inside is within node.radius of the vantage
+            // point, so its distance to q is at least d - node.radius.
+            if d - radius <= node.radius + crate::ELIMINATION_SLACK {
+                self.search_range(child, prepared, radius, hits, computations);
+            }
+        }
+        if let Some(child) = &node.outside {
+            // Anything outside is beyond node.radius of the vantage
+            // point, so its distance to q exceeds node.radius - d.
+            if d + radius >= node.radius - crate::ELIMINATION_SLACK {
+                self.search_range(child, prepared, radius, hits, computations);
+            }
+        }
+    }
+}
+
+impl<S: Symbol> MetricIndex<S> for VpTree<S> {
+    fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "vptree"
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        self.db.get(i).map(Vec::as_slice)
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        // Prepared once per query (Myers Peq cache for d_E); every
+        // vantage-point comparison during the descent reuses it.
+        let prepared = dist.prepare(query);
+        let (found, stats) = self.nn_prepared(&*prepared, radius);
+        opts.record(stats);
+        Ok((found, stats))
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (best, stats) = self.knn_prepared(&*prepared, opts.k, radius);
+        opts.record(stats);
+        Ok((best, stats))
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.db.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let prepared = dist.prepare(query);
+        let (hits, stats) = self.range_prepared(&*prepared, radius);
+        opts.record(stats);
+        Ok((hits, stats))
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the deprecated forwarders' behaviour (they share
+    // cores with the MetricIndex path) until the legacy surface is
+    // removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::linear::linear_nn;
     use cned_core::contextual::heuristic::ContextualHeuristic;
@@ -273,5 +500,69 @@ mod tests {
         let t = VpTree::build(db, &Levenshtein);
         let (nn, _) = t.nn(&probe, &Levenshtein).unwrap();
         assert_eq!(nn.distance, 0.0);
+    }
+
+    #[test]
+    fn knn_and_range_match_linear_oracles() {
+        let db = corpus(150, 9, 3, 97);
+        let queries = corpus(20, 9, 3, 971);
+        let t = VpTree::build(db.clone(), &Levenshtein);
+        for q in &queries {
+            let prepared = cned_core::metric::Distance::<u8>::prepare(&Levenshtein, q);
+            let mut all: Vec<(usize, f64)> = db
+                .iter()
+                .enumerate()
+                .map(|(i, item)| (i, prepared.distance_to(item)))
+                .collect();
+            all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            let (knn, _) = t.knn(q, &Levenshtein, &QueryOptions::new().k(5)).unwrap();
+            let got: Vec<(usize, f64)> = knn.iter().map(|n| (n.index, n.distance)).collect();
+            assert_eq!(got, all[..5].to_vec(), "query {q:?}");
+            for radius in [0.0, 1.0, 3.0] {
+                let oracle: Vec<(usize, f64)> =
+                    all.iter().copied().filter(|&(_, d)| d <= radius).collect();
+                let (hits, stats) = t
+                    .range(q, &Levenshtein, &QueryOptions::new().radius(radius))
+                    .unwrap();
+                let got: Vec<(usize, f64)> = hits.iter().map(|n| (n.index, n.distance)).collect();
+                assert_eq!(got, oracle, "query {q:?} radius {radius}");
+                assert!(stats.distance_computations <= db.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn nn_tie_breaks_to_smallest_index_with_duplicates() {
+        // Duplicated strings guarantee ties; the tree's visit order is
+        // structural, so agreement with the linear scan proves the
+        // canonical (distance, index) tie-break, not luck.
+        let mut db = corpus(60, 6, 2, 101);
+        let dups: Vec<Vec<u8>> = db.iter().take(10).cloned().collect();
+        db.extend(dups);
+        let t = VpTree::build(db.clone(), &Levenshtein);
+        for q in corpus(15, 6, 2, 1011) {
+            let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+            let (found, _) = MetricIndex::nn(&t, &q, &Levenshtein, &QueryOptions::new()).unwrap();
+            let nn = found.unwrap();
+            assert_eq!(nn.index, lin.index, "query {q:?}");
+            assert_eq!(nn.distance.to_bits(), lin.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn radius_seed_excludes_far_neighbours() {
+        let db = corpus(80, 8, 3, 103);
+        let t = VpTree::build(db.clone(), &Levenshtein);
+        for q in corpus(8, 8, 3, 1031) {
+            let prepared = cned_core::metric::Distance::<u8>::prepare(&Levenshtein, &q);
+            let (nb, _) = t.nn_prepared(&*prepared, f64::INFINITY);
+            let nb = nb.unwrap();
+            let (at, _) = t.nn_prepared(&*prepared, nb.distance);
+            assert_eq!(at.unwrap().index, nb.index);
+            if nb.distance > 0.0 {
+                let (below, _) = t.nn_prepared(&*prepared, nb.distance - 0.5);
+                assert!(below.is_none(), "query {q:?}");
+            }
+        }
     }
 }

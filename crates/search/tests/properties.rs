@@ -1,16 +1,19 @@
-//! Property-based tests for the search engines: LAESA and AESA must
-//! agree with exhaustive scan on *any* database under a metric
-//! distance, for any pivot configuration.
+//! Property-based tests for the search engines, driven through the
+//! unified [`MetricIndex`] trait: LAESA, AESA and the vp-tree must
+//! agree with the exhaustive [`LinearIndex`] oracle on *any* database
+//! under a metric distance, for any pivot configuration — for nearest
+//! neighbour, k-NN and range search alike.
 
 use cned_core::contextual::exact::Contextual;
 use cned_core::levenshtein::Levenshtein;
-use cned_core::metric::Unpruned;
+use cned_core::metric::{Distance, Unpruned};
 use cned_core::normalized::yujian_bo::YujianBo;
 use cned_search::aesa::Aesa;
 use cned_search::laesa::Laesa;
-use cned_search::linear::{linear_knn, linear_nn};
+use cned_search::linear::LinearIndex;
 use cned_search::pivots::{select_pivots_max_sum, select_pivots_random};
 use cned_search::vptree::VpTree;
+use cned_search::{MetricIndex, Neighbour, QueryOptions};
 use proptest::prelude::*;
 
 fn word() -> impl Strategy<Value = Vec<u8>> {
@@ -19,6 +22,17 @@ fn word() -> impl Strategy<Value = Vec<u8>> {
 
 fn database() -> impl Strategy<Value = Vec<Vec<u8>>> {
     proptest::collection::vec(word(), 2..=40)
+}
+
+fn nn_of(
+    index: &dyn MetricIndex<u8>,
+    q: &[u8],
+    dist: &dyn Distance<u8>,
+) -> (Neighbour, cned_search::SearchStats) {
+    let (found, stats) = index
+        .nn(q, dist, &QueryOptions::new())
+        .expect("non-empty database");
+    (found.expect("infinite radius always finds"), stats)
 }
 
 proptest! {
@@ -31,9 +45,10 @@ proptest! {
         n_pivots in 0usize..=10,
     ) {
         let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Levenshtein);
-        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
-        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
-        let (nn, stats) = index.nn(&q, &Levenshtein).unwrap();
+        let index = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let oracle = LinearIndex::new(db.clone());
+        let (lin, _) = nn_of(&oracle, &q, &Levenshtein);
+        let (nn, stats) = nn_of(&index, &q, &Levenshtein);
         prop_assert_eq!(nn.distance, lin.distance);
         prop_assert!(stats.distance_computations >= 1);
         prop_assert!(stats.distance_computations <= db.len() as u64);
@@ -48,9 +63,10 @@ proptest! {
     ) {
         // Pivot *quality* affects cost, never correctness.
         let pivots = select_pivots_random(db.len(), n_pivots, seed);
-        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
-        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
-        let (nn, _) = index.nn(&q, &Levenshtein).unwrap();
+        let index = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &Levenshtein);
+        let (nn, _) = nn_of(&index, &q, &Levenshtein);
         prop_assert_eq!(nn.distance, lin.distance);
     }
 
@@ -61,17 +77,19 @@ proptest! {
         n_pivots in 0usize..=8,
     ) {
         let pivots = select_pivots_max_sum(&db, n_pivots, 0, &YujianBo);
-        let index = Laesa::build(db.clone(), pivots, &YujianBo);
-        let (lin, _) = linear_nn(&db, &q, &YujianBo).unwrap();
-        let (nn, _) = index.nn(&q, &YujianBo).unwrap();
+        let index = Laesa::try_build(db.clone(), pivots, &YujianBo).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &YujianBo);
+        let (nn, _) = nn_of(&index, &q, &YujianBo);
         prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
     }
 
     #[test]
     fn aesa_matches_linear_scan(db in database(), q in word()) {
         let index = Aesa::build(db.clone(), &Levenshtein);
-        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
-        let (nn, stats) = index.nn(&q, &Levenshtein).unwrap();
+        let oracle = LinearIndex::new(db.clone());
+        let (lin, _) = nn_of(&oracle, &q, &Levenshtein);
+        let (nn, stats) = nn_of(&index, &q, &Levenshtein);
         prop_assert_eq!(nn.distance, lin.distance);
         prop_assert!(stats.distance_computations <= db.len() as u64);
     }
@@ -84,36 +102,41 @@ proptest! {
         n_pivots in 0usize..=8,
     ) {
         let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Levenshtein);
-        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
-        let (lin, _) = linear_knn(&db, &q, &Levenshtein, k);
-        let (knn, _) = index.knn(&q, &Levenshtein, k);
+        let index = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let oracle = LinearIndex::new(db);
+        let opts = QueryOptions::new().k(k);
+        let (lin, _) = oracle.knn(&q, &Levenshtein, &opts).unwrap();
+        let (knn, _) = MetricIndex::knn(&index, &q, &Levenshtein, &opts).unwrap();
         let ld: Vec<f64> = lin.iter().map(|n| n.distance).collect();
         let kd: Vec<f64> = knn.iter().map(|n| n.distance).collect();
         prop_assert_eq!(ld, kd);
     }
 
     #[test]
-    fn nn_limited_prefixes_are_consistent(
+    fn pivot_budget_prefixes_are_consistent(
         db in database(),
         q in word(),
     ) {
-        // All prefix limits return the same (correct) distance; the
+        // All prefix budgets return the same (correct) distance; the
         // computation count is what varies.
         let n_piv = (db.len() / 3).max(1);
         let pivots = select_pivots_max_sum(&db, n_piv, 0, &Levenshtein);
-        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
-        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
+        let index = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &Levenshtein);
         for limit in 0..=n_piv {
-            let (nn, _) = index.nn_limited(&q, &Levenshtein, limit).unwrap();
-            prop_assert_eq!(nn.distance, lin.distance, "limit {}", limit);
+            let opts = QueryOptions::new().pivot_budget(limit);
+            let (nn, _) = MetricIndex::nn(&index, &q, &Levenshtein, &opts).unwrap();
+            prop_assert_eq!(nn.unwrap().distance, lin.distance, "limit {}", limit);
         }
     }
 
     #[test]
     fn vptree_matches_linear_scan(db in database(), q in word()) {
         let tree = VpTree::build(db.clone(), &Levenshtein);
-        let (lin, _) = linear_nn(&db, &q, &Levenshtein).unwrap();
-        let (nn, stats) = tree.nn(&q, &Levenshtein).unwrap();
+        let oracle = LinearIndex::new(db.clone());
+        let (lin, _) = nn_of(&oracle, &q, &Levenshtein);
+        let (nn, stats) = nn_of(&tree, &q, &Levenshtein);
         prop_assert_eq!(nn.distance, lin.distance);
         prop_assert!(stats.distance_computations <= db.len() as u64);
     }
@@ -121,8 +144,9 @@ proptest! {
     #[test]
     fn vptree_matches_linear_scan_under_yujian_bo(db in database(), q in word()) {
         let tree = VpTree::build(db.clone(), &YujianBo);
-        let (lin, _) = linear_nn(&db, &q, &YujianBo).unwrap();
-        let (nn, _) = tree.nn(&q, &YujianBo).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &YujianBo);
+        let (nn, _) = nn_of(&tree, &q, &YujianBo);
         prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
     }
 
@@ -136,9 +160,10 @@ proptest! {
         // band-pruned bounded engine must still return the linear-scan
         // neighbour — elimination plus engine gating lose nothing.
         let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Contextual);
-        let index = Laesa::build(db.clone(), pivots, &Contextual);
-        let (lin, _) = linear_nn(&db, &q, &Contextual).unwrap();
-        let (nn, _) = index.nn(&q, &Contextual).unwrap();
+        let index = Laesa::try_build(db.clone(), pivots, &Contextual).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &Contextual);
+        let (nn, _) = nn_of(&index, &q, &Contextual);
         prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
     }
 
@@ -151,12 +176,14 @@ proptest! {
         // The engine hooks must be invisible in the results: linear
         // scans (nn and k-NN) with the pruned d_C engine return exactly
         // what the full-evaluation baseline returns.
-        let (fast, _) = linear_nn(&db, &q, &Contextual).unwrap();
-        let (slow, _) = linear_nn(&db, &q, &Unpruned(Contextual)).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (fast, _) = nn_of(&oracle, &q, &Contextual);
+        let (slow, _) = nn_of(&oracle, &q, &Unpruned(Contextual));
         prop_assert_eq!(fast.index, slow.index);
         prop_assert_eq!(fast.distance, slow.distance);
-        let (fast_k, _) = linear_knn(&db, &q, &Contextual, k);
-        let (slow_k, _) = linear_knn(&db, &q, &Unpruned(Contextual), k);
+        let opts = QueryOptions::new().k(k);
+        let (fast_k, _) = oracle.knn(&q, &Contextual, &opts).unwrap();
+        let (slow_k, _) = oracle.knn(&q, &Unpruned(Contextual), &opts).unwrap();
         let fk: Vec<(usize, f64)> = fast_k.iter().map(|n| (n.index, n.distance)).collect();
         let sk: Vec<(usize, f64)> = slow_k.iter().map(|n| (n.index, n.distance)).collect();
         prop_assert_eq!(fk, sk);
@@ -165,16 +192,18 @@ proptest! {
     #[test]
     fn vptree_matches_linear_scan_under_contextual(db in database(), q in word()) {
         let tree = VpTree::build(db.clone(), &Contextual);
-        let (lin, _) = linear_nn(&db, &q, &Contextual).unwrap();
-        let (nn, _) = tree.nn(&q, &Contextual).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &Contextual);
+        let (nn, _) = nn_of(&tree, &q, &Contextual);
         prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
     }
 
     #[test]
     fn aesa_matches_linear_scan_under_contextual(db in database(), q in word()) {
         let index = Aesa::build(db.clone(), &Contextual);
-        let (lin, _) = linear_nn(&db, &q, &Contextual).unwrap();
-        let (nn, _) = index.nn(&q, &Contextual).unwrap();
+        let oracle = LinearIndex::new(db);
+        let (lin, _) = nn_of(&oracle, &q, &Contextual);
+        let (nn, _) = nn_of(&index, &q, &Contextual);
         prop_assert!((nn.distance - lin.distance).abs() < 1e-12);
     }
 
@@ -182,8 +211,78 @@ proptest! {
     fn member_queries_return_distance_zero(db in database(), idx in 0usize..40) {
         let probe = db[idx % db.len()].clone();
         let pivots = select_pivots_max_sum(&db, 4.min(db.len()), 0, &Levenshtein);
-        let index = Laesa::build(db.clone(), pivots, &Levenshtein);
-        let (nn, _) = index.nn(&probe, &Levenshtein).unwrap();
+        let index = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let (nn, _) = nn_of(&index, &probe, &Levenshtein);
         prop_assert_eq!(nn.distance, 0.0);
+    }
+
+    #[test]
+    fn range_search_agrees_across_all_backends(
+        db in database(),
+        q in word(),
+        n_pivots in 0usize..=8,
+        radius_steps in 0u32..=8,
+    ) {
+        // Every backend must return exactly the linear-scan filter at
+        // any radius — members, distances and canonical order — for
+        // both an integer metric (d_E) and a real-valued one (d_YB,
+        // where exact radius ties exercise the elimination slack).
+        let radius = radius_steps as f64 * 0.5;
+        let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Levenshtein);
+        let laesa = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let aesa = Aesa::build(db.clone(), &Levenshtein);
+        let tree = VpTree::build(db.clone(), &Levenshtein);
+        let oracle = LinearIndex::new(db.clone());
+        let opts = QueryOptions::new().radius(radius);
+        let key = |ns: &[Neighbour]| -> Vec<(usize, u64)> {
+            ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+        };
+        let (expected, _) = oracle.range(&q, &Levenshtein, &opts).unwrap();
+        let backends: [&dyn MetricIndex<u8>; 3] = [&laesa, &aesa, &tree];
+        for backend in backends {
+            let (hits, _) = backend.range(&q, &Levenshtein, &opts).unwrap();
+            prop_assert_eq!(
+                key(&hits),
+                key(&expected),
+                "backend {} radius {}",
+                backend.backend_name(),
+                radius
+            );
+        }
+        // Real-valued metric, radius picked at an achieved distance so
+        // exact ties sit on the boundary.
+        let yb_radius = YujianBo.distance(&q, &db[0]);
+        let yb_opts = QueryOptions::new().radius(yb_radius);
+        let yb_pivots = select_pivots_max_sum(&db, n_pivots, 0, &YujianBo);
+        let yb_laesa = Laesa::try_build(db.clone(), yb_pivots, &YujianBo).unwrap();
+        let (yb_expected, _) = oracle.range(&q, &YujianBo, &yb_opts).unwrap();
+        let (yb_hits, _) = yb_laesa.range(&q, &YujianBo, &yb_opts).unwrap();
+        prop_assert_eq!(key(&yb_hits), key(&yb_expected));
+        prop_assert!(yb_expected.iter().any(|n| n.index == 0), "boundary tie kept");
+    }
+
+    #[test]
+    fn radius_seeded_nn_is_a_pure_filter(
+        db in database(),
+        q in word(),
+        n_pivots in 0usize..=8,
+    ) {
+        // A radius seed may only switch the answer between "the true
+        // NN" (when within the radius) and "nothing" — never to a
+        // different neighbour.
+        let pivots = select_pivots_max_sum(&db, n_pivots, 0, &Levenshtein);
+        let index = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+        let (truth, _) = nn_of(&index, &q, &Levenshtein);
+        for radius in [0.0, 1.0, 2.0, 5.0] {
+            let opts = QueryOptions::new().radius(radius);
+            let (found, _) = MetricIndex::nn(&index, &q, &Levenshtein, &opts).unwrap();
+            if truth.distance <= radius {
+                let found = found.expect("true NN within radius must be found");
+                prop_assert_eq!(found.index, truth.index);
+                prop_assert_eq!(found.distance, truth.distance);
+            } else {
+                prop_assert!(found.is_none());
+            }
+        }
     }
 }

@@ -11,6 +11,12 @@
 //!   a queue of mixed query/insert requests, prepares each query once,
 //!   and dispatches per-query work chains across worker threads.
 //!
+//! Both plug into the unified query API: [`ShardedIndex`] implements
+//! [`cned_search::MetricIndex`] (NN / k-NN / **range** / batches, all
+//! through [`cned_search::QueryOptions`] with typed errors) and
+//! [`cned_search::InsertableIndex`], and [`QueryPipeline`] is generic
+//! over any insertable index — `ShardedIndex` is merely its default.
+//!
 //! ## The cross-shard bound-propagation invariant
 //!
 //! A query fans across shards **in shard order**, and the pruning

@@ -1,31 +1,40 @@
-//! [`QueryPipeline`] — a batch scheduler over a [`ShardedIndex`].
+//! [`QueryPipeline`] — a batch scheduler over any insertable
+//! [`MetricIndex`] (a [`ShardedIndex`] by default).
 //!
-//! Accepts a queue of mixed requests (NN / k-NN queries and inserts)
-//! and answers them with the semantics of strict in-order execution,
-//! while extracting all the parallelism that semantics allows:
+//! Accepts a queue of mixed requests (NN / k-NN / range queries and
+//! inserts) and answers them with the semantics of strict in-order
+//! execution, while extracting all the parallelism that semantics
+//! allows:
 //!
 //! * consecutive **queries** form a batch dispatched across
 //!   [`cned_search::workers_for`] worker threads. Workers *pull* work
 //!   from a shared atomic cursor (dynamic load balancing — an
 //!   expensive `d_C` query next to a cheap `d_E`-style one no longer
-//!   pins the batch to the slowest stride). The (query × shard) tasks
-//!   of one query form a dependency chain — shard `s + 1`'s pruning
-//!   radius is the best distance over shards `0..=s` — so a worker
-//!   that takes a query runs its whole chain, preparing the query
-//!   once ([`Distance::prepare`]) and reusing the prepared form
-//!   across every shard. This keeps results (neighbours, distances,
-//!   *and* per-query computation counts) bit-identical for any worker
-//!   count, because no query's pruning bound ever depends on another
-//!   query's progress;
+//!   pins the batch to the slowest stride). Each worker answers a
+//!   whole query through the index's [`MetricIndex`] entry point, so
+//!   per-query preparation (Myers `Peq` bitmaps, contextual scratch)
+//!   happens once and results (neighbours, distances, *and* per-query
+//!   computation counts) are bit-identical for any worker count;
 //! * an **insert** is a barrier: the running batch flushes, the item
-//!   lands in the index's delta shard (compacting into a fresh LAESA
-//!   shard at the configured threshold), and later queries observe
-//!   it — exactly the serial queue semantics.
+//!   lands in the index (for [`ShardedIndex`]: the delta shard,
+//!   compacting into a fresh LAESA shard at the configured threshold),
+//!   and later queries observe it — exactly the serial queue
+//!   semantics.
+//!
+//! Failures are part of the protocol: a request that cannot be
+//! answered (e.g. a NaN radius) produces a [`Response::Failed`]
+//! carrying the typed [`SearchError`] in its queue slot, instead of
+//! poisoning the batch. Queries against an *empty* index keep their
+//! legacy shape (`Response::Nn { neighbour: None, .. }` / empty
+//! neighbour lists), because an empty index is a normal serving state
+//! between start-up and the first insert.
 
 use crate::sharded::ShardedIndex;
 use cned_core::metric::Distance;
 use cned_core::Symbol;
-use cned_search::{workers_for, Neighbour, SearchStats};
+use cned_search::{
+    workers_for, InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One unit of work for the pipeline.
@@ -43,7 +52,15 @@ pub enum Request<S: Symbol> {
         /// How many neighbours.
         k: usize,
     },
-    /// Incremental insert into the delta shard.
+    /// Range (radius) query: everything within `radius`, inclusive.
+    Range {
+        /// The query string.
+        query: Vec<S>,
+        /// The radius (must be non-negative and not NaN, else the
+        /// request answers with [`Response::Failed`]).
+        radius: f64,
+    },
+    /// Incremental insert.
     Insert {
         /// The item to add.
         item: Vec<S>,
@@ -58,14 +75,21 @@ pub enum Response {
     Nn {
         /// The nearest neighbour (global index + distance).
         neighbour: Option<Neighbour>,
-        /// Total distance evaluations across shards + delta scan.
+        /// Total distance evaluations for the query.
         stats: SearchStats,
     },
     /// Answer to [`Request::Knn`].
     Knn {
         /// Up to `k` neighbours in (distance, index) order.
         neighbours: Vec<Neighbour>,
-        /// Total distance evaluations across shards + delta scan.
+        /// Total distance evaluations for the query.
+        stats: SearchStats,
+    },
+    /// Answer to [`Request::Range`].
+    Range {
+        /// Every item within the radius, in (distance, index) order.
+        neighbours: Vec<Neighbour>,
+        /// Total distance evaluations for the query.
         stats: SearchStats,
     },
     /// Answer to [`Request::Insert`]: the item's global index.
@@ -73,29 +97,139 @@ pub enum Response {
         /// Global index assigned to the inserted item.
         index: usize,
     },
+    /// The request could not be answered; the typed error explains
+    /// why. Other requests in the queue are unaffected.
+    Failed {
+        /// What went wrong.
+        error: SearchError,
+    },
 }
 
-/// A serving pipeline owning a [`ShardedIndex`].
-pub struct QueryPipeline<S: Symbol> {
-    index: ShardedIndex<S>,
+/// A serving pipeline owning an insertable index — by default a
+/// [`ShardedIndex`], but any [`InsertableIndex`] implementation (e.g.
+/// [`cned_search::LinearIndex`]) plugs in unchanged.
+pub struct QueryPipeline<S: Symbol, I: MetricIndex<S> = ShardedIndex<S>> {
+    index: I,
+    _symbols: std::marker::PhantomData<fn() -> S>,
 }
 
-impl<S: Symbol> QueryPipeline<S> {
+impl<S: Symbol, I: MetricIndex<S>> QueryPipeline<S, I> {
     /// Wrap an index for pipelined serving.
-    pub fn new(index: ShardedIndex<S>) -> QueryPipeline<S> {
-        QueryPipeline { index }
+    pub fn new(index: I) -> QueryPipeline<S, I> {
+        QueryPipeline {
+            index,
+            _symbols: std::marker::PhantomData,
+        }
     }
 
     /// The underlying index (e.g. for direct single queries).
-    pub fn index(&self) -> &ShardedIndex<S> {
+    pub fn index(&self) -> &I {
         &self.index
     }
 
     /// Unwrap the pipeline back into its index.
-    pub fn into_index(self) -> ShardedIndex<S> {
+    pub fn into_index(self) -> I {
         self.index
     }
 
+    /// Answer one query request against the current index state.
+    fn answer<D: Distance<S> + ?Sized>(&self, request: &Request<S>, dist: &D) -> Response {
+        let dist: &dyn Distance<S> = &dist;
+        match request {
+            Request::Nn { query } => {
+                match self.index.nn(query, dist, &QueryOptions::new()) {
+                    Ok((neighbour, stats)) => Response::Nn { neighbour, stats },
+                    // An empty index is a normal serving state, not a
+                    // request defect.
+                    Err(SearchError::EmptyDatabase) => Response::Nn {
+                        neighbour: None,
+                        stats: SearchStats::default(),
+                    },
+                    Err(error) => Response::Failed { error },
+                }
+            }
+            Request::Knn { query, k } => {
+                match self.index.knn(query, dist, &QueryOptions::new().k(*k)) {
+                    Ok((neighbours, stats)) => Response::Knn { neighbours, stats },
+                    Err(SearchError::EmptyDatabase) => Response::Knn {
+                        neighbours: Vec::new(),
+                        stats: SearchStats::default(),
+                    },
+                    Err(error) => Response::Failed { error },
+                }
+            }
+            Request::Range { query, radius } => {
+                let opts = QueryOptions::new().radius(*radius);
+                // Validate the request itself before the empty-index
+                // mapping: a malformed radius must answer Failed even
+                // while the index is empty, or clients would see
+                // state-dependent error reporting.
+                if let Err(error) = opts.checked_radius() {
+                    return Response::Failed { error };
+                }
+                match self.index.range(query, dist, &opts) {
+                    Ok((neighbours, stats)) => Response::Range { neighbours, stats },
+                    Err(SearchError::EmptyDatabase) => Response::Range {
+                        neighbours: Vec::new(),
+                        stats: SearchStats::default(),
+                    },
+                    Err(error) => Response::Failed { error },
+                }
+            }
+            Request::Insert { .. } => unreachable!("inserts are barriers, never batched"),
+        }
+    }
+
+    /// Answer the batched queries against the index's current state,
+    /// in parallel, then clear the batch.
+    fn flush<D: Distance<S> + ?Sized>(
+        &self,
+        requests: &[Request<S>],
+        batch: &mut Vec<usize>,
+        dist: &D,
+        out: &mut [Option<Response>],
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let workers = workers_for(batch.len());
+        if workers <= 1 {
+            for &i in batch.iter() {
+                out[i] = Some(self.answer(&requests[i], dist));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let answers: Vec<(usize, Response)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let batch = &*batch;
+                        let this = &*self;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = batch.get(t) else { break };
+                                local.push((i, this.answer(&requests[i], dist)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("cned-serve worker thread panicked"))
+                    .collect()
+            });
+            for (i, response) in answers {
+                out[i] = Some(response);
+            }
+        }
+        batch.clear();
+    }
+}
+
+impl<S: Symbol, I: InsertableIndex<S>> QueryPipeline<S, I> {
     /// Process `requests` with in-order semantics, returning one
     /// [`Response`] per request in input order. See the module docs
     /// for the scheduling model.
@@ -114,10 +248,10 @@ impl<S: Symbol> QueryPipeline<S> {
         let mut batch: Vec<usize> = Vec::new();
         for (i, request) in requests.iter().enumerate() {
             match request {
-                Request::Nn { .. } | Request::Knn { .. } => batch.push(i),
+                Request::Nn { .. } | Request::Knn { .. } | Request::Range { .. } => batch.push(i),
                 Request::Insert { item } => {
                     self.flush(requests, &mut batch, dist, &mut out);
-                    let index = self.index.insert(item.clone(), dist);
+                    let index = self.index.insert(item.clone(), &dist);
                     out[i] = Some(Response::Inserted { index });
                 }
             }
@@ -126,79 +260,5 @@ impl<S: Symbol> QueryPipeline<S> {
         out.into_iter()
             .map(|r| r.expect("every request answered"))
             .collect()
-    }
-
-    /// Answer the batched queries against the index's current state,
-    /// in parallel, then clear the batch.
-    fn flush<D: Distance<S> + ?Sized>(
-        &self,
-        requests: &[Request<S>],
-        batch: &mut Vec<usize>,
-        dist: &D,
-        out: &mut [Option<Response>],
-    ) {
-        if batch.is_empty() {
-            return;
-        }
-        let answer = |i: usize| -> Response {
-            match &requests[i] {
-                Request::Nn { query } => {
-                    let result = self.index.nn(query, dist);
-                    match result {
-                        None => Response::Nn {
-                            neighbour: None,
-                            stats: SearchStats::default(),
-                        },
-                        Some((nb, stats)) => Response::Nn {
-                            neighbour: Some(nb),
-                            stats: stats.total(),
-                        },
-                    }
-                }
-                Request::Knn { query, k } => {
-                    let (neighbours, stats) = self.index.knn(query, dist, *k);
-                    Response::Knn {
-                        neighbours,
-                        stats: stats.total(),
-                    }
-                }
-                Request::Insert { .. } => unreachable!("inserts are barriers, never batched"),
-            }
-        };
-
-        let workers = workers_for(batch.len());
-        if workers <= 1 {
-            for &i in batch.iter() {
-                out[i] = Some(answer(i));
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let answers: Vec<(usize, Response)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let cursor = &cursor;
-                        let batch = &*batch;
-                        let answer = &answer;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let t = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&i) = batch.get(t) else { break };
-                                local.push((i, answer(i)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("cned-serve worker thread panicked"))
-                    .collect()
-            });
-            for (i, response) in answers {
-                out[i] = Some(response);
-            }
-        }
-        batch.clear();
     }
 }

@@ -13,7 +13,9 @@ use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 use cned_search::laesa::Laesa;
 use cned_search::pivots::select_pivots_max_sum;
-use cned_search::{par_map, Neighbour, SearchStats};
+use cned_search::{
+    par_map, InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+};
 
 /// Shape of a [`ShardedIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,11 +80,11 @@ impl<S: Symbol> ShardedIndex<S> {
     /// one LAESA index per chunk, **in parallel** across shards (via
     /// [`cned_search::parallel`]; each shard's pivot selection and row
     /// computation run inside its worker).
-    pub fn build<D: Distance<S> + ?Sized>(
+    pub fn try_build<D: Distance<S> + ?Sized>(
         mut db: Vec<Vec<S>>,
         config: ShardConfig,
         dist: &D,
-    ) -> ShardedIndex<S> {
+    ) -> Result<ShardedIndex<S>, SearchError> {
         let n = db.len();
         let k = config.shards.max(1).min(n.max(1));
         // Near-equal contiguous chunks: the first `n % k` shards take
@@ -118,19 +120,35 @@ impl<S: Symbol> ShardedIndex<S> {
             };
             Shard {
                 offset: bounds[s],
-                index: Laesa::build(chunk, pivots, dist),
+                index: Laesa::try_build(chunk, pivots, dist)
+                    .expect("max-sum pivot selection yields valid, distinct indices"),
             }
         });
         let preprocessing_computations = shards
             .iter()
             .map(|s| s.index.preprocessing_computations())
             .sum();
-        ShardedIndex {
+        Ok(ShardedIndex {
             shards,
             delta: Vec::new(),
             indexed_len: n,
             config,
             preprocessing_computations,
+        })
+    }
+
+    /// Panicking variant of [`ShardedIndex::try_build`] (the internal
+    /// pivot selection cannot actually produce invalid pivots, so this
+    /// never panics in practice).
+    #[deprecated(since = "0.2.0", note = "use `ShardedIndex::try_build`")]
+    pub fn build<D: Distance<S> + ?Sized>(
+        db: Vec<Vec<S>>,
+        config: ShardConfig,
+        dist: &D,
+    ) -> ShardedIndex<S> {
+        match ShardedIndex::try_build(db, config, dist) {
+            Ok(index) => index,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -197,7 +215,8 @@ impl<S: Symbol> ShardedIndex<S> {
         let items = std::mem::take(&mut self.delta);
         let offset = self.indexed_len;
         let pivots = select_pivots_max_sum(&items, self.config.pivots_per_shard, 0, dist);
-        let index = Laesa::build(items, pivots, dist);
+        let index = Laesa::try_build(items, pivots, dist)
+            .expect("max-sum pivot selection yields valid, distinct indices");
         self.indexed_len += index.database().len();
         self.preprocessing_computations += index.preprocessing_computations();
         self.shards.push(Shard { offset, index });
@@ -205,6 +224,10 @@ impl<S: Symbol> ShardedIndex<S> {
 
     /// Nearest neighbour of `query` across all shards; `None` on an
     /// empty index. See [`ShardedIndex::nn_prepared`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
@@ -227,44 +250,62 @@ impl<S: Symbol> ShardedIndex<S> {
         &self,
         prepared: &dyn PreparedQuery<S>,
     ) -> Option<(Neighbour, ShardedStats)> {
+        let (found, stats) = self.nn_core(prepared, f64::INFINITY, usize::MAX);
+        found.map(|b| (b, stats))
+    }
+
+    fn nn_core(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+        pivot_limit: usize,
+    ) -> (Option<Neighbour>, ShardedStats) {
         let mut stats = ShardedStats::default();
-        let mut best: Option<Neighbour> = None;
+        // The search radius doubles as a virtual incumbent seeding the
+        // first shard's pruning; usize::MAX loses every index
+        // tie-break.
+        let mut best = Neighbour {
+            index: usize::MAX,
+            distance: radius,
+        };
         for shard in &self.shards {
-            let radius = best.map_or(f64::INFINITY, |b| b.distance);
-            let (found, shard_stats) = shard.index.nn_prepared(prepared, radius);
+            let (found, shard_stats) =
+                shard
+                    .index
+                    .nn_prepared_limited(prepared, best.distance, pivot_limit);
             stats.per_shard.push(shard_stats);
             if let Some(local) = found {
                 let candidate = Neighbour {
                     index: shard.offset + local.index,
                     distance: local.distance,
                 };
-                if best.is_none_or(|b| candidate.better_than(&b)) {
-                    best = Some(candidate);
+                if candidate.better_than(&best) {
+                    best = candidate;
                 }
             }
         }
         for (pos, item) in self.delta.iter().enumerate() {
-            let incumbent = best.unwrap_or(Neighbour {
-                index: usize::MAX,
-                distance: f64::INFINITY,
-            });
             stats.delta.distance_computations += 1;
-            if let Some(d) = prepared.distance_to_bounded(item, incumbent.distance) {
+            if let Some(d) = prepared.distance_to_bounded(item, best.distance) {
                 let candidate = Neighbour {
                     index: self.indexed_len + pos,
                     distance: d,
                 };
-                if candidate.better_than(&incumbent) {
-                    best = Some(candidate);
+                if candidate.better_than(&best) {
+                    best = candidate;
                 }
             }
         }
-        best.map(|b| (b, stats))
+        ((best.index != usize::MAX).then_some(best), stats)
     }
 
     /// The `k` nearest neighbours of `query` across all shards, in the
     /// canonical (distance, ascending global index) order. See
     /// [`ShardedIndex::knn_prepared`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::knn` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn knn<D: Distance<S> + ?Sized>(
         &self,
         query: &[S],
@@ -284,6 +325,16 @@ impl<S: Symbol> ShardedIndex<S> {
         prepared: &dyn PreparedQuery<S>,
         k: usize,
     ) -> (Vec<Neighbour>, ShardedStats) {
+        self.knn_core(prepared, k, f64::INFINITY, usize::MAX)
+    }
+
+    fn knn_core(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        k: usize,
+        radius: f64,
+        pivot_limit: usize,
+    ) -> (Vec<Neighbour>, ShardedStats) {
         let mut stats = ShardedStats::default();
         if k == 0 {
             return (Vec::new(), stats);
@@ -291,13 +342,16 @@ impl<S: Symbol> ShardedIndex<S> {
         let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
         let kth = |best: &Vec<Neighbour>| -> f64 {
             if best.len() < k {
-                f64::INFINITY
+                radius
             } else {
                 best[k - 1].distance
             }
         };
         for shard in &self.shards {
-            let (locals, shard_stats) = shard.index.knn_prepared(prepared, k, kth(&best));
+            let (locals, shard_stats) =
+                shard
+                    .index
+                    .knn_prepared_limited(prepared, k, kth(&best), pivot_limit);
             stats.per_shard.push(shard_stats);
             for local in locals {
                 let candidate = Neighbour {
@@ -314,6 +368,9 @@ impl<S: Symbol> ShardedIndex<S> {
         for (pos, item) in self.delta.iter().enumerate() {
             stats.delta.distance_computations += 1;
             if let Some(d) = prepared.distance_to_bounded(item, kth(&best)) {
+                if !d.is_finite() {
+                    continue;
+                }
                 let candidate = Neighbour {
                     index: self.indexed_len + pos,
                     distance: d,
@@ -328,9 +385,63 @@ impl<S: Symbol> ShardedIndex<S> {
         (best, stats)
     }
 
-    /// [`ShardedIndex::nn`] for a batch of queries, parallelised
-    /// across queries (each worker's query is prepared once and reused
-    /// across every shard). Returns `None` on an empty index.
+    /// Every element **within `radius`** (inclusive) of an
+    /// already-prepared query across all shards and the delta shard,
+    /// in canonical (distance, ascending global index) order.
+    ///
+    /// Range search has a fixed radius, so there is no cross-shard
+    /// bound to propagate: each shard answers independently with
+    /// triangle-inequality pruning against the same budget, and the
+    /// per-shard hit lists merge by the canonical ordering.
+    pub fn range_prepared(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+    ) -> (Vec<Neighbour>, ShardedStats) {
+        self.range_core(prepared, radius, usize::MAX)
+    }
+
+    fn range_core(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        radius: f64,
+        pivot_limit: usize,
+    ) -> (Vec<Neighbour>, ShardedStats) {
+        let mut stats = ShardedStats::default();
+        let mut hits: Vec<Neighbour> = Vec::new();
+        for shard in &self.shards {
+            let (locals, shard_stats) =
+                shard
+                    .index
+                    .range_prepared_limited(prepared, radius, pivot_limit);
+            stats.per_shard.push(shard_stats);
+            hits.extend(locals.into_iter().map(|local| Neighbour {
+                index: shard.offset + local.index,
+                distance: local.distance,
+            }));
+        }
+        for (pos, item) in self.delta.iter().enumerate() {
+            stats.delta.distance_computations += 1;
+            if let Some(d) = prepared.distance_to_bounded(item, radius) {
+                if d.is_finite() {
+                    hits.push(Neighbour {
+                        index: self.indexed_len + pos,
+                        distance: d,
+                    });
+                }
+            }
+        }
+        hits.sort_by(|a, b| a.ordering(b));
+        (hits, stats)
+    }
+
+    /// `nn` for a batch of queries, parallelised across queries (each
+    /// worker's query is prepared once and reused across every shard).
+    /// Returns `None` on an empty index.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::nn_batch` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn nn_batch<D: Distance<S> + ?Sized>(
         &self,
         queries: &[Vec<S>],
@@ -340,18 +451,103 @@ impl<S: Symbol> ShardedIndex<S> {
             return None;
         }
         Some(par_map(queries.len(), |q| {
-            self.nn(&queries[q], dist).expect("index checked non-empty")
+            let prepared = dist.prepare(&queries[q]);
+            let (found, stats) = self.nn_core(&*prepared, f64::INFINITY, usize::MAX);
+            (found.expect("index checked non-empty"), stats)
         }))
     }
 
-    /// [`ShardedIndex::knn`] for a batch of queries, parallelised
-    /// across queries.
+    /// `knn` for a batch of queries, parallelised across queries.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricIndex::knn_batch` with `QueryOptions` (or the `cned::Database` facade)"
+    )]
     pub fn knn_batch<D: Distance<S> + ?Sized>(
         &self,
         queries: &[Vec<S>],
         dist: &D,
         k: usize,
     ) -> Vec<(Vec<Neighbour>, ShardedStats)> {
-        par_map(queries.len(), |q| self.knn(&queries[q], dist, k))
+        par_map(queries.len(), |q| {
+            let prepared = dist.prepare(&queries[q]);
+            self.knn_core(&*prepared, k, f64::INFINITY, usize::MAX)
+        })
+    }
+}
+
+impl<S: Symbol> MetricIndex<S> for ShardedIndex<S> {
+    fn len(&self) -> usize {
+        self.indexed_len + self.delta.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(ShardedIndex::item(self, i))
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        if self.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let limit = opts.pivot_budget.unwrap_or(usize::MAX);
+        let prepared = dist.prepare(query);
+        let (found, stats) = self.nn_core(&*prepared, radius, limit);
+        let stats = stats.total();
+        opts.record(stats);
+        Ok((found, stats))
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let limit = opts.pivot_budget.unwrap_or(usize::MAX);
+        let prepared = dist.prepare(query);
+        let (best, stats) = self.knn_core(&*prepared, opts.k, radius, limit);
+        let stats = stats.total();
+        opts.record(stats);
+        Ok((best, stats))
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        if self.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        let radius = opts.checked_radius()?;
+        let limit = opts.pivot_budget.unwrap_or(usize::MAX);
+        let prepared = dist.prepare(query);
+        let (hits, stats) = self.range_core(&*prepared, radius, limit);
+        let stats = stats.total();
+        opts.record(stats);
+        Ok((hits, stats))
+    }
+}
+
+impl<S: Symbol> InsertableIndex<S> for ShardedIndex<S> {
+    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> usize {
+        ShardedIndex::insert(self, item, dist)
     }
 }

@@ -1,18 +1,21 @@
-//! Integration tests for the sharded serving layer: agreement with
-//! the single-index linear-scan oracle across metrics, shard counts
-//! and thread counts; deterministic tie-breaking on duplicate-heavy
-//! corpora; insert/compaction semantics; and the thread-count
-//! determinism sweep guarding the pipeline against
-//! scheduling-dependent results.
+//! Integration tests for the sharded serving layer, driven through
+//! the unified [`MetricIndex`] trait: agreement with the exhaustive
+//! [`LinearIndex`] oracle across metrics, shard counts and thread
+//! counts (NN, k-NN **and range**); deterministic tie-breaking on
+//! duplicate-heavy corpora; insert/compaction semantics; the
+//! thread-count determinism sweep; and the pipeline's in-order
+//! mixed-request protocol, including [`Request::Range`] and typed
+//! [`Response::Failed`] errors.
 
 use cned_core::contextual::exact::Contextual;
 use cned_core::levenshtein::Levenshtein;
 use cned_core::metric::Distance;
 use cned_core::normalized::yujian_bo::YujianBo;
-use cned_search::linear::{linear_knn, linear_nn};
 use cned_search::parallel::set_thread_override;
 use cned_search::pivots::select_pivots_max_sum;
-use cned_search::Laesa;
+use cned_search::{
+    Laesa, LinearIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+};
 use cned_serve::{QueryPipeline, Request, Response, ShardConfig, ShardedIndex};
 use std::sync::Mutex;
 
@@ -47,20 +50,43 @@ fn config(shards: usize) -> ShardConfig {
     }
 }
 
+fn nn_of(idx: &dyn MetricIndex<u8>, q: &[u8], dist: &dyn Distance<u8>) -> (Neighbour, SearchStats) {
+    let (found, stats) = idx
+        .nn(q, dist, &QueryOptions::new())
+        .expect("non-empty index");
+    (found.expect("infinite radius always finds"), stats)
+}
+
+fn knn_of(
+    idx: &dyn MetricIndex<u8>,
+    q: &[u8],
+    dist: &dyn Distance<u8>,
+    k: usize,
+) -> Vec<Neighbour> {
+    idx.knn(q, dist, &QueryOptions::new().k(k))
+        .expect("non-empty index")
+        .0
+}
+
+fn key(ns: &[Neighbour]) -> Vec<(usize, u64)> {
+    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+}
+
 #[test]
 fn agrees_with_linear_scan_across_metrics_shards_and_threads() {
     let _guard = THREADS_LOCK.lock().unwrap();
     let db = corpus(42, 7, 3, 97);
     let queries = corpus(6, 7, 3, 971);
+    let oracle = LinearIndex::new(db.clone());
     let metrics: [&dyn Distance<u8>; 3] = [&Levenshtein, &YujianBo, &Contextual];
     for dist in metrics {
         for shards in [1usize, 2, 5] {
             for threads in [1usize, 4] {
                 set_thread_override(Some(threads));
-                let index = ShardedIndex::build(db.clone(), config(shards), dist);
+                let index = ShardedIndex::try_build(db.clone(), config(shards), dist).unwrap();
                 for q in &queries {
-                    let (l_nn, l_stats) = linear_nn(&db, q, dist).unwrap();
-                    let (s_nn, s_stats) = index.nn(q, dist).unwrap();
+                    let (l_nn, l_stats) = nn_of(&oracle, q, dist);
+                    let (s_nn, s_stats) = nn_of(&index, q, dist);
                     let label = format!(
                         "metric {} shards {shards} threads {threads} query {q:?}",
                         dist.name()
@@ -68,20 +94,26 @@ fn agrees_with_linear_scan_across_metrics_shards_and_threads() {
                     assert_eq!(s_nn.index, l_nn.index, "{label}");
                     assert_eq!(s_nn.distance.to_bits(), l_nn.distance.to_bits(), "{label}");
                     assert!(
-                        s_stats.total().distance_computations <= l_stats.distance_computations + 1,
+                        s_stats.distance_computations <= l_stats.distance_computations + 1,
                         "{label}: sharded should not exceed exhaustive"
                     );
-                    let (l_knn, _) = linear_knn(&db, q, dist, 5);
-                    let (s_knn, _) = index.knn(q, dist, 5);
-                    let l: Vec<(usize, u64)> = l_knn
-                        .iter()
-                        .map(|n| (n.index, n.distance.to_bits()))
-                        .collect();
-                    let s: Vec<(usize, u64)> = s_knn
-                        .iter()
-                        .map(|n| (n.index, n.distance.to_bits()))
-                        .collect();
-                    assert_eq!(s, l, "{label}");
+                    assert_eq!(
+                        key(&knn_of(&index, q, dist, 5)),
+                        key(&knn_of(&oracle, q, dist, 5)),
+                        "{label}"
+                    );
+                    // Range agreement: radius at the true NN distance
+                    // (boundary tie included) and slightly above.
+                    for radius in [l_nn.distance, l_nn.distance + 0.25] {
+                        let opts = QueryOptions::new().radius(radius);
+                        let (l_range, _) = oracle.range(q, dist, &opts).unwrap();
+                        let (s_range, _) = index.range(q, dist, &opts).unwrap();
+                        assert_eq!(key(&s_range), key(&l_range), "{label} radius {radius}");
+                        assert!(
+                            l_range.iter().any(|n| n.index == l_nn.index),
+                            "{label}: the NN itself sits on the radius boundary"
+                        );
+                    }
                 }
             }
         }
@@ -100,27 +132,32 @@ fn duplicate_strings_tie_break_serial_batch_sharded() {
     db.extend(dups);
     let queries = corpus(10, 5, 2, 131);
     let pivots = select_pivots_max_sum(&db, 5, 0, &Levenshtein);
-    let laesa = Laesa::build(db.clone(), pivots, &Levenshtein);
-    let sharded = ShardedIndex::build(db.clone(), config(3), &Levenshtein);
+    let laesa = Laesa::try_build(db.clone(), pivots, &Levenshtein).unwrap();
+    let sharded = ShardedIndex::try_build(db.clone(), config(3), &Levenshtein).unwrap();
+    let oracle = LinearIndex::new(db.clone());
     set_thread_override(Some(3));
-    let batch = sharded.nn_batch(&queries, &Levenshtein).unwrap();
+    let batch =
+        MetricIndex::nn_batch(&sharded, &queries, &Levenshtein, &QueryOptions::new()).unwrap();
     set_thread_override(None);
     for (q, (b_nn, _)) in queries.iter().zip(&batch) {
-        let (serial, _) = linear_nn(&db, q, &Levenshtein).unwrap();
-        let (single, _) = laesa.nn(q, &Levenshtein).unwrap();
-        let (shard_nn, _) = sharded.nn(q, &Levenshtein).unwrap();
+        let b_nn = b_nn.expect("non-empty index");
+        let (serial, _) = nn_of(&oracle, q, &Levenshtein);
+        let (single, _) = nn_of(&laesa, q, &Levenshtein);
+        let (shard_nn, _) = nn_of(&sharded, q, &Levenshtein);
         assert_eq!(serial.index, single.index, "query {q:?}");
         assert_eq!(serial.index, shard_nn.index, "query {q:?}");
         assert_eq!(serial.index, b_nn.index, "query {q:?}");
         assert_eq!(serial.distance.to_bits(), shard_nn.distance.to_bits());
-        let (l_knn, _) = linear_knn(&db, q, &Levenshtein, 6);
-        let (s_knn, _) = sharded.knn(q, &Levenshtein, 6);
-        let (a_knn, _) = laesa.knn(q, &Levenshtein, 6);
-        let key = |ns: &[cned_search::Neighbour]| -> Vec<(usize, u64)> {
-            ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
-        };
-        assert_eq!(key(&s_knn), key(&l_knn), "query {q:?}");
-        assert_eq!(key(&a_knn), key(&l_knn), "query {q:?}");
+        assert_eq!(
+            key(&knn_of(&sharded, q, &Levenshtein, 6)),
+            key(&knn_of(&oracle, q, &Levenshtein, 6)),
+            "query {q:?}"
+        );
+        assert_eq!(
+            key(&knn_of(&laesa, q, &Levenshtein, 6)),
+            key(&knn_of(&oracle, q, &Levenshtein, 6)),
+            "query {q:?}"
+        );
     }
 }
 
@@ -132,7 +169,7 @@ fn thread_count_determinism_sweep() {
     let _guard = THREADS_LOCK.lock().unwrap();
     let db = corpus(70, 8, 3, 201);
     let queries = corpus(13, 8, 3, 2011);
-    let index = ShardedIndex::build(db.clone(), config(3), &Levenshtein);
+    let index = ShardedIndex::try_build(db.clone(), config(3), &Levenshtein).unwrap();
     type NnKey = Vec<(usize, u64, u64)>;
     type KnnKey = Vec<(Vec<(usize, u64)>, u64)>;
     let mut nn_runs: Vec<NnKey> = Vec::new();
@@ -140,42 +177,36 @@ fn thread_count_determinism_sweep() {
     let mut pipeline_runs: Vec<Vec<Response>> = Vec::new();
     for threads in [1usize, 2, 7] {
         set_thread_override(Some(threads));
-        let nn: NnKey = index
-            .nn_batch(&queries, &Levenshtein)
+        let nn: NnKey = MetricIndex::nn_batch(&index, &queries, &Levenshtein, &QueryOptions::new())
             .unwrap()
             .iter()
             .map(|(nb, st)| {
-                (
-                    nb.index,
-                    nb.distance.to_bits(),
-                    st.total().distance_computations,
-                )
+                let nb = nb.expect("non-empty index");
+                (nb.index, nb.distance.to_bits(), st.distance_computations)
             })
             .collect();
-        let knn: KnnKey = index
-            .knn_batch(&queries, &Levenshtein, 4)
-            .iter()
-            .map(|(ns, st)| {
-                (
-                    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect(),
-                    st.total().distance_computations,
-                )
-            })
-            .collect();
-        let mut pipeline =
-            QueryPipeline::new(ShardedIndex::build(db.clone(), config(3), &Levenshtein));
+        let knn: KnnKey =
+            MetricIndex::knn_batch(&index, &queries, &Levenshtein, &QueryOptions::new().k(4))
+                .unwrap()
+                .iter()
+                .map(|(ns, st)| (key(ns), st.distance_computations))
+                .collect();
+        let mut pipeline = QueryPipeline::new(
+            ShardedIndex::try_build(db.clone(), config(3), &Levenshtein).unwrap(),
+        );
         let requests: Vec<Request<u8>> = queries
             .iter()
             .enumerate()
-            .map(|(i, q)| {
-                if i % 2 == 0 {
-                    Request::Nn { query: q.clone() }
-                } else {
-                    Request::Knn {
-                        query: q.clone(),
-                        k: 3,
-                    }
-                }
+            .map(|(i, q)| match i % 3 {
+                0 => Request::Nn { query: q.clone() },
+                1 => Request::Knn {
+                    query: q.clone(),
+                    k: 3,
+                },
+                _ => Request::Range {
+                    query: q.clone(),
+                    radius: 2.0,
+                },
             })
             .collect();
         pipeline_runs.push(pipeline.run(&requests, &Levenshtein));
@@ -192,6 +223,33 @@ fn thread_count_determinism_sweep() {
 }
 
 #[test]
+fn per_call_thread_override_matches_global_results() {
+    // QueryOptions::threads caps one batch without touching the
+    // process default, and cannot change results.
+    let db = corpus(50, 7, 3, 211);
+    let queries = corpus(9, 7, 3, 2111);
+    let index = ShardedIndex::try_build(db, config(2), &Levenshtein).unwrap();
+    let base = MetricIndex::nn_batch(&index, &queries, &Levenshtein, &QueryOptions::new()).unwrap();
+    for threads in [1usize, 2, 5] {
+        let with = MetricIndex::nn_batch(
+            &index,
+            &queries,
+            &Levenshtein,
+            &QueryOptions::new().threads(threads),
+        )
+        .unwrap();
+        for ((a, ast), (b, bst)) in base.iter().zip(&with) {
+            let (a, b) = (a.unwrap(), b.unwrap());
+            assert_eq!(
+                (a.index, a.distance.to_bits()),
+                (b.index, b.distance.to_bits())
+            );
+            assert_eq!(ast, bst, "threads {threads}");
+        }
+    }
+}
+
+#[test]
 fn single_shard_matches_plain_laesa_exactly() {
     let db = corpus(50, 7, 3, 301);
     let queries = corpus(8, 7, 3, 3011);
@@ -200,15 +258,20 @@ fn single_shard_matches_plain_laesa_exactly() {
         pivots_per_shard: 6,
         compact_threshold: 8,
     };
-    let sharded = ShardedIndex::build(db.clone(), cfg, &Levenshtein);
+    let sharded = ShardedIndex::try_build(db.clone(), cfg, &Levenshtein).unwrap();
     let pivots = select_pivots_max_sum(&db, 6, 0, &Levenshtein);
-    let plain = Laesa::build(db, pivots, &Levenshtein);
+    let plain = Laesa::try_build(db, pivots, &Levenshtein).unwrap();
     for q in &queries {
-        let (s_nn, s_stats) = sharded.nn(q, &Levenshtein).unwrap();
-        let (p_nn, p_stats) = plain.nn(q, &Levenshtein).unwrap();
+        let (s_nn, s_stats) = nn_of(&sharded, q, &Levenshtein);
+        let (p_nn, p_stats) = nn_of(&plain, q, &Levenshtein);
         assert_eq!(s_nn.index, p_nn.index);
         assert_eq!(s_nn.distance.to_bits(), p_nn.distance.to_bits());
-        assert_eq!(s_stats.total(), p_stats, "query {q:?}");
+        assert_eq!(s_stats, p_stats, "query {q:?}");
+        // Range through one shard is plain LAESA range.
+        let opts = QueryOptions::new().radius(2.0);
+        let (s_range, _) = sharded.range(q, &Levenshtein, &opts).unwrap();
+        let (p_range, _) = MetricIndex::range(&plain, q, &Levenshtein, &opts).unwrap();
+        assert_eq!(key(&s_range), key(&p_range), "query {q:?}");
     }
 }
 
@@ -220,7 +283,7 @@ fn inserts_are_visible_and_compaction_preserves_answers() {
         pivots_per_shard: 4,
         compact_threshold: 5,
     };
-    let mut index = ShardedIndex::build(db.clone(), cfg, &Levenshtein);
+    let mut index = ShardedIndex::try_build(db.clone(), cfg, &Levenshtein).unwrap();
     assert_eq!(index.num_shards(), 2);
     let mut all = db.clone();
     // Insert items one by one; each must be findable immediately (in
@@ -231,7 +294,7 @@ fn inserts_are_visible_and_compaction_preserves_answers() {
         let global = index.insert(item.clone(), &Levenshtein);
         assert_eq!(global, db.len() + i);
         all.push(item.clone());
-        let (nn, _) = index.nn(item, &Levenshtein).unwrap();
+        let (nn, _) = nn_of(&index, item, &Levenshtein);
         assert_eq!(nn.distance, 0.0, "item {item:?} must be found at d=0");
         assert_eq!(index.item(global), &item[..]);
     }
@@ -239,31 +302,31 @@ fn inserts_are_visible_and_compaction_preserves_answers() {
     // still pending in the delta shard.
     assert_eq!(index.num_shards(), 4);
     assert_eq!(index.delta_len(), 2);
-    // The full index must agree with a linear scan over everything.
+    // The full index must agree with a linear scan over everything —
+    // including range queries spanning indexed shards and the delta.
+    let oracle = LinearIndex::new(all.clone());
     for q in corpus(10, 6, 3, 7711) {
-        let (l_nn, _) = linear_nn(&all, &q, &Levenshtein).unwrap();
-        let (s_nn, _) = index.nn(&q, &Levenshtein).unwrap();
+        let (l_nn, _) = nn_of(&oracle, &q, &Levenshtein);
+        let (s_nn, _) = nn_of(&index, &q, &Levenshtein);
         assert_eq!(s_nn.index, l_nn.index, "query {q:?}");
         assert_eq!(s_nn.distance.to_bits(), l_nn.distance.to_bits());
-        let (l_knn, _) = linear_knn(&all, &q, &Levenshtein, 5);
-        let (s_knn, _) = index.knn(&q, &Levenshtein, 5);
-        let l: Vec<(usize, u64)> = l_knn
-            .iter()
-            .map(|n| (n.index, n.distance.to_bits()))
-            .collect();
-        let s: Vec<(usize, u64)> = s_knn
-            .iter()
-            .map(|n| (n.index, n.distance.to_bits()))
-            .collect();
-        assert_eq!(s, l, "query {q:?}");
+        assert_eq!(
+            key(&knn_of(&index, &q, &Levenshtein, 5)),
+            key(&knn_of(&oracle, &q, &Levenshtein, 5)),
+            "query {q:?}"
+        );
+        let opts = QueryOptions::new().radius(2.0);
+        let (l_range, _) = oracle.range(&q, &Levenshtein, &opts).unwrap();
+        let (s_range, _) = index.range(&q, &Levenshtein, &opts).unwrap();
+        assert_eq!(key(&s_range), key(&l_range), "query {q:?}");
     }
     // Forced compaction flushes the tail and changes nothing.
     index.compact(&Levenshtein);
     assert_eq!(index.delta_len(), 0);
     assert_eq!(index.num_shards(), 5);
     for q in corpus(5, 6, 3, 77111) {
-        let (l_nn, _) = linear_nn(&all, &q, &Levenshtein).unwrap();
-        let (s_nn, _) = index.nn(&q, &Levenshtein).unwrap();
+        let (l_nn, _) = nn_of(&oracle, &q, &Levenshtein);
+        let (s_nn, _) = nn_of(&index, &q, &Levenshtein);
         assert_eq!(
             (s_nn.index, s_nn.distance.to_bits()),
             (l_nn.index, l_nn.distance.to_bits())
@@ -277,11 +340,16 @@ fn pipeline_inserts_are_barriers() {
     let probe = b"zzzzzz".to_vec();
     // The probe is far from the alphabet {a,b,c} corpus, so its
     // nearest neighbour changes the moment an exact copy is inserted.
-    let mut pipeline = QueryPipeline::new(ShardedIndex::build(db.clone(), config(2), &Levenshtein));
+    let mut pipeline =
+        QueryPipeline::new(ShardedIndex::try_build(db.clone(), config(2), &Levenshtein).unwrap());
     let responses = pipeline.run(
         &[
             Request::Nn {
                 query: probe.clone(),
+            },
+            Request::Range {
+                query: probe.clone(),
+                radius: 0.0,
             },
             Request::Insert {
                 item: probe.clone(),
@@ -293,10 +361,14 @@ fn pipeline_inserts_are_barriers() {
                 query: probe.clone(),
                 k: 2,
             },
+            Request::Range {
+                query: probe.clone(),
+                radius: 0.0,
+            },
         ],
         &Levenshtein,
     );
-    assert_eq!(responses.len(), 4);
+    assert_eq!(responses.len(), 6);
     let Response::Nn {
         neighbour: Some(before),
         ..
@@ -305,36 +377,254 @@ fn pipeline_inserts_are_barriers() {
         panic!("expected an Nn response, got {:?}", responses[0]);
     };
     assert!(before.distance > 0.0, "no exact copy before the insert");
+    let Response::Range { neighbours, .. } = &responses[1] else {
+        panic!("expected a Range response, got {:?}", responses[1]);
+    };
+    assert!(neighbours.is_empty(), "no exact copy before the insert");
     assert_eq!(
-        responses[1],
+        responses[2],
         Response::Inserted { index: db.len() },
         "insert lands right after the seed database"
     );
     let Response::Nn {
         neighbour: Some(after),
         ..
-    } = &responses[2]
+    } = &responses[3]
     else {
-        panic!("expected an Nn response, got {:?}", responses[2]);
+        panic!("expected an Nn response, got {:?}", responses[3]);
     };
     assert_eq!(after.index, db.len(), "the inserted copy is the new NN");
     assert_eq!(after.distance, 0.0);
-    let Response::Knn { neighbours, .. } = &responses[3] else {
-        panic!("expected a Knn response, got {:?}", responses[3]);
+    let Response::Knn { neighbours, .. } = &responses[4] else {
+        panic!("expected a Knn response, got {:?}", responses[4]);
     };
     assert_eq!(neighbours[0].index, db.len());
     assert_eq!(neighbours[0].distance, 0.0);
+    let Response::Range { neighbours, .. } = &responses[5] else {
+        panic!("expected a Range response, got {:?}", responses[5]);
+    };
+    assert_eq!(key(neighbours), vec![(db.len(), 0.0f64.to_bits())]);
+}
+
+#[test]
+fn pipeline_range_agrees_with_linear_oracle_in_order() {
+    // Mixed queue with inserts between range queries: every range
+    // answer must equal the linear-scan filter over the index state it
+    // was answered at.
+    let db = corpus(40, 6, 3, 57);
+    let queries = corpus(12, 6, 3, 571);
+    let mut requests: Vec<Request<u8>> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        if i % 4 == 2 {
+            requests.push(Request::Insert { item: q.clone() });
+        }
+        requests.push(Request::Range {
+            query: q.clone(),
+            radius: 1.0 + (i % 3) as f64,
+        });
+    }
+    let mut pipeline =
+        QueryPipeline::new(ShardedIndex::try_build(db.clone(), config(3), &Levenshtein).unwrap());
+    let responses = pipeline.run(&requests, &Levenshtein);
+    let mut oracle_db = db.clone();
+    for (req, resp) in requests.iter().zip(&responses) {
+        match (req, resp) {
+            (Request::Insert { item }, Response::Inserted { .. }) => {
+                oracle_db.push(item.clone());
+            }
+            (Request::Range { query, radius }, Response::Range { neighbours, .. }) => {
+                let oracle = LinearIndex::new(oracle_db.clone());
+                let (expected, _) = oracle
+                    .range(query, &Levenshtein, &QueryOptions::new().radius(*radius))
+                    .unwrap();
+                assert_eq!(key(neighbours), key(&expected), "query {query:?}");
+            }
+            _ => panic!("response kind does not match request kind"),
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_generic_over_the_trait() {
+    // The same pipeline code serves a plain LinearIndex — the trait is
+    // the contract, ShardedIndex merely the default backend.
+    let db = corpus(25, 6, 3, 59);
+    let probe = db[7].clone();
+    let mut pipeline: QueryPipeline<u8, LinearIndex<u8>> =
+        QueryPipeline::new(LinearIndex::new(db.clone()));
+    let responses = pipeline.run(
+        &[
+            Request::Nn {
+                query: probe.clone(),
+            },
+            Request::Insert {
+                item: b"zzzz".to_vec(),
+            },
+            Request::Nn {
+                query: b"zzzz".to_vec(),
+            },
+        ],
+        &Levenshtein,
+    );
+    let Response::Nn {
+        neighbour: Some(nb),
+        ..
+    } = &responses[0]
+    else {
+        panic!("expected Nn, got {:?}", responses[0]);
+    };
+    assert_eq!((nb.index, nb.distance), (7, 0.0));
+    assert_eq!(responses[1], Response::Inserted { index: db.len() });
+    let Response::Nn {
+        neighbour: Some(nb),
+        ..
+    } = &responses[2]
+    else {
+        panic!("expected Nn, got {:?}", responses[2]);
+    };
+    assert_eq!((nb.index, nb.distance), (db.len(), 0.0));
+}
+
+#[test]
+fn sharded_honours_the_pivot_budget_per_shard() {
+    // pivot_budget caps every shard's pivot table: results stay
+    // identical (it is a computation knob, not a correctness knob),
+    // and budget 0 degenerates each shard to a bounded exhaustive
+    // scan — exactly n evaluations in total.
+    let db = corpus(45, 7, 3, 67);
+    let queries = corpus(8, 7, 3, 671);
+    let index = ShardedIndex::try_build(db.clone(), config(3), &Levenshtein).unwrap();
+    for q in &queries {
+        let (full, full_stats) = nn_of(&index, q, &Levenshtein);
+        let (zero, zero_stats) = MetricIndex::nn(
+            &index,
+            q,
+            &Levenshtein,
+            &QueryOptions::new().pivot_budget(0),
+        )
+        .unwrap();
+        let zero = zero.unwrap();
+        assert_eq!(
+            (zero.index, zero.distance.to_bits()),
+            (full.index, full.distance.to_bits()),
+            "query {q:?}"
+        );
+        assert_eq!(
+            zero_stats.distance_computations,
+            db.len() as u64,
+            "no pivots -> every element computed once, query {q:?}"
+        );
+        assert!(
+            full_stats.distance_computations < zero_stats.distance_computations,
+            "the full pivot budget must prune, query {q:?}"
+        );
+        // Intermediate budgets stay correct for knn and range too.
+        let opts = QueryOptions::new().pivot_budget(1).k(4);
+        let (knn_b, _) = MetricIndex::knn(&index, q, &Levenshtein, &opts).unwrap();
+        assert_eq!(key(&knn_b), key(&knn_of(&index, q, &Levenshtein, 4)));
+        let r_opts = QueryOptions::new().pivot_budget(1).radius(2.0);
+        let (range_b, _) = MetricIndex::range(&index, q, &Levenshtein, &r_opts).unwrap();
+        let (range_full, _) =
+            MetricIndex::range(&index, q, &Levenshtein, &QueryOptions::new().radius(2.0)).unwrap();
+        assert_eq!(key(&range_b), key(&range_full), "query {q:?}");
+    }
+}
+
+#[test]
+fn invalid_radius_fails_even_on_an_empty_pipeline() {
+    // Error reporting must not depend on index state: a malformed
+    // radius answers Failed whether or not anything has been inserted
+    // yet.
+    let empty: ShardedIndex<u8> =
+        ShardedIndex::try_build(Vec::new(), ShardConfig::default(), &Levenshtein).unwrap();
+    let mut pipeline = QueryPipeline::new(empty);
+    let requests = [
+        Request::Range {
+            query: b"abc".to_vec(),
+            radius: f64::NAN,
+        },
+        Request::Insert {
+            item: b"abc".to_vec(),
+        },
+        Request::Range {
+            query: b"abc".to_vec(),
+            radius: -1.0,
+        },
+    ];
+    let responses = pipeline.run(&requests, &Levenshtein);
+    for i in [0usize, 2] {
+        assert!(
+            matches!(
+                &responses[i],
+                Response::Failed {
+                    error: SearchError::InvalidRadius { .. }
+                }
+            ),
+            "slot {i}: got {:?}",
+            responses[i]
+        );
+    }
+}
+
+#[test]
+fn pipeline_surfaces_typed_errors_in_order() {
+    let db = corpus(20, 6, 3, 61);
+    let mut pipeline =
+        QueryPipeline::new(ShardedIndex::try_build(db.clone(), config(2), &Levenshtein).unwrap());
+    let responses = pipeline.run(
+        &[
+            Request::Range {
+                query: db[0].clone(),
+                radius: f64::NAN,
+            },
+            Request::Nn {
+                query: db[0].clone(),
+            },
+        ],
+        &Levenshtein,
+    );
+    assert!(
+        matches!(
+            &responses[0],
+            Response::Failed {
+                error: SearchError::InvalidRadius { .. }
+            }
+        ),
+        "got {:?}",
+        responses[0]
+    );
+    // The defective request does not poison its neighbours.
+    let Response::Nn {
+        neighbour: Some(nb),
+        ..
+    } = &responses[1]
+    else {
+        panic!("expected Nn, got {:?}", responses[1]);
+    };
+    assert_eq!(nb.distance, 0.0);
 }
 
 #[test]
 fn empty_index_behaves() {
     let index: ShardedIndex<u8> =
-        ShardedIndex::build(Vec::new(), ShardConfig::default(), &Levenshtein);
+        ShardedIndex::try_build(Vec::new(), ShardConfig::default(), &Levenshtein).unwrap();
     assert!(index.is_empty());
-    assert!(index.nn(b"abc", &Levenshtein).is_none());
-    assert!(index.nn_batch(&[b"abc".to_vec()], &Levenshtein).is_none());
-    let (knn, _) = index.knn(b"abc", &Levenshtein, 3);
-    assert!(knn.is_empty());
+    // Typed errors through the trait surface…
+    let opts = QueryOptions::new();
+    assert_eq!(
+        MetricIndex::nn(&index, b"abc", &Levenshtein, &opts).unwrap_err(),
+        SearchError::EmptyDatabase
+    );
+    assert_eq!(
+        MetricIndex::knn(&index, b"abc", &Levenshtein, &opts).unwrap_err(),
+        SearchError::EmptyDatabase
+    );
+    assert_eq!(
+        MetricIndex::range(&index, b"abc", &Levenshtein, &opts).unwrap_err(),
+        SearchError::EmptyDatabase
+    );
+    // …but the pipeline treats an empty index as a normal serving
+    // state: empty answers, then the insert makes it servable.
     let mut pipeline = QueryPipeline::new(index);
     let responses = pipeline.run(
         &[
@@ -354,7 +644,7 @@ fn empty_index_behaves() {
         responses[0],
         Response::Nn {
             neighbour: None,
-            stats: cned_search::SearchStats::default()
+            stats: SearchStats::default()
         }
     );
     let Response::Nn {
@@ -365,4 +655,26 @@ fn empty_index_behaves() {
         panic!("the inserted item must be servable, got {:?}", responses[2]);
     };
     assert_eq!((nb.index, nb.distance), (0, 0.0));
+}
+
+#[test]
+fn legacy_inherent_paths_match_the_trait_paths() {
+    // The deprecated forwarders stay pinned to the trait results —
+    // bit-identical neighbours, distances and computation counts —
+    // until they are removed.
+    #![allow(deprecated)]
+    let db = corpus(45, 7, 3, 63);
+    let queries = corpus(8, 7, 3, 631);
+    let index = ShardedIndex::try_build(db, config(3), &Levenshtein).unwrap();
+    for q in &queries {
+        let (legacy, legacy_stats) = index.nn(q, &Levenshtein).unwrap();
+        let (new, new_stats) = nn_of(&index, q, &Levenshtein);
+        assert_eq!(
+            (legacy.index, legacy.distance.to_bits()),
+            (new.index, new.distance.to_bits())
+        );
+        assert_eq!(legacy_stats.total(), new_stats);
+        let (legacy_knn, _) = index.knn(q, &Levenshtein, 4);
+        assert_eq!(key(&legacy_knn), key(&knn_of(&index, q, &Levenshtein, 4)));
+    }
 }

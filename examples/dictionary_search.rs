@@ -1,25 +1,21 @@
 //! Fast approximate-word lookup in a Spanish-like dictionary —
-//! the paper's §4.3 scenario as a library user would run it.
+//! the paper's §4.3 scenario as a library user would run it, through
+//! the [`Database`] builder facade.
 //!
 //! ```sh
 //! cargo run --release --example dictionary_search
 //! ```
 //!
 //! Builds a LAESA index over generated dictionary words under the
-//! contextual heuristic distance, then resolves misspelled queries
+//! contextual heuristic distance, resolves misspelled queries
 //! (2-operation perturbations, like the SISAP `genqueries` tool)
 //! while counting how many real distance computations each engine
-//! needs.
+//! needs, and runs range queries ("every word within radius r") —
+//! the operation the pre-trait API could not express.
 
-use cned::core::contextual::heuristic::ContextualHeuristic;
-use cned::core::levenshtein::Levenshtein;
-use cned::core::metric::Distance;
-use cned::core::normalized::yujian_bo::YujianBo;
 use cned::datasets::dictionary::spanish_dictionary;
 use cned::datasets::perturb::{gen_queries, ASCII_LOWER};
-use cned::search::laesa::Laesa;
-use cned::search::linear::linear_nn;
-use cned::search::pivots::select_pivots_max_sum;
+use cned::{Backend, Database, Metric};
 
 fn show(s: &[u8]) -> &str {
     std::str::from_utf8(s).unwrap_or("<bytes>")
@@ -35,37 +31,71 @@ fn main() {
     println!("dictionary: {WORDS} words; {QUERIES} misspelled queries; {PIVOTS} pivots\n");
 
     // A few concrete lookups with the contextual heuristic.
-    let dist = ContextualHeuristic;
-    let pivots = select_pivots_max_sum(&dict, PIVOTS, 0, &dist);
-    let index = Laesa::build(dict.clone(), pivots, &dist);
+    let db = Database::builder(dict.clone())
+        .metric(Metric::ContextualHeuristic)
+        .backend(Backend::Laesa { pivots: PIVOTS })
+        .build()
+        .expect("valid configuration");
     println!("sample lookups (d_C,h):");
     for q in queries.iter().take(5) {
-        let (nn, stats) = index.nn(q, &dist).expect("non-empty dictionary");
+        let (nn, stats) = db.nn(q).expect("non-empty dictionary");
+        let nn = nn.expect("unbounded search always finds");
         println!(
             "  {:<14} -> {:<14} (distance {:.3}, {} computations instead of {WORDS})",
             show(q),
-            show(&index.database()[nn.index]),
+            show(db.item(nn.index).expect("result indices are valid")),
             nn.distance,
             stats.distance_computations,
         );
     }
 
+    // Range search: every word within a radius, with triangle-
+    // inequality pruning doing the heavy lifting.
+    let spell = Database::builder(dict.clone())
+        .backend(Backend::Laesa { pivots: PIVOTS })
+        .build()
+        .expect("valid configuration");
+    println!("\nspelling suggestions (d_E, radius 2):");
+    for q in queries.iter().take(3) {
+        let (hits, stats) = spell.range(q, 2.0).expect("non-empty dictionary");
+        let words: Vec<&str> = hits
+            .iter()
+            .take(6)
+            .map(|n| show(spell.item(n.index).expect("valid index")))
+            .collect();
+        println!(
+            "  {:<14} -> {} candidates ({} computations): {}",
+            show(q),
+            hits.len(),
+            stats.distance_computations,
+            words.join(", "),
+        );
+    }
+
     // Average savings per distance — the shape of the paper's Fig. 3.
     println!("\naverage distance computations per query (LAESA vs exhaustive):");
-    let engines: Vec<(&str, Box<dyn Distance<u8>>)> = vec![
-        ("d_E", Box::new(Levenshtein)),
-        ("d_C,h", Box::new(ContextualHeuristic)),
-        ("d_YB", Box::new(YujianBo)),
+    let engines = [
+        ("d_E", Metric::Levenshtein),
+        ("d_C,h", Metric::ContextualHeuristic),
+        ("d_YB", Metric::YujianBo),
     ];
-    for (name, d) in &engines {
-        let pivots = select_pivots_max_sum(&dict, PIVOTS, 0, d);
-        let index = Laesa::build(dict.clone(), pivots, d);
+    for (name, metric) in engines {
+        let laesa = Database::builder(dict.clone())
+            .metric(metric)
+            .backend(Backend::Laesa { pivots: PIVOTS })
+            .build()
+            .expect("valid configuration");
+        let exhaustive = Database::builder(dict.clone())
+            .metric(metric)
+            .build()
+            .expect("valid configuration");
         let mut laesa_total = 0u64;
         let mut mismatches = 0usize;
         for q in &queries {
-            let (nn_l, st) = index.nn(q, d).expect("non-empty");
+            let (nn_l, st) = laesa.nn(q).expect("non-empty");
             laesa_total += st.distance_computations;
-            let (nn_x, _) = linear_nn(&dict, q, d).expect("non-empty");
+            let (nn_x, _) = exhaustive.nn(q).expect("non-empty");
+            let (nn_l, nn_x) = (nn_l.unwrap(), nn_x.unwrap());
             if (nn_l.distance - nn_x.distance).abs() > 1e-9 {
                 mismatches += 1;
             }

@@ -11,13 +11,14 @@
 //! the confusion matrix for the contextual heuristic.
 
 use cned::classify::eval::evaluate;
-use cned::classify::nn::{NnClassifier, SearchBackend};
+use cned::classify::nn::NnClassifier;
 use cned::core::contextual::heuristic::ContextualHeuristic;
 use cned::core::levenshtein::Levenshtein;
 use cned::core::metric::Distance;
 use cned::core::normalized::simple::MaxNorm;
 use cned::core::normalized::yujian_bo::YujianBo;
 use cned::datasets::digits::generate_digits;
+use cned::search::LinearIndex;
 
 fn main() {
     const TRAIN_PER_CLASS: usize = 30;
@@ -49,20 +50,17 @@ fn main() {
 
     println!("1-NN error rates (exhaustive search):");
     for (name, d) in &panel {
-        let clf = NnClassifier::new(
-            training.clone(),
-            labels.clone(),
-            SearchBackend::Exhaustive,
-            d,
-        );
-        let (cm, _) = evaluate(&clf, &test, d, 10);
+        let clf = NnClassifier::new(Box::new(LinearIndex::new(training.clone())), labels.clone())
+            .expect("labelled training set");
+        let (cm, _) = evaluate(&clf, &test, d, 10).expect("well-formed classifier");
         println!("  {:<6} {:>5.1}%", name, cm.error_rate_percent());
     }
 
     // Confusion matrix under the contextual heuristic.
     let d = ContextualHeuristic;
-    let clf = NnClassifier::new(training, labels, SearchBackend::Exhaustive, &d);
-    let (cm, _) = evaluate(&clf, &test, &d, 10);
+    let clf = NnClassifier::new(Box::new(LinearIndex::new(training)), labels)
+        .expect("labelled training set");
+    let (cm, _) = evaluate(&clf, &test, &d, 10).expect("well-formed classifier");
     println!("\nconfusion matrix for d_C,h (rows = truth, cols = prediction):");
     print!("     ");
     for p in 0..10 {

@@ -75,4 +75,29 @@ fn main() {
     );
     assert!(dpr <= dpq + dqr + 1e-12);
     println!("  -> safe to use with AESA/LAESA pruning (see dictionary_search example)");
+
+    // --- The Database facade ------------------------------------------
+    // One builder crosses any paper metric with any search backend;
+    // the Database owns the metric, so index and distance can never
+    // drift apart.
+    use cned::{Backend, Database, Metric};
+    let words: Vec<Vec<u8>> = ["casa", "cosa", "masa", "taza", "cesta"]
+        .iter()
+        .map(|w| w.as_bytes().to_vec())
+        .collect();
+    let db = Database::builder(words)
+        .metric(Metric::Contextual { bounded: true })
+        .backend(Backend::Laesa { pivots: 2 })
+        .build()
+        .expect("valid configuration");
+    let (nn, stats) = db.nn(b"cesa").expect("non-empty database");
+    let nn = nn.expect("unbounded search always finds");
+    println!(
+        "\nDatabase facade: nn(\"cesa\") = {:?} at d_C {:.4} ({} distance computations)",
+        String::from_utf8_lossy(db.item(nn.index).unwrap()),
+        nn.distance,
+        stats.distance_computations,
+    );
+    let (close, _) = db.range(b"casa", 0.4).expect("non-empty database");
+    println!("words with d_C <= 0.4 of \"casa\": {}", close.len());
 }

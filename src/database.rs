@@ -1,0 +1,445 @@
+//! [`Database`] — the one-stop entry point of the workspace.
+//!
+//! The paper's machinery has two independent axes: *which distance*
+//! (`d_E`, `d_C`, `d_YB`, …) and *which search structure* (linear
+//! scan, LAESA, AESA, vp-tree, sharded LAESA). The builder crosses
+//! them declaratively and hands back a [`Database`] that **owns** the
+//! metric — ending the "pass the same `&dist` to every call or get
+//! garbage" footgun of the raw index types, whose pivot tables and
+//! matrices silently produce wrong answers when queried through a
+//! different distance than they were built with.
+//!
+//! ```
+//! use cned::{Backend, Database, Metric};
+//!
+//! let words: Vec<Vec<u8>> = ["casa", "cosa", "masa", "taza", "cesta"]
+//!     .iter()
+//!     .map(|w| w.as_bytes().to_vec())
+//!     .collect();
+//! let db = Database::builder(words)
+//!     .metric(Metric::Contextual { bounded: true })
+//!     .backend(Backend::Laesa { pivots: 2 })
+//!     .build()
+//!     .unwrap();
+//! let (nearest, _) = db.nn(b"cesa").unwrap();
+//! assert!(nearest.is_some());
+//! // Range search: everything within a radius, canonically ordered.
+//! let (hits, _) = db.range(b"casa", 0.4).unwrap();
+//! assert!(!hits.is_empty());
+//! ```
+
+use cned_core::contextual::exact::Contextual;
+use cned_core::contextual::heuristic::ContextualHeuristic;
+use cned_core::levenshtein::Levenshtein;
+use cned_core::metric::{Distance, Unpruned};
+use cned_core::normalized::marzal_vidal::MarzalVidal;
+use cned_core::normalized::simple::{MaxNorm, MinNorm, SumNorm};
+use cned_core::normalized::yujian_bo::YujianBo;
+use cned_core::Symbol;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{
+    Aesa, Laesa, LinearIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+    VpTree,
+};
+use cned_serve::{ShardConfig, ShardedIndex};
+
+/// Every distance of the paper, selectable by name.
+///
+/// `Contextual { bounded }` chooses between the band-pruned bounded
+/// engine (`true`, the production path) and the full-evaluation
+/// [`Unpruned`] baseline (`false`) — results are identical, only the
+/// work per comparison changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Plain Levenshtein `d_E` (bit-parallel Myers engine).
+    Levenshtein,
+    /// The paper's contextual metric `d_C` (Algorithm 1).
+    Contextual {
+        /// Route comparisons through the bounded engine's admissible
+        /// gates and banded DP (`true`), or always evaluate the full
+        /// cubic DP (`false`).
+        bounded: bool,
+    },
+    /// The quadratic-time contextual heuristic `d_C,h` (not a metric).
+    ContextualHeuristic,
+    /// Marzal–Vidal normalised edit distance `d_MV`.
+    MarzalVidal,
+    /// Yujian–Bo normalised metric `d_YB`.
+    YujianBo,
+    /// `d_E / max(|x|,|y|)` — not a metric.
+    MaxNorm,
+    /// `d_E / min(|x|,|y|)` — not a metric.
+    MinNorm,
+    /// `d_E / (|x|+|y|)` — not a metric.
+    SumNorm,
+}
+
+impl Metric {
+    /// Instantiate the distance for symbol type `S`.
+    pub fn build<S: Symbol>(self) -> Box<dyn Distance<S>> {
+        match self {
+            Metric::Levenshtein => Box::new(Levenshtein),
+            Metric::Contextual { bounded: true } => Box::new(Contextual),
+            Metric::Contextual { bounded: false } => Box::new(Unpruned(Contextual)),
+            Metric::ContextualHeuristic => Box::new(ContextualHeuristic),
+            Metric::MarzalVidal => Box::new(MarzalVidal),
+            Metric::YujianBo => Box::new(YujianBo),
+            Metric::MaxNorm => Box::new(MaxNorm),
+            Metric::MinNorm => Box::new(MinNorm),
+            Metric::SumNorm => Box::new(SumNorm),
+        }
+    }
+}
+
+/// Which search structure answers the queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Exhaustive scan — no preprocessing, `n` computations per query,
+    /// correct for any distance (metric or not).
+    Linear,
+    /// LAESA with this many greedy max-sum pivots (clamped to the
+    /// database size). With `.shards(k)`, each shard gets this many
+    /// pivots.
+    Laesa {
+        /// Number of base prototypes (pivots).
+        pivots: usize,
+    },
+    /// AESA: the full pairwise matrix — fewest query computations,
+    /// quadratic preprocessing.
+    Aesa,
+    /// A vantage-point tree.
+    VpTree,
+}
+
+/// Builder for [`Database`]; see the module docs for the flow.
+pub struct DatabaseBuilder<S: Symbol + 'static> {
+    items: Vec<Vec<S>>,
+    metric: Box<dyn Distance<S>>,
+    backend: Backend,
+    shards: usize,
+    compact_threshold: usize,
+}
+
+impl<S: Symbol + 'static> DatabaseBuilder<S> {
+    /// Select a named paper metric (default: [`Metric::Levenshtein`]).
+    pub fn metric(mut self, metric: Metric) -> DatabaseBuilder<S> {
+        self.metric = metric.build();
+        self
+    }
+
+    /// Use a custom [`Distance`] implementation instead of a named
+    /// paper metric. Triangle-inequality backends (everything but
+    /// [`Backend::Linear`]) return exact results only when it is a
+    /// true metric.
+    pub fn custom_metric(mut self, metric: Box<dyn Distance<S>>) -> DatabaseBuilder<S> {
+        self.metric = metric;
+        self
+    }
+
+    /// Select the search backend (default: [`Backend::Linear`]).
+    pub fn backend(mut self, backend: Backend) -> DatabaseBuilder<S> {
+        self.backend = backend;
+        self
+    }
+
+    /// Split the database into `shards` LAESA shards served with
+    /// cross-shard bound propagation (`cned-serve`). Only meaningful
+    /// with [`Backend::Laesa`]; any other backend is rejected at
+    /// [`DatabaseBuilder::build`] time. `shards <= 1` keeps a single
+    /// index.
+    pub fn shards(mut self, shards: usize) -> DatabaseBuilder<S> {
+        self.shards = shards;
+        self
+    }
+
+    /// Delta-shard size that triggers compaction in the sharded
+    /// backend (default: the `cned-serve` default).
+    pub fn compact_threshold(mut self, threshold: usize) -> DatabaseBuilder<S> {
+        self.compact_threshold = threshold;
+        self
+    }
+
+    /// Build the index and pair it with the metric.
+    pub fn build(self) -> Result<Database<S>, SearchError> {
+        let DatabaseBuilder {
+            items,
+            metric,
+            backend,
+            shards,
+            compact_threshold,
+        } = self;
+        let index: Box<dyn MetricIndex<S>> = if shards > 1 {
+            let Backend::Laesa { pivots } = backend else {
+                return Err(SearchError::UnsupportedConfig {
+                    reason: "sharding is only available for the LAESA backend",
+                });
+            };
+            let config = ShardConfig {
+                shards,
+                pivots_per_shard: pivots,
+                compact_threshold,
+            };
+            Box::new(ShardedIndex::try_build(items, config, &*metric)?)
+        } else {
+            match backend {
+                Backend::Linear => Box::new(LinearIndex::new(items)),
+                Backend::Laesa { pivots } => {
+                    let selected = select_pivots_max_sum(&items, pivots, 0, &*metric);
+                    Box::new(Laesa::try_build(items, selected, &*metric)?)
+                }
+                Backend::Aesa => Box::new(Aesa::build(items, &*metric)),
+                Backend::VpTree => Box::new(VpTree::build(items, &*metric)),
+            }
+        };
+        Ok(Database { metric, index })
+    }
+}
+
+/// A metric-space database: an index paired with the [`Distance`] it
+/// was built over. All queries go through the owned metric, so index
+/// and metric can never drift apart.
+pub struct Database<S: Symbol + 'static> {
+    metric: Box<dyn Distance<S>>,
+    index: Box<dyn MetricIndex<S>>,
+}
+
+impl<S: Symbol + 'static> Database<S> {
+    /// Start building a database over `items`. Defaults:
+    /// [`Metric::Levenshtein`], [`Backend::Linear`], no sharding.
+    pub fn builder(items: Vec<Vec<S>>) -> DatabaseBuilder<S> {
+        DatabaseBuilder {
+            items,
+            metric: Metric::Levenshtein.build(),
+            backend: Backend::Linear,
+            shards: 1,
+            compact_threshold: ShardConfig::default().compact_threshold,
+        }
+    }
+
+    /// The owned metric.
+    pub fn metric(&self) -> &dyn Distance<S> {
+        &*self.metric
+    }
+
+    /// The underlying index as a trait object — e.g. to hand to a
+    /// `cned_classify` classifier or a serving pipeline.
+    pub fn index(&self) -> &dyn MetricIndex<S> {
+        &*self.index
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the database holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The item at index `i` (result indices address this).
+    pub fn item(&self, i: usize) -> Option<&[S]> {
+        self.index.item(i)
+    }
+
+    /// Nearest neighbour of `query`.
+    pub fn nn(&self, query: &[S]) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        self.nn_with(query, &QueryOptions::new())
+    }
+
+    /// Nearest neighbour with explicit [`QueryOptions`] (radius seed,
+    /// pivot budget, stats sink, …).
+    pub fn nn_with(
+        &self,
+        query: &[S],
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        self.index.nn(query, &*self.metric, opts)
+    }
+
+    /// The `k` nearest neighbours of `query`, canonically ordered.
+    pub fn knn(&self, query: &[S], k: usize) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        self.knn_with(query, &QueryOptions::new().k(k))
+    }
+
+    /// k-NN with explicit [`QueryOptions`].
+    pub fn knn_with(
+        &self,
+        query: &[S],
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        self.index.knn(query, &*self.metric, opts)
+    }
+
+    /// Every item within `radius` (inclusive) of `query`, canonically
+    /// ordered.
+    pub fn range(
+        &self,
+        query: &[S],
+        radius: f64,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        self.range_with(query, &QueryOptions::new().radius(radius))
+    }
+
+    /// Range search with explicit [`QueryOptions`].
+    pub fn range_with(
+        &self,
+        query: &[S],
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        self.index.range(query, &*self.metric, opts)
+    }
+
+    /// Nearest neighbour for a batch of queries, parallelised across
+    /// queries.
+    pub fn nn_batch(
+        &self,
+        queries: &[Vec<S>],
+    ) -> Result<Vec<(Option<Neighbour>, SearchStats)>, SearchError> {
+        self.index
+            .nn_batch(queries, &*self.metric, &QueryOptions::new())
+    }
+
+    /// k-NN for a batch of queries, parallelised across queries.
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<S>],
+        k: usize,
+    ) -> Result<Vec<(Vec<Neighbour>, SearchStats)>, SearchError> {
+        self.index
+            .knn_batch(queries, &*self.metric, &QueryOptions::new().k(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words() -> Vec<Vec<u8>> {
+        ["casa", "cosa", "masa", "taza", "cesta", "pasta"]
+            .iter()
+            .map(|w| w.as_bytes().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_answers_identically_through_the_facade() {
+        let backends = [
+            Backend::Linear,
+            Backend::Laesa { pivots: 3 },
+            Backend::Aesa,
+            Backend::VpTree,
+        ];
+        let reference = Database::builder(words()).build().unwrap();
+        for backend in backends {
+            let db = Database::builder(words()).backend(backend).build().unwrap();
+            assert_eq!(db.len(), 6);
+            for q in [&b"casa"[..], b"pesto", b"maza"] {
+                let (r_nn, _) = reference.nn(q).unwrap();
+                let (b_nn, _) = db.nn(q).unwrap();
+                let (r_nn, b_nn) = (r_nn.unwrap(), b_nn.unwrap());
+                assert_eq!(
+                    (r_nn.index, r_nn.distance.to_bits()),
+                    (b_nn.index, b_nn.distance.to_bits()),
+                    "{backend:?} query {q:?}"
+                );
+                let (r_range, _) = reference.range(q, 2.0).unwrap();
+                let (b_range, _) = db.range(q, 2.0).unwrap();
+                let as_key = |ns: &[Neighbour]| -> Vec<(usize, u64)> {
+                    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+                };
+                assert_eq!(
+                    as_key(&r_range),
+                    as_key(&b_range),
+                    "{backend:?} query {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_builder_path_works_and_owns_the_metric() {
+        let db = Database::builder(words())
+            .metric(Metric::Contextual { bounded: true })
+            .backend(Backend::Laesa { pivots: 2 })
+            .shards(3)
+            .build()
+            .unwrap();
+        assert_eq!(db.index().backend_name(), "sharded");
+        let (nn, _) = db.nn(b"casa").unwrap();
+        let nn = nn.unwrap();
+        assert_eq!(nn.index, 0);
+        assert_eq!(nn.distance, 0.0);
+        assert_eq!(db.item(nn.index), Some(&b"casa"[..]));
+        assert_eq!(db.metric().name(), "d_C");
+        // Batches flow through the same surface.
+        let queries = words();
+        let batch = db.nn_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (i, (nb, _)) in batch.iter().enumerate() {
+            assert_eq!(nb.unwrap().index, i, "member query finds itself");
+        }
+    }
+
+    #[test]
+    fn sharding_non_laesa_backends_is_a_typed_error() {
+        let err = Database::builder(words())
+            .backend(Backend::VpTree)
+            .shards(4)
+            .build()
+            .err()
+            .expect("sharded vp-tree must be rejected");
+        assert!(matches!(err, SearchError::UnsupportedConfig { .. }));
+    }
+
+    #[test]
+    fn unbounded_contextual_matches_bounded_results() {
+        let fast = Database::builder(words())
+            .metric(Metric::Contextual { bounded: true })
+            .build()
+            .unwrap();
+        let slow = Database::builder(words())
+            .metric(Metric::Contextual { bounded: false })
+            .build()
+            .unwrap();
+        for q in [&b"casa"[..], b"past", b"zzz"] {
+            let (f, _) = fast.nn(q).unwrap();
+            let (s, _) = slow.nn(q).unwrap();
+            let (f, s) = (f.unwrap(), s.unwrap());
+            assert_eq!(
+                (f.index, f.distance.to_bits()),
+                (s.index, s.distance.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn custom_metrics_plug_in() {
+        struct LengthDiff;
+        impl Distance<u8> for LengthDiff {
+            fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+                (a.len() as f64 - b.len() as f64).abs()
+            }
+            fn name(&self) -> &'static str {
+                "len-diff"
+            }
+            fn is_metric(&self) -> bool {
+                false // pseudo-metric: identity fails
+            }
+        }
+        let db = Database::builder(words())
+            .custom_metric(Box::new(LengthDiff))
+            .build()
+            .unwrap();
+        let (nn, _) = db.nn(b"xxxx").unwrap();
+        assert_eq!(nn.unwrap().distance, 0.0);
+    }
+
+    #[test]
+    fn empty_database_is_a_typed_error_at_query_time() {
+        let db = Database::builder(Vec::<Vec<u8>>::new()).build().unwrap();
+        assert!(db.is_empty());
+        assert_eq!(db.nn(b"x").unwrap_err(), SearchError::EmptyDatabase);
+        assert_eq!(db.range(b"x", 1.0).unwrap_err(), SearchError::EmptyDatabase);
+    }
+}

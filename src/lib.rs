@@ -1,22 +1,58 @@
 //! # cned — A Contextual Normalised Edit Distance
 //!
-//! Facade crate re-exporting the full workspace: a reproduction of
-//! *"A Contextual Normalised Edit Distance"* (Colin de la Higuera &
-//! Luisa Micó, ICDE 2008).
+//! A reproduction of *"A Contextual Normalised Edit Distance"* (Colin
+//! de la Higuera & Luisa Micó, ICDE 2008), grown into a metric-space
+//! search engine: every distance of the paper, five interchangeable
+//! nearest-neighbour backends behind one object-safe trait, and a
+//! sharded serving layer.
+//!
+//! ## Quickstart: the [`Database`] facade
+//!
+//! The paper's machinery is generic in the metric — the same search
+//! structures serve `d_E`, `d_C`, `d_YB`, … unchanged. The facade
+//! crosses the two axes declaratively and returns a [`Database`] that
+//! owns its metric:
+//!
+//! ```
+//! use cned::{Backend, Database, Metric};
+//!
+//! let words: Vec<Vec<u8>> = ["casa", "cosa", "masa", "taza"]
+//!     .iter()
+//!     .map(|w| w.as_bytes().to_vec())
+//!     .collect();
+//! let db = Database::builder(words)
+//!     .metric(Metric::Contextual { bounded: true })
+//!     .backend(Backend::Laesa { pivots: 2 })
+//!     .build()
+//!     .unwrap();
+//!
+//! // Nearest neighbour, k-NN and range search share one surface.
+//! let (nearest, stats) = db.nn(b"cusa").unwrap();
+//! assert!(nearest.unwrap().distance > 0.0);
+//! assert!(stats.distance_computations <= 4);
+//! let (within, _) = db.range(b"casa", 0.5).unwrap();
+//! assert!(!within.is_empty());
+//! ```
+//!
+//! Add `.shards(4)` to serve the same queries from a sharded LAESA
+//! index with cross-shard bound propagation, or drop to the layer
+//! crates directly:
 //!
 //! * [`core`] — every distance in the paper: Levenshtein `d_E`, the
 //!   contextual metric `d_C` (exact Algorithm 1) and its fast heuristic
 //!   `d_C,h`, Marzal–Vidal `d_MV`, Yujian–Bo `d_YB`, and the
 //!   non-metric normalisations `d_max`/`d_min`/`d_sum`.
-//! * [`search`] — LAESA / AESA / linear-scan nearest-neighbour search
-//!   with distance-computation counting.
+//! * [`search`] — the [`search::MetricIndex`] trait and its backends
+//!   (linear scan, LAESA, AESA, vp-tree) with distance-computation
+//!   counting, typed errors and batch pipelines.
 //! * [`serve`] — sharded serving layer: multi-shard LAESA with
-//!   cross-shard bound propagation and a batch query pipeline.
+//!   cross-shard bound propagation and a batch query pipeline, generic
+//!   over the trait.
 //! * [`datasets`] — synthetic stand-ins for the paper's three
 //!   benchmarks: a Spanish-like dictionary, DNA gene sequences, and
 //!   handwritten-digit contour chain codes.
 //! * [`stats`] — distance histograms and intrinsic dimensionality.
-//! * [`classify`] — 1-NN classification and error rates.
+//! * [`classify`] — 1-NN / k-NN classification over `&dyn MetricIndex`.
 //!
 //! ```
 //! use cned::prelude::*;
@@ -25,6 +61,34 @@
 //! let d = contextual_distance(b"ababa", b"baab");
 //! assert!((d - 8.0 / 15.0).abs() < 1e-12);
 //! ```
+//!
+//! ## Migrating from the pre-trait API (0.1)
+//!
+//! The old per-backend query methods remain as `#[deprecated]`
+//! forwarders for one release. Old call → new call:
+//!
+//! | 0.1 (deprecated) | replacement |
+//! |---|---|
+//! | `linear_nn(&db, q, &d)` | `LinearIndex::new(db)` + `MetricIndex::nn(q, &d, &opts)` |
+//! | `linear_knn(&db, q, &d, k)` | `MetricIndex::knn` with `QueryOptions::new().k(k)` |
+//! | `linear_nn_batch` / `linear_knn_batch` | `MetricIndex::nn_batch` / `knn_batch` |
+//! | `Laesa::build(db, piv, &d)` (panics) | `Laesa::try_build(db, piv, &d)?` |
+//! | `laesa.nn(q, &d)` | `MetricIndex::nn(&laesa, q, &d, &opts)` |
+//! | `laesa.nn_limited(q, &d, p)` | `QueryOptions::new().pivot_budget(p)` |
+//! | `laesa.knn(q, &d, k)` | `MetricIndex::knn` with `QueryOptions::new().k(k)` |
+//! | `laesa.nn_batch` / `laesa.knn_batch` | `MetricIndex::nn_batch` / `knn_batch` |
+//! | `aesa.nn(q, &d)` / `aesa.nn_batch` | `MetricIndex::nn` / `nn_batch` |
+//! | `vptree.nn(q, &d)` | `MetricIndex::nn` |
+//! | `ShardedIndex::build(db, cfg, &d)` | `ShardedIndex::try_build(db, cfg, &d)?` |
+//! | `sharded.nn` / `.knn` / `.nn_batch` / `.knn_batch` | the `MetricIndex` equivalents |
+//! | `NnClassifier::new(train, labels, SearchBackend::…, &d)` | build an index, then `NnClassifier::new(Box::new(index), labels)?` (the `SearchBackend` enum is gone) |
+//! | `KnnClassifier::new` / `with_laesa` / `with_sharded` | build an index, then `KnnClassifier::new(Box::new(index), labels, k)?` |
+//! | — | **new:** `MetricIndex::range` / `Database::range` / `Request::Range` |
+//!
+//! Or skip the per-crate types entirely and use [`Database::builder`].
+//! The facade (and everything answering queries) reports failure as
+//! [`SearchError`] — empty databases, invalid radii and bad pivot sets
+//! are values, not panics.
 
 pub use cned_classify as classify;
 pub use cned_core as core;
@@ -33,7 +97,15 @@ pub use cned_search as search;
 pub use cned_serve as serve;
 pub use cned_stats as stats;
 
+mod database;
+
+pub use cned_search::{
+    InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+};
+pub use database::{Backend, Database, DatabaseBuilder, Metric};
+
 /// One-stop imports for examples and quick scripts.
 pub mod prelude {
+    pub use crate::{Backend, Database, Metric, MetricIndex, QueryOptions, SearchError};
     pub use cned_core::prelude::*;
 }

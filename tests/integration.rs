@@ -3,7 +3,7 @@
 //! search → stats → classification.
 
 use cned::classify::eval::evaluate;
-use cned::classify::nn::{NnClassifier, SearchBackend};
+use cned::classify::nn::NnClassifier;
 use cned::core::contextual::exact::{contextual_distance, Contextual};
 use cned::core::contextual::heuristic::{contextual_heuristic, ContextualHeuristic};
 use cned::core::levenshtein::Levenshtein;
@@ -15,8 +15,8 @@ use cned::datasets::dna::dna_sequences;
 use cned::datasets::perturb::{gen_queries, ASCII_LOWER};
 use cned::search::aesa::Aesa;
 use cned::search::laesa::Laesa;
-use cned::search::linear::linear_nn;
 use cned::search::pivots::select_pivots_max_sum;
+use cned::search::{LinearIndex, MetricIndex, QueryOptions};
 use cned::stats::{Histogram, Moments};
 
 /// The contextual distance passes a full metric-axiom sweep on real
@@ -57,10 +57,13 @@ fn laesa_exactness_for_contextual_metric_on_dictionary() {
     let dict = spanish_dictionary(250, 11);
     let queries = gen_queries(&dict, 40, 2, ASCII_LOWER, 13);
     let pivots = select_pivots_max_sum(&dict, 16, 0, &Contextual);
-    let index = Laesa::build(dict.clone(), pivots, &Contextual);
+    let index = Laesa::try_build(dict.clone(), pivots, &Contextual).unwrap();
+    let oracle = LinearIndex::new(dict.clone());
+    let opts = QueryOptions::new();
     for q in &queries {
-        let (lin, _) = linear_nn(&dict, q, &Contextual).expect("non-empty");
-        let (nn, stats) = index.nn(q, &Contextual).expect("non-empty");
+        let (lin, _) = oracle.nn(q, &Contextual, &opts).expect("non-empty");
+        let (nn, stats) = MetricIndex::nn(&index, q, &Contextual, &opts).expect("non-empty");
+        let (lin, nn) = (lin.unwrap(), nn.unwrap());
         assert!((nn.distance - lin.distance).abs() < 1e-9, "query {q:?}");
         assert!(stats.distance_computations <= dict.len() as u64);
     }
@@ -74,12 +77,15 @@ fn aesa_laesa_linear_concordance() {
     let queries = gen_queries(&dict, 25, 2, ASCII_LOWER, 19);
     let aesa = Aesa::build(dict.clone(), &Levenshtein);
     let pivots = select_pivots_max_sum(&dict, 12, 0, &Levenshtein);
-    let laesa = Laesa::build(dict.clone(), pivots, &Levenshtein);
+    let laesa = Laesa::try_build(dict.clone(), pivots, &Levenshtein).unwrap();
+    let oracle = LinearIndex::new(dict.clone());
+    let opts = QueryOptions::new();
     let (mut ca, mut cl) = (0u64, 0u64);
     for q in &queries {
-        let (lin, _) = linear_nn(&dict, q, &Levenshtein).expect("non-empty");
-        let (na, sa) = aesa.nn(q, &Levenshtein).expect("non-empty");
-        let (nl, sl) = laesa.nn(q, &Levenshtein).expect("non-empty");
+        let (lin, _) = oracle.nn(q, &Levenshtein, &opts).expect("non-empty");
+        let (na, sa) = MetricIndex::nn(&aesa, q, &Levenshtein, &opts).expect("non-empty");
+        let (nl, sl) = MetricIndex::nn(&laesa, q, &Levenshtein, &opts).expect("non-empty");
+        let (lin, na, nl) = (lin.unwrap(), na.unwrap(), nl.unwrap());
         assert_eq!(na.distance, lin.distance);
         assert_eq!(nl.distance, lin.distance);
         ca += sa.distance_computations;
@@ -103,13 +109,9 @@ fn digit_classification_beats_chance_for_all_distances() {
 
     for kind in DistanceKind::TABLE2_PANEL {
         let dist = kind.build::<u8>();
-        let clf = NnClassifier::new(
-            training.clone(),
-            labels.clone(),
-            SearchBackend::Exhaustive,
-            &dist,
-        );
-        let (cm, _) = evaluate(&clf, &test, &dist, 10);
+        let clf = NnClassifier::new(Box::new(LinearIndex::new(training.clone())), labels.clone())
+            .expect("labelled training set");
+        let (cm, _) = evaluate(&clf, &test, &dist, 10).expect("well-formed classifier");
         // Chance is 90% error; anything competent lands far below.
         assert!(
             cm.error_rate_percent() < 40.0,
@@ -190,10 +192,11 @@ fn counting_wrapper_matches_reported_stats() {
     let dict = spanish_dictionary(100, 31);
     let counting = CountingDistance::new(ContextualHeuristic);
     let pivots = select_pivots_max_sum(&dict, 8, 0, &counting);
-    let index = Laesa::build(dict.clone(), pivots, &counting);
+    let index = Laesa::try_build(dict.clone(), pivots, &counting).unwrap();
     counting.reset(); // drop preprocessing counts
     let q = b"palabra".to_vec();
-    let (_, stats) = index.nn(&q, &counting).expect("non-empty");
+    let (_, stats) =
+        MetricIndex::nn(&index, &q, &counting, &QueryOptions::new()).expect("non-empty");
     assert_eq!(stats.distance_computations, counting.count());
 }
 
@@ -212,8 +215,10 @@ fn full_pipeline_is_deterministic() {
             .map(|s| (s.chain.clone(), s.label))
             .collect();
         let d = ContextualHeuristic;
-        let clf = NnClassifier::new(training, labels, SearchBackend::Laesa { pivots: 6 }, &d);
-        let (cm, comps) = evaluate(&clf, &test, &d, 10);
+        let pivots = select_pivots_max_sum(&training, 6, 0, &d);
+        let index = Laesa::try_build(training, pivots, &d).unwrap();
+        let clf = NnClassifier::new(Box::new(index), labels).expect("labelled training set");
+        let (cm, comps) = evaluate(&clf, &test, &d, 10).expect("well-formed classifier");
         (format!("{cm:?}"), comps)
     };
     assert_eq!(run(), run());

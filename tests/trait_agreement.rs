@@ -1,0 +1,346 @@
+//! The unified-API agreement suite (acceptance gate of the redesign):
+//! all five backends — `LinearIndex`, `Laesa`, `Aesa`, `VpTree` and
+//! `ShardedIndex` — answer nn / knn / range through `&dyn
+//! MetricIndex<u8>` with results **bit-identical** to the
+//! pre-redesign inherent-method paths (neighbours, distances, and —
+//! where the legacy path exists — computation counts), across `d_E`,
+//! `d_YB` and `d_C`, including the canonical tie-break on
+//! duplicate-heavy corpora and the empty-corpus edge cases.
+
+use cned::core::contextual::exact::Contextual;
+use cned::core::levenshtein::Levenshtein;
+use cned::core::metric::Distance;
+use cned::core::normalized::yujian_bo::YujianBo;
+use cned::search::pivots::select_pivots_max_sum;
+use cned::search::{Aesa, Laesa, LinearIndex, VpTree};
+use cned::serve::{ShardConfig, ShardedIndex};
+use cned::{Backend, Database, Metric, MetricIndex, Neighbour, QueryOptions, SearchError};
+
+/// Deterministic pseudo-random word corpus (xorshift).
+fn corpus(n: usize, len: usize, alphabet: u8, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let l = 1 + (rng() % len as u64) as usize;
+            (0..l)
+                .map(|_| b'a' + (rng() % alphabet as u64) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+/// All five backends over one corpus, as trait objects.
+fn backends(db: &[Vec<u8>], dist: &dyn Distance<u8>) -> Vec<Box<dyn MetricIndex<u8>>> {
+    let pivots = select_pivots_max_sum(db, 6, 0, dist);
+    vec![
+        Box::new(LinearIndex::new(db.to_vec())),
+        Box::new(Laesa::try_build(db.to_vec(), pivots, dist).unwrap()),
+        Box::new(Aesa::build(db.to_vec(), dist)),
+        Box::new(VpTree::build(db.to_vec(), dist)),
+        Box::new(
+            ShardedIndex::try_build(
+                db.to_vec(),
+                ShardConfig {
+                    shards: 3,
+                    pivots_per_shard: 3,
+                    compact_threshold: 8,
+                },
+                dist,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+fn key(ns: &[Neighbour]) -> Vec<(usize, u64)> {
+    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+}
+
+/// Linear-scan oracles computed with raw `Distance::distance` calls —
+/// independent of every code path under test.
+fn oracle_sorted(db: &[Vec<u8>], q: &[u8], dist: &dyn Distance<u8>) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = db
+        .iter()
+        .enumerate()
+        .map(|(i, item)| (i, dist.distance(q, item)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all
+}
+
+#[test]
+fn all_backends_agree_on_nn_knn_and_range_for_all_metrics() {
+    // Duplicates guarantee distance ties, so this also pins the
+    // canonical (distance, ascending index) tie-break behind the
+    // trait for every backend.
+    let mut db = corpus(36, 6, 3, 41);
+    let dups: Vec<Vec<u8>> = db.iter().take(8).cloned().collect();
+    db.extend(dups);
+    let queries = corpus(6, 6, 3, 411);
+    let metrics: [&dyn Distance<u8>; 3] = [&Levenshtein, &YujianBo, &Contextual];
+    for dist in metrics {
+        let indexes = backends(&db, dist);
+        for q in &queries {
+            let sorted = oracle_sorted(&db, q, dist);
+            let (nn_i, nn_d) = sorted[0];
+            let knn_expect: Vec<(usize, u64)> = sorted
+                .iter()
+                .take(4)
+                .map(|&(i, d)| (i, d.to_bits()))
+                .collect();
+            // Radius at the exact NN distance: boundary ties must be
+            // admitted by every backend (elimination slack at work for
+            // the real-valued metrics).
+            let radius = nn_d;
+            let range_expect: Vec<(usize, u64)> = sorted
+                .iter()
+                .take_while(|&&(_, d)| d <= radius)
+                .map(|&(i, d)| (i, d.to_bits()))
+                .collect();
+            for index in &indexes {
+                let label = format!(
+                    "backend {} metric {} query {q:?}",
+                    index.backend_name(),
+                    dist.name()
+                );
+                let (nn, _) = index.nn(q, dist, &QueryOptions::new()).unwrap();
+                let nn = nn.expect("infinite radius always finds");
+                assert_eq!(
+                    (nn.index, nn.distance.to_bits()),
+                    (nn_i, nn_d.to_bits()),
+                    "{label}"
+                );
+                let (knn, _) = index.knn(q, dist, &QueryOptions::new().k(4)).unwrap();
+                assert_eq!(key(&knn), knn_expect, "{label}");
+                let (range, _) = index
+                    .range(q, dist, &QueryOptions::new().radius(radius))
+                    .unwrap();
+                assert_eq!(key(&range), range_expect, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn trait_object_results_are_bit_identical_to_legacy_inherent_paths() {
+    // For each backend that had an inherent pre-redesign query path,
+    // the trait-object path must reproduce it bit for bit — including
+    // the per-query computation counts.
+    let db = corpus(50, 7, 3, 43);
+    let queries = corpus(8, 7, 3, 431);
+    let opts = QueryOptions::new();
+    let metrics: [&dyn Distance<u8>; 3] = [&Levenshtein, &YujianBo, &Contextual];
+    for dist in metrics {
+        let pivots = select_pivots_max_sum(&db, 6, 0, dist);
+        let laesa = Laesa::try_build(db.clone(), pivots, dist).unwrap();
+        let aesa = Aesa::build(db.clone(), dist);
+        let sharded = ShardedIndex::try_build(
+            db.clone(),
+            ShardConfig {
+                shards: 3,
+                pivots_per_shard: 3,
+                compact_threshold: 8,
+            },
+            dist,
+        )
+        .unwrap();
+        for q in &queries {
+            let label = format!("metric {} query {q:?}", dist.name());
+            // Linear: free function vs trait.
+            let linear: &dyn MetricIndex<u8> = &LinearIndex::new(db.clone());
+            let (l_legacy, l_stats) = cned::search::linear_nn(&db, q, dist).unwrap();
+            let (l_new, l_new_stats) = linear.nn(q, dist, &opts).unwrap();
+            let l_new = l_new.unwrap();
+            assert_eq!(
+                (l_legacy.index, l_legacy.distance.to_bits(), l_stats),
+                (l_new.index, l_new.distance.to_bits(), l_new_stats),
+                "{label}"
+            );
+            let (lk_legacy, _) = cned::search::linear_knn(&db, q, dist, 5);
+            let (lk_new, _) = linear.knn(q, dist, &QueryOptions::new().k(5)).unwrap();
+            assert_eq!(key(&lk_legacy), key(&lk_new), "{label}");
+            // LAESA.
+            let (a_legacy, a_stats) = laesa.nn(q, dist).unwrap();
+            let dyn_laesa: &dyn MetricIndex<u8> = &laesa;
+            let (a_new, a_new_stats) = dyn_laesa.nn(q, dist, &opts).unwrap();
+            let a_new = a_new.unwrap();
+            assert_eq!(
+                (a_legacy.index, a_legacy.distance.to_bits(), a_stats),
+                (a_new.index, a_new.distance.to_bits(), a_new_stats),
+                "{label}"
+            );
+            let (ak_legacy, ak_stats) = laesa.knn(q, dist, 5);
+            let (ak_new, ak_new_stats) = dyn_laesa.knn(q, dist, &QueryOptions::new().k(5)).unwrap();
+            assert_eq!(key(&ak_legacy), key(&ak_new), "{label}");
+            assert_eq!(ak_stats, ak_new_stats, "{label}");
+            // nn_limited ↔ pivot_budget.
+            for limit in [0usize, 2, 6] {
+                let (p_legacy, p_stats) = laesa.nn_limited(q, dist, limit).unwrap();
+                let (p_new, p_new_stats) = dyn_laesa
+                    .nn(q, dist, &QueryOptions::new().pivot_budget(limit))
+                    .unwrap();
+                let p_new = p_new.unwrap();
+                assert_eq!(
+                    (p_legacy.index, p_legacy.distance.to_bits(), p_stats),
+                    (p_new.index, p_new.distance.to_bits(), p_new_stats),
+                    "{label} limit {limit}"
+                );
+            }
+            // AESA.
+            let (e_legacy, e_stats) = aesa.nn(q, dist).unwrap();
+            let dyn_aesa: &dyn MetricIndex<u8> = &aesa;
+            let (e_new, e_new_stats) = dyn_aesa.nn(q, dist, &opts).unwrap();
+            let e_new = e_new.unwrap();
+            assert_eq!(
+                (e_legacy.index, e_legacy.distance.to_bits(), e_stats),
+                (e_new.index, e_new.distance.to_bits(), e_new_stats),
+                "{label}"
+            );
+            // Sharded.
+            let (s_legacy, s_stats) = sharded.nn(q, dist).unwrap();
+            let dyn_sharded: &dyn MetricIndex<u8> = &sharded;
+            let (s_new, s_new_stats) = dyn_sharded.nn(q, dist, &opts).unwrap();
+            let s_new = s_new.unwrap();
+            assert_eq!(
+                (s_legacy.index, s_legacy.distance.to_bits(), s_stats.total()),
+                (s_new.index, s_new.distance.to_bits(), s_new_stats),
+                "{label}"
+            );
+            let (sk_legacy, sk_stats) = sharded.knn(q, dist, 5);
+            let (sk_new, sk_new_stats) =
+                dyn_sharded.knn(q, dist, &QueryOptions::new().k(5)).unwrap();
+            assert_eq!(key(&sk_legacy), key(&sk_new), "{label}");
+            assert_eq!(sk_stats.total(), sk_new_stats, "{label}");
+        }
+    }
+}
+
+#[test]
+fn empty_corpus_is_a_typed_error_on_every_backend() {
+    let empty: Vec<Vec<u8>> = Vec::new();
+    for index in backends(&empty, &Levenshtein) {
+        let label = index.backend_name();
+        assert_eq!(index.len(), 0, "{label}");
+        let opts = QueryOptions::new();
+        assert_eq!(
+            index.nn(b"abc", &Levenshtein, &opts).unwrap_err(),
+            SearchError::EmptyDatabase,
+            "{label}"
+        );
+        assert_eq!(
+            index.knn(b"abc", &Levenshtein, &opts).unwrap_err(),
+            SearchError::EmptyDatabase,
+            "{label}"
+        );
+        assert_eq!(
+            index.range(b"abc", &Levenshtein, &opts).unwrap_err(),
+            SearchError::EmptyDatabase,
+            "{label}"
+        );
+        assert_eq!(
+            index
+                .nn_batch(&[b"abc".to_vec()], &Levenshtein, &opts)
+                .unwrap_err(),
+            SearchError::EmptyDatabase,
+            "{label}"
+        );
+        assert_eq!(index.item(0), None, "{label}");
+    }
+}
+
+#[test]
+fn batch_paths_match_single_paths_behind_the_trait() {
+    let db = corpus(40, 7, 3, 47);
+    let queries = corpus(10, 7, 3, 471);
+    for index in backends(&db, &Levenshtein) {
+        let label = index.backend_name();
+        let opts = QueryOptions::new().threads(3);
+        let nn_batch = index.nn_batch(&queries, &Levenshtein, &opts).unwrap();
+        let knn_batch = index
+            .knn_batch(&queries, &Levenshtein, &QueryOptions::new().k(3).threads(3))
+            .unwrap();
+        for (q, ((b_nn, b_stats), (b_knn, b_knn_stats))) in
+            queries.iter().zip(nn_batch.iter().zip(&knn_batch))
+        {
+            let (s_nn, s_stats) = index.nn(q, &Levenshtein, &opts).unwrap();
+            let (b_nn, s_nn) = (b_nn.unwrap(), s_nn.unwrap());
+            assert_eq!(
+                (b_nn.index, b_nn.distance.to_bits(), *b_stats),
+                (s_nn.index, s_nn.distance.to_bits(), s_stats),
+                "{label} query {q:?}"
+            );
+            let (s_knn, s_knn_stats) = index
+                .knn(q, &Levenshtein, &QueryOptions::new().k(3))
+                .unwrap();
+            assert_eq!(key(b_knn), key(&s_knn), "{label} query {q:?}");
+            assert_eq!(b_knn_stats, &s_knn_stats, "{label} query {q:?}");
+        }
+    }
+}
+
+#[test]
+fn facade_end_to_end_with_sharding_and_range() {
+    // The acceptance-criteria scenario: Database::builder with shards,
+    // plus range queries through the pipeline.
+    use cned::serve::{QueryPipeline, Request, Response};
+    let words = corpus(60, 6, 3, 53);
+    let db = Database::builder(words.clone())
+        .metric(Metric::Levenshtein)
+        .backend(Backend::Laesa { pivots: 4 })
+        .shards(4)
+        .build()
+        .unwrap();
+    assert_eq!(db.index().backend_name(), "sharded");
+    let probe = words[11].clone();
+    let (nn, _) = db.nn(&probe).unwrap();
+    assert_eq!(nn.unwrap().distance, 0.0);
+    let (hits, _) = db.range(&probe, 1.0).unwrap();
+    let oracle: Vec<(usize, u64)> = oracle_sorted(&words, &probe, db.metric())
+        .into_iter()
+        .take_while(|&(_, d)| d <= 1.0)
+        .map(|(i, d)| (i, d.to_bits()))
+        .collect();
+    assert_eq!(key(&hits), oracle);
+    // Range through the pipeline, in-order with an insert barrier.
+    let index = ShardedIndex::try_build(
+        words.clone(),
+        ShardConfig {
+            shards: 4,
+            pivots_per_shard: 4,
+            compact_threshold: 16,
+        },
+        &Levenshtein,
+    )
+    .unwrap();
+    let mut pipeline = QueryPipeline::new(index);
+    let far = b"zzzzz".to_vec();
+    let responses = pipeline.run(
+        &[
+            Request::Range {
+                query: far.clone(),
+                radius: 0.0,
+            },
+            Request::Insert { item: far.clone() },
+            Request::Range {
+                query: far.clone(),
+                radius: 0.0,
+            },
+        ],
+        &Levenshtein,
+    );
+    let Response::Range { neighbours, .. } = &responses[0] else {
+        panic!("expected Range, got {:?}", responses[0]);
+    };
+    assert!(neighbours.is_empty());
+    let Response::Range { neighbours, .. } = &responses[2] else {
+        panic!("expected Range, got {:?}", responses[2]);
+    };
+    assert_eq!(key(neighbours), vec![(words.len(), 0.0f64.to_bits())]);
+}
