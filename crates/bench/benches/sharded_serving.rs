@@ -59,6 +59,7 @@ fn config(shards: usize) -> ShardConfig {
         shards,
         pivots_per_shard: 12,
         compact_threshold: 64,
+        ..ShardConfig::default()
     }
 }
 

@@ -46,7 +46,21 @@ struct Cell {
 /// assert!(h >= d - 1e-12); // never underestimates
 /// ```
 pub fn contextual_heuristic<S: Symbol>(x: &[S], y: &[S]) -> f64 {
-    let (k, ni) = heuristic_k_ni(x, y);
+    contextual_heuristic_with(x, y, &mut HeuristicScratch::default())
+}
+
+/// Reusable DP rows for [`heuristic_k_ni_with`]: a prepared query
+/// streaming against a whole database (every pivot and candidate of a
+/// LAESA scan) allocates the rows once instead of twice per pair.
+#[derive(Debug, Clone, Default)]
+struct HeuristicScratch {
+    prev: Vec<Cell>,
+    cur: Vec<Cell>,
+}
+
+/// [`contextual_heuristic`] evaluating through caller-owned scratch.
+fn contextual_heuristic_with<S: Symbol>(x: &[S], y: &[S], scratch: &mut HeuristicScratch) -> f64 {
+    let (k, ni) = heuristic_k_ni_with(x, y, scratch);
     PathShape::from_k_ni(x.len(), y.len(), k, ni)
         .expect("minimal-k cell is always feasible")
         .weight()
@@ -58,6 +72,15 @@ pub fn contextual_heuristic<S: Symbol>(x: &[S], y: &[S]) -> f64 {
 /// Exposed so experiments can compare it against the exact optimum's
 /// `(k, n_i)` (experiment E2, heuristic-agreement).
 pub fn heuristic_k_ni<S: Symbol>(x: &[S], y: &[S]) -> (usize, usize) {
+    heuristic_k_ni_with(x, y, &mut HeuristicScratch::default())
+}
+
+/// [`heuristic_k_ni`] over reusable row buffers.
+fn heuristic_k_ni_with<S: Symbol>(
+    x: &[S],
+    y: &[S],
+    scratch: &mut HeuristicScratch,
+) -> (usize, usize) {
     let (n, m) = (x.len(), y.len());
     if m == 0 {
         return (n, 0);
@@ -67,8 +90,11 @@ pub fn heuristic_k_ni<S: Symbol>(x: &[S], y: &[S]) -> (usize, usize) {
     }
 
     // prev/cur are rows over j = 0..=m.
-    let mut prev: Vec<Cell> = (0..=m as u32).map(|j| Cell { k: j, ni: j }).collect();
-    let mut cur: Vec<Cell> = vec![Cell { k: 0, ni: 0 }; m + 1];
+    let HeuristicScratch { prev, cur } = scratch;
+    prev.clear();
+    prev.extend((0..=m as u32).map(|j| Cell { k: j, ni: j }));
+    cur.clear();
+    cur.resize(m + 1, Cell { k: 0, ni: 0 });
 
     for i in 1..=n {
         cur[0] = Cell { k: i as u32, ni: 0 };
@@ -103,7 +129,7 @@ pub fn heuristic_k_ni<S: Symbol>(x: &[S], y: &[S]) -> (usize, usize) {
             }
             cur[j] = best;
         }
-        core::mem::swap(&mut prev, &mut cur);
+        core::mem::swap(prev, cur);
     }
     let last = prev[m];
     (last.k as usize, last.ni as usize)
@@ -126,12 +152,15 @@ fn heuristic_lower_bound(n: usize, m: usize, de: usize) -> f64 {
 /// silently diverge — the same principle as `forward_distance_impl!`):
 /// equality fast path → harmonic length bound → per-`k` bound at
 /// `k = d_E` (`de` supplied lazily: full bit-parallel computation or a
-/// prepared pattern) → full `O(n·m)` heuristic DP.
+/// prepared pattern) → full `O(n·m)` heuristic DP (`eval` supplied by
+/// the caller so the prepared path can route it through its reusable
+/// scratch).
 fn gated_heuristic<S: Symbol>(
     x: &[S],
     y: &[S],
     bound: f64,
     de: impl FnOnce() -> usize,
+    eval: impl FnOnce() -> f64,
 ) -> Option<f64> {
     if x == y {
         return (0.0 <= bound).then_some(0.0);
@@ -149,7 +178,7 @@ fn gated_heuristic<S: Symbol>(
             return None;
         }
     }
-    let h = contextual_heuristic(x, y);
+    let h = eval();
     (h <= bound).then_some(h)
 }
 
@@ -175,13 +204,20 @@ impl<S: Symbol> Distance<S> for ContextualHeuristic {
     }
 
     fn distance_bounded(&self, a: &[S], b: &[S], bound: f64) -> Option<f64> {
-        gated_heuristic(a, b, bound, || crate::levenshtein::levenshtein(a, b))
+        gated_heuristic(
+            a,
+            b,
+            bound,
+            || crate::levenshtein::levenshtein(a, b),
+            || contextual_heuristic(a, b),
+        )
     }
 
     fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
         Box::new(PreparedHeuristic {
             query,
             pattern: MyersPattern::new(query),
+            scratch: core::cell::RefCell::new(HeuristicScratch::default()),
         })
     }
 
@@ -195,26 +231,37 @@ impl<S: Symbol> Distance<S> for ContextualHeuristic {
 }
 
 /// A query prepared for repeated `d_C,h` comparisons: the Myers `Peq`
-/// bitmaps behind the `d_E` gate are built once per query.
+/// bitmaps behind the `d_E` gate are built once per query, and the
+/// heuristic DP's row buffers are reused across every comparison —
+/// streaming a prepared query against a whole pivot set or database
+/// stops allocating after the first pair.
 struct PreparedHeuristic<'q, S: Symbol> {
     query: &'q [S],
     pattern: MyersPattern<S>,
+    scratch: core::cell::RefCell<HeuristicScratch>,
 }
 
 impl<S: Symbol> PreparedQuery<S> for PreparedHeuristic<'_, S> {
     fn distance_to(&self, target: &[S]) -> f64 {
-        contextual_heuristic(self.query, target)
+        contextual_heuristic_with(self.query, target, &mut self.scratch.borrow_mut())
     }
 
     fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64> {
-        gated_heuristic(self.query, target, bound, || {
-            // A ceiling of max(n, m) never bites (d_E <= max), so the
-            // prepared pattern returns the exact d_E for the gate.
-            let ceiling = self.query.len().max(target.len());
-            self.pattern
-                .distance_bounded(target, ceiling)
-                .expect("d_E is at most the longer length")
-        })
+        gated_heuristic(
+            self.query,
+            target,
+            bound,
+            || {
+                // A ceiling of max(n, m) never bites (d_E <= max), so
+                // the prepared pattern returns the exact d_E for the
+                // gate.
+                let ceiling = self.query.len().max(target.len());
+                self.pattern
+                    .distance_bounded(target, ceiling)
+                    .expect("d_E is at most the longer length")
+            },
+            || contextual_heuristic_with(self.query, target, &mut self.scratch.borrow_mut()),
+        )
     }
 }
 

@@ -161,17 +161,26 @@ fn run_single<S: Symbol>(bits: &PatternBits<S>, text: &[S]) -> usize {
 /// With `bound = Some(b)`, abandons and returns `None` as soon as the
 /// score cannot come back to `b` within the remaining columns (the
 /// score changes by at most 1 per column).
+///
+/// The column vectors live in caller-supplied scratch so a prepared
+/// pattern streaming against a whole database (every pivot row of a
+/// LAESA query, every candidate of a linear scan) allocates them
+/// once, not per pair.
 fn run_blocked<S: Symbol>(
     bits: &PatternBits<S>,
     text: &[S],
     bound: Option<usize>,
+    scratch: &mut BlockScratch,
 ) -> Option<usize> {
     let m = bits.len;
     let blocks = bits.words;
     let last = blocks - 1;
     let hbit_shift = (m - 1) % WORD;
-    let mut pv = vec![!0u64; blocks];
-    let mut mv = vec![0u64; blocks];
+    let BlockScratch { pv, mv } = scratch;
+    pv.clear();
+    pv.resize(blocks, !0u64);
+    mv.clear();
+    mv.resize(blocks, 0u64);
     let mut score = m;
     for (j, &c) in text.iter().enumerate() {
         let row = bits.row(c);
@@ -198,11 +207,24 @@ fn run_blocked<S: Symbol>(
     }
 }
 
+/// Reusable column vectors of the blocked kernel.
+#[derive(Debug, Clone, Default)]
+struct BlockScratch {
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+}
+
 /// A query string prepared for repeated Myers comparisons.
 ///
 /// Build once per query, then compare against a whole database: the
 /// `Peq` bitmaps are computed a single time, which is where batch
-/// search wins over calling [`myers`] per pair.
+/// search wins over calling [`myers`] per pair. For patterns beyond
+/// one machine word the blocked kernel's column vectors are also kept
+/// as per-pattern scratch (behind a `RefCell`, so `MyersPattern` is
+/// `Send` but deliberately not `Sync` in effect — one pattern per
+/// worker, the same contract as every
+/// [`crate::metric::PreparedQuery`]), making a whole scan
+/// allocation-free after the first comparison.
 ///
 /// ```
 /// use cned_core::myers::MyersPattern;
@@ -215,6 +237,7 @@ fn run_blocked<S: Symbol>(
 #[derive(Debug, Clone)]
 pub struct MyersPattern<S> {
     bits: PatternBits<S>,
+    scratch: core::cell::RefCell<BlockScratch>,
 }
 
 impl<S: Symbol> MyersPattern<S> {
@@ -222,6 +245,7 @@ impl<S: Symbol> MyersPattern<S> {
     pub fn new(query: &[S]) -> MyersPattern<S> {
         MyersPattern {
             bits: PatternBits::new(query),
+            scratch: core::cell::RefCell::new(BlockScratch::default()),
         }
     }
 
@@ -247,7 +271,8 @@ impl<S: Symbol> MyersPattern<S> {
         if self.bits.words == 1 {
             run_single(&self.bits, text)
         } else {
-            run_blocked(&self.bits, text, None).expect("unbounded run always completes")
+            run_blocked(&self.bits, text, None, &mut self.scratch.borrow_mut())
+                .expect("unbounded run always completes")
         }
     }
 
@@ -266,7 +291,12 @@ impl<S: Symbol> MyersPattern<S> {
         if m == 0 {
             return Some(n); // n <= bound via the length check above
         }
-        run_blocked(&self.bits, text, Some(bound))
+        run_blocked(
+            &self.bits,
+            text,
+            Some(bound),
+            &mut self.scratch.borrow_mut(),
+        )
     }
 }
 

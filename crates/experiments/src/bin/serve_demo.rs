@@ -1,21 +1,37 @@
-//! Serving-layer demo: sharded LAESA + batch pipeline on the paper's
-//! two main workloads (Spanish-like dictionary words, handwritten-
-//! digit contour chain codes).
+//! Serving-layer demo: sharded LAESA + the session/ticket front-end
+//! on the paper's two main workloads (Spanish-like dictionary words,
+//! handwritten-digit contour chain codes).
 //!
 //! For each workload it builds a [`ShardedIndex`], serves a mixed
-//! NN / k-NN / **range** / insert queue through the [`QueryPipeline`],
-//! verifies every answer against the linear-scan oracle (range
-//! results included), and prints throughput plus distance-computation
-//! totals per shard count.
+//! NN / k-NN / **range** / insert queue, verifies every answer
+//! against the linear-scan oracle — correlating **by request id**,
+//! never by arrival order — and prints throughput plus
+//! distance-computation totals.
+//!
+//! Two serving paths:
+//!
+//! * in-process (default): the queue runs through [`QueryPipeline`]
+//!   (a scoped serve session);
+//! * `network=true`: the index is served over TCP on an ephemeral
+//!   loopback port through [`Server`], and a pipelined [`Client`]
+//!   submits the same queue over the wire, collecting tickets out of
+//!   submission order.
 //!
 //! Args (key=value): `db=2000 queries=200 shards=4 pivots=16 k=5
-//! radius=2 threads=0 workload=both` (`threads=0` keeps the
-//! `CNED_THREADS`/auto default; `workload` ∈ dictionary|digits|both).
+//! radius=2 threads=0 workload=both network=false` (`threads=0`
+//! keeps the `CNED_THREADS`/auto default; `workload` ∈
+//! dictionary|digits|both). Setting `CNED_BENCH_FAST=1` shrinks the
+//! default workload for smoke runs.
 
 use cned_core::levenshtein::Levenshtein;
 use cned_experiments::args::Args;
 use cned_search::{InsertableIndex, LinearIndex, MetricIndex, QueryOptions};
-use cned_serve::{QueryPipeline, Request, Response, ShardConfig, ShardedIndex};
+use cned_serve::{
+    Client, QueryPipeline, Request, RequestId, Response, ResponseBody, Server, ShardConfig,
+    ShardedIndex, Ticket,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Params {
@@ -25,40 +41,27 @@ struct Params {
     pivots: usize,
     k: usize,
     radius: f64,
+    network: bool,
 }
 
-fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params) {
-    let dist = &Levenshtein;
-    println!(
-        "\n== {name}: {} items, {} queries, {} shards x {} pivots ==",
-        db.len(),
-        queries.len(),
-        p.shards,
-        p.pivots
-    );
-
-    let t0 = Instant::now();
-    let index = ShardedIndex::try_build(
-        db.clone(),
+fn build_index(db: &[Vec<u8>], p: &Params) -> ShardedIndex<u8> {
+    ShardedIndex::try_build(
+        db.to_vec(),
         ShardConfig {
             shards: p.shards,
             pivots_per_shard: p.pivots,
             compact_threshold: 64,
+            ..ShardConfig::default()
         },
-        dist,
+        &Levenshtein,
     )
-    .expect("internally selected pivots are always valid");
-    let build = t0.elapsed();
-    println!(
-        "build: {:.1} ms ({} preprocessing distance computations, {} shards)",
-        build.as_secs_f64() * 1e3,
-        index.preprocessing_computations(),
-        index.num_shards()
-    );
+    .expect("internally selected pivots are always valid")
+}
 
-    // Mixed queue: NN, k-NN and range queries with an insert barrier
-    // in the middle (the inserted items are perturbed queries, so they
-    // land near existing neighbourhoods).
+/// The mixed request queue: NN, k-NN and range queries with an insert
+/// barrier in the middle (the inserted items are perturbed queries,
+/// so they land near existing neighbourhoods).
+fn build_requests(queries: &[Vec<u8>], p: &Params) -> Vec<Request<u8>> {
     let mut requests: Vec<Request<u8>> = Vec::new();
     for (i, q) in queries.iter().enumerate() {
         if i == queries.len() / 2 {
@@ -76,97 +79,201 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
             _ => requests.push(Request::Nn { query: q.clone() }),
         }
     }
-    let mut pipeline = QueryPipeline::new(index);
-    let t1 = Instant::now();
-    let responses = pipeline.run(&requests, dist);
-    let serve = t1.elapsed();
-    let mut computations = 0u64;
-    let mut answered = 0usize;
-    for r in &responses {
-        match r {
-            Response::Nn { stats, .. }
-            | Response::Knn { stats, .. }
-            | Response::Range { stats, .. } => {
-                computations += stats.distance_computations;
-                answered += 1;
-            }
-            Response::Inserted { .. } => {}
-            Response::Failed { error } => panic!("request failed: {error}"),
-        }
-    }
-    println!(
-        "serve: {answered} queries in {:.1} ms ({:.0} queries/s, {computations} distance \
-         computations, {:.1} per query)",
-        serve.as_secs_f64() * 1e3,
-        answered as f64 / serve.as_secs_f64(),
-        computations as f64 / answered as f64
-    );
+    requests
+}
 
-    // Oracle check: replay every query against a linear scan over the
-    // index state it was answered at (before/after the insert barrier).
-    let index = pipeline.index();
-    // The oracle owns the database; the rare insert barrier mutates it
-    // in place, so the scan state matches whatever index state each
-    // request was answered at.
-    let mut oracle = LinearIndex::new(db.clone());
-    let mut checked = 0usize;
+/// Replay every request against a linear-scan oracle over the index
+/// state it was answered at, looking each response up **by its
+/// request id** — a response delivered out of order (as the pipelined
+/// network path does) must still check out.
+fn oracle_check(
+    name: &str,
+    db: &[Vec<u8>],
+    requests: &[(RequestId, &Request<u8>)],
+    responses: &[Response],
+) {
+    let dist = &Levenshtein;
+    let by_id: HashMap<u64, &ResponseBody> = responses.iter().map(|r| (r.id.0, &r.body)).collect();
+    assert_eq!(
+        by_id.len(),
+        requests.len(),
+        "{name}: every request answered exactly once"
+    );
+    let mut oracle = LinearIndex::new(db.to_vec());
     let opts = QueryOptions::new();
     let key = |ns: &[cned_search::Neighbour]| -> Vec<(usize, u64)> {
         ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
     };
-    for (req, resp) in requests.iter().zip(&responses) {
-        match (req, resp) {
-            (Request::Insert { item }, Response::Inserted { .. }) => {
+    let mut checked = 0usize;
+    for (id, request) in requests {
+        let body = by_id
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("{name}: no response for request {id}"));
+        match (request, body) {
+            (Request::Insert { item }, ResponseBody::Inserted { .. }) => {
                 InsertableIndex::insert(&mut oracle, item.clone(), dist);
             }
-            (Request::Nn { query }, Response::Nn { neighbour, .. }) => {
+            (Request::Nn { query }, ResponseBody::Nn { neighbour, .. }) => {
                 let (l_nn, _) = oracle.nn(query, dist, &opts).expect("non-empty");
                 let l_nn = l_nn.expect("infinite radius always finds");
                 let nb = neighbour.expect("non-empty index");
                 assert_eq!(
                     (nb.index, nb.distance.to_bits()),
                     (l_nn.index, l_nn.distance.to_bits()),
-                    "NN mismatch for {query:?}"
+                    "{name}: NN mismatch for {id} {query:?}"
                 );
                 checked += 1;
             }
-            (Request::Knn { query, k }, Response::Knn { neighbours, .. }) => {
+            (Request::Knn { query, k }, ResponseBody::Knn { neighbours, .. }) => {
                 let (l_knn, _) = oracle
                     .knn(query, dist, &QueryOptions::new().k(*k))
                     .expect("non-empty");
-                assert_eq!(key(neighbours), key(&l_knn), "k-NN mismatch for {query:?}");
+                assert_eq!(
+                    key(neighbours),
+                    key(&l_knn),
+                    "{name}: k-NN mismatch for {id} {query:?}"
+                );
                 checked += 1;
             }
-            (Request::Range { query, radius }, Response::Range { neighbours, .. }) => {
+            (Request::Range { query, radius }, ResponseBody::Range { neighbours, .. }) => {
                 let (l_range, _) = oracle
                     .range(query, dist, &QueryOptions::new().radius(*radius))
                     .expect("non-empty");
                 assert_eq!(
                     key(neighbours),
                     key(&l_range),
-                    "range mismatch for {query:?} at radius {radius}"
+                    "{name}: range mismatch for {id} {query:?} at radius {radius}"
                 );
                 checked += 1;
             }
-            _ => panic!("response kind does not match request kind"),
+            _ => panic!("{name}: response kind does not match request {id}"),
+        }
+    }
+    println!("oracle: all {checked} answers match the linear scan (matched by request id)");
+}
+
+fn report_throughput(responses: &[Response], elapsed: std::time::Duration) {
+    let mut computations = 0u64;
+    let mut answered = 0usize;
+    for r in responses {
+        match &r.body {
+            ResponseBody::Nn { stats, .. }
+            | ResponseBody::Knn { stats, .. }
+            | ResponseBody::Range { stats, .. } => {
+                computations += stats.distance_computations;
+                answered += 1;
+            }
+            ResponseBody::Inserted { .. } => {}
+            ResponseBody::Failed { error } => panic!("request {} failed: {error}", r.id),
         }
     }
     println!(
-        "oracle: all {checked} answers match the linear scan (index now {} items, {} in delta)",
-        MetricIndex::len(index),
-        index.delta_len()
+        "serve: {answered} queries in {:.1} ms ({:.0} queries/s, {computations} distance \
+         computations, {:.1} per query)",
+        elapsed.as_secs_f64() * 1e3,
+        answered as f64 / elapsed.as_secs_f64(),
+        computations as f64 / answered as f64
     );
+}
+
+fn run_in_process(db: &[Vec<u8>], requests: &[Request<u8>], p: &Params) {
+    let index = build_index(db, p);
+    let mut pipeline = QueryPipeline::new(index);
+    let t = Instant::now();
+    let responses = pipeline.run(requests, &Levenshtein);
+    let elapsed = t.elapsed();
+    report_throughput(&responses, elapsed);
+    // The pipeline assigns sequential ids in queue order.
+    let tagged: Vec<(RequestId, &Request<u8>)> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (RequestId(i as u64), r))
+        .collect();
+    oracle_check("pipeline", db, &tagged, &responses);
+    let index = pipeline.index();
+    println!(
+        "index now {} items, {} in delta, {} shards",
+        MetricIndex::len(index),
+        index.delta_len(),
+        index.num_shards()
+    );
+}
+
+fn run_network(db: &[Vec<u8>], requests: &[Request<u8>], p: &Params) {
+    let index = build_index(db, p);
+    let server = Server::bind("127.0.0.1:0", index, Arc::new(Levenshtein))
+        .expect("binding an ephemeral loopback port");
+    let addr = server.local_addr();
+    println!("network: serving on {addr}");
+    let mut client: Client<u8> = Client::connect(addr).expect("loopback connect");
+    let t = Instant::now();
+    // Pipelined submission: every request is in flight before the
+    // first response is collected.
+    let tickets: Vec<(Ticket, &Request<u8>)> = requests
+        .iter()
+        .map(|r| (client.submit(r.clone()).expect("submit over the wire"), r))
+        .collect();
+    let mut tagged: Vec<(RequestId, &Request<u8>)> = Vec::with_capacity(tickets.len());
+    let mut responses: Vec<Response> = Vec::with_capacity(tickets.len());
+    // Collect in reverse submission order: correlation is by id, so
+    // the oracle must not care.
+    for (ticket, request) in tickets.into_iter().rev() {
+        tagged.push((ticket.id(), request));
+        responses.push(ticket.wait());
+    }
+    let elapsed = t.elapsed();
+    tagged.reverse(); // replay order for the insert barrier
+    report_throughput(&responses, elapsed);
+    oracle_check("network", db, &tagged, &responses);
+    let index = server.shutdown();
+    println!(
+        "server drained; index now {} items, {} in delta, {} shards",
+        MetricIndex::len(&index),
+        index.delta_len(),
+        index.num_shards()
+    );
+}
+
+fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params) {
+    println!(
+        "\n== {name}: {} items, {} queries, {} shards x {} pivots{} ==",
+        db.len(),
+        queries.len(),
+        p.shards,
+        p.pivots,
+        if p.network { ", over TCP" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let index = build_index(&db, p);
+    println!(
+        "build: {:.1} ms ({} preprocessing distance computations, {} shards)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        index.preprocessing_computations(),
+        index.num_shards()
+    );
+    drop(index);
+
+    let requests = build_requests(&queries, p);
+    if p.network {
+        run_network(&db, &requests, p);
+    } else {
+        run_in_process(&db, &requests, p);
+    }
 }
 
 fn main() {
     let a = Args::from_env();
+    let fast = std::env::var("CNED_BENCH_FAST").is_ok_and(|v| v != "0");
+    let (default_db, default_queries) = if fast { (400, 60) } else { (2000, 200) };
     let p = Params {
-        db: a.get("db", 2000usize),
-        queries: a.get("queries", 200usize),
+        db: a.get("db", default_db),
+        queries: a.get("queries", default_queries),
         shards: a.get("shards", 4usize),
         pivots: a.get("pivots", 16usize),
         k: a.get("k", 5usize),
         radius: a.get("radius", 2.0f64),
+        network: a.get("network", false),
     };
     let threads = a.get("threads", 0usize);
     if threads > 0 {

@@ -52,6 +52,36 @@ pub enum SearchError {
         /// Human-readable description of the rejected combination.
         reason: &'static str,
     },
+    /// A serving session's admission queue is full: the request was
+    /// **not** accepted and can be retried after draining some
+    /// in-flight work. This is the backpressure signal of the
+    /// session/ticket serving API.
+    Overloaded {
+        /// The configured admission depth that was exceeded.
+        depth: usize,
+    },
+    /// The serving session (or connection) is shutting down and no
+    /// longer accepts requests; already-accepted tickets still drain.
+    Shutdown,
+}
+
+impl SearchError {
+    /// Stable numeric code identifying the variant on the wire
+    /// (`cned-serve`'s binary protocol maps errors both ways through
+    /// it). Codes are append-only: existing values never change
+    /// meaning across protocol versions.
+    pub fn code(&self) -> u8 {
+        match self {
+            SearchError::EmptyDatabase => 1,
+            SearchError::PivotOutOfRange { .. } => 2,
+            SearchError::DuplicatePivot { .. } => 3,
+            SearchError::InvalidRadius { .. } => 4,
+            SearchError::LabelCount { .. } => 5,
+            SearchError::UnsupportedConfig { .. } => 6,
+            SearchError::Overloaded { .. } => 7,
+            SearchError::Shutdown => 8,
+        }
+    }
 }
 
 impl fmt::Display for SearchError {
@@ -77,6 +107,13 @@ impl fmt::Display for SearchError {
             SearchError::UnsupportedConfig { reason } => {
                 write!(f, "unsupported configuration: {reason}")
             }
+            SearchError::Overloaded { depth } => {
+                write!(
+                    f,
+                    "serving session overloaded (admission queue depth {depth} reached); retry later"
+                )
+            }
+            SearchError::Shutdown => write!(f, "serving session is shutting down"),
         }
     }
 }
@@ -103,5 +140,32 @@ mod tests {
     fn is_a_std_error() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(SearchError::EmptyDatabase);
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        // The numeric codes are a wire-protocol contract: changing an
+        // existing value breaks deployed client/server pairs.
+        let variants = [
+            (SearchError::EmptyDatabase, 1u8),
+            (SearchError::PivotOutOfRange { pivot: 0, len: 0 }, 2),
+            (SearchError::DuplicatePivot { pivot: 0 }, 3),
+            (SearchError::InvalidRadius { radius: 0.0 }, 4),
+            (
+                SearchError::LabelCount {
+                    labels: 0,
+                    items: 0,
+                },
+                5,
+            ),
+            (SearchError::UnsupportedConfig { reason: "" }, 6),
+            (SearchError::Overloaded { depth: 0 }, 7),
+            (SearchError::Shutdown, 8),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (e, expected) in variants {
+            assert_eq!(e.code(), expected, "{e}");
+            assert!(seen.insert(e.code()), "duplicate code {}", e.code());
+        }
     }
 }

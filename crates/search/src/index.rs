@@ -254,6 +254,87 @@ pub trait MetricIndex<S: Symbol>: Send + Sync {
         .into_iter()
         .collect()
     }
+
+    /// Downcast to the mutable insert surface, when this backend
+    /// supports incremental inserts (`None` otherwise — the default).
+    ///
+    /// This is what lets a serving session own *any* index as a
+    /// `Box<dyn MetricIndex<S>>` and still answer `Insert` requests:
+    /// insertable backends ([`crate::LinearIndex`], `cned-serve`'s
+    /// `ShardedIndex`) override it with `Some(self)`, everything else
+    /// reports the insert as a typed
+    /// [`SearchError::UnsupportedConfig`] instead of failing to
+    /// compile at the session boundary.
+    fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
+        None
+    }
+}
+
+/// Boxed indexes are indexes: lets generic serving code (`cned-serve`
+/// sessions, `cned::Database`) hold a `Box<dyn MetricIndex<S>>` where
+/// an `I: MetricIndex<S>` is expected, without re-implementing the
+/// trait per call site.
+impl<S: Symbol, T: MetricIndex<S> + ?Sized> MetricIndex<S> for Box<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        (**self).item(i)
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        (**self).nn(query, dist, opts)
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        (**self).knn(query, dist, opts)
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        (**self).range(query, dist, opts)
+    }
+
+    fn nn_batch(
+        &self,
+        queries: &[Vec<S>],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<Vec<(Option<Neighbour>, SearchStats)>, SearchError> {
+        (**self).nn_batch(queries, dist, opts)
+    }
+
+    fn knn_batch(
+        &self,
+        queries: &[Vec<S>],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<Vec<(Vec<Neighbour>, SearchStats)>, SearchError> {
+        (**self).knn_batch(queries, dist, opts)
+    }
+
+    fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
+        (**self).as_insertable()
+    }
 }
 
 /// A [`MetricIndex`] that additionally accepts incremental inserts —

@@ -112,6 +112,12 @@ impl<S: Symbol> Laesa<S> {
         &self.db
     }
 
+    /// Unwrap the index back into its database (dropping the pivot
+    /// rows) — e.g. for rebuilding merged shards during rebalancing.
+    pub fn into_database(self) -> Vec<Vec<S>> {
+        self.db
+    }
+
     /// Pivot indices.
     pub fn pivots(&self) -> &[usize] {
         &self.pivots

@@ -223,6 +223,10 @@ impl<S: Symbol> MetricIndex<S> for LinearIndex<S> {
         opts.record(stats);
         Ok((hits, stats))
     }
+
+    fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
+        Some(self)
+    }
 }
 
 impl<S: Symbol> InsertableIndex<S> for LinearIndex<S> {

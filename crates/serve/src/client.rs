@@ -1,0 +1,251 @@
+//! [`Client`] — a pipelined TCP client for the [`crate::wire`]
+//! protocol, reusing the session's [`Ticket`] API.
+//!
+//! [`Client::submit`] assigns a request id, writes the frame, and
+//! returns a [`Ticket`] immediately — submit as many as you like
+//! before collecting anything (pipelining), then `try_recv`/`wait`
+//! each ticket exactly as you would against an in-process
+//! [`crate::ServeSession`]. A background reader thread routes every
+//! incoming response frame to its ticket by id, so out-of-order
+//! collection costs nothing.
+//!
+//! The blocking conveniences ([`Client::nn`], [`Client::knn`],
+//! [`Client::range`], [`Client::insert`]) are submit-then-wait
+//! wrappers that unpack the response body and surface a server-side
+//! [`SearchError`] (including `Overloaded` backpressure) as
+//! [`ClientError::Search`].
+
+use crate::session::{Request, RequestId, Response, ResponseBody, Ticket};
+use crate::wire::{self, WireError, WireSymbol};
+use cned_search::{Neighbour, SearchError, SearchStats};
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Everything a client call can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport or protocol failure (connection lost, malformed
+    /// frame, version mismatch).
+    Wire(WireError),
+    /// The server answered with a typed error ([`ResponseBody::Failed`]),
+    /// e.g. backpressure ([`SearchError::Overloaded`]) or an invalid
+    /// radius.
+    Search(SearchError),
+    /// The server answered with a body of the wrong kind for the
+    /// request (protocol confusion; treat the connection as broken).
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Search(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse => {
+                write!(f, "response kind does not match the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// In-flight response routes: client request id → ticket channel.
+type PendingMap = Arc<Mutex<HashMap<u64, mpsc::Sender<Response>>>>;
+
+/// A connection to a [`crate::Server`]; see the module docs.
+pub struct Client<S: WireSymbol + 'static> {
+    stream: TcpStream,
+    pending: PendingMap,
+    /// Set by the reader thread just before it drains `pending` and
+    /// exits; guards against a submit racing that drain and blocking
+    /// on a ticket nothing will ever answer.
+    closed: Arc<std::sync::atomic::AtomicBool>,
+    next_id: u64,
+    reader: Option<JoinHandle<()>>,
+    _symbols: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S: WireSymbol + 'static> Client<S> {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client<S>> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let closed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let stream = stream.try_clone()?;
+            let pending = Arc::clone(&pending);
+            let closed = Arc::clone(&closed);
+            std::thread::Builder::new()
+                .name("cned-serve-client-reader".into())
+                .spawn(move || read_responses(stream, &pending, &closed))
+                .expect("spawning the client reader thread")
+        };
+        Ok(Client {
+            stream,
+            pending,
+            closed,
+            next_id: 0,
+            reader: Some(reader),
+            _symbols: std::marker::PhantomData,
+        })
+    }
+
+    /// Send a request without waiting, returning the [`Ticket`] for
+    /// its response — the pipelined entry point. Ids are assigned
+    /// sequentially per connection.
+    pub fn submit(&mut self, request: Request<S>) -> Result<Ticket, WireError> {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let (tx, rx) = mpsc::channel();
+        self.pending
+            .lock()
+            .expect("pending map never poisoned")
+            .insert(id.0, tx);
+        let remove_pending = |this: &Client<S>| {
+            this.pending
+                .lock()
+                .expect("pending map never poisoned")
+                .remove(&id.0);
+        };
+        let mut payload = Vec::new();
+        wire::encode_request(id, &request, &mut payload);
+        if let Err(e) = wire::write_frame(&mut self.stream, &payload) {
+            remove_pending(self);
+            return Err(e);
+        }
+        // Checked *after* inserting: the reader sets the flag before
+        // draining, so either the drain saw this entry (and answered
+        // it Shutdown) or this check sees the flag — a dead connection
+        // can never leave the ticket unanswerable.
+        if self.closed.load(std::sync::atomic::Ordering::Acquire) {
+            remove_pending(self);
+            return Err(WireError::Io("connection closed by the server".into()));
+        }
+        Ok(Ticket::new(id, rx))
+    }
+
+    /// Submit-and-wait, returning the raw body. A lost connection
+    /// surfaces as `Failed { Shutdown }` (the ticket fallback), which
+    /// the typed conveniences map to [`ClientError::Search`].
+    pub fn call(&mut self, request: Request<S>) -> Result<ResponseBody, ClientError> {
+        Ok(self.submit(request)?.wait().body)
+    }
+
+    /// Nearest neighbour of `query` on the server's index.
+    pub fn nn(&mut self, query: &[S]) -> Result<(Option<Neighbour>, SearchStats), ClientError> {
+        match self.call(Request::Nn {
+            query: query.to_vec(),
+        })? {
+            ResponseBody::Nn { neighbour, stats } => Ok((neighbour, stats)),
+            ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// The `k` nearest neighbours of `query`.
+    pub fn knn(
+        &mut self,
+        query: &[S],
+        k: usize,
+    ) -> Result<(Vec<Neighbour>, SearchStats), ClientError> {
+        match self.call(Request::Knn {
+            query: query.to_vec(),
+            k,
+        })? {
+            ResponseBody::Knn { neighbours, stats } => Ok((neighbours, stats)),
+            ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Everything within `radius` of `query` (inclusive).
+    pub fn range(
+        &mut self,
+        query: &[S],
+        radius: f64,
+    ) -> Result<(Vec<Neighbour>, SearchStats), ClientError> {
+        match self.call(Request::Range {
+            query: query.to_vec(),
+            radius,
+        })? {
+            ResponseBody::Range { neighbours, stats } => Ok((neighbours, stats)),
+            ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Insert `item`, returning its global index on the server.
+    pub fn insert(&mut self, item: &[S]) -> Result<usize, ClientError> {
+        match self.call(Request::Insert {
+            item: item.to_vec(),
+        })? {
+            ResponseBody::Inserted { index } => Ok(index),
+            ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Close the connection. Outstanding tickets resolve to
+    /// `Failed { Shutdown }` if their responses never arrived.
+    pub fn close(self) {
+        // Drop does the work.
+    }
+}
+
+impl<S: WireSymbol + 'static> Drop for Client<S> {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Route incoming response frames to their tickets by id; on
+/// disconnect, mark the connection closed and fail whatever is still
+/// pending so no ticket blocks forever.
+fn read_responses(
+    mut stream: TcpStream,
+    pending: &PendingMap,
+    closed: &std::sync::atomic::AtomicBool,
+) {
+    let mut buf = Vec::new();
+    while let Ok(Some(())) = wire::read_frame(&mut stream, &mut buf) {
+        match wire::decode_response(&buf) {
+            Ok(response) => {
+                let tx = pending
+                    .lock()
+                    .expect("pending map never poisoned")
+                    .remove(&response.id.0);
+                if let Some(tx) = tx {
+                    let _ = tx.send(response);
+                }
+                // A response for an unknown id is dropped: the ticket
+                // was discarded client-side.
+            }
+            Err(_) => break, // protocol confusion: stop trusting the stream
+        }
+    }
+    // Fail fast for everything still in flight. The flag goes up
+    // first: a submit that misses this drain will see it.
+    closed.store(true, std::sync::atomic::Ordering::Release);
+    let mut map = pending.lock().expect("pending map never poisoned");
+    for (id, tx) in map.drain() {
+        let _ = tx.send(Response {
+            id: RequestId(id),
+            body: ResponseBody::Failed {
+                error: SearchError::Shutdown,
+            },
+        });
+    }
+}

@@ -1,21 +1,39 @@
 //! # cned-serve — the sharded concurrent serving layer
 //!
 //! Scales the paper's pivot-based search (LAESA — Micó, Oncina &
-//! Vidal 1994) past one index and one request at a time:
+//! Vidal 1994) past one index, one request, and one process:
 //!
 //! * [`sharded`] — [`ShardedIndex`]: the database partitioned into
 //!   `k` contiguous LAESA shards (built in parallel), queried with
 //!   **cross-shard bound propagation**, plus a small unindexed *delta
-//!   shard* absorbing incremental inserts until compaction;
-//! * [`pipeline`] — [`QueryPipeline`]: a batch scheduler that accepts
-//!   a queue of mixed query/insert requests, prepares each query once,
-//!   and dispatches per-query work chains across worker threads.
+//!   shard* absorbing incremental inserts until compaction, with
+//!   automatic **rebalancing** of undersized shards back into the
+//!   size-balanced layout;
+//! * [`session`] — [`ServeSession`]: the serving front-end. A
+//!   non-blocking submit/[`Ticket`] handle over an index-owning
+//!   scheduler thread, with bounded admission (typed
+//!   [`cned_search::SearchError::Overloaded`] backpressure),
+//!   per-request ids on every [`Response`], and graceful draining
+//!   [`ServeSession::shutdown`];
+//! * [`pipeline`] — [`QueryPipeline`]: the batch entry point, a thin
+//!   wrapper running a whole request queue through a scoped session;
+//! * [`wire`] — the network protocol: versioned length-prefixed
+//!   binary frames (std-only, no serde/tokio) covering NN / k-NN /
+//!   range / insert plus typed error codes mapping
+//!   [`cned_search::SearchError`] both ways;
+//! * [`server`] / [`client`] — [`Server`]: a thread-per-connection
+//!   `std::net` front-end sharing one session across all
+//!   connections; [`Client`]: a pipelined client whose submissions
+//!   return the same [`Ticket`] type the in-process session hands
+//!   out.
 //!
-//! Both plug into the unified query API: [`ShardedIndex`] implements
-//! [`cned_search::MetricIndex`] (NN / k-NN / **range** / batches, all
-//! through [`cned_search::QueryOptions`] with typed errors) and
-//! [`cned_search::InsertableIndex`], and [`QueryPipeline`] is generic
-//! over any insertable index — `ShardedIndex` is merely its default.
+//! Everything plugs into the unified query API: [`ShardedIndex`]
+//! implements [`cned_search::MetricIndex`] (NN / k-NN / **range** /
+//! batches, all through [`cned_search::QueryOptions`] with typed
+//! errors) and [`cned_search::InsertableIndex`], and sessions,
+//! pipelines and servers are generic over any [`cned_search::MetricIndex`]
+//! — `ShardedIndex` is merely the default (non-insertable backends
+//! answer `Insert` requests with a typed failure).
 //!
 //! ## The cross-shard bound-propagation invariant
 //!
@@ -53,8 +71,18 @@
 //! each lowers build cost and tail latency, fewer shards with more
 //! pivots minimises total distance computations.
 
+pub mod client;
 pub mod pipeline;
+pub mod server;
+pub mod session;
 pub mod sharded;
+pub mod wire;
 
-pub use pipeline::{QueryPipeline, Request, Response};
+pub use client::{Client, ClientError};
+pub use pipeline::QueryPipeline;
+pub use server::{Server, ServerConfig};
+pub use session::{
+    Request, RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket,
+};
 pub use sharded::{ShardConfig, ShardedIndex, ShardedStats};
+pub use wire::{WireError, WireSymbol, MAX_FRAME, WIRE_VERSION};

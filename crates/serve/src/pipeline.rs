@@ -1,120 +1,52 @@
-//! [`QueryPipeline`] — a batch scheduler over any insertable
-//! [`MetricIndex`] (a [`ShardedIndex`] by default).
+//! [`QueryPipeline`] — the batch entry point, kept as a thin wrapper
+//! over the session machinery.
 //!
-//! Accepts a queue of mixed requests (NN / k-NN / range queries and
-//! inserts) and answers them with the semantics of strict in-order
-//! execution, while extracting all the parallelism that semantics
-//! allows:
+//! Since the session/ticket redesign, the scheduling brain lives in
+//! [`crate::session`]: one scheduler with in-order/insert-barrier
+//! semantics, parallel query chunks, and per-request ids on every
+//! response. `QueryPipeline::run` is "submit the whole queue into a
+//! session, wait every ticket in order" — a *scoped* session whose
+//! scheduler runs on a scoped thread borrowing the pipeline's index,
+//! so the batch call keeps its old synchronous shape (and its
+//! non-`'static` `&D` distance parameter) while exercising exactly
+//! the code path a live [`crate::ServeSession`] serves through.
+//!
+//! Semantics (unchanged from the pre-session pipeline, now enforced
+//! by construction):
 //!
 //! * consecutive **queries** form a batch dispatched across
-//!   [`cned_search::workers_for`] worker threads. Workers *pull* work
-//!   from a shared atomic cursor (dynamic load balancing — an
-//!   expensive `d_C` query next to a cheap `d_E`-style one no longer
-//!   pins the batch to the slowest stride). Each worker answers a
-//!   whole query through the index's [`MetricIndex`] entry point, so
-//!   per-query preparation (Myers `Peq` bitmaps, contextual scratch)
-//!   happens once and results (neighbours, distances, *and* per-query
+//!   [`cned_search::workers_for`] worker threads with dynamic load
+//!   balancing; results (neighbours, distances, *and* per-query
 //!   computation counts) are bit-identical for any worker count;
-//! * an **insert** is a barrier: the running batch flushes, the item
-//!   lands in the index (for [`ShardedIndex`]: the delta shard,
-//!   compacting into a fresh LAESA shard at the configured threshold),
-//!   and later queries observe it — exactly the serial queue
-//!   semantics.
-//!
-//! Failures are part of the protocol: a request that cannot be
-//! answered (e.g. a NaN radius) produces a [`Response::Failed`]
-//! carrying the typed [`SearchError`] in its queue slot, instead of
-//! poisoning the batch. Queries against an *empty* index keep their
-//! legacy shape (`Response::Nn { neighbour: None, .. }` / empty
-//! neighbour lists), because an empty index is a normal serving state
-//! between start-up and the first insert.
+//! * an **insert** is a barrier: earlier requests answer against the
+//!   pre-insert index, later ones observe the new item;
+//! * failures are values: a defective request yields
+//!   [`ResponseBody::Failed`] in its slot (tagged with its
+//!   [`RequestId`]) without poisoning the batch, and queries against
+//!   an empty index keep their legacy empty-result shape.
 
+use crate::session::{scheduler_loop, SessionShared, Ticket};
 use crate::sharded::ShardedIndex;
+use crate::{Request, RequestId, Response};
 use cned_core::metric::Distance;
 use cned_core::Symbol;
-use cned_search::{
-    workers_for, InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
-};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cned_search::MetricIndex;
 
-/// One unit of work for the pipeline.
-#[derive(Debug, Clone)]
-pub enum Request<S: Symbol> {
-    /// Nearest-neighbour query.
-    Nn {
-        /// The query string.
-        query: Vec<S>,
-    },
-    /// k-nearest-neighbours query.
-    Knn {
-        /// The query string.
-        query: Vec<S>,
-        /// How many neighbours.
-        k: usize,
-    },
-    /// Range (radius) query: everything within `radius`, inclusive.
-    Range {
-        /// The query string.
-        query: Vec<S>,
-        /// The radius (must be non-negative and not NaN, else the
-        /// request answers with [`Response::Failed`]).
-        radius: f64,
-    },
-    /// Incremental insert.
-    Insert {
-        /// The item to add.
-        item: Vec<S>,
-    },
-}
+#[allow(unused_imports)] // rustdoc links
+use crate::ResponseBody;
 
-/// The answer to one [`Request`], in request order.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Response {
-    /// Answer to [`Request::Nn`]; `None` when the index was empty at
-    /// that point in the queue.
-    Nn {
-        /// The nearest neighbour (global index + distance).
-        neighbour: Option<Neighbour>,
-        /// Total distance evaluations for the query.
-        stats: SearchStats,
-    },
-    /// Answer to [`Request::Knn`].
-    Knn {
-        /// Up to `k` neighbours in (distance, index) order.
-        neighbours: Vec<Neighbour>,
-        /// Total distance evaluations for the query.
-        stats: SearchStats,
-    },
-    /// Answer to [`Request::Range`].
-    Range {
-        /// Every item within the radius, in (distance, index) order.
-        neighbours: Vec<Neighbour>,
-        /// Total distance evaluations for the query.
-        stats: SearchStats,
-    },
-    /// Answer to [`Request::Insert`]: the item's global index.
-    Inserted {
-        /// Global index assigned to the inserted item.
-        index: usize,
-    },
-    /// The request could not be answered; the typed error explains
-    /// why. Other requests in the queue are unaffected.
-    Failed {
-        /// What went wrong.
-        error: SearchError,
-    },
-}
-
-/// A serving pipeline owning an insertable index — by default a
-/// [`ShardedIndex`], but any [`InsertableIndex`] implementation (e.g.
-/// [`cned_search::LinearIndex`]) plugs in unchanged.
+/// A batch serving pipeline owning an index — by default a
+/// [`ShardedIndex`], but any [`MetricIndex`] implementation (e.g.
+/// [`cned_search::LinearIndex`]) plugs in unchanged. Backends without
+/// insert support answer `Insert` requests with a typed
+/// [`ResponseBody::Failed`].
 pub struct QueryPipeline<S: Symbol, I: MetricIndex<S> = ShardedIndex<S>> {
     index: I,
     _symbols: std::marker::PhantomData<fn() -> S>,
 }
 
 impl<S: Symbol, I: MetricIndex<S>> QueryPipeline<S, I> {
-    /// Wrap an index for pipelined serving.
+    /// Wrap an index for batch serving.
     pub fn new(index: I) -> QueryPipeline<S, I> {
         QueryPipeline {
             index,
@@ -132,133 +64,43 @@ impl<S: Symbol, I: MetricIndex<S>> QueryPipeline<S, I> {
         self.index
     }
 
-    /// Answer one query request against the current index state.
-    fn answer<D: Distance<S> + ?Sized>(&self, request: &Request<S>, dist: &D) -> Response {
-        let dist: &dyn Distance<S> = &dist;
-        match request {
-            Request::Nn { query } => {
-                match self.index.nn(query, dist, &QueryOptions::new()) {
-                    Ok((neighbour, stats)) => Response::Nn { neighbour, stats },
-                    // An empty index is a normal serving state, not a
-                    // request defect.
-                    Err(SearchError::EmptyDatabase) => Response::Nn {
-                        neighbour: None,
-                        stats: SearchStats::default(),
-                    },
-                    Err(error) => Response::Failed { error },
-                }
-            }
-            Request::Knn { query, k } => {
-                match self.index.knn(query, dist, &QueryOptions::new().k(*k)) {
-                    Ok((neighbours, stats)) => Response::Knn { neighbours, stats },
-                    Err(SearchError::EmptyDatabase) => Response::Knn {
-                        neighbours: Vec::new(),
-                        stats: SearchStats::default(),
-                    },
-                    Err(error) => Response::Failed { error },
-                }
-            }
-            Request::Range { query, radius } => {
-                let opts = QueryOptions::new().radius(*radius);
-                // Validate the request itself before the empty-index
-                // mapping: a malformed radius must answer Failed even
-                // while the index is empty, or clients would see
-                // state-dependent error reporting.
-                if let Err(error) = opts.checked_radius() {
-                    return Response::Failed { error };
-                }
-                match self.index.range(query, dist, &opts) {
-                    Ok((neighbours, stats)) => Response::Range { neighbours, stats },
-                    Err(SearchError::EmptyDatabase) => Response::Range {
-                        neighbours: Vec::new(),
-                        stats: SearchStats::default(),
-                    },
-                    Err(error) => Response::Failed { error },
-                }
-            }
-            Request::Insert { .. } => unreachable!("inserts are barriers, never batched"),
-        }
-    }
-
-    /// Answer the batched queries against the index's current state,
-    /// in parallel, then clear the batch.
-    fn flush<D: Distance<S> + ?Sized>(
-        &self,
-        requests: &[Request<S>],
-        batch: &mut Vec<usize>,
-        dist: &D,
-        out: &mut [Option<Response>],
-    ) {
-        if batch.is_empty() {
-            return;
-        }
-        let workers = workers_for(batch.len());
-        if workers <= 1 {
-            for &i in batch.iter() {
-                out[i] = Some(self.answer(&requests[i], dist));
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let answers: Vec<(usize, Response)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let cursor = &cursor;
-                        let batch = &*batch;
-                        let this = &*self;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let t = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(&i) = batch.get(t) else { break };
-                                local.push((i, this.answer(&requests[i], dist)));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("cned-serve worker thread panicked"))
-                    .collect()
-            });
-            for (i, response) in answers {
-                out[i] = Some(response);
-            }
-        }
-        batch.clear();
-    }
-}
-
-impl<S: Symbol, I: InsertableIndex<S>> QueryPipeline<S, I> {
     /// Process `requests` with in-order semantics, returning one
-    /// [`Response`] per request in input order. See the module docs
-    /// for the scheduling model.
+    /// [`Response`] per request in input order; `responses[i]` carries
+    /// [`RequestId`]`(i as u64)`, so callers can also correlate by id.
+    /// See the module docs for the scheduling model.
     ///
-    /// Takes the queue by reference: queries are answered in place
-    /// (no copies) and only inserted items are cloned into the index,
-    /// so callers can reuse or replay the queue without paying a deep
-    /// copy per call.
+    /// Takes the queue by reference: each request is cloned once into
+    /// the session queue, so callers can reuse or replay the queue
+    /// across calls.
     pub fn run<D: Distance<S> + ?Sized>(
         &mut self,
         requests: &[Request<S>],
         dist: &D,
     ) -> Vec<Response> {
-        let mut out: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
-        // Indices of the queries batched since the last barrier.
-        let mut batch: Vec<usize> = Vec::new();
-        for (i, request) in requests.iter().enumerate() {
-            match request {
-                Request::Nn { .. } | Request::Knn { .. } | Request::Range { .. } => batch.push(i),
-                Request::Insert { item } => {
-                    self.flush(requests, &mut batch, dist, &mut out);
-                    let index = self.index.insert(item.clone(), &dist);
-                    out[i] = Some(Response::Inserted { index });
-                }
-            }
-        }
-        self.flush(requests, &mut batch, dist, &mut out);
-        out.into_iter()
-            .map(|r| r.expect("every request answered"))
-            .collect()
+        let dist: &dyn Distance<S> = &dist;
+        let shared: SessionShared<S> = SessionShared::new();
+        let index = &mut self.index;
+        std::thread::scope(|scope| {
+            let shared_ref = &shared;
+            let scheduler = scope.spawn(move || scheduler_loop(shared_ref, index, dist));
+            // An unbounded scoped session: the batch caller *is* the
+            // admission control, so backpressure would be self-inflicted.
+            let tickets: Vec<Ticket> = requests
+                .iter()
+                .map(|request| {
+                    shared
+                        .submit(usize::MAX, request.clone())
+                        .expect("unbounded scoped session accepts every request")
+                })
+                .collect();
+            let responses: Vec<Response> = tickets.into_iter().map(Ticket::wait).collect();
+            shared.begin_drain();
+            scheduler.join().expect("scoped session scheduler panicked");
+            debug_assert!(responses
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.id == RequestId(i as u64)));
+            responses
+        })
     }
 }

@@ -1,0 +1,310 @@
+//! [`Server`] — a thread-per-connection TCP front-end over one shared
+//! [`ServeSession`].
+//!
+//! Every connection speaks the [`crate::wire`] protocol: frames in,
+//! frames out, correlated by the client-assigned request id. All
+//! connections submit into a **single** session, so the whole server
+//! shares one admission queue (one backpressure knob) and one
+//! scheduler with insert-barrier semantics across clients — an insert
+//! from any connection is observed by every later query, exactly like
+//! interleaved calls against the in-process index.
+//!
+//! ## Per-connection pipelining
+//!
+//! Each connection runs a **reader** (this connection's thread) and a
+//! **writer** thread. The reader decodes frames and submits them
+//! without waiting — a client may have any number of requests in
+//! flight — forwarding each [`crate::Ticket`] (or an immediate
+//! failure such as [`cned_search::SearchError::Overloaded`]) to the
+//! writer, which resolves them in submission order and streams the
+//! responses back tagged with the client's ids. Admission failures
+//! are *responses*, not disconnects: an overloaded server answers
+//! `Failed { Overloaded }` and keeps the connection alive.
+//!
+//! A *protocol* error (garbage frame, wrong version, oversized
+//! length) is different: the stream can no longer be trusted, so the
+//! connection is closed after draining the accepted tickets.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops accepting, nudges every open connection
+//! (their read loops poll a stop flag), waits for the connection
+//! threads, then gracefully drains the session — every accepted
+//! request is answered before the index is handed back.
+
+use crate::session::{RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket};
+use crate::wire::{self, FrameBuffer, WireSymbol};
+use cned_core::metric::Distance;
+use cned_search::MetricIndex;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerConfig {
+    /// Session knobs (admission depth) of the shared serving session.
+    pub session: SessionConfig,
+}
+
+/// What the connection reader hands its writer, in submission order.
+enum Outcome {
+    /// An accepted request: resolve the ticket, answer with its
+    /// response body under the client's id.
+    Ticket(RequestId, Ticket),
+    /// An immediately-known answer (admission failure).
+    Ready(Response),
+}
+
+/// A running TCP serving front-end; dropping it (or calling
+/// [`Server::shutdown`]) stops accepting and drains in-flight work.
+pub struct Server<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> {
+    addr: SocketAddr,
+    /// `Some` until shutdown; `Option` so [`Server::shutdown`] can
+    /// move the last strong reference out past the `Drop` impl.
+    session: Option<Arc<ServeSession<S, I>>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
+    /// Bind `addr` (use port 0 for an ephemeral port — read the
+    /// actual one back with [`Server::local_addr`]) and serve `index`
+    /// through `dist` with default knobs.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        index: I,
+        dist: Arc<dyn Distance<S>>,
+    ) -> std::io::Result<Server<S, I>> {
+        Server::bind_with(addr, index, dist, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit knobs.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        index: I,
+        dist: Arc<dyn Distance<S>>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server<S, I>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Polling accept: lets the accept thread observe the stop flag
+        // without a self-connect trick.
+        listener.set_nonblocking(true)?;
+        let session = Arc::new(ServeSession::spawn_with(index, dist, config.session));
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let session = Arc::clone(&session);
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("cned-serve-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let session = Arc::clone(&session);
+                                let stop = Arc::clone(&stop);
+                                let handle = std::thread::Builder::new()
+                                    .name("cned-serve-conn".into())
+                                    .spawn(move || serve_connection(stream, &session, &stop))
+                                    .expect("spawning a connection thread");
+                                let mut registry = connections
+                                    .lock()
+                                    .expect("connection registry never poisoned");
+                                // Reap finished connections as we go so
+                                // the registry tracks live connections,
+                                // not the server's whole history.
+                                registry.retain(|h| !h.is_finished());
+                                registry.push(handle);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            // Transient accept errors (aborted
+                            // handshakes) should not kill the server.
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })
+                .expect("spawning the accept thread")
+        };
+        Ok(Server {
+            addr,
+            session: Some(session),
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared session (e.g. to co-serve in-process submissions
+    /// next to network clients).
+    pub fn session(&self) -> &ServeSession<S, I> {
+        self.session
+            .as_ref()
+            .expect("session present until shutdown")
+    }
+
+    /// Stop accepting, drain every connection and the session, and
+    /// hand the index back.
+    pub fn shutdown(mut self) -> I {
+        self.stop_threads();
+        let session = self.session.take().expect("session present until shutdown");
+        let session = Arc::try_unwrap(session)
+            .unwrap_or_else(|_| unreachable!("all session clones joined before unwrap"));
+        session.shutdown()
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .expect("connection registry never poisoned"),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Drop for Server<S, I> {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_threads();
+        }
+        // The session Arc drops here; its own Drop drains accepted
+        // work.
+    }
+}
+
+/// One connection: interruptible framed reads, pipelined submission,
+/// ordered writes on a dedicated writer thread.
+fn serve_connection<S: WireSymbol, I: MetricIndex<S>>(
+    stream: TcpStream,
+    session: &ServeSession<S, I>,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout turns the blocking read into a poll so the
+    // stop flag is observed; the FrameBuffer keeps partial frames
+    // across timeouts, so no bytes are ever lost to one.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut reader = stream.try_clone().expect("cloning a TCP stream handle");
+    let writer_stream = stream;
+
+    let (tx, rx) = mpsc::channel::<Outcome>();
+    let writer = std::thread::Builder::new()
+        .name("cned-serve-conn-writer".into())
+        .spawn(move || write_responses(writer_stream, rx))
+        .expect("spawning a connection writer thread");
+
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 8 * 1024];
+    'conn: loop {
+        // Checked every iteration, not only on read timeouts: a
+        // client streaming continuously would otherwise starve the
+        // timeout branch and stall shutdown for as long as it talks.
+        if stop.load(Ordering::Acquire) {
+            break 'conn;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break 'conn, // client closed
+            Ok(n) => {
+                frames.extend(&chunk[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(payload)) => {
+                            if !handle_frame(&payload, session, &tx) {
+                                break 'conn;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Untrusted stream: stop reading, drain what
+                        // was accepted, close.
+                        Err(_) => break 'conn,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    break 'conn;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break 'conn,
+        }
+    }
+    // Dropping the sender lets the writer finish the queued outcomes
+    // (accepted tickets are still answered and written when the peer
+    // is alive) and exit.
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Decode and submit one frame; `false` aborts the connection
+/// (undecodable request).
+fn handle_frame<S: WireSymbol, I: MetricIndex<S>>(
+    payload: &[u8],
+    session: &ServeSession<S, I>,
+    tx: &mpsc::Sender<Outcome>,
+) -> bool {
+    let (client_id, request) = match wire::decode_request::<S>(payload) {
+        Ok(decoded) => decoded,
+        Err(_) => return false,
+    };
+    let outcome = match session.submit(request) {
+        Ok(ticket) => Outcome::Ticket(client_id, ticket),
+        Err(error) => Outcome::Ready(Response {
+            id: client_id,
+            body: ResponseBody::Failed { error },
+        }),
+    };
+    // The writer only disappears when the connection is tearing down.
+    tx.send(outcome).is_ok()
+}
+
+/// Resolve outcomes in submission order and stream them back under
+/// the client's ids.
+fn write_responses(mut stream: TcpStream, rx: mpsc::Receiver<Outcome>) {
+    let mut payload = Vec::new();
+    for outcome in rx {
+        let response = match outcome {
+            Outcome::Ready(response) => response,
+            Outcome::Ticket(client_id, ticket) => {
+                let answered = ticket.wait();
+                // Re-tag with the id the client chose; the session's
+                // internal id is a server-side detail.
+                Response {
+                    id: client_id,
+                    body: answered.body,
+                }
+            }
+        };
+        wire::encode_response(&response, &mut payload);
+        if wire::write_frame(&mut stream, &payload).is_err() {
+            // Peer gone: keep draining tickets (the session owes them
+            // answers) but stop writing.
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,592 @@
+//! The session/ticket serving API: [`ServeSession`] — a non-blocking
+//! handle over an index-owning scheduler thread.
+//!
+//! The batch API ([`crate::QueryPipeline::run`]) answers "here is a
+//! queue, block until every answer exists". A served workload is the
+//! opposite shape: requests trickle in from many callers, answers are
+//! wanted as soon as *their* chain completes, and the server must be
+//! able to say **no** when it falls behind. The session model covers
+//! that shape with three moves:
+//!
+//! * [`ServeSession::submit`] is non-blocking: it enqueues the request
+//!   and immediately returns a [`Ticket`] tagged with the request's
+//!   [`RequestId`]. The caller collects the answer through
+//!   [`Ticket::try_recv`] (poll) or [`Ticket::wait`] (block), in any
+//!   order — many tickets may be in flight at once (pipelining).
+//! * Admission is **bounded**: past [`SessionConfig::queue_depth`]
+//!   queued requests, `submit` refuses with
+//!   [`SearchError::Overloaded`] instead of growing the queue without
+//!   limit. Backpressure is a typed value the caller (or the wire
+//!   protocol) can forward, not a stall.
+//! * [`ServeSession::shutdown`] is **graceful**: it stops admission
+//!   ([`SearchError::Shutdown`] for new submissions) but drains every
+//!   already-accepted request — no ticket issued before the shutdown
+//!   is ever dropped — then hands the index back.
+//!
+//! ## Scheduling model
+//!
+//! One scheduler thread owns the index and pulls the queue in FIFO
+//! order with exactly the in-order/insert-barrier semantics of the
+//! batch pipeline: consecutive *queries* form a chunk answered in
+//! parallel across [`cned_search::workers_for`] workers (each worker
+//! pulls whole queries from an atomic cursor, so per-query preparation
+//! happens once and results are bit-identical for any worker count);
+//! an **insert** is a barrier — every earlier request is answered
+//! against the pre-insert index, every later one observes the new
+//! item. Responses are delivered per ticket the moment their query
+//! completes.
+//!
+//! Every [`Response`] — including [`ResponseBody::Failed`] — carries
+//! the [`RequestId`] of the request that produced it, so answers
+//! correlate by identity, never by queue position.
+
+use crate::sharded::ShardedIndex;
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use cned_search::{workers_for, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Identity of one submitted request within its session (assigned
+/// sequentially from 0 at submission). Every [`Response`] carries the
+/// id of the request that produced it, so callers and wire clients
+/// correlate answers by identity instead of arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One unit of work for a session or pipeline.
+///
+/// `PartialEq` compares the `Range` radius by value, so a NaN radius
+/// (which is still *served* — it answers `Failed`) compares unequal to
+/// itself; there is deliberately no `Eq`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<S: Symbol> {
+    /// Nearest-neighbour query.
+    Nn {
+        /// The query string.
+        query: Vec<S>,
+    },
+    /// k-nearest-neighbours query.
+    Knn {
+        /// The query string.
+        query: Vec<S>,
+        /// How many neighbours.
+        k: usize,
+    },
+    /// Range (radius) query: everything within `radius`, inclusive.
+    Range {
+        /// The query string.
+        query: Vec<S>,
+        /// The radius (must be non-negative and not NaN, else the
+        /// request answers with [`ResponseBody::Failed`]).
+        radius: f64,
+    },
+    /// Incremental insert (a barrier: see the module docs).
+    Insert {
+        /// The item to add.
+        item: Vec<S>,
+    },
+}
+
+impl<S: Symbol> Request<S> {
+    /// The query/item payload (for logging and demos).
+    pub fn payload(&self) -> &[S] {
+        match self {
+            Request::Nn { query } => query,
+            Request::Knn { query, .. } => query,
+            Request::Range { query, .. } => query,
+            Request::Insert { item } => item,
+        }
+    }
+}
+
+/// The answer to one [`Request`]: the originating request's id plus
+/// the kind-specific body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Id of the request this response answers.
+    pub id: RequestId,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+/// Kind-specific payload of a [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to [`Request::Nn`]; `None` when the index was empty (or
+    /// held nothing within the radius) at that point in the queue.
+    Nn {
+        /// The nearest neighbour (global index + distance).
+        neighbour: Option<Neighbour>,
+        /// Total distance evaluations for the query.
+        stats: SearchStats,
+    },
+    /// Answer to [`Request::Knn`].
+    Knn {
+        /// Up to `k` neighbours in (distance, index) order.
+        neighbours: Vec<Neighbour>,
+        /// Total distance evaluations for the query.
+        stats: SearchStats,
+    },
+    /// Answer to [`Request::Range`].
+    Range {
+        /// Every item within the radius, in (distance, index) order.
+        neighbours: Vec<Neighbour>,
+        /// Total distance evaluations for the query.
+        stats: SearchStats,
+    },
+    /// Answer to [`Request::Insert`]: the item's global index.
+    Inserted {
+        /// Global index assigned to the inserted item.
+        index: usize,
+    },
+    /// The request could not be answered; the typed error explains
+    /// why. Other requests in the queue are unaffected.
+    Failed {
+        /// What went wrong.
+        error: SearchError,
+    },
+}
+
+/// Knobs of a [`ServeSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum number of requests queued (accepted but not yet being
+    /// answered) before [`ServeSession::submit`] refuses with
+    /// [`SearchError::Overloaded`].
+    pub queue_depth: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig { queue_depth: 1024 }
+    }
+}
+
+impl SessionConfig {
+    /// Default knobs (`queue_depth = 1024`).
+    pub fn new() -> SessionConfig {
+        SessionConfig::default()
+    }
+
+    /// Set the admission-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> SessionConfig {
+        self.queue_depth = depth;
+        self
+    }
+}
+
+/// A claim on the eventual [`Response`] to one submitted request.
+///
+/// Exactly one response is delivered per ticket; collect it with
+/// [`Ticket::try_recv`] (non-blocking) or [`Ticket::wait`]. Tickets
+/// are independent — hold many and collect them in any order.
+#[derive(Debug)]
+pub struct Ticket {
+    id: RequestId,
+    rx: mpsc::Receiver<Response>,
+    /// Whether a response (real or the disconnection fallback) has
+    /// already been handed out; later polls yield `None`.
+    done: std::cell::Cell<bool>,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: RequestId, rx: mpsc::Receiver<Response>) -> Ticket {
+        Ticket {
+            id,
+            rx,
+            done: std::cell::Cell::new(false),
+        }
+    }
+
+    /// The id of the submitted request (matches the eventual
+    /// [`Response::id`]).
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The response, if it has arrived (`None` while the request is
+    /// still queued or in flight, and on every poll after the
+    /// response has been collected — at most one response is ever
+    /// handed out). If the serving side died before answering — which
+    /// a graceful shutdown never does — this yields a
+    /// [`ResponseBody::Failed`] with [`SearchError::Shutdown`] once.
+    pub fn try_recv(&self) -> Option<Response> {
+        if self.done.get() {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(response) => {
+                self.done.set(true);
+                Some(response)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.done.set(true);
+                Some(Response {
+                    id: self.id,
+                    body: ResponseBody::Failed {
+                        error: SearchError::Shutdown,
+                    },
+                })
+            }
+        }
+    }
+
+    /// Block until the response arrives. See [`Ticket::try_recv`] for
+    /// the disconnection fallback (also what this returns if the
+    /// response was already collected through `try_recv` — `wait`
+    /// consumes the ticket, so the combination is caller misuse).
+    pub fn wait(self) -> Response {
+        let id = self.id;
+        self.rx.recv().unwrap_or(Response {
+            id,
+            body: ResponseBody::Failed {
+                error: SearchError::Shutdown,
+            },
+        })
+    }
+}
+
+/// One queued request: id, payload, and the ticket's delivery channel.
+type Slot<S> = (RequestId, Request<S>, mpsc::Sender<Response>);
+
+struct SessionState<S: Symbol> {
+    queue: VecDeque<Slot<S>>,
+    next_id: u64,
+    draining: bool,
+}
+
+/// Queue + scheduling state shared between submitters and the
+/// scheduler (thread or scope). Lifetime-free: requests and responses
+/// are owned values, so the same machinery backs both the owned
+/// [`ServeSession`] and the scoped session inside
+/// [`crate::QueryPipeline::run`].
+pub(crate) struct SessionShared<S: Symbol> {
+    state: Mutex<SessionState<S>>,
+    /// Signalled on new work and on drain, waking the scheduler.
+    work: Condvar,
+}
+
+impl<S: Symbol> SessionShared<S> {
+    pub(crate) fn new() -> SessionShared<S> {
+        SessionShared {
+            state: Mutex::new(SessionState {
+                queue: VecDeque::new(),
+                next_id: 0,
+                draining: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `request` if the queue holds fewer than `depth`
+    /// entries, handing back the ticket for its response.
+    pub(crate) fn submit(&self, depth: usize, request: Request<S>) -> Result<Ticket, SearchError> {
+        let mut state = self.state.lock().expect("session state never poisoned");
+        if state.draining {
+            return Err(SearchError::Shutdown);
+        }
+        if state.queue.len() >= depth {
+            return Err(SearchError::Overloaded { depth });
+        }
+        let id = RequestId(state.next_id);
+        state.next_id += 1;
+        let (tx, rx) = mpsc::channel();
+        state.queue.push_back((id, request, tx));
+        self.work.notify_all();
+        Ok(Ticket::new(id, rx))
+    }
+
+    /// Requests accepted but not yet picked up by the scheduler.
+    pub(crate) fn pending(&self) -> usize {
+        self.state
+            .lock()
+            .expect("session state never poisoned")
+            .queue
+            .len()
+    }
+
+    /// Stop admission; the scheduler exits once the queue is drained.
+    pub(crate) fn begin_drain(&self) {
+        let mut state = self.state.lock().expect("session state never poisoned");
+        state.draining = true;
+        self.work.notify_all();
+    }
+}
+
+/// One scheduler step's worth of work, popped from the queue front.
+enum Chunk<S: Symbol> {
+    /// A maximal run of consecutive queries (answered in parallel).
+    Queries(Vec<Slot<S>>),
+    /// A single insert (a barrier).
+    Insert(Slot<S>),
+}
+
+/// Answer one query request against the index's current state.
+///
+/// Failures are part of the protocol: a request that cannot be
+/// answered (e.g. a NaN radius) produces a [`ResponseBody::Failed`]
+/// carrying the typed [`SearchError`], instead of poisoning its
+/// neighbours. Queries against an *empty* index keep their legacy
+/// shape (`Nn { neighbour: None, .. }` / empty neighbour lists),
+/// because an empty index is a normal serving state between start-up
+/// and the first insert.
+fn answer<S: Symbol, I: MetricIndex<S> + ?Sized>(
+    index: &I,
+    request: &Request<S>,
+    dist: &dyn Distance<S>,
+) -> ResponseBody {
+    match request {
+        Request::Nn { query } => match index.nn(query, dist, &QueryOptions::new()) {
+            Ok((neighbour, stats)) => ResponseBody::Nn { neighbour, stats },
+            // An empty index is a normal serving state, not a request
+            // defect.
+            Err(SearchError::EmptyDatabase) => ResponseBody::Nn {
+                neighbour: None,
+                stats: SearchStats::default(),
+            },
+            Err(error) => ResponseBody::Failed { error },
+        },
+        Request::Knn { query, k } => match index.knn(query, dist, &QueryOptions::new().k(*k)) {
+            Ok((neighbours, stats)) => ResponseBody::Knn { neighbours, stats },
+            Err(SearchError::EmptyDatabase) => ResponseBody::Knn {
+                neighbours: Vec::new(),
+                stats: SearchStats::default(),
+            },
+            Err(error) => ResponseBody::Failed { error },
+        },
+        Request::Range { query, radius } => {
+            let opts = QueryOptions::new().radius(*radius);
+            // Validate the request itself before the empty-index
+            // mapping: a malformed radius must answer Failed even
+            // while the index is empty, or clients would see
+            // state-dependent error reporting.
+            if let Err(error) = opts.checked_radius() {
+                return ResponseBody::Failed { error };
+            }
+            match index.range(query, dist, &opts) {
+                Ok((neighbours, stats)) => ResponseBody::Range { neighbours, stats },
+                Err(SearchError::EmptyDatabase) => ResponseBody::Range {
+                    neighbours: Vec::new(),
+                    stats: SearchStats::default(),
+                },
+                Err(error) => ResponseBody::Failed { error },
+            }
+        }
+        Request::Insert { .. } => unreachable!("inserts are barriers, never batched"),
+    }
+}
+
+/// The scheduler: runs until [`SessionShared::begin_drain`] *and* an
+/// empty queue, answering every accepted request along the way.
+///
+/// Owned sessions run this on a dedicated thread holding the index;
+/// [`crate::QueryPipeline::run`] runs it on a scoped thread borrowing
+/// the pipeline's index — one code path, two ownership shapes.
+pub(crate) fn scheduler_loop<S: Symbol, I: MetricIndex<S> + ?Sized>(
+    shared: &SessionShared<S>,
+    index: &mut I,
+    dist: &dyn Distance<S>,
+) {
+    loop {
+        // Pop the next chunk (or exit once draining with an empty
+        // queue). The lock is held only while popping: answering runs
+        // lock-free so submissions keep landing during a long chunk.
+        let chunk: Chunk<S> = {
+            let mut state = shared.state.lock().expect("session state never poisoned");
+            loop {
+                if !state.queue.is_empty() {
+                    let is_insert =
+                        matches!(state.queue.front(), Some((_, Request::Insert { .. }, _)));
+                    if is_insert {
+                        let slot = state.queue.pop_front().expect("front checked non-empty");
+                        break Chunk::Insert(slot);
+                    }
+                    let mut batch = Vec::new();
+                    while let Some(front) = state.queue.front() {
+                        if matches!(front.1, Request::Insert { .. }) {
+                            break;
+                        }
+                        batch.push(state.queue.pop_front().expect("front checked non-empty"));
+                    }
+                    break Chunk::Queries(batch);
+                }
+                if state.draining {
+                    return;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .expect("session state never poisoned");
+            }
+        };
+        match chunk {
+            Chunk::Insert((id, request, tx)) => {
+                let Request::Insert { item } = request else {
+                    unreachable!("Chunk::Insert holds an insert request");
+                };
+                let body = match index.as_insertable() {
+                    Some(idx) => ResponseBody::Inserted {
+                        index: idx.insert(item, dist),
+                    },
+                    None => ResponseBody::Failed {
+                        error: SearchError::UnsupportedConfig {
+                            reason: "this backend does not support incremental inserts",
+                        },
+                    },
+                };
+                // A dropped ticket just discards its response.
+                let _ = tx.send(Response { id, body });
+            }
+            Chunk::Queries(batch) => {
+                let index: &I = index;
+                let workers = workers_for(batch.len());
+                if workers <= 1 {
+                    for (id, request, tx) in &batch {
+                        let body = answer(index, request, dist);
+                        let _ = tx.send(Response { id: *id, body });
+                    }
+                } else {
+                    // Workers pull whole queries from a shared cursor
+                    // (dynamic load balancing) and deliver each
+                    // response the moment it completes.
+                    let cursor = AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        for _ in 0..workers {
+                            let cursor = &cursor;
+                            let batch = &batch;
+                            scope.spawn(move || loop {
+                                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some((id, request, tx)) = batch.get(t) else {
+                                    break;
+                                };
+                                let body = answer(index, request, dist);
+                                let _ = tx.send(Response { id: *id, body });
+                            });
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A non-blocking serving handle: an index owned by a scheduler
+/// thread, driven through submit/ticket. See the module docs for the
+/// scheduling model and [`crate::QueryPipeline`] for the batch
+/// wrapper.
+///
+/// `submit` takes `&self`, so one session can be shared (e.g. behind
+/// an [`Arc`]) by many threads or connection handlers; the scheduler
+/// serialises effects in submission order.
+///
+/// ```
+/// use cned_core::levenshtein::Levenshtein;
+/// use cned_search::LinearIndex;
+/// use cned_serve::{Request, ResponseBody, ServeSession};
+/// use std::sync::Arc;
+///
+/// let index = LinearIndex::new(vec![b"casa".to_vec(), b"cosa".to_vec()]);
+/// let session = ServeSession::spawn(index, Arc::new(Levenshtein));
+/// let ticket = session
+///     .submit(Request::Nn { query: b"cesa".to_vec() })
+///     .unwrap();
+/// let response = ticket.wait();
+/// assert!(matches!(response.body, ResponseBody::Nn { .. }));
+/// let index = session.shutdown(); // drains, hands the index back
+/// assert_eq!(cned_search::MetricIndex::len(&index), 2);
+/// ```
+pub struct ServeSession<S: Symbol + 'static, I: MetricIndex<S> + 'static = ShardedIndex<S>> {
+    shared: Arc<SessionShared<S>>,
+    depth: usize,
+    scheduler: Option<JoinHandle<I>>,
+}
+
+impl<S: Symbol + 'static, I: MetricIndex<S> + 'static> ServeSession<S, I> {
+    /// Spawn a session over `index`, answering every query through
+    /// `dist`, with default [`SessionConfig`].
+    ///
+    /// `dist` **must** be the distance the index was built with (the
+    /// same contract as every [`MetricIndex`] call); the
+    /// `cned::Database` facade pairs the two automatically.
+    pub fn spawn(index: I, dist: Arc<dyn Distance<S>>) -> ServeSession<S, I> {
+        ServeSession::spawn_with(index, dist, SessionConfig::default())
+    }
+
+    /// [`ServeSession::spawn`] with explicit knobs.
+    pub fn spawn_with(
+        index: I,
+        dist: Arc<dyn Distance<S>>,
+        config: SessionConfig,
+    ) -> ServeSession<S, I> {
+        let shared = Arc::new(SessionShared::new());
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cned-serve-session".into())
+                .spawn(move || {
+                    let mut index = index;
+                    scheduler_loop(&shared, &mut index, &*dist);
+                    index
+                })
+                .expect("spawning the session scheduler thread")
+        };
+        ServeSession {
+            shared,
+            depth: config.queue_depth,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Enqueue a request, returning the [`Ticket`] for its response.
+    ///
+    /// Non-blocking: refuses with [`SearchError::Overloaded`] when the
+    /// admission queue is at [`SessionConfig::queue_depth`], and with
+    /// [`SearchError::Shutdown`] once [`ServeSession::shutdown`] has
+    /// begun.
+    pub fn submit(&self, request: Request<S>) -> Result<Ticket, SearchError> {
+        self.shared.submit(self.depth, request)
+    }
+
+    /// Requests accepted but not yet picked up by the scheduler.
+    pub fn pending(&self) -> usize {
+        self.shared.pending()
+    }
+
+    /// The configured admission depth.
+    pub fn queue_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Graceful shutdown: stop admission, drain every accepted
+    /// request (all outstanding tickets receive their responses), and
+    /// hand the index back.
+    pub fn shutdown(mut self) -> I {
+        self.shared.begin_drain();
+        self.scheduler
+            .take()
+            .expect("scheduler present until shutdown")
+            .join()
+            .expect("session scheduler panicked")
+    }
+}
+
+impl<S: Symbol + 'static, I: MetricIndex<S> + 'static> Drop for ServeSession<S, I> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.scheduler.take() {
+            self.shared.begin_drain();
+            // Dropping without `shutdown()` still drains accepted
+            // tickets; the index is discarded with the session.
+            let _ = handle.join();
+        }
+    }
+}

@@ -28,6 +28,13 @@ pub struct ShardConfig {
     /// Delta-shard size that triggers compaction: once this many
     /// inserts accumulate, they are rebuilt into a fresh LAESA shard.
     pub compact_threshold: usize,
+    /// Rebalancing floor, as a percentage of the size-balanced shard
+    /// size (`indexed items / shards`). After each compaction, runs of
+    /// **two or more consecutive** shards each smaller than
+    /// `target * min_fill_percent / 100` are merged back into
+    /// target-sized shards (see [`ShardedIndex::rebalance`]). `0`
+    /// disables rebalancing, reproducing the old append-only layout.
+    pub min_fill_percent: u8,
 }
 
 impl Default for ShardConfig {
@@ -36,6 +43,7 @@ impl Default for ShardConfig {
             shards: 4,
             pivots_per_shard: 16,
             compact_threshold: 64,
+            min_fill_percent: 50,
         }
     }
 }
@@ -208,6 +216,9 @@ impl<S: Symbol> ShardedIndex<S> {
     /// Rebuild the delta shard into a proper LAESA shard now (no-op on
     /// an empty delta). Global indices are unchanged: the new shard
     /// covers exactly the range the delta items already occupied.
+    /// Afterwards the layout is rebalanced at the configured
+    /// [`ShardConfig::min_fill_percent`] floor (see
+    /// [`ShardedIndex::rebalance`]).
     pub fn compact<D: Distance<S> + ?Sized>(&mut self, dist: &D) {
         if self.delta.is_empty() {
             return;
@@ -220,6 +231,117 @@ impl<S: Symbol> ShardedIndex<S> {
         self.indexed_len += index.database().len();
         self.preprocessing_computations += index.preprocessing_computations();
         self.shards.push(Shard { offset, index });
+        self.rebalance(self.config.min_fill_percent, dist);
+    }
+
+    /// Merge undersized shards back into the size-balanced layout.
+    ///
+    /// Compaction only ever *appends* shards of `compact_threshold`
+    /// items, so a long-lived index under steady inserts accumulates
+    /// many small shards — each costing its full pivot set per query,
+    /// which erodes exactly the pivots-vs-computations trade the
+    /// shard count was chosen for. This pass restores the intended
+    /// layout: with `target = indexed items / configured shards`,
+    /// every maximal run of **two or more consecutive** shards each
+    /// smaller than `target * min_fill_percent / 100` is rebuilt into
+    /// shards of ~`target` items (fresh max-sum pivots per merged
+    /// shard).
+    ///
+    /// Only *consecutive* shards merge because global result indices
+    /// are positions in the concatenated database: each shard covers a
+    /// contiguous index range, and merging neighbours preserves every
+    /// global index — which is why query results (neighbours and
+    /// distances) are bit-identical before and after a rebalance for a
+    /// metric distance; only per-query computation counts change with
+    /// the new pivot tables. The tests pin that equivalence.
+    ///
+    /// Merges are **geometric** (LSM-style): a group below the target
+    /// is only rebuilt when merging at least doubles its largest
+    /// member, so under steady inserts every item is rebuilt
+    /// `O(log(target / compact_threshold))` times rather than once per
+    /// compaction — maintenance stays amortised-logarithmic instead of
+    /// quadratic in the tail size.
+    ///
+    /// Returns the number of merged shards built. Called automatically
+    /// by [`ShardedIndex::compact`] with the configured floor; callers
+    /// can invoke it directly with any floor (e.g. a maintenance job
+    /// forcing a stronger consolidation).
+    pub fn rebalance<D: Distance<S> + ?Sized>(&mut self, min_fill_percent: u8, dist: &D) -> usize {
+        if min_fill_percent == 0 || self.shards.len() <= 1 {
+            return 0;
+        }
+        let target = (self.indexed_len / self.config.shards.max(1)).max(1);
+        let floor = ((target as u64 * u64::from(min_fill_percent)) / 100) as usize;
+        if floor == 0 {
+            return 0;
+        }
+        let old = std::mem::take(&mut self.shards);
+        let mut rebuilt: Vec<Shard<S>> = Vec::with_capacity(old.len());
+        let mut run: Vec<Shard<S>> = Vec::new();
+        let mut merges = 0usize;
+        for shard in old {
+            if shard.index.database().len() < floor {
+                run.push(shard);
+            } else {
+                merges += self.flush_small_run(&mut run, &mut rebuilt, target, dist);
+                rebuilt.push(shard);
+            }
+        }
+        merges += self.flush_small_run(&mut run, &mut rebuilt, target, dist);
+        self.shards = rebuilt;
+        merges
+    }
+
+    /// Merge a run of consecutive undersized shards into ~`target`-
+    /// sized shards, appending to `out`; a run of fewer than two
+    /// shards is passed through untouched.
+    fn flush_small_run<D: Distance<S> + ?Sized>(
+        &mut self,
+        run: &mut Vec<Shard<S>>,
+        out: &mut Vec<Shard<S>>,
+        target: usize,
+        dist: &D,
+    ) -> usize {
+        if run.len() < 2 {
+            out.append(run);
+            return 0;
+        }
+        let mut merges = 0usize;
+        let mut pending = std::mem::take(run).into_iter().peekable();
+        while let Some(first) = pending.next() {
+            let offset = first.offset;
+            let mut size = first.index.database().len();
+            let mut largest = size;
+            let mut group = vec![first];
+            while size < target {
+                let Some(next) = pending.next() else { break };
+                let len = next.index.database().len();
+                size += len;
+                largest = largest.max(len);
+                group.push(next);
+            }
+            // A lone tail (or a shard already at the target) is not
+            // worth a rebuild; neither is a merge that would not at
+            // least double its largest member — the geometric guard
+            // that keeps steady-insert maintenance amortised
+            // logarithmic (a partially-filled merged tail is left
+            // alone until enough new shards accumulate around it).
+            if group.len() == 1 || (size < target && size < largest * 2) {
+                out.extend(group);
+                continue;
+            }
+            let mut items = Vec::with_capacity(size);
+            for shard in group {
+                items.extend(shard.index.into_database());
+            }
+            let pivots = select_pivots_max_sum(&items, self.config.pivots_per_shard, 0, dist);
+            let index = Laesa::try_build(items, pivots, dist)
+                .expect("max-sum pivot selection yields valid, distinct indices");
+            self.preprocessing_computations += index.preprocessing_computations();
+            merges += 1;
+            out.push(Shard { offset, index });
+        }
+        merges
     }
 
     /// Nearest neighbour of `query` across all shards; `None` on an
@@ -543,6 +665,10 @@ impl<S: Symbol> MetricIndex<S> for ShardedIndex<S> {
         let stats = stats.total();
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,773 @@
+//! The network wire protocol: length-prefixed binary frames carrying
+//! the session request/response vocabulary.
+//!
+//! Hand-rolled on `std` only (the deployment targets include offline
+//! containers — no serde, no tokio): every integer is little-endian,
+//! every `f64` travels as its IEEE-754 bit pattern (so distances
+//! round-trip **bit-exactly**, which is what lets the loopback
+//! integration tests demand bit-identical answers), and every frame
+//! is independently decodable.
+//!
+//! ## Framing
+//!
+//! ```text
+//! +----------------+---------+------+---------------+--------------+
+//! | length: u32 LE | version | kind | id: u64 LE    | body…        |
+//! +----------------+---------+------+---------------+--------------+
+//!                   <-------------- length bytes ---------------->
+//! ```
+//!
+//! * `length` counts everything after itself and must not exceed
+//!   [`MAX_FRAME`] — oversized frames are a typed
+//!   [`WireError::Oversized`], never an allocation bomb.
+//! * `version` is [`WIRE_VERSION`]; a mismatch is
+//!   [`WireError::BadVersion`] so incompatible peers fail loudly at
+//!   the first frame.
+//! * `kind` identifies the message ([`kind`] module); request and
+//!   response kinds live in disjoint ranges so a stream cannot be
+//!   mis-decoded as its mirror.
+//! * `id` is the request id assigned by the submitting side and
+//!   echoed verbatim in the matching response — correlation is by id,
+//!   not arrival order.
+//!
+//! Strings are `u32` symbol count followed by fixed-width symbols
+//! ([`WireSymbol`]); [`cned_search::SearchError`] travels as its
+//! stable [`SearchError::code`] plus the variant's witness values.
+//! Malformed input of any shape — truncated, oversized, trailing
+//! garbage, unknown codes — decodes to a typed [`WireError`] instead
+//! of panicking; the property suite drives this with arbitrary bytes.
+
+use crate::session::{Request, RequestId, Response, ResponseBody};
+use cned_core::Symbol;
+use cned_search::{Neighbour, SearchError, SearchStats};
+
+/// Protocol version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum frame payload size (length-prefix value) either side
+/// accepts: 16 MiB — far above any realistic request, far below an
+/// allocation bomb.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Message kind bytes. Requests and responses use disjoint ranges.
+pub mod kind {
+    /// [`super::Request::Nn`].
+    pub const REQ_NN: u8 = 0;
+    /// [`super::Request::Knn`].
+    pub const REQ_KNN: u8 = 1;
+    /// [`super::Request::Range`].
+    pub const REQ_RANGE: u8 = 2;
+    /// [`super::Request::Insert`].
+    pub const REQ_INSERT: u8 = 3;
+    /// [`super::ResponseBody::Nn`].
+    pub const RESP_NN: u8 = 16;
+    /// [`super::ResponseBody::Knn`].
+    pub const RESP_KNN: u8 = 17;
+    /// [`super::ResponseBody::Range`].
+    pub const RESP_RANGE: u8 = 18;
+    /// [`super::ResponseBody::Inserted`].
+    pub const RESP_INSERTED: u8 = 19;
+    /// [`super::ResponseBody::Failed`].
+    pub const RESP_FAILED: u8 = 20;
+}
+
+/// Everything that can go wrong encoding, decoding or transporting a
+/// frame. All variants are values — no decode path panics on
+/// untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Transport-level failure (socket read/write); carries the
+    /// `std::io::Error` rendering.
+    Io(String),
+    /// The input ended before the announced structure was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+        /// The acceptance limit it broke.
+        max: u32,
+    },
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The kind byte names no message this side decodes.
+    BadKind {
+        /// The kind byte received.
+        got: u8,
+    },
+    /// A structurally invalid body (unknown error code, trailing
+    /// bytes, …).
+    BadPayload {
+        /// What was wrong.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} more bytes, got {got}")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes announced, limit {max}")
+            }
+            WireError::BadVersion { got } => {
+                write!(
+                    f,
+                    "protocol version mismatch: got {got}, speak {WIRE_VERSION}"
+                )
+            }
+            WireError::BadKind { got } => write!(f, "unknown message kind {got}"),
+            WireError::BadPayload { detail } => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// A symbol type that can cross the wire: fixed-width little-endian
+/// encoding. Implemented for the unsigned integer widths the datasets
+/// use (`u8` chain codes and dictionary bytes, `u32` codepoints, …).
+pub trait WireSymbol: Symbol {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+
+    /// Append this symbol's encoding to `out`.
+    fn put(self, out: &mut Vec<u8>);
+
+    /// Decode one symbol from exactly [`WireSymbol::WIDTH`] bytes.
+    fn get(bytes: &[u8]) -> Self;
+}
+
+macro_rules! wire_symbol_uint {
+    ($($t:ty),+) => {$(
+        impl WireSymbol for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+
+            fn put(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn get(bytes: &[u8]) -> $t {
+                <$t>::from_le_bytes(bytes.try_into().expect("caller slices WIDTH bytes"))
+            }
+        }
+    )+};
+}
+
+wire_symbol_uint!(u8, u16, u32, u64);
+
+// ---------------------------------------------------------------------------
+// Primitive writers / a bounds-checked reader.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Cursor over a payload; every read is bounds-checked into
+/// [`WireError::Truncated`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let got = self.bytes.len() - self.at;
+        if got < n {
+            return Err(WireError::Truncated { needed: n, got });
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::BadPayload {
+            detail: "64-bit value exceeds this platform's usize",
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at != self.bytes.len() {
+            return Err(WireError::BadPayload {
+                detail: "trailing bytes after the announced structure",
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_string<S: WireSymbol>(out: &mut Vec<u8>, s: &[S]) {
+    put_u32(out, s.len() as u32);
+    for &sym in s {
+        sym.put(out);
+    }
+}
+
+fn get_string<S: WireSymbol>(r: &mut Reader<'_>) -> Result<Vec<S>, WireError> {
+    let n = r.u32()? as usize;
+    // The symbols must actually fit in the remaining payload; checking
+    // before allocating keeps a lying header from reserving gigabytes.
+    let bytes = r.take(n.saturating_mul(S::WIDTH))?;
+    Ok(bytes.chunks_exact(S::WIDTH).map(S::get).collect())
+}
+
+fn put_neighbour(out: &mut Vec<u8>, n: &Neighbour) {
+    put_u64(out, n.index as u64);
+    put_f64(out, n.distance);
+}
+
+fn get_neighbour(r: &mut Reader<'_>) -> Result<Neighbour, WireError> {
+    let index = r.usize()?;
+    let distance = r.f64()?;
+    Ok(Neighbour { index, distance })
+}
+
+fn put_neighbours(out: &mut Vec<u8>, ns: &[Neighbour]) {
+    put_u32(out, ns.len() as u32);
+    for n in ns {
+        put_neighbour(out, n);
+    }
+}
+
+fn get_neighbours(r: &mut Reader<'_>) -> Result<Vec<Neighbour>, WireError> {
+    let n = r.u32()? as usize;
+    // 16 bytes per neighbour; validate against the remaining payload
+    // before allocating.
+    let needed = n.saturating_mul(16);
+    if (r.bytes.len() - r.at) < needed {
+        return Err(WireError::Truncated {
+            needed,
+            got: r.bytes.len() - r.at,
+        });
+    }
+    (0..n).map(|_| get_neighbour(r)).collect()
+}
+
+fn put_stats(out: &mut Vec<u8>, stats: &SearchStats) {
+    put_u64(out, stats.distance_computations);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<SearchStats, WireError> {
+    Ok(SearchStats {
+        distance_computations: r.u64()?,
+    })
+}
+
+fn put_error(out: &mut Vec<u8>, error: &SearchError) {
+    out.push(error.code());
+    match error {
+        SearchError::EmptyDatabase | SearchError::Shutdown => {}
+        SearchError::PivotOutOfRange { pivot, len } => {
+            put_u64(out, *pivot as u64);
+            put_u64(out, *len as u64);
+        }
+        SearchError::DuplicatePivot { pivot } => put_u64(out, *pivot as u64),
+        SearchError::InvalidRadius { radius } => put_f64(out, *radius),
+        SearchError::LabelCount { labels, items } => {
+            put_u64(out, *labels as u64);
+            put_u64(out, *items as u64);
+        }
+        SearchError::UnsupportedConfig { reason } => {
+            let bytes = reason.as_bytes();
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+        SearchError::Overloaded { depth } => put_u64(out, *depth as u64),
+        // SearchError is #[non_exhaustive]; a variant added without a
+        // wire code must fail loudly in tests, not ship silently.
+        other => unreachable!("unmapped SearchError variant {other:?}"),
+    }
+}
+
+fn get_error(r: &mut Reader<'_>) -> Result<SearchError, WireError> {
+    let code = r.u8()?;
+    Ok(match code {
+        1 => SearchError::EmptyDatabase,
+        2 => SearchError::PivotOutOfRange {
+            pivot: r.usize()?,
+            len: r.usize()?,
+        },
+        3 => SearchError::DuplicatePivot { pivot: r.usize()? },
+        4 => SearchError::InvalidRadius { radius: r.f64()? },
+        5 => SearchError::LabelCount {
+            labels: r.usize()?,
+            items: r.usize()?,
+        },
+        6 => {
+            // The reason string crosses the wire for logging, but
+            // `SearchError::UnsupportedConfig` holds a `&'static str`:
+            // remote reasons map to one canonical static. The code and
+            // variant are preserved exactly; only this human-readable
+            // detail is canonicalised.
+            let len = r.u32()? as usize;
+            let _reason = r.take(len)?;
+            SearchError::UnsupportedConfig {
+                reason: "unsupported configuration (reported by the remote server)",
+            }
+        }
+        7 => SearchError::Overloaded { depth: r.usize()? },
+        8 => SearchError::Shutdown,
+        _ => {
+            return Err(WireError::BadPayload {
+                detail: "unknown error code",
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message codec.
+
+fn begin(out: &mut Vec<u8>, kind: u8, id: RequestId) {
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    put_u64(out, id.0);
+}
+
+/// Encode a request tagged with `id` into a frame payload (no length
+/// prefix — [`write_frame`] adds it).
+pub fn encode_request<S: WireSymbol>(id: RequestId, request: &Request<S>, out: &mut Vec<u8>) {
+    out.clear();
+    match request {
+        Request::Nn { query } => {
+            begin(out, kind::REQ_NN, id);
+            put_string(out, query);
+        }
+        Request::Knn { query, k } => {
+            begin(out, kind::REQ_KNN, id);
+            put_u64(out, *k as u64);
+            put_string(out, query);
+        }
+        Request::Range { query, radius } => {
+            begin(out, kind::REQ_RANGE, id);
+            put_f64(out, *radius);
+            put_string(out, query);
+        }
+        Request::Insert { item } => {
+            begin(out, kind::REQ_INSERT, id);
+            put_string(out, item);
+        }
+    }
+}
+
+/// Decode a frame payload as a request. Response kinds (and anything
+/// else) are typed errors.
+pub fn decode_request<S: WireSymbol>(payload: &[u8]) -> Result<(RequestId, Request<S>), WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let k = r.u8()?;
+    let id = RequestId(r.u64()?);
+    let request = match k {
+        kind::REQ_NN => Request::Nn {
+            query: get_string(&mut r)?,
+        },
+        kind::REQ_KNN => {
+            let k = r.usize()?;
+            Request::Knn {
+                query: get_string(&mut r)?,
+                k,
+            }
+        }
+        kind::REQ_RANGE => {
+            let radius = r.f64()?;
+            Request::Range {
+                query: get_string(&mut r)?,
+                radius,
+            }
+        }
+        kind::REQ_INSERT => Request::Insert {
+            item: get_string(&mut r)?,
+        },
+        got => return Err(WireError::BadKind { got }),
+    };
+    r.finish()?;
+    Ok((id, request))
+}
+
+/// Encode a response (id + body) into a frame payload.
+pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
+    out.clear();
+    let id = response.id;
+    match &response.body {
+        ResponseBody::Nn { neighbour, stats } => {
+            begin(out, kind::RESP_NN, id);
+            match neighbour {
+                Some(n) => {
+                    out.push(1);
+                    put_neighbour(out, n);
+                }
+                None => out.push(0),
+            }
+            put_stats(out, stats);
+        }
+        ResponseBody::Knn { neighbours, stats } => {
+            begin(out, kind::RESP_KNN, id);
+            put_neighbours(out, neighbours);
+            put_stats(out, stats);
+        }
+        ResponseBody::Range { neighbours, stats } => {
+            begin(out, kind::RESP_RANGE, id);
+            put_neighbours(out, neighbours);
+            put_stats(out, stats);
+        }
+        ResponseBody::Inserted { index } => {
+            begin(out, kind::RESP_INSERTED, id);
+            put_u64(out, *index as u64);
+        }
+        ResponseBody::Failed { error } => {
+            begin(out, kind::RESP_FAILED, id);
+            put_error(out, error);
+        }
+    }
+}
+
+/// Decode a frame payload as a response. Request kinds (and anything
+/// else) are typed errors.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let k = r.u8()?;
+    let id = RequestId(r.u64()?);
+    let body = match k {
+        kind::RESP_NN => {
+            let neighbour = match r.u8()? {
+                0 => None,
+                1 => Some(get_neighbour(&mut r)?),
+                _ => {
+                    return Err(WireError::BadPayload {
+                        detail: "neighbour presence flag must be 0 or 1",
+                    })
+                }
+            };
+            ResponseBody::Nn {
+                neighbour,
+                stats: get_stats(&mut r)?,
+            }
+        }
+        kind::RESP_KNN => ResponseBody::Knn {
+            neighbours: get_neighbours(&mut r)?,
+            stats: get_stats(&mut r)?,
+        },
+        kind::RESP_RANGE => ResponseBody::Range {
+            neighbours: get_neighbours(&mut r)?,
+            stats: get_stats(&mut r)?,
+        },
+        kind::RESP_INSERTED => ResponseBody::Inserted { index: r.usize()? },
+        kind::RESP_FAILED => ResponseBody::Failed {
+            error: get_error(&mut r)?,
+        },
+        got => return Err(WireError::BadKind { got }),
+    };
+    r.finish()?;
+    Ok(Response { id, body })
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
+        len: u32::MAX,
+        max: MAX_FRAME,
+    })?;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame with blocking reads. `Ok(None)` is a clean EOF at a
+/// frame boundary; EOF *inside* a frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl std::io::Read, buf: &mut Vec<u8>) -> Result<Option<()>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(WireError::Truncated {
+                needed: 4 - filled,
+                got: 0,
+            });
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(Some(()))
+}
+
+/// Incremental frame extractor for reads that arrive in arbitrary
+/// chunks (the server's interruptible read loop): feed bytes with
+/// [`FrameBuffer::extend`], pop complete frames with
+/// [`FrameBuffer::next_frame`]. Partial frames simply wait for more
+/// bytes; only genuinely malformed prefixes error.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix length (compacted lazily).
+    at: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one
+        // frame plus one read chunk.
+        if self.at > 0 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame payload, `Ok(None)` when more bytes
+    /// are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4"));
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized {
+                len,
+                max: MAX_FRAME,
+            });
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame = pending[4..total].to_vec();
+        self.at += total;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_all_variants() {
+        let requests: Vec<Request<u8>> = vec![
+            Request::Nn {
+                query: b"casa".to_vec(),
+            },
+            Request::Knn {
+                query: b"".to_vec(),
+                k: 7,
+            },
+            Request::Range {
+                query: b"x".to_vec(),
+                radius: 0.25,
+            },
+            Request::Insert {
+                item: b"nuevo".to_vec(),
+            },
+        ];
+        let mut payload = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            let id = RequestId(i as u64 + 40);
+            encode_request(id, request, &mut payload);
+            let (got_id, got) = decode_request::<u8>(&payload).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(&got, request);
+        }
+    }
+
+    #[test]
+    fn wide_symbols_roundtrip() {
+        let request: Request<u32> = Request::Nn {
+            query: vec![0, 1, u32::MAX, 0xDEAD_BEEF],
+        };
+        let mut payload = Vec::new();
+        encode_request(RequestId(9), &request, &mut payload);
+        let (_, got) = decode_request::<u32>(&payload).unwrap();
+        assert_eq!(got, request);
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        let neighbour = Neighbour {
+            index: 3,
+            distance: 8.0 / 15.0,
+        };
+        let stats = SearchStats {
+            distance_computations: 42,
+        };
+        let bodies = vec![
+            ResponseBody::Nn {
+                neighbour: Some(neighbour),
+                stats,
+            },
+            ResponseBody::Nn {
+                neighbour: None,
+                stats,
+            },
+            ResponseBody::Knn {
+                neighbours: vec![neighbour; 3],
+                stats,
+            },
+            ResponseBody::Range {
+                neighbours: Vec::new(),
+                stats,
+            },
+            ResponseBody::Inserted { index: 17 },
+        ];
+        let mut payload = Vec::new();
+        for (i, body) in bodies.into_iter().enumerate() {
+            let response = Response {
+                id: RequestId(i as u64),
+                body,
+            };
+            encode_response(&response, &mut payload);
+            assert_eq!(decode_response(&payload).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn mixed_up_kinds_are_typed_errors() {
+        let mut payload = Vec::new();
+        encode_request::<u8>(
+            RequestId(1),
+            &Request::Nn {
+                query: b"q".to_vec(),
+            },
+            &mut payload,
+        );
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::BadKind { .. })
+        ));
+        encode_response(
+            &Response {
+                id: RequestId(1),
+                body: ResponseBody::Inserted { index: 0 },
+            },
+            &mut payload,
+        );
+        assert!(matches!(
+            decode_request::<u8>(&payload),
+            Err(WireError::BadKind { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_byte_by_byte() {
+        let mut payload = Vec::new();
+        encode_request::<u8>(
+            RequestId(5),
+            &Request::Range {
+                query: b"abc".to_vec(),
+                radius: 1.5,
+            },
+            &mut payload,
+        );
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut fb = FrameBuffer::new();
+        for &b in &framed[..framed.len() - 1] {
+            fb.extend(&[b]);
+            assert_eq!(fb.next_frame().unwrap(), None, "partial frames pend");
+        }
+        fb.extend(&framed[framed.len() - 1..]);
+        assert_eq!(fb.next_frame().unwrap(), Some(payload));
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversized { .. })));
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = std::io::Cursor::new(huge.to_vec());
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+}

@@ -1,0 +1,469 @@
+//! Wire-protocol tests: codec round-trips and malformed-input
+//! hardening as property tests, plus loopback `Server`/`Client`
+//! integration oracle-checked bit-identical against in-process
+//! queries on `d_E`, `d_YB` and `d_C`, shards {1, 4}, and concurrent
+//! client connections.
+
+use cned_core::contextual::exact::Contextual;
+use cned_core::levenshtein::Levenshtein;
+use cned_core::metric::Distance;
+use cned_core::normalized::yujian_bo::YujianBo;
+use cned_search::{MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats};
+use cned_serve::wire::{self, WireError};
+use cned_serve::{
+    Client, Request, RequestId, Response, ResponseBody, Server, ShardConfig, ShardedIndex,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Codec property tests
+
+fn word() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..=24)
+}
+
+fn request() -> impl Strategy<Value = Request<u8>> {
+    prop_oneof![
+        word().prop_map(|query| Request::Nn { query }),
+        (word(), 0usize..50).prop_map(|(query, k)| Request::Knn { query, k }),
+        (word(), 0.0f64..10.0).prop_map(|(query, radius)| Request::Range { query, radius }),
+        word().prop_map(|item| Request::Insert { item }),
+    ]
+}
+
+fn neighbours() -> impl Strategy<Value = Vec<Neighbour>> {
+    proptest::collection::vec(
+        (0usize..100_000, 0.0f64..100.0)
+            .prop_map(|(index, distance)| Neighbour { index, distance }),
+        0..=12,
+    )
+}
+
+fn stats() -> impl Strategy<Value = SearchStats> {
+    (0u64..1_000_000).prop_map(|distance_computations| SearchStats {
+        distance_computations,
+    })
+}
+
+/// Every error variant except `UnsupportedConfig`, whose `&'static`
+/// reason cannot round-trip a dynamic string (tested separately).
+fn search_error() -> impl Strategy<Value = SearchError> {
+    prop_oneof![
+        (0usize..1).prop_map(|_| SearchError::EmptyDatabase),
+        (0usize..500, 0usize..500)
+            .prop_map(|(pivot, len)| SearchError::PivotOutOfRange { pivot, len }),
+        (0usize..500).prop_map(|pivot| SearchError::DuplicatePivot { pivot }),
+        (-5.0f64..5.0).prop_map(|radius| SearchError::InvalidRadius { radius }),
+        (0usize..500, 0usize..500)
+            .prop_map(|(labels, items)| SearchError::LabelCount { labels, items }),
+        (0usize..100_000).prop_map(|depth| SearchError::Overloaded { depth }),
+        (0usize..1).prop_map(|_| SearchError::Shutdown),
+    ]
+}
+
+fn response_body() -> impl Strategy<Value = ResponseBody> {
+    prop_oneof![
+        (
+            proptest::bool::weighted(0.5),
+            (0usize..100_000, 0.0f64..100.0),
+            stats()
+        )
+            .prop_map(|(some, (index, distance), stats)| ResponseBody::Nn {
+                neighbour: some.then_some(Neighbour { index, distance }),
+                stats,
+            }),
+        (neighbours(), stats())
+            .prop_map(|(neighbours, stats)| ResponseBody::Knn { neighbours, stats }),
+        (neighbours(), stats())
+            .prop_map(|(neighbours, stats)| ResponseBody::Range { neighbours, stats }),
+        (0usize..100_000).prop_map(|index| ResponseBody::Inserted { index }),
+        search_error().prop_map(|error| ResponseBody::Failed { error }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_request_variant_roundtrips(id in 0u64..u64::MAX, req in request()) {
+        let mut payload = Vec::new();
+        wire::encode_request(RequestId(id), &req, &mut payload);
+        let (got_id, got) = wire::decode_request::<u8>(&payload)
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(got_id, RequestId(id));
+        prop_assert_eq!(got, req);
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips(id in 0u64..u64::MAX, body in response_body()) {
+        let response = Response { id: RequestId(id), body };
+        let mut payload = Vec::new();
+        wire::encode_response(&response, &mut payload);
+        let got = wire::decode_response(&payload).map_err(|e| e.to_string())?;
+        prop_assert_eq!(got, response);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors_not_panics(req in request(), body in response_body()) {
+        let mut payload = Vec::new();
+        wire::encode_request(RequestId(7), &req, &mut payload);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                wire::decode_request::<u8>(&payload[..cut]).is_err(),
+                "request prefix of {} bytes must not decode", cut
+            );
+        }
+        let response = Response { id: RequestId(7), body };
+        wire::encode_response(&response, &mut payload);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                wire::decode_response(&payload[..cut]).is_err(),
+                "response prefix of {} bytes must not decode", cut
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoders(bytes in proptest::collection::vec(0u8..=255, 0..=64)) {
+        // Any outcome is fine except a panic; decoding garbage usually
+        // errors, and the rare syntactically-valid accident is allowed.
+        let _ = wire::decode_request::<u8>(&bytes);
+        let _ = wire::decode_response(&bytes);
+        let mut fb = wire::FrameBuffer::new();
+        fb.extend(&bytes);
+        let _ = fb.next_frame();
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(req in request(), extra in 1usize..16) {
+        let mut payload = Vec::new();
+        wire::encode_request(RequestId(3), &req, &mut payload);
+        payload.extend(std::iter::repeat_n(0xAAu8, extra));
+        prop_assert!(matches!(
+            wire::decode_request::<u8>(&payload),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+}
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    let mut payload = Vec::new();
+    wire::encode_request::<u8>(
+        RequestId(1),
+        &Request::Nn {
+            query: b"q".to_vec(),
+        },
+        &mut payload,
+    );
+    payload[0] = wire::WIRE_VERSION + 1;
+    assert_eq!(
+        wire::decode_request::<u8>(&payload).unwrap_err(),
+        WireError::BadVersion {
+            got: wire::WIRE_VERSION + 1
+        }
+    );
+}
+
+#[test]
+fn nan_radius_roundtrips_bit_exactly() {
+    // A NaN radius is a *served* value (it answers Failed), so the
+    // codec must carry it; PartialEq can't compare it, bits can.
+    let mut payload = Vec::new();
+    wire::encode_request::<u8>(
+        RequestId(2),
+        &Request::Range {
+            query: b"q".to_vec(),
+            radius: f64::NAN,
+        },
+        &mut payload,
+    );
+    let (_, got) = wire::decode_request::<u8>(&payload).unwrap();
+    let Request::Range { radius, .. } = got else {
+        panic!("expected Range");
+    };
+    assert_eq!(radius.to_bits(), f64::NAN.to_bits());
+}
+
+#[test]
+fn unsupported_config_maps_to_its_code_with_canonical_reason() {
+    let mut payload = Vec::new();
+    let original = SearchError::UnsupportedConfig {
+        reason: "sharding is only available for the LAESA backend",
+    };
+    wire::encode_response(
+        &Response {
+            id: RequestId(4),
+            body: ResponseBody::Failed {
+                error: original.clone(),
+            },
+        },
+        &mut payload,
+    );
+    let got = wire::decode_response(&payload).unwrap();
+    let ResponseBody::Failed { error } = got.body else {
+        panic!("expected Failed");
+    };
+    // The variant (and wire code) survive; the human-readable reason
+    // is canonicalised because the type holds a &'static str.
+    assert_eq!(error.code(), original.code());
+    assert!(matches!(error, SearchError::UnsupportedConfig { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback Server/Client integration
+
+/// Deterministic pseudo-random word corpus (xorshift).
+fn corpus(n: usize, len: usize, alphabet: u8, seed: u64) -> Vec<Vec<u8>> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let l = 1 + (rng() % len as u64) as usize;
+            (0..l)
+                .map(|_| b'a' + (rng() % alphabet as u64) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+fn key(ns: &[Neighbour]) -> Vec<(usize, u64)> {
+    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+}
+
+fn build(db: &[Vec<u8>], shards: usize, dist: &dyn Distance<u8>) -> ShardedIndex<u8> {
+    ShardedIndex::try_build(
+        db.to_vec(),
+        ShardConfig {
+            shards,
+            pivots_per_shard: 4,
+            compact_threshold: 8,
+            ..ShardConfig::default()
+        },
+        dist,
+    )
+    .unwrap()
+}
+
+/// One expected answer set per query, captured in-process.
+struct Expected {
+    nn: (Option<Neighbour>, SearchStats),
+    knn: (Vec<Neighbour>, SearchStats),
+    range: (Vec<Neighbour>, SearchStats),
+}
+
+#[test]
+fn loopback_answers_are_bit_identical_across_metrics_shards_and_connections() {
+    let db = corpus(36, 7, 3, 1009);
+    let queries = corpus(6, 7, 3, 10091);
+    let metrics: [(&str, Arc<dyn Distance<u8>>); 3] = [
+        ("d_E", Arc::new(Levenshtein)),
+        ("d_YB", Arc::new(YujianBo)),
+        ("d_C", Arc::new(Contextual)),
+    ];
+    for (name, dist) in metrics {
+        for shards in [1usize, 4] {
+            // In-process twin: the oracle for answers AND stats.
+            let twin = build(&db, shards, &*dist);
+            let radius = 1.0;
+            let expected: Vec<Expected> = queries
+                .iter()
+                .map(|q| Expected {
+                    nn: MetricIndex::nn(&twin, q, &*dist, &QueryOptions::new()).unwrap(),
+                    knn: MetricIndex::knn(&twin, q, &*dist, &QueryOptions::new().k(4)).unwrap(),
+                    range: MetricIndex::range(
+                        &twin,
+                        q,
+                        &*dist,
+                        &QueryOptions::new().radius(radius),
+                    )
+                    .unwrap(),
+                })
+                .collect();
+            let expected = Arc::new(expected);
+            let queries = Arc::new(queries.clone());
+
+            let served = build(&db, shards, &*dist);
+            let server =
+                Server::bind("127.0.0.1:0", served, Arc::clone(&dist)).expect("bind loopback");
+            let addr = server.local_addr();
+
+            // Two concurrent connections, each checking the full set.
+            let workers: Vec<_> = (0..2)
+                .map(|conn| {
+                    let expected = Arc::clone(&expected);
+                    let queries = Arc::clone(&queries);
+                    std::thread::spawn(move || {
+                        let mut client: Client<u8> =
+                            Client::connect(addr).expect("loopback connect");
+                        for (q, exp) in queries.iter().zip(expected.iter()) {
+                            let label = format!("conn {conn} query {q:?}");
+                            let (nn, nn_stats) = client.nn(q).unwrap();
+                            let (e_nn, e_stats) = exp.nn;
+                            assert_eq!(
+                                nn.map(|n| (n.index, n.distance.to_bits())),
+                                e_nn.map(|n| (n.index, n.distance.to_bits())),
+                                "{label}"
+                            );
+                            assert_eq!(nn_stats, e_stats, "{label}");
+                            let (knn, knn_stats) = client.knn(q, 4).unwrap();
+                            assert_eq!(key(&knn), key(&exp.knn.0), "{label}");
+                            assert_eq!(knn_stats, exp.knn.1, "{label}");
+                            let (hits, range_stats) = client.range(q, 1.0).unwrap();
+                            assert_eq!(key(&hits), key(&exp.range.0), "{label}");
+                            assert_eq!(range_stats, exp.range.1, "{label}");
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join()
+                    .unwrap_or_else(|_| panic!("{name} shards {shards}: worker panicked"));
+            }
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn pipelined_tickets_over_the_wire_with_insert_barrier() {
+    let db = corpus(30, 6, 3, 1013);
+    let index = build(&db, 2, &Levenshtein);
+    let server = Server::bind("127.0.0.1:0", index, Arc::new(Levenshtein)).unwrap();
+    let mut client: Client<u8> = Client::connect(server.local_addr()).unwrap();
+
+    let probe = b"zzzzzz".to_vec();
+    // Pipeline: NN (miss), insert barrier, NN (hit) — all in flight
+    // before anything is collected; collect out of order.
+    let t_before = client
+        .submit(Request::Nn {
+            query: probe.clone(),
+        })
+        .unwrap();
+    let t_insert = client
+        .submit(Request::Insert {
+            item: probe.clone(),
+        })
+        .unwrap();
+    let t_after = client
+        .submit(Request::Nn {
+            query: probe.clone(),
+        })
+        .unwrap();
+    assert_eq!(t_before.id(), RequestId(0));
+    assert_eq!(t_insert.id(), RequestId(1));
+    assert_eq!(t_after.id(), RequestId(2));
+
+    // Collect the last first: ids, not arrival order, correlate.
+    let after = t_after.wait();
+    assert_eq!(after.id, RequestId(2));
+    let ResponseBody::Nn {
+        neighbour: Some(nb),
+        ..
+    } = after.body
+    else {
+        panic!("expected Nn");
+    };
+    assert_eq!(
+        (nb.index, nb.distance),
+        (db.len(), 0.0),
+        "post-barrier NN is the insert"
+    );
+    let inserted = t_insert.wait();
+    assert_eq!(inserted.body, ResponseBody::Inserted { index: db.len() });
+    let before = t_before.wait();
+    assert_eq!(before.id, RequestId(0));
+    let ResponseBody::Nn {
+        neighbour: Some(nb),
+        ..
+    } = before.body
+    else {
+        panic!("expected Nn");
+    };
+    assert!(nb.distance > 0.0, "pre-barrier NN must not see the insert");
+
+    // Server-side errors travel typed: a NaN radius answers Failed.
+    let failed = client
+        .submit(Request::Range {
+            query: probe,
+            radius: f64::NAN,
+        })
+        .unwrap()
+        .wait();
+    assert!(matches!(
+        failed.body,
+        ResponseBody::Failed {
+            error: SearchError::InvalidRadius { .. }
+        }
+    ));
+    drop(client);
+    let index = server.shutdown();
+    assert_eq!(
+        MetricIndex::len(&index),
+        db.len() + 1,
+        "the insert drained into the index"
+    );
+}
+
+#[test]
+fn garbage_frames_close_the_connection_but_not_the_server() {
+    use std::io::Write;
+    let db = corpus(20, 6, 3, 1019);
+    let index = build(&db, 2, &Levenshtein);
+    let server = Server::bind("127.0.0.1:0", index, Arc::new(Levenshtein)).unwrap();
+    let addr = server.local_addr();
+
+    // A raw socket spewing garbage: the server must drop it...
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let mut garbage = Vec::new();
+    garbage.extend_from_slice(&8u32.to_le_bytes());
+    garbage.extend_from_slice(&[0xFF; 8]); // bad version byte
+    raw.write_all(&garbage).unwrap();
+    let mut buf = Vec::new();
+    match wire::read_frame(&mut raw, &mut buf) {
+        Ok(None) | Err(_) => {} // connection closed without a response
+        Ok(Some(())) => panic!("server must not answer a garbage frame"),
+    }
+
+    // ...while staying healthy for well-formed clients.
+    let mut client: Client<u8> = Client::connect(addr).unwrap();
+    let (nn, _) = client.nn(&db[0]).unwrap();
+    assert_eq!(nn.unwrap().distance, 0.0);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn client_tickets_fail_typed_when_the_server_disappears() {
+    let db = corpus(15, 5, 2, 1021);
+    let index = build(&db, 1, &Levenshtein);
+    let server = Server::bind("127.0.0.1:0", index, Arc::new(Levenshtein)).unwrap();
+    let mut client: Client<u8> = Client::connect(server.local_addr()).unwrap();
+    // Prove the connection works, then tear the server down.
+    let (nn, _) = client.nn(&db[1]).unwrap();
+    assert_eq!(nn.unwrap().distance, 0.0);
+    server.shutdown();
+    // Submissions (or their tickets) now fail with typed errors, not
+    // hangs or panics.
+    match client.submit(Request::Nn {
+        query: db[2].clone(),
+    }) {
+        Err(_) => {} // write failed fast
+        Ok(ticket) => {
+            let response = ticket.wait();
+            assert!(
+                matches!(
+                    response.body,
+                    ResponseBody::Failed {
+                        error: SearchError::Shutdown
+                    }
+                ),
+                "got {response:?}"
+            );
+        }
+    }
+}

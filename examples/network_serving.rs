@@ -1,0 +1,93 @@
+//! Network serving end to end, entirely through the facade: build a
+//! `Database`, put it behind a TCP socket with `Database::serve`, and
+//! query it with the pipelined `Client` — no shard or session
+//! plumbing in sight.
+//!
+//! ```bash
+//! cargo run --release --example network_serving
+//! ```
+
+use cned::prelude::*;
+use cned::Ticket;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let words: Vec<Vec<u8>> = [
+        "casa", "cosa", "masa", "taza", "cesta", "pasta", "costa", "caza",
+    ]
+    .iter()
+    .map(|w| w.as_bytes().to_vec())
+    .collect();
+
+    // A sharded LAESA database serving the contextual metric d_C.
+    let db = Database::builder(words.clone())
+        .metric(Metric::Contextual { bounded: true })
+        .backend(Backend::Laesa { pivots: 2 })
+        .shards(2)
+        .build()?;
+
+    // Port 0 = ephemeral: the OS picks a free port, we read it back.
+    let handle = db.serve("127.0.0.1:0")?;
+    let addr = handle.local_addr();
+    println!("serving {} words on {addr}", words.len());
+
+    let mut client: Client<u8> = Client::connect(addr)?;
+
+    // Blocking conveniences: one call, one answer.
+    let (nearest, stats) = client.nn(b"cesa")?;
+    let nearest = nearest.expect("non-empty database");
+    println!(
+        "nn(\"cesa\") -> #{} {:?} at d_C = {:.4}  ({} distance computations)",
+        nearest.index,
+        String::from_utf8_lossy(&words[nearest.index]),
+        nearest.distance,
+        stats.distance_computations
+    );
+
+    let (close, _) = client.range(b"casa", 0.4)?;
+    println!(
+        "range(\"casa\", 0.4) -> {:?}",
+        close
+            .iter()
+            .map(|n| String::from_utf8_lossy(&words[n.index]).into_owned())
+            .collect::<Vec<_>>()
+    );
+
+    // Pipelining: submit a burst, collect tickets out of order —
+    // responses correlate by request id, not arrival order.
+    let queries: Vec<&[u8]> = vec![b"tasa", b"pasto", b"cueva"];
+    let tickets: Vec<Ticket> = queries
+        .iter()
+        .map(|q| client.submit(Request::Nn { query: q.to_vec() }))
+        .collect::<Result<_, _>>()?;
+    for (ticket, q) in tickets.into_iter().zip(&queries).rev() {
+        let response = ticket.wait();
+        let ResponseBody::Nn {
+            neighbour: Some(nb),
+            ..
+        } = response.body
+        else {
+            panic!("expected an Nn answer");
+        };
+        println!(
+            "ticket {} nn({:?}) -> {:?} at {:.4}",
+            response.id,
+            String::from_utf8_lossy(q),
+            String::from_utf8_lossy(&words[nb.index]),
+            nb.distance
+        );
+    }
+
+    // Inserts flow over the wire too (and are barriers server-side).
+    let at = client.insert(b"queso")?;
+    let (nn, _) = client.nn(b"queso")?;
+    assert_eq!(nn.map(|n| (n.index, n.distance)), Some((at, 0.0)));
+    println!("inserted \"queso\" at index {at}; it is now its own nearest neighbour");
+
+    // Shutdown drains in flight work and hands the Database back —
+    // with the insert included.
+    drop(client);
+    let db = handle.shutdown();
+    println!("server drained; database holds {} items", db.len());
+    assert_eq!(db.len(), words.len() + 1);
+    Ok(())
+}

@@ -41,7 +41,11 @@ use cned_search::{
     Aesa, Laesa, LinearIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
     VpTree,
 };
-use cned_serve::{ShardConfig, ShardedIndex};
+use cned_serve::wire::WireSymbol;
+use cned_serve::{
+    Request, ServeSession, Server, ServerConfig, SessionConfig, ShardConfig, ShardedIndex, Ticket,
+};
+use std::sync::Arc;
 
 /// Every distance of the paper, selectable by name.
 ///
@@ -76,17 +80,21 @@ pub enum Metric {
 
 impl Metric {
     /// Instantiate the distance for symbol type `S`.
-    pub fn build<S: Symbol>(self) -> Box<dyn Distance<S>> {
+    ///
+    /// Shared ownership (`Arc`) because a [`Database`] may hand its
+    /// metric to a serving session or network server whose worker
+    /// threads outlive any one call.
+    pub fn build<S: Symbol>(self) -> Arc<dyn Distance<S>> {
         match self {
-            Metric::Levenshtein => Box::new(Levenshtein),
-            Metric::Contextual { bounded: true } => Box::new(Contextual),
-            Metric::Contextual { bounded: false } => Box::new(Unpruned(Contextual)),
-            Metric::ContextualHeuristic => Box::new(ContextualHeuristic),
-            Metric::MarzalVidal => Box::new(MarzalVidal),
-            Metric::YujianBo => Box::new(YujianBo),
-            Metric::MaxNorm => Box::new(MaxNorm),
-            Metric::MinNorm => Box::new(MinNorm),
-            Metric::SumNorm => Box::new(SumNorm),
+            Metric::Levenshtein => Arc::new(Levenshtein),
+            Metric::Contextual { bounded: true } => Arc::new(Contextual),
+            Metric::Contextual { bounded: false } => Arc::new(Unpruned(Contextual)),
+            Metric::ContextualHeuristic => Arc::new(ContextualHeuristic),
+            Metric::MarzalVidal => Arc::new(MarzalVidal),
+            Metric::YujianBo => Arc::new(YujianBo),
+            Metric::MaxNorm => Arc::new(MaxNorm),
+            Metric::MinNorm => Arc::new(MinNorm),
+            Metric::SumNorm => Arc::new(SumNorm),
         }
     }
 }
@@ -114,7 +122,7 @@ pub enum Backend {
 /// Builder for [`Database`]; see the module docs for the flow.
 pub struct DatabaseBuilder<S: Symbol + 'static> {
     items: Vec<Vec<S>>,
-    metric: Box<dyn Distance<S>>,
+    metric: Arc<dyn Distance<S>>,
     backend: Backend,
     shards: usize,
     compact_threshold: usize,
@@ -132,7 +140,7 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
     /// [`Backend::Linear`]) return exact results only when it is a
     /// true metric.
     pub fn custom_metric(mut self, metric: Box<dyn Distance<S>>) -> DatabaseBuilder<S> {
-        self.metric = metric;
+        self.metric = Arc::from(metric);
         self
     }
 
@@ -178,6 +186,7 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
                 shards,
                 pivots_per_shard: pivots,
                 compact_threshold,
+                ..ShardConfig::default()
             };
             Box::new(ShardedIndex::try_build(items, config, &*metric)?)
         } else {
@@ -199,7 +208,7 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
 /// was built over. All queries go through the owned metric, so index
 /// and metric can never drift apart.
 pub struct Database<S: Symbol + 'static> {
-    metric: Box<dyn Distance<S>>,
+    metric: Arc<dyn Distance<S>>,
     index: Box<dyn MetricIndex<S>>,
 }
 
@@ -308,6 +317,117 @@ impl<S: Symbol + 'static> Database<S> {
     ) -> Result<Vec<(Vec<Neighbour>, SearchStats)>, SearchError> {
         self.index
             .knn_batch(queries, &*self.metric, &QueryOptions::new().k(k))
+    }
+
+    /// Turn the database into a live serving session: non-blocking
+    /// [`DatabaseSession::submit`] with per-request [`Ticket`]s,
+    /// bounded admission, and in-order/insert-barrier semantics — the
+    /// in-process face of the serving API (the network face is
+    /// [`Database::serve`]).
+    ///
+    /// The session owns the database while it runs;
+    /// [`DatabaseSession::shutdown`] drains in-flight work and hands
+    /// the [`Database`] back. Inserts require an insertable backend
+    /// ([`Backend::Linear`] or a sharded build); on any other backend
+    /// they answer with a typed failure.
+    pub fn session(self) -> DatabaseSession<S> {
+        self.session_with(SessionConfig::default())
+    }
+
+    /// [`Database::session`] with explicit knobs (admission depth).
+    pub fn session_with(self, config: SessionConfig) -> DatabaseSession<S> {
+        DatabaseSession {
+            metric: Arc::clone(&self.metric),
+            session: ServeSession::spawn_with(self.index, Arc::clone(&self.metric), config),
+        }
+    }
+}
+
+impl<S: WireSymbol + 'static> Database<S> {
+    /// Serve the database over TCP with the `cned-serve` wire
+    /// protocol (length-prefixed binary frames; see
+    /// [`cned::serve::wire`](cned_serve::wire)). Bind to port 0 for
+    /// an ephemeral port and read it back with
+    /// [`ServerHandle::local_addr`]; connect with
+    /// [`cned::serve::Client`](cned_serve::Client).
+    ///
+    /// All connections share one session — one admission queue, one
+    /// scheduler, insert barriers across clients.
+    /// [`ServerHandle::shutdown`] drains connections and in-flight
+    /// work, then hands the [`Database`] back.
+    pub fn serve(self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<ServerHandle<S>> {
+        self.serve_with(addr, ServerConfig::default())
+    }
+
+    /// [`Database::serve`] with explicit knobs.
+    pub fn serve_with(
+        self,
+        addr: impl std::net::ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle<S>> {
+        Ok(ServerHandle {
+            metric: Arc::clone(&self.metric),
+            server: Server::bind_with(addr, self.index, Arc::clone(&self.metric), config)?,
+        })
+    }
+}
+
+/// A [`Database`] being served in-process through the session/ticket
+/// API (see [`Database::session`]).
+pub struct DatabaseSession<S: Symbol + 'static> {
+    metric: Arc<dyn Distance<S>>,
+    session: ServeSession<S, Box<dyn MetricIndex<S>>>,
+}
+
+impl<S: Symbol + 'static> DatabaseSession<S> {
+    /// Enqueue a request; the [`Ticket`] yields its tagged response.
+    /// Refuses with [`SearchError::Overloaded`] past the admission
+    /// depth.
+    pub fn submit(&self, request: Request<S>) -> Result<Ticket, SearchError> {
+        self.session.submit(request)
+    }
+
+    /// Requests accepted but not yet being answered.
+    pub fn pending(&self) -> usize {
+        self.session.pending()
+    }
+
+    /// Drain in-flight work and reassemble the [`Database`].
+    pub fn shutdown(self) -> Database<S> {
+        let DatabaseSession { metric, session } = self;
+        Database {
+            index: session.shutdown(),
+            metric,
+        }
+    }
+}
+
+/// A [`Database`] being served over TCP (see [`Database::serve`]).
+pub struct ServerHandle<S: WireSymbol + 'static> {
+    metric: Arc<dyn Distance<S>>,
+    server: Server<S, Box<dyn MetricIndex<S>>>,
+}
+
+impl<S: WireSymbol + 'static> ServerHandle<S> {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shared serving session, for co-serving in-process
+    /// submissions next to network clients.
+    pub fn session(&self) -> &ServeSession<S, Box<dyn MetricIndex<S>>> {
+        self.server.session()
+    }
+
+    /// Stop accepting, drain connections and in-flight work, and
+    /// reassemble the [`Database`].
+    pub fn shutdown(self) -> Database<S> {
+        let ServerHandle { metric, server } = self;
+        Database {
+            index: server.shutdown(),
+            metric,
+        }
     }
 }
 
@@ -441,5 +561,89 @@ mod tests {
         assert!(db.is_empty());
         assert_eq!(db.nn(b"x").unwrap_err(), SearchError::EmptyDatabase);
         assert_eq!(db.range(b"x", 1.0).unwrap_err(), SearchError::EmptyDatabase);
+    }
+
+    #[test]
+    fn facade_session_serves_tickets_and_returns_the_database() {
+        use cned_serve::ResponseBody;
+        let db = Database::builder(words())
+            .backend(Backend::Laesa { pivots: 2 })
+            .shards(2)
+            .build()
+            .unwrap();
+        let n = db.len();
+        let session = db.session();
+        let t_nn = session
+            .submit(Request::Nn {
+                query: b"casa".to_vec(),
+            })
+            .unwrap();
+        let t_ins = session
+            .submit(Request::Insert {
+                item: b"nueva".to_vec(),
+            })
+            .unwrap();
+        let t_after = session
+            .submit(Request::Nn {
+                query: b"nueva".to_vec(),
+            })
+            .unwrap();
+        let ResponseBody::Nn {
+            neighbour: Some(nb),
+            ..
+        } = t_nn.wait().body
+        else {
+            panic!("expected Nn");
+        };
+        assert_eq!((nb.index, nb.distance), (0, 0.0));
+        assert_eq!(t_ins.wait().body, ResponseBody::Inserted { index: n });
+        let ResponseBody::Nn {
+            neighbour: Some(nb),
+            ..
+        } = t_after.wait().body
+        else {
+            panic!("expected Nn");
+        };
+        assert_eq!((nb.index, nb.distance), (n, 0.0), "insert is a barrier");
+        // The session hands the database back, insert included.
+        let db = session.shutdown();
+        assert_eq!(db.len(), n + 1);
+        assert_eq!(db.item(n), Some(&b"nueva"[..]));
+        assert_eq!(db.metric().name(), "d_E");
+    }
+
+    #[test]
+    fn facade_serve_loopback_matches_in_process_answers() {
+        use cned_serve::Client;
+        let db = Database::builder(words()).build().unwrap();
+        let n = db.len();
+        // In-process expectations first; then the same database goes
+        // behind the wire.
+        let (e_nn, e_stats) = db.nn(b"cesa").unwrap();
+        let (e_range, _) = db.range(b"casa", 1.0).unwrap();
+        let handle = db.serve("127.0.0.1:0").expect("ephemeral loopback bind");
+        let mut client: Client<u8> = Client::connect(handle.local_addr()).unwrap();
+        let (nn, stats) = client.nn(b"cesa").unwrap();
+        assert_eq!(
+            nn.map(|v| (v.index, v.distance.to_bits())),
+            e_nn.map(|v| (v.index, v.distance.to_bits())),
+            "loopback NN is bit-identical to the in-process answer"
+        );
+        assert_eq!(stats, e_stats);
+        let (hits, _) = client.range(b"casa", 1.0).unwrap();
+        let key = |ns: &[Neighbour]| -> Vec<(usize, u64)> {
+            ns.iter().map(|v| (v.index, v.distance.to_bits())).collect()
+        };
+        assert_eq!(key(&hits), key(&e_range));
+        // Inserts flow over the wire into the served index…
+        assert_eq!(client.insert(b"cesa").unwrap(), n);
+        let (nn, _) = client.nn(b"cesa").unwrap();
+        assert_eq!(nn.map(|v| (v.index, v.distance)), Some((n, 0.0)));
+        drop(client);
+        // …and drain back into the reassembled database.
+        let db = handle.shutdown();
+        assert_eq!(db.len(), n + 1);
+        let (nn, _) = db.nn(b"cesa").unwrap();
+        assert_eq!(nn.map(|v| (v.index, v.distance)), Some((n, 0.0)));
     }
 }

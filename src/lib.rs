@@ -45,9 +45,10 @@
 //! * [`search`] — the [`search::MetricIndex`] trait and its backends
 //!   (linear scan, LAESA, AESA, vp-tree) with distance-computation
 //!   counting, typed errors and batch pipelines.
-//! * [`serve`] — sharded serving layer: multi-shard LAESA with
-//!   cross-shard bound propagation and a batch query pipeline, generic
-//!   over the trait.
+//! * [`serve`] — serving layer: multi-shard LAESA with cross-shard
+//!   bound propagation and rebalancing, the session/ticket front-end
+//!   ([`Database::session`]), and the TCP wire protocol
+//!   ([`Database::serve`] / [`Client`]), all generic over the trait.
 //! * [`datasets`] — synthetic stand-ins for the paper's three
 //!   benchmarks: a Spanish-like dictionary, DNA gene sequences, and
 //!   handwritten-digit contour chain codes.
@@ -102,10 +103,16 @@ mod database;
 pub use cned_search::{
     InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
 };
-pub use database::{Backend, Database, DatabaseBuilder, Metric};
+pub use cned_serve::{
+    Client, ClientError, Request, RequestId, Response, ResponseBody, SessionConfig, Ticket,
+};
+pub use database::{Backend, Database, DatabaseBuilder, DatabaseSession, Metric, ServerHandle};
 
 /// One-stop imports for examples and quick scripts.
 pub mod prelude {
-    pub use crate::{Backend, Database, Metric, MetricIndex, QueryOptions, SearchError};
+    pub use crate::{
+        Backend, Client, Database, Metric, MetricIndex, QueryOptions, Request, ResponseBody,
+        SearchError,
+    };
     pub use cned_core::prelude::*;
 }

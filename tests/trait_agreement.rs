@@ -50,6 +50,7 @@ fn backends(db: &[Vec<u8>], dist: &dyn Distance<u8>) -> Vec<Box<dyn MetricIndex<
                     shards: 3,
                     pivots_per_shard: 3,
                     compact_threshold: 8,
+                    ..ShardConfig::default()
                 },
                 dist,
             )
@@ -147,6 +148,7 @@ fn trait_object_results_are_bit_identical_to_legacy_inherent_paths() {
                 shards: 3,
                 pivots_per_shard: 3,
                 compact_threshold: 8,
+                ..ShardConfig::default()
             },
             dist,
         )
@@ -289,7 +291,7 @@ fn batch_paths_match_single_paths_behind_the_trait() {
 fn facade_end_to_end_with_sharding_and_range() {
     // The acceptance-criteria scenario: Database::builder with shards,
     // plus range queries through the pipeline.
-    use cned::serve::{QueryPipeline, Request, Response};
+    use cned::serve::{QueryPipeline, Request, ResponseBody};
     let words = corpus(60, 6, 3, 53);
     let db = Database::builder(words.clone())
         .metric(Metric::Levenshtein)
@@ -315,6 +317,7 @@ fn facade_end_to_end_with_sharding_and_range() {
             shards: 4,
             pivots_per_shard: 4,
             compact_threshold: 16,
+            ..ShardConfig::default()
         },
         &Levenshtein,
     )
@@ -335,11 +338,11 @@ fn facade_end_to_end_with_sharding_and_range() {
         ],
         &Levenshtein,
     );
-    let Response::Range { neighbours, .. } = &responses[0] else {
+    let ResponseBody::Range { neighbours, .. } = &responses[0].body else {
         panic!("expected Range, got {:?}", responses[0]);
     };
     assert!(neighbours.is_empty());
-    let Response::Range { neighbours, .. } = &responses[2] else {
+    let ResponseBody::Range { neighbours, .. } = &responses[2].body else {
         panic!("expected Range, got {:?}", responses[2]);
     };
     assert_eq!(key(neighbours), vec![(words.len(), 0.0f64.to_bits())]);
