@@ -116,6 +116,22 @@ fn bench_pivot_rows(c: &mut Criterion) {
                 })
             },
         );
+        // The lane-parallel batch entry point over the same sweep —
+        // what pivot-row construction and linear scans actually call
+        // since the kernels went multi-string (uses the runtime-
+        // detected default backend).
+        let refs: Vec<&[u8]> = db.iter().map(Vec::as_slice).collect();
+        group.bench_function(
+            BenchmarkId::new(format!("{label}/batched"), db.len()),
+            |b| {
+                let prepared = dist.prepare(&query);
+                let mut out = vec![0.0f64; refs.len()];
+                b.iter(|| {
+                    prepared.distance_to_batch(black_box(&refs), &mut out);
+                    black_box(out.iter().sum::<f64>())
+                })
+            },
+        );
     };
 
     scan(&mut group, "d_E_long", &Levenshtein, &long);

@@ -1,0 +1,214 @@
+//! Lane-parallel kernel throughput: scalar vs portable SoA vs AVX2
+//! backends for the `d_E` Myers sweep and the `d_C,h` two-row DP.
+//!
+//! Corpora mirror the paper's experiments: Freeman chain codes of
+//! digit contours (alphabet 8, tens-to-hundreds of symbols — the
+//! regime LAESA pivot rows and linear scans spend their time in) as
+//! the headline scans, plus Spanish dictionary words (alphabet 26,
+//! 2–11 symbols) as the short-string regime, where per-group overhead
+//! bounds the achievable lane win.
+//!
+//! Two granularities:
+//!
+//! * **pairs8** — one lane group (8 candidates) per iteration, the
+//!   marginal cost a pruning search pays per batched chunk;
+//! * **scan** — a full database sweep through the batch entry points,
+//!   the shape of `LinearIndex` scans, LAESA's frozen-bound final
+//!   phase, and pivot-row construction.
+//!
+//! Backends are forced explicitly (`*_with`), so the numbers are
+//! independent of `CNED_LANES` and of what `Backend::active()` picks
+//! on the host. Backends unavailable on the host are skipped. The
+//! portable numbers depend on what the compiler can autovectorise:
+//! build with `RUSTFLAGS="-C target-cpu=native"` to see the portable
+//! path at full width (the committed `BENCH_lane_kernels.json` is
+//! recorded that way; the `avx2` rows need no flags — the intrinsics
+//! are runtime-dispatched).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cned_core::contextual::heuristic::PreparedHeuristic;
+use cned_core::lanes::{Backend, LANES};
+use cned_core::myers::MyersPattern;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::digits::generate_digits;
+
+fn backends() -> Vec<Backend> {
+    [Backend::Scalar, Backend::Portable, Backend::Avx2]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+fn bench_lane_kernels(c: &mut Criterion) {
+    // Digit-contour chain codes (paper's contour experiment): 500
+    // strings, lengths ~26–140. The query is a mid-length chain
+    // (≤ 64 symbols, single-word pattern).
+    let chains: Vec<Vec<u8>> = generate_digits(50, 1)
+        .into_iter()
+        .map(|s| s.chain)
+        .collect();
+    let chain_refs: Vec<&[u8]> = chains.iter().map(Vec::as_slice).collect();
+    let query = chains
+        .iter()
+        .find(|c| (50..=64).contains(&c.len()))
+        .expect("a mid-length chain exists")
+        .clone();
+
+    // Spanish dictionary words: the short-string regime.
+    const NW: usize = 1000;
+    let dict = spanish_dictionary(NW, 1);
+    let word_refs: Vec<&[u8]> = dict.iter().map(Vec::as_slice).collect();
+
+    // Long strings (>64 symbols in the *pattern*) exercise the blocked
+    // d_E kernel (portable lanes only — AVX2 falls back to portable
+    // there).
+    let long: Vec<Vec<u8>> = (0..256)
+        .map(|i| {
+            (0..128)
+                .map(|j| b'a' + (((i * 31 + j * 7) ^ (j >> 2)) % 4) as u8)
+                .collect()
+        })
+        .collect();
+    let long_refs: Vec<&[u8]> = long.iter().map(Vec::as_slice).collect();
+
+    // Small chain set for the quadratic d_C,h sweep (pivot-row shape).
+    let chains_small: Vec<&[u8]> = chain_refs[..128].to_vec();
+    let dict_small = spanish_dictionary(256, 3);
+    let small_word_refs: Vec<&[u8]> = dict_small.iter().map(Vec::as_slice).collect();
+
+    let mut group = c.benchmark_group("lane_kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    for backend in backends() {
+        let label = backend.label();
+        let pattern = MyersPattern::new(&query);
+
+        // One lane group: 8 pairs per iteration under d_E.
+        let chunk = &chain_refs[1..1 + LANES];
+        group.bench_function(
+            BenchmarkId::new(format!("d_E/pairs8/{label}"), LANES),
+            |b| {
+                let mut out = [0usize; LANES];
+                b.iter(|| {
+                    pattern.distance_batch_with(black_box(backend), black_box(chunk), &mut out);
+                    black_box(out)
+                })
+            },
+        );
+
+        // Full chain-code sweep — the headline linear-scan shape.
+        group.bench_function(
+            BenchmarkId::new(format!("d_E/scan/{label}"), chains.len()),
+            |b| {
+                let mut out = vec![0usize; chains.len()];
+                b.iter(|| {
+                    pattern.distance_batch_with(
+                        black_box(backend),
+                        black_box(&chain_refs),
+                        &mut out,
+                    );
+                    black_box(out.iter().sum::<usize>())
+                })
+            },
+        );
+
+        // Short-word sweep: fill/bookkeeping-bound, the lane floor.
+        let word_pattern = MyersPattern::new(&dict[0]);
+        group.bench_function(
+            BenchmarkId::new(format!("d_E_words/scan/{label}"), NW),
+            |b| {
+                let mut out = vec![0usize; NW];
+                b.iter(|| {
+                    word_pattern.distance_batch_with(
+                        black_box(backend),
+                        black_box(&word_refs),
+                        &mut out,
+                    );
+                    black_box(out.iter().sum::<usize>())
+                })
+            },
+        );
+
+        // Bounded sweep — the pruning-search shape (budget chosen to
+        // keep most lanes live so the kernel, not the length-gap
+        // precheck, is measured).
+        group.bench_function(
+            BenchmarkId::new(format!("d_E_bounded/scan/{label}"), chains.len()),
+            |b| {
+                let mut out = vec![None; chains.len()];
+                b.iter(|| {
+                    pattern.distance_batch_bounded_with(
+                        black_box(backend),
+                        black_box(&chain_refs),
+                        64,
+                        &mut out,
+                    );
+                    black_box(out.iter().flatten().sum::<usize>())
+                })
+            },
+        );
+
+        // Blocked d_E (128-symbol pattern, 2 words per column).
+        let long_pattern = MyersPattern::new(&long[0]);
+        group.bench_function(
+            BenchmarkId::new(format!("d_E_long/scan/{label}"), long.len()),
+            |b| {
+                let mut out = vec![0usize; long.len()];
+                b.iter(|| {
+                    long_pattern.distance_batch_with(
+                        black_box(backend),
+                        black_box(&long_refs),
+                        &mut out,
+                    );
+                    black_box(out.iter().sum::<usize>())
+                })
+            },
+        );
+
+        // d_C,h two-row DP over chain codes — the pivot-row
+        // construction shape (quadratic per pair, so the kernel, not
+        // the fill, dominates).
+        let prepared = PreparedHeuristic::new(&query);
+        group.bench_function(
+            BenchmarkId::new(format!("d_C_h/scan/{label}"), chains_small.len()),
+            |b| {
+                let mut out = vec![0.0f64; chains_small.len()];
+                b.iter(|| {
+                    prepared.distance_to_batch_with(
+                        black_box(backend),
+                        black_box(&chains_small),
+                        &mut out,
+                    );
+                    black_box(out.iter().sum::<f64>())
+                })
+            },
+        );
+
+        // d_C,h over short words.
+        let word_prepared = PreparedHeuristic::new(&dict_small[0]);
+        group.bench_function(
+            BenchmarkId::new(format!("d_C_h_words/scan/{label}"), dict_small.len()),
+            |b| {
+                let mut out = vec![0.0f64; dict_small.len()];
+                b.iter(|| {
+                    word_prepared.distance_to_batch_with(
+                        black_box(backend),
+                        black_box(&small_word_refs),
+                        &mut out,
+                    );
+                    black_box(out.iter().sum::<f64>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_kernels);
+criterion_main!(benches);

@@ -23,6 +23,7 @@
 
 use crate::contextual::bounded::PRUNE_EPS;
 use crate::contextual::weight::{harmonic_segment, PathShape};
+use crate::lanes::{Backend, LANES};
 use crate::metric::{Distance, PreparedQuery};
 use crate::myers::MyersPattern;
 use crate::Symbol;
@@ -214,11 +215,7 @@ impl<S: Symbol> Distance<S> for ContextualHeuristic {
     }
 
     fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
-        Box::new(PreparedHeuristic {
-            query,
-            pattern: MyersPattern::new(query),
-            scratch: core::cell::RefCell::new(HeuristicScratch::default()),
-        })
+        Box::new(PreparedHeuristic::new(query))
     }
 
     fn name(&self) -> &'static str {
@@ -231,14 +228,223 @@ impl<S: Symbol> Distance<S> for ContextualHeuristic {
 }
 
 /// A query prepared for repeated `d_C,h` comparisons: the Myers `Peq`
-/// bitmaps behind the `d_E` gate are built once per query, and the
+/// bitmaps behind the `d_E` gate are built once per query, the query's
+/// symbols are pre-mapped to alphabet ids for the lane DP, and the
 /// heuristic DP's row buffers are reused across every comparison —
 /// streaming a prepared query against a whole pivot set or database
 /// stops allocating after the first pair.
-struct PreparedHeuristic<'q, S: Symbol> {
+///
+/// Public (rather than only reachable through
+/// [`ContextualHeuristic::prepare`]) so the lane-kernel agreement
+/// tests and benches can pin an explicit [`Backend`] via the
+/// `*_batch_with` entry points.
+pub struct PreparedHeuristic<'q, S: Symbol> {
     query: &'q [S],
     pattern: MyersPattern<S>,
     scratch: core::cell::RefCell<HeuristicScratch>,
+    /// Query symbols as pattern-alphabet ids (every query symbol has a
+    /// real id by construction).
+    xids: Vec<u64>,
+    /// Lane scratch: `cols` holds the interleaved target-symbol ids,
+    /// `a`/`b` the two packed DP rows.
+    lanes: core::cell::RefCell<crate::lanes::LaneScratch>,
+}
+
+impl<'q, S: Symbol> PreparedHeuristic<'q, S> {
+    /// Prepare `query` for repeated (batched) `d_C,h` comparisons.
+    pub fn new(query: &'q [S]) -> PreparedHeuristic<'q, S> {
+        let pattern = MyersPattern::new(query);
+        let xids = query.iter().map(|&s| pattern.bits().symbol_id(s)).collect();
+        PreparedHeuristic {
+            query,
+            pattern,
+            scratch: core::cell::RefCell::new(HeuristicScratch::default()),
+            xids,
+            lanes: core::cell::RefCell::new(crate::lanes::LaneScratch::default()),
+        }
+    }
+
+    /// [`PreparedQuery::distance_to_batch`] with an explicit backend.
+    pub fn distance_to_batch_with(&self, backend: Backend, targets: &[&[S]], out: &mut [f64]) {
+        assert_eq!(targets.len(), out.len(), "distance_to_batch size mismatch");
+        let n = self.query.len();
+        if backend == Backend::Scalar || n == 0 {
+            let scratch = &mut *self.scratch.borrow_mut();
+            for (target, slot) in targets.iter().zip(out.iter_mut()) {
+                *slot = contextual_heuristic_with(self.query, target, scratch);
+            }
+            return;
+        }
+        let scratch = &mut *self.lanes.borrow_mut();
+        let crate::lanes::LaneScratch {
+            cols,
+            a,
+            b,
+            order,
+            counts,
+        } = scratch;
+        // Visit targets in length order so lane groups are near-uniform
+        // (every pair is scored independently, so order is free).
+        crate::lanes::length_order(order, counts, targets);
+        let mut group: [&[S]; LANES] = [&[]; LANES];
+        for chunk in order.chunks(LANES) {
+            for (l, &i) in chunk.iter().enumerate() {
+                group[l] = targets[i as usize];
+            }
+            self.lane_group(backend, &group[..chunk.len()], cols, a, b, |l, h| {
+                out[chunk[l] as usize] = h;
+            });
+        }
+    }
+
+    /// [`PreparedQuery::distance_to_batch_bounded`] with an explicit
+    /// backend: the same gate sequence as [`gated_heuristic`], applied
+    /// per lane (with the `d_E` gate itself batched through the lane
+    /// Myers kernel), so the `Some`/`None` pattern and every returned
+    /// value are bit-identical to the serial path.
+    pub fn distance_to_batch_bounded_with(
+        &self,
+        backend: Backend,
+        targets: &[&[S]],
+        bound: f64,
+        out: &mut [Option<f64>],
+    ) {
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distance_to_batch_bounded size mismatch"
+        );
+        let n = self.query.len();
+        if backend == Backend::Scalar || n == 0 {
+            for (target, slot) in targets.iter().zip(out.iter_mut()) {
+                *slot = self.distance_to_bounded(target, bound);
+            }
+            return;
+        }
+        let scratch = &mut *self.lanes.borrow_mut();
+        let crate::lanes::LaneScratch {
+            cols,
+            a,
+            b,
+            order,
+            counts,
+        } = scratch;
+        crate::lanes::length_order(order, counts, targets);
+        let mut de = [0usize; LANES];
+        let mut eval_targets: [&[S]; LANES] = [&[]; LANES];
+        let mut eval_slots = [0usize; LANES];
+        for chunk in order.chunks(LANES) {
+            // Gate pass: equality, then (for finite bounds) the
+            // harmonic length bound; survivors need the d_E gate.
+            let mut gate: [bool; LANES] = [false; LANES];
+            for (l, &i) in chunk.iter().enumerate() {
+                let target = targets[i as usize];
+                if self.query == target {
+                    out[i as usize] = (0.0 <= bound).then_some(0.0);
+                } else if bound.is_finite() {
+                    let m = target.len();
+                    if harmonic_segment(n.min(m), n.max(m)) > bound + PRUNE_EPS {
+                        out[i as usize] = None;
+                    } else {
+                        gate[l] = true;
+                    }
+                } else {
+                    // Infinite budget: gates are dead work, straight
+                    // to evaluation (marked by skipping the d_E gate).
+                    gate[l] = true;
+                }
+            }
+            // Batched d_E gate for the survivors (unbounded: the
+            // scalar path's ceiling of max(n, m) never bites, so the
+            // plain distance is the same value).
+            let mut evals = 0usize;
+            if bound.is_finite() {
+                let mut de_targets: [&[S]; LANES] = [&[]; LANES];
+                let mut de_idx = [0usize; LANES];
+                let mut pending = 0usize;
+                for (l, &i) in chunk.iter().enumerate() {
+                    if gate[l] {
+                        de_targets[pending] = targets[i as usize];
+                        de_idx[pending] = i as usize;
+                        pending += 1;
+                    }
+                }
+                self.pattern.distance_batch_with(
+                    backend,
+                    &de_targets[..pending],
+                    &mut de[..pending],
+                );
+                for p in 0..pending {
+                    let i = de_idx[p];
+                    let m = targets[i].len();
+                    if heuristic_lower_bound(n, m, de[p]) > bound + PRUNE_EPS {
+                        out[i] = None;
+                    } else {
+                        eval_targets[evals] = targets[i];
+                        eval_slots[evals] = i;
+                        evals += 1;
+                    }
+                }
+            } else {
+                for (l, &i) in chunk.iter().enumerate() {
+                    if gate[l] {
+                        eval_targets[evals] = targets[i as usize];
+                        eval_slots[evals] = i as usize;
+                        evals += 1;
+                    }
+                }
+            }
+            // Full DP for whatever survived, lane-parallel.
+            self.lane_group(backend, &eval_targets[..evals], cols, a, b, |p, h| {
+                out[eval_slots[p]] = (h <= bound).then_some(h);
+            });
+        }
+    }
+
+    /// Run the packed-key lane DP for up to [`LANES`] targets and hand
+    /// each lane's heuristic value to `sink(lane_index, h)`.
+    ///
+    /// Requires a non-empty query; empty *targets* are fine (their
+    /// lane reads the `(n, 0)` boundary cell, the same answer as the
+    /// scalar early-out).
+    #[allow(clippy::too_many_arguments)]
+    fn lane_group(
+        &self,
+        backend: Backend,
+        group: &[&[S]],
+        cols: &mut Vec<u64>,
+        a: &mut Vec<u64>,
+        b: &mut Vec<u64>,
+        mut sink: impl FnMut(usize, f64),
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        let n = self.query.len();
+        let bits = self.pattern.bits();
+        let max_m = group.iter().map(|t| t.len()).max().unwrap_or(0);
+        // Grow-only: stale ids beyond a lane's own length sit in
+        // columns whose cells never flow into that lane's answer
+        // column (DP dependencies only look left/up), and the kernel
+        // only ever *compares* ids — so no re-fill sentinel is needed.
+        if cols.len() < max_m * LANES {
+            cols.resize(max_m * LANES, crate::lanes::NO_SYMBOL);
+        }
+        for (l, target) in group.iter().enumerate() {
+            for (j, &c) in target.iter().enumerate() {
+                cols[j * LANES + l] = bits.symbol_id(c);
+            }
+        }
+        crate::lanes::heuristic_rows(backend, &self.xids, cols, max_m, a, b);
+        for (l, target) in group.iter().enumerate() {
+            let m = target.len();
+            let (k, ni) = crate::lanes::unpack_key(a[m * LANES + l]);
+            let h = PathShape::from_k_ni(n, m, k, ni)
+                .expect("minimal-k cell is always feasible")
+                .weight();
+            sink(l, h);
+        }
+    }
 }
 
 impl<S: Symbol> PreparedQuery<S> for PreparedHeuristic<'_, S> {
@@ -262,6 +468,14 @@ impl<S: Symbol> PreparedQuery<S> for PreparedHeuristic<'_, S> {
             },
             || contextual_heuristic_with(self.query, target, &mut self.scratch.borrow_mut()),
         )
+    }
+
+    fn distance_to_batch(&self, targets: &[&[S]], out: &mut [f64]) {
+        self.distance_to_batch_with(Backend::active(), targets, out);
+    }
+
+    fn distance_to_batch_bounded(&self, targets: &[&[S]], bound: f64, out: &mut [Option<f64>]) {
+        self.distance_to_batch_bounded_with(Backend::active(), targets, bound, out);
     }
 }
 

@@ -1,0 +1,877 @@
+//! Lane-parallel (SIMD) multi-string kernels.
+//!
+//! Every query path in this workspace bottoms out in one-string-at-a-
+//! time kernels: Myers' bit-parallel `d_E` column ([`crate::myers`])
+//! and the two-row `(k, n_i)` DP behind the `d_C,h` heuristic
+//! ([`crate::contextual::heuristic`]). Hyyrö's blocked formulation
+//! already gives 64× *word* parallelism within one comparison; this
+//! module adds the orthogonal factor: **lane** parallelism *across*
+//! comparisons. Linear scans, LAESA pivot rows and the serving layer's
+//! query chunks all present the same shape — one prepared query scored
+//! against a contiguous run of database strings — so the kernels here
+//! interleave the per-string state (`Pv`/`Mv`/score words for Myers,
+//! packed `(k, n_i)` cells for the heuristic DP) of up to [`LANES`]
+//! strings in struct-of-arrays layout and advance all of them in
+//! lockstep.
+//!
+//! Three code paths, selected by [`Backend`]:
+//!
+//! * **`Scalar`** — the existing one-at-a-time kernels in a loop; the
+//!   mandatory fallback, and the reference the others are
+//!   property-tested against (bit-identical, including the bounded
+//!   `Option` outcomes).
+//! * **`Portable`** — plain `[u64; LANES]` loops with branchless
+//!   select/masking, written so LLVM autovectorises them on whatever
+//!   SIMD width the target offers (SSE2 on baseline `x86_64`, NEON on
+//!   `aarch64`, …). Always available, and the default on non-x86
+//!   targets.
+//! * **`Avx2`** — hand-written AVX2 intrinsics (two `__m256i`
+//!   registers per state vector, 4 × 64-bit lanes each), compiled
+//!   behind `#[cfg(target_arch = "x86_64")]` + `#[target_feature]` and
+//!   selected at **runtime** via `is_x86_feature_detected!`, so a
+//!   baseline build still uses it on capable hardware without
+//!   `-C target-cpu=native`.
+//!
+//! The kernels are deliberately **non-generic**: symbol-dependent work
+//! (Peq bitmap lookup, alphabet-id remapping) happens in the generic
+//! callers ([`crate::myers::MyersPattern::distance_batch`],
+//! `d_C,h`'s prepared batch), which gather plain `u64` columns into
+//! lane-interleaved scratch buffers; the SIMD loops only ever see
+//! integers. This keeps the `#[target_feature]` functions monomorphic
+//! and the unsafe surface minimal.
+//!
+//! Ragged batches are first-class: each lane carries its own length
+//! and freezes (state and score) once its string is exhausted, so a
+//! group can mix lengths arbitrarily and a tail group can fill unused
+//! lanes with empty strings. The bounded Myers kernel additionally
+//! retires a lane as soon as its running score provably cannot return
+//! under its per-lane bound — the same early-exit rule as the scalar
+//! engine, so the surviving `Some`/`None` outcomes are identical.
+
+use std::sync::OnceLock;
+
+/// Number of interleaved strings per kernel invocation.
+///
+/// Eight 64-bit states span two AVX2 registers (or one AVX-512), which
+/// measured best on the portable path too: enough independent work to
+/// hide the add-chain latency without spilling.
+pub const LANES: usize = 8;
+
+/// Sentinel symbol id for characters absent from the query alphabet
+/// (and for the padding of ragged `d_C,h` lanes): never equal to any
+/// real id, so it always compares as a mismatch.
+pub(crate) const NO_SYMBOL: u64 = u64::MAX;
+
+/// Which multi-string kernel implementation to run.
+///
+/// [`Backend::active`] resolves the process-wide choice once: the
+/// `CNED_LANES` environment variable (`scalar`, `portable`, `avx2`,
+/// `auto`) when set, otherwise the best detected option. Kernels also
+/// accept an explicit backend (`*_with` entry points) so tests and
+/// benches can pin each path without touching the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One-at-a-time scalar kernels (the pre-lane behaviour).
+    Scalar,
+    /// `[u64; LANES]` struct-of-arrays loops, autovectorised.
+    Portable,
+    /// AVX2 intrinsics (x86_64 only, runtime-detected).
+    Avx2,
+}
+
+impl Backend {
+    /// The best backend available on this machine.
+    pub fn detect() -> Backend {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+        Backend::Portable
+    }
+
+    /// Whether this backend can run on the current machine.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar | Backend::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+        }
+    }
+
+    /// Display label (`scalar` / `portable` / `avx2`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Portable => "portable",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// The process-wide backend used by the dispatching batch entry
+    /// points (`distance_batch`, the `PreparedQuery` batch hooks).
+    ///
+    /// Resolved once: `CNED_LANES` = `scalar` | `portable` | `avx2`
+    /// (falls back to `Portable` when AVX2 is unavailable) | `auto`;
+    /// unset or unrecognised values mean [`Backend::detect`].
+    pub fn active() -> Backend {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let choice = match std::env::var("CNED_LANES") {
+                Ok(v) => match v.to_ascii_lowercase().as_str() {
+                    "scalar" => Backend::Scalar,
+                    "portable" => Backend::Portable,
+                    "avx2" => Backend::Avx2,
+                    _ => Backend::detect(),
+                },
+                Err(_) => Backend::detect(),
+            };
+            if choice.is_available() {
+                choice
+            } else {
+                Backend::Portable
+            }
+        })
+    }
+}
+
+/// Reusable buffers for the lane kernels: lane-interleaved `Eq`
+/// columns (Myers) or symbol-id columns (`d_C,h`), plus the
+/// struct-of-arrays DP state for the blocked / two-row variants.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LaneScratch {
+    /// Lane-interleaved columns: `cols[j * LANES + l]` (single-word
+    /// Myers, heuristic ids) or `cols[(j * blocks + b) * LANES + l]`
+    /// (blocked Myers).
+    pub cols: Vec<u64>,
+    /// First SoA state vector (blocked `Pv` / heuristic `prev` row).
+    pub a: Vec<u64>,
+    /// Second SoA state vector (blocked `Mv` / heuristic `cur` row).
+    pub b: Vec<u64>,
+    /// Target visit order for large batches (length-sorted grouping).
+    pub order: Vec<u32>,
+    /// Length histogram scratch for [`length_order`]'s counting sort.
+    pub counts: Vec<u32>,
+}
+
+/// Fill `order` with the batch's target indices, stably sorted by
+/// target length when the batch spans more than one lane group.
+///
+/// Near-uniform groups keep the lockstep kernels from sweeping every
+/// lane out to the longest member's length; since each pair is
+/// scored independently under a fixed (or absent) bound, visiting
+/// order does not change any result.
+///
+/// Lengths are small and dense, so this is a stable two-pass counting
+/// sort (`O(n + max_len)`) — a comparison sort here costs as much as
+/// scanning several lane groups. Falls back to a comparison sort for
+/// degenerate length ranges (a histogram far larger than the batch).
+pub(crate) fn length_order<S>(order: &mut Vec<u32>, counts: &mut Vec<u32>, targets: &[&[S]]) {
+    order.clear();
+    if targets.len() <= LANES {
+        order.extend(0..targets.len() as u32);
+        return;
+    }
+    let max_len = targets.iter().map(|t| t.len()).max().unwrap_or(0);
+    if max_len > targets.len().saturating_mul(8).max(1024) {
+        order.extend(0..targets.len() as u32);
+        order.sort_by_key(|&i| targets[i as usize].len());
+        return;
+    }
+    counts.clear();
+    counts.resize(max_len + 2, 0);
+    for t in targets {
+        counts[t.len() + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    order.resize(targets.len(), 0);
+    for (i, t) in targets.iter().enumerate() {
+        let slot = &mut counts[t.len()];
+        order[*slot as usize] = i as u32;
+        *slot += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable kernels: plain Rust written to autovectorise.
+// ---------------------------------------------------------------------------
+
+pub(crate) mod portable {
+    use super::LANES;
+
+    /// Advance up to [`LANES`] single-word Myers states in lockstep.
+    ///
+    /// `eq[j * LANES + l]` is the Peq word of lane `l`'s `j`-th text
+    /// symbol (zero-padded past the lane's length); `scores` enters as
+    /// `m` per lane and leaves as the lane's edit distance. Lanes
+    /// freeze once exhausted, so ragged lengths are exact.
+    #[inline]
+    pub fn myers_word(eq: &[u64], lens: &[usize; LANES], m: usize, scores: &mut [i64; LANES]) {
+        debug_assert!((1..=64).contains(&m));
+        let hshift = (m - 1) as u32;
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        let min_len = lens.iter().copied().min().unwrap_or(0);
+        let mut pv = [!0u64; LANES];
+        let mut mv = [0u64; LANES];
+        // Columns where every lane is live need no freeze masks —
+        // with length-sorted grouping this is almost all of them.
+        for j in 0..min_len {
+            let col: &[u64; LANES] = eq[j * LANES..(j + 1) * LANES].try_into().expect("lane col");
+            for l in 0..LANES {
+                let eqv = col[l];
+                let (pvl, mvl) = (pv[l], mv[l]);
+                let xv = eqv | mvl;
+                let xh = (((eqv & pvl).wrapping_add(pvl)) ^ pvl) | eqv;
+                let ph = mvl | !(xh | pvl);
+                let mh = pvl & xh;
+                scores[l] += (((ph >> hshift) & 1) as i64) - (((mh >> hshift) & 1) as i64);
+                let ph_s = (ph << 1) | 1;
+                let mh_s = mh << 1;
+                pv[l] = mh_s | !(xv | ph_s);
+                mv[l] = ph_s & xv;
+            }
+        }
+        for j in min_len..max_len {
+            let col: &[u64; LANES] = eq[j * LANES..(j + 1) * LANES].try_into().expect("lane col");
+            for l in 0..LANES {
+                let act = ((j < lens[l]) as u64).wrapping_neg();
+                let eqv = col[l] & act;
+                let (pvl, mvl) = (pv[l], mv[l]);
+                let xv = eqv | mvl;
+                let xh = (((eqv & pvl).wrapping_add(pvl)) ^ pvl) | eqv;
+                let ph = mvl | !(xh | pvl);
+                let mh = pvl & xh;
+                let delta = (((ph >> hshift) & 1) as i64) - (((mh >> hshift) & 1) as i64);
+                scores[l] += delta & (act as i64);
+                let ph_s = (ph << 1) | 1;
+                let mh_s = mh << 1;
+                let npv = mh_s | !(xv | ph_s);
+                let nmv = ph_s & xv;
+                pv[l] = (npv & act) | (pvl & !act);
+                mv[l] = (nmv & act) | (mvl & !act);
+            }
+        }
+    }
+
+    /// Bounded variant of [`myers_word`]: a lane *retires* (state and
+    /// score freeze) as soon as its score exceeds
+    /// `bound + remaining_columns` — the scalar engine's early-exit
+    /// rule — and the whole group stops when every lane is finished or
+    /// retired. A retired lane's frozen score is provably above its
+    /// bound, so the caller's `score <= bound` test yields the same
+    /// `None` the scalar kernel returns.
+    #[inline]
+    pub fn myers_word_bounded(
+        eq: &[u64],
+        lens: &[usize; LANES],
+        m: usize,
+        bounds: &[i64; LANES],
+        scores: &mut [i64; LANES],
+    ) {
+        debug_assert!((1..=64).contains(&m));
+        let hshift = (m - 1) as u32;
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        let mut pv = [!0u64; LANES];
+        let mut mv = [0u64; LANES];
+        let mut dead = [false; LANES];
+        for j in 0..max_len {
+            let col: &[u64; LANES] = eq[j * LANES..(j + 1) * LANES].try_into().expect("lane col");
+            for l in 0..LANES {
+                let act = (((j < lens[l]) && !dead[l]) as u64).wrapping_neg();
+                let eqv = col[l] & act;
+                let (pvl, mvl) = (pv[l], mv[l]);
+                let xv = eqv | mvl;
+                let xh = (((eqv & pvl).wrapping_add(pvl)) ^ pvl) | eqv;
+                let ph = mvl | !(xh | pvl);
+                let mh = pvl & xh;
+                let delta = (((ph >> hshift) & 1) as i64) - (((mh >> hshift) & 1) as i64);
+                scores[l] += delta & (act as i64);
+                let ph_s = (ph << 1) | 1;
+                let mh_s = mh << 1;
+                let npv = mh_s | !(xv | ph_s);
+                let nmv = ph_s & xv;
+                pv[l] = (npv & act) | (pvl & !act);
+                mv[l] = (nmv & act) | (mvl & !act);
+            }
+            let mut live = false;
+            for l in 0..LANES {
+                if j < lens[l] && !dead[l] {
+                    // score > bound + remaining ⇒ it cannot return to
+                    // the bound (±1 per column): retire the lane.
+                    let remaining = (lens[l] - (j + 1)) as i64;
+                    dead[l] = scores[l] > bounds[l] + remaining;
+                    live |= !dead[l] && j + 1 < lens[l];
+                }
+            }
+            if !live {
+                break;
+            }
+        }
+    }
+
+    /// Advance up to [`LANES`] *blocked* Myers states (pattern longer
+    /// than one word) in lockstep: `blocks` words per lane per column,
+    /// with the per-lane horizontal carry chained across blocks exactly
+    /// as in the scalar blocked kernel.
+    ///
+    /// `eq[(j * blocks + b) * LANES + l]`; `pv`/`mv` are caller scratch
+    /// resized here. With `bounds`, lanes retire under the same rule as
+    /// [`myers_word_bounded`].
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn myers_blocked(
+        eq: &[u64],
+        blocks: usize,
+        lens: &[usize; LANES],
+        m: usize,
+        bounds: Option<&[i64; LANES]>,
+        pv: &mut Vec<u64>,
+        mv: &mut Vec<u64>,
+        scores: &mut [i64; LANES],
+    ) {
+        debug_assert!(blocks >= 2);
+        let hshift = ((m - 1) % 64) as u32;
+        let last = blocks - 1;
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        pv.clear();
+        pv.resize(blocks * LANES, !0u64);
+        mv.clear();
+        mv.resize(blocks * LANES, 0u64);
+        let mut dead = [false; LANES];
+        // Columns where every lane is live need neither freeze masks
+        // nor retirement checks — with length-sorted grouping and no
+        // bound that is almost every column. The horizontal carry is
+        // held as 0/1 words (`hp`/`hm`) so the whole lane loop stays
+        // branch-free bitwise ops.
+        let min_len = if bounds.is_some() {
+            0
+        } else {
+            lens.iter().copied().min().unwrap_or(0)
+        };
+        for j in 0..min_len {
+            let colbase = j * blocks * LANES;
+            let mut hp = [1u64; LANES];
+            let mut hm = [0u64; LANES];
+            for b in 0..blocks {
+                let col: &[u64; LANES] = eq[colbase + b * LANES..colbase + (b + 1) * LANES]
+                    .try_into()
+                    .expect("lane col");
+                let state = b * LANES;
+                let pvb: &mut [u64; LANES] = (&mut pv[state..state + LANES])
+                    .try_into()
+                    .expect("lane state");
+                let mvb: &mut [u64; LANES] = (&mut mv[state..state + LANES])
+                    .try_into()
+                    .expect("lane state");
+                if b == last {
+                    for l in 0..LANES {
+                        let eqx = col[l];
+                        let (pvl, mvl) = (pvb[l], mvb[l]);
+                        let xv = eqx | mvl;
+                        let eqv = eqx | hm[l];
+                        let xh = (((eqv & pvl).wrapping_add(pvl)) ^ pvl) | eqv;
+                        let ph = mvl | !(xh | pvl);
+                        let mh = pvl & xh;
+                        scores[l] += (((ph >> hshift) & 1) as i64) - (((mh >> hshift) & 1) as i64);
+                        let ph_s = (ph << 1) | hp[l];
+                        let mh_s = (mh << 1) | hm[l];
+                        pvb[l] = mh_s | !(xv | ph_s);
+                        mvb[l] = ph_s & xv;
+                    }
+                } else {
+                    for l in 0..LANES {
+                        let hpos = hp[l];
+                        let hneg = hm[l];
+                        let eqx = col[l];
+                        let (pvl, mvl) = (pvb[l], mvb[l]);
+                        let xv = eqx | mvl;
+                        let eqv = eqx | hneg;
+                        let xh = (((eqv & pvl).wrapping_add(pvl)) ^ pvl) | eqv;
+                        let ph = mvl | !(xh | pvl);
+                        let mh = pvl & xh;
+                        hp[l] = (ph >> 63) & 1;
+                        hm[l] = (mh >> 63) & 1;
+                        let ph_s = (ph << 1) | hpos;
+                        let mh_s = (mh << 1) | hneg;
+                        pvb[l] = mh_s | !(xv | ph_s);
+                        mvb[l] = ph_s & xv;
+                    }
+                }
+            }
+        }
+        for j in min_len..max_len {
+            let colbase = j * blocks * LANES;
+            let mut act = [0u64; LANES];
+            let mut hin = [0i64; LANES];
+            for l in 0..LANES {
+                act[l] = (((j < lens[l]) && !dead[l]) as u64).wrapping_neg();
+                hin[l] = 1;
+            }
+            for b in 0..blocks {
+                let col: &[u64; LANES] = eq[colbase + b * LANES..colbase + (b + 1) * LANES]
+                    .try_into()
+                    .expect("lane col");
+                let state = b * LANES;
+                let pvb: &mut [u64; LANES] = (&mut pv[state..state + LANES])
+                    .try_into()
+                    .expect("lane state");
+                let mvb: &mut [u64; LANES] = (&mut mv[state..state + LANES])
+                    .try_into()
+                    .expect("lane state");
+                for l in 0..LANES {
+                    let a = act[l];
+                    let hneg = u64::from(hin[l] < 0);
+                    let hpos = u64::from(hin[l] > 0);
+                    let mut eqv = col[l] & a;
+                    let (pvl, mvl) = (pvb[l], mvb[l]);
+                    let xv = eqv | mvl;
+                    eqv |= hneg;
+                    let xh = (((eqv & pvl).wrapping_add(pvl)) ^ pvl) | eqv;
+                    let ph = mvl | !(xh | pvl);
+                    let mh = pvl & xh;
+                    hin[l] = ((ph >> 63) & 1) as i64 - ((mh >> 63) & 1) as i64;
+                    let ph_s = (ph << 1) | hpos;
+                    let mh_s = (mh << 1) | hneg;
+                    let npv = mh_s | !(xv | ph_s);
+                    let nmv = ph_s & xv;
+                    pvb[l] = (npv & a) | (pvl & !a);
+                    mvb[l] = (nmv & a) | (mvl & !a);
+                    if b == last {
+                        let delta = (((ph >> hshift) & 1) as i64) - (((mh >> hshift) & 1) as i64);
+                        scores[l] += delta & (a as i64);
+                    }
+                }
+            }
+            if let Some(bounds) = bounds {
+                let mut live = false;
+                for l in 0..LANES {
+                    if j < lens[l] && !dead[l] {
+                        let remaining = (lens[l] - (j + 1)) as i64;
+                        dead[l] = scores[l] > bounds[l] + remaining;
+                        live |= !dead[l] && j + 1 < lens[l];
+                    }
+                }
+                if !live {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Advance up to [`LANES`] `d_C,h` two-row DPs in lockstep.
+    ///
+    /// Cells are packed as `(k << 32) | (u32::MAX - n_i)` so the
+    /// scalar rule "minimal `k`, then maximal `n_i`" becomes a single
+    /// unsigned `u64` min. `xids` are the query's symbols as alphabet
+    /// ids; `yids[j * LANES + l]` lane `l`'s `j`-th target symbol id
+    /// ([`super::NO_SYMBOL`]-padded). Garbage columns beyond a lane's
+    /// own length never flow into columns at or below it (DP
+    /// dependencies only look left/up), so each lane's answer is read
+    /// at its own final column by the caller.
+    #[inline]
+    pub fn heuristic_rows(
+        xids: &[u64],
+        yids: &[u64],
+        max_m: usize,
+        prev: &mut Vec<u64>,
+        cur: &mut Vec<u64>,
+    ) {
+        const K1: u64 = 1 << 32;
+        let n = xids.len();
+        debug_assert!(n >= 1);
+        prev.clear();
+        for j in 0..=max_m as u64 {
+            let key = (j << 32) | (u64::from(u32::MAX) - j);
+            prev.extend(std::iter::repeat_n(key, LANES));
+        }
+        cur.clear();
+        cur.resize((max_m + 1) * LANES, 0);
+        for (i, &xi) in xids.iter().enumerate() {
+            let row0 = (((i + 1) as u64) << 32) | u64::from(u32::MAX);
+            cur[..LANES].fill(row0);
+            // `left` (the column-to-the-left cells) rides in registers
+            // across the row; per-column array views keep the lane
+            // loop free of bounds checks, so it vectorises.
+            let mut left = [row0; LANES];
+            for j in 1..=max_m {
+                let ycol: &[u64; LANES] = yids[(j - 1) * LANES..j * LANES]
+                    .try_into()
+                    .expect("lane col");
+                let diag: &[u64; LANES] = prev[(j - 1) * LANES..j * LANES]
+                    .try_into()
+                    .expect("lane col");
+                let up: &[u64; LANES] = prev[j * LANES..(j + 1) * LANES]
+                    .try_into()
+                    .expect("lane col");
+                let mut best = [0u64; LANES];
+                for l in 0..LANES {
+                    // match: +0; substitution: +1 to k (high field).
+                    let sub = ((ycol[l] != xi) as u64) << 32;
+                    let diag_c = diag[l].wrapping_add(sub);
+                    let del_c = up[l].wrapping_add(K1);
+                    // +1 to k and +1 to n_i: the borrow-free combined
+                    // constant (low field stores MAX − n_i).
+                    let ins_c = left[l].wrapping_add(K1 - 1);
+                    best[l] = diag_c.min(del_c).min(ins_c);
+                }
+                cur[j * LANES..(j + 1) * LANES].copy_from_slice(&best);
+                left = best;
+            }
+            std::mem::swap(prev, cur);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels: 8 lanes across two __m256i registers, runtime-detected.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use super::LANES;
+    use core::arch::x86_64::*;
+
+    /// One Myers column step for four 64-bit lanes; `act` is an
+    /// all-ones/all-zero per-lane mask (inactive lanes freeze).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn step4(
+        pv: &mut __m256i,
+        mv: &mut __m256i,
+        sc: &mut __m256i,
+        eqv: __m256i,
+        act: __m256i,
+        hcount: __m128i,
+        ones: __m256i,
+        all: __m256i,
+    ) {
+        let eqv = _mm256_and_si256(eqv, act);
+        let xv = _mm256_or_si256(eqv, *mv);
+        let add = _mm256_add_epi64(_mm256_and_si256(eqv, *pv), *pv);
+        let xh = _mm256_or_si256(_mm256_xor_si256(add, *pv), eqv);
+        let ph = _mm256_or_si256(*mv, _mm256_xor_si256(_mm256_or_si256(xh, *pv), all));
+        let mh = _mm256_and_si256(*pv, xh);
+        let phb = _mm256_and_si256(_mm256_srl_epi64(ph, hcount), ones);
+        let mhb = _mm256_and_si256(_mm256_srl_epi64(mh, hcount), ones);
+        *sc = _mm256_add_epi64(*sc, _mm256_and_si256(_mm256_sub_epi64(phb, mhb), act));
+        let ph_s = _mm256_or_si256(_mm256_slli_epi64(ph, 1), ones);
+        let mh_s = _mm256_slli_epi64(mh, 1);
+        let npv = _mm256_or_si256(mh_s, _mm256_xor_si256(_mm256_or_si256(xv, ph_s), all));
+        let nmv = _mm256_and_si256(ph_s, xv);
+        *pv = _mm256_blendv_epi8(*pv, npv, act);
+        *mv = _mm256_blendv_epi8(*mv, nmv, act);
+    }
+
+    /// AVX2 [`super::portable::myers_word`]: identical recurrence and
+    /// results, two `__m256i` register groups instead of `[u64; 8]`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guarded by the dispatcher's runtime detection).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn myers_word(
+        eq: &[u64],
+        lens: &[usize; LANES],
+        m: usize,
+        scores: &mut [i64; LANES],
+    ) {
+        debug_assert!((1..=64).contains(&m));
+        let hcount = _mm_cvtsi32_si128((m - 1) as i32);
+        let ones = _mm256_set1_epi64x(1);
+        let all = _mm256_set1_epi64x(-1);
+        let li: [i64; LANES] = core::array::from_fn(|l| lens[l] as i64);
+        let lens_lo = _mm256_loadu_si256(li.as_ptr().cast());
+        let lens_hi = _mm256_loadu_si256(li.as_ptr().add(4).cast());
+        let (mut pv_lo, mut pv_hi) = (all, all);
+        let (mut mv_lo, mut mv_hi) = (_mm256_setzero_si256(), _mm256_setzero_si256());
+        let mut sc_lo = _mm256_set1_epi64x(m as i64);
+        let mut sc_hi = sc_lo;
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        let min_len = lens.iter().copied().min().unwrap_or(0);
+        // All-lanes-live prefix: freeze masks degenerate to all-ones
+        // (near every column under length-sorted grouping).
+        for j in 0..min_len {
+            let col_lo = _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast());
+            let col_hi = _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast());
+            step4(
+                &mut pv_lo, &mut mv_lo, &mut sc_lo, col_lo, all, hcount, ones, all,
+            );
+            step4(
+                &mut pv_hi, &mut mv_hi, &mut sc_hi, col_hi, all, hcount, ones, all,
+            );
+        }
+        for j in min_len..max_len {
+            let jv = _mm256_set1_epi64x(j as i64);
+            let act_lo = _mm256_cmpgt_epi64(lens_lo, jv);
+            let act_hi = _mm256_cmpgt_epi64(lens_hi, jv);
+            let col_lo = _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast());
+            let col_hi = _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast());
+            step4(
+                &mut pv_lo, &mut mv_lo, &mut sc_lo, col_lo, act_lo, hcount, ones, all,
+            );
+            step4(
+                &mut pv_hi, &mut mv_hi, &mut sc_hi, col_hi, act_hi, hcount, ones, all,
+            );
+        }
+        _mm256_storeu_si256(scores.as_mut_ptr().cast(), sc_lo);
+        _mm256_storeu_si256(scores.as_mut_ptr().add(4).cast(), sc_hi);
+    }
+
+    /// AVX2 [`super::portable::myers_word_bounded`]: per-lane bounds,
+    /// lanes retire via a dead-mask once provably over budget, group
+    /// exits when no live lane remains.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guarded by the dispatcher's runtime detection).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn myers_word_bounded(
+        eq: &[u64],
+        lens: &[usize; LANES],
+        m: usize,
+        bounds: &[i64; LANES],
+        scores: &mut [i64; LANES],
+    ) {
+        debug_assert!((1..=64).contains(&m));
+        let hcount = _mm_cvtsi32_si128((m - 1) as i32);
+        let ones = _mm256_set1_epi64x(1);
+        let all = _mm256_set1_epi64x(-1);
+        let li: [i64; LANES] = core::array::from_fn(|l| lens[l] as i64);
+        let lens_lo = _mm256_loadu_si256(li.as_ptr().cast());
+        let lens_hi = _mm256_loadu_si256(li.as_ptr().add(4).cast());
+        // Retirement threshold after column j is bound + len - (j+1):
+        // start it at bound + len - 1 and decrement per column.
+        let bi: [i64; LANES] = core::array::from_fn(|l| bounds[l] + lens[l] as i64 - 1);
+        let mut lim_lo = _mm256_loadu_si256(bi.as_ptr().cast());
+        let mut lim_hi = _mm256_loadu_si256(bi.as_ptr().add(4).cast());
+        let (mut pv_lo, mut pv_hi) = (all, all);
+        let (mut mv_lo, mut mv_hi) = (_mm256_setzero_si256(), _mm256_setzero_si256());
+        let mut sc_lo = _mm256_set1_epi64x(m as i64);
+        let mut sc_hi = sc_lo;
+        let (mut dead_lo, mut dead_hi) = (_mm256_setzero_si256(), _mm256_setzero_si256());
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        for j in 0..max_len {
+            let jv = _mm256_set1_epi64x(j as i64);
+            let act_lo = _mm256_andnot_si256(dead_lo, _mm256_cmpgt_epi64(lens_lo, jv));
+            let act_hi = _mm256_andnot_si256(dead_hi, _mm256_cmpgt_epi64(lens_hi, jv));
+            if _mm256_testz_si256(act_lo, act_lo) != 0 && _mm256_testz_si256(act_hi, act_hi) != 0 {
+                break;
+            }
+            let col_lo = _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast());
+            let col_hi = _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast());
+            step4(
+                &mut pv_lo, &mut mv_lo, &mut sc_lo, col_lo, act_lo, hcount, ones, all,
+            );
+            step4(
+                &mut pv_hi, &mut mv_hi, &mut sc_hi, col_hi, act_hi, hcount, ones, all,
+            );
+            dead_lo = _mm256_or_si256(
+                dead_lo,
+                _mm256_and_si256(_mm256_cmpgt_epi64(sc_lo, lim_lo), act_lo),
+            );
+            dead_hi = _mm256_or_si256(
+                dead_hi,
+                _mm256_and_si256(_mm256_cmpgt_epi64(sc_hi, lim_hi), act_hi),
+            );
+            lim_lo = _mm256_sub_epi64(lim_lo, ones);
+            lim_hi = _mm256_sub_epi64(lim_hi, ones);
+        }
+        _mm256_storeu_si256(scores.as_mut_ptr().cast(), sc_lo);
+        _mm256_storeu_si256(scores.as_mut_ptr().add(4).cast(), sc_hi);
+    }
+
+    /// Signed 64-bit min is safe here: packed `(k, MAX − n_i)` keys
+    /// never set the sign bit (`k ≤ |x| + |y| < 2³¹`).
+    #[inline(always)]
+    unsafe fn min_epi64(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b))
+    }
+
+    /// AVX2 [`super::portable::heuristic_rows`]: identical packed-key
+    /// recurrence, eight lanes per column step.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guarded by the dispatcher's runtime detection).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn heuristic_rows(
+        xids: &[u64],
+        yids: &[u64],
+        max_m: usize,
+        prev: &mut Vec<u64>,
+        cur: &mut Vec<u64>,
+    ) {
+        const K1: i64 = 1 << 32;
+        debug_assert!(!xids.is_empty());
+        prev.clear();
+        for j in 0..=max_m as u64 {
+            let key = (j << 32) | (u64::from(u32::MAX) - j);
+            prev.extend(std::iter::repeat_n(key, LANES));
+        }
+        cur.clear();
+        cur.resize((max_m + 1) * LANES, 0);
+        let k1 = _mm256_set1_epi64x(K1);
+        let k1m1 = _mm256_set1_epi64x(K1 - 1);
+        for (i, &xi) in xids.iter().enumerate() {
+            let row0 = ((((i + 1) as u64) << 32) | u64::from(u32::MAX)) as i64;
+            cur[..LANES].fill(row0 as u64);
+            let xiv = _mm256_set1_epi64x(xi as i64);
+            let (mut left_lo, mut left_hi) = (_mm256_set1_epi64x(row0), _mm256_set1_epi64x(row0));
+            let (mut diag_lo, mut diag_hi) = (
+                _mm256_loadu_si256(prev.as_ptr().cast()),
+                _mm256_loadu_si256(prev.as_ptr().add(4).cast()),
+            );
+            for j in 1..=max_m {
+                let y_lo = _mm256_loadu_si256(yids.as_ptr().add((j - 1) * LANES).cast());
+                let y_hi = _mm256_loadu_si256(yids.as_ptr().add((j - 1) * LANES + 4).cast());
+                let up_lo = _mm256_loadu_si256(prev.as_ptr().add(j * LANES).cast());
+                let up_hi = _mm256_loadu_si256(prev.as_ptr().add(j * LANES + 4).cast());
+                // mismatch ⇒ +K1 on the diagonal move.
+                let sub_lo = _mm256_andnot_si256(_mm256_cmpeq_epi64(y_lo, xiv), k1);
+                let sub_hi = _mm256_andnot_si256(_mm256_cmpeq_epi64(y_hi, xiv), k1);
+                let best_lo = min_epi64(
+                    _mm256_add_epi64(diag_lo, sub_lo),
+                    min_epi64(_mm256_add_epi64(up_lo, k1), _mm256_add_epi64(left_lo, k1m1)),
+                );
+                let best_hi = min_epi64(
+                    _mm256_add_epi64(diag_hi, sub_hi),
+                    min_epi64(_mm256_add_epi64(up_hi, k1), _mm256_add_epi64(left_hi, k1m1)),
+                );
+                _mm256_storeu_si256(cur.as_mut_ptr().add(j * LANES).cast(), best_lo);
+                _mm256_storeu_si256(cur.as_mut_ptr().add(j * LANES + 4).cast(), best_hi);
+                (left_lo, left_hi) = (best_lo, best_hi);
+                (diag_lo, diag_hi) = (up_lo, up_hi);
+            }
+            std::mem::swap(prev, cur);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers: Portable vs Avx2 (Scalar is handled above this layer).
+// ---------------------------------------------------------------------------
+
+/// Whether the backend resolves to the AVX2 kernels on this machine.
+#[inline]
+fn use_avx2(backend: Backend) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        backend == Backend::Avx2 && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = backend;
+        false
+    }
+}
+
+/// Single-word Myers lane kernel (see [`portable::myers_word`]).
+#[inline]
+pub(crate) fn myers_word(
+    backend: Backend,
+    eq: &[u64],
+    lens: &[usize; LANES],
+    m: usize,
+    scores: &mut [i64; LANES],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        // SAFETY: AVX2 presence checked at runtime just above.
+        unsafe { avx2::myers_word(eq, lens, m, scores) };
+        return;
+    }
+    let _ = use_avx2(backend);
+    portable::myers_word(eq, lens, m, scores);
+}
+
+/// Bounded single-word Myers lane kernel (per-lane bounds).
+#[inline]
+pub(crate) fn myers_word_bounded(
+    backend: Backend,
+    eq: &[u64],
+    lens: &[usize; LANES],
+    m: usize,
+    bounds: &[i64; LANES],
+    scores: &mut [i64; LANES],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        // SAFETY: AVX2 presence checked at runtime just above.
+        unsafe { avx2::myers_word_bounded(eq, lens, m, bounds, scores) };
+        return;
+    }
+    let _ = backend;
+    portable::myers_word_bounded(eq, lens, m, bounds, scores);
+}
+
+/// Blocked Myers lane kernel. The blocked case already carries 64×
+/// word-parallelism per lane, so the portable SoA loop is used for
+/// every non-scalar backend (AVX2 adds little and would triple the
+/// unsafe surface).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn myers_blocked(
+    _backend: Backend,
+    eq: &[u64],
+    blocks: usize,
+    lens: &[usize; LANES],
+    m: usize,
+    bounds: Option<&[i64; LANES]>,
+    pv: &mut Vec<u64>,
+    mv: &mut Vec<u64>,
+    scores: &mut [i64; LANES],
+) {
+    portable::myers_blocked(eq, blocks, lens, m, bounds, pv, mv, scores);
+}
+
+/// `d_C,h` lane DP: fills `prev` (inside `scratch`) with the final DP
+/// row; the caller reads each lane's packed key at its own column.
+#[inline]
+pub(crate) fn heuristic_rows(
+    backend: Backend,
+    xids: &[u64],
+    yids: &[u64],
+    max_m: usize,
+    prev: &mut Vec<u64>,
+    cur: &mut Vec<u64>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        // SAFETY: AVX2 presence checked at runtime just above.
+        unsafe { avx2::heuristic_rows(xids, yids, max_m, prev, cur) };
+        return;
+    }
+    let _ = backend;
+    portable::heuristic_rows(xids, yids, max_m, prev, cur);
+}
+
+/// Unpack a packed `(k << 32) | (MAX − n_i)` heuristic cell.
+#[inline]
+pub(crate) fn unpack_key(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (u32::MAX - (key as u32)) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_and_availability() {
+        assert_eq!(Backend::Scalar.label(), "scalar");
+        assert_eq!(Backend::Portable.label(), "portable");
+        assert_eq!(Backend::Avx2.label(), "avx2");
+        assert!(Backend::Scalar.is_available());
+        assert!(Backend::Portable.is_available());
+        // detect() must return something runnable.
+        assert!(Backend::detect().is_available());
+        assert!(Backend::active().is_available());
+    }
+
+    #[test]
+    fn packed_key_roundtrip() {
+        for (k, ni) in [(0usize, 0usize), (3, 1), (700, 700), (1 << 20, 12)] {
+            let key = ((k as u64) << 32) | (u64::from(u32::MAX) - ni as u64);
+            assert_eq!(unpack_key(key), (k, ni));
+        }
+    }
+}

@@ -300,6 +300,46 @@ impl<S: Symbol> PreparedQuery<S> for MyersPattern<S> {
         let bound = int_bound(bound)?;
         self.distance_bounded(target, bound).map(|d| d as f64)
     }
+
+    // Batch hooks: route through the lane kernels. Integer distances
+    // convert to f64 exactly, so these are bit-identical to the serial
+    // defaults.
+
+    fn distance_to_batch(&self, targets: &[&[S]], out: &mut [f64]) {
+        assert_eq!(targets.len(), out.len(), "distance_to_batch size mismatch");
+        let mut chunk = [0usize; crate::lanes::LANES];
+        for (group, slots) in targets
+            .chunks(crate::lanes::LANES)
+            .zip(out.chunks_mut(crate::lanes::LANES))
+        {
+            self.distance_batch(group, &mut chunk[..group.len()]);
+            for (slot, &d) in slots.iter_mut().zip(chunk.iter()) {
+                *slot = d as f64;
+            }
+        }
+    }
+
+    fn distance_to_batch_bounded(&self, targets: &[&[S]], bound: f64, out: &mut [Option<f64>]) {
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distance_to_batch_bounded size mismatch"
+        );
+        let Some(bound) = int_bound(bound) else {
+            out.fill(None);
+            return;
+        };
+        let mut chunk = [None; crate::lanes::LANES];
+        for (group, slots) in targets
+            .chunks(crate::lanes::LANES)
+            .zip(out.chunks_mut(crate::lanes::LANES))
+        {
+            self.distance_batch_bounded(group, bound, &mut chunk[..group.len()]);
+            for (slot, &d) in slots.iter_mut().zip(chunk.iter()) {
+                *slot = d.map(|d| d as f64);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

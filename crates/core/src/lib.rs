@@ -69,6 +69,7 @@
 pub mod brute;
 pub mod contextual;
 pub mod generalized;
+pub mod lanes;
 pub mod levenshtein;
 pub mod metric;
 pub mod myers;
@@ -84,6 +85,7 @@ pub mod prelude {
     pub use crate::contextual::exact::{contextual_distance, Contextual, ContextualAlignment};
     pub use crate::contextual::heuristic::{contextual_heuristic, ContextualHeuristic};
     pub use crate::contextual::weight::{contextual_path_weight, PathShape};
+    pub use crate::lanes::{Backend, LANES};
     pub use crate::levenshtein::{levenshtein, levenshtein_bounded, wagner_fischer, Levenshtein};
     pub use crate::metric::{Distance, DistanceKind, PreparedQuery, Unpruned};
     pub use crate::myers::{myers, myers_bounded, MyersPattern};

@@ -56,6 +56,21 @@ pub trait Distance<S: Symbol>: Send + Sync {
         Box::new(GenericPrepared { dist: self, query })
     }
 
+    /// Distance from `query` to each of `targets`, written into `out`
+    /// (`out.len() == targets.len()`).
+    ///
+    /// The default prepares the query once and delegates to
+    /// [`PreparedQuery::distance_to_batch`], so every existing
+    /// implementation keeps working unchanged; engines with
+    /// lane-parallel kernels ([`crate::lanes`]) score up to
+    /// [`crate::lanes::LANES`] targets per sweep behind this hook.
+    /// Results are bit-identical to calling [`Distance::distance`] in
+    /// a loop.
+    fn distance_batch(&self, query: &[S], targets: &[&[S]], out: &mut [f64]) {
+        assert_eq!(targets.len(), out.len(), "distance_batch size mismatch");
+        self.prepare(query).distance_to_batch(targets, out);
+    }
+
     /// Short display name matching the paper's notation (`d_E`, `d_C`,
     /// `d_C,h`, `d_MV`, `d_YB`, `d_max`, …).
     fn name(&self) -> &'static str;
@@ -85,6 +100,40 @@ pub trait PreparedQuery<S: Symbol>: Send {
     /// Bounded distance from the prepared query to `target`:
     /// `Some(d)` iff `d <= bound` (see [`Distance::distance_bounded`]).
     fn distance_to_bounded(&self, target: &[S], bound: f64) -> Option<f64>;
+
+    /// Distance to each of `targets`, written into `out`
+    /// (`out.len() == targets.len()`).
+    ///
+    /// The default loops over [`PreparedQuery::distance_to`]; the
+    /// `d_E` and `d_C,h` engines override it with lane-parallel
+    /// kernels ([`crate::lanes`]) that advance up to
+    /// [`crate::lanes::LANES`] targets in lockstep. Overrides must be
+    /// bit-identical to the serial loop — search results and the
+    /// determinism tests depend on it.
+    fn distance_to_batch(&self, targets: &[&[S]], out: &mut [f64]) {
+        assert_eq!(targets.len(), out.len(), "distance_to_batch size mismatch");
+        for (target, slot) in targets.iter().zip(out.iter_mut()) {
+            *slot = self.distance_to(target);
+        }
+    }
+
+    /// Bounded distance to each of `targets` under one shared `bound`:
+    /// `out[i] = Some(d)` iff `d <= bound`, exactly as
+    /// [`PreparedQuery::distance_to_bounded`] would return for each
+    /// target individually (including `None` for NaN / over-budget
+    /// candidates). Lane engines retire a lane as soon as it provably
+    /// exceeds the bound; the surviving `Some`/`None` pattern is
+    /// bit-identical to the serial loop.
+    fn distance_to_batch_bounded(&self, targets: &[&[S]], bound: f64, out: &mut [Option<f64>]) {
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distance_to_batch_bounded size mismatch"
+        );
+        for (target, slot) in targets.iter().zip(out.iter_mut()) {
+            *slot = self.distance_to_bounded(target, bound);
+        }
+    }
 }
 
 /// Default [`PreparedQuery`]: no precomputation, forwards to the
@@ -122,6 +171,9 @@ macro_rules! forward_distance_impl {
             }
             fn prepare<'q>(&'q self, query: &'q [S]) -> Box<dyn PreparedQuery<S> + 'q> {
                 (**self).prepare(query)
+            }
+            fn distance_batch(&self, query: &[S], targets: &[&[S]], out: &mut [f64]) {
+                (**self).distance_batch(query, targets, out)
             }
             fn name(&self) -> &'static str {
                 (**self).name()

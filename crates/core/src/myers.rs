@@ -43,6 +43,33 @@ pub struct PatternBits<S> {
     words: usize,
     alphabet: Vec<S>,
     masks: Vec<u64>,
+    /// O(1) symbol → alphabet-id table for single-byte symbol types
+    /// (256 entries, `u32::MAX` = absent); empty for wider types,
+    /// which fall back to the linear alphabet scan. Every per-column
+    /// `Eq` lookup funnels through this — the linear scan is the
+    /// dominant cost of short-string scans otherwise.
+    byte_ids: Vec<u32>,
+    /// One-load `Eq` table for single-byte symbols:
+    /// `byte_masks[b * words + w]` is bitmap word `w` of byte `b`,
+    /// all-zero when the byte is absent from the pattern. Collapses
+    /// the byte → id → mask double indirection of
+    /// [`PatternBits::word0`] / [`PatternBits::row`] into a single
+    /// dependent load, and makes absent symbols a plain zero row
+    /// instead of an `Option` branch — the `Eq` fill is the serial
+    /// part of every lane sweep, so it sits on the critical path of
+    /// the whole batch layer. Empty for wider symbol types.
+    byte_masks: Vec<u64>,
+}
+
+/// Read the byte of a single-byte symbol. Sound only when
+/// `size_of::<S>() == 1` (checked by every caller): a `Copy` value of
+/// size 1 has no padding. For such types `Eq` is assumed to coincide
+/// with byte identity (true for `u8` and fieldless `repr(u8)` enums,
+/// the supported 1-byte symbol shapes).
+#[inline]
+fn symbol_byte<S: Symbol>(s: S) -> usize {
+    debug_assert_eq!(core::mem::size_of::<S>(), 1);
+    (unsafe { *core::ptr::from_ref(&s).cast::<u8>() }) as usize
 }
 
 impl<S: Symbol> PatternBits<S> {
@@ -62,11 +89,47 @@ impl<S: Symbol> PatternBits<S> {
             };
             masks[k * words + i / WORD] |= 1u64 << (i % WORD);
         }
+        let byte_ids = if core::mem::size_of::<S>() == 1 {
+            let mut table = vec![u32::MAX; 256];
+            for (k, &a) in alphabet.iter().enumerate() {
+                table[symbol_byte(a)] = k as u32;
+            }
+            table
+        } else {
+            Vec::new()
+        };
+        let byte_masks = if byte_ids.is_empty() {
+            Vec::new()
+        } else {
+            let mut table = vec![0u64; 256 * words];
+            for (b, &id) in byte_ids.iter().enumerate() {
+                if id != u32::MAX {
+                    let k = id as usize;
+                    table[b * words..(b + 1) * words]
+                        .copy_from_slice(&masks[k * words..(k + 1) * words]);
+                }
+            }
+            table
+        };
         PatternBits {
             len: pattern.len(),
             words,
             alphabet,
             masks,
+            byte_ids,
+            byte_masks,
+        }
+    }
+
+    /// Alphabet index of `s`, or `None` when it does not occur in the
+    /// pattern.
+    #[inline]
+    fn id_of(&self, s: S) -> Option<usize> {
+        if self.byte_ids.is_empty() {
+            self.alphabet.iter().position(|&a| a == s)
+        } else {
+            let id = self.byte_ids[symbol_byte(s)];
+            (id != u32::MAX).then_some(id as usize)
         }
     }
 
@@ -89,18 +152,47 @@ impl<S: Symbol> PatternBits<S> {
     /// the pattern (an all-zero row).
     #[inline]
     fn row(&self, s: S) -> Option<&[u64]> {
-        self.alphabet
-            .iter()
-            .position(|&a| a == s)
+        self.id_of(s)
             .map(|k| &self.masks[k * self.words..(k + 1) * self.words])
     }
 
     /// First bitmap word for `s` (single-word fast path).
     #[inline]
     fn word0(&self, s: S) -> u64 {
-        match self.alphabet.iter().position(|&a| a == s) {
+        if let Some(table) = self.byte_table() {
+            return table[symbol_byte(s)];
+        }
+        match self.id_of(s) {
             Some(k) => self.masks[k * self.words],
             None => 0,
+        }
+    }
+
+    /// The one-load byte → `Eq` table, when this pattern qualifies
+    /// (single word, single-byte symbols).
+    #[inline]
+    fn byte_table(&self) -> Option<&[u64; 256]> {
+        self.byte_masks.as_slice().try_into().ok()
+    }
+
+    /// The byte → `Eq` row table (`256 × words`, zero rows for absent
+    /// bytes), when symbols are single-byte.
+    #[inline]
+    fn byte_rows(&self) -> Option<&[u64]> {
+        (!self.byte_masks.is_empty()).then_some(self.byte_masks.as_slice())
+    }
+
+    /// Alphabet index of `s` as a `u64` id, or
+    /// [`crate::lanes::NO_SYMBOL`] when `s` does not occur in the
+    /// pattern. Two symbols are equal iff their ids are equal (the
+    /// sentinel only ever labels *target* symbols, and a pattern
+    /// symbol always has a real id), which is what lets the lane
+    /// kernels compare generic symbols as plain integers.
+    #[inline]
+    pub(crate) fn symbol_id(&self, s: S) -> u64 {
+        match self.id_of(s) {
+            Some(k) => k as u64,
+            None => crate::lanes::NO_SYMBOL,
         }
     }
 }
@@ -137,21 +229,31 @@ fn run_single<S: Symbol>(bits: &PatternBits<S>, text: &[S]) -> usize {
     let mut pv = !0u64;
     let mut mv = 0u64;
     let mut score = m;
-    for &c in text {
-        let eq = bits.word0(c);
-        let xv = eq | mv;
-        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
-        let ph = mv | !(xh | pv);
-        let mh = pv & xh;
+    #[inline(always)]
+    fn step(eq: u64, pv: &mut u64, mv: &mut u64, score: &mut usize, hbit: u64) {
+        let xv = eq | *mv;
+        let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+        let ph = *mv | !(xh | *pv);
+        let mh = *pv & xh;
         if ph & hbit != 0 {
-            score += 1;
+            *score += 1;
         } else if mh & hbit != 0 {
-            score -= 1;
+            *score -= 1;
         }
         let ph = (ph << 1) | 1;
         let mh = mh << 1;
-        pv = mh | !(xv | ph);
-        mv = ph & xv;
+        *pv = mh | !(xv | ph);
+        *mv = ph & xv;
+    }
+    // Hoist the `Eq` lookup mode out of the column loop.
+    if let Some(table) = bits.byte_table() {
+        for &c in text {
+            step(table[symbol_byte(c)], &mut pv, &mut mv, &mut score, hbit);
+        }
+    } else {
+        for &c in text {
+            step(bits.word0(c), &mut pv, &mut mv, &mut score, hbit);
+        }
     }
     score
 }
@@ -238,6 +340,7 @@ struct BlockScratch {
 pub struct MyersPattern<S> {
     bits: PatternBits<S>,
     scratch: core::cell::RefCell<BlockScratch>,
+    lanes: core::cell::RefCell<crate::lanes::LaneScratch>,
 }
 
 impl<S: Symbol> MyersPattern<S> {
@@ -246,7 +349,15 @@ impl<S: Symbol> MyersPattern<S> {
         MyersPattern {
             bits: PatternBits::new(query),
             scratch: core::cell::RefCell::new(BlockScratch::default()),
+            lanes: core::cell::RefCell::new(crate::lanes::LaneScratch::default()),
         }
+    }
+
+    /// The pattern's per-symbol bitmaps / alphabet ids (lane kernels
+    /// and the `d_C,h` prepared batch reuse them).
+    #[inline]
+    pub(crate) fn bits(&self) -> &PatternBits<S> {
+        &self.bits
     }
 
     /// Length of the prepared query.
@@ -297,6 +408,239 @@ impl<S: Symbol> MyersPattern<S> {
             Some(bound),
             &mut self.scratch.borrow_mut(),
         )
+    }
+
+    /// Distance to each of `targets` (`out.len() == targets.len()`),
+    /// scored up to [`crate::lanes::LANES`] targets per kernel sweep
+    /// on the process-wide [`Backend`](crate::lanes::Backend).
+    /// Bit-identical to calling [`MyersPattern::distance`] per target.
+    pub fn distance_batch(&self, targets: &[&[S]], out: &mut [usize]) {
+        self.distance_batch_with(crate::lanes::Backend::active(), targets, out);
+    }
+
+    /// [`MyersPattern::distance_batch`] with an explicit backend
+    /// (tests and benches pin each code path through this).
+    pub fn distance_batch_with(
+        &self,
+        backend: crate::lanes::Backend,
+        targets: &[&[S]],
+        out: &mut [usize],
+    ) {
+        use crate::lanes::{Backend, LANES};
+        assert_eq!(targets.len(), out.len(), "distance_batch size mismatch");
+        let m = self.bits.len;
+        if backend == Backend::Scalar || m == 0 {
+            for (target, slot) in targets.iter().zip(out.iter_mut()) {
+                *slot = self.distance(target);
+            }
+            return;
+        }
+        let scratch = &mut *self.lanes.borrow_mut();
+        let crate::lanes::LaneScratch {
+            cols,
+            a,
+            b,
+            order,
+            counts,
+        } = scratch;
+        crate::lanes::length_order(order, counts, targets);
+        for chunk in order.chunks(LANES) {
+            let mut group: [&[S]; LANES] = [&[]; LANES];
+            let mut lens = [0usize; LANES];
+            for (l, &i) in chunk.iter().enumerate() {
+                group[l] = targets[i as usize];
+                lens[l] = group[l].len();
+            }
+            let mut scores = [m as i64; LANES];
+            self.lane_group(
+                backend,
+                &group[..chunk.len()],
+                &lens,
+                None,
+                cols,
+                a,
+                b,
+                &mut scores,
+            );
+            for (l, &i) in chunk.iter().enumerate() {
+                out[i as usize] = scores[l] as usize;
+            }
+        }
+    }
+
+    /// Bounded distance to each of `targets` under one shared `bound`:
+    /// `out[i] = Some(d)` iff `d <= bound`, exactly as
+    /// [`MyersPattern::distance_bounded`] returns per target. Lanes
+    /// retire early once provably over the bound, mirroring the scalar
+    /// early exit.
+    pub fn distance_batch_bounded(
+        &self,
+        targets: &[&[S]],
+        bound: usize,
+        out: &mut [Option<usize>],
+    ) {
+        self.distance_batch_bounded_with(crate::lanes::Backend::active(), targets, bound, out);
+    }
+
+    /// [`MyersPattern::distance_batch_bounded`] with an explicit
+    /// backend.
+    pub fn distance_batch_bounded_with(
+        &self,
+        backend: crate::lanes::Backend,
+        targets: &[&[S]],
+        bound: usize,
+        out: &mut [Option<usize>],
+    ) {
+        use crate::lanes::{Backend, LANES};
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distance_batch_bounded size mismatch"
+        );
+        let m = self.bits.len;
+        if backend == Backend::Scalar || m == 0 {
+            for (target, slot) in targets.iter().zip(out.iter_mut()) {
+                *slot = self.distance_bounded(target, bound);
+            }
+            return;
+        }
+        let scratch = &mut *self.lanes.borrow_mut();
+        let crate::lanes::LaneScratch {
+            cols,
+            a,
+            b,
+            order,
+            counts,
+        } = scratch;
+        crate::lanes::length_order(order, counts, targets);
+        for chunk in order.chunks(LANES) {
+            let mut group: [&[S]; LANES] = [&[]; LANES];
+            let mut lens = [0usize; LANES];
+            let mut skip = [false; LANES];
+            let mut bounds = [0i64; LANES];
+            for (l, &i) in chunk.iter().enumerate() {
+                let target = targets[i as usize];
+                let n = target.len();
+                if n.abs_diff(m) > bound {
+                    // Same length gate as the scalar path: the lane
+                    // never enters the kernel (a frozen empty lane
+                    // would report `m`, which could leak under a large
+                    // bound, so it is masked out below).
+                    skip[l] = true;
+                } else {
+                    group[l] = target;
+                    lens[l] = n;
+                    // Clamped so the limit arithmetic cannot overflow
+                    // on huge bounds; a clamp at `m + n + 1` can never
+                    // retire a lane (the score is at most `m + j`), so
+                    // bounded results stay exact.
+                    bounds[l] = bound.min(m + n + 1) as i64;
+                }
+            }
+            let mut scores = [m as i64; LANES];
+            self.lane_group(
+                backend,
+                &group[..chunk.len()],
+                &lens,
+                Some(&bounds),
+                cols,
+                a,
+                b,
+                &mut scores,
+            );
+            for (l, &i) in chunk.iter().enumerate() {
+                let d = scores[l] as usize;
+                out[i as usize] = (!skip[l] && d <= bound).then_some(d);
+            }
+        }
+    }
+
+    /// Fill the lane-interleaved `Eq` columns for one group of up to
+    /// [`crate::lanes::LANES`] targets and run the matching kernel.
+    /// Unused lanes keep `lens == 0` and freeze immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn lane_group(
+        &self,
+        backend: crate::lanes::Backend,
+        group: &[&[S]],
+        lens: &[usize; crate::lanes::LANES],
+        bounds: Option<&[i64; crate::lanes::LANES]>,
+        cols: &mut Vec<u64>,
+        a: &mut Vec<u64>,
+        b: &mut Vec<u64>,
+        scores: &mut [i64; crate::lanes::LANES],
+    ) {
+        use crate::lanes::LANES;
+        let m = self.bits.len;
+        let blocks = self.bits.words;
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return; // every lane is empty (or skipped): scores stay m
+        }
+        if blocks == 1 {
+            // Grow-only: stale cells past a lane's length are masked
+            // inside the kernels (`eq & act`), and every active cell
+            // is written below, so no zeroing pass is needed.
+            if cols.len() < max_len * LANES {
+                cols.resize(max_len * LANES, 0);
+            }
+            // Strided iterators instead of `cols[j * LANES + l]`: the
+            // zip bounds the loop, so the fill is branch- and
+            // check-free (it is the serial fraction of the sweep).
+            if let Some(table) = self.bits.byte_table() {
+                for (l, target) in group.iter().enumerate() {
+                    for (slot, &c) in cols[l..].iter_mut().step_by(LANES).zip(&target[..lens[l]]) {
+                        *slot = table[symbol_byte(c)];
+                    }
+                }
+            } else {
+                for (l, target) in group.iter().enumerate() {
+                    for (slot, &c) in cols[l..].iter_mut().step_by(LANES).zip(&target[..lens[l]]) {
+                        *slot = self.bits.word0(c);
+                    }
+                }
+            }
+            match bounds {
+                None => crate::lanes::myers_word(backend, cols, lens, m, scores),
+                Some(bounds) => {
+                    crate::lanes::myers_word_bounded(backend, cols, lens, m, bounds, scores)
+                }
+            }
+        } else if let Some(rows) = self.bits.byte_rows() {
+            // Byte symbols: absent bytes map to an all-zero row in the
+            // table, so every active cell is written unconditionally —
+            // grow-only scratch, no zeroing pass (stale cells past a
+            // lane's length are masked by `eq & act` in the kernel).
+            if cols.len() < max_len * blocks * LANES {
+                cols.resize(max_len * blocks * LANES, 0);
+            }
+            for (l, target) in group.iter().enumerate() {
+                for (j, &c) in target[..lens[l]].iter().enumerate() {
+                    let row = &rows[symbol_byte(c) * blocks..(symbol_byte(c) + 1) * blocks];
+                    let base = j * blocks * LANES + l;
+                    for (bi, &w) in row.iter().enumerate() {
+                        cols[base + bi * LANES] = w;
+                    }
+                }
+            }
+            crate::lanes::myers_blocked(backend, cols, blocks, lens, m, bounds, a, b, scores);
+        } else {
+            // Wide symbols: the `Option` fill skips absent-symbol
+            // writes, so the scratch must be zeroed each group.
+            cols.clear();
+            cols.resize(max_len * blocks * LANES, 0);
+            for (l, target) in group.iter().enumerate() {
+                for (j, &c) in target[..lens[l]].iter().enumerate() {
+                    if let Some(row) = self.bits.row(c) {
+                        let base = j * blocks * LANES + l;
+                        for (bi, &w) in row.iter().enumerate() {
+                            cols[base + bi * LANES] = w;
+                        }
+                    }
+                }
+            }
+            crate::lanes::myers_blocked(backend, cols, blocks, lens, m, bounds, a, b, scores);
+        }
     }
 }
 

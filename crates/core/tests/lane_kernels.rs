@@ -1,0 +1,306 @@
+//! Lane-kernel agreement suite: the multi-string SIMD kernels
+//! ([`cned_core::lanes`]) must be **bit-identical** to the scalar
+//! engines they accelerate — plain results and bounded `Option`
+//! outcomes both — across symbol types, the single-word/blocked Myers
+//! boundary, ragged batch widths, and every backend available on the
+//! host. Also re-checks the PR 3 NaN/broken-cost-table guards through
+//! the new batch hooks, which must inherit them.
+
+use cned_core::contextual::heuristic::{ContextualHeuristic, PreparedHeuristic};
+use cned_core::lanes::{Backend, LANES};
+use cned_core::metric::{Distance, PreparedQuery};
+use cned_core::myers::MyersPattern;
+use cned_core::normalized::yujian_bo::YujianBo;
+use proptest::prelude::*;
+
+/// Every backend runnable on this machine (Avx2 is skipped where
+/// unavailable; the CI `target-cpu=native` job exercises it).
+fn backends() -> Vec<Backend> {
+    [Backend::Scalar, Backend::Portable, Backend::Avx2]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+/// Strings spanning the regimes that matter to the kernels: dense
+/// short strings, the 64-symbol word boundary, and long blocked
+/// patterns (lengths up to 300).
+fn lane_string() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(0u8..5, 0..=80),
+        proptest::collection::vec(0u8..5, 55..=70),
+        proptest::collection::vec(0u8..8, 180..=300),
+        Just(Vec::new()),
+    ]
+}
+
+/// The same mix over wide (u32) symbols — the generic-symbol id
+/// remapping path.
+fn lane_string_u32() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        proptest::collection::vec(0u32..6, 0..=70),
+        proptest::collection::vec(0u32..9, 100..=300),
+        Just(Vec::new()),
+    ]
+}
+
+/// A batch of 1..=9 targets — deliberately crossing [`LANES`] so every
+/// test exercises both a full lane group and a ragged tail.
+fn batch(s: impl Strategy<Value = Vec<u8>>) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(s, 1..=LANES + 1)
+}
+
+proptest! {
+    #[test]
+    fn myers_batch_matches_scalar(query in lane_string(), targets in batch(lane_string())) {
+        let pattern = MyersPattern::new(&query);
+        let refs: Vec<&[u8]> = targets.iter().map(Vec::as_slice).collect();
+        let expect: Vec<usize> = refs.iter().map(|t| pattern.distance(t)).collect();
+        for backend in backends() {
+            let mut out = vec![0usize; refs.len()];
+            pattern.distance_batch_with(backend, &refs, &mut out);
+            prop_assert_eq!(&out, &expect, "backend {}", backend.label());
+        }
+    }
+
+    #[test]
+    fn myers_batch_bounded_matches_scalar(
+        query in lane_string(),
+        targets in batch(lane_string()),
+        bound_sel in 0usize..6,
+    ) {
+        let pattern = MyersPattern::new(&query);
+        let refs: Vec<&[u8]> = targets.iter().map(Vec::as_slice).collect();
+        let dmin = refs.iter().map(|t| pattern.distance(t)).min().unwrap_or(0);
+        let bound = match bound_sel {
+            0 => 0,
+            1 => 1,
+            2 => dmin.saturating_sub(1),
+            3 => dmin,
+            4 => dmin + 2,
+            _ => usize::MAX,
+        };
+        let expect: Vec<Option<usize>> =
+            refs.iter().map(|t| pattern.distance_bounded(t, bound)).collect();
+        for backend in backends() {
+            let mut out = vec![None; refs.len()];
+            pattern.distance_batch_bounded_with(backend, &refs, bound, &mut out);
+            prop_assert_eq!(&out, &expect, "backend {} bound {}", backend.label(), bound);
+        }
+    }
+
+    #[test]
+    fn myers_batch_matches_scalar_u32(
+        query in lane_string_u32(),
+        targets in proptest::collection::vec(lane_string_u32(), 1..=LANES + 1),
+    ) {
+        let pattern = MyersPattern::new(&query);
+        let refs: Vec<&[u32]> = targets.iter().map(Vec::as_slice).collect();
+        let expect: Vec<usize> = refs.iter().map(|t| pattern.distance(t)).collect();
+        let bound = expect.iter().min().copied().unwrap_or(0) + 1;
+        let expect_b: Vec<Option<usize>> =
+            refs.iter().map(|t| pattern.distance_bounded(t, bound)).collect();
+        for backend in backends() {
+            let mut out = vec![0usize; refs.len()];
+            pattern.distance_batch_with(backend, &refs, &mut out);
+            prop_assert_eq!(&out, &expect, "backend {}", backend.label());
+            let mut out_b = vec![None; refs.len()];
+            pattern.distance_batch_bounded_with(backend, &refs, bound, &mut out_b);
+            prop_assert_eq!(&out_b, &expect_b, "backend {}", backend.label());
+        }
+    }
+
+    #[test]
+    fn heuristic_batch_matches_scalar(
+        query in lane_string(),
+        targets in batch(lane_string()),
+    ) {
+        let prepared = PreparedHeuristic::new(&query);
+        let refs: Vec<&[u8]> = targets.iter().map(Vec::as_slice).collect();
+        let expect: Vec<u64> = refs.iter().map(|t| prepared.distance_to(t).to_bits()).collect();
+        for backend in backends() {
+            let mut out = vec![0.0f64; refs.len()];
+            prepared.distance_to_batch_with(backend, &refs, &mut out);
+            let bits: Vec<u64> = out.iter().map(|h| h.to_bits()).collect();
+            prop_assert_eq!(&bits, &expect, "backend {}", backend.label());
+        }
+    }
+
+    #[test]
+    fn heuristic_batch_bounded_matches_scalar(
+        query in lane_string(),
+        targets in batch(lane_string()),
+        bound_sel in 0usize..6,
+    ) {
+        let prepared = PreparedHeuristic::new(&query);
+        let refs: Vec<&[u8]> = targets.iter().map(Vec::as_slice).collect();
+        let hmin = refs
+            .iter()
+            .map(|t| prepared.distance_to(t))
+            .fold(f64::INFINITY, f64::min);
+        let bound = match bound_sel {
+            0 => -1.0,
+            1 => 0.0,
+            2 => hmin * 0.5,
+            3 => hmin,
+            4 => hmin + 0.05,
+            _ => f64::INFINITY,
+        };
+        let expect: Vec<Option<u64>> = refs
+            .iter()
+            .map(|t| prepared.distance_to_bounded(t, bound).map(f64::to_bits))
+            .collect();
+        for backend in backends() {
+            let mut out = vec![None; refs.len()];
+            prepared.distance_to_batch_bounded_with(backend, &refs, bound, &mut out);
+            let bits: Vec<Option<u64>> = out.iter().map(|h| h.map(f64::to_bits)).collect();
+            prop_assert_eq!(&bits, &expect, "backend {} bound {}", backend.label(), bound);
+        }
+    }
+
+    #[test]
+    fn heuristic_batch_matches_scalar_u32(
+        query in lane_string_u32(),
+        targets in proptest::collection::vec(lane_string_u32(), 1..=LANES + 1),
+    ) {
+        let prepared = PreparedHeuristic::new(&query);
+        let refs: Vec<&[u32]> = targets.iter().map(Vec::as_slice).collect();
+        let expect: Vec<u64> = refs.iter().map(|t| prepared.distance_to(t).to_bits()).collect();
+        for backend in backends() {
+            let mut out = vec![0.0f64; refs.len()];
+            prepared.distance_to_batch_with(backend, &refs, &mut out);
+            let bits: Vec<u64> = out.iter().map(|h| h.to_bits()).collect();
+            prop_assert_eq!(&bits, &expect, "backend {}", backend.label());
+        }
+    }
+
+    #[test]
+    fn trait_batch_hooks_match_serial(
+        query in lane_string(),
+        targets in batch(lane_string()),
+        bound in 0.0f64..10.0,
+    ) {
+        // Through the type-erased trait surface (what search code
+        // actually calls): engine overrides and the default loop must
+        // both agree with the serial methods bitwise.
+        let refs: Vec<&[u8]> = targets.iter().map(Vec::as_slice).collect();
+        let dists: [Box<dyn Distance<u8>>; 3] = [
+            Box::new(cned_core::levenshtein::Levenshtein),
+            Box::new(ContextualHeuristic),
+            Box::new(YujianBo), // no override: exercises the defaults
+        ];
+        for dist in &dists {
+            let prepared = dist.prepare(&query);
+            let mut out = vec![0.0f64; refs.len()];
+            prepared.distance_to_batch(&refs, &mut out);
+            let mut out_b = vec![None; refs.len()];
+            prepared.distance_to_batch_bounded(&refs, bound, &mut out_b);
+            for (i, target) in refs.iter().enumerate() {
+                prop_assert_eq!(
+                    out[i].to_bits(),
+                    prepared.distance_to(target).to_bits(),
+                    "{} unbounded", dist.name()
+                );
+                prop_assert_eq!(
+                    out_b[i].map(f64::to_bits),
+                    prepared.distance_to_bounded(target, bound).map(f64::to_bits),
+                    "{} bounded", dist.name()
+                );
+            }
+            let mut via_dist = vec![0.0f64; refs.len()];
+            dist.distance_batch(&query, &refs, &mut via_dist);
+            for (i, target) in refs.iter().enumerate() {
+                prop_assert_eq!(
+                    via_dist[i].to_bits(),
+                    dist.distance(&query, target).to_bits(),
+                    "{} distance_batch", dist.name()
+                );
+            }
+        }
+    }
+}
+
+/// A distance with a broken (NaN-producing) cost table, as in the
+/// PR 3 hardening tests: the batch defaults must inherit the guards.
+struct BrokenCostTable;
+
+impl Distance<u8> for BrokenCostTable {
+    fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            f64::NAN
+        }
+    }
+    fn name(&self) -> &'static str {
+        "broken"
+    }
+    fn is_metric(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "NaN")]
+fn broken_cost_table_is_diagnosed_through_batch_in_debug() {
+    let prepared = Distance::<u8>::prepare(&BrokenCostTable, b"query");
+    let targets: [&[u8]; 2] = [b"other", b"query"];
+    let mut out = [None; 2];
+    prepared.distance_to_batch_bounded(&targets, 10.0, &mut out);
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn broken_cost_table_never_wins_through_batch_in_release() {
+    let prepared = Distance::<u8>::prepare(&BrokenCostTable, b"query");
+    let targets: [&[u8]; 3] = [b"other", b"query", b"more"];
+    let mut out = [None; 3];
+    prepared.distance_to_batch_bounded(&targets, 10.0, &mut out);
+    // NaN fails `d <= bound` like an over-budget candidate; the equal
+    // string still passes with its genuine zero.
+    assert_eq!(out, [None, Some(0.0), None]);
+}
+
+#[test]
+fn explicit_lane_widths_one_through_nine() {
+    // Deterministic sweep of every batch width across the word
+    // boundary, including all-empty and mixed-length groups.
+    let query: Vec<u8> = (0..70u8).map(|i| i % 5).collect();
+    let pattern = MyersPattern::new(&query);
+    let prepared = PreparedHeuristic::new(&query);
+    let pool: Vec<Vec<u8>> = (0..9)
+        .map(|w| (0..(w * 37) % 130).map(|i| ((i + w) % 6) as u8).collect())
+        .collect();
+    for width in 1..=9usize {
+        let refs: Vec<&[u8]> = pool.iter().take(width).map(Vec::as_slice).collect();
+        for backend in backends() {
+            let mut d = vec![0usize; width];
+            pattern.distance_batch_with(backend, &refs, &mut d);
+            let mut h = vec![0.0f64; width];
+            prepared.distance_to_batch_with(backend, &refs, &mut h);
+            for (i, target) in refs.iter().enumerate() {
+                assert_eq!(d[i], pattern.distance(target), "width {width}");
+                assert_eq!(
+                    h[i].to_bits(),
+                    prepared.distance_to(target).to_bits(),
+                    "width {width}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn avx2_detection_is_consistent() {
+    // On x86_64 CI runners with AVX2 the detected backend must be
+    // Avx2, so the intrinsics path is actually exercised by the lane
+    // agreement tests above rather than silently falling back.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        assert_eq!(Backend::detect(), Backend::Avx2);
+        assert!(backends().contains(&Backend::Avx2));
+    }
+    assert!(backends().contains(&Backend::Scalar));
+    assert!(backends().contains(&Backend::Portable));
+}

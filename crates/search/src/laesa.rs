@@ -25,6 +25,7 @@ use crate::error::SearchError;
 use crate::index::{MetricIndex, QueryOptions};
 use crate::parallel::par_map;
 use crate::{sanitise_distance, Neighbour, SearchStats};
+use cned_core::lanes::LANES;
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
@@ -70,13 +71,17 @@ impl<S: Symbol> Laesa<S> {
             }
             pivot_row[p] = r;
         }
+        let refs: Vec<&[S]> = db.iter().map(Vec::as_slice).collect();
         let rows: Vec<Vec<f64>> = par_map(pivots.len(), |r| {
             let prepared = dist.prepare(&db[pivots[r]]);
+            let mut row = vec![0.0f64; n];
+            prepared.distance_to_batch(&refs, &mut row);
             // NaN rows would silently disable elimination for the
             // affected candidates; reject them at build time.
-            db.iter()
-                .map(|u| sanitise_distance(prepared.distance_to(u)))
-                .collect()
+            for d in row.iter_mut() {
+                *d = sanitise_distance(*d);
+            }
+            row
         });
         let preprocessing_computations = (pivots.len() * n) as u64;
         Ok(Laesa {
@@ -212,6 +217,87 @@ impl<S: Symbol> Laesa<S> {
         self.nn_core(prepared, limit, radius)
     }
 
+    /// Shared pivot phase of the NN and k-NN cores.
+    ///
+    /// Evaluates active pivots exactly — the first in build order, then
+    /// always the live pivot with the minimal (lower bound, index) —
+    /// feeding each exact distance to `admit`, which records the
+    /// candidate and returns the updated pruning budget (the incumbent
+    /// or `k`-th-best distance). After every pivot the candidate and
+    /// pivot live lists are tightened with the pivot's precomputed row
+    /// and **compacted** against that budget, so per-round cost tracks
+    /// the surviving set instead of rescanning all `n` elements every
+    /// round (the `laesa`-slower-than-`linear` fix).
+    ///
+    /// On return `cands` holds the still-live plain candidates (their
+    /// bounds now frozen: no unevaluated active pivot remains that
+    /// could tighten them) and `lower` the final bounds.
+    fn pivot_phase(
+        &self,
+        prepared: &dyn PreparedQuery<S>,
+        limit: usize,
+        lower: &mut [f64],
+        cands: &mut Vec<usize>,
+        computations: &mut u64,
+        mut admit: impl FnMut(usize, f64) -> f64,
+    ) {
+        let n = self.db.len();
+        // Live plain candidates: everything that is not an active
+        // pivot, ascending index (the canonical tie-break order).
+        cands.clear();
+        cands.extend((0..n).filter(|&u| self.pivot_row[u] >= limit));
+        // Live active pivots, ascending index for the same tie-break
+        // the old full-array sweep had.
+        let mut live_pivots: Vec<usize> = self.pivots[..limit].to_vec();
+        live_pivots.sort_unstable();
+
+        // First selection is the first *built* pivot (build order, not
+        // index order); afterwards the live pivot with minimal bound.
+        let mut selected = (limit > 0).then(|| self.pivots[0]);
+        while let Some(s) = selected.take() {
+            let pos = live_pivots
+                .iter()
+                .position(|&u| u == s)
+                .expect("live pivot");
+            live_pivots.remove(pos);
+            // Pivot distances feed the lower-bound updates, so they
+            // are computed exactly (never bounded).
+            let d = sanitise_distance(prepared.distance_to(&self.db[s]));
+            *computations += 1;
+            let slack = admit(s, d) + crate::ELIMINATION_SLACK;
+
+            // Tighten every live bound with the pivot's row and drop
+            // eliminated entries in the same pass.
+            let row = &self.rows[self.pivot_row[s]];
+            let keep = |u: &usize, lower: &mut [f64]| {
+                let g = (d - row[*u]).abs();
+                if g > lower[*u] {
+                    lower[*u] = g;
+                }
+                lower[*u] <= slack
+            };
+            cands.retain(|u| keep(u, lower));
+            live_pivots.retain(|u| keep(u, lower));
+
+            // Next pivot: minimal (bound, index) — ascending order plus
+            // strict `<` keeps the first (smallest-index) minimum.
+            let mut next: Option<(usize, f64)> = None;
+            for &u in &live_pivots {
+                if next.is_none_or(|(_, bg)| lower[u] < bg) {
+                    next = Some((u, lower[u]));
+                }
+            }
+            selected = next.map(|(u, _)| u);
+        }
+    }
+
+    /// Order the surviving candidates by frozen (lower bound, index) —
+    /// exactly the sequence the per-round minimum selection would
+    /// visit them in once no pivot can tighten bounds any further.
+    fn sort_by_frozen_bounds(cands: &mut [usize], lower: &[f64]) {
+        cands.sort_unstable_by(|&a, &b| lower[a].total_cmp(&lower[b]).then(a.cmp(&b)));
+    }
+
     fn nn_core(
         &self,
         prepared: &dyn PreparedQuery<S>,
@@ -224,9 +310,7 @@ impl<S: Symbol> Laesa<S> {
             return (None, SearchStats::default());
         }
 
-        let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n]; // G[u]
-        let mut n_alive = n;
         let mut computations = 0u64;
         // The search radius doubles as a virtual incumbent: any real
         // candidate at d <= radius beats it (usize::MAX loses every
@@ -235,100 +319,67 @@ impl<S: Symbol> Laesa<S> {
             index: usize::MAX,
             distance: radius,
         };
-        // Pivots (within `limit`) not yet used for bound updates.
-        let mut pivots_left = limit;
 
-        // Next element to compute: prefer alive pivots (they tighten
-        // bounds for everyone), by minimal current lower bound; when no
-        // pivot remains, the alive candidate with minimal bound.
-        let mut selected = if pivots_left > 0 {
-            Some(self.pivots[0])
-        } else {
-            alive.iter().position(|&a| a)
-        };
-
-        while let Some(s) = selected.take() {
-            // 1. Real distance to the selected element. A pivot's
-            //    distance feeds the lower-bound updates, so it is
-            //    computed exactly; a plain candidate only competes
-            //    with the current best, so its computation may abandon
-            //    early at that budget.
-            let is_active_pivot = self.pivot_row[s] < limit;
-            let d = if is_active_pivot {
-                sanitise_distance(prepared.distance_to(&self.db[s]))
-            } else {
-                prepared
-                    .distance_to_bounded(&self.db[s], best.distance)
-                    .unwrap_or(f64::INFINITY)
-            };
-            computations += 1;
-            let candidate = Neighbour {
-                index: s,
-                distance: d,
-            };
-            if candidate.better_than(&best) {
-                best = candidate;
-            }
-            if alive[s] {
-                alive[s] = false;
-                n_alive -= 1;
-            }
-
-            // 2. If `s` is an active pivot, tighten all alive lower
-            //    bounds with its precomputed row and eliminate.
-            let row_idx = self.pivot_row[s];
-            if row_idx < limit {
-                pivots_left -= 1;
-                let row = &self.rows[row_idx];
-                for u in 0..n {
-                    if !alive[u] {
-                        continue;
-                    }
-                    let g = (d - row[u]).abs();
-                    if g > lower[u] {
-                        lower[u] = g;
-                    }
-                    if lower[u] > best.distance + crate::ELIMINATION_SLACK {
-                        alive[u] = false;
-                        n_alive -= 1;
-                    }
+        // Phase 1: pivots — exact distances, bound tightening,
+        // incremental elimination over compacted live lists.
+        let mut cands: Vec<usize> = Vec::new();
+        self.pivot_phase(
+            prepared,
+            limit,
+            &mut lower,
+            &mut cands,
+            &mut computations,
+            |s, d| {
+                let candidate = Neighbour {
+                    index: s,
+                    distance: d,
+                };
+                if candidate.better_than(&best) {
+                    best = candidate;
                 }
-            }
+                best.distance
+            },
+        );
 
-            if n_alive == 0 {
+        // Phase 2: surviving candidates, visited in frozen
+        // (bound, index) order and scored through the lane-batched
+        // bounded path. The budget is refreshed at every chunk
+        // boundary; a stale budget only admits a superset of what the
+        // one-at-a-time sweep would, and `better_than` keeps the final
+        // incumbent identical.
+        Self::sort_by_frozen_bounds(&mut cands, &lower);
+        let mut targets: [&[S]; LANES] = [&[]; LANES];
+        let mut results: [Option<f64>; LANES] = [None; LANES];
+        let mut pos = 0;
+        while pos < cands.len() {
+            let slack = best.distance + crate::ELIMINATION_SLACK;
+            if lower[cands[pos]] > slack {
+                // Bounds are sorted: every later candidate is
+                // eliminated too.
                 break;
             }
-
-            // 3. Eliminate against the *current* best and select the
-            //    next element in one sweep. Elimination must re-run
-            //    every iteration: `best` keeps improving after the
-            //    pivots are exhausted, and a bound that survived an
-            //    older, larger `best` may now exceed it.
-            let mut next_pivot: Option<(usize, f64)> = None;
-            let mut next_any: Option<(usize, f64)> = None;
-            for u in 0..n {
-                if !alive[u] {
-                    continue;
-                }
-                let g = lower[u];
-                if g > best.distance + crate::ELIMINATION_SLACK {
-                    alive[u] = false;
-                    n_alive -= 1;
-                    continue;
-                }
-                if self.pivot_row[u] < limit {
-                    if next_pivot.is_none_or(|(_, bg)| g < bg) {
-                        next_pivot = Some((u, g));
-                    }
-                } else if next_any.is_none_or(|(_, bg)| g < bg) {
-                    next_any = Some((u, g));
+            let mut take = 0;
+            while take < LANES && pos + take < cands.len() && lower[cands[pos + take]] <= slack {
+                targets[take] = &self.db[cands[pos + take]];
+                take += 1;
+            }
+            prepared.distance_to_batch_bounded(
+                &targets[..take],
+                best.distance,
+                &mut results[..take],
+            );
+            computations += take as u64;
+            for (i, d) in results[..take].iter().enumerate() {
+                let Some(d) = *d else { continue };
+                let candidate = Neighbour {
+                    index: cands[pos + i],
+                    distance: d,
+                };
+                if candidate.better_than(&best) {
+                    best = candidate;
                 }
             }
-            selected = if pivots_left > 0 {
-                next_pivot.or(next_any).map(|(u, _)| u)
-            } else {
-                next_any.or(next_pivot).map(|(u, _)| u)
-            };
+            pos += take;
         }
 
         let found = (best.index != usize::MAX).then_some(best);
@@ -402,113 +453,74 @@ impl<S: Symbol> Laesa<S> {
             return (Vec::new(), SearchStats::default());
         }
 
-        let mut alive = vec![true; n];
         let mut lower = vec![0.0f64; n];
-        let mut n_alive = n;
         let mut computations = 0u64;
         // Current k best, kept sorted by (distance, index); the radius
         // caps the admission budget until k closer elements displace
         // it.
         let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
-        let kth = |best: &Vec<Neighbour>| -> f64 {
+        fn kth(best: &[Neighbour], k: usize, radius: f64) -> f64 {
             if best.len() < k {
                 radius
             } else {
                 best[k - 1].distance
             }
-        };
-        let mut pivots_left = limit;
-        let mut selected = if pivots_left > 0 {
-            Some(self.pivots[0])
-        } else {
-            Some(0)
-        };
-
-        while let Some(s) = selected.take() {
-            // Pivot distances feed bound updates: exact (even beyond
-            // the radius — their values make the lower bounds
-            // correct). Plain candidates only compete for the k-th
-            // slot: bounded.
-            let is_pivot = self.pivot_row[s] < limit;
-            let d = if is_pivot {
-                sanitise_distance(prepared.distance_to(&self.db[s]))
-            } else {
-                prepared
-                    .distance_to_bounded(&self.db[s], kth(&best))
-                    .unwrap_or(f64::INFINITY)
-            };
-            computations += 1;
-            // A rejected bounded evaluation surfaces as +inf and must
-            // never enter the result set, even at an infinite radius.
+        }
+        // A rejected bounded evaluation surfaces as +inf and must never
+        // enter the result set, even at an infinite radius.
+        fn admit_knn(best: &mut Vec<Neighbour>, k: usize, radius: f64, index: usize, d: f64) {
             if d.is_finite() && d <= radius {
-                let candidate = Neighbour {
-                    index: s,
-                    distance: d,
-                };
+                let candidate = Neighbour { index, distance: d };
                 let pos = best
                     .binary_search_by(|nb| nb.ordering(&candidate))
                     .unwrap_or_else(|e| e);
                 best.insert(pos, candidate);
                 best.truncate(k);
             }
-            if alive[s] {
-                alive[s] = false;
-                n_alive -= 1;
-            }
+        }
 
-            let row_idx = self.pivot_row[s];
-            if row_idx < limit {
-                pivots_left -= 1;
-                let row = &self.rows[row_idx];
-                let radius = kth(&best);
-                for u in 0..n {
-                    if !alive[u] {
-                        continue;
-                    }
-                    let g = (d - row[u]).abs();
-                    if g > lower[u] {
-                        lower[u] = g;
-                    }
-                    if lower[u] > radius + crate::ELIMINATION_SLACK {
-                        alive[u] = false;
-                        n_alive -= 1;
-                    }
-                }
-            }
+        // Phase 1: pivots — exact distances (even beyond the radius:
+        // their values make the lower bounds correct), elimination
+        // against the running k-th-best distance.
+        let mut cands: Vec<usize> = Vec::new();
+        self.pivot_phase(
+            prepared,
+            limit,
+            &mut lower,
+            &mut cands,
+            &mut computations,
+            |s, d| {
+                admit_knn(&mut best, k, radius, s, d);
+                kth(&best, k, radius)
+            },
+        );
 
-            if n_alive == 0 {
+        // Phase 2: survivors in frozen (bound, index) order, batched
+        // through the bounded lane path with the k-th distance as the
+        // budget. Stale chunk budgets only admit a superset; the sorted
+        // insert + truncate keeps the final k identical.
+        Self::sort_by_frozen_bounds(&mut cands, &lower);
+        let mut targets: [&[S]; LANES] = [&[]; LANES];
+        let mut results: [Option<f64>; LANES] = [None; LANES];
+        let mut pos = 0;
+        while pos < cands.len() {
+            let budget = kth(&best, k, radius);
+            let slack = budget + crate::ELIMINATION_SLACK;
+            if lower[cands[pos]] > slack {
                 break;
             }
-
-            // Eliminate against the current k-th radius and select the
-            // next element in one sweep (see the nn variant for why
-            // elimination must re-run every iteration).
-            let radius = kth(&best);
-            let mut next_pivot: Option<(usize, f64)> = None;
-            let mut next_any: Option<(usize, f64)> = None;
-            for u in 0..n {
-                if !alive[u] {
-                    continue;
-                }
-                let g = lower[u];
-                if g > radius + crate::ELIMINATION_SLACK {
-                    alive[u] = false;
-                    n_alive -= 1;
-                    continue;
-                }
-                if self.pivot_row[u] < limit {
-                    if next_pivot.is_none_or(|(_, bg)| g < bg) {
-                        next_pivot = Some((u, g));
-                    }
-                } else if next_any.is_none_or(|(_, bg)| g < bg) {
-                    next_any = Some((u, g));
-                }
+            let mut take = 0;
+            while take < LANES && pos + take < cands.len() && lower[cands[pos + take]] <= slack {
+                targets[take] = &self.db[cands[pos + take]];
+                take += 1;
             }
-            selected = if pivots_left > 0 {
-                next_pivot.or(next_any).map(|(u, _)| u)
-            } else {
-                next_any.or(next_pivot).map(|(u, _)| u)
-            };
+            prepared.distance_to_batch_bounded(&targets[..take], budget, &mut results[..take]);
+            computations += take as u64;
+            for (i, d) in results[..take].iter().enumerate() {
+                let Some(d) = *d else { continue };
+                admit_knn(&mut best, k, radius, cands[pos + i], d);
+            }
+            pos += take;
         }
 
         (
@@ -563,10 +575,20 @@ impl<S: Symbol> Laesa<S> {
         let mut computations = 0u64;
         let mut hits: Vec<Neighbour> = Vec::new();
 
+        // The fixed radius means every active pivot is evaluated
+        // unconditionally, so all pivot distances can be scored in one
+        // lane-batched pass up front; the row sweeps then run in the
+        // same order as before.
+        let pivot_refs: Vec<&[S]> = self.pivots[..limit]
+            .iter()
+            .map(|&p| self.db[p].as_slice())
+            .collect();
+        let mut pivot_d = vec![0.0f64; limit];
+        prepared.distance_to_batch(&pivot_refs, &mut pivot_d);
+        computations += limit as u64;
         for r in 0..limit {
             let p = self.pivots[r];
-            let d = sanitise_distance(prepared.distance_to(&self.db[p]));
-            computations += 1;
+            let d = sanitise_distance(pivot_d[r]);
             alive[p] = false;
             if d.is_finite() && d <= radius {
                 hits.push(Neighbour {
@@ -588,15 +610,26 @@ impl<S: Symbol> Laesa<S> {
                 }
             }
         }
-        for u in 0..n {
-            if !alive[u] {
-                continue;
+        // Survivors all share the same fixed budget, so the whole set
+        // batches cleanly in lane-width chunks.
+        let survivors: Vec<usize> = (0..n).filter(|&u| alive[u]).collect();
+        computations += survivors.len() as u64;
+        let mut results: [Option<f64>; LANES] = [None; LANES];
+        let mut targets: [&[S]; LANES] = [&[]; LANES];
+        for chunk in survivors.chunks(LANES) {
+            for (i, &u) in chunk.iter().enumerate() {
+                targets[i] = &self.db[u];
             }
-            computations += 1;
-            if let Some(d) = prepared.distance_to_bounded(&self.db[u], radius) {
+            prepared.distance_to_batch_bounded(
+                &targets[..chunk.len()],
+                radius,
+                &mut results[..chunk.len()],
+            );
+            for (i, d) in results[..chunk.len()].iter().enumerate() {
+                let Some(d) = *d else { continue };
                 if d.is_finite() {
                     hits.push(Neighbour {
-                        index: u,
+                        index: chunk[i],
                         distance: d,
                     });
                 }

@@ -21,13 +21,145 @@ use crate::error::SearchError;
 use crate::index::{InsertableIndex, MetricIndex, QueryOptions};
 use crate::parallel::par_map;
 use crate::{Neighbour, SearchStats};
+use cned_core::lanes::LANES;
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 
+/// Advance a running nearest-neighbour incumbent over `db` in
+/// lane-sized bounded batches (database indices offset by `base`).
+///
+/// Each batch of up to [`LANES`] candidates is scored through
+/// [`PreparedQuery::distance_to_batch_bounded`] with the incumbent at
+/// the batch boundary as the shared budget. The budget is only ever
+/// *looser* than the serial per-candidate budget, so the admitted set
+/// is a superset of the serial one — and since admission into `best`
+/// still goes through [`Neighbour::better_than`], the final incumbent
+/// (index and distance bits) is identical to the one-at-a-time scan.
+///
+/// Shared by [`LinearIndex`], the LAESA candidate phase and the
+/// sharded serving layer's delta-shard scans, so every exhaustive
+/// sweep in the workspace rides the lane kernels.
+pub fn nn_scan_into<S: Symbol>(
+    db: &[Vec<S>],
+    prepared: &dyn PreparedQuery<S>,
+    base: usize,
+    best: &mut Neighbour,
+) {
+    let mut out = [None; LANES];
+    let mut refs: [&[S]; LANES] = [&[]; LANES];
+    for (c, chunk) in db.chunks(LANES).enumerate() {
+        for (i, item) in chunk.iter().enumerate() {
+            refs[i] = item;
+        }
+        prepared.distance_to_batch_bounded(
+            &refs[..chunk.len()],
+            best.distance,
+            &mut out[..chunk.len()],
+        );
+        for (i, d) in out[..chunk.len()].iter().enumerate() {
+            if let Some(d) = *d {
+                let candidate = Neighbour {
+                    index: base + c * LANES + i,
+                    distance: d,
+                };
+                if candidate.better_than(best) {
+                    *best = candidate;
+                }
+            }
+        }
+    }
+}
+
+/// Advance a sorted top-`k` list over `db` in lane-sized bounded
+/// batches (indices offset by `base`); `best` stays in canonical
+/// (distance, index) order and never exceeds `k` entries.
+///
+/// Batch-boundary budgets admit a superset of the serial scan (see
+/// [`nn_scan_into`]); sorted insertion + truncation keeps the final
+/// list identical to it.
+pub fn knn_scan_into<S: Symbol>(
+    db: &[Vec<S>],
+    prepared: &dyn PreparedQuery<S>,
+    k: usize,
+    radius: f64,
+    base: usize,
+    best: &mut Vec<Neighbour>,
+) {
+    if k == 0 {
+        return;
+    }
+    let mut out = [None; LANES];
+    let mut refs: [&[S]; LANES] = [&[]; LANES];
+    for (c, chunk) in db.chunks(LANES).enumerate() {
+        // Until k in-radius elements are known, the admission budget
+        // is the radius itself; afterwards the current k-th distance.
+        let budget = if best.len() < k {
+            radius
+        } else {
+            best[k - 1].distance
+        };
+        for (i, item) in chunk.iter().enumerate() {
+            refs[i] = item;
+        }
+        prepared.distance_to_batch_bounded(&refs[..chunk.len()], budget, &mut out[..chunk.len()]);
+        for (i, d) in out[..chunk.len()].iter().enumerate() {
+            let Some(d) = *d else {
+                continue;
+            };
+            // A rejected bounded evaluation can surface as +inf; it
+            // must never enter the result set, even at an infinite
+            // radius.
+            if !d.is_finite() {
+                continue;
+            }
+            let candidate = Neighbour {
+                index: base + c * LANES + i,
+                distance: d,
+            };
+            let pos = best
+                .binary_search_by(|nb| nb.ordering(&candidate))
+                .unwrap_or_else(|e| e);
+            best.insert(pos, candidate);
+            best.truncate(k);
+        }
+    }
+}
+
+/// Append every element of `db` within `radius` (inclusive) to `hits`
+/// in lane-sized batches (indices offset by `base`). The caller sorts;
+/// the fixed radius means batching cannot change the admitted set at
+/// all.
+pub fn range_scan_into<S: Symbol>(
+    db: &[Vec<S>],
+    prepared: &dyn PreparedQuery<S>,
+    radius: f64,
+    base: usize,
+    hits: &mut Vec<Neighbour>,
+) {
+    let mut out = [None; LANES];
+    let mut refs: [&[S]; LANES] = [&[]; LANES];
+    for (c, chunk) in db.chunks(LANES).enumerate() {
+        for (i, item) in chunk.iter().enumerate() {
+            refs[i] = item;
+        }
+        prepared.distance_to_batch_bounded(&refs[..chunk.len()], radius, &mut out[..chunk.len()]);
+        for (i, d) in out[..chunk.len()].iter().enumerate() {
+            if let Some(d) = *d {
+                if d.is_finite() {
+                    hits.push(Neighbour {
+                        index: base + c * LANES + i,
+                        distance: d,
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Nearest neighbour of a prepared query within `radius` by
 /// exhaustive scan: `(None, stats)` when nothing lies within the
-/// radius. Shared by [`LinearIndex`], the deprecated free functions
-/// and the sharded delta-shard scan.
+/// radius. Shared by [`LinearIndex`] and the deprecated free
+/// functions.
 pub(crate) fn nn_scan<S: Symbol>(
     db: &[Vec<S>],
     prepared: &dyn PreparedQuery<S>,
@@ -40,20 +172,7 @@ pub(crate) fn nn_scan<S: Symbol>(
         index: usize::MAX,
         distance: radius,
     };
-    for (i, item) in db.iter().enumerate() {
-        // Early-exit budget: anything above the current best cannot
-        // replace it; equal distances keep the smaller index, which is
-        // the scan order.
-        if let Some(d) = prepared.distance_to_bounded(item, best.distance) {
-            let candidate = Neighbour {
-                index: i,
-                distance: d,
-            };
-            if candidate.better_than(&best) {
-                best = candidate;
-            }
-        }
-    }
+    nn_scan_into(db, prepared, 0, &mut best);
     let found = (best.index != usize::MAX).then_some(best);
     (
         found,
@@ -74,41 +193,14 @@ pub(crate) fn knn_scan<S: Symbol>(
     let stats = SearchStats {
         distance_computations: db.len() as u64,
     };
-    if k == 0 {
-        return (Vec::new(), stats);
-    }
     // Current k best, kept sorted by the canonical (distance, index)
     // ordering — the same rule every other search path uses, so equal-
     // distance ties always resolve to the smallest database index and
     // the k-th boundary admits d == kth only to be truncated away:
     // exactly the sort-and-truncate outcome, independent of visit
-    // order. Until k in-radius elements are known, the admission
-    // budget is the radius itself.
-    let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
-    for (i, item) in db.iter().enumerate() {
-        let budget = if best.len() < k {
-            radius
-        } else {
-            best[k - 1].distance
-        };
-        let Some(d) = prepared.distance_to_bounded(item, budget) else {
-            continue;
-        };
-        // A rejected bounded evaluation can surface as +inf; it must
-        // never enter the result set, even at an infinite radius.
-        if !d.is_finite() {
-            continue;
-        }
-        let candidate = Neighbour {
-            index: i,
-            distance: d,
-        };
-        let pos = best
-            .binary_search_by(|nb| nb.ordering(&candidate))
-            .unwrap_or_else(|e| e);
-        best.insert(pos, candidate);
-        best.truncate(k);
-    }
+    // order.
+    let mut best: Vec<Neighbour> = Vec::with_capacity(k.min(db.len()) + 1);
+    knn_scan_into(db, prepared, k, radius, 0, &mut best);
     (best, stats)
 }
 
@@ -120,16 +212,7 @@ pub(crate) fn range_scan<S: Symbol>(
     radius: f64,
 ) -> (Vec<Neighbour>, SearchStats) {
     let mut hits: Vec<Neighbour> = Vec::new();
-    for (i, item) in db.iter().enumerate() {
-        if let Some(d) = prepared.distance_to_bounded(item, radius) {
-            if d.is_finite() {
-                hits.push(Neighbour {
-                    index: i,
-                    distance: d,
-                });
-            }
-        }
-    }
+    range_scan_into(db, prepared, radius, 0, &mut hits);
     hits.sort_by(|a, b| a.ordering(b));
     (
         hits,

@@ -17,6 +17,12 @@ use cned_core::Symbol;
 /// selected so far. Costs `O(n_pivots · |db|)` distance computations
 /// (preprocessing — not counted against queries).
 ///
+/// Each round prepares the newest pivot once and scores the whole
+/// database through [`Distance::distance_batch`], so engines with lane
+/// kernels sweep several elements per pass. This relies on metric
+/// symmetry — the same assumption LAESA's triangle-inequality bounds
+/// already make of the distance.
+///
 /// Returns fewer than `n_pivots` indices when the database is smaller.
 pub fn select_pivots_max_sum<S: Symbol, D: Distance<S> + ?Sized>(
     db: &[Vec<S>],
@@ -31,15 +37,18 @@ pub fn select_pivots_max_sum<S: Symbol, D: Distance<S> + ?Sized>(
     }
     assert!(seed_index < n, "seed index out of range");
 
+    let refs: Vec<&[S]> = db.iter().map(Vec::as_slice).collect();
+    let mut col = vec![0.0f64; n];
+
     let mut chosen: Vec<usize> = Vec::with_capacity(n_pivots);
     let mut accum = vec![0.0f64; n]; // sum of distances to chosen pivots
     let mut is_chosen = vec![false; n];
 
     // First pivot: farthest from the seed element.
+    dist.distance_batch(&db[seed_index], &refs, &mut col);
     let mut first = seed_index;
     let mut best = -1.0;
-    for (i, item) in db.iter().enumerate() {
-        let d = dist.distance(item, &db[seed_index]);
+    for (i, &d) in col.iter().enumerate() {
         if d > best {
             best = d;
             first = i;
@@ -50,13 +59,14 @@ pub fn select_pivots_max_sum<S: Symbol, D: Distance<S> + ?Sized>(
 
     while chosen.len() < n_pivots {
         let last = *chosen.last().expect("non-empty");
+        dist.distance_batch(&db[last], &refs, &mut col);
         let mut next = None;
         let mut next_sum = -1.0;
-        for (i, item) in db.iter().enumerate() {
+        for (i, &d) in col.iter().enumerate() {
             if is_chosen[i] {
                 continue;
             }
-            accum[i] += dist.distance(item, &db[last]);
+            accum[i] += d;
             if accum[i] > next_sum {
                 next_sum = accum[i];
                 next = Some(i);

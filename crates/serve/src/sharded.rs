@@ -12,6 +12,7 @@
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
 use cned_search::laesa::Laesa;
+use cned_search::linear::{knn_scan_into, nn_scan_into, range_scan_into};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::{
     par_map, InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
@@ -406,18 +407,10 @@ impl<S: Symbol> ShardedIndex<S> {
                 }
             }
         }
-        for (pos, item) in self.delta.iter().enumerate() {
-            stats.delta.distance_computations += 1;
-            if let Some(d) = prepared.distance_to_bounded(item, best.distance) {
-                let candidate = Neighbour {
-                    index: self.indexed_len + pos,
-                    distance: d,
-                };
-                if candidate.better_than(&best) {
-                    best = candidate;
-                }
-            }
-        }
+        // Lane-batched linear sweep over the delta shard, seeded with
+        // the cross-shard incumbent.
+        nn_scan_into(&self.delta, prepared, self.indexed_len, &mut best);
+        stats.delta.distance_computations += self.delta.len() as u64;
         ((best.index != usize::MAX).then_some(best), stats)
     }
 
@@ -487,23 +480,17 @@ impl<S: Symbol> ShardedIndex<S> {
                 best.truncate(k);
             }
         }
-        for (pos, item) in self.delta.iter().enumerate() {
-            stats.delta.distance_computations += 1;
-            if let Some(d) = prepared.distance_to_bounded(item, kth(&best)) {
-                if !d.is_finite() {
-                    continue;
-                }
-                let candidate = Neighbour {
-                    index: self.indexed_len + pos,
-                    distance: d,
-                };
-                let at = best
-                    .binary_search_by(|nb| nb.ordering(&candidate))
-                    .unwrap_or_else(|e| e);
-                best.insert(at, candidate);
-                best.truncate(k);
-            }
-        }
+        // Lane-batched linear sweep over the delta shard; the running
+        // k-th-best (or the radius while underfull) is the budget.
+        knn_scan_into(
+            &self.delta,
+            prepared,
+            k,
+            radius,
+            self.indexed_len,
+            &mut best,
+        );
+        stats.delta.distance_computations += self.delta.len() as u64;
         (best, stats)
     }
 
@@ -542,17 +529,9 @@ impl<S: Symbol> ShardedIndex<S> {
                 distance: local.distance,
             }));
         }
-        for (pos, item) in self.delta.iter().enumerate() {
-            stats.delta.distance_computations += 1;
-            if let Some(d) = prepared.distance_to_bounded(item, radius) {
-                if d.is_finite() {
-                    hits.push(Neighbour {
-                        index: self.indexed_len + pos,
-                        distance: d,
-                    });
-                }
-            }
-        }
+        // Lane-batched fixed-radius sweep over the delta shard.
+        range_scan_into(&self.delta, prepared, radius, self.indexed_len, &mut hits);
+        stats.delta.distance_computations += self.delta.len() as u64;
         hits.sort_by(|a, b| a.ordering(b));
         (hits, stats)
     }
