@@ -1,0 +1,278 @@
+//! End-to-end throughput of the event-loop TCP server: real loopback
+//! sockets, real frames, sweeping **connections × pipeline depth ×
+//! batch size**.
+//!
+//! Per iteration, every connection submits `depth` frames of `batch`
+//! NN queries each (one buffered flush), then collects every answer —
+//! so one iteration answers `conns x depth x batch` queries
+//! end-to-end through accept/read sweeps, the shared session
+//! scheduler, and write sweeps. After each timed group an
+//! instrumented round prints queries/s to stderr.
+//!
+//! **1-core serial floor caveat:** on the single-core CI container
+//! the event-loop threads, the session scheduler, the client workers
+//! and all client reader threads time-share one CPU, so these numbers
+//! are a *lower bound* — the fixed-thread-pool design exists
+//! precisely so added cores lift it. What the sweep shows even on one
+//! core: throughput holds (or climbs, via batching) as connections
+//! grow from 1 to 1000 with a constant thread count, where the PR 5
+//! design would have needed 2000 threads.
+//!
+//! Set `CNED_BENCH_FAST=1` (CI smoke) to shrink the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use cned_core::levenshtein::Levenshtein;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned_serve::{
+    BatchTicket, Client, Request, ResponseBody, Server, ServerConfig, SessionConfig, ShardConfig,
+    ShardedIndex, Ticket,
+};
+
+/// `batch == 1` rounds submit genuine single-request frames so the
+/// batch-size sweep compares wire batching against pipelined singles,
+/// not against one-element batch frames.
+enum RoundTicket {
+    One(Ticket),
+    Batch(BatchTicket),
+}
+
+impl RoundTicket {
+    fn wait_answered(self) -> u64 {
+        match self {
+            RoundTicket::One(t) => match t.wait().body {
+                ResponseBody::Failed { error } => panic!("single answered, not refused: {error}"),
+                _ => 1,
+            },
+            RoundTicket::Batch(t) => t.wait().expect("batch answered, not refused").len() as u64,
+        }
+    }
+}
+
+fn fast() -> bool {
+    std::env::var("CNED_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn build(db: &[Vec<u8>]) -> ShardedIndex<u8> {
+    ShardedIndex::try_build(
+        db.to_vec(),
+        ShardConfig {
+            shards: 2,
+            pivots_per_shard: 12,
+            compact_threshold: 64,
+            ..ShardConfig::default()
+        },
+        &Levenshtein,
+    )
+    .expect("internally selected pivots are always valid")
+}
+
+/// A running server plus a pool of client worker threads holding
+/// `conns` persistent connections; [`Fleet::round`] drives one
+/// submit-all/collect-all iteration across every connection.
+struct Fleet {
+    server: Option<Server<u8, ShardedIndex<u8>>>,
+    go: Vec<mpsc::Sender<()>>,
+    done: mpsc::Receiver<u64>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    queries_per_round: u64,
+}
+
+impl Fleet {
+    fn new(db: &[Vec<u8>], queries: &[Vec<u8>], conns: usize, depth: usize, batch: usize) -> Fleet {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            build(db),
+            Arc::new(Levenshtein),
+            // Deep admission queue: the sweep intentionally floods
+            // (1000 conns x depth x batch in flight at once), and a
+            // refusal would be measured as a lost query.
+            ServerConfig::new().session(SessionConfig::new().queue_depth(1 << 20)),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+
+        // A few worker threads each own a slice of the connections —
+        // 1000 connections do not need 1000 submitter threads.
+        let worker_count = conns.min(8);
+        let (done_tx, done) = mpsc::channel::<u64>();
+        let mut go = Vec::with_capacity(worker_count);
+        let mut workers = Vec::with_capacity(worker_count);
+        for w in 0..worker_count {
+            let mine = conns / worker_count + usize::from(w < conns % worker_count);
+            let (go_tx, go_rx) = mpsc::channel::<()>();
+            go.push(go_tx);
+            let done_tx = done_tx.clone();
+            let queries = queries.to_vec();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bench-client-{w}"))
+                    .spawn(move || {
+                        let mut clients: Vec<Client<u8>> = (0..mine)
+                            .map(|_| {
+                                // Simultaneous connects can overflow
+                                // the listener backlog; retry.
+                                let mut delay = Duration::from_millis(1);
+                                loop {
+                                    match Client::connect(addr) {
+                                        Ok(c) => break c,
+                                        Err(_) => {
+                                            std::thread::sleep(delay);
+                                            delay = (delay * 2).min(Duration::from_millis(50));
+                                        }
+                                    }
+                                }
+                            })
+                            .collect();
+                        let frames: Vec<Vec<Request<u8>>> = (0..depth)
+                            .map(|d| {
+                                (0..batch)
+                                    .map(|b| Request::Nn {
+                                        query: queries[(w + d * batch + b) % queries.len()].clone(),
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        while go_rx.recv().is_ok() {
+                            let mut answered = 0u64;
+                            let mut tickets = Vec::with_capacity(mine * depth);
+                            for client in clients.iter_mut() {
+                                for frame in &frames {
+                                    if batch == 1 {
+                                        tickets.push(RoundTicket::One(
+                                            client
+                                                .submit(frame[0].clone())
+                                                .expect("submit single frame"),
+                                        ));
+                                    } else {
+                                        tickets.push(RoundTicket::Batch(
+                                            client.submit_batch(frame).expect("submit batch frame"),
+                                        ));
+                                    }
+                                }
+                                client.flush().expect("flush the round's frames");
+                            }
+                            for ticket in tickets {
+                                answered += ticket.wait_answered();
+                            }
+                            if done_tx.send(answered).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawning a bench client worker"),
+            );
+        }
+        Fleet {
+            server: Some(server),
+            go,
+            done,
+            workers,
+            queries_per_round: (conns * depth * batch) as u64,
+        }
+    }
+
+    /// One full iteration: every connection submits its frames, every
+    /// answer is collected.
+    fn round(&self) {
+        for tx in &self.go {
+            tx.send(()).expect("worker alive");
+        }
+        let mut answered = 0u64;
+        for _ in 0..self.go.len() {
+            answered += self.done.recv().expect("worker round completes");
+        }
+        assert_eq!(answered, self.queries_per_round, "no query lost or refused");
+    }
+
+    fn shutdown(mut self) {
+        self.go.clear(); // workers' go channels disconnect -> exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+fn sweep(
+    c: &mut Criterion,
+    group_name: &str,
+    db: &[Vec<u8>],
+    queries: &[Vec<u8>],
+    combos: &[(usize, usize, usize)],
+) {
+    let mut results: Vec<(String, f64)> = Vec::new();
+    {
+        let mut group = c.benchmark_group(group_name);
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for &(conns, depth, batch) in combos {
+            let fleet = Fleet::new(db, queries, conns, depth, batch);
+            let id = format!("c{conns}_d{depth}_b{batch}");
+            group.bench_with_input(BenchmarkId::new("round", &id), &(), |b, ()| {
+                b.iter(|| fleet.round())
+            });
+            // Instrumented replay for the human-readable q/s figure.
+            let t = Instant::now();
+            fleet.round();
+            let qps = fleet.queries_per_round as f64 / t.elapsed().as_secs_f64();
+            results.push((id, qps));
+            fleet.shutdown();
+        }
+        group.finish();
+    }
+    for (id, qps) in results {
+        eprintln!(
+            "[server_throughput] {group_name}/{id}: {qps:.0} queries/s (1-core serial floor)"
+        );
+    }
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let (db_size, n_queries) = if fast() { (200, 16) } else { (600, 32) };
+    let db = spanish_dictionary(db_size, 11);
+    let queries = gen_queries(&db, n_queries, 2, ASCII_LOWER, 17);
+
+    if fast() {
+        // CI smoke: prove the machinery end-to-end, skip the flood.
+        sweep(c, "connections", &db, &queries, &[(1, 2, 4), (16, 2, 4)]);
+        sweep(c, "batch_size", &db, &queries, &[(16, 2, 1), (16, 2, 8)]);
+        return;
+    }
+
+    // Connection sweep at fixed per-connection work: the headline axis
+    // (thread count stays fixed while connections grow 1000x).
+    sweep(
+        c,
+        "connections",
+        &db,
+        &queries,
+        &[(1, 2, 8), (64, 2, 8), (256, 2, 8), (1000, 2, 8)],
+    );
+    // Batch-size sweep: wire-level batching vs N pipelined singles.
+    sweep(
+        c,
+        "batch_size",
+        &db,
+        &queries,
+        &[(64, 4, 1), (64, 4, 4), (64, 4, 16)],
+    );
+    // Pipeline-depth sweep: frames in flight per connection.
+    sweep(
+        c,
+        "pipeline_depth",
+        &db,
+        &queries,
+        &[(64, 1, 4), (64, 4, 4), (64, 16, 4)],
+    );
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

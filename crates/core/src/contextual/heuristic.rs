@@ -298,7 +298,7 @@ impl<'q, S: Symbol> PreparedHeuristic<'q, S> {
     }
 
     /// [`PreparedQuery::distance_to_batch_bounded`] with an explicit
-    /// backend: the same gate sequence as [`gated_heuristic`], applied
+    /// backend: the same gate sequence as `gated_heuristic`, applied
     /// per lane (with the `d_E` gate itself batched through the lane
     /// Myers kernel), so the `Some`/`None` pattern and every returned
     /// value are bit-identical to the serial path.

@@ -15,11 +15,14 @@
 //! * `network=true`: the index is served over TCP on an ephemeral
 //!   loopback port through [`Server`], and a pipelined [`Client`]
 //!   submits the same queue over the wire, collecting tickets out of
-//!   submission order.
+//!   submission order. With `batch=<n>` (n > 1) the client packs
+//!   consecutive runs of n requests into single batch frames
+//!   (positional correlation inside each frame) — the
+//!   highest-throughput wire shape.
 //!
 //! Args (key=value): `db=2000 queries=200 shards=4 pivots=16 k=5
-//! radius=2 threads=0 workload=both network=false` (`threads=0`
-//! keeps the `CNED_THREADS`/auto default; `workload` ∈
+//! radius=2 threads=0 workload=both network=false batch=1`
+//! (`threads=0` keeps the `CNED_THREADS`/auto default; `workload` ∈
 //! dictionary|digits|both). Setting `CNED_BENCH_FAST=1` shrinks the
 //! default workload for smoke runs.
 
@@ -42,6 +45,7 @@ struct Params {
     k: usize,
     radius: f64,
     network: bool,
+    batch: usize,
 }
 
 fn build_index(db: &[Vec<u8>], p: &Params) -> ShardedIndex<u8> {
@@ -207,22 +211,57 @@ fn run_network(db: &[Vec<u8>], requests: &[Request<u8>], p: &Params) {
     println!("network: serving on {addr}");
     let mut client: Client<u8> = Client::connect(addr).expect("loopback connect");
     let t = Instant::now();
-    // Pipelined submission: every request is in flight before the
-    // first response is collected.
-    let tickets: Vec<(Ticket, &Request<u8>)> = requests
-        .iter()
-        .map(|r| (client.submit(r.clone()).expect("submit over the wire"), r))
-        .collect();
-    let mut tagged: Vec<(RequestId, &Request<u8>)> = Vec::with_capacity(tickets.len());
-    let mut responses: Vec<Response> = Vec::with_capacity(tickets.len());
-    // Collect in reverse submission order: correlation is by id, so
-    // the oracle must not care.
-    for (ticket, request) in tickets.into_iter().rev() {
-        tagged.push((ticket.id(), request));
-        responses.push(ticket.wait());
-    }
+    let (mut tagged, responses): (Vec<(RequestId, &Request<u8>)>, Vec<Response>) = if p.batch > 1 {
+        // Batched wire path: consecutive runs of `batch` requests per
+        // frame, one all-or-nothing admission each; correlation inside
+        // a frame is positional, so ids are synthesised from queue
+        // position to drive the same id-keyed oracle.
+        let batch_tickets: Vec<_> = requests
+            .chunks(p.batch)
+            .map(|chunk| {
+                (
+                    client.submit_batch(chunk).expect("submit batch frame"),
+                    chunk,
+                )
+            })
+            .collect();
+        client.flush().expect("flush batched frames");
+        let mut tagged = Vec::with_capacity(requests.len());
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut position = 0u64;
+        for (ticket, chunk) in batch_tickets {
+            let bodies = ticket.wait().expect("batch answered, not refused");
+            assert_eq!(bodies.len(), chunk.len(), "one body per batched request");
+            for (request, body) in chunk.iter().zip(bodies) {
+                tagged.push((RequestId(position), request));
+                responses.push(Response {
+                    id: RequestId(position),
+                    body,
+                });
+                position += 1;
+            }
+        }
+        (tagged, responses)
+    } else {
+        // Pipelined submission: every request is in flight (one flush,
+        // one syscall) before the first response is collected.
+        let tickets: Vec<(Ticket, &Request<u8>)> = requests
+            .iter()
+            .map(|r| (client.submit(r.clone()).expect("submit over the wire"), r))
+            .collect();
+        client.flush().expect("flush pipelined frames");
+        let mut tagged = Vec::with_capacity(tickets.len());
+        let mut responses = Vec::with_capacity(tickets.len());
+        // Collect in reverse submission order: correlation is by id,
+        // so the oracle must not care.
+        for (ticket, request) in tickets.into_iter().rev() {
+            tagged.push((ticket.id(), request));
+            responses.push(ticket.wait());
+        }
+        (tagged, responses)
+    };
     let elapsed = t.elapsed();
-    tagged.reverse(); // replay order for the insert barrier
+    tagged.sort_by_key(|(id, _)| *id); // replay order for the insert barrier
     report_throughput(&responses, elapsed);
     oracle_check("network", db, &tagged, &responses);
     let index = server.shutdown();
@@ -274,6 +313,7 @@ fn main() {
         k: a.get("k", 5usize),
         radius: a.get("radius", 2.0f64),
         network: a.get("network", false),
+        batch: a.get("batch", 1usize).max(1),
     };
     let threads = a.get("threads", 0usize);
     if threads > 0 {

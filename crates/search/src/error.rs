@@ -63,6 +63,11 @@ pub enum SearchError {
     /// The serving session (or connection) is shutting down and no
     /// longer accepts requests; already-accepted tickets still drain.
     Shutdown,
+    /// A deadline elapsed before the answer arrived: the network
+    /// client's read deadline fired while requests were pending (the
+    /// server may still be computing — the requests themselves were
+    /// not rejected), or a server-side per-request deadline expired.
+    DeadlineExceeded,
 }
 
 impl SearchError {
@@ -80,6 +85,7 @@ impl SearchError {
             SearchError::UnsupportedConfig { .. } => 6,
             SearchError::Overloaded { .. } => 7,
             SearchError::Shutdown => 8,
+            SearchError::DeadlineExceeded => 9,
         }
     }
 }
@@ -114,6 +120,9 @@ impl fmt::Display for SearchError {
                 )
             }
             SearchError::Shutdown => write!(f, "serving session is shutting down"),
+            SearchError::DeadlineExceeded => {
+                write!(f, "deadline elapsed before the response arrived")
+            }
         }
     }
 }
@@ -161,6 +170,7 @@ mod tests {
             (SearchError::UnsupportedConfig { reason: "" }, 6),
             (SearchError::Overloaded { depth: 0 }, 7),
             (SearchError::Shutdown, 8),
+            (SearchError::DeadlineExceeded, 9),
         ];
         let mut seen = std::collections::HashSet::new();
         for (e, expected) in variants {

@@ -1,27 +1,58 @@
 //! [`Client`] — a pipelined TCP client for the [`crate::wire`]
 //! protocol, reusing the session's [`Ticket`] API.
 //!
-//! [`Client::submit`] assigns a request id, writes the frame, and
+//! [`Client::submit`] assigns a request id, buffers the frame, and
 //! returns a [`Ticket`] immediately — submit as many as you like
-//! before collecting anything (pipelining), then `try_recv`/`wait`
-//! each ticket exactly as you would against an in-process
-//! [`crate::ServeSession`]. A background reader thread routes every
-//! incoming response frame to its ticket by id, so out-of-order
-//! collection costs nothing.
+//! before collecting anything (pipelining), then [`Client::flush`]
+//! once and `try_recv`/`wait` each ticket exactly as you would
+//! against an in-process [`crate::ServeSession`]. Buffered submission
+//! is the point: a run of pipelined requests leaves in **one**
+//! syscall instead of one flushed write per frame. A background
+//! reader thread routes every incoming response frame to its ticket
+//! by id, so out-of-order collection costs nothing.
+//!
+//! [`Client::submit_batch`] goes further and packs many requests into
+//! a **single** batch frame (one frame header, one id), which the
+//! server admits in one decision and answers as one parallel chunk —
+//! the highest-throughput path. [`Client::nn_batch`] /
+//! [`Client::knn_batch`] are the typed conveniences over it.
 //!
 //! The blocking conveniences ([`Client::nn`], [`Client::knn`],
-//! [`Client::range`], [`Client::insert`]) are submit-then-wait
-//! wrappers that unpack the response body and surface a server-side
-//! [`SearchError`] (including `Overloaded` backpressure) as
-//! [`ClientError::Search`].
+//! [`Client::range`], [`Client::insert`]) flush for you and unpack
+//! the response body, surfacing a server-side [`SearchError`]
+//! (including `Overloaded` backpressure) as [`ClientError::Search`].
+//!
+//! ## Deadlines
+//!
+//! [`ClientConfig`] carries a **connect timeout** (a dead address
+//! fails fast instead of hanging in the OS default) and a **read
+//! deadline**: with responses outstanding, if the socket goes quiet —
+//! not one byte — for longer than the deadline, the connection is
+//! torn down and every pending ticket resolves to
+//! `Failed { DeadlineExceeded }`. Before this, a crashed server hung
+//! [`Ticket::wait`] forever. The deadline is *quiet time*, not
+//! per-request elapsed time: a server streaming other responses keeps
+//! the connection alive. An idle connection with nothing pending is
+//! never torn down by the client.
+//!
+//! ## Connection-cap rejection
+//!
+//! A server past [`crate::ServerConfig::max_connections`] answers the
+//! connection itself with a `Failed { Overloaded }` frame tagged
+//! [`wire::CONTROL_ID`] and closes. The reader treats that id as
+//! connection-fatal: every pending ticket resolves to the carried
+//! error, and later submissions fail — a typed signal, not a mystery
+//! disconnect.
 
 use crate::session::{Request, RequestId, Response, ResponseBody, Ticket};
-use crate::wire::{self, WireError, WireSymbol};
+use crate::wire::{self, WireError, WireResponse, WireSymbol};
 use cned_search::{Neighbour, SearchError, SearchStats};
 use std::collections::HashMap;
+use std::io::{BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Everything a client call can fail with.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +62,8 @@ pub enum ClientError {
     Wire(WireError),
     /// The server answered with a typed error ([`ResponseBody::Failed`]),
     /// e.g. backpressure ([`SearchError::Overloaded`]) or an invalid
-    /// radius.
+    /// radius — or the client's read deadline fired
+    /// ([`SearchError::DeadlineExceeded`]).
     Search(SearchError),
     /// The server answered with a body of the wrong kind for the
     /// request (protocol confusion; treat the connection as broken).
@@ -58,87 +90,303 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// In-flight response routes: client request id → ticket channel.
-type PendingMap = Arc<Mutex<HashMap<u64, mpsc::Sender<Response>>>>;
+/// Knobs of a [`Client`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Fail [`Client::connect_with`] if the TCP handshake takes
+    /// longer than this.
+    pub connect_timeout: Duration,
+    /// With responses outstanding, tear the connection down after
+    /// this much *quiet time* (no bytes from the server); pending
+    /// tickets resolve to `Failed { DeadlineExceeded }`.
+    pub read_deadline: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Default knobs (5 s connect timeout, 30 s read deadline).
+    pub fn new() -> ClientConfig {
+        ClientConfig::default()
+    }
+
+    /// Set the connect timeout.
+    pub fn connect_timeout(mut self, timeout: Duration) -> ClientConfig {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Set the read deadline.
+    pub fn read_deadline(mut self, deadline: Duration) -> ClientConfig {
+        self.read_deadline = deadline;
+        self
+    }
+}
+
+/// Where a routed response goes: a single ticket or a batch ticket.
+enum PendingTx {
+    One(mpsc::Sender<Response>),
+    Batch(mpsc::Sender<Result<Vec<ResponseBody>, SearchError>>),
+}
+
+impl PendingTx {
+    /// Resolve with `error` (used when the connection dies with the
+    /// entry still pending).
+    fn fail(self, id: u64, error: SearchError) {
+        match self {
+            PendingTx::One(tx) => {
+                let _ = tx.send(Response {
+                    id: RequestId(id),
+                    body: ResponseBody::Failed { error },
+                });
+            }
+            PendingTx::Batch(tx) => {
+                let _ = tx.send(Err(error));
+            }
+        }
+    }
+}
+
+/// Reader/submitter shared state.
+struct Shared {
+    /// Client request id → where its answer goes.
+    pending: Mutex<HashMap<u64, PendingTx>>,
+    /// `Some(error)` once the connection is unusable; set by the
+    /// reader before it drains `pending`, checked by submit paths so
+    /// a dead connection can never leave a ticket unanswerable.
+    fatal: Mutex<Option<SearchError>>,
+}
+
+impl Shared {
+    /// Record the fatal error (first one wins) and fail everything
+    /// pending with it.
+    fn fail_all(&self, error: SearchError) {
+        {
+            let mut fatal = self.fatal.lock().expect("fatal flag never poisoned");
+            fatal.get_or_insert(error.clone());
+        }
+        let mut map = self.pending.lock().expect("pending map never poisoned");
+        for (id, tx) in map.drain() {
+            tx.fail(id, error.clone());
+        }
+    }
+}
+
+/// A claim on the eventual answer to one [`Client::submit_batch`]
+/// call: either every response body of the batch, **in request
+/// order**, or one error covering the whole batch (all-or-nothing
+/// admission, a lost connection, or the read deadline).
+#[derive(Debug)]
+pub struct BatchTicket {
+    id: RequestId,
+    rx: mpsc::Receiver<Result<Vec<ResponseBody>, SearchError>>,
+}
+
+impl BatchTicket {
+    /// The batch frame's id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The batch's bodies, if the response frame has arrived.
+    pub fn try_recv(&self) -> Option<Result<Vec<ResponseBody>, SearchError>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until the batch resolves. A lost connection surfaces as
+    /// `Err(Shutdown)`.
+    pub fn wait(self) -> Result<Vec<ResponseBody>, SearchError> {
+        self.rx.recv().unwrap_or(Err(SearchError::Shutdown))
+    }
+}
 
 /// A connection to a [`crate::Server`]; see the module docs.
 pub struct Client<S: WireSymbol + 'static> {
-    stream: TcpStream,
-    pending: PendingMap,
-    /// Set by the reader thread just before it drains `pending` and
-    /// exits; guards against a submit racing that drain and blocking
-    /// on a ticket nothing will ever answer.
-    closed: Arc<std::sync::atomic::AtomicBool>,
+    writer: BufWriter<TcpStream>,
+    shared: Arc<Shared>,
     next_id: u64,
     reader: Option<JoinHandle<()>>,
     _symbols: std::marker::PhantomData<fn() -> S>,
 }
 
 impl<S: WireSymbol + 'static> Client<S> {
-    /// Connect to a server.
+    /// Connect to a server with default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client<S>> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`Client::connect`] with explicit knobs.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> std::io::Result<Client<S>> {
+        // `TcpStream::connect_timeout` wants a resolved address; try
+        // each candidate like `TcpStream::connect` does.
+        let mut last_err = None;
+        let mut stream = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "address resolved to nothing",
+                    )
+                }))
+            }
+        };
         let _ = stream.set_nodelay(true);
-        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
-        let closed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(HashMap::new()),
+            fatal: Mutex::new(None),
+        });
         let reader = {
             let stream = stream.try_clone()?;
-            let pending = Arc::clone(&pending);
-            let closed = Arc::clone(&closed);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("cned-serve-client-reader".into())
-                .spawn(move || read_responses(stream, &pending, &closed))
+                .spawn(move || read_responses(stream, &shared, config.read_deadline))
                 .expect("spawning the client reader thread")
         };
         Ok(Client {
-            stream,
-            pending,
-            closed,
+            writer: BufWriter::new(stream),
+            shared,
             next_id: 0,
             reader: Some(reader),
             _symbols: std::marker::PhantomData,
         })
     }
 
-    /// Send a request without waiting, returning the [`Ticket`] for
-    /// its response — the pipelined entry point. Ids are assigned
-    /// sequentially per connection.
-    pub fn submit(&mut self, request: Request<S>) -> Result<Ticket, WireError> {
+    /// The connection-fatal error, if any, as a [`WireError`].
+    fn check_fatal(&self) -> Result<(), WireError> {
+        let fatal = self.shared.fatal.lock().expect("fatal flag never poisoned");
+        match &*fatal {
+            Some(error) => Err(WireError::Io(format!("connection closed: {error}"))),
+            None => Ok(()),
+        }
+    }
+
+    fn fresh_id(&mut self) -> RequestId {
         let id = RequestId(self.next_id);
-        self.next_id += 1;
-        let (tx, rx) = mpsc::channel();
-        self.pending
+        // Skip the reserved control id (unreachable in practice — it
+        // would take 2^64 - 1 submissions — but cheap to guarantee).
+        self.next_id = if self.next_id + 1 == wire::CONTROL_ID {
+            0
+        } else {
+            self.next_id + 1
+        };
+        id
+    }
+
+    /// Register `tx` under `id`, write `payload` **unflushed**, and
+    /// verify the connection outlived the write.
+    fn send_registered(
+        &mut self,
+        id: RequestId,
+        tx: PendingTx,
+        payload: &[u8],
+    ) -> Result<(), WireError> {
+        self.shared
+            .pending
             .lock()
             .expect("pending map never poisoned")
             .insert(id.0, tx);
-        let remove_pending = |this: &Client<S>| {
-            this.pending
+        let remove = |this: &Client<S>| {
+            this.shared
+                .pending
                 .lock()
                 .expect("pending map never poisoned")
                 .remove(&id.0);
         };
-        let mut payload = Vec::new();
-        wire::encode_request(id, &request, &mut payload);
-        if let Err(e) = wire::write_frame(&mut self.stream, &payload) {
-            remove_pending(self);
+        if let Err(e) = wire::write_frame_unflushed(&mut self.writer, payload) {
+            remove(self);
             return Err(e);
         }
-        // Checked *after* inserting: the reader sets the flag before
-        // draining, so either the drain saw this entry (and answered
-        // it Shutdown) or this check sees the flag — a dead connection
-        // can never leave the ticket unanswerable.
-        if self.closed.load(std::sync::atomic::Ordering::Acquire) {
-            remove_pending(self);
-            return Err(WireError::Io("connection closed by the server".into()));
+        // Checked *after* inserting: the reader records the fatal
+        // error before draining, so either the drain saw this entry
+        // (and failed it) or this check sees the error — a dead
+        // connection can never leave the ticket unanswerable.
+        if let Err(e) = self.check_fatal() {
+            remove(self);
+            return Err(e);
         }
+        Ok(())
+    }
+
+    /// Buffer a request without waiting, returning the [`Ticket`] for
+    /// its response — the pipelined entry point. Ids are assigned
+    /// sequentially per connection. The frame sits in the write
+    /// buffer until [`Client::flush`] (which the blocking
+    /// conveniences call for you): submit a run of requests, flush
+    /// once, and the whole run leaves in one syscall.
+    pub fn submit(&mut self, request: Request<S>) -> Result<Ticket, WireError> {
+        let id = self.fresh_id();
+        let (tx, rx) = mpsc::channel();
+        let mut payload = Vec::new();
+        wire::encode_request(id, &request, &mut payload);
+        self.send_registered(id, PendingTx::One(tx), &payload)?;
         Ok(Ticket::new(id, rx))
     }
 
-    /// Submit-and-wait, returning the raw body. A lost connection
-    /// surfaces as `Failed { Shutdown }` (the ticket fallback), which
-    /// the typed conveniences map to [`ClientError::Search`].
+    /// Pack `requests` into **one** batch frame (buffered, like
+    /// [`Client::submit`]), returning a [`BatchTicket`] that resolves
+    /// to every body in request order. The server admits the batch in
+    /// one all-or-nothing decision and answers it as one parallel
+    /// chunk.
+    pub fn submit_batch(&mut self, requests: &[Request<S>]) -> Result<BatchTicket, WireError> {
+        let id = self.fresh_id();
+        let (tx, rx) = mpsc::channel();
+        let mut payload = Vec::new();
+        wire::encode_batch_request(id, requests, &mut payload);
+        self.send_registered(id, PendingTx::Batch(tx), &payload)?;
+        Ok(BatchTicket { id, rx })
+    }
+
+    /// Push every buffered frame into the socket — call after a run
+    /// of [`Client::submit`]/[`Client::submit_batch`] before
+    /// collecting tickets. (Forgetting it is not a hang: the read
+    /// deadline still resolves the tickets, with
+    /// `Failed { DeadlineExceeded }`.)
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.writer.flush()?;
+        self.check_fatal()
+    }
+
+    /// Submit-flush-and-wait, returning the raw body. A lost
+    /// connection surfaces as `Failed { Shutdown }` (the ticket
+    /// fallback), which the typed conveniences map to
+    /// [`ClientError::Search`].
     pub fn call(&mut self, request: Request<S>) -> Result<ResponseBody, ClientError> {
-        Ok(self.submit(request)?.wait().body)
+        let ticket = self.submit(request)?;
+        self.flush()?;
+        Ok(ticket.wait().body)
+    }
+
+    /// Submit-flush-and-wait for a whole batch: one frame out, one
+    /// frame back, bodies in request order.
+    pub fn call_batch(
+        &mut self,
+        requests: &[Request<S>],
+    ) -> Result<Vec<ResponseBody>, ClientError> {
+        let ticket = self.submit_batch(requests)?;
+        self.flush()?;
+        ticket.wait().map_err(ClientError::Search)
     }
 
     /// Nearest neighbour of `query` on the server's index.
@@ -150,6 +398,30 @@ impl<S: WireSymbol + 'static> Client<S> {
             ResponseBody::Failed { error } => Err(ClientError::Search(error)),
             _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+
+    /// Nearest neighbour of every query in **one** wire frame;
+    /// answers in query order. The first per-query failure fails the
+    /// call (NN queries share their failure modes, so partial results
+    /// would only hide it).
+    pub fn nn_batch(
+        &mut self,
+        queries: &[Vec<S>],
+    ) -> Result<Vec<(Option<Neighbour>, SearchStats)>, ClientError> {
+        let requests: Vec<Request<S>> = queries
+            .iter()
+            .map(|query| Request::Nn {
+                query: query.clone(),
+            })
+            .collect();
+        self.call_batch(&requests)?
+            .into_iter()
+            .map(|body| match body {
+                ResponseBody::Nn { neighbour, stats } => Ok((neighbour, stats)),
+                ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+                _ => Err(ClientError::UnexpectedResponse),
+            })
+            .collect()
     }
 
     /// The `k` nearest neighbours of `query`.
@@ -166,6 +438,30 @@ impl<S: WireSymbol + 'static> Client<S> {
             ResponseBody::Failed { error } => Err(ClientError::Search(error)),
             _ => Err(ClientError::UnexpectedResponse),
         }
+    }
+
+    /// The `k` nearest neighbours of every query in **one** wire
+    /// frame; answers in query order.
+    pub fn knn_batch(
+        &mut self,
+        queries: &[Vec<S>],
+        k: usize,
+    ) -> Result<Vec<(Vec<Neighbour>, SearchStats)>, ClientError> {
+        let requests: Vec<Request<S>> = queries
+            .iter()
+            .map(|query| Request::Knn {
+                query: query.clone(),
+                k,
+            })
+            .collect();
+        self.call_batch(&requests)?
+            .into_iter()
+            .map(|body| match body {
+                ResponseBody::Knn { neighbours, stats } => Ok((neighbours, stats)),
+                ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+                _ => Err(ClientError::UnexpectedResponse),
+            })
+            .collect()
     }
 
     /// Everything within `radius` of `query` (inclusive).
@@ -204,48 +500,126 @@ impl<S: WireSymbol + 'static> Client<S> {
 
 impl<S: WireSymbol + 'static> Drop for Client<S> {
     fn drop(&mut self) {
-        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let _ = self.writer.get_ref().shutdown(std::net::Shutdown::Both);
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
         }
     }
 }
 
-/// Route incoming response frames to their tickets by id; on
-/// disconnect, mark the connection closed and fail whatever is still
-/// pending so no ticket blocks forever.
-fn read_responses(
-    mut stream: TcpStream,
-    pending: &PendingMap,
-    closed: &std::sync::atomic::AtomicBool,
-) {
-    let mut buf = Vec::new();
-    while let Ok(Some(())) = wire::read_frame(&mut stream, &mut buf) {
-        match wire::decode_response(&buf) {
-            Ok(response) => {
-                let tx = pending
-                    .lock()
-                    .expect("pending map never poisoned")
-                    .remove(&response.id.0);
-                if let Some(tx) = tx {
+/// Route one decoded frame to its ticket. `Err(error)` means the
+/// connection can no longer be trusted (the caller tears it down and
+/// fails everything pending with the error).
+fn route_frame(shared: &Shared, frame: WireResponse) -> Result<(), SearchError> {
+    match frame {
+        WireResponse::One(response) => {
+            // A control-id response answers the *connection*, not a
+            // request: the server rejected us (connection cap) or
+            // could not ship a response — fatal either way.
+            if response.id.0 == wire::CONTROL_ID {
+                return Err(match response.body {
+                    ResponseBody::Failed { error } => error,
+                    _ => SearchError::Shutdown,
+                });
+            }
+            let tx = shared
+                .pending
+                .lock()
+                .expect("pending map never poisoned")
+                .remove(&response.id.0);
+            match tx {
+                Some(PendingTx::One(tx)) => {
                     let _ = tx.send(response);
                 }
-                // A response for an unknown id is dropped: the ticket
-                // was discarded client-side.
+                // A plain frame answering a batch id is the server's
+                // whole-batch failure (all-or-nothing admission).
+                Some(PendingTx::Batch(tx)) => match response.body {
+                    ResponseBody::Failed { error } => {
+                        let _ = tx.send(Err(error));
+                    }
+                    _ => return Err(SearchError::Shutdown), // confusion
+                },
+                // Unknown id: the ticket was discarded client-side.
+                None => {}
             }
-            Err(_) => break, // protocol confusion: stop trusting the stream
+        }
+        WireResponse::Batch(id, bodies) => {
+            let tx = shared
+                .pending
+                .lock()
+                .expect("pending map never poisoned")
+                .remove(&id.0);
+            match tx {
+                Some(PendingTx::Batch(tx)) => {
+                    let _ = tx.send(Ok(bodies));
+                }
+                Some(PendingTx::One(_)) => return Err(SearchError::Shutdown), // confusion
+                None => {}
+            }
         }
     }
-    // Fail fast for everything still in flight. The flag goes up
-    // first: a submit that misses this drain will see it.
-    closed.store(true, std::sync::atomic::Ordering::Release);
-    let mut map = pending.lock().expect("pending map never poisoned");
-    for (id, tx) in map.drain() {
-        let _ = tx.send(Response {
-            id: RequestId(id),
-            body: ResponseBody::Failed {
-                error: SearchError::Shutdown,
-            },
-        });
-    }
+    Ok(())
+}
+
+/// The reader thread: reassemble frames out of timed chunk reads,
+/// route them by id, and enforce the read deadline. On any exit the
+/// fatal error is recorded first, then everything pending fails with
+/// it — no ticket ever blocks forever.
+fn read_responses(mut stream: TcpStream, shared: &Shared, deadline: Duration) {
+    // Short timed reads let the deadline fire between bytes; the
+    // FrameBuffer tolerates frames split at any boundary, which a
+    // blocking `read_frame` mid-frame would not.
+    let tick = Duration::from_millis(50)
+        .min(deadline / 2)
+        .max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(tick));
+    let mut frames = wire::FrameBuffer::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut last_byte = Instant::now();
+    let error = 'conn: loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break SearchError::Shutdown, // EOF
+            Ok(n) => {
+                last_byte = Instant::now();
+                frames.extend(&chunk[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(payload)) => match wire::decode_response_frame(&payload) {
+                            Ok(frame) => {
+                                if let Err(error) = route_frame(shared, frame) {
+                                    break 'conn error;
+                                }
+                            }
+                            // Protocol confusion: stop trusting the
+                            // stream.
+                            Err(_) => break 'conn SearchError::Shutdown,
+                        },
+                        Ok(None) => break,
+                        Err(_) => break 'conn SearchError::Shutdown,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let waiting = !shared
+                    .pending
+                    .lock()
+                    .expect("pending map never poisoned")
+                    .is_empty();
+                if !waiting {
+                    // Idle connections have no deadline; quiet time
+                    // only counts while answers are owed.
+                    last_byte = Instant::now();
+                } else if last_byte.elapsed() >= deadline {
+                    break SearchError::DeadlineExceeded;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break SearchError::Shutdown,
+        }
+    };
+    shared.fail_all(error);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }

@@ -19,13 +19,20 @@
 //!   wrapper running a whole request queue through a scoped session;
 //! * [`wire`] — the network protocol: versioned length-prefixed
 //!   binary frames (std-only, no serde/tokio) covering NN / k-NN /
-//!   range / insert plus typed error codes mapping
+//!   range / insert, **batch frames** packing many requests (and
+//!   their answers) under one id, plus typed error codes mapping
 //!   [`cned_search::SearchError`] both ways;
-//! * [`server`] / [`client`] — [`Server`]: a thread-per-connection
-//!   `std::net` front-end sharing one session across all
-//!   connections; [`Client`]: a pipelined client whose submissions
-//!   return the same [`Ticket`] type the in-process session hands
-//!   out.
+//! * [`server`] / [`client`] — [`Server`]: a readiness-based
+//!   **event-loop** `std::net` front-end — a fixed pool of sweep
+//!   threads drives every non-blocking connection (per-connection
+//!   [`wire::FrameBuffer`] reassembly, bounded outbox backpressure,
+//!   an in-band connection-cap rejection frame, idle timeouts,
+//!   draining shutdown) and shares one session across all
+//!   connections; [`Client`]: a pipelined client with buffered
+//!   (explicitly flushed) submission, connect/read deadlines
+//!   ([`ClientConfig`]), and batch calls ([`Client::nn_batch`] /
+//!   [`Client::knn_batch`]) whose submissions return the same
+//!   [`Ticket`] type the in-process session hands out.
 //!
 //! Everything plugs into the unified query API: [`ShardedIndex`]
 //! implements [`cned_search::MetricIndex`] (NN / k-NN / **range** /
@@ -78,11 +85,11 @@ pub mod session;
 pub mod sharded;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{BatchTicket, Client, ClientConfig, ClientError};
 pub use pipeline::QueryPipeline;
 pub use server::{Server, ServerConfig};
 pub use session::{
     Request, RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket,
 };
 pub use sharded::{ShardConfig, ShardedIndex, ShardedStats};
-pub use wire::{WireError, WireSymbol, MAX_FRAME, WIRE_VERSION};
+pub use wire::{WireError, WireSymbol, BATCH_VERSION, CONTROL_ID, MAX_FRAME, WIRE_VERSION};

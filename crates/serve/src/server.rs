@@ -1,62 +1,155 @@
-//! [`Server`] — a thread-per-connection TCP front-end over one shared
-//! [`ServeSession`].
+//! [`Server`] — a readiness-based event-loop TCP front-end over one
+//! shared [`ServeSession`].
 //!
-//! Every connection speaks the [`crate::wire`] protocol: frames in,
-//! frames out, correlated by the client-assigned request id. All
+//! The PR 5 server spent **two OS threads per connection** (reader +
+//! writer), which caps concurrent connections far below the serving
+//! goal. This server runs a **fixed pool** of event-loop threads
+//! ([`ServerConfig::event_loop_threads`], plus one accept thread and
+//! the session's scheduler), each driving many non-blocking
+//! `std::net` sockets with a hand-rolled readiness sweep: every tick
+//! it reads whatever bytes each socket has (partial frames pend in a
+//! per-connection [`FrameBuffer`]), polls in-flight tickets, and
+//! pushes completed responses through a per-connection outbox with
+//! **one buffered write per sweep** — pipelined responses coalesce
+//! into a single `write(2)` instead of one flushed syscall per frame.
+//! There is no tokio/epoll in the offline build environment; a
+//! non-blocking `read` *is* the readiness probe, and the loop sleeps
+//! briefly only when a whole sweep moved no bytes.
+//!
+//! Every connection speaks the [`crate::wire`] protocol. All
 //! connections submit into a **single** session, so the whole server
 //! shares one admission queue (one backpressure knob) and one
 //! scheduler with insert-barrier semantics across clients — an insert
 //! from any connection is observed by every later query, exactly like
 //! interleaved calls against the in-process index.
 //!
-//! ## Per-connection pipelining
+//! ## Batching
 //!
-//! Each connection runs a **reader** (this connection's thread) and a
-//! **writer** thread. The reader decodes frames and submits them
-//! without waiting — a client may have any number of requests in
-//! flight — forwarding each [`crate::Ticket`] (or an immediate
-//! failure such as [`cned_search::SearchError::Overloaded`]) to the
-//! writer, which resolves them in submission order and streams the
-//! responses back tagged with the client's ids. Admission failures
-//! are *responses*, not disconnects: an overloaded server answers
-//! `Failed { Overloaded }` and keeps the connection alive.
+//! A [`crate::wire::kind::REQ_BATCH`] frame carries many requests
+//! under one id; the server coalesces it into **one**
+//! [`ServeSession::submit_batch`] call (one lock acquisition,
+//! all-or-nothing admission), so the scheduler answers the whole
+//! batch as one parallel query chunk, and the answer travels back as
+//! one [`crate::wire::kind::RESP_BATCH`] frame. This is the shape the
+//! compute layer is fastest at — lane-parallel distance kernels and
+//! LAESA elimination amortise across a batch — and the wire layer now
+//! hands it batches end to end.
+//!
+//! ## Backpressure, caps, deadlines
+//!
+//! * **Admission** is bounded by the shared session
+//!   ([`SessionConfig::queue_depth`]): an overloaded server answers
+//!   `Failed { Overloaded }` *as a response* and keeps the connection
+//!   alive — unchanged from PR 5.
+//! * **Per-connection outbox** is bounded
+//!   ([`ServerConfig::outbox_depth`]): past that many unanswered
+//!   frames, the event loop stops reading from the socket, so TCP
+//!   flow control pushes back on a client that submits faster than it
+//!   collects.
+//! * **Connection cap** ([`ServerConfig::max_connections`]): a
+//!   connection past the cap is answered **in-band** with a typed
+//!   `Failed { Overloaded }` frame tagged [`wire::CONTROL_ID`], then
+//!   closed — clients surface it as a typed error, not a mystery
+//!   disconnect.
+//! * **Idle timeout** ([`ServerConfig::idle_timeout`]): a connection
+//!   with nothing in flight and no traffic for this long is closed,
+//!   so abandoned sockets cannot pin the server's connection budget.
 //!
 //! A *protocol* error (garbage frame, wrong version, oversized
-//! length) is different: the stream can no longer be trusted, so the
-//! connection is closed after draining the accepted tickets.
+//! length) still closes the connection after draining the accepted
+//! tickets: the stream can no longer be trusted.
 //!
 //! ## Shutdown
 //!
-//! [`Server::shutdown`] stops accepting, nudges every open connection
-//! (their read loops poll a stop flag), waits for the connection
-//! threads, then gracefully drains the session — every accepted
-//! request is answered before the index is handed back.
+//! [`Server::shutdown`] stops accepting, tells every event loop to
+//! stop reading, **drains** every accepted request (tickets resolve,
+//! responses are written out), joins the pool, then gracefully drains
+//! the session — every accepted request is answered before the index
+//! is handed back. Bytes a client had written but the server had not
+//! yet read are not "accepted" — exactly the PR 5 boundary.
 
 use crate::session::{RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket};
-use crate::wire::{self, FrameBuffer, WireSymbol};
+use crate::wire::{self, FrameBuffer, WireRequest, WireSymbol};
 use cned_core::metric::Distance;
-use cned_search::MetricIndex;
-use std::io::Read;
+use cned_search::{MetricIndex, SearchError};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Knobs of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Session knobs (admission depth) of the shared serving session.
     pub session: SessionConfig,
+    /// Size of the fixed event-loop pool driving all connections
+    /// (clamped to at least 1). The server's total thread count is
+    /// `event_loop_threads + 1` (accept) `+ 1` (session scheduler) —
+    /// independent of the number of connections.
+    pub event_loop_threads: usize,
+    /// Connection cap: an accepted connection past this limit is
+    /// answered with an in-band `Failed { Overloaded }` control frame
+    /// ([`wire::CONTROL_ID`]) and closed.
+    pub max_connections: usize,
+    /// Close a connection with no in-flight work and no traffic for
+    /// this long.
+    pub idle_timeout: Duration,
+    /// Per-connection backpressure: with this many frames submitted
+    /// but not yet answered-and-queued-for-write, the event loop
+    /// stops reading from the socket until the peer collects.
+    pub outbox_depth: usize,
 }
 
-/// What the connection reader hands its writer, in submission order.
-enum Outcome {
-    /// An accepted request: resolve the ticket, answer with its
-    /// response body under the client's id.
-    Ticket(RequestId, Ticket),
-    /// An immediately-known answer (admission failure).
-    Ready(Response),
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            session: SessionConfig::default(),
+            event_loop_threads: 2,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(60),
+            outbox_depth: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Default knobs.
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Set the shared session's knobs.
+    pub fn session(mut self, session: SessionConfig) -> ServerConfig {
+        self.session = session;
+        self
+    }
+
+    /// Set the event-loop pool size.
+    pub fn event_loop_threads(mut self, threads: usize) -> ServerConfig {
+        self.event_loop_threads = threads;
+        self
+    }
+
+    /// Set the connection cap.
+    pub fn max_connections(mut self, cap: usize) -> ServerConfig {
+        self.max_connections = cap;
+        self
+    }
+
+    /// Set the idle timeout.
+    pub fn idle_timeout(mut self, timeout: Duration) -> ServerConfig {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Set the per-connection unanswered-frame bound.
+    pub fn outbox_depth(mut self, depth: usize) -> ServerConfig {
+        self.outbox_depth = depth;
+        self
+    }
 }
 
 /// A running TCP serving front-end; dropping it (or calling
@@ -68,7 +161,7 @@ pub struct Server<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> {
     session: Option<Arc<ServeSession<S, I>>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loop_threads: Vec<JoinHandle<()>>,
 }
 
 impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
@@ -97,49 +190,70 @@ impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
         listener.set_nonblocking(true)?;
         let session = Arc::new(ServeSession::spawn_with(index, dist, config.session));
         let stop = Arc::new(AtomicBool::new(false));
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
+        let conn_count = Arc::new(AtomicUsize::new(0));
+
+        let pool = config.event_loop_threads.max(1);
+        let mut senders: Vec<mpsc::Sender<TcpStream>> = Vec::with_capacity(pool);
+        let mut loop_threads: Vec<JoinHandle<()>> = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
             let session = Arc::clone(&session);
             let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
+            let conn_count = Arc::clone(&conn_count);
+            loop_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cned-serve-loop-{i}"))
+                    .spawn(move || event_loop(rx, &session, &stop, &conn_count, config))
+                    .expect("spawning an event-loop thread"),
+            );
+        }
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let max_connections = config.max_connections.max(1);
             std::thread::Builder::new()
                 .name("cned-serve-accept".into())
                 .spawn(move || {
+                    let mut next = 0usize;
                     while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _peer)) => {
-                                let session = Arc::clone(&session);
-                                let stop = Arc::clone(&stop);
-                                let handle = std::thread::Builder::new()
-                                    .name("cned-serve-conn".into())
-                                    .spawn(move || serve_connection(stream, &session, &stop))
-                                    .expect("spawning a connection thread");
-                                let mut registry = connections
-                                    .lock()
-                                    .expect("connection registry never poisoned");
-                                // Reap finished connections as we go so
-                                // the registry tracks live connections,
-                                // not the server's whole history.
-                                registry.retain(|h| !h.is_finished());
-                                registry.push(handle);
+                                if conn_count.load(Ordering::Acquire) >= max_connections {
+                                    reject_connection(stream, max_connections);
+                                    continue;
+                                }
+                                conn_count.fetch_add(1, Ordering::AcqRel);
+                                let _ = stream.set_nodelay(true);
+                                if stream.set_nonblocking(true).is_err() {
+                                    conn_count.fetch_sub(1, Ordering::AcqRel);
+                                    continue;
+                                }
+                                // Round-robin across the pool; a loop
+                                // only disappears at shutdown.
+                                if senders[next % senders.len()].send(stream).is_err() {
+                                    break;
+                                }
+                                next += 1;
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
+                                std::thread::sleep(Duration::from_millis(2));
                             }
                             // Transient accept errors (aborted
                             // handshakes) should not kill the server.
-                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                            Err(_) => std::thread::sleep(Duration::from_millis(2)),
                         }
                     }
                 })
                 .expect("spawning the accept thread")
         };
+
         Ok(Server {
             addr,
             session: Some(session),
             stop,
             accept_thread: Some(accept_thread),
-            connections,
+            loop_threads,
         })
     }
 
@@ -171,13 +285,7 @@ impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let handles = std::mem::take(
-            &mut *self
-                .connections
-                .lock()
-                .expect("connection registry never poisoned"),
-        );
-        for handle in handles {
+        for handle in self.loop_threads.drain(..) {
             let _ = handle.join();
         }
     }
@@ -185,7 +293,7 @@ impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
 
 impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Drop for Server<S, I> {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.accept_thread.is_some() || !self.loop_threads.is_empty() {
             self.stop_threads();
         }
         // The session Arc drops here; its own Drop drains accepted
@@ -193,118 +301,360 @@ impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Drop for Server<S, I>
     }
 }
 
-/// One connection: interruptible framed reads, pipelined submission,
-/// ordered writes on a dedicated writer thread.
-fn serve_connection<S: WireSymbol, I: MetricIndex<S>>(
-    stream: TcpStream,
-    session: &ServeSession<S, I>,
-    stop: &AtomicBool,
-) {
+/// Answer a connection past the cap with a typed in-band rejection
+/// frame ([`wire::CONTROL_ID`] + `Failed { Overloaded }`), then close.
+/// Bounded blocking write so a wedged peer cannot stall accepting.
+fn reject_connection(stream: TcpStream, cap: usize) {
+    let mut stream = stream;
     let _ = stream.set_nodelay(true);
-    // A finite read timeout turns the blocking read into a poll so the
-    // stop flag is observed; the FrameBuffer keeps partial frames
-    // across timeouts, so no bytes are ever lost to one.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let mut reader = stream.try_clone().expect("cloning a TCP stream handle");
-    let writer_stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut payload = Vec::new();
+    wire::encode_response(
+        &Response {
+            id: RequestId(wire::CONTROL_ID),
+            body: ResponseBody::Failed {
+                error: SearchError::Overloaded { depth: cap },
+            },
+        },
+        &mut payload,
+    );
+    let _ = wire::write_frame(&mut stream, &payload);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
 
-    let (tx, rx) = mpsc::channel::<Outcome>();
-    let writer = std::thread::Builder::new()
-        .name("cned-serve-conn-writer".into())
-        .spawn(move || write_responses(writer_stream, rx))
-        .expect("spawning a connection writer thread");
+/// One submitted frame awaiting its answer slot(s).
+enum SlotState {
+    /// Accepted by the session; the ticket resolves to the body.
+    Waiting(Ticket),
+    /// Resolved (or known immediately, e.g. admission failure).
+    Done(ResponseBody),
+}
 
-    let mut frames = FrameBuffer::new();
-    let mut chunk = [0u8; 8 * 1024];
-    'conn: loop {
-        // Checked every iteration, not only on read timeouts: a
-        // client streaming continuously would otherwise starve the
-        // timeout branch and stall shutdown for as long as it talks.
-        if stop.load(Ordering::Acquire) {
-            break 'conn;
+impl SlotState {
+    /// Poll a waiting ticket; `true` once the body is in hand.
+    fn poll(&mut self) -> bool {
+        if let SlotState::Waiting(ticket) = self {
+            match ticket.try_recv() {
+                Some(response) => *self = SlotState::Done(response.body),
+                None => return false,
+            }
         }
-        match reader.read(&mut chunk) {
-            Ok(0) => break 'conn, // client closed
-            Ok(n) => {
-                frames.extend(&chunk[..n]);
-                loop {
-                    match frames.next_frame() {
-                        Ok(Some(payload)) => {
-                            if !handle_frame(&payload, session, &tx) {
-                                break 'conn;
-                            }
+        true
+    }
+
+    fn into_body(self) -> ResponseBody {
+        match self {
+            SlotState::Done(body) => body,
+            SlotState::Waiting(_) => unreachable!("polled complete before encoding"),
+        }
+    }
+}
+
+/// In-flight work for one connection, in submission order (responses
+/// are written back in this order; correlation stays by id).
+enum Pending {
+    /// A single-request frame.
+    One { id: RequestId, slot: SlotState },
+    /// A batch frame: one RESP_BATCH frame once every slot resolves.
+    Batch {
+        id: RequestId,
+        slots: Vec<SlotState>,
+    },
+}
+
+impl Pending {
+    fn poll(&mut self) -> bool {
+        match self {
+            Pending::One { slot, .. } => slot.poll(),
+            Pending::Batch { slots, .. } => {
+                // Poll every slot (not just the first unresolved one)
+                // so out-of-order completions are banked immediately.
+                let mut all = true;
+                for slot in slots.iter_mut() {
+                    all &= slot.poll();
+                }
+                all
+            }
+        }
+    }
+}
+
+/// One connection owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    inflight: VecDeque<Pending>,
+    /// Encoded-but-unwritten response bytes; `sent` is the prefix
+    /// already pushed into the socket.
+    outbox: Vec<u8>,
+    sent: usize,
+    last_activity: Instant,
+    /// Cleared on peer EOF, protocol error, or server shutdown: stop
+    /// reading, drain what was accepted, then close.
+    reading: bool,
+    /// Unrecoverable (write error) or fully drained: remove.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuffer::new(),
+            inflight: VecDeque::new(),
+            outbox: Vec::new(),
+            sent: 0,
+            last_activity: Instant::now(),
+            reading: true,
+            dead: false,
+        }
+    }
+
+    /// Pop and submit every complete frame in the reassembly buffer,
+    /// up to the backpressure bound; `false` on a protocol error.
+    fn drain_frames<S: WireSymbol, I: MetricIndex<S>>(
+        &mut self,
+        session: &ServeSession<S, I>,
+        config: &ServerConfig,
+    ) -> bool {
+        while self.inflight.len() < config.outbox_depth {
+            match self.frames.next_frame() {
+                Ok(Some(payload)) => match wire::decode_request_frame::<S>(&payload) {
+                    Ok((id, WireRequest::One(request))) => {
+                        let slot = match session.submit(request) {
+                            Ok(ticket) => SlotState::Waiting(ticket),
+                            // Admission failures are *responses*, not
+                            // disconnects — unchanged from PR 5.
+                            Err(error) => SlotState::Done(ResponseBody::Failed { error }),
+                        };
+                        self.inflight.push_back(Pending::One { id, slot });
+                    }
+                    Ok((id, WireRequest::Batch(requests))) => {
+                        match session.submit_batch(requests) {
+                            Ok(tickets) => self.inflight.push_back(Pending::Batch {
+                                id,
+                                slots: tickets.into_iter().map(SlotState::Waiting).collect(),
+                            }),
+                            // All-or-nothing admission: the whole
+                            // batch answers as one Failed frame.
+                            Err(error) => self.inflight.push_back(Pending::One {
+                                id,
+                                slot: SlotState::Done(ResponseBody::Failed { error }),
+                            }),
                         }
-                        Ok(None) => break,
-                        // Untrusted stream: stop reading, drain what
-                        // was accepted, close.
-                        Err(_) => break 'conn,
+                    }
+                    Err(_) => return false,
+                },
+                Ok(None) => return true,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Non-blocking read sweep: pull whatever the socket has, feed
+    /// the frame buffer, submit complete frames. Returns whether any
+    /// bytes moved.
+    fn read_sweep<S: WireSymbol, I: MetricIndex<S>>(
+        &mut self,
+        chunk: &mut [u8],
+        session: &ServeSession<S, I>,
+        config: &ServerConfig,
+    ) -> bool {
+        if !self.reading || self.dead {
+            return false;
+        }
+        let mut moved = false;
+        loop {
+            // Frames may already be buffered from a sweep that hit the
+            // backpressure bound; submit them before reading more.
+            if !self.drain_frames(session, config) {
+                self.reading = false; // untrusted stream
+                break;
+            }
+            if self.inflight.len() >= config.outbox_depth {
+                break; // backpressure: let TCP flow control push back
+            }
+            match self.stream.read(chunk) {
+                Ok(0) => {
+                    self.reading = false; // peer closed its write side
+                    break;
+                }
+                Ok(n) => {
+                    moved = true;
+                    self.last_activity = Instant::now();
+                    self.frames.extend(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.reading = false;
+                    break;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Pop resolved responses off the front of the in-flight queue
+    /// (in submission order) and encode them — unflushed — into the
+    /// outbox. Returns whether anything resolved.
+    fn resolve_sweep(&mut self, payload: &mut Vec<u8>) -> bool {
+        let mut resolved = false;
+        while let Some(front) = self.inflight.front_mut() {
+            if !front.poll() {
+                break;
+            }
+            let front = self.inflight.pop_front().expect("front exists");
+            match front {
+                Pending::One { id, slot } => {
+                    wire::encode_response(
+                        &Response {
+                            id,
+                            body: slot.into_body(),
+                        },
+                        payload,
+                    );
+                }
+                Pending::Batch { id, slots } => {
+                    let bodies: Vec<ResponseBody> =
+                        slots.into_iter().map(SlotState::into_body).collect();
+                    wire::encode_batch_response(id, &bodies, payload);
+                }
+            }
+            if wire::write_frame_unflushed(&mut self.outbox, payload).is_err() {
+                // A response bigger than MAX_FRAME (a range query
+                // matching millions of items): answer a typed failure
+                // instead of shipping an unframeable payload.
+                let huge = Response {
+                    id: RequestId(wire::CONTROL_ID),
+                    body: ResponseBody::Failed {
+                        error: SearchError::UnsupportedConfig {
+                            reason: "response exceeds the wire frame size limit",
+                        },
+                    },
+                };
+                wire::encode_response(&huge, payload);
+                let _ = wire::write_frame_unflushed(&mut self.outbox, payload);
+                self.reading = false;
+            }
+            resolved = true;
+        }
+        resolved
+    }
+
+    /// Push the outbox into the socket — the whole buffer in as few
+    /// `write(2)` calls as the socket accepts (usually one), instead
+    /// of one flush per frame. Returns whether any bytes moved.
+    fn write_sweep(&mut self) -> bool {
+        if self.sent == self.outbox.len() {
+            return false;
+        }
+        let mut moved = false;
+        loop {
+            match self.stream.write(&self.outbox[self.sent..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.sent += n;
+                    moved = true;
+                    self.last_activity = Instant::now();
+                    if self.sent == self.outbox.len() {
+                        self.outbox.clear();
+                        self.sent = 0;
+                        break;
                     }
                 }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::Acquire) {
-                    break 'conn;
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => break 'conn,
+        }
+        moved
+    }
+
+    /// End-of-sweep lifecycle: mark drained/timed-out connections for
+    /// removal.
+    fn reap_check(&mut self, config: &ServerConfig, stopping: bool) {
+        if self.dead {
+            return;
+        }
+        let drained = self.inflight.is_empty() && self.sent == self.outbox.len();
+        if !self.reading {
+            // EOF/protocol error/shutdown: close once everything
+            // accepted has been answered and written.
+            self.dead = drained;
+        } else if !stopping && drained && self.last_activity.elapsed() >= config.idle_timeout {
+            self.dead = true; // idle: nothing owed in either direction
         }
     }
-    // Dropping the sender lets the writer finish the queued outcomes
-    // (accepted tickets are still answered and written when the peer
-    // is alive) and exit.
-    drop(tx);
-    let _ = writer.join();
 }
 
-/// Decode and submit one frame; `false` aborts the connection
-/// (undecodable request).
-fn handle_frame<S: WireSymbol, I: MetricIndex<S>>(
-    payload: &[u8],
+/// One event-loop thread: drives every connection the accept thread
+/// routed to it with read → resolve → write sweeps until shutdown.
+fn event_loop<S: WireSymbol, I: MetricIndex<S>>(
+    rx: mpsc::Receiver<TcpStream>,
     session: &ServeSession<S, I>,
-    tx: &mpsc::Sender<Outcome>,
-) -> bool {
-    let (client_id, request) = match wire::decode_request::<S>(payload) {
-        Ok(decoded) => decoded,
-        Err(_) => return false,
-    };
-    let outcome = match session.submit(request) {
-        Ok(ticket) => Outcome::Ticket(client_id, ticket),
-        Err(error) => Outcome::Ready(Response {
-            id: client_id,
-            body: ResponseBody::Failed { error },
-        }),
-    };
-    // The writer only disappears when the connection is tearing down.
-    tx.send(outcome).is_ok()
-}
+    stop: &AtomicBool,
+    conn_count: &AtomicUsize,
+    config: ServerConfig,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut payload: Vec<u8> = Vec::new();
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+        let mut active = false;
 
-/// Resolve outcomes in submission order and stream them back under
-/// the client's ids.
-fn write_responses(mut stream: TcpStream, rx: mpsc::Receiver<Outcome>) {
-    let mut payload = Vec::new();
-    for outcome in rx {
-        let response = match outcome {
-            Outcome::Ready(response) => response,
-            Outcome::Ticket(client_id, ticket) => {
-                let answered = ticket.wait();
-                // Re-tag with the id the client chose; the session's
-                // internal id is a server-side detail.
-                Response {
-                    id: client_id,
-                    body: answered.body,
-                }
+        // Admit (or, when stopping, refuse) newly routed connections.
+        while let Ok(stream) = rx.try_recv() {
+            if stopping {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                conn_count.fetch_sub(1, Ordering::AcqRel);
+            } else {
+                conns.push(Conn::new(stream));
+                active = true;
             }
-        };
-        wire::encode_response(&response, &mut payload);
-        if wire::write_frame(&mut stream, &payload).is_err() {
-            // Peer gone: keep draining tickets (the session owes them
-            // answers) but stop writing.
-            break;
+        }
+
+        for conn in conns.iter_mut() {
+            if stopping {
+                conn.reading = false; // drain, then close
+            }
+            active |= conn.read_sweep(&mut chunk, session, &config);
+            active |= conn.resolve_sweep(&mut payload);
+            active |= conn.write_sweep();
+            conn.reap_check(&config, stopping);
+        }
+
+        let before = conns.len();
+        conns.retain_mut(|conn| {
+            if conn.dead {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                false
+            } else {
+                true
+            }
+        });
+        let reaped = before - conns.len();
+        if reaped > 0 {
+            conn_count.fetch_sub(reaped, Ordering::AcqRel);
+            active = true;
+        }
+
+        if stopping && conns.is_empty() {
+            return;
+        }
+        if !active {
+            // Nothing moved anywhere this sweep: yield briefly. The
+            // sleep bounds idle CPU; actual traffic is swept at full
+            // speed because any progress skips it.
+            std::thread::sleep(Duration::from_micros(500));
         }
     }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
 }

@@ -306,6 +306,41 @@ impl<S: Symbol> SessionShared<S> {
         Ok(Ticket::new(id, rx))
     }
 
+    /// Enqueue a whole batch under **one** lock acquisition with
+    /// all-or-nothing admission: either every request fits under
+    /// `depth` and each gets a ticket, or nothing is enqueued and the
+    /// caller gets one [`SearchError::Overloaded`]. Because the batch
+    /// lands contiguously, the scheduler's chunking answers its
+    /// queries as one parallel chunk (inserts still split it into
+    /// barriers at the right positions).
+    pub(crate) fn submit_batch(
+        &self,
+        depth: usize,
+        requests: Vec<Request<S>>,
+    ) -> Result<Vec<Ticket>, SearchError> {
+        let mut state = self.state.lock().expect("session state never poisoned");
+        if state.draining {
+            return Err(SearchError::Shutdown);
+        }
+        if state.queue.len() + requests.len() > depth {
+            return Err(SearchError::Overloaded { depth });
+        }
+        let tickets: Vec<Ticket> = requests
+            .into_iter()
+            .map(|request| {
+                let id = RequestId(state.next_id);
+                state.next_id += 1;
+                let (tx, rx) = mpsc::channel();
+                state.queue.push_back((id, request, tx));
+                Ticket::new(id, rx)
+            })
+            .collect();
+        if !tickets.is_empty() {
+            self.work.notify_all();
+        }
+        Ok(tickets)
+    }
+
     /// Requests accepted but not yet picked up by the scheduler.
     pub(crate) fn pending(&self) -> usize {
         self.state
@@ -555,6 +590,17 @@ impl<S: Symbol + 'static, I: MetricIndex<S> + 'static> ServeSession<S, I> {
     /// begun.
     pub fn submit(&self, request: Request<S>) -> Result<Ticket, SearchError> {
         self.shared.submit(self.depth, request)
+    }
+
+    /// Enqueue a whole batch of requests in one admission decision:
+    /// one lock acquisition, all-or-nothing against the queue depth
+    /// (either every request is accepted and gets its [`Ticket`], or
+    /// nothing is enqueued and the call refuses with
+    /// [`SearchError::Overloaded`]). The batch lands contiguously, so
+    /// the scheduler answers its queries as one parallel chunk — this
+    /// is the entry point wire-level batch frames coalesce into.
+    pub fn submit_batch(&self, requests: Vec<Request<S>>) -> Result<Vec<Ticket>, SearchError> {
+        self.shared.submit_batch(self.depth, requests)
     }
 
     /// Requests accepted but not yet picked up by the scheduler.

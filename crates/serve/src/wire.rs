@@ -33,6 +33,17 @@
 //! Strings are `u32` symbol count followed by fixed-width symbols
 //! ([`WireSymbol`]); [`cned_search::SearchError`] travels as its
 //! stable [`SearchError::code`] plus the variant's witness values.
+//!
+//! ## Batch frames
+//!
+//! A [`kind::REQ_BATCH`] frame packs many requests under **one** id:
+//! `[BATCH_VERSION, count: u32 LE, (kind, body)…]`. The server
+//! answers it with one [`kind::RESP_BATCH`] frame carrying the
+//! response bodies in request order — correlation *inside* a batch is
+//! positional, correlation *between* frames stays by id. One frame
+//! per batch means one length prefix, one syscall per direction and
+//! one session submission for work the scheduler's parallel query
+//! chunks are fastest at.
 //! Malformed input of any shape — truncated, oversized, trailing
 //! garbage, unknown codes — decodes to a typed [`WireError`] instead
 //! of panicking; the property suite drives this with arbitrary bytes.
@@ -43,6 +54,22 @@ use cned_search::{Neighbour, SearchError, SearchStats};
 
 /// Protocol version carried in every frame.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Version byte of the **batch** frame body ([`kind::REQ_BATCH`] /
+/// [`kind::RESP_BATCH`]). Batch frames were added after the base
+/// protocol shipped; they carry their own sub-version so the batch
+/// encoding can evolve without bumping [`WIRE_VERSION`] for peers
+/// that never send batches. Unknown sub-versions are a typed
+/// [`WireError::BadPayload`].
+pub const BATCH_VERSION: u8 = 1;
+
+/// Request-id value reserved for **connection-level** control
+/// responses that answer no submitted request: a server past its
+/// connection cap rejects the connection with a
+/// `Failed { Overloaded }` response tagged with this id before
+/// closing. Clients must treat a response carrying this id as fatal
+/// to the connection, never route it to a ticket.
+pub const CONTROL_ID: u64 = u64::MAX;
 
 /// Maximum frame payload size (length-prefix value) either side
 /// accepts: 16 MiB — far above any realistic request, far below an
@@ -59,6 +86,10 @@ pub mod kind {
     pub const REQ_RANGE: u8 = 2;
     /// [`super::Request::Insert`].
     pub const REQ_INSERT: u8 = 3;
+    /// A batch of requests in one frame (one id, positional
+    /// correlation within the batch; answered by one
+    /// [`RESP_BATCH`] frame).
+    pub const REQ_BATCH: u8 = 4;
     /// [`super::ResponseBody::Nn`].
     pub const RESP_NN: u8 = 16;
     /// [`super::ResponseBody::Knn`].
@@ -69,6 +100,9 @@ pub mod kind {
     pub const RESP_INSERTED: u8 = 19;
     /// [`super::ResponseBody::Failed`].
     pub const RESP_FAILED: u8 = 20;
+    /// The answer to a [`REQ_BATCH`] frame: the batch's response
+    /// bodies in request order under the batch frame's id.
+    pub const RESP_BATCH: u8 = 21;
 }
 
 /// Everything that can go wrong encoding, decoding or transporting a
@@ -303,7 +337,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<SearchStats, WireError> {
 fn put_error(out: &mut Vec<u8>, error: &SearchError) {
     out.push(error.code());
     match error {
-        SearchError::EmptyDatabase | SearchError::Shutdown => {}
+        SearchError::EmptyDatabase | SearchError::Shutdown | SearchError::DeadlineExceeded => {}
         SearchError::PivotOutOfRange { pivot, len } => {
             put_u64(out, *pivot as u64);
             put_u64(out, *len as u64);
@@ -354,6 +388,7 @@ fn get_error(r: &mut Reader<'_>) -> Result<SearchError, WireError> {
         }
         7 => SearchError::Overloaded { depth: r.usize()? },
         8 => SearchError::Shutdown,
+        9 => SearchError::DeadlineExceeded,
         _ => {
             return Err(WireError::BadPayload {
                 detail: "unknown error code",
@@ -371,35 +406,113 @@ fn begin(out: &mut Vec<u8>, kind: u8, id: RequestId) {
     put_u64(out, id.0);
 }
 
-/// Encode a request tagged with `id` into a frame payload (no length
-/// prefix — [`write_frame`] adds it).
-pub fn encode_request<S: WireSymbol>(id: RequestId, request: &Request<S>, out: &mut Vec<u8>) {
-    out.clear();
+/// The kind byte of one request (shared by the single-frame and the
+/// batch encodings).
+fn request_kind<S: Symbol>(request: &Request<S>) -> u8 {
     match request {
-        Request::Nn { query } => {
-            begin(out, kind::REQ_NN, id);
-            put_string(out, query);
-        }
+        Request::Nn { .. } => kind::REQ_NN,
+        Request::Knn { .. } => kind::REQ_KNN,
+        Request::Range { .. } => kind::REQ_RANGE,
+        Request::Insert { .. } => kind::REQ_INSERT,
+    }
+}
+
+/// Append one request's body (everything after the kind byte).
+fn put_request_body<S: WireSymbol>(out: &mut Vec<u8>, request: &Request<S>) {
+    match request {
+        Request::Nn { query } => put_string(out, query),
         Request::Knn { query, k } => {
-            begin(out, kind::REQ_KNN, id);
             put_u64(out, *k as u64);
             put_string(out, query);
         }
         Request::Range { query, radius } => {
-            begin(out, kind::REQ_RANGE, id);
             put_f64(out, *radius);
             put_string(out, query);
         }
-        Request::Insert { item } => {
-            begin(out, kind::REQ_INSERT, id);
-            put_string(out, item);
-        }
+        Request::Insert { item } => put_string(out, item),
     }
 }
 
+/// Decode one request's body for a known kind byte.
+fn get_request_body<S: WireSymbol>(k: u8, r: &mut Reader<'_>) -> Result<Request<S>, WireError> {
+    Ok(match k {
+        kind::REQ_NN => Request::Nn {
+            query: get_string(r)?,
+        },
+        kind::REQ_KNN => {
+            let k = r.usize()?;
+            Request::Knn {
+                query: get_string(r)?,
+                k,
+            }
+        }
+        kind::REQ_RANGE => {
+            let radius = r.f64()?;
+            Request::Range {
+                query: get_string(r)?,
+                radius,
+            }
+        }
+        kind::REQ_INSERT => Request::Insert {
+            item: get_string(r)?,
+        },
+        got => return Err(WireError::BadKind { got }),
+    })
+}
+
+/// Encode a request tagged with `id` into a frame payload (no length
+/// prefix — [`write_frame`] adds it).
+pub fn encode_request<S: WireSymbol>(id: RequestId, request: &Request<S>, out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, request_kind(request), id);
+    put_request_body(out, request);
+}
+
+/// Encode a **batch** of requests into one frame payload under one
+/// id. The answering [`kind::RESP_BATCH`] frame carries the response
+/// bodies in the same order — correlation inside a batch is
+/// positional, correlation between frames stays by id.
+pub fn encode_batch_request<S: WireSymbol>(
+    id: RequestId,
+    requests: &[Request<S>],
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    begin(out, kind::REQ_BATCH, id);
+    out.push(BATCH_VERSION);
+    put_u32(out, requests.len() as u32);
+    for request in requests {
+        out.push(request_kind(request));
+        put_request_body(out, request);
+    }
+}
+
+/// A decoded request frame: one request or a whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest<S: Symbol> {
+    /// A single-request frame.
+    One(Request<S>),
+    /// A [`kind::REQ_BATCH`] frame: the requests in wire order.
+    Batch(Vec<Request<S>>),
+}
+
 /// Decode a frame payload as a request. Response kinds (and anything
-/// else) are typed errors.
+/// else) are typed errors. Batch frames ([`kind::REQ_BATCH`]) are a
+/// [`WireError::BadKind`] here — servers that accept batches use
+/// [`decode_request_frame`].
 pub fn decode_request<S: WireSymbol>(payload: &[u8]) -> Result<(RequestId, Request<S>), WireError> {
+    match decode_request_frame(payload)? {
+        (id, WireRequest::One(request)) => Ok((id, request)),
+        (_, WireRequest::Batch(_)) => Err(WireError::BadKind {
+            got: kind::REQ_BATCH,
+        }),
+    }
+}
+
+/// Decode a frame payload as either a single request or a batch.
+pub fn decode_request_frame<S: WireSymbol>(
+    payload: &[u8],
+) -> Result<(RequestId, WireRequest<S>), WireError> {
     let mut r = Reader::new(payload);
     let version = r.u8()?;
     if version != WIRE_VERSION {
@@ -408,39 +521,59 @@ pub fn decode_request<S: WireSymbol>(payload: &[u8]) -> Result<(RequestId, Reque
     let k = r.u8()?;
     let id = RequestId(r.u64()?);
     let request = match k {
-        kind::REQ_NN => Request::Nn {
-            query: get_string(&mut r)?,
-        },
-        kind::REQ_KNN => {
-            let k = r.usize()?;
-            Request::Knn {
-                query: get_string(&mut r)?,
-                k,
+        kind::REQ_BATCH => {
+            let n = get_batch_header(&mut r)?;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.u8()?;
+                batch.push(get_request_body(k, &mut r)?);
             }
+            WireRequest::Batch(batch)
         }
-        kind::REQ_RANGE => {
-            let radius = r.f64()?;
-            Request::Range {
-                query: get_string(&mut r)?,
-                radius,
-            }
-        }
-        kind::REQ_INSERT => Request::Insert {
-            item: get_string(&mut r)?,
-        },
-        got => return Err(WireError::BadKind { got }),
+        k => WireRequest::One(get_request_body(k, &mut r)?),
     };
     r.finish()?;
     Ok((id, request))
 }
 
-/// Encode a response (id + body) into a frame payload.
-pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
-    out.clear();
-    let id = response.id;
-    match &response.body {
+/// Read and validate a batch body's sub-version and element count.
+/// The count is checked against the remaining payload (every element
+/// needs at least its kind byte) before any allocation, so a lying
+/// count cannot reserve gigabytes.
+fn get_batch_header(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let sub = r.u8()?;
+    if sub != BATCH_VERSION {
+        return Err(WireError::BadPayload {
+            detail: "unknown batch sub-version",
+        });
+    }
+    let n = r.u32()? as usize;
+    let remaining = r.bytes.len() - r.at;
+    if n > remaining {
+        return Err(WireError::Truncated {
+            needed: n,
+            got: remaining,
+        });
+    }
+    Ok(n)
+}
+
+/// The kind byte of one response body (shared by the single-frame and
+/// the batch encodings).
+fn response_kind(body: &ResponseBody) -> u8 {
+    match body {
+        ResponseBody::Nn { .. } => kind::RESP_NN,
+        ResponseBody::Knn { .. } => kind::RESP_KNN,
+        ResponseBody::Range { .. } => kind::RESP_RANGE,
+        ResponseBody::Inserted { .. } => kind::RESP_INSERTED,
+        ResponseBody::Failed { .. } => kind::RESP_FAILED,
+    }
+}
+
+/// Append one response body (everything after the kind byte).
+fn put_response_body(out: &mut Vec<u8>, body: &ResponseBody) {
+    match body {
         ResponseBody::Nn { neighbour, stats } => {
-            begin(out, kind::RESP_NN, id);
             match neighbour {
                 Some(n) => {
                     out.push(1);
@@ -450,42 +583,22 @@ pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
             }
             put_stats(out, stats);
         }
-        ResponseBody::Knn { neighbours, stats } => {
-            begin(out, kind::RESP_KNN, id);
+        ResponseBody::Knn { neighbours, stats } | ResponseBody::Range { neighbours, stats } => {
             put_neighbours(out, neighbours);
             put_stats(out, stats);
         }
-        ResponseBody::Range { neighbours, stats } => {
-            begin(out, kind::RESP_RANGE, id);
-            put_neighbours(out, neighbours);
-            put_stats(out, stats);
-        }
-        ResponseBody::Inserted { index } => {
-            begin(out, kind::RESP_INSERTED, id);
-            put_u64(out, *index as u64);
-        }
-        ResponseBody::Failed { error } => {
-            begin(out, kind::RESP_FAILED, id);
-            put_error(out, error);
-        }
+        ResponseBody::Inserted { index } => put_u64(out, *index as u64),
+        ResponseBody::Failed { error } => put_error(out, error),
     }
 }
 
-/// Decode a frame payload as a response. Request kinds (and anything
-/// else) are typed errors.
-pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
-    let mut r = Reader::new(payload);
-    let version = r.u8()?;
-    if version != WIRE_VERSION {
-        return Err(WireError::BadVersion { got: version });
-    }
-    let k = r.u8()?;
-    let id = RequestId(r.u64()?);
-    let body = match k {
+/// Decode one response body for a known kind byte.
+fn get_response_body(k: u8, r: &mut Reader<'_>) -> Result<ResponseBody, WireError> {
+    Ok(match k {
         kind::RESP_NN => {
             let neighbour = match r.u8()? {
                 0 => None,
-                1 => Some(get_neighbour(&mut r)?),
+                1 => Some(get_neighbour(r)?),
                 _ => {
                     return Err(WireError::BadPayload {
                         detail: "neighbour presence flag must be 0 or 1",
@@ -494,32 +607,104 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             };
             ResponseBody::Nn {
                 neighbour,
-                stats: get_stats(&mut r)?,
+                stats: get_stats(r)?,
             }
         }
         kind::RESP_KNN => ResponseBody::Knn {
-            neighbours: get_neighbours(&mut r)?,
-            stats: get_stats(&mut r)?,
+            neighbours: get_neighbours(r)?,
+            stats: get_stats(r)?,
         },
         kind::RESP_RANGE => ResponseBody::Range {
-            neighbours: get_neighbours(&mut r)?,
-            stats: get_stats(&mut r)?,
+            neighbours: get_neighbours(r)?,
+            stats: get_stats(r)?,
         },
         kind::RESP_INSERTED => ResponseBody::Inserted { index: r.usize()? },
         kind::RESP_FAILED => ResponseBody::Failed {
-            error: get_error(&mut r)?,
+            error: get_error(r)?,
         },
         got => return Err(WireError::BadKind { got }),
+    })
+}
+
+/// Encode a response (id + body) into a frame payload.
+pub fn encode_response(response: &Response, out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, response_kind(&response.body), response.id);
+    put_response_body(out, &response.body);
+}
+
+/// Encode the answer to a batch frame: the batch's response bodies in
+/// request order, under the batch frame's id.
+pub fn encode_batch_response(id: RequestId, bodies: &[ResponseBody], out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, kind::RESP_BATCH, id);
+    out.push(BATCH_VERSION);
+    put_u32(out, bodies.len() as u32);
+    for body in bodies {
+        out.push(response_kind(body));
+        put_response_body(out, body);
+    }
+}
+
+/// A decoded response frame: one response or a whole batch's bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// A single-response frame.
+    One(Response),
+    /// A [`kind::RESP_BATCH`] frame: the batch frame's id plus its
+    /// response bodies in request order.
+    Batch(RequestId, Vec<ResponseBody>),
+}
+
+/// Decode a frame payload as a response. Request kinds (and anything
+/// else) are typed errors. Batch frames are a [`WireError::BadKind`]
+/// here — clients that send batches use [`decode_response_frame`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    match decode_response_frame(payload)? {
+        WireResponse::One(response) => Ok(response),
+        WireResponse::Batch(..) => Err(WireError::BadKind {
+            got: kind::RESP_BATCH,
+        }),
+    }
+}
+
+/// Decode a frame payload as either a single response or a batch.
+pub fn decode_response_frame(payload: &[u8]) -> Result<WireResponse, WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let k = r.u8()?;
+    let id = RequestId(r.u64()?);
+    let response = match k {
+        kind::RESP_BATCH => {
+            let n = get_batch_header(&mut r)?;
+            let mut bodies = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.u8()?;
+                bodies.push(get_response_body(k, &mut r)?);
+            }
+            WireResponse::Batch(id, bodies)
+        }
+        k => WireResponse::One(Response {
+            id,
+            body: get_response_body(k, &mut r)?,
+        }),
     };
     r.finish()?;
-    Ok(Response { id, body })
+    Ok(response)
 }
 
 // ---------------------------------------------------------------------------
 // Framing.
 
-/// Write one frame (length prefix + payload) and flush.
-pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
+/// Write one frame (length prefix + payload) **without flushing** —
+/// hand this a `BufWriter` (or any buffering writer) and the frame
+/// coalesces with its neighbours into one syscall at the explicit
+/// flush. This is how both the event-loop server's write sweep and
+/// the pipelined [`crate::Client`] pack many frames per `write(2)`.
+pub fn write_frame_unflushed(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
         len: u32::MAX,
         max: MAX_FRAME,
@@ -532,6 +717,13 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), Wi
     }
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
+    Ok(())
+}
+
+/// Write one frame (length prefix + payload) and flush — the
+/// single-frame convenience over [`write_frame_unflushed`].
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<(), WireError> {
+    write_frame_unflushed(w, payload)?;
     w.flush()?;
     Ok(())
 }
@@ -755,6 +947,146 @@ mod tests {
         fb.extend(&framed[framed.len() - 1..]);
         assert_eq!(fb.next_frame().unwrap(), Some(payload));
         assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn batch_request_roundtrips_and_mismatched_decoders_reject_it() {
+        let batch: Vec<Request<u8>> = vec![
+            Request::Nn {
+                query: b"casa".to_vec(),
+            },
+            Request::Knn {
+                query: b"cosa".to_vec(),
+                k: 3,
+            },
+            Request::Range {
+                query: b"cesa".to_vec(),
+                radius: 2.0,
+            },
+            Request::Insert {
+                item: b"nuevo".to_vec(),
+            },
+        ];
+        let mut payload = Vec::new();
+        encode_batch_request(RequestId(77), &batch, &mut payload);
+        let (id, got) = decode_request_frame::<u8>(&payload).unwrap();
+        assert_eq!(id, RequestId(77));
+        assert_eq!(got, WireRequest::Batch(batch));
+        // The single-frame decoder refuses batch frames with a typed
+        // error instead of mis-reading them.
+        assert!(matches!(
+            decode_request::<u8>(&payload),
+            Err(WireError::BadKind { .. })
+        ));
+        assert!(matches!(
+            decode_response_frame(&payload),
+            Err(WireError::BadKind { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_response_roundtrips() {
+        let stats = SearchStats {
+            distance_computations: 5,
+        };
+        let bodies = vec![
+            ResponseBody::Nn {
+                neighbour: Some(Neighbour {
+                    index: 1,
+                    distance: 0.5,
+                }),
+                stats,
+            },
+            ResponseBody::Failed {
+                error: SearchError::Overloaded { depth: 8 },
+            },
+            ResponseBody::Inserted { index: 9 },
+        ];
+        let mut payload = Vec::new();
+        encode_batch_response(RequestId(3), &bodies, &mut payload);
+        assert_eq!(
+            decode_response_frame(&payload).unwrap(),
+            WireResponse::Batch(RequestId(3), bodies)
+        );
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::BadKind { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batches_roundtrip() {
+        let mut payload = Vec::new();
+        encode_batch_request::<u8>(RequestId(0), &[], &mut payload);
+        assert_eq!(
+            decode_request_frame::<u8>(&payload).unwrap().1,
+            WireRequest::Batch(Vec::new())
+        );
+        encode_batch_response(RequestId(0), &[], &mut payload);
+        assert_eq!(
+            decode_response_frame(&payload).unwrap(),
+            WireResponse::Batch(RequestId(0), Vec::new())
+        );
+    }
+
+    #[test]
+    fn lying_batch_counts_are_rejected_before_allocating() {
+        let mut payload = Vec::new();
+        payload.push(WIRE_VERSION);
+        payload.push(kind::REQ_BATCH);
+        put_u64(&mut payload, 1); // id
+        payload.push(BATCH_VERSION);
+        put_u32(&mut payload, u32::MAX); // count far beyond the payload
+        assert!(matches!(
+            decode_request_frame::<u8>(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_batch_sub_version_is_a_typed_error() {
+        let mut payload = Vec::new();
+        encode_batch_request::<u8>(
+            RequestId(1),
+            &[Request::Nn {
+                query: b"q".to_vec(),
+            }],
+            &mut payload,
+        );
+        // The sub-version byte sits right after version/kind/id.
+        payload[10] = BATCH_VERSION + 1;
+        assert!(matches!(
+            decode_request_frame::<u8>(&payload),
+            Err(WireError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn unflushed_frames_coalesce_in_a_buffered_writer() {
+        let mut payload_a = Vec::new();
+        let mut payload_b = Vec::new();
+        encode_request::<u8>(
+            RequestId(1),
+            &Request::Nn {
+                query: b"a".to_vec(),
+            },
+            &mut payload_a,
+        );
+        encode_request::<u8>(
+            RequestId(2),
+            &Request::Nn {
+                query: b"b".to_vec(),
+            },
+            &mut payload_b,
+        );
+        let mut wire = Vec::new();
+        write_frame_unflushed(&mut wire, &payload_a).unwrap();
+        write_frame_unflushed(&mut wire, &payload_b).unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert_eq!(fb.next_frame().unwrap(), Some(payload_a));
+        assert_eq!(fb.next_frame().unwrap(), Some(payload_b));
+        assert_eq!(fb.next_frame().unwrap(), None);
     }
 
     #[test]

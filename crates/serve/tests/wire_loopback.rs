@@ -134,6 +134,101 @@ proptest! {
     }
 
     #[test]
+    fn batch_frames_reassemble_byte_by_byte_between_hostile_frames(
+        id in 0u64..u64::MAX / 2,
+        reqs in proptest::collection::vec(request(), 0..=5),
+        bodies in proptest::collection::vec(response_body(), 0..=5),
+        garbage in proptest::collection::vec(0u8..=255, 1..=32),
+    ) {
+        let mut garbage = garbage;
+        // Force the garbage frame to be undecodable (a random first
+        // byte could accidentally be the real version).
+        if garbage[0] == wire::WIRE_VERSION {
+            garbage[0] = wire::WIRE_VERSION + 1;
+        }
+        // A hostile stream: good batch frames interleaved with a
+        // version-mismatch frame and a garbage frame. Framing is
+        // version-agnostic, so the FrameBuffer must deliver all five
+        // frames; the decode layer rejects the hostile ones without
+        // poisoning their neighbours.
+        let mut stream = Vec::new();
+        let mut payload = Vec::new();
+        wire::encode_batch_request(RequestId(id), &reqs, &mut payload);
+        wire::write_frame_unflushed(&mut stream, &payload).unwrap();
+
+        let mut bad_version = Vec::new();
+        wire::encode_request::<u8>(
+            RequestId(1),
+            &Request::Nn { query: b"q".to_vec() },
+            &mut bad_version,
+        );
+        bad_version[0] = wire::WIRE_VERSION + 1;
+        wire::write_frame_unflushed(&mut stream, &bad_version).unwrap();
+
+        wire::encode_batch_response(RequestId(id), &bodies, &mut payload);
+        wire::write_frame_unflushed(&mut stream, &payload).unwrap();
+
+        wire::write_frame_unflushed(&mut stream, &garbage).unwrap();
+
+        wire::encode_batch_request(RequestId(id + 1), &reqs, &mut payload);
+        wire::write_frame_unflushed(&mut stream, &payload).unwrap();
+
+        // Feed ONE byte at a time: every frame boundary and every
+        // intra-frame split point is exercised in a single pass.
+        let mut fb = wire::FrameBuffer::new();
+        let mut frames = Vec::new();
+        for b in &stream {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(frame) = fb.next_frame().map_err(|e| {
+                e.to_string()
+            })? {
+                frames.push(frame);
+            }
+        }
+        prop_assert_eq!(frames.len(), 5);
+        prop_assert_eq!(fb.pending(), 0);
+
+        let (got_id, got) = wire::decode_request_frame::<u8>(&frames[0])
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(got_id, RequestId(id));
+        prop_assert_eq!(&got, &wire::WireRequest::Batch(reqs.clone()));
+
+        prop_assert_eq!(
+            wire::decode_request_frame::<u8>(&frames[1]).unwrap_err(),
+            WireError::BadVersion { got: wire::WIRE_VERSION + 1 }
+        );
+
+        let resp = wire::decode_response_frame(&frames[2])
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(resp, wire::WireResponse::Batch(RequestId(id), bodies));
+
+        prop_assert!(wire::decode_request_frame::<u8>(&frames[3]).is_err());
+        prop_assert!(wire::decode_response_frame(&frames[3]).is_err());
+
+        let (got_id, got) = wire::decode_request_frame::<u8>(&frames[4])
+            .map_err(|e| e.to_string())?;
+        prop_assert_eq!(got_id, RequestId(id + 1));
+        prop_assert_eq!(got, wire::WireRequest::Batch(reqs));
+    }
+
+    #[test]
+    fn oversize_length_prefixes_are_rejected_at_the_framing_layer(
+        extra in 1u32..1024,
+        junk in proptest::collection::vec(0u8..=255, 0..=16),
+    ) {
+        // A length prefix past MAX_FRAME must fail before any
+        // allocation of that size — an allocation-bomb guard, not an
+        // OOM.
+        let mut fb = wire::FrameBuffer::new();
+        fb.extend(&(wire::MAX_FRAME + extra).to_le_bytes());
+        fb.extend(&junk);
+        prop_assert!(matches!(
+            fb.next_frame(),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
     fn trailing_garbage_is_rejected(req in request(), extra in 1usize..16) {
         let mut payload = Vec::new();
         wire::encode_request(RequestId(3), &req, &mut payload);
@@ -357,6 +452,8 @@ fn pipelined_tickets_over_the_wire_with_insert_barrier() {
     assert_eq!(t_before.id(), RequestId(0));
     assert_eq!(t_insert.id(), RequestId(1));
     assert_eq!(t_after.id(), RequestId(2));
+    // One flush ships all three buffered frames in one syscall.
+    client.flush().unwrap();
 
     // Collect the last first: ids, not arrival order, correlate.
     let after = t_after.wait();
@@ -388,14 +485,13 @@ fn pipelined_tickets_over_the_wire_with_insert_barrier() {
 
     // Server-side errors travel typed: a NaN radius answers Failed.
     let failed = client
-        .submit(Request::Range {
+        .call(Request::Range {
             query: probe,
             radius: f64::NAN,
         })
-        .unwrap()
-        .wait();
+        .unwrap();
     assert!(matches!(
-        failed.body,
+        failed,
         ResponseBody::Failed {
             error: SearchError::InvalidRadius { .. }
         }
