@@ -1,1 +1,4 @@
 //! Benchmark-only crate; see benches/.
+
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]

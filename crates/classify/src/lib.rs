@@ -15,6 +15,9 @@
 //! typed [`cned_search::SearchError`]s (label/count mismatch, empty
 //! training set) instead of panicking.
 
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod knn;
 pub mod nn;

@@ -168,6 +168,8 @@ pub fn brute_contextual_generalized<C: crate::generalized::CostModel<u8>>(
     struct P(f64);
     impl Eq for P {}
     impl PartialOrd for P {
+        // lint:allow(float-compare) — forwards to Ord::cmp, which is
+        // total_cmp: this impl is total, never NaN-dependent.
         fn partial_cmp(&self, other: &P) -> Option<std::cmp::Ordering> {
             Some(self.cmp(other))
         }

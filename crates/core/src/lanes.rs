@@ -536,9 +536,15 @@ pub(crate) mod avx2 {
 
     /// One Myers column step for four 64-bit lanes; `act` is an
     /// all-ones/all-zero per-lane mask (inactive lanes freeze).
+    ///
+    /// Safe fn: with the feature enabled the arithmetic intrinsics
+    /// are safe calls, and the body touches no raw pointers; the
+    /// `#[target_feature]` calling restriction keeps non-AVX2 callers
+    /// out.
     #[allow(clippy::too_many_arguments)]
-    #[inline(always)]
-    unsafe fn step4(
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn step4(
         pv: &mut __m256i,
         mv: &mut __m256i,
         sc: &mut __m256i,
@@ -571,6 +577,8 @@ pub(crate) mod avx2 {
     /// # Safety
     /// Requires AVX2 (guarded by the dispatcher's runtime detection).
     #[target_feature(enable = "avx2")]
+    // SAFETY: unsafe-to-call by contract — the dispatcher verifies
+    // AVX2 via `is_x86_feature_detected!` before entering.
     pub unsafe fn myers_word(
         eq: &[u64],
         lens: &[usize; LANES],
@@ -582,8 +590,15 @@ pub(crate) mod avx2 {
         let ones = _mm256_set1_epi64x(1);
         let all = _mm256_set1_epi64x(-1);
         let li: [i64; LANES] = core::array::from_fn(|l| lens[l] as i64);
-        let lens_lo = _mm256_loadu_si256(li.as_ptr().cast());
-        let lens_hi = _mm256_loadu_si256(li.as_ptr().add(4).cast());
+        // SAFETY: `li` is a local `[i64; LANES]` (LANES = 8), so the
+        // 4-lane reads at offsets 0 and 4 are in bounds; loadu has no
+        // alignment requirement.
+        let (lens_lo, lens_hi) = unsafe {
+            (
+                _mm256_loadu_si256(li.as_ptr().cast()),
+                _mm256_loadu_si256(li.as_ptr().add(4).cast()),
+            )
+        };
         let (mut pv_lo, mut pv_hi) = (all, all);
         let (mut mv_lo, mut mv_hi) = (_mm256_setzero_si256(), _mm256_setzero_si256());
         let mut sc_lo = _mm256_set1_epi64x(m as i64);
@@ -593,8 +608,15 @@ pub(crate) mod avx2 {
         // All-lanes-live prefix: freeze masks degenerate to all-ones
         // (near every column under length-sorted grouping).
         for j in 0..min_len {
-            let col_lo = _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast());
-            let col_hi = _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast());
+            // SAFETY: j < max_len and the caller provides `eq` with
+            // max_len * LANES words (LANES = 8), so both 4-lane reads
+            // are in bounds; loadu has no alignment requirement.
+            let (col_lo, col_hi) = unsafe {
+                (
+                    _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast()),
+                    _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast()),
+                )
+            };
             step4(
                 &mut pv_lo, &mut mv_lo, &mut sc_lo, col_lo, all, hcount, ones, all,
             );
@@ -606,8 +628,15 @@ pub(crate) mod avx2 {
             let jv = _mm256_set1_epi64x(j as i64);
             let act_lo = _mm256_cmpgt_epi64(lens_lo, jv);
             let act_hi = _mm256_cmpgt_epi64(lens_hi, jv);
-            let col_lo = _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast());
-            let col_hi = _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast());
+            // SAFETY: j < max_len and the caller provides `eq` with
+            // max_len * LANES words (LANES = 8), so both 4-lane reads
+            // are in bounds; loadu has no alignment requirement.
+            let (col_lo, col_hi) = unsafe {
+                (
+                    _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast()),
+                    _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast()),
+                )
+            };
             step4(
                 &mut pv_lo, &mut mv_lo, &mut sc_lo, col_lo, act_lo, hcount, ones, all,
             );
@@ -615,8 +644,12 @@ pub(crate) mod avx2 {
                 &mut pv_hi, &mut mv_hi, &mut sc_hi, col_hi, act_hi, hcount, ones, all,
             );
         }
-        _mm256_storeu_si256(scores.as_mut_ptr().cast(), sc_lo);
-        _mm256_storeu_si256(scores.as_mut_ptr().add(4).cast(), sc_hi);
+        // SAFETY: `scores` is `&mut [i64; LANES]`; the two 4-lane
+        // stores exactly cover its 8 elements, storeu alignment-free.
+        unsafe {
+            _mm256_storeu_si256(scores.as_mut_ptr().cast(), sc_lo);
+            _mm256_storeu_si256(scores.as_mut_ptr().add(4).cast(), sc_hi);
+        }
     }
 
     /// AVX2 [`super::portable::myers_word_bounded`]: per-lane bounds,
@@ -626,6 +659,8 @@ pub(crate) mod avx2 {
     /// # Safety
     /// Requires AVX2 (guarded by the dispatcher's runtime detection).
     #[target_feature(enable = "avx2")]
+    // SAFETY: unsafe-to-call by contract — the dispatcher verifies
+    // AVX2 via `is_x86_feature_detected!` before entering.
     pub unsafe fn myers_word_bounded(
         eq: &[u64],
         lens: &[usize; LANES],
@@ -638,13 +673,26 @@ pub(crate) mod avx2 {
         let ones = _mm256_set1_epi64x(1);
         let all = _mm256_set1_epi64x(-1);
         let li: [i64; LANES] = core::array::from_fn(|l| lens[l] as i64);
-        let lens_lo = _mm256_loadu_si256(li.as_ptr().cast());
-        let lens_hi = _mm256_loadu_si256(li.as_ptr().add(4).cast());
+        // SAFETY: `li` is a local `[i64; LANES]` (LANES = 8), so the
+        // 4-lane reads at offsets 0 and 4 are in bounds; loadu has no
+        // alignment requirement.
+        let (lens_lo, lens_hi) = unsafe {
+            (
+                _mm256_loadu_si256(li.as_ptr().cast()),
+                _mm256_loadu_si256(li.as_ptr().add(4).cast()),
+            )
+        };
         // Retirement threshold after column j is bound + len - (j+1):
         // start it at bound + len - 1 and decrement per column.
         let bi: [i64; LANES] = core::array::from_fn(|l| bounds[l] + lens[l] as i64 - 1);
-        let mut lim_lo = _mm256_loadu_si256(bi.as_ptr().cast());
-        let mut lim_hi = _mm256_loadu_si256(bi.as_ptr().add(4).cast());
+        // SAFETY: `bi` is a local `[i64; LANES]`; in-bounds 4-lane
+        // reads at offsets 0 and 4, loadu alignment-free.
+        let (mut lim_lo, mut lim_hi) = unsafe {
+            (
+                _mm256_loadu_si256(bi.as_ptr().cast()),
+                _mm256_loadu_si256(bi.as_ptr().add(4).cast()),
+            )
+        };
         let (mut pv_lo, mut pv_hi) = (all, all);
         let (mut mv_lo, mut mv_hi) = (_mm256_setzero_si256(), _mm256_setzero_si256());
         let mut sc_lo = _mm256_set1_epi64x(m as i64);
@@ -658,8 +706,15 @@ pub(crate) mod avx2 {
             if _mm256_testz_si256(act_lo, act_lo) != 0 && _mm256_testz_si256(act_hi, act_hi) != 0 {
                 break;
             }
-            let col_lo = _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast());
-            let col_hi = _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast());
+            // SAFETY: j < max_len and the caller provides `eq` with
+            // max_len * LANES words (LANES = 8), so both 4-lane reads
+            // are in bounds; loadu has no alignment requirement.
+            let (col_lo, col_hi) = unsafe {
+                (
+                    _mm256_loadu_si256(eq.as_ptr().add(j * LANES).cast()),
+                    _mm256_loadu_si256(eq.as_ptr().add(j * LANES + 4).cast()),
+                )
+            };
             step4(
                 &mut pv_lo, &mut mv_lo, &mut sc_lo, col_lo, act_lo, hcount, ones, all,
             );
@@ -677,14 +732,22 @@ pub(crate) mod avx2 {
             lim_lo = _mm256_sub_epi64(lim_lo, ones);
             lim_hi = _mm256_sub_epi64(lim_hi, ones);
         }
-        _mm256_storeu_si256(scores.as_mut_ptr().cast(), sc_lo);
-        _mm256_storeu_si256(scores.as_mut_ptr().add(4).cast(), sc_hi);
+        // SAFETY: `scores` is `&mut [i64; LANES]`; the two 4-lane
+        // stores exactly cover its 8 elements, storeu alignment-free.
+        unsafe {
+            _mm256_storeu_si256(scores.as_mut_ptr().cast(), sc_lo);
+            _mm256_storeu_si256(scores.as_mut_ptr().add(4).cast(), sc_hi);
+        }
     }
 
     /// Signed 64-bit min is safe here: packed `(k, MAX − n_i)` keys
     /// never set the sign bit (`k ≤ |x| + |y| < 2³¹`).
-    #[inline(always)]
-    unsafe fn min_epi64(a: __m256i, b: __m256i) -> __m256i {
+    ///
+    /// Safe fn (like [`step4`]): register-only arithmetic behind the
+    /// `#[target_feature]` calling restriction.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn min_epi64(a: __m256i, b: __m256i) -> __m256i {
         _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b))
     }
 
@@ -694,6 +757,8 @@ pub(crate) mod avx2 {
     /// # Safety
     /// Requires AVX2 (guarded by the dispatcher's runtime detection).
     #[target_feature(enable = "avx2")]
+    // SAFETY: unsafe-to-call by contract — the dispatcher verifies
+    // AVX2 via `is_x86_feature_detected!` before entering.
     pub unsafe fn heuristic_rows(
         xids: &[u64],
         yids: &[u64],
@@ -717,15 +782,28 @@ pub(crate) mod avx2 {
             cur[..LANES].fill(row0 as u64);
             let xiv = _mm256_set1_epi64x(xi as i64);
             let (mut left_lo, mut left_hi) = (_mm256_set1_epi64x(row0), _mm256_set1_epi64x(row0));
-            let (mut diag_lo, mut diag_hi) = (
-                _mm256_loadu_si256(prev.as_ptr().cast()),
-                _mm256_loadu_si256(prev.as_ptr().add(4).cast()),
-            );
+            // SAFETY: `prev` was just filled to (max_m + 1) * LANES
+            // entries, so row-0 lanes 0..8 are in bounds; loadu has no
+            // alignment requirement.
+            let (mut diag_lo, mut diag_hi) = unsafe {
+                (
+                    _mm256_loadu_si256(prev.as_ptr().cast()),
+                    _mm256_loadu_si256(prev.as_ptr().add(4).cast()),
+                )
+            };
             for j in 1..=max_m {
-                let y_lo = _mm256_loadu_si256(yids.as_ptr().add((j - 1) * LANES).cast());
-                let y_hi = _mm256_loadu_si256(yids.as_ptr().add((j - 1) * LANES + 4).cast());
-                let up_lo = _mm256_loadu_si256(prev.as_ptr().add(j * LANES).cast());
-                let up_hi = _mm256_loadu_si256(prev.as_ptr().add(j * LANES + 4).cast());
+                // SAFETY: 1 ≤ j ≤ max_m; the caller provides `yids`
+                // with max_m * LANES ids and `prev`/`cur` hold
+                // (max_m + 1) * LANES entries, so every 4-lane read is
+                // in bounds; loadu has no alignment requirement.
+                let (y_lo, y_hi, up_lo, up_hi) = unsafe {
+                    (
+                        _mm256_loadu_si256(yids.as_ptr().add((j - 1) * LANES).cast()),
+                        _mm256_loadu_si256(yids.as_ptr().add((j - 1) * LANES + 4).cast()),
+                        _mm256_loadu_si256(prev.as_ptr().add(j * LANES).cast()),
+                        _mm256_loadu_si256(prev.as_ptr().add(j * LANES + 4).cast()),
+                    )
+                };
                 // mismatch ⇒ +K1 on the diagonal move.
                 let sub_lo = _mm256_andnot_si256(_mm256_cmpeq_epi64(y_lo, xiv), k1);
                 let sub_hi = _mm256_andnot_si256(_mm256_cmpeq_epi64(y_hi, xiv), k1);
@@ -737,8 +815,13 @@ pub(crate) mod avx2 {
                     _mm256_add_epi64(diag_hi, sub_hi),
                     min_epi64(_mm256_add_epi64(up_hi, k1), _mm256_add_epi64(left_hi, k1m1)),
                 );
-                _mm256_storeu_si256(cur.as_mut_ptr().add(j * LANES).cast(), best_lo);
-                _mm256_storeu_si256(cur.as_mut_ptr().add(j * LANES + 4).cast(), best_hi);
+                // SAFETY: `cur` was resized to (max_m + 1) * LANES
+                // entries and j ≤ max_m, so both 4-lane stores land in
+                // bounds; storeu has no alignment requirement.
+                unsafe {
+                    _mm256_storeu_si256(cur.as_mut_ptr().add(j * LANES).cast(), best_lo);
+                    _mm256_storeu_si256(cur.as_mut_ptr().add(j * LANES + 4).cast(), best_hi);
+                }
                 (left_lo, left_hi) = (best_lo, best_hi);
                 (diag_lo, diag_hi) = (up_lo, up_hi);
             }

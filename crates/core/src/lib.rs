@@ -66,6 +66,11 @@
 //! assert!(h >= d - 1e-12);
 //! ```
 
+// The AVX2 kernels are the only unsafe in the workspace; every
+// unsafe *operation* inside them must sit in an explicit, SAFETY-
+// commented block (cned-lint audits the comments).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod brute;
 pub mod contextual;
 pub mod generalized;

@@ -69,6 +69,9 @@ pub struct PatternBits<S> {
 #[inline]
 fn symbol_byte<S: Symbol>(s: S) -> usize {
     debug_assert_eq!(core::mem::size_of::<S>(), 1);
+    // SAFETY: every caller checks size_of::<S>() == 1 first; a Copy
+    // value of size 1 has no padding, so reading its single byte
+    // through a u8 pointer reads initialised memory.
     (unsafe { *core::ptr::from_ref(&s).cast::<u8>() }) as usize
 }
 

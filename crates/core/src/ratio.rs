@@ -157,6 +157,8 @@ impl Div for Ratio {
 }
 
 impl PartialOrd for Ratio {
+    // lint:allow(float-compare) — exact integer arithmetic via
+    // Ord::cmp; total on all valid ratios, no floats involved.
     fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
         Some(self.cmp(other))
     }

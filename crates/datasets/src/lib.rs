@@ -31,6 +31,9 @@
 //! All generators are deterministic given a seed (`StdRng`), so every
 //! experiment and test is reproducible.
 
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod contour;
 pub mod dictionary;

@@ -23,6 +23,9 @@
 //! `run_all` executes everything with default parameters and fills
 //! `results/`.
 
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
 pub mod agreement;
 pub mod args;
 pub mod data;

@@ -1,0 +1,416 @@
+//! A minimal Rust lexer for the lint passes.
+//!
+//! The build container is offline, so `syn` is out of reach; the
+//! passes here only need token-level structure anyway — identifiers,
+//! punctuation, literals, and the line each sits on — plus the comment
+//! stream (for `// SAFETY:` and `lint:allow` annotations). The lexer
+//! therefore handles exactly the lexical features that would otherwise
+//! produce *false* tokens: line/block comments (nested), string / raw
+//! string / byte string / char literals, lifetimes, and numbers. It
+//! does not parse; the passes pattern-match the token stream.
+
+/// What a token is, as far as the passes care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Operator / delimiter, multi-character forms pre-joined
+    /// (`::`, `=>`, `<=`, …).
+    Punct,
+    /// String / char / byte / numeric literal (text preserved).
+    Lit,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment with the 1-based line it *starts* on. Block comments
+/// produce one entry holding their whole text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Multi-character punctuation, longest first so greedy matching is
+/// correct (`<<=` before `<<` before `<=` before `<`).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lex `src` into tokens and comments. Unterminated constructs are
+/// tolerated (consumed to end of input) — the lint must never panic on
+/// the code it audits.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let (start, start_line) = (i, line);
+                i = skip_string(b, i, &mut line);
+                tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if starts_string_prefix(b, i) => {
+                let (start, start_line) = (i, line);
+                i = skip_prefixed_string(b, i, &mut line);
+                tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`,
+                // `'"'`). Any single char followed by a closing quote
+                // is a char literal; escapes go through the skipper.
+                let start = i;
+                if i + 2 < b.len() && b[i + 1] != b'\\' && b[i + 1] != b'\'' && b[i + 2] == b'\'' {
+                    i += 3;
+                    tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else if i + 1 < b.len() && (b[i + 1] == b'\\' || b[i + 1] == b'\'') {
+                    i = skip_char_literal(b, i);
+                    tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_char(b[j]) {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j > i + 1 {
+                        // 'x' style char literal (single ident char).
+                        i = j + 1;
+                        tokens.push(Token {
+                            kind: TokKind::Lit,
+                            text: src[start..i].to_string(),
+                            line,
+                        });
+                    } else if j == i + 2 && b[i + 1].is_ascii() && !is_ident_char(b[i + 1]) {
+                        // Degenerate; consume the quote alone.
+                        i += 1;
+                        tokens.push(Token {
+                            kind: TokKind::Punct,
+                            text: "'".to_string(),
+                            line,
+                        });
+                    } else {
+                        // Lifetime: one token including the quote.
+                        i = j;
+                        tokens.push(Token {
+                            kind: TokKind::Lit,
+                            text: src[start..i].to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i = skip_number(b, i);
+                tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let joined = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                let text = match joined {
+                    Some(p) => (*p).to_string(),
+                    None => (c as char).to_string(),
+                };
+                i += text.len();
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or
+/// byte char literal rather than a plain identifier.
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')) && raw_hashes_then_quote(b, i + 1),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => raw_hashes_then_quote(b, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From `at`, skip `#`s and require a `"` (raw-string opener shape).
+fn raw_hashes_then_quote(b: &[u8], at: usize) -> bool {
+    let mut j = at;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Consume a plain `"…"` string starting at `i`; returns the index
+/// one past the closing quote.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` starting at
+/// `i`.
+fn skip_prefixed_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        return skip_char_literal(b, j);
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    while j < b.len() {
+        match b[j] {
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while seen < hashes && k < b.len() && b[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+                j += 1;
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consume a `'…'` char literal starting at the opening quote.
+fn skip_char_literal(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consume a numeric literal (integers, floats, exponents, suffixes,
+/// underscores); stops before `..` so ranges stay punctuation.
+fn skip_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && (is_ident_char(b[j]) || b[j] == b'.') {
+        if b[j] == b'.' {
+            // `0..n` — leave the range operator alone; a float digit
+            // or an `e` may follow a genuine decimal point.
+            if j + 1 < b.len() && b[j + 1] == b'.' {
+                break;
+            }
+            // Method call on a literal (`1.max(x)`).
+            if j + 1 < b.len() && is_ident_start(b[j + 1]) {
+                break;
+            }
+        }
+        // Exponent sign: `1e-9`, `2.5E+3`.
+        if (b[j] == b'e' || b[j] == b'E')
+            && j > i
+            && j + 1 < b.len()
+            && (b[j + 1] == b'+' || b[j + 1] == b'-')
+            && j + 2 < b.len()
+            && b[j + 2].is_ascii_digit()
+        {
+            j += 2;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let (toks, comments) = lex("// unsafe in a comment\nlet s = \"unsafe { }\"; /* unsafe */");
+        assert!(toks.iter().all(|t| t.text != "unsafe"));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let (toks, _) = lex(r####"let x = r#"a " b"#; let y = b"z"; let c = b'q';"####);
+        let lits: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lits.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetime = toks.iter().filter(|t| t.text == "'a").count();
+        assert_eq!(lifetime, 2);
+        assert!(toks.iter().any(|t| t.text == "'x'"));
+        assert!(toks.iter().any(|t| t.text == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let (toks, _) = lex("for i in 0..16 { let s = 1e-9; let h = 0xff_u32; }");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.text == "1e-9"));
+        assert!(toks.iter().any(|t| t.text == "0xff_u32"));
+        assert_eq!(idents("0..16"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn multichar_punctuation_is_joined() {
+        let (toks, _) = lex("a <= b; c == d; e::f; g => h; i -> j");
+        for p in ["<=", "==", "::", "=>", "->"] {
+            assert!(toks.iter().any(|t| t.is_punct(p)), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let (toks, _) = lex("let a = \"x\ny\";\nunsafe {}");
+        let u = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 3);
+    }
+}

@@ -1,0 +1,426 @@
+//! Lock-order analysis for the serving layer.
+//!
+//! Lexically extracts the `Mutex`/`OrderedMutex` acquisition graph
+//! from `cned-serve`: which locks exist (fields and locals typed or
+//! initialised as mutexes), and, per function body, which locks are
+//! held when another is acquired. Guard lifetimes are approximated
+//! conservatively:
+//!
+//! * `let guard = x.lock()…;` — held to the end of the enclosing
+//!   brace scope (or an explicit `drop(guard)`);
+//! * a statement-transient `x.lock()…` chain (no `let`) — held to the
+//!   end of the statement;
+//! * `Condvar::wait(guard)` keeps the guard held (it reacquires
+//!   before returning).
+//!
+//! Every hold-while-acquiring pair becomes a directed edge
+//! `held → acquired` with a file:line witness. A cycle in that graph
+//! is a potential deadlock (`locks/cycle`); a self-edge is a
+//! re-entrant acquisition (`locks/self-cycle`). The runtime
+//! `OrderedMutex` wrapper in `cned-serve` enforces the same order
+//! dynamically in debug builds.
+
+use crate::lexer::TokKind;
+use crate::model::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Acquisition-graph summary for the JSON report.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Lock node names, sorted.
+    pub nodes: Vec<String>,
+    /// `(held, acquired, file, line)` edges, sorted, deduped.
+    pub edges: Vec<(String, String, String, u32)>,
+    /// Cycles found, each a `a -> b -> … -> a` rendering.
+    pub cycles: Vec<String>,
+}
+
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) -> LockGraph {
+    // `ordered.rs` is the wrapper *mechanism* (its `inner` field and
+    // `wait` parameter are not lock sites), so it is excluded.
+    let serve: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.crate_name == "serve" && !f.rel.ends_with("/ordered.rs"))
+        .collect();
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for f in &serve {
+        collect_lock_decls(f, &mut nodes);
+    }
+    let mut edges: BTreeSet<(String, String, String, u32)> = BTreeSet::new();
+    for f in &serve {
+        collect_edges(f, &nodes, &mut edges);
+    }
+    // Self-edges are immediate deadlocks with std mutexes.
+    for (a, b, file, line) in &edges {
+        if a == b {
+            findings.push(Finding::new(
+                file,
+                *line,
+                "locks/self-cycle",
+                format!("`{a}` acquired while already held — std::sync::Mutex self-deadlocks"),
+            ));
+        }
+    }
+    let adj: BTreeMap<&str, BTreeSet<&str>> = {
+        let mut m: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (a, b, _, _) in &edges {
+            if a != b {
+                m.entry(a.as_str()).or_default().insert(b.as_str());
+            }
+        }
+        m
+    };
+    let cycles = find_cycles(&adj);
+    for cycle in &cycles {
+        // Witness: the first edge of the cycle.
+        let (a, b) = {
+            let parts: Vec<&str> = cycle.split(" -> ").collect();
+            (parts[0].to_string(), parts[1].to_string())
+        };
+        let witness = edges
+            .iter()
+            .find(|(x, y, _, _)| *x == a && *y == b)
+            .cloned();
+        let (file, line) = witness
+            .map(|(_, _, f, l)| (f, l))
+            .unwrap_or_else(|| ("crates/serve".to_string(), 1));
+        findings.push(Finding::new(
+            &file,
+            line,
+            "locks/cycle",
+            format!("lock acquisition cycle (potential deadlock): {cycle}"),
+        ));
+    }
+    LockGraph {
+        nodes: nodes.into_iter().collect(),
+        edges: edges.into_iter().collect(),
+        cycles,
+    }
+}
+
+/// Find names declared with a mutex-ish type or initializer:
+/// `name: [Ordered]Mutex<…>` fields/params, `let name = Mutex::new(…)`.
+/// Condvars are recorded too (they pair with a mutex but are never
+/// acquired, so they add nodes, not edges).
+fn collect_lock_decls(f: &SourceFile, nodes: &mut BTreeSet<String>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let is_lock_ty = t.kind == TokKind::Ident
+            && (t.text == "Mutex" || t.text == "OrderedMutex" || t.text == "Condvar");
+        if !is_lock_ty || f.in_test_code(t.line) {
+            continue;
+        }
+        // Walk back over type/constructor syntax to `name :` or
+        // `name =`, bounded to the statement.
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 16 {
+            j -= 1;
+            steps += 1;
+            let p = &toks[j];
+            if p.is_punct(";") || p.is_punct("{") || p.is_punct("}") || p.is_punct(",") {
+                break;
+            }
+            if (p.is_punct(":") || p.is_punct("=")) && j > 0 && toks[j - 1].kind == TokKind::Ident {
+                let name = &toks[j - 1].text;
+                if name != "mut" && name != "let" {
+                    nodes.insert(name.clone());
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Track held guards through each function body and emit edges.
+fn collect_edges(
+    f: &SourceFile,
+    nodes: &BTreeSet<String>,
+    edges: &mut BTreeSet<(String, String, String, u32)>,
+) {
+    let toks = &f.tokens;
+    for &(_, fn_start, fn_end) in &f.fn_spans {
+        if f.in_test_code(fn_start) {
+            continue;
+        }
+        let body: Vec<usize> = (0..toks.len())
+            .filter(|&i| toks[i].line >= fn_start && toks[i].line <= fn_end)
+            .collect();
+        // Held guards: (lock name, guard var name or None, scope depth
+        // at acquisition, transient?).
+        struct Held {
+            lock: String,
+            var: Option<String>,
+            depth: i32,
+            transient: bool,
+        }
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i32;
+        let mut k = 0usize;
+        while k < body.len() {
+            let i = body[k];
+            let t = &toks[i];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth || h.transient);
+            } else if t.is_punct(";") {
+                held.retain(|h| !h.transient);
+            } else if t.is_ident("drop") {
+                // `drop(guard)` — release by variable name.
+                if let (Some(open), Some(arg)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if open.is_punct("(") && arg.kind == TokKind::Ident {
+                        held.retain(|h| h.var.as_deref() != Some(arg.text.as_str()));
+                    }
+                }
+            } else if t.is_ident("lock")
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct("(")
+                && i >= 2
+                && toks[i - 1].is_punct(".")
+            {
+                // `<recv> . lock (` — resolve the receiver name:
+                // the ident before `.`, skipping closing brackets.
+                let recv = receiver_name(toks, i - 2);
+                let Some(lock) = recv.filter(|r| nodes.contains(r)) else {
+                    k += 1;
+                    continue;
+                };
+                // Emit edges from everything currently held.
+                for h in &held {
+                    edges.insert((h.lock.clone(), lock.clone(), f.rel.clone(), t.line));
+                }
+                // Classify: a binding holds the *guard* (lives to
+                // scope end) only when the whole initializer is the
+                // lock chain — `let g = x.lock().expect(…);`. A deref
+                // or further method call (`let n = *x.lock()…;`,
+                // `….lock()….remove(k)`) drops the guard with the
+                // statement temporary.
+                let var = let_binding_name(toks, i, fn_start).filter(|_| is_guard_chain(toks, i));
+                let transient = var.is_none();
+                held.push(Held {
+                    lock,
+                    var,
+                    depth,
+                    transient,
+                });
+            } else if t.is_ident("wait") && i >= 2 && toks[i - 1].is_punct(".") {
+                // Condvar wait: guard stays held (reacquired on
+                // return); nothing to do lexically.
+            }
+            k += 1;
+        }
+    }
+}
+
+/// The receiver ident of a `.lock()` call: walk back from `at`
+/// (the token before the `.`) over `self .` / `shared .` chains and
+/// index brackets to the nearest field/var name that could be a node.
+fn receiver_name(toks: &[crate::lexer::Token], at: usize) -> Option<String> {
+    let mut j = at as i64;
+    // Skip over `]`-balanced indexing: `chunks[i].lock()`.
+    if toks[j as usize].is_punct("]") {
+        let mut depth = 0i32;
+        while j >= 0 {
+            if toks[j as usize].is_punct("]") {
+                depth += 1;
+            } else if toks[j as usize].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    j -= 1;
+                    break;
+                }
+            }
+            j -= 1;
+        }
+    }
+    if j >= 0 && toks[j as usize].kind == TokKind::Ident {
+        Some(toks[j as usize].text.clone())
+    } else {
+        None
+    }
+}
+
+/// Whether the expression around the `.lock()` at token `lock_idx`
+/// binds the guard itself: the initializer starts at the receiver
+/// (no leading `*`/`&`), and after `.lock()` only `.expect(…)` /
+/// `.unwrap()` follow before the terminating `;`.
+fn is_guard_chain(toks: &[crate::lexer::Token], lock_idx: usize) -> bool {
+    // Backward: between the `=` of the `let` and the receiver there
+    // must be nothing but the receiver chain (idents, `.`), i.e. the
+    // token after `=` must not be a deref/borrow operator.
+    let mut j = lock_idx;
+    let mut after_eq_ok = false;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        if t.is_punct("=") {
+            after_eq_ok = toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident);
+            break;
+        }
+    }
+    if !after_eq_ok {
+        return false;
+    }
+    // Forward: skip `lock( … )`, then any `.expect(…)` / `.unwrap()`,
+    // then require `;`.
+    let mut k = lock_idx + 1; // at `(`
+    k = skip_parens(toks, k);
+    loop {
+        if toks.get(k).is_some_and(|t| t.is_punct(";")) {
+            return true;
+        }
+        if toks.get(k).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(k + 1)
+                .is_some_and(|t| t.is_ident("expect") || t.is_ident("unwrap"))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct("("))
+        {
+            k = skip_parens(toks, k + 2);
+            continue;
+        }
+        return false;
+    }
+}
+
+/// From the index of a `(`, return the index one past its matching `)`.
+fn skip_parens(toks: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct("(") {
+            depth += 1;
+        } else if toks[k].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// If the statement containing the `.lock()` at token `at` begins with
+/// `let [mut] NAME =`, return NAME (the guard variable).
+fn let_binding_name(toks: &[crate::lexer::Token], at: usize, fn_start: u32) -> Option<String> {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.line < fn_start || t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            return toks.get(k).and_then(|t| {
+                if t.kind == TokKind::Ident {
+                    Some(t.text.clone())
+                } else {
+                    None
+                }
+            });
+        }
+    }
+    None
+}
+
+/// DFS cycle detection; returns each cycle rendered `a -> b -> a`.
+fn find_cycles(adj: &BTreeMap<&str, BTreeSet<&str>>) -> Vec<String> {
+    let mut cycles = Vec::new();
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if visited.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            visited.insert(node);
+            if let Some(nexts) = adj.get(node) {
+                for &next in nexts {
+                    if let Some(pos) = path.iter().position(|&p| p == next) {
+                        let mut cycle: Vec<&str> = path[pos..].to_vec();
+                        cycle.push(next);
+                        let rendered = cycle.join(" -> ");
+                        if !cycles.contains(&rendered) {
+                            cycles.push(rendered);
+                        }
+                    } else {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn graph(src: &str) -> (LockGraph, Vec<Finding>) {
+        let f = SourceFile::parse("crates/serve/src/x.rs".into(), "serve".into(), src);
+        let mut out = Vec::new();
+        let g = run(&[f], &mut out);
+        (g, out)
+    }
+
+    #[test]
+    fn nested_acquisition_produces_an_edge() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock().unwrap();\n        let gb = self.b.lock().unwrap();\n        use_them(ga, gb);\n    }\n}\n";
+        let (g, findings) = graph(src);
+        assert_eq!(g.nodes, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!((g.edges[0].0.as_str(), g.edges[0].1.as_str()), ("a", "b"));
+        assert!(g.cycles.is_empty());
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock().unwrap();\n        let gb = self.b.lock().unwrap();\n        go(ga, gb);\n    }\n    fn g(&self) {\n        let gb = self.b.lock().unwrap();\n        let ga = self.a.lock().unwrap();\n        go(ga, gb);\n    }\n}\n";
+        let (g, findings) = graph(src);
+        assert_eq!(g.cycles.len(), 1, "{g:?}");
+        assert!(findings.iter().any(|f| f.rule == "locks/cycle"));
+    }
+
+    #[test]
+    fn scoped_guard_released_before_second_lock() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        {\n            let ga = self.a.lock().unwrap();\n            touch(ga);\n        }\n        let gb = self.b.lock().unwrap();\n        touch(gb);\n    }\n}\n";
+        let (g, _) = graph(src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn transient_guard_dies_at_statement_end() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) -> u32 {\n        let n = *self.a.lock().unwrap();\n        let gb = self.b.lock().unwrap();\n        n + *gb\n    }\n}\n";
+        let (g, _) = graph(src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn drop_releases_a_let_bound_guard() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock().unwrap();\n        consume(&ga);\n        drop(ga);\n        let gb = self.b.lock().unwrap();\n        consume(&gb);\n    }\n}\n";
+        let (g, _) = graph(src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn self_edge_is_flagged() {
+        let src = "struct S { a: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let g1 = self.a.lock().unwrap();\n        let g2 = self.a.lock().unwrap();\n        go(g1, g2);\n    }\n}\n";
+        let (_, findings) = graph(src);
+        assert!(findings.iter().any(|f| f.rule == "locks/self-cycle"));
+    }
+}

@@ -1,0 +1,155 @@
+//! `cned-lint` — workspace invariant analyzer.
+//!
+//! Four pass families over `crates/*/src` (see the module docs for the
+//! precise rules):
+//!
+//! 1. **determinism** — no hash-ordered iteration or raw float
+//!    comparison on the answer path (`core`, `search`, `serve`);
+//! 2. **unsafe audit** — `// SAFETY:` comments on every unsafe site,
+//!    `is_x86_feature_detected!` guards on every `#[target_feature]`
+//!    call, `#![forbid(unsafe_code)]` / `#![deny(unsafe_op_in_unsafe_fn)]`
+//!    crate hygiene;
+//! 3. **wire-schema fingerprint** — frame kinds, versions, and error
+//!    codes vs the committed golden (`--bless` to regenerate);
+//! 4. **lock-order** — the serve crate's mutex acquisition graph must
+//!    be acyclic.
+//!
+//! Usage: `cned-lint [--check] [--bless] [--json] [--root DIR]`
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+mod determinism;
+mod lexer;
+mod locks;
+mod model;
+mod report;
+mod schema;
+mod unsafety;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    bless: bool,
+    json: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut bless = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {} // the default mode; accepted for CI clarity
+            "--bless" => bless = true,
+            "--json" => json = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err("usage: cned-lint [--check] [--bless] [--json] [--root DIR]".into())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => default_root(),
+    };
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "workspace root {} has no crates/ directory (use --root)",
+            root.display()
+        ));
+    }
+    Ok(Opts { bless, json, root })
+}
+
+/// The cwd when it looks like the workspace root, else the root
+/// relative to this crate's manifest (works under `cargo run -p`).
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("cned-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match model::load_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cned-lint: loading workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = Vec::new();
+    determinism::run(&files, &mut findings);
+    unsafety::run(&files, &mut findings);
+    let graph = locks::run(&files, &mut findings);
+
+    let schema_status;
+    match schema::extract(&files) {
+        Some(sch) => {
+            if opts.bless {
+                match schema::bless(&opts.root, &sch) {
+                    Ok(msg) => {
+                        schema_status = msg.clone();
+                        println!("cned-lint: {msg}");
+                    }
+                    Err(msg) => {
+                        eprintln!("cned-lint: {msg}");
+                        return ExitCode::from(1);
+                    }
+                }
+            } else {
+                schema_status = match schema::check(&opts.root, &sch, &mut findings) {
+                    schema::Verdict::Clean => "ok".to_string(),
+                    schema::Verdict::NoGolden => "missing golden".to_string(),
+                    schema::Verdict::NeedsBless { changed } => {
+                        format!("needs --bless ({} change(s))", changed.len())
+                    }
+                    schema::Verdict::UnversionedChange { changed } => {
+                        format!("UNVERSIONED CHANGE ({} line(s))", changed.len())
+                    }
+                };
+            }
+        }
+        None => {
+            schema_status = "wire.rs/error.rs not found".to_string();
+            findings.push(model::Finding::new(
+                "crates/serve/src/wire.rs",
+                1,
+                "schema/wire-fingerprint",
+                "could not locate wire.rs / error.rs to fingerprint".to_string(),
+            ));
+        }
+    }
+
+    if opts.json {
+        println!("{}", report::json(&findings, &graph, &schema_status));
+    } else {
+        print!("{}", report::human(&findings, &graph, &schema_status));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

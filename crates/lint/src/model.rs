@@ -1,0 +1,393 @@
+//! Workspace model shared by the passes: loaded source files, lexed
+//! token/comment streams, per-file structural indices (function spans,
+//! test-only regions), and the `Finding` diagnostic type.
+
+use crate::lexer::{self, Comment, Token};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic. `rule` is a stable machine-readable slug
+/// (`determinism/map-iteration`, `unsafe/missing-safety-comment`, …).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+/// A lexed source file plus the structural indices the passes need.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Crate directory name (`core`, `serve`, …).
+    pub crate_name: String,
+    /// Raw source lines (for allow-annotation and slack-site checks).
+    pub lines: Vec<String>,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Line ranges (inclusive) that are test-only: bodies of items
+    /// under `#[cfg(test)]`-like attributes and `#[test]` functions.
+    pub test_spans: Vec<(u32, u32)>,
+    /// `(name, start_line, end_line)` for every `fn` in the file,
+    /// innermost last; used to attribute a finding to its enclosing
+    /// function for the allowlist.
+    pub fn_spans: Vec<(String, u32, u32)>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: String, crate_name: String, src: &str) -> Self {
+        let (tokens, comments) = lexer::lex(src);
+        let lines = src.lines().map(str::to_string).collect();
+        let test_spans = find_test_spans(&tokens);
+        let fn_spans = find_fn_spans(&tokens);
+        SourceFile {
+            rel,
+            crate_name,
+            lines,
+            tokens,
+            comments,
+            test_spans,
+            fn_spans,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` / `#[test]` span.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Name of the innermost function containing `line`, if any.
+    pub fn enclosing_fn(&self, line: u32) -> Option<&str> {
+        self.fn_spans
+            .iter()
+            .filter(|&&(_, a, b)| a <= line && line <= b)
+            .min_by_key(|&&(_, a, b)| b - a)
+            .map(|(name, _, _)| name.as_str())
+    }
+
+    /// Whether a `lint:allow(rule)` annotation covers `line`: same
+    /// line, the directly preceding line, or anywhere in the comment
+    /// block immediately above the enclosing function's first line.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let needle_full = format!("lint:allow({rule})");
+        let short = rule.split('/').next_back().unwrap_or(rule);
+        let needle_short = format!("lint:allow({short})");
+        let hit = |l: u32| {
+            self.comments.iter().any(|c| {
+                c.line == l && (c.text.contains(&needle_full) || c.text.contains(&needle_short))
+            })
+        };
+        if hit(line) {
+            return true;
+        }
+        // Contiguous comment block directly above the finding — a
+        // multi-line justification may carry the marker on any line.
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let text = self
+                .lines
+                .get((l - 1) as usize)
+                .map(String::as_str)
+                .unwrap_or("");
+            let trimmed = text.trim_start();
+            if !trimmed.starts_with("//") {
+                break;
+            }
+            if hit(l) {
+                return true;
+            }
+        }
+        // Comment block above the enclosing fn.
+        if let Some(&(_, start, _)) = self
+            .fn_spans
+            .iter()
+            .filter(|&&(_, a, b)| a <= line && line <= b)
+            .min_by_key(|&&(_, a, b)| b - a)
+        {
+            let mut l = start;
+            while l > 1 {
+                l -= 1;
+                let text = self
+                    .lines
+                    .get((l - 1) as usize)
+                    .map(String::as_str)
+                    .unwrap_or("");
+                let trimmed = text.trim_start();
+                if trimmed.starts_with("//")
+                    || trimmed.starts_with("#[")
+                    || trimmed.starts_with("#!")
+                {
+                    if trimmed.contains(&needle_full) || trimmed.contains(&needle_short) {
+                        return true;
+                    }
+                } else if !trimmed.is_empty() {
+                    break;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Skip forward from an index to the matching close brace of the `{`
+/// at `open`. Returns the index of the closing `}` (or last token).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct("{") {
+            depth += 1;
+        } else if tokens[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// From the index of an attribute's opening `#`, return the index one
+/// past its closing `]`.
+fn skip_attribute(tokens: &[Token], hash: usize) -> usize {
+    let mut i = hash + 1;
+    if i < tokens.len() && tokens[i].is_punct("!") {
+        i += 1;
+    }
+    if i >= tokens.len() || !tokens[i].is_punct("[") {
+        return hash + 1;
+    }
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if tokens[i].is_punct("[") {
+            depth += 1;
+        } else if tokens[i].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Whether the attribute starting at `hash` gates test-only code:
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[test]` — but not
+/// `#[cfg(not(test))]`.
+fn attr_is_test(tokens: &[Token], hash: usize) -> bool {
+    let end = skip_attribute(tokens, hash);
+    let body = &tokens[hash..end];
+    let has_test = body.iter().any(|t| t.is_ident("test"));
+    let has_not = body.iter().any(|t| t.is_ident("not"));
+    has_test && !has_not
+}
+
+/// Find line spans of items gated by test attributes. The span covers
+/// from the attribute to the matching close brace of the item body.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && attr_is_test(tokens, i) {
+            let start_line = tokens[i].line;
+            let mut j = skip_attribute(tokens, i);
+            // Skip any further attributes on the same item.
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                j = skip_attribute(tokens, j);
+            }
+            // Find the item body's opening brace (skipping a possible
+            // `= …;` const — rare under cfg(test); treat `;` first as
+            // a single-line item).
+            let mut open = None;
+            while j < tokens.len() {
+                if tokens[j].is_punct("{") {
+                    open = Some(j);
+                    break;
+                }
+                if tokens[j].is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = matching_brace(tokens, open);
+                spans.push((start_line, tokens[close].line));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Find `(name, start_line, end_line)` for every `fn` item. Lexical:
+/// `fn` → name → first `{` at zero paren/bracket depth → matching `}`.
+/// Trait-method *declarations* (ending in `;`) are skipped.
+fn find_fn_spans(tokens: &[Token]) -> Vec<(String, u32, u32)> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        // Walk to the body `{`, tracking (), [], <> nesting in the
+        // signature. `<`/`>` from generics are balanced in practice
+        // for the signatures in this workspace; comparison operators
+        // cannot appear in a signature.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct("->") {
+                // `->` contains `>`; no depth change.
+            } else if depth <= 0 && t.is_punct("{") {
+                open = Some(j);
+                break;
+            } else if depth <= 0 && t.is_punct(";") {
+                break; // declaration without body
+            } else if t.is_punct("{") {
+                // Shouldn't happen at depth > 0 in a signature.
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            let close = matching_brace(tokens, open);
+            spans.push((name_tok.text.clone(), tokens[i].line, tokens[close].line));
+        }
+    }
+    spans
+}
+
+/// Load every `.rs` file under `crates/*/src` (recursively), sorted by
+/// path for deterministic output.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let text = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile::parse(rel, crate_name.clone(), &text));
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs".into(), "x".into(), src)
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let f = file("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n");
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let f = file("#[cfg(not(test))]\nfn live() {\n    body();\n}\n");
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn fn_spans_and_enclosing() {
+        let f = file("fn outer(a: u32) -> u32 {\n    let x = 1;\n    x\n}\nfn second() {}\n");
+        assert_eq!(f.enclosing_fn(2), Some("outer"));
+        assert_eq!(f.enclosing_fn(5), Some("second"));
+        assert_eq!(f.enclosing_fn(40), None);
+    }
+
+    #[test]
+    fn generic_signatures_resolve_to_the_body_brace() {
+        let f = file("fn g<S: Ord>(v: Vec<S>) -> Option<S> {\n    v.into_iter().max()\n}\n");
+        assert_eq!(f.enclosing_fn(2), Some("g"));
+    }
+
+    #[test]
+    fn allow_annotations() {
+        let f = file(
+            "fn f() {\n    // lint:allow(map-iteration) — order-independent drain\n    bad();\n}\n",
+        );
+        assert!(f.allowed(3, "determinism/map-iteration"));
+        assert!(!f.allowed(3, "determinism/float-compare"));
+    }
+
+    #[test]
+    fn allow_above_fn_covers_body() {
+        let f = file(
+            "// lint:allow(float-compare) audited: keys are finite\nfn cmp() {\n    a < b;\n}\n",
+        );
+        assert!(f.allowed(3, "determinism/float-compare"));
+    }
+}

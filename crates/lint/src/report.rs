@@ -1,0 +1,140 @@
+//! Diagnostic rendering: human `file:line: [rule] message` lines and a
+//! hand-rolled JSON report (std-only crate — no serde).
+
+use crate::locks::LockGraph;
+use crate::model::Finding;
+
+/// Render findings for terminals: sorted by file, line, rule.
+pub fn human(findings: &[Finding], graph: &LockGraph, schema_status: &str) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    let mut out = String::new();
+    for f in &sorted {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    let cyc = if graph.cycles.is_empty() {
+        "acyclic".to_string()
+    } else {
+        format!("{} cycle(s)", graph.cycles.len())
+    };
+    out.push_str(&format!(
+        "lock graph: {} lock(s), {} edge(s), {}\n",
+        graph.nodes.len(),
+        graph.edges.len(),
+        cyc
+    ));
+    out.push_str(&format!("wire schema: {schema_status}\n"));
+    out.push_str(&format!("cned-lint: {} finding(s)\n", findings.len()));
+    out
+}
+
+/// Machine-readable report:
+/// `{"findings":[…],"lock_graph":{…},"schema":{…},"summary":{…}}`.
+pub fn json(findings: &[Finding], graph: &LockGraph, schema_status: &str) -> String {
+    let mut s = String::from("{\"findings\":[");
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    for (i, f) in sorted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            quote(&f.file),
+            f.line,
+            quote(f.rule),
+            quote(&f.message)
+        ));
+    }
+    s.push_str("],\"lock_graph\":{\"nodes\":[");
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&quote(n));
+    }
+    s.push_str("],\"edges\":[");
+    for (i, (a, b, file, line)) in graph.edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"held\":{},\"acquires\":{},\"file\":{},\"line\":{}}}",
+            quote(a),
+            quote(b),
+            quote(file),
+            line
+        ));
+    }
+    s.push_str("],\"cycles\":[");
+    for (i, c) in graph.cycles.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&quote(c));
+    }
+    s.push_str(&format!(
+        "]}},\"schema\":{{\"status\":{}}},\"summary\":{{\"findings\":{},\"locks\":{},\"lock_edges\":{}}}}}",
+        quote(schema_status),
+        findings.len(),
+        graph.nodes.len(),
+        graph.edges.len()
+    ));
+    s
+}
+
+/// JSON string escaping for the subset that can appear in diagnostics.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_lines_carry_file_line_rule() {
+        let findings = vec![Finding::new(
+            "crates/core/src/lanes.rs",
+            541,
+            "unsafe/missing-safety-comment",
+            "msg".to_string(),
+        )];
+        let g = LockGraph::default();
+        let text = human(&findings, &g, "ok");
+        assert!(text.contains("crates/core/src/lanes.rs:541: [unsafe/missing-safety-comment] msg"));
+        assert!(text.contains("lock graph: 0 lock(s), 0 edge(s), acyclic"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let findings = vec![Finding::new(
+            "f.rs",
+            1,
+            "r",
+            "needs `\"x\\y\"` care".to_string(),
+        )];
+        let g = LockGraph::default();
+        let text = json(&findings, &g, "ok");
+        assert!(text.contains("\\\"x\\\\y\\\""), "{text}");
+        assert!(text.starts_with('{') && text.ends_with('}'));
+    }
+}

@@ -1,0 +1,447 @@
+//! Wire-schema fingerprint pass.
+//!
+//! Extracts a structural fingerprint of the wire protocol from
+//! `crates/serve/src/wire.rs` and `crates/search/src/error.rs`:
+//!
+//! * every top-level `pub const` in `wire.rs` (versions, sentinels,
+//!   frame limits) with its literal value;
+//! * every frame-kind constant in `mod kind`;
+//! * every `SearchError` variant → wire code arm in
+//!   `SearchError::code()`;
+//! * the set of error codes `get_error` can decode.
+//!
+//! The fingerprint is compared line-by-line against the committed
+//! golden file `crates/lint/golden/wire_schema.txt`. Changing the
+//! frame layout, kind bytes, or error codes without bumping
+//! `WIRE_VERSION`/`BATCH_VERSION` is an error; after a bump,
+//! `cned-lint --bless` regenerates the golden.
+
+use crate::lexer::TokKind;
+use crate::model::{Finding, SourceFile};
+use std::fs;
+use std::path::Path;
+
+pub const GOLDEN_REL: &str = "crates/lint/golden/wire_schema.txt";
+
+/// One fingerprint line: `class` partitions version-class entries
+/// (names containing `_VERSION`) from layout entries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub class: &'static str,
+    pub name: String,
+    pub value: String,
+    pub line: u32,
+}
+
+impl Entry {
+    fn render(&self) -> String {
+        format!("{} {} = {}", self.class, self.name, self.value)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Schema {
+    pub entries: Vec<Entry>,
+}
+
+/// Extract the fingerprint from the loaded workspace files.
+pub fn extract(files: &[SourceFile]) -> Option<Schema> {
+    let wire = files
+        .iter()
+        .find(|f| f.rel.ends_with("serve/src/wire.rs"))?;
+    let error = files
+        .iter()
+        .find(|f| f.rel.ends_with("search/src/error.rs"))?;
+    let mut entries = Vec::new();
+    extract_wire_consts(wire, &mut entries);
+    extract_error_codes(error, &mut entries);
+    entries.sort();
+    Some(Schema { entries })
+}
+
+/// Top-level `pub const NAME: TY = VALUE;` plus `mod kind` constants.
+fn extract_wire_consts(f: &SourceFile, out: &mut Vec<Entry>) {
+    let toks = &f.tokens;
+    // Locate `mod kind { … }` to classify its constants separately.
+    let mut kind_span = (0u32, 0u32);
+    for i in 0..toks.len() {
+        if toks[i].is_ident("mod") && i + 1 < toks.len() && toks[i + 1].is_ident("kind") {
+            // Find the `{` and matching `}` by line.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut start = 0u32;
+            while j < toks.len() {
+                if toks[j].is_punct("{") {
+                    if depth == 0 {
+                        start = toks[j].line;
+                    }
+                    depth += 1;
+                } else if toks[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        kind_span = (start, toks[j].line);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        // Only `pub`-visible constants are wire schema; trait
+        // associated consts and macro-internal consts are not.
+        let is_pub = i > 0
+            && (toks[i - 1].is_ident("pub")
+                || (toks[i - 1].is_punct(")")
+                    && i >= 4
+                    && toks[i - 4].is_ident("pub")
+                    && toks[i - 3].is_punct("(")));
+        if toks[i].is_ident("const")
+            && is_pub
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && !f.in_test_code(toks[i].line)
+        {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            // Value: tokens between `=` and `;`, joined with spaces.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("=") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            let mut value = String::new();
+            if j < toks.len() && toks[j].is_punct("=") {
+                j += 1;
+                while j < toks.len() && !toks[j].is_punct(";") {
+                    if !value.is_empty() {
+                        value.push(' ');
+                    }
+                    value.push_str(&toks[j].text);
+                    j += 1;
+                }
+            }
+            let in_kind = kind_span.0 <= line && line <= kind_span.1;
+            let class = if name.contains("_VERSION") {
+                "version"
+            } else if in_kind {
+                "kind"
+            } else {
+                "const"
+            };
+            out.push(Entry {
+                class,
+                name,
+                value,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// `SearchError::code()` arms (`Name … => INT`) and the codes
+/// `get_error` decodes (`INT =>` inside its body).
+fn extract_error_codes(f: &SourceFile, out: &mut Vec<Entry>) {
+    let toks = &f.tokens;
+    let code_span = f
+        .fn_spans
+        .iter()
+        .find(|(n, _, _)| n == "code")
+        .map(|&(_, a, b)| (a, b));
+    if let Some((a, b)) = code_span {
+        // Arms look like: SearchError :: Name [pattern…] => INT
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.line >= a && t.line <= b && t.is_punct("=>") {
+                // Variant name: nearest `Xxx` after the last `::` going
+                // back to the arm start (previous `,` at brace balance
+                // zero, or the match's own unmatched `{`) — struct
+                // patterns like `InvalidRadius { .. }` carry balanced
+                // braces of their own, so track balance while walking.
+                let mut name = None;
+                let mut j = i;
+                let mut balance = 0i32;
+                while j > 0 {
+                    j -= 1;
+                    let p = &toks[j];
+                    if p.line < a {
+                        break;
+                    }
+                    if p.is_punct("}") {
+                        balance += 1;
+                    } else if p.is_punct("{") {
+                        if balance == 0 {
+                            break; // enclosing match body
+                        }
+                        balance -= 1;
+                    } else if p.is_punct(",") && balance == 0 {
+                        break;
+                    } else if p.is_punct("::")
+                        && j + 1 < toks.len()
+                        && toks[j + 1].kind == TokKind::Ident
+                    {
+                        name = Some(toks[j + 1].text.clone());
+                        break;
+                    }
+                }
+                // Code: the literal right after `=>`.
+                if let (Some(name), Some(code)) = (name, toks.get(i + 1)) {
+                    if code.kind == TokKind::Lit {
+                        out.push(Entry {
+                            class: "error",
+                            name,
+                            value: code.text.clone(),
+                            line: code.line,
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    // Decodable codes: integer-literal match arms inside get_error.
+    if let Some(&(_, a, b)) = f.fn_spans.iter().find(|(n, _, _)| n == "get_error") {
+        let mut codes: Vec<String> = Vec::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.line >= a
+                && t.line <= b
+                && t.kind == TokKind::Lit
+                && t.text.chars().all(|c| c.is_ascii_digit())
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct("=>")
+            {
+                codes.push(t.text.clone());
+            }
+        }
+        codes.sort_by_key(|c| c.parse::<u64>().unwrap_or(u64::MAX));
+        out.push(Entry {
+            class: "decode-codes",
+            name: "get_error".to_string(),
+            value: codes.join(" "),
+            line: a,
+        });
+    }
+}
+
+/// Outcome of comparing extraction vs golden.
+pub enum Verdict {
+    Clean,
+    /// Golden file missing entirely.
+    NoGolden,
+    /// Layout changed and a version entry changed too → needs --bless.
+    NeedsBless {
+        changed: Vec<String>,
+    },
+    /// Layout changed with versions identical → hard error.
+    UnversionedChange {
+        changed: Vec<(String, u32)>,
+    },
+}
+
+pub fn check(root: &Path, schema: &Schema, findings: &mut Vec<Finding>) -> Verdict {
+    const RULE: &str = "schema/wire-fingerprint";
+    let golden_path = root.join(GOLDEN_REL);
+    let Ok(golden_text) = fs::read_to_string(&golden_path) else {
+        findings.push(Finding::new(
+            GOLDEN_REL,
+            1,
+            RULE,
+            "golden wire-schema fingerprint missing — run `cned-lint --bless` \
+             to create it"
+                .to_string(),
+        ));
+        return Verdict::NoGolden;
+    };
+    let golden: Vec<String> = golden_text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    let current: Vec<String> = schema.entries.iter().map(Entry::render).collect();
+    if golden == current {
+        return Verdict::Clean;
+    }
+    // Split the diff into version-class and layout-class changes.
+    let gset: std::collections::BTreeSet<&str> = golden.iter().map(String::as_str).collect();
+    let cset: std::collections::BTreeSet<&str> = current.iter().map(String::as_str).collect();
+    let version_changed = golden
+        .iter()
+        .filter(|l| l.starts_with("version "))
+        .collect::<Vec<_>>()
+        != current
+            .iter()
+            .filter(|l| l.starts_with("version "))
+            .collect::<Vec<_>>();
+    let mut changed_lines: Vec<(String, u32)> = Vec::new();
+    for e in &schema.entries {
+        let rendered = e.render();
+        if !gset.contains(rendered.as_str()) {
+            changed_lines.push((rendered, e.line));
+        }
+    }
+    for g in &golden {
+        if !cset.contains(g.as_str()) {
+            changed_lines.push((format!("(removed) {g}"), 1));
+        }
+    }
+    if version_changed {
+        for (l, _) in &changed_lines {
+            findings.push(Finding::new(
+                GOLDEN_REL,
+                1,
+                RULE,
+                format!("wire schema changed alongside a version bump: {l} — run `cned-lint --bless` to accept"),
+            ));
+        }
+        Verdict::NeedsBless {
+            changed: changed_lines.into_iter().map(|(l, _)| l).collect(),
+        }
+    } else {
+        for (l, line) in &changed_lines {
+            // Attribute layout changes to wire.rs/error.rs lines when
+            // we have them; removals point at the golden file.
+            let (file, at) = if l.starts_with("(removed)") {
+                (GOLDEN_REL, 1u32)
+            } else if l.starts_with("error ") || l.starts_with("decode-codes") {
+                ("crates/search/src/error.rs", *line)
+            } else {
+                ("crates/serve/src/wire.rs", *line)
+            };
+            findings.push(Finding::new(
+                file,
+                at,
+                RULE,
+                format!(
+                    "wire schema changed without a WIRE_VERSION/BATCH_VERSION \
+                     bump: {l} — peers negotiating the old layout would \
+                     misparse frames; bump the version, then `cned-lint --bless`"
+                ),
+            ));
+        }
+        Verdict::UnversionedChange {
+            changed: changed_lines,
+        }
+    }
+}
+
+/// Write (or refuse to write) the golden file.
+pub fn bless(root: &Path, schema: &Schema) -> Result<String, String> {
+    let golden_path = root.join(GOLDEN_REL);
+    // Refuse to bless over an unversioned layout change: --bless must
+    // not become a bypass for the version-bump requirement.
+    if let Ok(golden_text) = fs::read_to_string(&golden_path) {
+        let golden: Vec<String> = golden_text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        let current: Vec<String> = schema.entries.iter().map(Entry::render).collect();
+        let versions = |lines: &[String]| -> Vec<String> {
+            lines
+                .iter()
+                .filter(|l| l.starts_with("version "))
+                .cloned()
+                .collect()
+        };
+        if golden != current && versions(&golden) == versions(&current) {
+            return Err(
+                "refusing to bless: wire layout changed but WIRE_VERSION/BATCH_VERSION \
+                 did not — bump the version first"
+                    .to_string(),
+            );
+        }
+    }
+    if let Some(parent) = golden_path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let mut text = String::from(
+        "# Wire-schema fingerprint, generated by `cned-lint --bless`.\n\
+         # Layout lines may only change together with a `version` line bump.\n",
+    );
+    for e in &schema.entries {
+        text.push_str(&e.render());
+        text.push('\n');
+    }
+    fs::write(&golden_path, &text).map_err(|e| format!("write {GOLDEN_REL}: {e}"))?;
+    Ok(format!(
+        "blessed {} entries into {GOLDEN_REL}",
+        schema.entries.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    const WIRE: &str = "pub const WIRE_VERSION: u8 = 1;\npub const MAX_FRAME: usize = 16;\npub(crate) mod kind {\n    pub const REQ_NN: u8 = 0;\n    pub const RESP_NN: u8 = 16;\n}\n";
+    const ERROR: &str = "impl SearchError {\n    pub fn code(&self) -> u8 {\n        match self {\n            SearchError::EmptyDatabase => 1,\n            SearchError::InvalidRadius { .. } => 4,\n        }\n    }\n}\nfn get_error(b: &[u8]) {\n    match code {\n        1 => a(),\n        4 => b(),\n        _ => c(),\n    }\n}\n";
+
+    fn fixture() -> Vec<SourceFile> {
+        vec![
+            SourceFile::parse("crates/serve/src/wire.rs".into(), "serve".into(), WIRE),
+            SourceFile::parse("crates/search/src/error.rs".into(), "search".into(), ERROR),
+        ]
+    }
+
+    #[test]
+    fn extraction_captures_versions_kinds_and_codes() {
+        let schema = extract(&fixture()).unwrap();
+        let lines: Vec<String> = schema.entries.iter().map(Entry::render).collect();
+        assert!(
+            lines.contains(&"version WIRE_VERSION = 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(lines.contains(&"kind REQ_NN = 0".to_string()));
+        assert!(lines.contains(&"kind RESP_NN = 16".to_string()));
+        assert!(lines.contains(&"const MAX_FRAME = 16".to_string()));
+        assert!(lines.contains(&"error EmptyDatabase = 1".to_string()));
+        assert!(lines.contains(&"error InvalidRadius = 4".to_string()));
+        assert!(lines.contains(&"decode-codes get_error = 1 4".to_string()));
+    }
+
+    #[test]
+    fn unversioned_layout_change_is_a_hard_error() {
+        let dir = std::env::temp_dir().join(format!("cned-lint-test-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("crates/lint/golden")).unwrap();
+        let schema = extract(&fixture()).unwrap();
+        bless(&dir, &schema).unwrap();
+        // Same versions, different kind byte.
+        let wire2 = WIRE.replace("REQ_NN: u8 = 0", "REQ_NN: u8 = 7");
+        let files2 = vec![
+            SourceFile::parse("crates/serve/src/wire.rs".into(), "serve".into(), &wire2),
+            SourceFile::parse("crates/search/src/error.rs".into(), "search".into(), ERROR),
+        ];
+        let schema2 = extract(&files2).unwrap();
+        let mut findings = Vec::new();
+        match check(&dir, &schema2, &mut findings) {
+            Verdict::UnversionedChange { .. } => {}
+            _ => panic!("expected UnversionedChange"),
+        }
+        assert!(!findings.is_empty());
+        assert!(bless(&dir, &schema2).is_err(), "bless must refuse");
+        // Bump the version → blessable.
+        let wire3 = wire2.replace("WIRE_VERSION: u8 = 1", "WIRE_VERSION: u8 = 2");
+        let files3 = vec![
+            SourceFile::parse("crates/serve/src/wire.rs".into(), "serve".into(), &wire3),
+            SourceFile::parse("crates/search/src/error.rs".into(), "search".into(), ERROR),
+        ];
+        let schema3 = extract(&files3).unwrap();
+        let mut findings3 = Vec::new();
+        match check(&dir, &schema3, &mut findings3) {
+            Verdict::NeedsBless { .. } => {}
+            _ => panic!("expected NeedsBless"),
+        }
+        assert!(bless(&dir, &schema3).is_ok());
+        let mut clean = Vec::new();
+        assert!(matches!(check(&dir, &schema3, &mut clean), Verdict::Clean));
+        assert!(clean.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,438 @@
+//! Unsafe audit pass, three rules:
+//!
+//! * `unsafe/missing-safety-comment` — every `unsafe` token (block or
+//!   `unsafe fn`) must have a `// SAFETY:` line comment on the same
+//!   line, the line above, or in the contiguous comment/attribute
+//!   block above the item. Rustdoc `# Safety` sections document the
+//!   *caller's* obligation and deliberately do not count — the line
+//!   comment states why *this* site upholds it.
+//! * `unsafe/unguarded-target-feature` — a `#[target_feature]` fn may
+//!   only be called from another `#[target_feature]` fn or from a
+//!   function that checks `is_x86_feature_detected!` (directly or via
+//!   a local guard helper) before the call.
+//! * `unsafe/missing-forbid` — crates with zero `unsafe` tokens must
+//!   pin that property with `#![forbid(unsafe_code)]`; crates with
+//!   unsafe code must carry `#![deny(unsafe_op_in_unsafe_fn)]` so
+//!   every unsafe operation sits in an explicit, commentable block.
+
+use crate::lexer::TokKind;
+use crate::model::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    check_safety_comments(files, findings);
+    check_target_feature_guards(files, findings);
+    check_crate_hygiene(files, findings);
+}
+
+fn check_safety_comments(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    const RULE: &str = "unsafe/missing-safety-comment";
+    for f in files {
+        for t in &f.tokens {
+            if !t.is_ident("unsafe") || f.in_test_code(t.line) {
+                continue;
+            }
+            if has_safety_comment(f, t.line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                &f.rel,
+                t.line,
+                RULE,
+                "`unsafe` without a `// SAFETY:` comment — state why the \
+                 obligations hold at this site (rustdoc `# Safety` documents \
+                 the caller's contract, not this site's proof)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// A `// SAFETY:` line comment on the same line, or in the contiguous
+/// run of comment/attribute/doc lines directly above `line`.
+fn has_safety_comment(f: &SourceFile, line: u32) -> bool {
+    let safety_on = |l: u32| {
+        f.comments
+            .iter()
+            .any(|c| c.line == l && c.text.contains("SAFETY:") && !c.text.starts_with("///"))
+    };
+    if safety_on(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = f
+            .lines
+            .get((l - 1) as usize)
+            .map(String::as_str)
+            .unwrap_or("");
+        let trimmed = text.trim_start();
+        if trimmed.is_empty() {
+            break;
+        }
+        let is_block = trimmed.starts_with("//")
+            || trimmed.starts_with("#[")
+            || trimmed.starts_with("#!")
+            || trimmed.starts_with("*"); // inner block-comment line
+        if !is_block {
+            break;
+        }
+        if safety_on(l) {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_target_feature_guards(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    const RULE: &str = "unsafe/unguarded-target-feature";
+    // 1. Collect #[target_feature] fn names — each with the module
+    //    qualifier it is reachable under (innermost `mod` name, or
+    //    the file stem), so a *safe dispatcher wrapper sharing the
+    //    kernel's name* (`lanes::myers_word` calling
+    //    `avx2::myers_word`) is not confused with the kernel. Also
+    //    record the decorated fns' spans (calls inside another
+    //    target_feature fn are fine) and "guard" fns whose body
+    //    contains is_x86_feature_detected.
+    let mut tf_quals: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut tf_files: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut tf_spans: BTreeMap<String, Vec<(u32, u32)>> = BTreeMap::new();
+    let mut guard_fns: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let toks = &f.tokens;
+        let mod_spans = find_mod_spans(toks);
+        for i in 0..toks.len() {
+            if toks[i].is_ident("target_feature") {
+                // Find the fn this attribute decorates: scan forward
+                // for `fn name`, skipping further attributes/quals.
+                let mut j = i;
+                while j < toks.len() && !toks[j].is_ident("fn") {
+                    j += 1;
+                }
+                if j + 1 < toks.len() && toks[j + 1].kind == TokKind::Ident {
+                    let name = toks[j + 1].text.clone();
+                    let def_line = toks[j + 1].line;
+                    let qualifier = mod_spans
+                        .iter()
+                        .filter(|&&(_, a, b)| a <= def_line && def_line <= b)
+                        .min_by_key(|&&(_, a, b)| b - a)
+                        .map(|(n, _, _)| n.clone())
+                        .unwrap_or_else(|| file_stem(&f.rel));
+                    tf_quals.entry(name.clone()).or_default().insert(qualifier);
+                    tf_files
+                        .entry(name.clone())
+                        .or_default()
+                        .insert(f.rel.clone());
+                    // Record the decorated fn's span so calls *inside*
+                    // other target_feature fns stay allowed.
+                    for &(ref n, a, b) in &f.fn_spans {
+                        if *n == name {
+                            tf_spans.entry(f.rel.clone()).or_default().push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+        // Guard fns: any fn whose body mentions is_x86_feature_detected.
+        for &(ref name, a, b) in &f.fn_spans {
+            let has_check = toks
+                .iter()
+                .any(|t| t.line >= a && t.line <= b && t.is_ident("is_x86_feature_detected"));
+            if has_check {
+                guard_fns.insert(name.clone());
+            }
+        }
+    }
+    // 2. Check every call site of a target_feature fn.
+    for f in files {
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !tf_quals.contains_key(&t.text) {
+                continue;
+            }
+            // Call site: `name (`; skip the definition (`fn name`).
+            let is_call = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+            let is_def = i > 0 && toks[i - 1].is_ident("fn");
+            if !is_call || is_def || f.in_test_code(t.line) {
+                continue;
+            }
+            // Resolve the path qualifier: `avx2::kernel(` targets the
+            // kernel, `lanes::kernel(` targets the safe dispatcher
+            // wrapper, `x.kernel(` is a method. Unqualified calls only
+            // count inside a file that defines the kernel.
+            if i > 0 && toks[i - 1].is_punct(".") {
+                continue;
+            }
+            if i > 0 && toks[i - 1].is_punct("::") {
+                let qual = toks.get(i.wrapping_sub(2)).map(|q| q.text.as_str());
+                let matches_kernel = qual.is_some_and(|q| tf_quals[&t.text].contains(q));
+                if !matches_kernel {
+                    continue;
+                }
+            } else if !tf_files[&t.text].contains(&f.rel) {
+                continue;
+            }
+            // OK if the caller is itself a target_feature fn.
+            let in_tf_fn = tf_spans
+                .get(&f.rel)
+                .is_some_and(|spans| spans.iter().any(|&(a, b)| a <= t.line && t.line <= b));
+            if in_tf_fn {
+                continue;
+            }
+            // OK if the enclosing fn checks the feature (directly or
+            // via a guard helper) before this line.
+            let enclosing = f
+                .fn_spans
+                .iter()
+                .filter(|&&(_, a, b)| a <= t.line && t.line <= b)
+                .min_by_key(|&&(_, a, b)| b - a);
+            let guarded = enclosing.is_some_and(|&(_, a, _)| {
+                toks.iter().any(|g| {
+                    g.line >= a
+                        && g.line <= t.line
+                        && g.kind == TokKind::Ident
+                        && (g.text == "is_x86_feature_detected" || guard_fns.contains(&g.text))
+                })
+            });
+            if guarded {
+                continue;
+            }
+            findings.push(Finding::new(
+                &f.rel,
+                t.line,
+                RULE,
+                format!(
+                    "call to `#[target_feature]` fn `{}` without a visible \
+                     `is_x86_feature_detected!` guard in the calling function",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `(name, start_line, end_line)` for every inline `mod name { … }`
+/// (declarations `mod name;` have no body and are skipped).
+fn find_mod_spans(toks: &[crate::lexer::Token]) -> Vec<(String, u32, u32)> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("mod") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(open_tok) = toks.get(i + 2) else {
+            continue;
+        };
+        if !open_tok.is_punct("{") {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            if toks[j].is_punct("{") {
+                depth += 1;
+            } else if toks[j].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    spans.push((name_tok.text.clone(), toks[i].line, toks[j].line));
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    spans
+}
+
+/// `crates/core/src/lanes.rs` → `lanes`; `…/lib.rs`/`…/main.rs` fall
+/// back to the crate directory name.
+fn file_stem(rel: &str) -> String {
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    let stem = base.strip_suffix(".rs").unwrap_or(base);
+    if stem == "lib" || stem == "main" || stem == "mod" {
+        rel.split('/').nth(1).unwrap_or(stem).to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+fn check_crate_hygiene(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    const FORBID: &str = "unsafe/missing-forbid";
+    const DENY: &str = "unsafe/missing-deny-unsafe-op";
+    // Group by crate; the lint's own crate audits itself too.
+    let mut crates: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
+    for f in files {
+        crates.entry(f.crate_name.as_str()).or_default().push(f);
+    }
+    for (name, members) in crates {
+        let has_unsafe = members.iter().any(|f| {
+            f.tokens
+                .iter()
+                .any(|t| t.is_ident("unsafe") && !f.in_test_code(t.line))
+        });
+        let root = members
+            .iter()
+            .find(|f| f.rel.ends_with("/lib.rs") || f.rel.ends_with("/main.rs"));
+        let Some(root) = root else { continue };
+        if has_unsafe {
+            if !has_inner_attr(root, "unsafe_op_in_unsafe_fn") {
+                findings.push(Finding::new(
+                    &root.rel,
+                    1,
+                    DENY,
+                    format!(
+                        "crate `{name}` contains unsafe code but its root does not \
+                         declare `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    ),
+                ));
+            }
+        } else if !has_inner_attr(root, "unsafe_code") {
+            findings.push(Finding::new(
+                &root.rel,
+                1,
+                FORBID,
+                format!(
+                    "crate `{name}` has no unsafe code — pin that with \
+                     `#![forbid(unsafe_code)]` in {}",
+                    root.rel
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the file carries `#![forbid/deny(...)]` naming `lint_name`
+/// (token sequence `# ! [ … lint_name … ]` near the file top).
+fn has_inner_attr(f: &SourceFile, lint_name: &str) -> bool {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+            // Scan to the closing `]`.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_ident(lint_name) {
+                    return true;
+                }
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn lint_one(rel: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel.into(), crate_name.into(), src);
+        let mut out = Vec::new();
+        run(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let src =
+            "#![deny(unsafe_op_in_unsafe_fn)]\nfn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let out = lint_one("crates/x/src/lib.rs", "x", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "unsafe/missing-safety-comment");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn safety_comment_above_satisfies() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\nfn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads.\n    unsafe { *p }\n}\n";
+        assert!(lint_one("crates/x/src/lib.rs", "x", src).is_empty());
+    }
+
+    #[test]
+    fn rustdoc_safety_section_does_not_satisfy() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n/// # Safety\n/// p must be valid.\npub unsafe fn f(p: *const u8) -> u8 {\n    // SAFETY: contract forwarded to caller.\n    unsafe { *p }\n}\n";
+        let out = lint_one("crates/x/src/lib.rs", "x", src);
+        // The `unsafe fn` on line 4 has only doc comments above it.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn clean_crate_needs_forbid() {
+        let out = lint_one("crates/x/src/lib.rs", "x", "pub fn f() {}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unsafe/missing-forbid");
+    }
+
+    #[test]
+    fn forbid_attr_satisfies() {
+        let out = lint_one(
+            "crates/x/src/lib.rs",
+            "x",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unguarded_target_feature_call_is_flagged() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#[target_feature(enable = \"avx2\")]\n// SAFETY: caller checks avx2.\npub unsafe fn kernel() {}\nfn caller() {\n    // SAFETY: wrong — no runtime check here.\n    unsafe { kernel() };\n}\n";
+        let out = lint_one("crates/x/src/lib.rs", "x", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "unsafe/unguarded-target-feature");
+    }
+
+    #[test]
+    fn safe_dispatcher_wrapper_with_same_name_is_not_a_kernel_call() {
+        // lanes.rs pattern: `mod avx2` holds the kernel; a safe
+        // top-level dispatcher shares its name. Calling the
+        // *dispatcher* from another file must not be flagged.
+        let kernels = "#![deny(unsafe_op_in_unsafe_fn)]\nmod avx2 {\n    #[target_feature(enable = \"avx2\")]\n    // SAFETY: caller checks avx2.\n    pub unsafe fn kernel() {}\n}\npub fn kernel(backend: Backend) {\n    if use_avx2(backend) {\n        // SAFETY: AVX2 presence checked just above.\n        unsafe { avx2::kernel() };\n    }\n}\nfn use_avx2(b: Backend) -> bool {\n    is_x86_feature_detected!(\"avx2\")\n}\n";
+        let caller = "fn go(backend: Backend) {\n    crate::lanes::kernel(backend);\n}\n";
+        let files = vec![
+            SourceFile::parse("crates/x/src/lanes.rs".into(), "x".into(), kernels),
+            SourceFile::parse("crates/x/src/lib.rs".into(), "x".into(), caller),
+        ];
+        let mut out = Vec::new();
+        run(&files, &mut out);
+        let tf: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "unsafe/unguarded-target-feature")
+            .collect();
+        assert!(tf.is_empty(), "{tf:?}");
+    }
+
+    #[test]
+    fn qualified_kernel_call_without_guard_is_flagged() {
+        let kernels = "#![deny(unsafe_op_in_unsafe_fn)]\nmod avx2 {\n    #[target_feature(enable = \"avx2\")]\n    // SAFETY: caller checks avx2.\n    pub unsafe fn kernel() {}\n}\nfn bad() {\n    // SAFETY: wrong — no runtime check.\n    unsafe { avx2::kernel() };\n}\n";
+        let f = SourceFile::parse("crates/x/src/lanes.rs".into(), "x".into(), kernels);
+        let mut out = Vec::new();
+        run(&[f], &mut out);
+        assert!(
+            out.iter()
+                .any(|f| f.rule == "unsafe/unguarded-target-feature"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn detected_guard_satisfies() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#[target_feature(enable = \"avx2\")]\n// SAFETY: caller checks avx2.\npub unsafe fn kernel() {}\nfn caller() {\n    if is_x86_feature_detected!(\"avx2\") {\n        // SAFETY: AVX2 presence checked just above.\n        unsafe { kernel() };\n    }\n}\n";
+        assert!(lint_one("crates/x/src/lib.rs", "x", src).is_empty());
+    }
+}

@@ -68,6 +68,9 @@
 //! backend. The pre-trait inherent methods and free functions remain
 //! as `#[deprecated]` forwarders for one release.
 
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
 pub mod aesa;
 pub mod counter;
 pub mod error;

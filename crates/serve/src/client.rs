@@ -44,13 +44,14 @@
 //! error, and later submissions fail — a typed signal, not a mystery
 //! disconnect.
 
+use crate::ordered::{rank, OrderedMutex};
 use crate::session::{Request, RequestId, Response, ResponseBody, Ticket};
 use crate::wire::{self, WireError, WireResponse, WireSymbol};
 use cned_search::{Neighbour, SearchError, SearchStats};
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -157,11 +158,11 @@ impl PendingTx {
 /// Reader/submitter shared state.
 struct Shared {
     /// Client request id → where its answer goes.
-    pending: Mutex<HashMap<u64, PendingTx>>,
+    pending: OrderedMutex<HashMap<u64, PendingTx>>,
     /// `Some(error)` once the connection is unusable; set by the
     /// reader before it drains `pending`, checked by submit paths so
     /// a dead connection can never leave a ticket unanswerable.
-    fatal: Mutex<Option<SearchError>>,
+    fatal: OrderedMutex<Option<SearchError>>,
 }
 
 impl Shared {
@@ -169,10 +170,13 @@ impl Shared {
     /// pending with it.
     fn fail_all(&self, error: SearchError) {
         {
-            let mut fatal = self.fatal.lock().expect("fatal flag never poisoned");
+            let mut fatal = self.fatal.lock();
             fatal.get_or_insert(error.clone());
         }
-        let mut map = self.pending.lock().expect("pending map never poisoned");
+        let mut map = self.pending.lock();
+        // lint:allow(map-iteration) — order-independent: every pending
+        // entry receives the same terminal error, and the map is left
+        // empty regardless of drain order.
         for (id, tx) in map.drain() {
             tx.fail(id, error.clone());
         }
@@ -253,8 +257,8 @@ impl<S: WireSymbol + 'static> Client<S> {
         };
         let _ = stream.set_nodelay(true);
         let shared = Arc::new(Shared {
-            pending: Mutex::new(HashMap::new()),
-            fatal: Mutex::new(None),
+            pending: OrderedMutex::new(rank::CLIENT_PENDING, "client.pending", HashMap::new()),
+            fatal: OrderedMutex::new(rank::CLIENT_FATAL, "client.fatal", None),
         });
         let reader = {
             let stream = stream.try_clone()?;
@@ -275,7 +279,7 @@ impl<S: WireSymbol + 'static> Client<S> {
 
     /// The connection-fatal error, if any, as a [`WireError`].
     fn check_fatal(&self) -> Result<(), WireError> {
-        let fatal = self.shared.fatal.lock().expect("fatal flag never poisoned");
+        let fatal = self.shared.fatal.lock();
         match &*fatal {
             Some(error) => Err(WireError::Io(format!("connection closed: {error}"))),
             None => Ok(()),
@@ -302,17 +306,9 @@ impl<S: WireSymbol + 'static> Client<S> {
         tx: PendingTx,
         payload: &[u8],
     ) -> Result<(), WireError> {
-        self.shared
-            .pending
-            .lock()
-            .expect("pending map never poisoned")
-            .insert(id.0, tx);
+        self.shared.pending.lock().insert(id.0, tx);
         let remove = |this: &Client<S>| {
-            this.shared
-                .pending
-                .lock()
-                .expect("pending map never poisoned")
-                .remove(&id.0);
+            this.shared.pending.lock().remove(&id.0);
         };
         if let Err(e) = wire::write_frame_unflushed(&mut self.writer, payload) {
             remove(self);
@@ -522,11 +518,7 @@ fn route_frame(shared: &Shared, frame: WireResponse) -> Result<(), SearchError> 
                     _ => SearchError::Shutdown,
                 });
             }
-            let tx = shared
-                .pending
-                .lock()
-                .expect("pending map never poisoned")
-                .remove(&response.id.0);
+            let tx = shared.pending.lock().remove(&response.id.0);
             match tx {
                 Some(PendingTx::One(tx)) => {
                     let _ = tx.send(response);
@@ -544,11 +536,7 @@ fn route_frame(shared: &Shared, frame: WireResponse) -> Result<(), SearchError> 
             }
         }
         WireResponse::Batch(id, bodies) => {
-            let tx = shared
-                .pending
-                .lock()
-                .expect("pending map never poisoned")
-                .remove(&id.0);
+            let tx = shared.pending.lock().remove(&id.0);
             match tx {
                 Some(PendingTx::Batch(tx)) => {
                     let _ = tx.send(Ok(bodies));
@@ -603,11 +591,7 @@ fn read_responses(mut stream: TcpStream, shared: &Shared, deadline: Duration) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                let waiting = !shared
-                    .pending
-                    .lock()
-                    .expect("pending map never poisoned")
-                    .is_empty();
+                let waiting = !shared.pending.lock().is_empty();
                 if !waiting {
                     // Idle connections have no deadline; quiet time
                     // only counts while answers are owed.

@@ -78,7 +78,11 @@
 //! each lowers build cost and tail latency, fewer shards with more
 //! pivots minimises total distance computations.
 
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
 pub mod client;
+pub mod ordered;
 pub mod pipeline;
 pub mod server;
 pub mod session;
@@ -86,6 +90,7 @@ pub mod sharded;
 pub mod wire;
 
 pub use client::{BatchTicket, Client, ClientConfig, ClientError};
+pub use ordered::{OrderedGuard, OrderedMutex};
 pub use pipeline::QueryPipeline;
 pub use server::{Server, ServerConfig};
 pub use session::{

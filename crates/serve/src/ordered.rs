@@ -1,0 +1,230 @@
+//! Rank-ordered mutexes: the runtime half of the lock-order story.
+//!
+//! `cned-lint`'s lock pass proves the *static* acquisition graph of
+//! this crate acyclic; [`OrderedMutex`] enforces the same discipline
+//! dynamically in debug builds. Every lock carries a rank, and a
+//! thread may only acquire a lock whose rank is **strictly greater**
+//! than every rank it already holds — any interleaving the lint could
+//! not see (trait objects, closures, future refactors) trips an
+//! assertion in the debug-mode test suites instead of deadlocking in
+//! production.
+//!
+//! In release builds the wrapper is a transparent
+//! [`std::sync::Mutex`]: no thread-local bookkeeping, no extra
+//! branches.
+//!
+//! The declared order (gaps left for future locks):
+//!
+//! | rank | lock                    |
+//! |-----:|-------------------------|
+//! | 10   | `SessionShared::state`  |
+//! | 20   | client `Shared::fatal`  |
+//! | 21   | client `Shared::pending`|
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Declared acquisition ranks, one per lock in the crate. Strictly
+/// increasing along every permitted acquisition path.
+pub mod rank {
+    /// The session queue (`SessionShared::state`).
+    pub const SESSION_STATE: u8 = 10;
+    /// The client's connection-fatal flag (`Shared::fatal`).
+    pub const CLIENT_FATAL: u8 = 20;
+    /// The client's pending-response map (`Shared::pending`).
+    pub const CLIENT_PENDING: u8 = 21;
+}
+
+#[cfg(debug_assertions)]
+mod held {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks this thread currently holds, in acquisition order.
+        /// The ordering invariant keeps the stack strictly increasing,
+        /// so the top is also the maximum.
+        static HELD: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(rank: u8, name: &str) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&top) = held.last() {
+                assert!(
+                    top < rank,
+                    "lock-order violation: acquiring `{name}` (rank {rank}) \
+                     while holding a lock of rank {top}; ranks must be \
+                     strictly increasing along every acquisition path"
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    pub(super) fn release(rank: u8) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            let pos = held
+                .iter()
+                .rposition(|&r| r == rank)
+                .expect("releasing a rank this thread does not hold");
+            held.remove(pos);
+        });
+    }
+}
+
+/// A [`Mutex`] with a declared acquisition rank (see module docs).
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    inner: Mutex<T>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wrap `value` under `rank`/`name`. Both are compiled out in
+    /// release builds.
+    pub fn new(rank: u8, name: &'static str, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (rank, name);
+        OrderedMutex {
+            inner: Mutex::new(value),
+            #[cfg(debug_assertions)]
+            rank,
+            #[cfg(debug_assertions)]
+            name,
+        }
+    }
+
+    /// Acquire, asserting the rank order in debug builds. Poisoning is
+    /// converted to a panic: every holder in this crate keeps its
+    /// critical section panic-free, so a poisoned lock is itself a
+    /// bug.
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        held::acquire(self.rank, self.name);
+        OrderedGuard {
+            guard: Some(self.inner.lock().expect("ordered mutex never poisoned")),
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+        }
+    }
+}
+
+/// Guard returned by [`OrderedMutex::lock`]; releases the rank on
+/// drop.
+#[derive(Debug)]
+pub struct OrderedGuard<'a, T> {
+    /// `None` only transiently inside [`OrderedGuard::wait`] and after
+    /// drop bookkeeping.
+    guard: Option<MutexGuard<'a, T>>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+}
+
+impl<'a, T> OrderedGuard<'a, T> {
+    /// Block on `cv`, releasing the lock while asleep (and its rank —
+    /// another thread takes the lock in between) and reacquiring both
+    /// on wake. The session scheduler parks here waiting for work.
+    pub fn wait(mut self, cv: &Condvar) -> OrderedGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        let rank = self.rank;
+        #[cfg(debug_assertions)]
+        held::release(rank);
+        let inner = self.guard.take().expect("guard intact before wait");
+        let inner = cv.wait(inner).expect("ordered mutex never poisoned");
+        #[cfg(debug_assertions)]
+        held::acquire(rank, "reacquire after condvar wait");
+        OrderedGuard {
+            guard: Some(inner),
+            #[cfg(debug_assertions)]
+            rank,
+        }
+    }
+}
+
+impl<T> Deref for OrderedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard intact")
+    }
+}
+
+impl<T> DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard intact")
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the inner guard first, then the rank bookkeeping —
+        // `wait` leaves `guard` empty and accounts for its own rank.
+        if self.guard.take().is_some() {
+            #[cfg(debug_assertions)]
+            held::release(self.rank);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increasing_order_is_fine() {
+        let a = OrderedMutex::new(1, "a", 0u32);
+        let b = OrderedMutex::new(2, "b", 0u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        // Reacquisition after release is fine too.
+        let gb = b.lock();
+        drop(gb);
+        let ga = a.lock();
+        drop(ga);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rank checks are debug-only")]
+    fn decreasing_order_panics() {
+        let result = std::thread::spawn(|| {
+            let a = OrderedMutex::new(1, "a", 0u32);
+            let b = OrderedMutex::new(2, "b", 0u32);
+            let _gb = b.lock();
+            let _ga = a.lock(); // rank 1 while holding rank 2
+        })
+        .join();
+        assert!(result.is_err(), "expected a lock-order panic");
+    }
+
+    #[test]
+    fn condvar_wait_keeps_bookkeeping_balanced() {
+        use std::sync::{Arc, Condvar};
+        let lock = Arc::new(OrderedMutex::new(1, "w", false));
+        let cv = Arc::new(Condvar::new());
+        let (l2, c2) = (Arc::clone(&lock), Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut g = l2.lock();
+            while !*g {
+                g = g.wait(&c2);
+            }
+        });
+        loop {
+            let mut g = lock.lock();
+            *g = true;
+            cv.notify_all();
+            drop(g);
+            if waiter.is_finished() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        waiter.join().unwrap();
+        // The waiter thread exited cleanly: wait() repushed and the
+        // final drop released — no unbalanced-rank panic.
+    }
+}

@@ -40,13 +40,14 @@
 //! the [`RequestId`] of the request that produced it, so answers
 //! correlate by identity, never by queue position.
 
+use crate::ordered::{rank, OrderedMutex};
 use crate::sharded::ShardedIndex;
 use cned_core::metric::Distance;
 use cned_core::Symbol;
 use cned_search::{workers_for, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar};
 use std::thread::JoinHandle;
 
 /// Identity of one submitted request within its session (assigned
@@ -271,7 +272,7 @@ struct SessionState<S: Symbol> {
 /// [`ServeSession`] and the scoped session inside
 /// [`crate::QueryPipeline::run`].
 pub(crate) struct SessionShared<S: Symbol> {
-    state: Mutex<SessionState<S>>,
+    state: OrderedMutex<SessionState<S>>,
     /// Signalled on new work and on drain, waking the scheduler.
     work: Condvar,
 }
@@ -279,11 +280,15 @@ pub(crate) struct SessionShared<S: Symbol> {
 impl<S: Symbol> SessionShared<S> {
     pub(crate) fn new() -> SessionShared<S> {
         SessionShared {
-            state: Mutex::new(SessionState {
-                queue: VecDeque::new(),
-                next_id: 0,
-                draining: false,
-            }),
+            state: OrderedMutex::new(
+                rank::SESSION_STATE,
+                "session.state",
+                SessionState {
+                    queue: VecDeque::new(),
+                    next_id: 0,
+                    draining: false,
+                },
+            ),
             work: Condvar::new(),
         }
     }
@@ -291,7 +296,7 @@ impl<S: Symbol> SessionShared<S> {
     /// Enqueue `request` if the queue holds fewer than `depth`
     /// entries, handing back the ticket for its response.
     pub(crate) fn submit(&self, depth: usize, request: Request<S>) -> Result<Ticket, SearchError> {
-        let mut state = self.state.lock().expect("session state never poisoned");
+        let mut state = self.state.lock();
         if state.draining {
             return Err(SearchError::Shutdown);
         }
@@ -318,7 +323,7 @@ impl<S: Symbol> SessionShared<S> {
         depth: usize,
         requests: Vec<Request<S>>,
     ) -> Result<Vec<Ticket>, SearchError> {
-        let mut state = self.state.lock().expect("session state never poisoned");
+        let mut state = self.state.lock();
         if state.draining {
             return Err(SearchError::Shutdown);
         }
@@ -343,16 +348,12 @@ impl<S: Symbol> SessionShared<S> {
 
     /// Requests accepted but not yet picked up by the scheduler.
     pub(crate) fn pending(&self) -> usize {
-        self.state
-            .lock()
-            .expect("session state never poisoned")
-            .queue
-            .len()
+        self.state.lock().queue.len()
     }
 
     /// Stop admission; the scheduler exits once the queue is drained.
     pub(crate) fn begin_drain(&self) {
-        let mut state = self.state.lock().expect("session state never poisoned");
+        let mut state = self.state.lock();
         state.draining = true;
         self.work.notify_all();
     }
@@ -437,7 +438,7 @@ pub(crate) fn scheduler_loop<S: Symbol, I: MetricIndex<S> + ?Sized>(
         // queue). The lock is held only while popping: answering runs
         // lock-free so submissions keep landing during a long chunk.
         let chunk: Chunk<S> = {
-            let mut state = shared.state.lock().expect("session state never poisoned");
+            let mut state = shared.state.lock();
             loop {
                 if !state.queue.is_empty() {
                     let is_insert =
@@ -458,10 +459,7 @@ pub(crate) fn scheduler_loop<S: Symbol, I: MetricIndex<S> + ?Sized>(
                 if state.draining {
                     return;
                 }
-                state = shared
-                    .work
-                    .wait(state)
-                    .expect("session state never poisoned");
+                state = state.wait(&shared.work);
             }
         };
         match chunk {

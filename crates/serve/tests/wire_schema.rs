@@ -1,0 +1,177 @@
+//! Wire-schema exhaustiveness: every [`SearchError`] variant and
+//! every frame-kind constant must round-trip through the binary
+//! protocol, and *only* those — a new variant or kind that is added
+//! without extending the codec (and bumping the version / blessing
+//! the `cned-lint` fingerprint) fails here, not in production.
+
+use cned_search::SearchError;
+use cned_serve::session::{RequestId, Response, ResponseBody};
+use cned_serve::wire::{
+    self, decode_request_frame, decode_response_frame, encode_response, kind, WireError,
+    WireRequest, WireResponse, WIRE_VERSION,
+};
+
+/// One value of every `SearchError` variant. `code()` is the wire
+/// identity; a variant missing here no longer compiles this match.
+fn every_error() -> Vec<SearchError> {
+    let all = vec![
+        SearchError::EmptyDatabase,
+        SearchError::PivotOutOfRange { pivot: 7, len: 3 },
+        SearchError::DuplicatePivot { pivot: 5 },
+        SearchError::InvalidRadius { radius: -1.5 },
+        SearchError::LabelCount {
+            labels: 2,
+            items: 9,
+        },
+        SearchError::UnsupportedConfig {
+            reason: "test reason",
+        },
+        SearchError::Overloaded { depth: 64 },
+        SearchError::Shutdown,
+        SearchError::DeadlineExceeded,
+    ];
+    // Exhaustiveness guard: every value of the match below must be
+    // present above exactly once, covering codes 1..=9 contiguously.
+    let codes: Vec<u8> = all.iter().map(|e| e.code()).collect();
+    assert_eq!(codes, (1..=9).collect::<Vec<u8>>());
+    all
+}
+
+#[test]
+fn every_error_variant_round_trips() {
+    let mut buf = Vec::new();
+    for error in every_error() {
+        let response = Response {
+            id: RequestId(42),
+            body: ResponseBody::Failed {
+                error: error.clone(),
+            },
+        };
+        encode_response(&response, &mut buf);
+        let decoded = decode_response_frame(&buf).expect("encoded Failed frame decodes");
+        let WireResponse::One(got) = decoded else {
+            panic!("Failed frame decoded as a batch");
+        };
+        assert_eq!(got.id, RequestId(42));
+        let ResponseBody::Failed { error: got_error } = got.body else {
+            panic!("Failed frame decoded as a non-Failed body");
+        };
+        // The code (the wire identity) always survives. The value
+        // itself survives too, except `UnsupportedConfig`, whose
+        // remote reason canonicalises to a static string.
+        assert_eq!(got_error.code(), error.code());
+        match error {
+            SearchError::UnsupportedConfig { .. } => {
+                assert!(matches!(got_error, SearchError::UnsupportedConfig { .. }));
+            }
+            other => assert_eq!(got_error, other),
+        }
+    }
+}
+
+/// A minimal `RESP_FAILED` frame carrying `code` followed by `body`
+/// bytes (the variant's fields).
+fn failed_frame(code: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = vec![WIRE_VERSION, kind::RESP_FAILED];
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.push(code);
+    payload.extend_from_slice(body);
+    payload
+}
+
+#[test]
+fn decodable_error_codes_are_exactly_one_through_nine() {
+    // Candidate field encodings covering every variant's layout:
+    // no fields / one u64 / one f64 / two u64 / a zero-length string.
+    let suffixes: [&[u8]; 4] = [&[], &[0; 8], &[0; 16], &[0; 4]];
+    for code in 0..=255u8 {
+        let decodable = suffixes
+            .iter()
+            .any(|body| decode_response_frame(&failed_frame(code, body)).is_ok());
+        assert_eq!(
+            decodable,
+            (1..=9).contains(&code),
+            "error code {code}: decodable={decodable}"
+        );
+    }
+}
+
+/// A frame header (version, kind, id) with an empty body.
+fn bare_frame(k: u8) -> Vec<u8> {
+    let mut payload = vec![WIRE_VERSION, k];
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload
+}
+
+#[test]
+fn known_response_kinds_are_exactly_the_declared_constants() {
+    let known = [
+        kind::RESP_NN,
+        kind::RESP_KNN,
+        kind::RESP_RANGE,
+        kind::RESP_INSERTED,
+        kind::RESP_FAILED,
+        kind::RESP_BATCH,
+    ];
+    assert_eq!(known, [16, 17, 18, 19, 20, 21]);
+    for k in 0..=255u8 {
+        // An unknown kind byte is rejected as `BadKind` (carrying the
+        // byte); a known kind gets past the kind dispatch — with an
+        // empty body it may then fail, but never as `BadKind`.
+        let result = decode_response_frame(&bare_frame(k));
+        let bad_kind = matches!(result, Err(WireError::BadKind { got }) if got == k);
+        assert_eq!(
+            bad_kind,
+            !known.contains(&k),
+            "response kind {k}: result={result:?}"
+        );
+    }
+}
+
+#[test]
+fn known_request_kinds_are_exactly_the_declared_constants() {
+    let known = [
+        kind::REQ_NN,
+        kind::REQ_KNN,
+        kind::REQ_RANGE,
+        kind::REQ_INSERT,
+        kind::REQ_BATCH,
+    ];
+    assert_eq!(known, [0, 1, 2, 3, 4]);
+    for k in 0..=255u8 {
+        let result = decode_request_frame::<u8>(&bare_frame(k));
+        let bad_kind = matches!(result, Err(WireError::BadKind { got }) if got == k);
+        assert_eq!(
+            bad_kind,
+            !known.contains(&k),
+            "request kind {k}: result={result:?}"
+        );
+    }
+}
+
+#[test]
+fn request_round_trip_still_works_for_every_kind() {
+    use cned_serve::session::Request;
+    let requests: Vec<Request<u8>> = vec![
+        Request::Nn {
+            query: vec![1, 2, 3],
+        },
+        Request::Knn {
+            query: vec![4, 5],
+            k: 2,
+        },
+        Request::Range {
+            query: vec![6],
+            radius: 0.25,
+        },
+        Request::Insert { item: vec![7, 8] },
+    ];
+    let mut buf = Vec::new();
+    for request in &requests {
+        wire::encode_request(RequestId(9), request, &mut buf);
+        let (id, decoded) =
+            decode_request_frame::<u8>(&buf).expect("encoded request frame decodes");
+        assert_eq!(id, RequestId(9));
+        assert!(matches!(decoded, WireRequest::One(_)));
+    }
+}

@@ -15,6 +15,9 @@
 //! the Chávez value `µ²/(2σ²)` as primary and expose both (they differ
 //! by an exact factor 2, so none of Table 1's *orderings* change).
 
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
 pub mod histogram;
 pub mod moments;
 
