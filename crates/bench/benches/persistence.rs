@@ -1,0 +1,177 @@
+//! Persistence economics (`cned-store`): what does durability cost,
+//! and what does a warm load buy?
+//!
+//! Three groups:
+//! * `snapshot_codec` — `encode_snapshot` / `decode_snapshot` over a
+//!   built LAESA index (corpus + pivot tables). After the timed runs
+//!   the snapshot size and implied MB/s are printed, so the numbers in
+//!   `BENCH_persistence.json` can be read as bandwidth;
+//! * `cold_vs_warm` — `Laesa::try_build` (pivot selection + distance
+//!   table construction) against decoding the equivalent snapshot.
+//!   The decode does zero distance computations, so the gap is the
+//!   whole point of shipping snapshots instead of rebuilding;
+//! * `wal_replay` — appending a run of inserts through the fsyncing
+//!   `Wal` (the per-insert durability price), and replaying the
+//!   resulting log bytes back into entries (the restart price).
+//!
+//! Set `CNED_BENCH_FAST=1` (CI smoke) to shrink the workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use cned_core::levenshtein::Levenshtein;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_search::laesa::Laesa;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::MetricIndex;
+use cned_store::wal::{replay, Wal};
+use cned_store::{decode_snapshot, encode_snapshot, IndexView};
+
+fn fast() -> bool {
+    std::env::var("CNED_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn sizes() -> (usize, usize) {
+    // (database items, wal entries)
+    if fast() {
+        (300, 256)
+    } else {
+        (2000, 4096)
+    }
+}
+
+fn build_index(db: &[Vec<u8>]) -> Laesa<u8> {
+    let pivots = select_pivots_max_sum(db, 16.min(db.len()), 0, &Levenshtein);
+    Laesa::try_build(db.to_vec(), pivots, &Levenshtein).expect("valid pivots")
+}
+
+fn snapshot_of(index: &Laesa<u8>) -> Vec<u8> {
+    let view = IndexView::of(index).expect("laesa is persistable");
+    encode_snapshot((1, 0), &view)
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let (n, _) = sizes();
+    let db = spanish_dictionary(n, 11);
+    let index = build_index(&db);
+    let bytes = snapshot_of(&index);
+    let mut group = c.benchmark_group("snapshot_codec");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+        b.iter(|| snapshot_of(black_box(&index)))
+    });
+    group.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+        b.iter(|| decode_snapshot::<u8>(black_box(&bytes)).expect("own encoding decodes"))
+    });
+    group.finish();
+
+    // Bandwidth context for the JSON numbers above.
+    let mb = bytes.len() as f64 / (1024.0 * 1024.0);
+    let reps = 20u32;
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(snapshot_of(&index));
+    }
+    let enc = t.elapsed().as_secs_f64() / f64::from(reps);
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(decode_snapshot::<u8>(&bytes).expect("decodes"));
+    }
+    let dec = t.elapsed().as_secs_f64() / f64::from(reps);
+    println!(
+        "snapshot: {} items, {:.2} MiB — encode {:.0} MiB/s, decode {:.0} MiB/s",
+        index.len(),
+        mb,
+        mb / enc,
+        mb / dec
+    );
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let (n, _) = sizes();
+    let db = spanish_dictionary(n, 11);
+    let bytes = snapshot_of(&build_index(&db));
+    let mut group = c.benchmark_group("cold_vs_warm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::new("cold_build", n), &n, |b, _| {
+        b.iter(|| build_index(black_box(&db)))
+    });
+    group.bench_with_input(BenchmarkId::new("warm_load", n), &n, |b, _| {
+        b.iter(|| decode_snapshot::<u8>(black_box(&bytes)).expect("decodes"))
+    });
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let (_, entries) = sizes();
+    let db = spanish_dictionary(entries, 23);
+    let dir = std::env::temp_dir().join(format!("cned-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("wal.cned");
+
+    // The durability price: every append ends in fsync, so this group
+    // measures the disk, not the codec — exactly what an accepted
+    // insert pays before its ticket resolves.
+    let mut group = c.benchmark_group("wal_append_fsync");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("append", |b| {
+        let mut wal = Wal::open::<u8>(&path).expect("wal opens");
+        let mut seq = 0u64;
+        b.iter(|| {
+            let item = &db[(seq as usize) % db.len()];
+            wal.append::<u8>(seq, black_box(item)).expect("append");
+            seq += 1;
+        });
+    });
+    group.finish();
+
+    // The restart price: replaying a full log back into entries.
+    {
+        let mut wal = Wal::open::<u8>(&path).expect("wal opens");
+        wal.truncate::<u8>().expect("truncate");
+        for (seq, item) in db.iter().enumerate() {
+            wal.append::<u8>(seq as u64, item).expect("append");
+        }
+    }
+    let bytes = std::fs::read(&path).expect("read wal");
+    let mut group = c.benchmark_group("wal_replay");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_with_input(BenchmarkId::new("entries", entries), &entries, |b, _| {
+        b.iter(|| {
+            let replayed = replay::<u8>(black_box(&bytes)).expect("clean log replays");
+            assert_eq!(replayed.len(), entries);
+            replayed
+        })
+    });
+    group.finish();
+
+    let reps = 20u32;
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(replay::<u8>(&bytes).expect("replays"));
+    }
+    let per = t.elapsed().as_secs_f64() / f64::from(reps);
+    println!(
+        "wal: {} entries, {:.1} KiB — replay {:.0} entries/s",
+        entries,
+        bytes.len() as f64 / 1024.0,
+        entries as f64 / per
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_snapshot_codec, bench_cold_vs_warm, bench_wal);
+criterion_main!(benches);

@@ -108,7 +108,9 @@ pub mod prelude {
 /// `char`, enum nucleotides, `u32` codepoints, … The `Send + Sync`
 /// requirement (trivially met by all of those) is what lets index
 /// construction and batch search fan out across cores without extra
-/// bounds at every call site.
-pub trait Symbol: Copy + Eq + core::fmt::Debug + Send + Sync {}
+/// bounds at every call site; `'static` (equally trivial for plain
+/// value types) is what lets persistence downcast an index behind
+/// `dyn Any` and serving sessions own items across threads.
+pub trait Symbol: Copy + Eq + core::fmt::Debug + Send + Sync + 'static {}
 
-impl<T: Copy + Eq + core::fmt::Debug + Send + Sync> Symbol for T {}
+impl<T: Copy + Eq + core::fmt::Debug + Send + Sync + 'static> Symbol for T {}

@@ -115,7 +115,8 @@ fn oracle_check(
             .unwrap_or_else(|| panic!("{name}: no response for request {id}"));
         match (request, body) {
             (Request::Insert { item }, ResponseBody::Inserted { .. }) => {
-                InsertableIndex::insert(&mut oracle, item.clone(), dist);
+                InsertableIndex::insert(&mut oracle, item.clone(), dist)
+                    .expect("oracle accepts inserts");
             }
             (Request::Nn { query }, ResponseBody::Nn { neighbour, .. }) => {
                 let (l_nn, _) = oracle.nn(query, dist, &opts).expect("non-empty");

@@ -1,20 +1,24 @@
-//! Wire-schema fingerprint pass.
+//! Wire/persistence-schema fingerprint pass.
 //!
-//! Extracts a structural fingerprint of the wire protocol from
-//! `crates/serve/src/wire.rs` and `crates/search/src/error.rs`:
+//! Extracts a structural fingerprint of the externally visible binary
+//! formats from `crates/serve/src/wire.rs`,
+//! `crates/search/src/error.rs` and `crates/store/src/format.rs`:
 //!
 //! * every top-level `pub const` in `wire.rs` (versions, sentinels,
 //!   frame limits) with its literal value;
 //! * every frame-kind constant in `mod kind`;
 //! * every `SearchError` variant → wire code arm in
 //!   `SearchError::code()`;
-//! * the set of error codes `get_error` can decode.
+//! * the set of error codes `get_error` can decode;
+//! * every snapshot/WAL format constant in `format.rs` — versions,
+//!   magics, record kinds and backend tags — with a `store.` name
+//!   prefix keeping them apart from same-named wire kinds.
 //!
 //! The fingerprint is compared line-by-line against the committed
 //! golden file `crates/lint/golden/wire_schema.txt`. Changing the
 //! frame layout, kind bytes, or error codes without bumping
-//! `WIRE_VERSION`/`BATCH_VERSION` is an error; after a bump,
-//! `cned-lint --bless` regenerates the golden.
+//! `WIRE_VERSION`/`BATCH_VERSION`/`SNAP_VERSION`/`WAL_VERSION` is an
+//! error; after a bump, `cned-lint --bless` regenerates the golden.
 
 use crate::lexer::TokKind;
 use crate::model::{Finding, SourceFile};
@@ -53,19 +57,37 @@ pub fn extract(files: &[SourceFile]) -> Option<Schema> {
         .iter()
         .find(|f| f.rel.ends_with("search/src/error.rs"))?;
     let mut entries = Vec::new();
-    extract_wire_consts(wire, &mut entries);
+    extract_consts(wire, &mut entries, "", &["kind"]);
     extract_error_codes(error, &mut entries);
+    // The persistence format is schema too: a drifting record kind
+    // corrupts every snapshot on disk just as surely as a drifting
+    // frame kind corrupts peers. Optional so the pass still runs on
+    // trees predating cned-store.
+    if let Some(store) = files
+        .iter()
+        .find(|f| f.rel.ends_with("store/src/format.rs"))
+    {
+        extract_consts(store, &mut entries, "store.", &["kind", "backend"]);
+    }
     entries.sort();
     Some(Schema { entries })
 }
 
-/// Top-level `pub const NAME: TY = VALUE;` plus `mod kind` constants.
-fn extract_wire_consts(f: &SourceFile, out: &mut Vec<Entry>) {
+/// Top-level `pub const NAME: TY = VALUE;` plus constants inside the
+/// named sub-modules (classified under the module's own name).
+/// `prefix` namespaces the emitted entry names per source file.
+fn extract_consts(f: &SourceFile, out: &mut Vec<Entry>, prefix: &str, kind_mods: &[&'static str]) {
     let toks = &f.tokens;
-    // Locate `mod kind { … }` to classify its constants separately.
-    let mut kind_span = (0u32, 0u32);
+    // Locate each `mod NAME { … }` to classify its constants separately.
+    let mut kind_spans: Vec<(&'static str, u32, u32)> = Vec::new();
     for i in 0..toks.len() {
-        if toks[i].is_ident("mod") && i + 1 < toks.len() && toks[i + 1].is_ident("kind") {
+        let Some(&mod_name) = (i + 1 < toks.len())
+            .then(|| kind_mods.iter().find(|m| toks[i + 1].is_ident(m)))
+            .flatten()
+        else {
+            continue;
+        };
+        if toks[i].is_ident("mod") {
             // Find the `{` and matching `}` by line.
             let mut j = i + 2;
             let mut depth = 0i32;
@@ -79,13 +101,12 @@ fn extract_wire_consts(f: &SourceFile, out: &mut Vec<Entry>) {
                 } else if toks[j].is_punct("}") {
                     depth -= 1;
                     if depth == 0 {
-                        kind_span = (start, toks[j].line);
+                        kind_spans.push((mod_name, start, toks[j].line));
                         break;
                     }
                 }
                 j += 1;
             }
-            break;
         }
     }
     let mut i = 0;
@@ -122,17 +143,18 @@ fn extract_wire_consts(f: &SourceFile, out: &mut Vec<Entry>) {
                     j += 1;
                 }
             }
-            let in_kind = kind_span.0 <= line && line <= kind_span.1;
+            let in_mod = kind_spans
+                .iter()
+                .find(|&&(_, a, b)| a <= line && line <= b)
+                .map(|&(m, _, _)| m);
             let class = if name.contains("_VERSION") {
                 "version"
-            } else if in_kind {
-                "kind"
             } else {
-                "const"
+                in_mod.unwrap_or("const")
             };
             out.push(Entry {
                 class,
-                name,
+                name: format!("{prefix}{name}"),
                 value,
                 line,
             });
@@ -310,6 +332,8 @@ pub fn check(root: &Path, schema: &Schema, findings: &mut Vec<Finding>) -> Verdi
                 (GOLDEN_REL, 1u32)
             } else if l.starts_with("error ") || l.starts_with("decode-codes") {
                 ("crates/search/src/error.rs", *line)
+            } else if l.contains(" store.") {
+                ("crates/store/src/format.rs", *line)
             } else {
                 ("crates/serve/src/wire.rs", *line)
             };
@@ -318,9 +342,10 @@ pub fn check(root: &Path, schema: &Schema, findings: &mut Vec<Finding>) -> Verdi
                 at,
                 RULE,
                 format!(
-                    "wire schema changed without a WIRE_VERSION/BATCH_VERSION \
-                     bump: {l} — peers negotiating the old layout would \
-                     misparse frames; bump the version, then `cned-lint --bless`"
+                    "wire/persistence schema changed without a version bump \
+                     (WIRE_VERSION/BATCH_VERSION/SNAP_VERSION/WAL_VERSION): {l} \
+                     — peers or on-disk snapshots built against the old layout \
+                     would misparse; bump the version, then `cned-lint --bless`"
                 ),
             ));
         }
@@ -351,8 +376,9 @@ pub fn bless(root: &Path, schema: &Schema) -> Result<String, String> {
         };
         if golden != current && versions(&golden) == versions(&current) {
             return Err(
-                "refusing to bless: wire layout changed but WIRE_VERSION/BATCH_VERSION \
-                 did not — bump the version first"
+                "refusing to bless: wire/persistence layout changed but no format \
+                 version (WIRE_VERSION/BATCH_VERSION/SNAP_VERSION/WAL_VERSION) did \
+                 — bump the version first"
                     .to_string(),
             );
         }
@@ -388,6 +414,32 @@ mod tests {
             SourceFile::parse("crates/serve/src/wire.rs".into(), "serve".into(), WIRE),
             SourceFile::parse("crates/search/src/error.rs".into(), "search".into(), ERROR),
         ]
+    }
+
+    const STORE: &str = "pub const SNAP_VERSION: u8 = 1;\npub const WAL_VERSION: u8 = 1;\npub mod kind {\n    pub const META: u8 = 1;\n    pub const LINEAR: u8 = 2;\n}\npub mod backend {\n    pub const LINEAR: u8 = 1;\n}\n";
+
+    #[test]
+    fn store_format_constants_are_fingerprinted() {
+        let mut files = fixture();
+        files.push(SourceFile::parse(
+            "crates/store/src/format.rs".into(),
+            "store".into(),
+            STORE,
+        ));
+        let schema = extract(&files).unwrap();
+        let lines: Vec<String> = schema.entries.iter().map(Entry::render).collect();
+        assert!(
+            lines.contains(&"version store.SNAP_VERSION = 1".to_string()),
+            "{lines:?}"
+        );
+        assert!(lines.contains(&"version store.WAL_VERSION = 1".to_string()));
+        assert!(lines.contains(&"kind store.META = 1".to_string()));
+        // Same const name in `mod kind` and `mod backend` stays
+        // distinguishable via the class column.
+        assert!(lines.contains(&"kind store.LINEAR = 2".to_string()));
+        assert!(lines.contains(&"backend store.LINEAR = 1".to_string()));
+        // And the wire entries are unprefixed alongside.
+        assert!(lines.contains(&"kind REQ_NN = 0".to_string()));
     }
 
     #[test]

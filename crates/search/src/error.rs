@@ -68,6 +68,15 @@ pub enum SearchError {
     /// server may still be computing — the requests themselves were
     /// not rejected), or a server-side per-request deadline expired.
     DeadlineExceeded,
+    /// Durable storage failed: a snapshot or write-ahead-log operation
+    /// hit an I/O error, a corrupt or truncated file, or an
+    /// unsupported on-disk version. The reason carries the detail
+    /// (`cned-store` formats it); an insert reported with this error
+    /// was **not** made durable and must be retried.
+    Persistence {
+        /// Human-readable description of the storage failure.
+        reason: String,
+    },
 }
 
 impl SearchError {
@@ -86,6 +95,7 @@ impl SearchError {
             SearchError::Overloaded { .. } => 7,
             SearchError::Shutdown => 8,
             SearchError::DeadlineExceeded => 9,
+            SearchError::Persistence { .. } => 10,
         }
     }
 }
@@ -122,6 +132,9 @@ impl fmt::Display for SearchError {
             SearchError::Shutdown => write!(f, "serving session is shutting down"),
             SearchError::DeadlineExceeded => {
                 write!(f, "deadline elapsed before the response arrived")
+            }
+            SearchError::Persistence { reason } => {
+                write!(f, "durable storage failure: {reason}")
             }
         }
     }
@@ -171,6 +184,12 @@ mod tests {
             (SearchError::Overloaded { depth: 0 }, 7),
             (SearchError::Shutdown, 8),
             (SearchError::DeadlineExceeded, 9),
+            (
+                SearchError::Persistence {
+                    reason: String::new(),
+                },
+                10,
+            ),
         ];
         let mut seen = std::collections::HashSet::new();
         for (e, expected) in variants {

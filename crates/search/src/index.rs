@@ -268,6 +268,17 @@ pub trait MetricIndex<S: Symbol>: Send + Sync {
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
         None
     }
+
+    /// Downcast hook for persistence: backends whose structure
+    /// `cned-store` knows how to snapshot (`LinearIndex`, `Laesa`,
+    /// `ShardedIndex`) override this with `Some(self)` so
+    /// `Database::save` can reach the concrete type behind a
+    /// `Box<dyn MetricIndex<S>>`. The default (`None`) marks the
+    /// backend as not snapshottable — save reports a typed
+    /// [`SearchError::Persistence`] instead of guessing.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Boxed indexes are indexes: lets generic serving code (`cned-serve`
@@ -335,6 +346,10 @@ impl<S: Symbol, T: MetricIndex<S> + ?Sized> MetricIndex<S> for Box<T> {
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
         (**self).as_insertable()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
 }
 
 /// A [`MetricIndex`] that additionally accepts incremental inserts —
@@ -343,7 +358,12 @@ pub trait InsertableIndex<S: Symbol>: MetricIndex<S> {
     /// Append `item`, returning its assigned index. `dist` must be the
     /// index's distance (backends may rebuild internal structure, e.g.
     /// delta-shard compaction).
-    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> usize;
+    ///
+    /// In-memory backends are infallible; durable wrappers
+    /// (`cned-store`'s `Durable`) report a failed write-ahead-log
+    /// commit as [`SearchError::Persistence`] — the item was **not**
+    /// accepted and the index is unchanged.
+    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> Result<usize, SearchError>;
 }
 
 #[cfg(test)]

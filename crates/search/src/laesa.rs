@@ -133,6 +133,60 @@ impl<S: Symbol> Laesa<S> {
         self.preprocessing_computations
     }
 
+    /// The pivot distance table: `rows[r][u]` is the distance from
+    /// pivot `pivots()[r]` to `database()[u]`. This is the expensive
+    /// `O(p·n)` state a snapshot exists to preserve (`cned-store`
+    /// serialises it and feeds it back through [`Laesa::from_parts`]).
+    pub fn pivot_rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Reassemble an index from previously exported state — the
+    /// snapshot-restore path, skipping the `p·n` distance
+    /// computations of [`Laesa::try_build`] entirely.
+    ///
+    /// `rows` must be the table a build over `(db, pivots)` would have
+    /// produced (shape-checked here; values are trusted — a checksum
+    /// guards them at the storage layer). `preprocessing` is the
+    /// original build's computation count, preserved so a restored
+    /// index reports identical statistics.
+    pub fn from_parts(
+        db: Vec<Vec<S>>,
+        pivots: Vec<usize>,
+        rows: Vec<Vec<f64>>,
+        preprocessing: u64,
+    ) -> Result<Laesa<S>, SearchError> {
+        let n = db.len();
+        let mut pivot_row = vec![usize::MAX; n];
+        for (r, &p) in pivots.iter().enumerate() {
+            if p >= n {
+                return Err(SearchError::PivotOutOfRange { pivot: p, len: n });
+            }
+            if pivot_row[p] != usize::MAX {
+                return Err(SearchError::DuplicatePivot { pivot: p });
+            }
+            pivot_row[p] = r;
+        }
+        if rows.len() != pivots.len() || rows.iter().any(|row| row.len() != n) {
+            return Err(SearchError::Persistence {
+                reason: format!(
+                    "pivot table shape {}x{} does not match {} pivots over {} items",
+                    rows.len(),
+                    rows.first().map_or(0, Vec::len),
+                    pivots.len(),
+                    n
+                ),
+            });
+        }
+        Ok(Laesa {
+            db,
+            pivots,
+            rows,
+            pivot_row,
+            preprocessing_computations: preprocessing,
+        })
+    }
+
     /// Nearest neighbour of `query`, counting real distance
     /// evaluations. Returns `None` on an empty database.
     #[deprecated(
@@ -746,6 +800,10 @@ impl<S: Symbol> MetricIndex<S> for Laesa<S> {
         let (hits, stats) = self.range_core(&*prepared, radius, limit);
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -310,12 +310,16 @@ impl<S: Symbol> MetricIndex<S> for LinearIndex<S> {
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
         Some(self)
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 impl<S: Symbol> InsertableIndex<S> for LinearIndex<S> {
-    fn insert(&mut self, item: Vec<S>, _dist: &dyn Distance<S>) -> usize {
+    fn insert(&mut self, item: Vec<S>, _dist: &dyn Distance<S>) -> Result<usize, SearchError> {
         self.db.push(item);
-        self.db.len() - 1
+        Ok(self.db.len() - 1)
     }
 }
 
@@ -637,7 +641,7 @@ mod tests {
     fn insert_extends_the_scan() {
         let mut idx = LinearIndex::new(db());
         let at = InsertableIndex::insert(&mut idx, b"mesa".to_vec(), &Levenshtein);
-        assert_eq!(at, 5);
+        assert_eq!(at, Ok(5));
         let (nb, _) = idx.nn(b"mesa", &Levenshtein, &QueryOptions::new()).unwrap();
         let nb = nb.unwrap();
         assert_eq!((nb.index, nb.distance), (5, 0.0));

@@ -92,9 +92,9 @@ pub mod wire;
 pub use client::{BatchTicket, Client, ClientConfig, ClientError};
 pub use ordered::{OrderedGuard, OrderedMutex};
 pub use pipeline::QueryPipeline;
-pub use server::{Server, ServerConfig};
+pub use server::{ReplicaHub, Server, ServerConfig};
 pub use session::{
-    Request, RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket,
+    Request, RequestId, Response, ResponseBody, ServeSession, SessionConfig, SessionHandle, Ticket,
 };
 pub use sharded::{ShardConfig, ShardedIndex, ShardedStats};
 pub use wire::{WireError, WireSymbol, BATCH_VERSION, CONTROL_ID, MAX_FRAME, WIRE_VERSION};

@@ -20,6 +20,8 @@
 //! | 10   | `SessionShared::state`  |
 //! | 20   | client `Shared::fatal`  |
 //! | 21   | client `Shared::pending`|
+//! | 30   | store `StoreShared::subs` (cned-store) |
+//! | 31   | store `StoreShared::files` (cned-store) |
 
 use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -33,6 +35,10 @@ pub mod rank {
     pub const CLIENT_FATAL: u8 = 20;
     /// The client's pending-response map (`Shared::pending`).
     pub const CLIENT_PENDING: u8 = 21;
+    /// `cned-store`'s replica-subscriber list (`StoreShared::subs`).
+    pub const STORE_SUBS: u8 = 30;
+    /// `cned-store`'s on-disk file set (`StoreShared::files`).
+    pub const STORE_FILES: u8 = 31;
 }
 
 #[cfg(debug_assertions)]

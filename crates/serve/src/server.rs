@@ -68,20 +68,50 @@
 //! is handed back. Bytes a client had written but the server had not
 //! yet read are not "accepted" — exactly the PR 5 boundary.
 
-use crate::session::{RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket};
+use crate::session::{
+    Request, RequestId, Response, ResponseBody, ServeSession, SessionConfig, Ticket,
+};
 use crate::wire::{self, FrameBuffer, WireRequest, WireSymbol};
 use cned_core::metric::Distance;
 use cned_search::{MetricIndex, SearchError};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// The server side of the replica catch-up protocol, implemented by
+/// the persistence layer (`cned-store`) and consumed by the event
+/// loop. The trait keeps `cned-serve` ignorant of on-disk formats:
+/// the hub serves the catch-up payload from its own durable state —
+/// never from the live index, which belongs to the scheduler thread.
+///
+/// ## Required ordering
+///
+/// The event loop calls [`ReplicaHub::subscribe`] **before**
+/// [`ReplicaHub::sync_payload`]. Implementations must publish each
+/// accepted insert to existing subscribers only *after* it is visible
+/// to `sync_payload` (i.e. after the durable write). Together those
+/// two rules make the handoff gap-free: an insert committed around
+/// registration time appears in the payload, in the stream, or in
+/// both — never in neither — and replicas dedupe the overlap by
+/// sequence number.
+pub trait ReplicaHub<S: WireSymbol>: Send + Sync {
+    /// The catch-up payload for a replica that already holds `have`
+    /// items, as `(mode, bytes)` chunks ([`wire::SYNC_SNAPSHOT`] /
+    /// [`wire::SYNC_ITEMS`]), each small enough to frame.
+    fn sync_payload(&self, have: u64) -> Result<Vec<(u8, Vec<u8>)>, SearchError>;
+
+    /// Register a live-stream subscriber; every subsequently accepted
+    /// insert arrives as `(seq, item)`.
+    fn subscribe(&self) -> mpsc::Receiver<(u64, Vec<S>)>;
+}
+
 /// Knobs of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Session knobs (admission depth) of the shared serving session.
     pub session: SessionConfig,
@@ -101,6 +131,20 @@ pub struct ServerConfig {
     /// but not yet answered-and-queued-for-write, the event loop
     /// stops reading from the socket until the peer collects.
     pub outbox_depth: usize,
+    /// Durable-state directory. `None` (the default) serves purely
+    /// from memory, exactly as before. `Some(dir)` makes the facade
+    /// layer (`cned::Database::serve_with`) recover snapshot + WAL
+    /// from `dir` on boot, wrap the index durably, and take threshold
+    /// snapshots — `cned-serve` itself only transports the knob.
+    pub data_dir: Option<PathBuf>,
+    /// With a data dir: take a fresh snapshot (and truncate the WAL)
+    /// once this many inserts accumulate in the log.
+    pub snapshot_every: u64,
+    /// Reject network `REQ_INSERT` frames with a typed error — the
+    /// stance of a replica, whose writes arrive only through the
+    /// primary's stream (applied in-process, which this knob does not
+    /// gate).
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +155,9 @@ impl Default for ServerConfig {
             max_connections: 1024,
             idle_timeout: Duration::from_secs(60),
             outbox_depth: 64,
+            data_dir: None,
+            snapshot_every: 1024,
+            read_only: false,
         }
     }
 }
@@ -150,6 +197,25 @@ impl ServerConfig {
         self.outbox_depth = depth;
         self
     }
+
+    /// Serve durably out of `dir` (snapshot + insert WAL; see
+    /// [`ServerConfig::data_dir`]).
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the WAL length that triggers a fresh snapshot.
+    pub fn snapshot_every(mut self, inserts: u64) -> ServerConfig {
+        self.snapshot_every = inserts;
+        self
+    }
+
+    /// Reject network inserts with a typed error (replica stance).
+    pub fn read_only(mut self, read_only: bool) -> ServerConfig {
+        self.read_only = read_only;
+        self
+    }
 }
 
 /// A running TCP serving front-end; dropping it (or calling
@@ -183,6 +249,21 @@ impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
         dist: Arc<dyn Distance<S>>,
         config: ServerConfig,
     ) -> std::io::Result<Server<S, I>> {
+        Server::bind_replicated(addr, index, dist, config, None)
+    }
+
+    /// [`Server::bind_with`] plus a [`ReplicaHub`]: replicas may
+    /// register with [`wire::kind::REQ_SYNC`] and receive the
+    /// catch-up payload + live insert stream over their connection.
+    /// Without a hub, `REQ_SYNC` is answered with a typed
+    /// `Failed { UnsupportedConfig }` response.
+    pub fn bind_replicated(
+        addr: impl ToSocketAddrs,
+        index: I,
+        dist: Arc<dyn Distance<S>>,
+        config: ServerConfig,
+        hub: Option<Arc<dyn ReplicaHub<S>>>,
+    ) -> std::io::Result<Server<S, I>> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Polling accept: lets the accept thread observe the stop flag
@@ -201,10 +282,12 @@ impl<S: WireSymbol + 'static, I: MetricIndex<S> + 'static> Server<S, I> {
             let session = Arc::clone(&session);
             let stop = Arc::clone(&stop);
             let conn_count = Arc::clone(&conn_count);
+            let config = config.clone();
+            let hub = hub.clone();
             loop_threads.push(
                 std::thread::Builder::new()
                     .name(format!("cned-serve-loop-{i}"))
-                    .spawn(move || event_loop(rx, &session, &stop, &conn_count, config))
+                    .spawn(move || event_loop(rx, &session, &stop, &conn_count, config, hub))
                     .expect("spawning an event-loop thread"),
             );
         }
@@ -379,8 +462,23 @@ impl Pending {
     }
 }
 
+/// A connection's live replica subscription (created by a
+/// [`wire::kind::REQ_SYNC`] frame): accepted inserts drain from the
+/// hub's channel into [`wire::kind::RESP_REPL_INSERT`] frames each
+/// sweep.
+struct ReplState<S: WireSymbol> {
+    /// The sync request's id; every streamed frame echoes it.
+    id: RequestId,
+    rx: mpsc::Receiver<(u64, Vec<S>)>,
+}
+
+/// Streaming backpressure: stop encoding replica frames into a
+/// connection's outbox past this many unwritten bytes; the rest stay
+/// queued in the hub channel until the socket drains.
+const REPL_OUTBOX_BYTES: usize = 4 * 1024 * 1024;
+
 /// One connection owned by an event loop.
-struct Conn {
+struct Conn<S: WireSymbol> {
     stream: TcpStream,
     frames: FrameBuffer,
     inflight: VecDeque<Pending>,
@@ -394,10 +492,12 @@ struct Conn {
     reading: bool,
     /// Unrecoverable (write error) or fully drained: remove.
     dead: bool,
+    /// `Some` once the peer registered as a replica.
+    repl: Option<ReplState<S>>,
 }
 
-impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+impl<S: WireSymbol> Conn<S> {
+    fn new(stream: TcpStream) -> Conn<S> {
         Conn {
             stream,
             frames: FrameBuffer::new(),
@@ -407,20 +507,106 @@ impl Conn {
             last_activity: Instant::now(),
             reading: true,
             dead: false,
+            repl: None,
         }
+    }
+
+    /// Handle a replica registration: subscribe to the live stream
+    /// *first*, then read the catch-up payload from durable state
+    /// (the order that makes the handoff gap-free; see [`ReplicaHub`])
+    /// and queue it as [`wire::kind::RESP_SYNC`] frames.
+    fn register_replica(
+        &mut self,
+        id: RequestId,
+        have: u64,
+        hub: Option<&Arc<dyn ReplicaHub<S>>>,
+        payload: &mut Vec<u8>,
+    ) {
+        let Some(hub) = hub else {
+            self.inflight.push_back(Pending::One {
+                id,
+                slot: SlotState::Done(ResponseBody::Failed {
+                    error: SearchError::UnsupportedConfig {
+                        reason: "this server was not started with replication support",
+                    },
+                }),
+            });
+            return;
+        };
+        let rx = hub.subscribe();
+        match hub.sync_payload(have) {
+            Ok(chunks) => {
+                let last = chunks.len().saturating_sub(1);
+                if chunks.is_empty() {
+                    // Nothing to catch up: an empty terminal chunk
+                    // still tells the replica the payload is over.
+                    wire::encode_sync_chunk(id, wire::SYNC_ITEMS, true, &[], payload);
+                    let _ = wire::write_frame_unflushed(&mut self.outbox, payload);
+                }
+                for (i, (mode, chunk)) in chunks.iter().enumerate() {
+                    wire::encode_sync_chunk(id, *mode, i == last, chunk, payload);
+                    if wire::write_frame_unflushed(&mut self.outbox, payload).is_err() {
+                        // A hub chunk must fit a frame; a violation is
+                        // a server-side bug, answered typed.
+                        self.reading = false;
+                        return;
+                    }
+                }
+                self.repl = Some(ReplState { id, rx });
+            }
+            Err(error) => {
+                self.inflight.push_back(Pending::One {
+                    id,
+                    slot: SlotState::Done(ResponseBody::Failed { error }),
+                });
+            }
+        }
+    }
+
+    /// Drain the live insert stream (if this connection is a
+    /// registered replica) into the outbox, bounded by
+    /// [`REPL_OUTBOX_BYTES`]. Returns whether anything was queued.
+    fn repl_sweep(&mut self, payload: &mut Vec<u8>) -> bool {
+        let Some(repl) = &self.repl else {
+            return false;
+        };
+        let mut moved = false;
+        while self.outbox.len() - self.sent < REPL_OUTBOX_BYTES {
+            match repl.rx.try_recv() {
+                Ok((seq, item)) => {
+                    wire::encode_repl_insert(repl.id, seq, &item, payload);
+                    if wire::write_frame_unflushed(&mut self.outbox, payload).is_err() {
+                        self.reading = false;
+                        break;
+                    }
+                    moved = true;
+                }
+                Err(_) => break,
+            }
+        }
+        moved
     }
 
     /// Pop and submit every complete frame in the reassembly buffer,
     /// up to the backpressure bound; `false` on a protocol error.
-    fn drain_frames<S: WireSymbol, I: MetricIndex<S>>(
+    fn drain_frames<I: MetricIndex<S>>(
         &mut self,
         session: &ServeSession<S, I>,
         config: &ServerConfig,
+        hub: Option<&Arc<dyn ReplicaHub<S>>>,
+        payload: &mut Vec<u8>,
     ) -> bool {
         while self.inflight.len() < config.outbox_depth {
             match self.frames.next_frame() {
-                Ok(Some(payload)) => match wire::decode_request_frame::<S>(&payload) {
+                Ok(Some(frame)) => match wire::decode_request_frame::<S>(&frame) {
                     Ok((id, WireRequest::One(request))) => {
+                        if config.read_only && matches!(request, Request::Insert { .. }) {
+                            self.inflight.push_back(Pending::One {
+                                id,
+                                slot: SlotState::Done(read_only_rejection()),
+                            });
+                            continue;
+                        }
                         let slot = match session.submit(request) {
                             Ok(ticket) => SlotState::Waiting(ticket),
                             // Admission failures are *responses*, not
@@ -430,6 +616,17 @@ impl Conn {
                         self.inflight.push_back(Pending::One { id, slot });
                     }
                     Ok((id, WireRequest::Batch(requests))) => {
+                        if config.read_only
+                            && requests.iter().any(|r| matches!(r, Request::Insert { .. }))
+                        {
+                            // All-or-nothing, like admission: a batch
+                            // smuggling an insert fails as one frame.
+                            self.inflight.push_back(Pending::One {
+                                id,
+                                slot: SlotState::Done(read_only_rejection()),
+                            });
+                            continue;
+                        }
                         match session.submit_batch(requests) {
                             Ok(tickets) => self.inflight.push_back(Pending::Batch {
                                 id,
@@ -443,6 +640,9 @@ impl Conn {
                             }),
                         }
                     }
+                    Ok((id, WireRequest::Sync { have })) => {
+                        self.register_replica(id, have, hub, payload);
+                    }
                     Err(_) => return false,
                 },
                 Ok(None) => return true,
@@ -455,11 +655,13 @@ impl Conn {
     /// Non-blocking read sweep: pull whatever the socket has, feed
     /// the frame buffer, submit complete frames. Returns whether any
     /// bytes moved.
-    fn read_sweep<S: WireSymbol, I: MetricIndex<S>>(
+    fn read_sweep<I: MetricIndex<S>>(
         &mut self,
         chunk: &mut [u8],
         session: &ServeSession<S, I>,
         config: &ServerConfig,
+        hub: Option<&Arc<dyn ReplicaHub<S>>>,
+        payload: &mut Vec<u8>,
     ) -> bool {
         if !self.reading || self.dead {
             return false;
@@ -468,7 +670,7 @@ impl Conn {
         loop {
             // Frames may already be buffered from a sweep that hit the
             // backpressure bound; submit them before reading more.
-            if !self.drain_frames(session, config) {
+            if !self.drain_frames(session, config, hub, payload) {
                 self.reading = false; // untrusted stream
                 break;
             }
@@ -589,9 +791,25 @@ impl Conn {
             // EOF/protocol error/shutdown: close once everything
             // accepted has been answered and written.
             self.dead = drained;
-        } else if !stopping && drained && self.last_activity.elapsed() >= config.idle_timeout {
-            self.dead = true; // idle: nothing owed in either direction
+        } else if !stopping
+            && drained
+            && self.repl.is_none()
+            && self.last_activity.elapsed() >= config.idle_timeout
+        {
+            // Idle: nothing owed in either direction. Registered
+            // replicas are exempt — a quiet insert stream is not an
+            // abandoned socket.
+            self.dead = true;
         }
+    }
+}
+
+/// The typed answer a read-only server gives a network insert.
+fn read_only_rejection() -> ResponseBody {
+    ResponseBody::Failed {
+        error: SearchError::UnsupportedConfig {
+            reason: "this server is read-only (a replica); send inserts to the primary",
+        },
     }
 }
 
@@ -603,8 +821,9 @@ fn event_loop<S: WireSymbol, I: MetricIndex<S>>(
     stop: &AtomicBool,
     conn_count: &AtomicUsize,
     config: ServerConfig,
+    hub: Option<Arc<dyn ReplicaHub<S>>>,
 ) {
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut conns: Vec<Conn<S>> = Vec::new();
     let mut chunk = vec![0u8; 16 * 1024];
     let mut payload: Vec<u8> = Vec::new();
     loop {
@@ -626,8 +845,11 @@ fn event_loop<S: WireSymbol, I: MetricIndex<S>>(
             if stopping {
                 conn.reading = false; // drain, then close
             }
-            active |= conn.read_sweep(&mut chunk, session, &config);
+            active |= conn.read_sweep(&mut chunk, session, &config, hub.as_ref(), &mut payload);
             active |= conn.resolve_sweep(&mut payload);
+            if !stopping {
+                active |= conn.repl_sweep(&mut payload);
+            }
             active |= conn.write_sweep();
             conn.reap_check(&config, stopping);
         }

@@ -468,8 +468,13 @@ pub(crate) fn scheduler_loop<S: Symbol, I: MetricIndex<S> + ?Sized>(
                     unreachable!("Chunk::Insert holds an insert request");
                 };
                 let body = match index.as_insertable() {
-                    Some(idx) => ResponseBody::Inserted {
-                        index: idx.insert(item, dist),
+                    // A durable index reports a failed WAL commit as a
+                    // typed error in the insert's own response slot;
+                    // the item was not accepted and later requests are
+                    // unaffected.
+                    Some(idx) => match idx.insert(item, dist) {
+                        Ok(index) => ResponseBody::Inserted { index },
+                        Err(error) => ResponseBody::Failed { error },
                     },
                     None => ResponseBody::Failed {
                         error: SearchError::UnsupportedConfig {
@@ -611,6 +616,18 @@ impl<S: Symbol + 'static, I: MetricIndex<S> + 'static> ServeSession<S, I> {
         self.depth
     }
 
+    /// A cloneable `'static` submit handle onto this session, for
+    /// threads that outlive any one borrow of the session (e.g. a
+    /// replica's log-applier thread). Submissions through a handle
+    /// refuse with [`SearchError::Shutdown`] once the session drains —
+    /// a handle never keeps the scheduler alive.
+    pub fn handle(&self) -> SessionHandle<S> {
+        SessionHandle {
+            shared: Arc::clone(&self.shared),
+            depth: self.depth,
+        }
+    }
+
     /// Graceful shutdown: stop admission, drain every accepted
     /// request (all outstanding tickets receive their responses), and
     /// hand the index back.
@@ -621,6 +638,40 @@ impl<S: Symbol + 'static, I: MetricIndex<S> + 'static> ServeSession<S, I> {
             .expect("scheduler present until shutdown")
             .join()
             .expect("session scheduler panicked")
+    }
+}
+
+/// A detached submit handle created by [`ServeSession::handle`].
+/// Shares the session's admission queue and depth; does not own the
+/// scheduler.
+pub struct SessionHandle<S: Symbol + 'static> {
+    shared: Arc<SessionShared<S>>,
+    depth: usize,
+}
+
+impl<S: Symbol + 'static> Clone for SessionHandle<S> {
+    fn clone(&self) -> SessionHandle<S> {
+        SessionHandle {
+            shared: Arc::clone(&self.shared),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<S: Symbol + 'static> SessionHandle<S> {
+    /// [`ServeSession::submit`] through the handle.
+    pub fn submit(&self, request: Request<S>) -> Result<Ticket, SearchError> {
+        self.shared.submit(self.depth, request)
+    }
+
+    /// [`ServeSession::submit_batch`] through the handle.
+    pub fn submit_batch(&self, requests: Vec<Request<S>>) -> Result<Vec<Ticket>, SearchError> {
+        self.shared.submit_batch(self.depth, requests)
+    }
+
+    /// Requests accepted but not yet picked up by the scheduler.
+    pub fn pending(&self) -> usize {
+        self.shared.pending()
     }
 }
 

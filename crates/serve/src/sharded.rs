@@ -188,6 +188,67 @@ impl<S: Symbol> ShardedIndex<S> {
         self.preprocessing_computations
     }
 
+    /// The configuration the index was built with.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// Snapshot view of the indexed shards: `(global offset, LAESA
+    /// index)` per shard, in layout order. Together with
+    /// [`ShardedIndex::delta_items`] this is the complete structural
+    /// state — `cned-store` serialises it and feeds it back through
+    /// [`ShardedIndex::from_parts`], so a restored index is
+    /// structurally identical (same shard boundaries, same pivot
+    /// tables, same delta) and therefore answers every query with
+    /// bit-identical results *and statistics*.
+    pub fn shard_views(&self) -> impl Iterator<Item = (usize, &Laesa<S>)> {
+        self.shards.iter().map(|s| (s.offset, &s.index))
+    }
+
+    /// Items currently in the (linearly scanned) delta shard, in
+    /// insertion order.
+    pub fn delta_items(&self) -> &[Vec<S>] {
+        &self.delta
+    }
+
+    /// Reassemble an index from previously exported state — the
+    /// snapshot-restore path, skipping every pivot-table build.
+    ///
+    /// `shards` are `(offset, index)` pairs that must tile
+    /// `0..indexed_len` contiguously in order (offset 0 first, each
+    /// shard starting where the previous ended); `delta` items occupy
+    /// the global indices after them. Violations are typed
+    /// [`SearchError::Persistence`] errors, not panics — this is
+    /// reachable from file decoding.
+    pub fn from_parts(
+        shards: Vec<(usize, Laesa<S>)>,
+        delta: Vec<Vec<S>>,
+        config: ShardConfig,
+        preprocessing: u64,
+    ) -> Result<ShardedIndex<S>, SearchError> {
+        let mut at = 0usize;
+        for (offset, index) in &shards {
+            if *offset != at {
+                return Err(SearchError::Persistence {
+                    reason: format!(
+                        "shard offset {offset} does not tile the layout (expected {at})"
+                    ),
+                });
+            }
+            at += index.database().len();
+        }
+        Ok(ShardedIndex {
+            shards: shards
+                .into_iter()
+                .map(|(offset, index)| Shard { offset, index })
+                .collect(),
+            delta,
+            indexed_len: at,
+            config,
+            preprocessing_computations: preprocessing,
+        })
+    }
+
     /// The item at global index `i` (panics when out of range).
     pub fn item(&self, i: usize) -> &[S] {
         if i >= self.indexed_len {
@@ -649,10 +710,14 @@ impl<S: Symbol> MetricIndex<S> for ShardedIndex<S> {
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
         Some(self)
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 impl<S: Symbol> InsertableIndex<S> for ShardedIndex<S> {
-    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> usize {
-        ShardedIndex::insert(self, item, dist)
+    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> Result<usize, SearchError> {
+        Ok(ShardedIndex::insert(self, item, dist))
     }
 }

@@ -53,7 +53,12 @@ use cned_core::Symbol;
 use cned_search::{Neighbour, SearchError, SearchStats};
 
 /// Protocol version carried in every frame.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: v1 = the base request/response + batch protocol (PR 5/7);
+/// v2 added the replication frames ([`kind::REQ_SYNC`],
+/// [`kind::RESP_SYNC`], [`kind::RESP_REPL_INSERT`]) and the
+/// `Persistence` error code.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Version byte of the **batch** frame body ([`kind::REQ_BATCH`] /
 /// [`kind::RESP_BATCH`]). Batch frames were added after the base
@@ -90,6 +95,12 @@ pub mod kind {
     /// correlation within the batch; answered by one
     /// [`RESP_BATCH`] frame).
     pub const REQ_BATCH: u8 = 4;
+    /// Replica registration: "stream me everything after my first
+    /// `have` items". Answered by one or more [`RESP_SYNC`] frames
+    /// (the catch-up payload, chunked), after which the connection
+    /// stays open and receives one [`RESP_REPL_INSERT`] frame per
+    /// accepted insert.
+    pub const REQ_SYNC: u8 = 5;
     /// [`super::ResponseBody::Nn`].
     pub const RESP_NN: u8 = 16;
     /// [`super::ResponseBody::Knn`].
@@ -103,7 +114,27 @@ pub mod kind {
     /// The answer to a [`REQ_BATCH`] frame: the batch's response
     /// bodies in request order under the batch frame's id.
     pub const RESP_BATCH: u8 = 21;
+    /// One chunk of a replica catch-up payload (under the
+    /// [`REQ_SYNC`] frame's id): `[mode, done, len: u32 LE, bytes]`,
+    /// where `mode` is [`super::SYNC_SNAPSHOT`] or
+    /// [`super::SYNC_ITEMS`] and `done = 1` marks the final chunk.
+    pub const RESP_SYNC: u8 = 22;
+    /// One accepted insert streamed to a registered replica (under
+    /// the [`REQ_SYNC`] frame's id): `[seq: u64 LE, item]`, `seq`
+    /// being the item's global index. Replicas dedupe by `seq`, so
+    /// overlap with the catch-up payload is harmless.
+    pub const RESP_REPL_INSERT: u8 = 23;
 }
+
+/// [`kind::RESP_SYNC`] mode: the chunk bytes are part of a whole
+/// snapshot file (`cned-store` format) — sent when the replica is too
+/// far behind for a log tail.
+pub const SYNC_SNAPSHOT: u8 = 0;
+
+/// [`kind::RESP_SYNC`] mode: the chunk bytes are a run of
+/// `[seq: u64 LE, item]` records — the primary's log tail past the
+/// replica's `have` mark.
+pub const SYNC_ITEMS: u8 = 1;
 
 /// Everything that can go wrong encoding, decoding or transporting a
 /// frame. All variants are values — no decode path panics on
@@ -199,6 +230,10 @@ macro_rules! wire_symbol_uint {
             }
 
             fn get(bytes: &[u8]) -> $t {
+                // Unreachable from network input: the only callers
+                // iterate `chunks_exact(S::WIDTH)` over a slice whose
+                // length was bounds-checked first, so every chunk has
+                // exactly WIDTH bytes.
                 <$t>::from_le_bytes(bytes.try_into().expect("caller slices WIDTH bytes"))
             }
         }
@@ -248,12 +283,23 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    // The fixed-width readers destructure with slice patterns rather
+    // than `try_into().expect(..)`: every byte of this path is
+    // untrusted network input, so even "impossible" panics are kept
+    // out of it by construction.
+
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        match *self.take(4)? {
+            [a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            _ => Err(WireError::Truncated { needed: 4, got: 0 }),
+        }
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        match *self.take(8)? {
+            [a, b, c, d, e, f, g, h] => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+            _ => Err(WireError::Truncated { needed: 8, got: 0 }),
+        }
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -354,8 +400,15 @@ fn put_error(out: &mut Vec<u8>, error: &SearchError) {
             out.extend_from_slice(bytes);
         }
         SearchError::Overloaded { depth } => put_u64(out, *depth as u64),
+        SearchError::Persistence { reason } => {
+            let bytes = reason.as_bytes();
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
         // SearchError is #[non_exhaustive]; a variant added without a
         // wire code must fail loudly in tests, not ship silently.
+        // (Encode-side only: this is never reachable from network
+        // input, which flows through `get_error`.)
         other => unreachable!("unmapped SearchError variant {other:?}"),
     }
 }
@@ -389,6 +442,14 @@ fn get_error(r: &mut Reader<'_>) -> Result<SearchError, WireError> {
         7 => SearchError::Overloaded { depth: r.usize()? },
         8 => SearchError::Shutdown,
         9 => SearchError::DeadlineExceeded,
+        10 => {
+            // Unlike `UnsupportedConfig`, the variant holds an owned
+            // `String`, so the remote reason round-trips exactly
+            // (lossily re-encoded if it was not valid UTF-8).
+            let len = r.u32()? as usize;
+            let reason = String::from_utf8_lossy(r.take(len)?).into_owned();
+            SearchError::Persistence { reason }
+        }
         _ => {
             return Err(WireError::BadPayload {
                 detail: "unknown error code",
@@ -487,13 +548,22 @@ pub fn encode_batch_request<S: WireSymbol>(
     }
 }
 
-/// A decoded request frame: one request or a whole batch.
+/// A decoded request frame: one request, a whole batch, or a replica
+/// registration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireRequest<S: Symbol> {
     /// A single-request frame.
     One(Request<S>),
     /// A [`kind::REQ_BATCH`] frame: the requests in wire order.
     Batch(Vec<Request<S>>),
+    /// A [`kind::REQ_SYNC`] frame: a replica registering for the
+    /// catch-up payload past its first `have` items plus the live
+    /// insert stream. Connection-level (like [`CONTROL_ID`] traffic),
+    /// so it is not a [`Request`] and never enters a session queue.
+    Sync {
+        /// Items the replica already holds durably.
+        have: u64,
+    },
 }
 
 /// Decode a frame payload as a request. Response kinds (and anything
@@ -505,6 +575,9 @@ pub fn decode_request<S: WireSymbol>(payload: &[u8]) -> Result<(RequestId, Reque
         (id, WireRequest::One(request)) => Ok((id, request)),
         (_, WireRequest::Batch(_)) => Err(WireError::BadKind {
             got: kind::REQ_BATCH,
+        }),
+        (_, WireRequest::Sync { .. }) => Err(WireError::BadKind {
+            got: kind::REQ_SYNC,
         }),
     }
 }
@@ -530,6 +603,7 @@ pub fn decode_request_frame<S: WireSymbol>(
             }
             WireRequest::Batch(batch)
         }
+        kind::REQ_SYNC => WireRequest::Sync { have: r.u64()? },
         k => WireRequest::One(get_request_body(k, &mut r)?),
     };
     r.finish()?;
@@ -697,6 +771,120 @@ pub fn decode_response_frame(payload: &[u8]) -> Result<WireResponse, WireError> 
 }
 
 // ---------------------------------------------------------------------------
+// Replication frames (protocol v2).
+//
+// A replica speaks three frames beyond the base protocol: it sends one
+// [`kind::REQ_SYNC`], then reads [`kind::RESP_SYNC`] chunks until
+// `done`, then reads [`kind::RESP_REPL_INSERT`] frames forever. All of
+// them reuse the standard frame header, so they interleave freely with
+// ordinary traffic on the event-loop server.
+
+/// Encode a replica registration: "I hold `have` items durably".
+pub fn encode_sync_request(id: RequestId, have: u64, out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, kind::REQ_SYNC, id);
+    put_u64(out, have);
+}
+
+/// Encode one chunk of a catch-up payload under the sync request's
+/// `id`. `mode` is [`SYNC_SNAPSHOT`] or [`SYNC_ITEMS`]; `done` marks
+/// the final chunk of the payload.
+pub fn encode_sync_chunk(id: RequestId, mode: u8, done: bool, chunk: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, kind::RESP_SYNC, id);
+    out.push(mode);
+    out.push(u8::from(done));
+    put_u32(out, chunk.len() as u32);
+    out.extend_from_slice(chunk);
+}
+
+/// Encode one streamed accepted insert (`seq` = the item's global
+/// index) under the sync request's `id`.
+pub fn encode_repl_insert<S: WireSymbol>(id: RequestId, seq: u64, item: &[S], out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, kind::RESP_REPL_INSERT, id);
+    put_u64(out, seq);
+    put_string(out, item);
+}
+
+/// A frame as seen by a replica's catch-up connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaFrame<S: Symbol> {
+    /// One [`kind::RESP_SYNC`] chunk of the catch-up payload.
+    SyncChunk {
+        /// The sync request's id, echoed back.
+        id: RequestId,
+        /// [`SYNC_SNAPSHOT`] or [`SYNC_ITEMS`].
+        mode: u8,
+        /// Whether this is the payload's final chunk.
+        done: bool,
+        /// The chunk bytes.
+        chunk: Vec<u8>,
+    },
+    /// One streamed accepted insert.
+    Insert {
+        /// The item's global index on the primary.
+        seq: u64,
+        /// The item itself.
+        item: Vec<S>,
+    },
+    /// An ordinary response frame (e.g. a [`CONTROL_ID`]-tagged
+    /// rejection, or a typed `Failed` answering the sync request on a
+    /// server without replication support).
+    Response(Response),
+}
+
+/// Decode a frame payload from a replica's point of view: sync chunks,
+/// streamed inserts, and ordinary responses are all valid.
+pub fn decode_replica_frame<S: WireSymbol>(payload: &[u8]) -> Result<ReplicaFrame<S>, WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let k = r.u8()?;
+    let id = RequestId(r.u64()?);
+    let frame = match k {
+        kind::RESP_SYNC => {
+            let mode = r.u8()?;
+            if mode != SYNC_SNAPSHOT && mode != SYNC_ITEMS {
+                return Err(WireError::BadPayload {
+                    detail: "unknown sync chunk mode",
+                });
+            }
+            let done = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(WireError::BadPayload {
+                        detail: "sync done flag must be 0 or 1",
+                    })
+                }
+            };
+            let len = r.u32()? as usize;
+            let chunk = r.take(len)?.to_vec();
+            ReplicaFrame::SyncChunk {
+                id,
+                mode,
+                done,
+                chunk,
+            }
+        }
+        kind::RESP_REPL_INSERT => {
+            let seq = r.u64()?;
+            let item = get_string(&mut r)?;
+            ReplicaFrame::Insert { seq, item }
+        }
+        k => ReplicaFrame::Response(Response {
+            id,
+            body: get_response_body(k, &mut r)?,
+        }),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
 // Framing.
 
 /// Write one frame (length prefix + payload) **without flushing** —
@@ -792,10 +980,13 @@ impl FrameBuffer {
     /// are needed.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
         let pending = &self.buf[self.at..];
-        if pending.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(pending[..4].try_into().expect("4"));
+        // Slice pattern instead of `[..4].try_into().expect(..)`: this
+        // also subsumes the "fewer than 4 bytes buffered" check, so no
+        // panic is reachable from transport input.
+        let len = match *pending {
+            [a, b, c, d, ..] => u32::from_le_bytes([a, b, c, d]),
+            _ => return Ok(None),
+        };
         if len > MAX_FRAME {
             return Err(WireError::Oversized {
                 len,

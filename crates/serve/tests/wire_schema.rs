@@ -29,11 +29,14 @@ fn every_error() -> Vec<SearchError> {
         SearchError::Overloaded { depth: 64 },
         SearchError::Shutdown,
         SearchError::DeadlineExceeded,
+        SearchError::Persistence {
+            reason: "wal fsync failed".to_string(),
+        },
     ];
     // Exhaustiveness guard: every value of the match below must be
-    // present above exactly once, covering codes 1..=9 contiguously.
+    // present above exactly once, covering codes 1..=10 contiguously.
     let codes: Vec<u8> = all.iter().map(|e| e.code()).collect();
-    assert_eq!(codes, (1..=9).collect::<Vec<u8>>());
+    assert_eq!(codes, (1..=10).collect::<Vec<u8>>());
     all
 }
 
@@ -80,7 +83,7 @@ fn failed_frame(code: u8, body: &[u8]) -> Vec<u8> {
 }
 
 #[test]
-fn decodable_error_codes_are_exactly_one_through_nine() {
+fn decodable_error_codes_are_exactly_one_through_ten() {
     // Candidate field encodings covering every variant's layout:
     // no fields / one u64 / one f64 / two u64 / a zero-length string.
     let suffixes: [&[u8]; 4] = [&[], &[0; 8], &[0; 16], &[0; 4]];
@@ -90,7 +93,7 @@ fn decodable_error_codes_are_exactly_one_through_nine() {
             .any(|body| decode_response_frame(&failed_frame(code, body)).is_ok());
         assert_eq!(
             decodable,
-            (1..=9).contains(&code),
+            (1..=10).contains(&code),
             "error code {code}: decodable={decodable}"
         );
     }
@@ -105,6 +108,10 @@ fn bare_frame(k: u8) -> Vec<u8> {
 
 #[test]
 fn known_response_kinds_are_exactly_the_declared_constants() {
+    // The *client* decoder: the replication kinds (`RESP_SYNC`,
+    // `RESP_REPL_INSERT`) are deliberately absent — they only appear
+    // on replica catch-up connections, which use
+    // `decode_replica_frame` (pinned below).
     let known = [
         kind::RESP_NN,
         kind::RESP_KNN,
@@ -129,6 +136,32 @@ fn known_response_kinds_are_exactly_the_declared_constants() {
 }
 
 #[test]
+fn known_replica_frame_kinds_are_the_response_kinds_plus_replication() {
+    // `RESP_BATCH` is absent: a replica's sync connection only ever
+    // carries single responses (a refusal answering the sync request),
+    // sync chunks, and streamed inserts.
+    let known = [
+        kind::RESP_NN,
+        kind::RESP_KNN,
+        kind::RESP_RANGE,
+        kind::RESP_INSERTED,
+        kind::RESP_FAILED,
+        kind::RESP_SYNC,
+        kind::RESP_REPL_INSERT,
+    ];
+    assert_eq!(known, [16, 17, 18, 19, 20, 22, 23]);
+    for k in 0..=255u8 {
+        let result = wire::decode_replica_frame::<u8>(&bare_frame(k));
+        let bad_kind = matches!(result, Err(WireError::BadKind { got }) if got == k);
+        assert_eq!(
+            bad_kind,
+            !known.contains(&k),
+            "replica frame kind {k}: result={result:?}"
+        );
+    }
+}
+
+#[test]
 fn known_request_kinds_are_exactly_the_declared_constants() {
     let known = [
         kind::REQ_NN,
@@ -136,8 +169,9 @@ fn known_request_kinds_are_exactly_the_declared_constants() {
         kind::REQ_RANGE,
         kind::REQ_INSERT,
         kind::REQ_BATCH,
+        kind::REQ_SYNC,
     ];
-    assert_eq!(known, [0, 1, 2, 3, 4]);
+    assert_eq!(known, [0, 1, 2, 3, 4, 5]);
     for k in 0..=255u8 {
         let result = decode_request_frame::<u8>(&bare_frame(k));
         let bad_kind = matches!(result, Err(WireError::BadKind { got }) if got == k);

@@ -1,0 +1,313 @@
+//! [`Durable`]: the persistence wrapper a serving session owns.
+//!
+//! Wraps a [`StoredIndex`] and threads every accepted insert through
+//! the durability pipeline, in this order:
+//!
+//! 1. **WAL append + fsync** — the insert is on disk before anything
+//!    else observes it. If this fails, the insert fails typed and the
+//!    in-memory index is untouched.
+//! 2. **In-memory insert** — the index mutates only after the entry is
+//!    durable, so disk is always a superset of acknowledged state.
+//! 3. **Feed publish** — replica subscribers receive `(seq, item)`
+//!    strictly after the durable write, which is what makes the hub's
+//!    subscribe-then-read-disk registration protocol gap-free.
+//! 4. **Threshold snapshot** — once `snapshot_every` WAL entries
+//!    accumulate, the index is re-snapshotted and the WAL truncated.
+//!
+//! Snapshots happen *on the scheduler thread inside the insert call*,
+//! which is exactly the consistency barrier the session already
+//! provides: no query or other insert can observe the index mid-write.
+//!
+//! The wrapper implements [`MetricIndex`]/[`InsertableIndex`], so a
+//! `ServeSession` owns it like any other backend and the whole
+//! serving stack gains durability without learning anything new.
+
+use cned_core::metric::Distance;
+use cned_search::{
+    InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+};
+use cned_serve::ordered::{rank, OrderedMutex};
+use cned_serve::wire::WireSymbol;
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+
+use crate::format::StoreError;
+use crate::snapshot::{decode_snapshot, encode_snapshot, write_atomic, SnapshotMeta, StoredIndex};
+use crate::wal::{replay_file, Wal};
+
+/// A durable insert as published to replica subscribers: the WAL
+/// sequence number and the item itself.
+pub(crate) type SeqItem<S> = (u64, Vec<S>);
+
+/// Snapshot file name inside a data dir.
+pub const SNAPSHOT_FILE: &str = "snapshot.cned";
+/// WAL file name inside a data dir.
+pub const WAL_FILE: &str = "wal.cned";
+
+/// State shared between a [`Durable`] (scheduler thread) and its
+/// [`crate::StoreHub`] (event-loop threads).
+pub(crate) struct StoreShared<S: WireSymbol> {
+    pub(crate) dir: PathBuf,
+    /// Live replica subscriptions. Rank 30: taken alone, briefly, by
+    /// either side.
+    pub(crate) subs: OrderedMutex<Vec<mpsc::Sender<SeqItem<S>>>>,
+    /// Guards the *install* of new file states (snapshot rename + WAL
+    /// truncate) against concurrent sync-payload reads. Plain appends
+    /// don't take it — a torn WAL tail is harmless to a reader, but an
+    /// old-snapshot/new-WAL interleaving would open a sequence gap.
+    /// Rank 31.
+    pub(crate) files: OrderedMutex<()>,
+}
+
+impl<S: WireSymbol> StoreShared<S> {
+    pub(crate) fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    pub(crate) fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Deliver one durable insert to every live subscriber, dropping
+    /// subscriptions whose receiver has gone away.
+    fn publish(&self, seq: u64, item: &[S]) {
+        let mut subs = self.subs.lock();
+        subs.retain(|tx| tx.send((seq, item.to_vec())).is_ok());
+    }
+
+    pub(crate) fn subscribe(&self) -> mpsc::Receiver<(u64, Vec<S>)> {
+        let (tx, rx) = mpsc::channel();
+        self.subs.lock().push(tx);
+        rx
+    }
+}
+
+/// A persistent index: a [`StoredIndex`] plus its data dir, WAL and
+/// snapshot policy. See the module docs for the insert pipeline.
+pub struct Durable<S: WireSymbol> {
+    inner: StoredIndex<S>,
+    metric: (u8, u8),
+    wal: Wal,
+    snapshot_every: u64,
+    shared: Arc<StoreShared<S>>,
+}
+
+/// Does `dir` hold a snapshot a [`Durable::recover`] could load?
+pub fn data_dir_initialised(dir: &Path) -> bool {
+    dir.join(SNAPSHOT_FILE).is_file()
+}
+
+impl<S: WireSymbol> Durable<S> {
+    /// Initialise a fresh data dir from an in-memory index: write its
+    /// first snapshot and an empty WAL. Fails if the dir cannot be
+    /// created or written; any existing snapshot/WAL is replaced.
+    pub fn create(
+        dir: &Path,
+        metric: (u8, u8),
+        index: StoredIndex<S>,
+        snapshot_every: u64,
+    ) -> Result<Durable<S>, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create data dir", e))?;
+        let shared = Arc::new(StoreShared {
+            dir: dir.to_path_buf(),
+            subs: OrderedMutex::new(rank::STORE_SUBS, "StoreShared::subs", Vec::new()),
+            files: OrderedMutex::new(rank::STORE_FILES, "StoreShared::files", ()),
+        });
+        let bytes = encode_snapshot(metric, &index.view());
+        write_atomic(&shared.snapshot_path(), &bytes)?;
+        // Replace any stale WAL from a previous incarnation of the dir.
+        let wal_path = shared.wal_path();
+        let mut wal = Wal::open::<S>(&wal_path)?;
+        wal.truncate::<S>()?;
+        Ok(Durable {
+            inner: index,
+            metric,
+            wal,
+            snapshot_every: snapshot_every.max(1),
+            shared,
+        })
+    }
+
+    /// Recover from an existing data dir: decode the snapshot, replay
+    /// the WAL on top, then fold the replayed tail into a fresh
+    /// snapshot so the next boot starts from a clean log.
+    ///
+    /// `dist` must be the metric the snapshot was built with; the
+    /// caller maps the returned [`SnapshotMeta`] codes back to it (the
+    /// `cned::Database` facade does this).
+    pub fn recover(
+        dir: &Path,
+        dist: &dyn Distance<S>,
+        snapshot_every: u64,
+    ) -> Result<(Durable<S>, SnapshotMeta), StoreError> {
+        let shared = Arc::new(StoreShared {
+            dir: dir.to_path_buf(),
+            subs: OrderedMutex::new(rank::STORE_SUBS, "StoreShared::subs", Vec::new()),
+            files: OrderedMutex::new(rank::STORE_FILES, "StoreShared::files", ()),
+        });
+        let bytes = std::fs::read(shared.snapshot_path())
+            .map_err(|e| StoreError::io("read snapshot", e))?;
+        let (meta, mut index) = decode_snapshot::<S>(&bytes)?;
+        for (seq, item) in replay_file::<S>(&shared.wal_path())? {
+            let len = index.len() as u64;
+            // Entries the snapshot already covers replay as no-ops
+            // (snapshot-then-crash-before-truncate leaves an overlap);
+            // a gap beyond the index length means a lost entry.
+            if seq < len {
+                continue;
+            }
+            if seq > len {
+                return Err(StoreError::Corrupt {
+                    detail: format!("wal sequence gap: log holds {seq}, index holds {len} items"),
+                });
+            }
+            index.insert(item, dist).map_err(|e| StoreError::Corrupt {
+                detail: format!("wal replay insert failed: {e}"),
+            })?;
+        }
+        let wal = Wal::open::<S>(&shared.wal_path())?;
+        let mut durable = Durable {
+            inner: index,
+            metric: (meta.metric_code, meta.metric_flag),
+            wal,
+            snapshot_every: snapshot_every.max(1),
+            shared,
+        };
+        // Fold the replayed tail into the snapshot immediately: replay
+        // cost stays bounded across repeated restarts.
+        durable.snapshot()?;
+        Ok((durable, meta))
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &StoredIndex<S> {
+        &self.inner
+    }
+
+    /// Metric identity `(code, flag)` persisted in the snapshot.
+    pub fn metric(&self) -> (u8, u8) {
+        self.metric
+    }
+
+    /// WAL entries accumulated since the last snapshot.
+    pub fn wal_entries(&self) -> u64 {
+        self.wal.entries()
+    }
+
+    /// A [`crate::StoreHub`] serving replica registrations from this
+    /// store's files.
+    pub fn hub(&self) -> crate::StoreHub<S> {
+        crate::StoreHub {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Write a fresh snapshot of the current index and truncate the
+    /// WAL. Called automatically by the threshold policy and on drop;
+    /// callable directly for explicit checkpoints.
+    pub fn snapshot(&mut self) -> Result<(), StoreError> {
+        let bytes = encode_snapshot(self.metric, &self.inner.view());
+        // Install under the files lock so a concurrently registering
+        // replica never pairs the old snapshot with the new WAL.
+        let _g = self.shared.files.lock();
+        write_atomic(&self.shared.snapshot_path(), &bytes)?;
+        self.wal.truncate::<S>()
+    }
+
+    /// The durable insert pipeline (see module docs).
+    pub fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> Result<usize, SearchError> {
+        // Refuse early for immutable backends: nothing may touch disk.
+        if matches!(self.inner, StoredIndex::Laesa(_)) {
+            return Err(SearchError::UnsupportedConfig {
+                reason: "laesa snapshots are immutable; rebuild or use the sharded backend",
+            });
+        }
+        let seq = self.inner.len() as u64;
+        self.wal.append(seq, &item).map_err(SearchError::from)?;
+        let index = self.inner.insert(item.clone(), dist)?;
+        debug_assert_eq!(
+            index as u64, seq,
+            "inserts append at the end of the database"
+        );
+        self.shared.publish(seq, &item);
+        if self.wal.entries() >= self.snapshot_every {
+            self.snapshot().map_err(SearchError::from)?;
+        }
+        Ok(index)
+    }
+}
+
+impl<S: WireSymbol> Drop for Durable<S> {
+    fn drop(&mut self) {
+        // Fold any WAL tail into a final snapshot so the next boot
+        // loads without replay. Best-effort: on failure the WAL is
+        // intact and recovery replays it instead.
+        if self.wal.entries() > 0 {
+            let _ = self.snapshot();
+        }
+    }
+}
+
+impl<S: WireSymbol> MetricIndex<S> for Durable<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        // Durability is transparent to query semantics; report the
+        // wrapped backend.
+        self.inner.backend_name()
+    }
+
+    fn item(&self, i: usize) -> Option<&[S]> {
+        self.inner.item(i)
+    }
+
+    fn nn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Option<Neighbour>, SearchStats), SearchError> {
+        self.inner.nn(query, dist, opts)
+    }
+
+    fn knn(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        self.inner.knn(query, dist, opts)
+    }
+
+    fn range(
+        &self,
+        query: &[S],
+        dist: &dyn Distance<S>,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Neighbour>, SearchStats), SearchError> {
+        self.inner.range(query, dist, opts)
+    }
+
+    fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {
+        match self.inner {
+            // Keep the typed "immutable backend" answer for LAESA.
+            StoredIndex::Laesa(_) => None,
+            _ => Some(self),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Expose the wrapped backend, so `Database::save` keeps
+        // working on an index handed back by a durable server's
+        // shutdown.
+        self.inner.as_any()
+    }
+}
+
+impl<S: WireSymbol> InsertableIndex<S> for Durable<S> {
+    fn insert(&mut self, item: Vec<S>, dist: &dyn Distance<S>) -> Result<usize, SearchError> {
+        Durable::insert(self, item, dist)
+    }
+}

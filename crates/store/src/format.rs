@@ -1,0 +1,347 @@
+//! On-disk format primitives shared by the snapshot and WAL codecs.
+//!
+//! Mirrors the discipline of `cned-serve`'s wire codec: versioned
+//! headers, length-prefixed records, bounds-checked reads that return
+//! typed errors, and no reachable panic on malformed bytes. On top of
+//! that, every record carries a CRC-32 so a flipped bit on disk is a
+//! *detected* failure rather than a silently wrong index.
+//!
+//! ## Snapshot file layout
+//!
+//! ```text
+//! [magic "CNEDSNAP"] [SNAP_VERSION u8] [symbol width u8] record…
+//! record := [kind u8] [len u32 LE] [body: len bytes] [crc32 u32 LE]
+//! ```
+//!
+//! The CRC covers `kind`, `len` and `body`. The record stream ends
+//! with an empty [`kind::END`] record; a file that stops before one
+//! decodes to [`StoreError::Truncated`], never to a partial index.
+//!
+//! ## WAL file layout
+//!
+//! ```text
+//! [magic "CNEDWAL0"] [WAL_VERSION u8] [symbol width u8] entry…
+//! entry := [len u32 LE] [seq u64 LE] [item: u32 count + symbols] [crc32 u32 LE]
+//! ```
+//!
+//! `len` counts the `seq + item` bytes. A tail that ends mid-entry is
+//! a *torn write* from a crash between `write` and `fsync`: the entry
+//! was never acknowledged to any client, so replay drops it silently.
+//! A complete entry whose CRC fails is real corruption and is a typed
+//! error — replay never guesses.
+
+use cned_search::SearchError;
+
+/// Snapshot file magic (8 bytes).
+pub const SNAP_MAGIC: [u8; 8] = *b"CNEDSNAP";
+/// WAL file magic (8 bytes).
+pub const WAL_MAGIC: [u8; 8] = *b"CNEDWAL0";
+
+/// Snapshot format version. History:
+///
+/// * v1 — initial format: META / LINEAR / LAESA / SHARD / DELTA /
+///   SHARDED_META records, per-record CRC-32, END terminator.
+pub const SNAP_VERSION: u8 = 1;
+
+/// WAL format version. History:
+///
+/// * v1 — initial format: `[len][seq][item][crc32]` entries,
+///   fsync-per-commit, torn tail dropped on replay.
+pub const WAL_VERSION: u8 = 1;
+
+/// Largest accepted record/entry body. Snapshot records hold whole
+/// shards so the bound is generous, but it still stops a corrupt
+/// length prefix from reserving gigabytes.
+pub const MAX_RECORD: usize = 256 * 1024 * 1024;
+
+/// Snapshot record kinds. Fingerprinted by `cned-lint`'s schema pass:
+/// renumbering an existing kind requires a `SNAP_VERSION` bump and a
+/// `--bless`.
+pub mod kind {
+    /// Global header: metric code + flag, backend tag, total items.
+    pub const META: u8 = 1;
+    /// Body of a `Backend::Linear` index: the raw item list.
+    pub const LINEAR: u8 = 2;
+    /// Body of a single-LAESA index: items, pivots, pivot rows.
+    pub const LAESA: u8 = 3;
+    /// Sharded-index global state: `ShardConfig` + preprocessing count.
+    pub const SHARDED_META: u8 = 4;
+    /// One indexed shard: base offset + its LAESA body. Repeated.
+    pub const SHARD: u8 = 5;
+    /// The sharded index's unindexed delta shard: the raw item list.
+    pub const DELTA: u8 = 6;
+    /// Terminator; empty body. Its presence is the completeness proof.
+    pub const END: u8 = 7;
+}
+
+/// Backend tags stored in the META record.
+pub mod backend {
+    /// `LinearIndex` (exhaustive scan).
+    pub const LINEAR: u8 = 1;
+    /// Single `Laesa` index.
+    pub const LAESA: u8 = 2;
+    /// `ShardedIndex` (the serving default).
+    pub const SHARDED: u8 = 3;
+}
+
+/// Typed decode/IO failure. Everything the codecs can hit on
+/// malformed, truncated or version-skewed bytes lands here — decoding
+/// never panics (same standard as `cned_serve::wire`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying filesystem failure, stringified.
+    Io {
+        context: &'static str,
+        detail: String,
+    },
+    /// The byte stream ended before a fixed-size field or a promised
+    /// record body.
+    Truncated { needed: usize, got: usize },
+    /// The file does not start with the expected magic.
+    BadMagic { expected: [u8; 8] },
+    /// The file's format version is not one this build understands.
+    BadVersion { expected: u8, got: u8 },
+    /// The file was written for a different symbol width.
+    BadSymbolWidth { expected: u8, got: u8 },
+    /// A record's CRC-32 does not match its bytes.
+    Checksum { what: &'static str },
+    /// Structurally invalid contents (bad record kind, inconsistent
+    /// counts, out-of-range ids).
+    Corrupt { detail: String },
+    /// Well-formed but unsupported contents (e.g. an unknown metric
+    /// code, or saving an index backend the codec has no record for).
+    Unsupported { detail: String },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context, detail } => write!(f, "{context}: {detail}"),
+            StoreError::Truncated { needed, got } => {
+                write!(f, "file truncated: needed {needed} bytes, got {got}")
+            }
+            StoreError::BadMagic { expected } => {
+                write!(
+                    f,
+                    "bad magic: not a {} file",
+                    String::from_utf8_lossy(expected)
+                )
+            }
+            StoreError::BadVersion { expected, got } => {
+                write!(
+                    f,
+                    "unsupported format version {got} (this build reads {expected})"
+                )
+            }
+            StoreError::BadSymbolWidth { expected, got } => {
+                write!(
+                    f,
+                    "symbol width mismatch: file has {got}-byte symbols, index uses {expected}"
+                )
+            }
+            StoreError::Checksum { what } => write!(f, "checksum mismatch in {what}"),
+            StoreError::Corrupt { detail } => write!(f, "corrupt file: {detail}"),
+            StoreError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for SearchError {
+    /// Storage failures surface through the search/serving API as the
+    /// wire-stable [`SearchError::Persistence`] variant.
+    fn from(e: StoreError) -> SearchError {
+        SearchError::Persistence {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl StoreError {
+    /// Wrap an `std::io::Error` with a static context label.
+    pub fn io(context: &'static str, e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            context,
+            detail: e.to_string(),
+        }
+    }
+}
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same
+// checksum gzip and PNG use. Hand-rolled over a const-built table so
+// the crate stays std-only.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE, as used by gzip/PNG).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Streaming CRC-32 state, for checksumming discontiguous parts
+/// (record header + body) without concatenating them.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC_TABLE[((self.0 ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice; every read
+/// returns a typed error instead of panicking. Mirror of the wire
+/// codec's `Reader`.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Take exactly `n` bytes or fail typed.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let got = self.remaining();
+        if n > got {
+            return Err(StoreError::Truncated { needed: n, got });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        match *self.take(4)? {
+            [a, b, c, d] => Ok(u32::from_le_bytes([a, b, c, d])),
+            // take(4) returned exactly 4 bytes; the arm is for the
+            // compiler, not for a reachable state.
+            _ => Err(StoreError::Truncated { needed: 4, got: 0 }),
+        }
+    }
+
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        match *self.take(8)? {
+            [a, b, c, d, e, g, h, i] => Ok(u64::from_le_bytes([a, b, c, d, e, g, h, i])),
+            _ => Err(StoreError::Truncated { needed: 8, got: 0 }),
+        }
+    }
+
+    /// A `u64` length/index narrowed to `usize`, rejecting values that
+    /// do not fit the platform.
+    pub fn usize(&mut self) -> Result<usize, StoreError> {
+        usize::try_from(self.u64()?).map_err(|_| StoreError::Corrupt {
+            detail: "count exceeds usize".into(),
+        })
+    }
+
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Append helpers used by both encoders.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u32(), Err(StoreError::Truncated { needed: 4, got: 2 }));
+        // A failed read consumes nothing.
+        assert_eq!(r.take(2).unwrap(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn usize_rejects_oversized_counts() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX);
+        let got = Reader::new(&out).usize();
+        if usize::BITS < 64 {
+            assert!(matches!(got, Err(StoreError::Corrupt { .. })));
+        } else {
+            assert_eq!(got.unwrap(), u64::MAX as usize);
+        }
+    }
+
+    #[test]
+    fn store_error_maps_to_persistence() {
+        let e: SearchError = StoreError::Checksum { what: "wal entry" }.into();
+        assert!(matches!(e, SearchError::Persistence { .. }));
+        assert_eq!(e.code(), 10);
+    }
+}

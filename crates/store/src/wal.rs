@@ -1,0 +1,272 @@
+//! The insert write-ahead log: an append-only, fsync-on-commit record
+//! of every insert accepted since the last snapshot.
+//!
+//! The durability contract is *disk before ack*: [`Wal::append`]
+//! fsyncs before it returns, and the caller only acknowledges the
+//! insert (resolves the client's ticket) after that return. A crash
+//! therefore loses at most inserts that were never acknowledged — and
+//! those appear, if at all, as a torn tail that replay drops. See the
+//! layout notes in [`crate::format`].
+
+use cned_serve::wire::WireSymbol;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::format::{
+    crc32, put_u32, put_u64, Reader, StoreError, MAX_RECORD, WAL_MAGIC, WAL_VERSION,
+};
+
+/// Byte length of the WAL header (magic + version + symbol width).
+const HEADER_LEN: usize = 10;
+
+/// An open WAL file, positioned for appends.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Entries appended since the file was last truncated.
+    entries: u64,
+}
+
+impl Wal {
+    /// Open `path` for appending, creating it (with a fresh header) if
+    /// missing or empty. Existing contents are validated only by
+    /// [`Wal::replay`]; opening is cheap.
+    pub fn open<S: WireSymbol>(path: &Path) -> Result<Wal, StoreError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)
+            .map_err(|e| StoreError::io("open wal", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::io("stat wal", e))?
+            .len();
+        if len == 0 {
+            file.write_all(&header::<S>())
+                .map_err(|e| StoreError::io("write wal header", e))?;
+            file.sync_all()
+                .map_err(|e| StoreError::io("fsync wal header", e))?;
+        }
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            entries: 0,
+        })
+    }
+
+    /// Entries appended through this handle since open/truncate.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Append one committed insert and fsync. `seq` is the item's
+    /// global index (== the index count before the insert).
+    pub fn append<S: WireSymbol>(&mut self, seq: u64, item: &[S]) -> Result<(), StoreError> {
+        let mut buf = Vec::with_capacity(4 + 8 + 4 + item.len() * S::WIDTH + 4);
+        encode_entry(&mut buf, seq, item);
+        self.file
+            .write_all(&buf)
+            .map_err(|e| StoreError::io("append wal entry", e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io("fsync wal entry", e))?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Drop all entries (after a snapshot has captured them): truncate
+    /// back to a fresh header and fsync.
+    pub fn truncate<S: WireSymbol>(&mut self) -> Result<(), StoreError> {
+        self.file
+            .set_len(0)
+            .map_err(|e| StoreError::io("truncate wal", e))?;
+        // append-mode writes follow the (now clamped) end of file.
+        self.file
+            .write_all(&header::<S>())
+            .map_err(|e| StoreError::io("write wal header", e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io("fsync wal", e))?;
+        self.entries = 0;
+        Ok(())
+    }
+
+    /// The file path this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn header<S: WireSymbol>() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&WAL_MAGIC);
+    h[8] = WAL_VERSION;
+    h[9] = S::WIDTH as u8;
+    h
+}
+
+/// Append one `[len][seq][item][crc]` entry to `buf`.
+pub fn encode_entry<S: WireSymbol>(buf: &mut Vec<u8>, seq: u64, item: &[S]) {
+    let start = buf.len();
+    let body_len = 8 + 4 + item.len() * S::WIDTH;
+    put_u32(buf, body_len as u32);
+    put_u64(buf, seq);
+    put_u32(buf, item.len() as u32);
+    for &sym in item {
+        sym.put(buf);
+    }
+    let crc = crc32(&buf[start..]);
+    put_u32(buf, crc);
+}
+
+/// Replay a WAL byte buffer into `(seq, item)` pairs.
+///
+/// A tail that ends mid-entry — including a length prefix promising
+/// more bytes than the file holds — is treated as a torn final write
+/// and dropped: the entry's fsync never completed, so no client was
+/// ever told it succeeded. A *complete* entry with a CRC mismatch is
+/// corruption and fails typed.
+pub fn replay<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<(u64, Vec<S>)>, StoreError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8).map_err(|_| StoreError::Truncated {
+        needed: HEADER_LEN,
+        got: bytes.len(),
+    })? != WAL_MAGIC
+    {
+        return Err(StoreError::BadMagic {
+            expected: WAL_MAGIC,
+        });
+    }
+    let version = r.u8()?;
+    if version != WAL_VERSION {
+        return Err(StoreError::BadVersion {
+            expected: WAL_VERSION,
+            got: version,
+        });
+    }
+    let width = r.u8()?;
+    if width as usize != S::WIDTH {
+        return Err(StoreError::BadSymbolWidth {
+            expected: S::WIDTH as u8,
+            got: width,
+        });
+    }
+
+    let mut out = Vec::new();
+    loop {
+        if r.remaining() == 0 {
+            return Ok(out);
+        }
+        if r.remaining() < 4 {
+            // Torn mid-length-prefix: drop silently (see doc comment).
+            return Ok(out);
+        }
+        let len = r.u32()? as usize;
+        if len > MAX_RECORD {
+            return Err(StoreError::Corrupt {
+                detail: format!("wal entry length {len} exceeds the {MAX_RECORD}-byte bound"),
+            });
+        }
+        if len + 4 > r.remaining() {
+            // Torn mid-entry (body + CRC incomplete): drop silently.
+            return Ok(out);
+        }
+        let body = r.take(len)?;
+        let stored = r.u32()?;
+        let mut c = crate::format::Crc32::new();
+        c.update(&(len as u32).to_le_bytes());
+        c.update(body);
+        if stored != c.finish() {
+            return Err(StoreError::Checksum { what: "wal entry" });
+        }
+        let mut b = Reader::new(body);
+        let seq = b.u64()?;
+        let count = b.u32()? as usize;
+        let sym_bytes = b.take(count.saturating_mul(S::WIDTH))?;
+        if b.remaining() != 0 {
+            return Err(StoreError::Corrupt {
+                detail: format!("{} trailing bytes inside wal entry", b.remaining()),
+            });
+        }
+        out.push((seq, sym_bytes.chunks_exact(S::WIDTH).map(S::get).collect()));
+    }
+}
+
+/// Read and replay a WAL file from disk. A missing file replays empty
+/// (a fresh data dir has no log yet).
+pub fn replay_file<S: WireSymbol>(path: &Path) -> Result<Vec<(u64, Vec<S>)>, StoreError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| StoreError::io("read wal", e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(StoreError::io("open wal", e)),
+    }
+    replay::<S>(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(entries: &[(u64, Vec<u32>)]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&header::<u32>());
+        for (seq, item) in entries {
+            encode_entry(&mut bytes, *seq, item);
+        }
+        bytes
+    }
+
+    #[test]
+    fn replay_roundtrips() {
+        let entries = vec![(3, vec![1u32, 2, 3]), (4, vec![]), (5, vec![9])];
+        assert_eq!(replay::<u32>(&roundtrip(&entries)).unwrap(), entries);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_silently() {
+        let entries = vec![(0, vec![7u32, 8]), (1, vec![9u32])];
+        let bytes = roundtrip(&entries);
+        // Cutting anywhere inside the last entry must still replay the
+        // first entry and drop the torn one, with no error.
+        let first_only = roundtrip(&entries[..1]);
+        for cut in first_only.len()..bytes.len() {
+            let got = replay::<u32>(&bytes[..cut]).unwrap();
+            assert_eq!(got, entries[..1], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_complete_entry_is_a_checksum_error() {
+        let bytes = roundtrip(&[(0, vec![7u32, 8]), (1, vec![9u32])]);
+        // Flip a byte inside the FIRST entry's body (not the tail).
+        let mut evil = bytes.clone();
+        evil[HEADER_LEN + 6] ^= 0x40;
+        assert_eq!(
+            replay::<u32>(&evil),
+            Err(StoreError::Checksum { what: "wal entry" })
+        );
+    }
+
+    #[test]
+    fn version_and_width_skew_fail_typed() {
+        let bytes = roundtrip(&[(0, vec![1u32])]);
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = WAL_VERSION + 1;
+        assert!(matches!(
+            replay::<u32>(&wrong_version),
+            Err(StoreError::BadVersion { .. })
+        ));
+        let mut wrong_width = bytes;
+        wrong_width[9] = 1;
+        assert!(matches!(
+            replay::<u32>(&wrong_width),
+            Err(StoreError::BadSymbolWidth { .. })
+        ));
+    }
+}

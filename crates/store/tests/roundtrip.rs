@@ -1,0 +1,126 @@
+//! Snapshot round-trip fidelity: `encode_snapshot` → `decode_snapshot`
+//! must hand back an index that answers **bit-identically** — same
+//! neighbours, same distances (to the bit), same `SearchStats` — for
+//! nn, k-NN and range queries, across every persistable backend and a
+//! spread of metrics (`d_E`, `d_YB`, `d_C,h`).
+//!
+//! The decoded index never recomputes anything (no pivot selection, no
+//! distance evaluations at load time), so any drift here means the
+//! codec dropped or reordered state.
+
+use cned_core::contextual::heuristic::ContextualHeuristic;
+use cned_core::levenshtein::Levenshtein;
+use cned_core::metric::Distance;
+use cned_core::normalized::yujian_bo::YujianBo;
+use cned_search::laesa::Laesa;
+use cned_search::linear::LinearIndex;
+use cned_search::pivots::select_pivots_max_sum;
+use cned_search::{InsertableIndex, MetricIndex, QueryOptions};
+use cned_serve::{ShardConfig, ShardedIndex};
+use cned_store::{decode_snapshot, encode_snapshot, IndexView, StoredIndex};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(97u8..=99, 1..=8)
+}
+
+fn database() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(word(), 3..=24)
+}
+
+fn metrics() -> Vec<(&'static str, Box<dyn Distance<u8>>)> {
+    vec![
+        ("d_E", Box::new(Levenshtein)),
+        ("d_YB", Box::new(YujianBo)),
+        ("d_C,h", Box::new(ContextualHeuristic)),
+    ]
+}
+
+/// Compare every query surface bit-for-bit between two indexes.
+fn assert_bit_identical(
+    a: &dyn MetricIndex<u8>,
+    b: &dyn MetricIndex<u8>,
+    dist: &dyn Distance<u8>,
+    queries: &[Vec<u8>],
+) {
+    assert_eq!(a.len(), b.len());
+    for q in queries {
+        let nn_a = a.nn(q, dist, &QueryOptions::new()).unwrap();
+        let nn_b = b.nn(q, dist, &QueryOptions::new()).unwrap();
+        assert_eq!(nn_a, nn_b, "nn({q:?})");
+        let opts = QueryOptions::new().k(3);
+        let knn_a = a.knn(q, dist, &opts).unwrap();
+        let knn_b = b.knn(q, dist, &opts).unwrap();
+        assert_eq!(knn_a, knn_b, "knn({q:?})");
+        let opts = QueryOptions::new().radius(0.75);
+        let range_a = a.range(q, dist, &opts).unwrap();
+        let range_b = b.range(q, dist, &opts).unwrap();
+        assert_eq!(range_a, range_b, "range({q:?})");
+    }
+}
+
+fn roundtrip(index: &dyn MetricIndex<u8>) -> StoredIndex<u8> {
+    let view = IndexView::of(index).expect("persistable backend");
+    let bytes = encode_snapshot((1, 0), &view);
+    let (meta, decoded) = decode_snapshot::<u8>(&bytes).expect("own encoding decodes");
+    assert_eq!(meta.items as usize, index.len());
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_snapshot_answers_bit_identically(
+        db in database(),
+        queries in proptest::collection::vec(word(), 1..=4),
+    ) {
+        let index = LinearIndex::new(db);
+        let decoded = roundtrip(&index);
+        for (name, dist) in metrics() {
+            let _ = name;
+            assert_bit_identical(&index, &decoded, &*dist, &queries);
+        }
+    }
+
+    #[test]
+    fn laesa_snapshot_answers_bit_identically(
+        db in database(),
+        queries in proptest::collection::vec(word(), 1..=4),
+        n_pivots in 1usize..=4,
+    ) {
+        // Pivot tables are metric-specific: build (and compare) per
+        // metric, so the persisted rows are the ones being exercised.
+        for (name, dist) in metrics() {
+            let _ = name;
+            let pivots = select_pivots_max_sum(&db, n_pivots.min(db.len()), 0, &*dist);
+            let index = Laesa::try_build(db.clone(), pivots, &*dist).unwrap();
+            let decoded = roundtrip(&index);
+            assert_bit_identical(&index, &decoded, &*dist, &queries);
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_answers_bit_identically(
+        db in database(),
+        queries in proptest::collection::vec(word(), 1..=4),
+        extra in proptest::collection::vec(word(), 0..=3),
+    ) {
+        let config = ShardConfig {
+            shards: 2,
+            pivots_per_shard: 2,
+            ..ShardConfig::default()
+        };
+        for (name, dist) in metrics() {
+            let _ = name;
+            let mut index = ShardedIndex::try_build(db.clone(), config, &*dist).unwrap();
+            // Push items into the delta shard so its persistence (and
+            // the compaction counters around it) is covered too.
+            for item in &extra {
+                InsertableIndex::insert(&mut index, item.clone(), &*dist).unwrap();
+            }
+            let decoded = roundtrip(&index);
+            assert_bit_identical(&index, &decoded, &*dist, &queries);
+        }
+    }
+}

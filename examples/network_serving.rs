@@ -6,24 +6,115 @@
 //! ```bash
 //! cargo run --release --example network_serving
 //! ```
+//!
+//! With no arguments the demo is self-contained: it serves, queries,
+//! inserts, then runs a kill → warm-restart cycle against a temporary
+//! data dir and checks the answers come back bit-identical.
+//!
+//! Durable serving and replication can also be driven across real
+//! processes:
+//!
+//! ```bash
+//! # Terminal 1 — durable primary (re-run it to warm-restart):
+//! cargo run --release --example network_serving -- \
+//!     primary data_dir=/tmp/cned-primary addr=127.0.0.1:7878 snapshot=256
+//!
+//! # Terminal 2 — streaming read replica:
+//! cargo run --release --example network_serving -- \
+//!     replica primary=127.0.0.1:7878 data_dir=/tmp/cned-replica addr=127.0.0.1:7879
+//! ```
+//!
+//! Kill the primary (Ctrl-C or `kill -9`) and start it again: it
+//! recovers from its snapshot + WAL and answers exactly as before.
+//! The replica serves reads the whole time and catches up from the
+//! primary's log tail when restarted.
 
 use cned::prelude::*;
-use cned::Ticket;
+use cned::{ServerConfig, Ticket};
+use std::collections::BTreeMap;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let words: Vec<Vec<u8>> = [
+fn demo_words() -> Vec<Vec<u8>> {
+    [
         "casa", "cosa", "masa", "taza", "cesta", "pasta", "costa", "caza",
     ]
     .iter()
     .map(|w| w.as_bytes().to_vec())
-    .collect();
+    .collect()
+}
 
-    // A sharded LAESA database serving the contextual metric d_C.
-    let db = Database::builder(words.clone())
+fn build_db(words: Vec<Vec<u8>>) -> Result<Database<u8>, SearchError> {
+    Database::builder(words)
         .metric(Metric::Contextual { bounded: true })
         .backend(Backend::Laesa { pivots: 2 })
         .shards(2)
-        .build()?;
+        .build()
+}
+
+/// `key=value` arguments, order-free.
+fn parse_kv(args: &[String]) -> BTreeMap<String, String> {
+    args.iter()
+        .filter_map(|a| a.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("primary") => run_primary(&parse_kv(&args[1..])),
+        Some("replica") => run_replica(&parse_kv(&args[1..])),
+        _ => run_demo(),
+    }
+}
+
+/// Long-running durable primary: recovers `data_dir` if it holds a
+/// snapshot, otherwise seeds it with the demo words.
+fn run_primary(kv: &BTreeMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = kv.get("data_dir").ok_or("primary requires data_dir=DIR")?;
+    let addr = kv.get("addr").map_or("127.0.0.1:0", String::as_str);
+    let snapshot: u64 = kv.get("snapshot").map_or(Ok(1024), |s| s.parse())?;
+
+    let db = build_db(demo_words())?;
+    let handle = db.serve_with(
+        addr,
+        ServerConfig::default()
+            .data_dir(dir)
+            .snapshot_every(snapshot),
+    )?;
+    println!(
+        "primary serving on {} (data dir {dir}, snapshot every {snapshot} inserts)",
+        handle.local_addr()
+    );
+    println!("kill me and re-run: recovery is snapshot + WAL replay, no index rebuild");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
+}
+
+/// Streaming read replica of a durable primary.
+fn run_replica(kv: &BTreeMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let primary = kv.get("primary").ok_or("replica requires primary=ADDR")?;
+    let dir = kv.get("data_dir").ok_or("replica requires data_dir=DIR")?;
+    let addr = kv.get("addr").map_or("127.0.0.1:0", String::as_str);
+
+    let handle = Database::<u8>::replica(primary.as_str(), dir, addr, ServerConfig::default())?;
+    println!(
+        "replica serving reads on {} ({} items applied; data dir {dir})",
+        handle.local_addr(),
+        handle.applied()
+    );
+    println!("inserts on the primary stream here live; inserts sent to me answer read-only");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
+}
+
+/// The self-contained single-process tour.
+fn run_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let words = demo_words();
+
+    // A sharded LAESA database serving the contextual metric d_C.
+    let db = build_db(words.clone())?;
 
     // Port 0 = ephemeral: the OS picks a free port, we read it back.
     let handle = db.serve("127.0.0.1:0")?;
@@ -59,14 +150,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|q| client.submit(Request::Nn { query: q.to_vec() }))
         .collect::<Result<_, _>>()?;
+    client.flush()?; // submission is buffered; one syscall ships the burst
     for (ticket, q) in tickets.into_iter().zip(&queries).rev() {
         let response = ticket.wait();
-        let ResponseBody::Nn {
-            neighbour: Some(nb),
-            ..
-        } = response.body
-        else {
-            panic!("expected an Nn answer");
+        let nb = match response.body {
+            ResponseBody::Nn {
+                neighbour: Some(nb),
+                ..
+            } => nb,
+            other => panic!("expected an Nn answer, got {other:?}"),
         };
         println!(
             "ticket {} nn({:?}) -> {:?} at {:.4}",
@@ -89,5 +181,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = handle.shutdown();
     println!("server drained; database holds {} items", db.len());
     assert_eq!(db.len(), words.len() + 1);
+
+    // ---- Durability: kill → warm restart, in miniature. ----
+    let dir = std::env::temp_dir().join(format!("cned-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Boot 1: seed the dir, insert over the wire, record an answer.
+    let handle = db.serve_with("127.0.0.1:0", ServerConfig::default().data_dir(&dir))?;
+    let mut client: Client<u8> = Client::connect(handle.local_addr())?;
+    client.insert(b"quesadilla")?;
+    let (before, before_stats) = client.nn(b"quesadilla")?;
+    drop(client);
+    drop(handle); // "kill": the handle drops without a graceful drain
+
+    // Boot 2: a *fresh* seed database pointed at the same dir — disk
+    // wins, so the insert survives and answers are bit-identical.
+    let handle =
+        build_db(words)?.serve_with("127.0.0.1:0", ServerConfig::default().data_dir(&dir))?;
+    let mut client: Client<u8> = Client::connect(handle.local_addr())?;
+    let (after, after_stats) = client.nn(b"quesadilla")?;
+    assert_eq!(before, after);
+    assert_eq!(before_stats, after_stats);
+    println!(
+        "warm restart from {} answered bit-identically (d = {:.4}, {} computations)",
+        dir.display(),
+        after.expect("non-empty").distance,
+        after_stats.distance_computations
+    );
+    drop(client);
+    let db = handle.shutdown();
+    assert_eq!(db.len(), 10);
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -41,10 +41,18 @@ use cned_search::{
     Aesa, Laesa, LinearIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
     VpTree,
 };
-use cned_serve::wire::WireSymbol;
+use cned_serve::server::ReplicaHub;
+use cned_serve::wire::{self, ReplicaFrame, WireSymbol};
 use cned_serve::{
-    Request, ServeSession, Server, ServerConfig, SessionConfig, ShardConfig, ShardedIndex, Ticket,
+    Request, RequestId, ResponseBody, ServeSession, Server, ServerConfig, SessionConfig,
+    SessionHandle, ShardConfig, ShardedIndex, Ticket,
 };
+use cned_store::{
+    data_dir_initialised, decode_snapshot, encode_snapshot, read_snapshot_meta, write_atomic,
+    Durable, IndexView, SNAPSHOT_FILE, WAL_FILE,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Every distance of the paper, selectable by name.
@@ -79,6 +87,38 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// The stable `(code, flag)` pair identifying this metric in
+    /// snapshot files (`cned-store`'s META record). Codes are
+    /// append-only: existing codes never change meaning.
+    pub fn codes(self) -> (u8, u8) {
+        match self {
+            Metric::Levenshtein => (1, 0),
+            Metric::Contextual { bounded } => (2, u8::from(bounded)),
+            Metric::ContextualHeuristic => (3, 0),
+            Metric::MarzalVidal => (4, 0),
+            Metric::YujianBo => (5, 0),
+            Metric::MaxNorm => (6, 0),
+            Metric::MinNorm => (7, 0),
+            Metric::SumNorm => (8, 0),
+        }
+    }
+
+    /// Inverse of [`Metric::codes`]; `None` for codes this build does
+    /// not know (a snapshot from a newer build).
+    pub fn from_codes(code: u8, flag: u8) -> Option<Metric> {
+        Some(match (code, flag) {
+            (1, 0) => Metric::Levenshtein,
+            (2, f @ (0 | 1)) => Metric::Contextual { bounded: f == 1 },
+            (3, 0) => Metric::ContextualHeuristic,
+            (4, 0) => Metric::MarzalVidal,
+            (5, 0) => Metric::YujianBo,
+            (6, 0) => Metric::MaxNorm,
+            (7, 0) => Metric::MinNorm,
+            (8, 0) => Metric::SumNorm,
+            _ => return None,
+        })
+    }
+
     /// Instantiate the distance for symbol type `S`.
     ///
     /// Shared ownership (`Arc`) because a [`Database`] may hand its
@@ -123,6 +163,7 @@ pub enum Backend {
 pub struct DatabaseBuilder<S: Symbol + 'static> {
     items: Vec<Vec<S>>,
     metric: Arc<dyn Distance<S>>,
+    metric_tag: Option<Metric>,
     backend: Backend,
     shards: usize,
     compact_threshold: usize,
@@ -132,6 +173,7 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
     /// Select a named paper metric (default: [`Metric::Levenshtein`]).
     pub fn metric(mut self, metric: Metric) -> DatabaseBuilder<S> {
         self.metric = metric.build();
+        self.metric_tag = Some(metric);
         self
     }
 
@@ -139,8 +181,13 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
     /// paper metric. Triangle-inequality backends (everything but
     /// [`Backend::Linear`]) return exact results only when it is a
     /// true metric.
+    ///
+    /// Custom metrics have no stable identity to write into a
+    /// snapshot, so a database built this way cannot be persisted
+    /// ([`Database::save`] and data-dir serving refuse typed).
     pub fn custom_metric(mut self, metric: Box<dyn Distance<S>>) -> DatabaseBuilder<S> {
         self.metric = Arc::from(metric);
+        self.metric_tag = None;
         self
     }
 
@@ -172,6 +219,7 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
         let DatabaseBuilder {
             items,
             metric,
+            metric_tag,
             backend,
             shards,
             compact_threshold,
@@ -200,7 +248,11 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
                 Backend::VpTree => Box::new(VpTree::build(items, &*metric)),
             }
         };
-        Ok(Database { metric, index })
+        Ok(Database {
+            metric,
+            metric_tag,
+            index,
+        })
     }
 }
 
@@ -209,6 +261,9 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
 /// and metric can never drift apart.
 pub struct Database<S: Symbol + 'static> {
     metric: Arc<dyn Distance<S>>,
+    /// The named metric behind `metric`, when there is one — the
+    /// persistable identity. `None` for custom metrics.
+    metric_tag: Option<Metric>,
     index: Box<dyn MetricIndex<S>>,
 }
 
@@ -219,6 +274,7 @@ impl<S: Symbol + 'static> Database<S> {
         DatabaseBuilder {
             items,
             metric: Metric::Levenshtein.build(),
+            metric_tag: Some(Metric::Levenshtein),
             backend: Backend::Linear,
             shards: 1,
             compact_threshold: ShardConfig::default().compact_threshold,
@@ -338,6 +394,7 @@ impl<S: Symbol + 'static> Database<S> {
     pub fn session_with(self, config: SessionConfig) -> DatabaseSession<S> {
         DatabaseSession {
             metric: Arc::clone(&self.metric),
+            metric_tag: self.metric_tag,
             session: ServeSession::spawn_with(self.index, Arc::clone(&self.metric), config),
         }
     }
@@ -360,22 +417,325 @@ impl<S: WireSymbol + 'static> Database<S> {
     }
 
     /// [`Database::serve`] with explicit knobs.
+    ///
+    /// With [`ServerConfig::data_dir`] set, the server is **durable**:
+    ///
+    /// * a dir already holding a snapshot wins — it is recovered
+    ///   (snapshot + WAL replay) and served, and the database passed
+    ///   here is discarded, so a kill → restart loop converges on the
+    ///   persisted state rather than the seed;
+    /// * a fresh dir is initialised from this database's contents;
+    /// * every accepted insert is WAL-logged and fsynced **before**
+    ///   its ticket resolves, and a snapshot is taken every
+    ///   [`ServerConfig::snapshot_every`] inserts and at shutdown;
+    /// * replicas may register (see [`Database::replica`]) and are fed
+    ///   the snapshot, the log tail, and live inserts.
     pub fn serve_with(
         self,
         addr: impl std::net::ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle<S>> {
+        let Some(dir) = config.data_dir.clone() else {
+            return Ok(ServerHandle {
+                metric: Arc::clone(&self.metric),
+                metric_tag: self.metric_tag,
+                server: Server::bind_with(addr, self.index, Arc::clone(&self.metric), config)?,
+            });
+        };
+        let (durable, metric, metric_tag) = if data_dir_initialised(&dir) {
+            // Disk wins: the persisted state (metric included) is the
+            // authority; `self`'s contents are discarded.
+            let (durable, tag, dist) = recover_dir::<S>(&dir, config.snapshot_every)?;
+            (durable, dist, Some(tag))
+        } else {
+            let tag = self.metric_tag.ok_or_else(|| {
+                invalid_input("custom metrics cannot be persisted; build with a named Metric")
+            })?;
+            let view = IndexView::of(&*self.index).ok_or_else(|| {
+                invalid_input("only the linear, laesa and sharded backends can be persisted")
+            })?;
+            // Encode-then-decode to obtain the owned StoredIndex the
+            // durable wrapper needs from the borrowed trait object.
+            let bytes = encode_snapshot(tag.codes(), &view);
+            let (_, owned) = decode_snapshot::<S>(&bytes).map_err(invalid_data)?;
+            let durable = Durable::create(&dir, tag.codes(), owned, config.snapshot_every)
+                .map_err(invalid_data)?;
+            (durable, Arc::clone(&self.metric), Some(tag))
+        };
+        let hub: Arc<dyn ReplicaHub<S>> = Arc::new(durable.hub());
+        let index: Box<dyn MetricIndex<S>> = Box::new(durable);
         Ok(ServerHandle {
-            metric: Arc::clone(&self.metric),
-            server: Server::bind_with(addr, self.index, Arc::clone(&self.metric), config)?,
+            metric: Arc::clone(&metric),
+            metric_tag,
+            server: Server::bind_replicated(addr, index, metric, config, Some(hub))?,
         })
     }
+
+    /// Persist the database to `path` as one self-contained snapshot
+    /// file (`cned-store` format): items, metric identity, and the
+    /// full index structure. [`Database::load`] restores it without
+    /// rebuilding, answering bit-identically — `SearchStats` included.
+    ///
+    /// Requires a named [`Metric`] and a persistable backend
+    /// ([`Backend::Linear`], [`Backend::Laesa`], or a sharded build);
+    /// anything else refuses with a typed error.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SearchError> {
+        let tag = self.metric_tag.ok_or(SearchError::UnsupportedConfig {
+            reason: "custom metrics cannot be persisted; build with a named Metric",
+        })?;
+        let view = IndexView::of(&*self.index).ok_or(SearchError::UnsupportedConfig {
+            reason: "only the linear, laesa and sharded backends can be persisted",
+        })?;
+        let bytes = encode_snapshot(tag.codes(), &view);
+        write_atomic(path.as_ref(), &bytes).map_err(SearchError::from)
+    }
+
+    /// Load a database saved by [`Database::save`] (or a server data
+    /// dir's snapshot file). The index is decoded, not rebuilt: no
+    /// pivot selection, no distance computations.
+    pub fn load(path: impl AsRef<Path>) -> Result<Database<S>, SearchError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SearchError::Persistence {
+            reason: format!("read snapshot: {e}"),
+        })?;
+        let (meta, index) = decode_snapshot::<S>(&bytes)?;
+        let tag = Metric::from_codes(meta.metric_code, meta.metric_flag).ok_or_else(|| {
+            SearchError::Persistence {
+                reason: format!(
+                    "snapshot uses unknown metric code ({}, {})",
+                    meta.metric_code, meta.metric_flag
+                ),
+            }
+        })?;
+        Ok(Database {
+            metric: tag.build(),
+            metric_tag: Some(tag),
+            index: match index {
+                cned_store::StoredIndex::Linear(i) => Box::new(i),
+                cned_store::StoredIndex::Laesa(i) => Box::new(i),
+                cned_store::StoredIndex::Sharded(i) => Box::new(i),
+            },
+        })
+    }
+
+    /// Start a **replica** of a durable primary started with
+    /// [`Database::serve_with`] + [`ServerConfig::data_dir`].
+    ///
+    /// The replica recovers whatever `dir` already holds, registers
+    /// with the primary declaring how many items it has, catches up
+    /// (full snapshot transfer for a fresh/behind replica, log tail
+    /// otherwise), then serves **reads** on `addr` while a background
+    /// applier streams the primary's subsequent inserts into the local
+    /// index — each one WAL-logged locally, so a restarted replica
+    /// resumes from its own disk and fetches only the tail it missed.
+    /// Inserts sent to the replica by clients answer with a typed
+    /// read-only failure.
+    pub fn replica(
+        primary: impl std::net::ToSocketAddrs,
+        dir: impl Into<PathBuf>,
+        addr: impl std::net::ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<ReplicaHandle<S>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let local = if data_dir_initialised(&dir) {
+            Some(recover_dir::<S>(&dir, config.snapshot_every)?)
+        } else {
+            None
+        };
+        let have = local
+            .as_ref()
+            .map_or(0, |(d, _, _)| MetricIndex::len(d) as u64);
+
+        // Register with the primary and drain the catch-up payload.
+        let mut stream = std::net::TcpStream::connect(primary)?;
+        let mut buf = Vec::new();
+        wire::encode_sync_request(RequestId(0), have, &mut buf);
+        wire::write_frame(&mut stream, &buf).map_err(wire_io)?;
+        let mut acc = cned_store::SyncAccumulator::<S>::new();
+        loop {
+            if wire::read_frame(&mut stream, &mut buf)
+                .map_err(wire_io)?
+                .is_none()
+            {
+                return Err(invalid_data("primary closed the connection mid-sync"));
+            }
+            match wire::decode_replica_frame::<S>(&buf).map_err(wire_io)? {
+                ReplicaFrame::SyncChunk {
+                    mode, done, chunk, ..
+                } => {
+                    acc.push(mode, &chunk).map_err(invalid_data)?;
+                    if done {
+                        break;
+                    }
+                }
+                ReplicaFrame::Response(resp) => {
+                    return Err(invalid_data(format!(
+                        "primary refused replica registration: {:?}",
+                        resp.body
+                    )));
+                }
+                ReplicaFrame::Insert { .. } => {
+                    return Err(invalid_data(
+                        "insert frame before the sync stream completed",
+                    ));
+                }
+            }
+        }
+        let outcome = acc.finish();
+
+        let (mut durable, tag, dist) = match (outcome.snapshot, local) {
+            (Some(snap), local) => {
+                // Full transfer: the primary's snapshot replaces local
+                // state wholesale. Validate before installing, and
+                // drop the stale WAL so recovery cannot replay old
+                // entries on top of the new base.
+                decode_snapshot::<S>(&snap).map_err(invalid_data)?;
+                drop(local);
+                write_atomic(&dir.join(SNAPSHOT_FILE), &snap).map_err(invalid_data)?;
+                let _ = std::fs::remove_file(dir.join(WAL_FILE));
+                recover_dir::<S>(&dir, config.snapshot_every)?
+            }
+            (None, Some(local)) => local,
+            (None, None) => {
+                return Err(invalid_data("primary sent no snapshot to an empty replica"))
+            }
+        };
+
+        // Apply the log tail; overlap with local state is expected
+        // (dedupe by sequence number), a gap is a protocol violation.
+        for (seq, item) in outcome.items {
+            let len = MetricIndex::len(&durable) as u64;
+            if seq < len {
+                continue;
+            }
+            if seq > len {
+                return Err(invalid_data(format!(
+                    "sync gap: tail starts at {seq}, replica holds {len} items"
+                )));
+            }
+            durable.insert(item, &*dist).map_err(invalid_data)?;
+        }
+
+        let applied = Arc::new(AtomicU64::new(MetricIndex::len(&durable) as u64));
+        let hub: Arc<dyn ReplicaHub<S>> = Arc::new(durable.hub());
+        let index: Box<dyn MetricIndex<S>> = Box::new(durable);
+        let server = Server::bind_replicated(
+            addr,
+            index,
+            Arc::clone(&dist),
+            config.read_only(true),
+            Some(hub),
+        )?;
+        let feed = stream.try_clone()?;
+        let applier = {
+            let session = server.session().handle();
+            let applied = Arc::clone(&applied);
+            std::thread::Builder::new()
+                .name("cned-replica-apply".into())
+                .spawn(move || apply_stream::<S>(stream, session, applied))
+                .expect("spawning the replica applier thread")
+        };
+        Ok(ReplicaHandle {
+            metric: dist,
+            metric_tag: Some(tag),
+            server: Some(server),
+            feed,
+            applier: Some(applier),
+            applied,
+        })
+    }
+}
+
+/// What `recover_dir` hands back: the recovered durable index plus the
+/// metric identity (named tag and built distance) the snapshot recorded.
+type Recovered<S> = (Durable<S>, Metric, Arc<dyn Distance<S>>);
+
+/// Recover a data dir: map the snapshot's metric codes to the named
+/// [`Metric`], then let `cned-store` replay snapshot + WAL.
+fn recover_dir<S: WireSymbol + 'static>(
+    dir: &Path,
+    snapshot_every: u64,
+) -> std::io::Result<Recovered<S>> {
+    let bytes = std::fs::read(dir.join(SNAPSHOT_FILE))?;
+    let meta = read_snapshot_meta::<S>(&bytes).map_err(invalid_data)?;
+    let tag = Metric::from_codes(meta.metric_code, meta.metric_flag).ok_or_else(|| {
+        invalid_data(format!(
+            "snapshot uses unknown metric code ({}, {})",
+            meta.metric_code, meta.metric_flag
+        ))
+    })?;
+    let dist = tag.build::<S>();
+    let (durable, _) = Durable::recover(dir, &*dist, snapshot_every).map_err(invalid_data)?;
+    Ok((durable, tag, dist))
+}
+
+/// The replica's applier loop: stream `RESP_REPL_INSERT` frames from
+/// the primary into the local session, deduping by sequence number.
+/// Exits on connection loss, session shutdown, or any protocol
+/// violation — the replica then simply stops advancing (and a restart
+/// re-syncs from the primary).
+fn apply_stream<S: WireSymbol + 'static>(
+    mut stream: std::net::TcpStream,
+    session: SessionHandle<S>,
+    applied: Arc<AtomicU64>,
+) {
+    let mut buf = Vec::new();
+    loop {
+        match wire::read_frame(&mut stream, &mut buf) {
+            Ok(Some(())) => {}
+            Ok(None) | Err(_) => return,
+        }
+        let Ok(frame) = wire::decode_replica_frame::<S>(&buf) else {
+            return;
+        };
+        let ReplicaFrame::Insert { seq, item } = frame else {
+            // Stray response frames (e.g. a late error) are ignored.
+            continue;
+        };
+        let have = applied.load(Ordering::Acquire);
+        if seq < have {
+            continue; // overlap with the catch-up payload
+        }
+        if seq > have {
+            return; // gap — never apply out of order
+        }
+        // Submit through the session so the insert takes the same
+        // barrier path as any other; retry briefly on backpressure.
+        let ticket = loop {
+            match session.submit(Request::Insert { item: item.clone() }) {
+                Ok(t) => break t,
+                Err(SearchError::Overloaded { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(_) => return, // shutting down
+            }
+        };
+        match ticket.wait().body {
+            ResponseBody::Inserted { index } if index as u64 == seq => {
+                applied.store(seq + 1, Ordering::Release);
+            }
+            _ => return,
+        }
+    }
+}
+
+fn invalid_data(e: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+fn invalid_input(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, msg)
+}
+
+fn wire_io(e: cned_serve::WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
 }
 
 /// A [`Database`] being served in-process through the session/ticket
 /// API (see [`Database::session`]).
 pub struct DatabaseSession<S: Symbol + 'static> {
     metric: Arc<dyn Distance<S>>,
+    metric_tag: Option<Metric>,
     session: ServeSession<S, Box<dyn MetricIndex<S>>>,
 }
 
@@ -394,10 +754,15 @@ impl<S: Symbol + 'static> DatabaseSession<S> {
 
     /// Drain in-flight work and reassemble the [`Database`].
     pub fn shutdown(self) -> Database<S> {
-        let DatabaseSession { metric, session } = self;
+        let DatabaseSession {
+            metric,
+            metric_tag,
+            session,
+        } = self;
         Database {
             index: session.shutdown(),
             metric,
+            metric_tag,
         }
     }
 }
@@ -405,6 +770,7 @@ impl<S: Symbol + 'static> DatabaseSession<S> {
 /// A [`Database`] being served over TCP (see [`Database::serve`]).
 pub struct ServerHandle<S: WireSymbol + 'static> {
     metric: Arc<dyn Distance<S>>,
+    metric_tag: Option<Metric>,
     server: Server<S, Box<dyn MetricIndex<S>>>,
 }
 
@@ -421,13 +787,81 @@ impl<S: WireSymbol + 'static> ServerHandle<S> {
     }
 
     /// Stop accepting, drain connections and in-flight work, and
-    /// reassemble the [`Database`].
+    /// reassemble the [`Database`]. When the server was started with a
+    /// data dir, the returned index is still the durable wrapper: its
+    /// drop (or the next snapshot) persists any WAL tail.
     pub fn shutdown(self) -> Database<S> {
-        let ServerHandle { metric, server } = self;
+        let ServerHandle {
+            metric,
+            metric_tag,
+            server,
+        } = self;
         Database {
             index: server.shutdown(),
             metric,
+            metric_tag,
         }
+    }
+}
+
+/// A running replica (see [`Database::replica`]): a read-only server
+/// over a locally durable copy of the primary, plus the applier thread
+/// streaming the primary's inserts into it.
+pub struct ReplicaHandle<S: WireSymbol + 'static> {
+    metric: Arc<dyn Distance<S>>,
+    metric_tag: Option<Metric>,
+    server: Option<Server<S, Box<dyn MetricIndex<S>>>>,
+    /// Our clone of the primary connection; shutting it down unblocks
+    /// the applier's blocking read.
+    feed: std::net::TcpStream,
+    applier: Option<std::thread::JoinHandle<()>>,
+    applied: Arc<AtomicU64>,
+}
+
+impl<S: WireSymbol + 'static> ReplicaHandle<S> {
+    /// The replica's bound serving address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server
+            .as_ref()
+            .expect("server present until shutdown")
+            .local_addr()
+    }
+
+    /// Items the replica holds (base + applied stream), i.e. the
+    /// sequence number the next streamed insert must carry. Poll this
+    /// to await catch-up with the primary.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Disconnect from the primary, drain the read-only server, and
+    /// hand back the replica's [`Database`] (still durable: its drop
+    /// persists any WAL tail into the data dir).
+    pub fn shutdown(mut self) -> Database<S> {
+        self.stop_feed();
+        let server = self.server.take().expect("server present until shutdown");
+        let metric = Arc::clone(&self.metric);
+        let metric_tag = self.metric_tag;
+        drop(self);
+        Database {
+            metric,
+            metric_tag,
+            index: server.shutdown(),
+        }
+    }
+
+    fn stop_feed(&mut self) {
+        let _ = self.feed.shutdown(std::net::Shutdown::Both);
+        if let Some(handle) = self.applier.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: WireSymbol + 'static> Drop for ReplicaHandle<S> {
+    fn drop(&mut self) {
+        self.stop_feed();
+        // The server (if still held) cleans up its own threads.
     }
 }
 

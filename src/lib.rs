@@ -97,6 +97,7 @@ pub use cned_datasets as datasets;
 pub use cned_search as search;
 pub use cned_serve as serve;
 pub use cned_stats as stats;
+pub use cned_store as store;
 
 mod database;
 
@@ -104,9 +105,12 @@ pub use cned_search::{
     InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
 };
 pub use cned_serve::{
-    Client, ClientError, Request, RequestId, Response, ResponseBody, SessionConfig, Ticket,
+    Client, ClientError, Request, RequestId, Response, ResponseBody, ServerConfig, SessionConfig,
+    Ticket,
 };
-pub use database::{Backend, Database, DatabaseBuilder, DatabaseSession, Metric, ServerHandle};
+pub use database::{
+    Backend, Database, DatabaseBuilder, DatabaseSession, Metric, ReplicaHandle, ServerHandle,
+};
 
 /// One-stop imports for examples and quick scripts.
 pub mod prelude {
