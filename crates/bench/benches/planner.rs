@@ -1,0 +1,261 @@
+//! Decision-layer economics (`cned-plan`): what does the adaptive
+//! planner cost, does its pick hold up against hand-tuned shapes, and
+//! what do the hot-query cache and tombstoned deletes buy?
+//!
+//! Three groups:
+//! * `query_planning` — the planner's own overhead (seeded distance
+//!   sampling + cost model), then k-NN throughput of the shape
+//!   `Backend::Auto` selected against hand-tuned linear, LAESA and
+//!   sharded-LAESA databases over the same corpus. The chosen plan and
+//!   each shape's measured distance computations per query are printed
+//!   so the JSON numbers can be read against the cost model;
+//! * `zipfian_cache` — the same Zipfian(1.0) query stream through a
+//!   cached and an uncached database. The cache answers repeats
+//!   exactly (bit-identical results, checked in `tests/planning.rs`);
+//!   this group prices them. The achieved hit rate is printed;
+//! * `delete_compaction` — steady-state insert+tombstone cycles
+//!   through the sharded serving backend (delta compaction included),
+//!   with the terminal `vacuum` (full rebuild of the survivors) timed
+//!   outside criterion for context.
+//!
+//! Set `CNED_BENCH_FAST=1` (CI smoke) to shrink the workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use cned::{Backend, Database};
+use cned_core::levenshtein::Levenshtein;
+use cned_datasets::dictionary::spanish_dictionary;
+use cned_datasets::perturb::{gen_queries, ASCII_LOWER};
+use cned_plan::PlanConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fast() -> bool {
+    std::env::var("CNED_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn sizes() -> (usize, usize) {
+    // (database items, distinct queries)
+    if fast() {
+        (400, 40)
+    } else {
+        (2000, 120)
+    }
+}
+
+const K: usize = 5;
+
+fn corpus() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let (n, q) = sizes();
+    let db = spanish_dictionary(n, 11);
+    let queries = gen_queries(&db, q, 2, ASCII_LOWER, 7);
+    (db, queries)
+}
+
+/// Sum of `distance_computations` over one pass of `queries`, for the
+/// printed context lines.
+fn computations_per_query(db: &Database<u8>, queries: &[Vec<u8>]) -> f64 {
+    let mut total = 0u64;
+    for q in queries {
+        let (_, stats) = db.knn(q, K).expect("non-empty database");
+        total += stats.distance_computations;
+    }
+    total as f64 / queries.len() as f64
+}
+
+fn bench_query_planning(c: &mut Criterion) {
+    let (db, queries) = corpus();
+    let n = db.len();
+
+    let mut group = c.benchmark_group("query_planning");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // The planner itself: seeded sampling, moment estimation, cost
+    // model, shard split. This is the one-off price Backend::Auto adds
+    // to a build.
+    let cfg = PlanConfig::default();
+    group.bench_with_input(BenchmarkId::new("plan_overhead", n), &n, |b, _| {
+        b.iter(|| cned_plan::plan(black_box(&db), &Levenshtein, &cfg))
+    });
+
+    let auto = Database::builder(db.clone())
+        .backend(Backend::Auto)
+        .build()
+        .expect("auto plan builds");
+    let plan = auto.plan().expect("auto records its plan").clone();
+    let shapes: Vec<(&str, Database<u8>)> = vec![
+        ("auto", auto),
+        (
+            "linear",
+            Database::builder(db.clone()).build().expect("builds"),
+        ),
+        (
+            "laesa_16",
+            Database::builder(db.clone())
+                .backend(Backend::Laesa { pivots: 16 })
+                .build()
+                .expect("builds"),
+        ),
+        (
+            "sharded_4x16",
+            Database::builder(db.clone())
+                .backend(Backend::Laesa { pivots: 16 })
+                .shards(4)
+                .build()
+                .expect("builds"),
+        ),
+    ];
+    for (name, shaped) in &shapes {
+        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                shaped.knn(black_box(q), K).expect("non-empty")
+            })
+        });
+    }
+    group.finish();
+
+    println!(
+        "plan: {:?} x {} shards over {} items (rho {:.2}; modelled cost linear {:.0}, \
+         laesa {:.0}, vptree {:.0})",
+        plan.backend,
+        plan.shards,
+        plan.corpus,
+        plan.rho,
+        plan.costs.linear,
+        plan.costs.laesa,
+        plan.costs.vptree
+    );
+    for (name, shaped) in &shapes {
+        println!(
+            "  {name}: {:.1} distance computations per k-NN query",
+            computations_per_query(shaped, &queries)
+        );
+    }
+}
+
+/// A Zipfian(1.0) stream of `len` indices over `ranks` hot queries:
+/// rank r is drawn with probability proportional to 1/(r+1).
+fn zipf_stream(ranks: usize, len: usize, seed: u64) -> Vec<usize> {
+    let mut cdf = Vec::with_capacity(ranks);
+    let mut acc = 0.0f64;
+    for r in 0..ranks {
+        acc += 1.0 / (r as f64 + 1.0);
+        cdf.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let u = rng.random_range(0.0..acc);
+            cdf.partition_point(|&c| c < u).min(ranks - 1)
+        })
+        .collect()
+}
+
+fn bench_zipfian_cache(c: &mut Criterion) {
+    let (db, queries) = corpus();
+    let n = db.len();
+    let ranks = 32.min(queries.len());
+    let stream = zipf_stream(ranks, 4096, 29);
+
+    let cached = Database::builder(db.clone())
+        .backend(Backend::Auto)
+        .cache()
+        .build()
+        .expect("builds");
+    let uncached = Database::builder(db)
+        .backend(Backend::Auto)
+        .build()
+        .expect("builds");
+
+    let mut group = c.benchmark_group("zipfian_cache");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (name, shaped) in [("cached", &cached), ("uncached", &uncached)] {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[stream[i % stream.len()]];
+                i += 1;
+                shaped.knn(black_box(q), K).expect("non-empty")
+            })
+        });
+    }
+    group.finish();
+
+    let stats = cached.cache_stats().expect("cache attached");
+    let total = stats.hits + stats.misses;
+    println!(
+        "zipfian({ranks} hot queries): {} hits / {} lookups ({:.0}% hit rate, {} radius-seeded)",
+        stats.hits,
+        total,
+        stats.hits as f64 / total.max(1) as f64 * 100.0,
+        stats.seeded
+    );
+}
+
+fn bench_delete_compaction(c: &mut Criterion) {
+    let (db, _) = corpus();
+    let n = db.len();
+    let fresh = || {
+        Database::builder(db.clone())
+            .backend(Backend::Laesa { pivots: 8 })
+            .shards(4)
+            .compact_threshold(32)
+            .build()
+            .expect("builds")
+    };
+
+    let mut group = c.benchmark_group("delete_compaction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    // One steady-state churn cycle: insert a word (delta append, with
+    // the occasional compaction at threshold 32), then tombstone it.
+    // Physical slots are never renumbered, so the database grows while
+    // the live count stays put — exactly the serving write path.
+    group.bench_with_input(BenchmarkId::new("insert_delete", n), &n, |b, _| {
+        let mut churn = fresh();
+        let mut i = 0usize;
+        b.iter(|| {
+            let slot = churn.insert(db[i % db.len()].clone()).expect("insertable");
+            i += 1;
+            assert!(churn.delete(slot).expect("fresh slot is live"));
+            slot
+        })
+    });
+    group.finish();
+
+    // Vacuum context: rebuild of the survivors after a 25% cull.
+    let mut culled = fresh();
+    for i in (0..n).step_by(4) {
+        culled.delete(i).expect("in range");
+    }
+    let dead = culled.deleted();
+    let t = Instant::now();
+    let vacuumed = culled.vacuum().expect("vacuum rebuilds");
+    println!(
+        "vacuum: {} -> {} items ({dead} tombstones reclaimed) in {:.1} ms",
+        n,
+        vacuumed.len(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_query_planning,
+    bench_zipfian_cache,
+    bench_delete_compaction
+);
+criterion_main!(benches);

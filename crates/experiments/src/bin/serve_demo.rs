@@ -2,11 +2,14 @@
 //! on the paper's two main workloads (Spanish-like dictionary words,
 //! handwritten-digit contour chain codes).
 //!
-//! For each workload it builds a [`ShardedIndex`], serves a mixed
-//! NN / k-NN / **range** / insert queue, verifies every answer
-//! against the linear-scan oracle — correlating **by request id**,
-//! never by arrival order — and prints throughput plus
-//! distance-computation totals.
+//! For each workload it builds a [`ShardedIndex`] behind a
+//! [`CachedIndex`], serves a mixed NN / k-NN / **range** /
+//! insert / **delete** queue followed by a hot tail of repeated
+//! queries, verifies every answer against the linear-scan oracle —
+//! correlating **by request id**, never by arrival order, and
+//! re-checking across the delete/compaction cycles the write barriers
+//! produce — and prints throughput, distance-computation totals and
+//! cache hit counters.
 //!
 //! Two serving paths:
 //!
@@ -21,13 +24,17 @@
 //!   highest-throughput wire shape.
 //!
 //! Args (key=value): `db=2000 queries=200 shards=4 pivots=16 k=5
-//! radius=2 threads=0 workload=both network=false batch=1`
-//! (`threads=0` keeps the `CNED_THREADS`/auto default; `workload` ∈
-//! dictionary|digits|both). Setting `CNED_BENCH_FAST=1` shrinks the
-//! default workload for smoke runs.
+//! radius=2 deletes=24 hot=48 threads=0 workload=both network=false
+//! batch=1` (`threads=0` keeps the `CNED_THREADS`/auto default;
+//! `workload` ∈ dictionary|digits|both; `deletes` tombstones that many
+//! distinct base items mid-queue; `hot` appends that many repeats of a
+//! few queries after the last write, so the cache answers them).
+//! Setting `CNED_BENCH_FAST=1` shrinks the default workload for smoke
+//! runs.
 
 use cned_core::levenshtein::Levenshtein;
 use cned_experiments::args::Args;
+use cned_plan::{CacheConfig, CachedIndex};
 use cned_search::{InsertableIndex, LinearIndex, MetricIndex, QueryOptions};
 use cned_serve::{
     Client, QueryPipeline, Request, RequestId, Response, ResponseBody, Server, ShardConfig,
@@ -44,12 +51,14 @@ struct Params {
     pivots: usize,
     k: usize,
     radius: f64,
+    deletes: usize,
+    hot: usize,
     network: bool,
     batch: usize,
 }
 
-fn build_index(db: &[Vec<u8>], p: &Params) -> ShardedIndex<u8> {
-    ShardedIndex::try_build(
+fn build_index(db: &[Vec<u8>], p: &Params) -> CachedIndex<u8, ShardedIndex<u8>> {
+    let sharded = ShardedIndex::try_build(
         db.to_vec(),
         ShardConfig {
             shards: p.shards,
@@ -59,17 +68,30 @@ fn build_index(db: &[Vec<u8>], p: &Params) -> ShardedIndex<u8> {
         },
         &Levenshtein,
     )
-    .expect("internally selected pivots are always valid")
+    .expect("internally selected pivots are always valid");
+    CachedIndex::new(sharded, CacheConfig::default())
 }
 
 /// The mixed request queue: NN, k-NN and range queries with an insert
-/// barrier in the middle (the inserted items are perturbed queries,
-/// so they land near existing neighbourhoods).
+/// barrier in the middle (the inserted items are perturbed queries, so
+/// they land near existing neighbourhoods) and `deletes` tombstone
+/// barriers spread through the queue — each one a delete/compaction
+/// cycle the oracle re-checks across. After the last write, a hot tail
+/// repeats a few early queries so the exact result cache answers them.
 fn build_requests(queries: &[Vec<u8>], p: &Params) -> Vec<Request<u8>> {
     let mut requests: Vec<Request<u8>> = Vec::new();
+    // Distinct victims, spread across the base corpus; never an index
+    // an insert could still be assigned (inserts land at >= db).
+    let stride = (p.db / p.deletes.max(1)).max(1);
+    let mut victims = (0..p.deletes).map(|d| d * stride).filter(|&i| i < p.db);
     for (i, q) in queries.iter().enumerate() {
         if i == queries.len() / 2 {
             requests.push(Request::Insert { item: q.clone() });
+        }
+        if i % 5 == 3 {
+            if let Some(index) = victims.next() {
+                requests.push(Request::Delete { index });
+            }
         }
         match i % 3 {
             0 => requests.push(Request::Knn {
@@ -81,6 +103,22 @@ fn build_requests(queries: &[Vec<u8>], p: &Params) -> Vec<Request<u8>> {
                 radius: p.radius,
             }),
             _ => requests.push(Request::Nn { query: q.clone() }),
+        }
+    }
+    for index in victims {
+        requests.push(Request::Delete { index });
+    }
+    for h in 0..p.hot {
+        // 4 hot queries x 3 op kinds = 12 distinct cache keys, so a
+        // tail of `hot` > 12 requests revisits every key.
+        let q = queries[h % queries.len().min(4)].clone();
+        match h % 3 {
+            0 => requests.push(Request::Knn { query: q, k: p.k }),
+            1 => requests.push(Request::Range {
+                query: q,
+                radius: p.radius,
+            }),
+            _ => requests.push(Request::Nn { query: q }),
         }
     }
     requests
@@ -117,6 +155,14 @@ fn oracle_check(
             (Request::Insert { item }, ResponseBody::Inserted { .. }) => {
                 InsertableIndex::insert(&mut oracle, item.clone(), dist)
                     .expect("oracle accepts inserts");
+            }
+            (Request::Delete { index }, ResponseBody::Deleted { existed }) => {
+                let oracle_existed = oracle.delete(*index).expect("oracle accepts deletes");
+                assert_eq!(
+                    *existed, oracle_existed,
+                    "{name}: delete {index} liveness mismatch for {id}"
+                );
+                checked += 1;
             }
             (Request::Nn { query }, ResponseBody::Nn { neighbour, .. }) => {
                 let (l_nn, _) = oracle.nn(query, dist, &opts).expect("non-empty");
@@ -168,7 +214,7 @@ fn report_throughput(responses: &[Response], elapsed: std::time::Duration) {
                 computations += stats.distance_computations;
                 answered += 1;
             }
-            ResponseBody::Inserted { .. } => {}
+            ResponseBody::Inserted { .. } | ResponseBody::Deleted { .. } => {}
             ResponseBody::Failed { error } => panic!("request {} failed: {error}", r.id),
         }
     }
@@ -196,11 +242,24 @@ fn run_in_process(db: &[Vec<u8>], requests: &[Request<u8>], p: &Params) {
         .collect();
     oracle_check("pipeline", db, &tagged, &responses);
     let index = pipeline.index();
+    report_cache(index);
     println!(
-        "index now {} items, {} in delta, {} shards",
+        "index now {} items ({} tombstoned), {} in delta, {} shards",
         MetricIndex::len(index),
-        index.delta_len(),
-        index.num_shards()
+        MetricIndex::deleted(index),
+        index.inner().delta_len(),
+        index.inner().num_shards()
+    );
+}
+
+/// The cache counters after a run: the hot tail should land as hits,
+/// every insert/delete barrier as one invalidation.
+fn report_cache(index: &CachedIndex<u8, ShardedIndex<u8>>) {
+    let s = index.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} radius-seeded, {} invalidations \
+         ({} probe computations)",
+        s.hits, s.misses, s.seeded, s.invalidations, s.probe_computations
     );
 }
 
@@ -266,11 +325,13 @@ fn run_network(db: &[Vec<u8>], requests: &[Request<u8>], p: &Params) {
     report_throughput(&responses, elapsed);
     oracle_check("network", db, &tagged, &responses);
     let index = server.shutdown();
+    report_cache(&index);
     println!(
-        "server drained; index now {} items, {} in delta, {} shards",
+        "server drained; index now {} items ({} tombstoned), {} in delta, {} shards",
         MetricIndex::len(&index),
-        index.delta_len(),
-        index.num_shards()
+        MetricIndex::deleted(&index),
+        index.inner().delta_len(),
+        index.inner().num_shards()
     );
 }
 
@@ -289,8 +350,8 @@ fn run_workload(name: &str, db: Vec<Vec<u8>>, queries: Vec<Vec<u8>>, p: &Params)
     println!(
         "build: {:.1} ms ({} preprocessing distance computations, {} shards)",
         t0.elapsed().as_secs_f64() * 1e3,
-        index.preprocessing_computations(),
-        index.num_shards()
+        index.inner().preprocessing_computations(),
+        index.inner().num_shards()
     );
     drop(index);
 
@@ -313,6 +374,8 @@ fn main() {
         pivots: a.get("pivots", 16usize),
         k: a.get("k", 5usize),
         radius: a.get("radius", 2.0f64),
+        deletes: a.get("deletes", if fast { 12 } else { 24 }),
+        hot: a.get("hot", if fast { 24 } else { 48 }),
         network: a.get("network", false),
         batch: a.get("batch", 1usize).max(1),
     };

@@ -1,6 +1,6 @@
 //! Determinism pass: the answer-path crates (`core`, `search`,
-//! `serve`) must not iterate hash-ordered containers or compare
-//! distances through `PartialOrd` shortcuts.
+//! `serve`, `plan`) must not iterate hash-ordered containers or
+//! compare distances through `PartialOrd` shortcuts.
 //!
 //! Two rules:
 //!
@@ -22,8 +22,10 @@ use crate::lexer::TokKind;
 use crate::model::{Finding, SourceFile};
 use std::collections::BTreeSet;
 
-/// Crates whose non-test code feeds query answers.
-pub const ANSWER_PATH_CRATES: &[&str] = &["core", "search", "serve"];
+/// Crates whose non-test code feeds query answers. `plan` qualifies
+/// twice over: the planner picks the structure every answer flows
+/// through, and the cache replays stored answers verbatim.
+pub const ANSWER_PATH_CRATES: &[&str] = &["core", "search", "serve", "plan"];
 
 /// Functions audited by hand; their bodies may compare floats.
 const ALLOWED_FNS: &[&str] = &["sanitise_distance", "better_than", "ordering"];

@@ -1,0 +1,40 @@
+//! # cned-plan — adaptive query planning and hot-query caching
+//!
+//! The decision layer of the serving stack, in two halves:
+//!
+//! * [`planner`] — build-time planning: a seeded distance sample over
+//!   the corpus yields the distribution's `μ`, `σ` and intrinsic
+//!   dimensionality `ρ = μ²/2σ²` plus an *empirical* pruning curve,
+//!   and a cost model prices the linear scan, LAESA (over a
+//!   pivot-count ladder) and the vp-tree in distance evaluations per
+//!   query, picking the cheapest — with shard split — into an
+//!   inspectable, byte-codec'd [`Plan`]. Non-metric distances force a
+//!   linear plan (pruning is inadmissible without the triangle
+//!   inequality). `cned`'s `Backend::Auto` is a thin wrapper over
+//!   [`plan`], and snapshots persist the blob so a warm restart
+//!   reports the same decision it serves.
+//! * [`cache`] — run-time caching: [`CachedIndex`] wraps any
+//!   [`cned_search::MetricIndex`] with an exact, sharded,
+//!   cost-weighted LRU of query answers keyed on the canonicalised
+//!   `(kind, query, metric, options)`, flushed wholesale on the
+//!   insert/delete barrier (`&mut self` *is* the barrier), plus
+//!   admissible triangle-inequality radius seeding of fresh queries
+//!   from cached near-duplicate answers — identical neighbours,
+//!   strictly less work.
+//!
+//! Everything here is deterministic: sampling is seeded, hash maps
+//! are only ever key-addressed (the LRU order lives in an explicit
+//! intrusive list), and float decisions go through `total_cmp` —
+//! `cned-lint`'s determinism pass covers this crate like the rest of
+//! the answer path.
+
+// No unsafe here, enforced at compile time (and by cned-lint).
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod planner;
+
+pub use cache::{CacheConfig, CacheHandle, CacheStats, CachedIndex};
+pub use planner::{
+    plan, Plan, PlanConfig, PlanCosts, PlanDecodeError, PlannedBackend, PLAN_VERSION,
+};

@@ -1,0 +1,641 @@
+//! Build-time adaptive planning: sample the corpus, estimate the
+//! distance distribution, and let a cost model pick the backend,
+//! pivot count and shard split.
+//!
+//! ## How the estimate works
+//!
+//! Everything is derived from one deterministic sample: up to
+//! [`PlanConfig::sample_items`] items are drawn with a seeded
+//! generator and their full pairwise distance matrix is computed
+//! (`m·(m−1)/2` evaluations — the only distance work planning does).
+//! From the matrix we get
+//!
+//! * the distance distribution's mean `μ` and standard deviation `σ`,
+//!   and the intrinsic dimensionality estimate `ρ = μ² / 2σ²` (Chávez
+//!   et al.) — high `ρ` means distances concentrate and
+//!   triangle-inequality pruning stops working;
+//! * an **empirical pruning curve** `s(p)`: using the sampled items as
+//!   stand-ins for queries, pivots and candidates, the fraction of
+//!   candidates a `p`-pivot LAESA fails to eliminate at the query's
+//!   sample-NN radius. No model assumptions — the curve is measured on
+//!   the corpus' own distances.
+//!
+//! The cost model then prices each backend in *distance evaluations
+//! per NN query* (every backend's unit):
+//!
+//! * linear scan: `n`;
+//! * LAESA with `p` pivots: `p + s(p) · (n − p)` — pivots are always
+//!   evaluated, survivors scanned; the planner minimises over a small
+//!   pivot-count ladder;
+//! * vp-tree: `log₂n + n · √s(t)` with `t ≈ log₂n` — a tree prunes
+//!   with one vantage point per visited node, so it behaves like a
+//!   weak pivot set; the square root is a deliberate safety haircut
+//!   (vantage points are not greedy-selected, so each prunes less than
+//!   the measured curve suggests). This is a heuristic, recorded as
+//!   such in the [`Plan`].
+//!
+//! A backend must beat the linear scan by more than
+//! [`PlanConfig::min_gain`] to be chosen — near-ties go to the
+//! simplest structure. Non-metric distances (`d_C,h`, `d_max`, …)
+//! force a linear plan outright: pivot and tree pruning are only
+//! admissible under the triangle inequality.
+//!
+//! The resulting [`Plan`] is inspectable ([`Plan::report`]) and has a
+//! stable byte codec ([`Plan::to_bytes`] / [`Plan::from_bytes`]) so
+//! snapshots can persist the decision and a warm restart serves the
+//! exact structure the planner chose — bit-identical answers included.
+
+use cned_core::metric::Distance;
+use cned_core::Symbol;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`plan`]. The defaults are sized so planning costs about
+/// a thousand distance evaluations regardless of corpus size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanConfig {
+    /// Seed for the sampling generator. Same seed + same corpus +
+    /// same metric ⇒ the same [`Plan`], always.
+    pub seed: u64,
+    /// Maximum items in the distance sample (the whole corpus when it
+    /// is smaller). Planning cost is quadratic in this.
+    pub sample_items: usize,
+    /// Largest pivot count the LAESA ladder considers.
+    pub max_pivots: usize,
+    /// Corpora smaller than this skip sampling entirely and plan a
+    /// linear scan — pivot overhead cannot amortise.
+    pub small_corpus: usize,
+    /// Target items per shard; a LAESA plan over at least twice this
+    /// many items is split into `n / shard_target` shards.
+    pub shard_target: usize,
+    /// Upper bound on the shard split.
+    pub max_shards: usize,
+    /// Fractional cost advantage over the linear scan a structured
+    /// backend must show to be selected (e.g. `0.05` = 5% cheaper).
+    pub min_gain: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> PlanConfig {
+        PlanConfig {
+            seed: 0x1CDE_2008,
+            sample_items: 48,
+            max_pivots: 64,
+            small_corpus: 64,
+            shard_target: 4096,
+            max_shards: 8,
+            min_gain: 0.05,
+        }
+    }
+}
+
+/// The backend a [`Plan`] selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedBackend {
+    /// Exhaustive scan — also the forced choice for non-metric
+    /// distances, where pruning is inadmissible.
+    Linear,
+    /// LAESA with the cost-minimising pivot count.
+    Laesa {
+        /// Chosen pivot count (per shard, when sharded).
+        pivots: usize,
+    },
+    /// A vantage-point tree.
+    VpTree,
+}
+
+/// Estimated per-query cost (distance evaluations) of each candidate
+/// backend. `INFINITY` marks a backend that was inadmissible (pruning
+/// under a non-metric) or not evaluated (corpus below the sampling
+/// floor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCosts {
+    /// `n` — the exhaustive scan.
+    pub linear: f64,
+    /// `p* + s(p*)·(n−p*)` at the chosen pivot count.
+    pub laesa: f64,
+    /// The vp-tree heuristic estimate.
+    pub vptree: f64,
+}
+
+/// The planner's decision plus everything it measured to reach it —
+/// kept inspectable so "why did Auto pick this?" has an answer, and
+/// persisted into snapshots so a warm restart can report the same.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Selected backend.
+    pub backend: PlannedBackend,
+    /// Selected shard split (`1` = unsharded). Only ever `> 1` for a
+    /// LAESA backend.
+    pub shards: usize,
+    /// The sampling seed the estimates came from.
+    pub seed: u64,
+    /// Corpus size at planning time.
+    pub corpus: usize,
+    /// Items in the distance sample.
+    pub sampled_items: usize,
+    /// Pairwise distances evaluated (`m·(m−1)/2`).
+    pub sampled_pairs: usize,
+    /// Sample mean of the pairwise distances.
+    pub mean: f64,
+    /// Sample standard deviation of the pairwise distances.
+    pub std_dev: f64,
+    /// Intrinsic dimensionality estimate `μ² / 2σ²`; `INFINITY` when
+    /// the sample shows no variance.
+    pub rho: f64,
+    /// The cost model's per-backend estimates.
+    pub costs: PlanCosts,
+}
+
+impl Plan {
+    /// A trivial linear plan for corpora the planner does not sample
+    /// (empty, tiny, or non-metric).
+    fn linear(corpus: usize, seed: u64) -> Plan {
+        Plan {
+            backend: PlannedBackend::Linear,
+            shards: 1,
+            seed,
+            corpus,
+            sampled_items: 0,
+            sampled_pairs: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            rho: 0.0,
+            costs: PlanCosts {
+                linear: corpus as f64,
+                laesa: f64::INFINITY,
+                vptree: f64::INFINITY,
+            },
+        }
+    }
+
+    /// Multi-line human-readable report of the decision and the
+    /// measurements behind it.
+    pub fn report(&self) -> String {
+        let backend = match self.backend {
+            PlannedBackend::Linear => "linear".to_string(),
+            PlannedBackend::Laesa { pivots } => format!("laesa(pivots={pivots})"),
+            PlannedBackend::VpTree => "vp-tree".to_string(),
+        };
+        format!(
+            "plan: backend={backend} shards={}\n\
+             sample: {} items, {} pairs (seed {:#x})\n\
+             distances: mean={:.4} std={:.4} rho={:.2}\n\
+             est. cost/query: linear={:.0} laesa={:.0} vptree={:.0}",
+            self.shards,
+            self.sampled_items,
+            self.sampled_pairs,
+            self.seed,
+            self.mean,
+            self.std_dev,
+            self.rho,
+            self.costs.linear,
+            self.costs.laesa,
+            self.costs.vptree,
+        )
+    }
+}
+
+// ------------------------------------------------------------- codec
+
+/// Version byte of the [`Plan`] byte codec.
+///
+/// * v1 — initial layout: `[version u8][backend u8][pivots u64]
+///   [shards u64][seed u64][corpus u64][sampled_items u64]
+///   [sampled_pairs u64][mean f64][std f64][rho f64][cost_linear f64]
+///   [cost_laesa f64][cost_vptree f64]`, all little-endian, floats as
+///   IEEE-754 bit patterns.
+pub const PLAN_VERSION: u8 = 1;
+
+/// A plan blob that failed to decode (truncated, unknown version, or
+/// an unknown backend code — e.g. written by a newer build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDecodeError {
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PlanDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan blob: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PlanDecodeError {}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+struct PlanReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PlanReader<'a> {
+    fn u8(&mut self) -> Result<u8, PlanDecodeError> {
+        let b = self.bytes.get(self.at).copied().ok_or(PlanDecodeError {
+            detail: "truncated".into(),
+        })?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, PlanDecodeError> {
+        let end = self.at.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or(PlanDecodeError {
+            detail: "truncated".into(),
+        })?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.at..end]);
+        self.at = end;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, PlanDecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, PlanDecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| PlanDecodeError {
+            detail: "value exceeds the address space".into(),
+        })
+    }
+}
+
+impl Plan {
+    /// Encode the plan for persistence (the snapshot `PLAN` record).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 1 + 6 * 8 + 6 * 8);
+        out.push(PLAN_VERSION);
+        let (code, pivots) = match self.backend {
+            PlannedBackend::Linear => (0u8, 0usize),
+            PlannedBackend::Laesa { pivots } => (1, pivots),
+            PlannedBackend::VpTree => (2, 0),
+        };
+        out.push(code);
+        put_u64(&mut out, pivots as u64);
+        put_u64(&mut out, self.shards as u64);
+        put_u64(&mut out, self.seed);
+        put_u64(&mut out, self.corpus as u64);
+        put_u64(&mut out, self.sampled_items as u64);
+        put_u64(&mut out, self.sampled_pairs as u64);
+        put_f64(&mut out, self.mean);
+        put_f64(&mut out, self.std_dev);
+        put_f64(&mut out, self.rho);
+        put_f64(&mut out, self.costs.linear);
+        put_f64(&mut out, self.costs.laesa);
+        put_f64(&mut out, self.costs.vptree);
+        out
+    }
+
+    /// Decode a blob written by [`Plan::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Plan, PlanDecodeError> {
+        let mut r = PlanReader { bytes, at: 0 };
+        let version = r.u8()?;
+        if version != PLAN_VERSION {
+            return Err(PlanDecodeError {
+                detail: format!("unknown version {version} (expected {PLAN_VERSION})"),
+            });
+        }
+        let code = r.u8()?;
+        let pivots = r.usize()?;
+        let backend = match code {
+            0 => PlannedBackend::Linear,
+            1 => PlannedBackend::Laesa { pivots },
+            2 => PlannedBackend::VpTree,
+            other => {
+                return Err(PlanDecodeError {
+                    detail: format!("unknown backend code {other}"),
+                })
+            }
+        };
+        let plan = Plan {
+            backend,
+            shards: r.usize()?,
+            seed: r.u64()?,
+            corpus: r.usize()?,
+            sampled_items: r.usize()?,
+            sampled_pairs: r.usize()?,
+            mean: r.f64()?,
+            std_dev: r.f64()?,
+            rho: r.f64()?,
+            costs: PlanCosts {
+                linear: r.f64()?,
+                laesa: r.f64()?,
+                vptree: r.f64()?,
+            },
+        };
+        if r.at != bytes.len() {
+            return Err(PlanDecodeError {
+                detail: format!("{} trailing bytes", bytes.len() - r.at),
+            });
+        }
+        Ok(plan)
+    }
+}
+
+// ----------------------------------------------------------- planner
+
+/// Pivot-count ladder the LAESA cost minimisation walks.
+const PIVOT_LADDER: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+/// Plan the backend for `items` under `dist`. Deterministic for a
+/// given `(items, dist, config)` — see the module docs for the model.
+pub fn plan<S: Symbol>(items: &[Vec<S>], dist: &dyn Distance<S>, config: &PlanConfig) -> Plan {
+    let n = items.len();
+    if n < config.small_corpus || !dist.is_metric() {
+        return Plan::linear(n, config.seed);
+    }
+
+    // Deterministic distinct sample, ascending order.
+    let m = config.sample_items.min(n).max(2);
+    let sample: Vec<usize> = if m == n {
+        (0..n).collect()
+    } else {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut seen = vec![false; n];
+        let mut picked = Vec::with_capacity(m);
+        while picked.len() < m {
+            let i = rng.random_range(0..n);
+            if !seen[i] {
+                seen[i] = true;
+                picked.push(i);
+            }
+        }
+        picked.sort_unstable();
+        picked
+    };
+
+    // Full pairwise matrix over the sample — the only distance work.
+    let mut mat = vec![0.0f64; m * m];
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let d = dist.distance(&items[sample[a]], &items[sample[b]]);
+            mat[a * m + b] = d;
+            mat[b * m + a] = d;
+            sum += d;
+            sum_sq += d * d;
+        }
+    }
+    let pairs = m * (m - 1) / 2;
+    let mean = sum / pairs as f64;
+    let var = (sum_sq / pairs as f64 - mean * mean).max(0.0);
+    let std_dev = var.sqrt();
+    let rho = if var > 0.0 {
+        mean * mean / (2.0 * var)
+    } else {
+        f64::INFINITY
+    };
+
+    // Greedy max-sum pivot order within the sample, mirroring the real
+    // LAESA builder's selection so s(p) reflects pivots of comparable
+    // quality. First pivot: max total distance to everyone else.
+    let row_sum = |v: usize| -> f64 { (0..m).map(|x| mat[v * m + x]).sum() };
+    let mut pivot_order: Vec<usize> = Vec::with_capacity(m);
+    let mut is_pivot = vec![false; m];
+    let first = (0..m)
+        .max_by(|&a, &b| row_sum(a).total_cmp(&row_sum(b)))
+        .unwrap_or(0);
+    pivot_order.push(first);
+    is_pivot[first] = true;
+    let mut to_chosen = vec![0.0f64; m];
+    for x in 0..m {
+        to_chosen[x] = mat[first * m + x];
+    }
+    while pivot_order.len() < m {
+        let next = (0..m)
+            .filter(|&x| !is_pivot[x])
+            .max_by(|&a, &b| to_chosen[a].total_cmp(&to_chosen[b]))
+            .unwrap_or(0);
+        pivot_order.push(next);
+        is_pivot[next] = true;
+        for x in 0..m {
+            to_chosen[x] += mat[next * m + x];
+        }
+    }
+
+    // Empirical survival curve s(p): fraction of candidates the first
+    // p pivots fail to eliminate at the query's sample-NN radius.
+    let ladder: Vec<usize> = PIVOT_LADDER
+        .iter()
+        .copied()
+        .filter(|&p| p <= config.max_pivots && p + 2 <= m)
+        .collect();
+    let survival: Vec<f64> = ladder
+        .iter()
+        .map(|&p| {
+            let mut candidates = 0u64;
+            let mut survived = 0u64;
+            for q in 0..m {
+                // The query's nearest distance within the sample — the
+                // radius a real NN search would be pruning at.
+                let mut r = f64::INFINITY;
+                for x in 0..m {
+                    if x != q {
+                        r = r.min(mat[q * m + x]);
+                    }
+                }
+                for x in 0..m {
+                    if x == q || pivot_order[..p].contains(&x) {
+                        continue;
+                    }
+                    candidates += 1;
+                    let eliminated = pivot_order[..p]
+                        .iter()
+                        .any(|&v| (mat[q * m + v] - mat[v * m + x]).abs() > r);
+                    if !eliminated {
+                        survived += 1;
+                    }
+                }
+            }
+            if candidates == 0 {
+                1.0
+            } else {
+                survived as f64 / candidates as f64
+            }
+        })
+        .collect();
+
+    let cost_linear = n as f64;
+    // Minimise p + s(p)·(n−p) over the ladder; ties go to fewer pivots.
+    let (best_p, cost_laesa) = ladder
+        .iter()
+        .zip(&survival)
+        .map(|(&p, &s)| (p, p as f64 + s * (n - p) as f64))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .unwrap_or((0, f64::INFINITY));
+    // Vp-tree heuristic: ~log2(n) weak pivots along the search path.
+    let depth = (n as f64).log2();
+    let tree_p = ladder
+        .iter()
+        .copied()
+        .filter(|&p| p as f64 <= depth)
+        .max()
+        .or_else(|| ladder.first().copied());
+    let cost_vptree = match tree_p {
+        Some(p) => {
+            let i = ladder.iter().position(|&x| x == p).unwrap_or(0);
+            depth + n as f64 * survival[i].sqrt()
+        }
+        None => f64::INFINITY,
+    };
+
+    let gate = cost_linear * (1.0 - config.min_gain);
+    let backend =
+        if cost_laesa.total_cmp(&gate).is_lt() && cost_laesa.total_cmp(&cost_vptree).is_le() {
+            PlannedBackend::Laesa { pivots: best_p }
+        } else if cost_vptree.total_cmp(&gate).is_lt() {
+            PlannedBackend::VpTree
+        } else {
+            PlannedBackend::Linear
+        };
+    let shards = match backend {
+        PlannedBackend::Laesa { .. } if n >= 2 * config.shard_target => {
+            (n / config.shard_target).clamp(2, config.max_shards.max(2))
+        }
+        _ => 1,
+    };
+
+    Plan {
+        backend,
+        shards,
+        seed: config.seed,
+        corpus: n,
+        sampled_items: m,
+        sampled_pairs: pairs,
+        mean,
+        std_dev,
+        rho,
+        costs: PlanCosts {
+            linear: cost_linear,
+            laesa: cost_laesa,
+            vptree: cost_vptree,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cned_core::levenshtein::Levenshtein;
+
+    /// Corpus of near-duplicate words around a handful of centres —
+    /// low intrinsic dimensionality, pivots prune hard.
+    fn clustered(n: usize) -> Vec<Vec<u8>> {
+        let centres: [&[u8]; 4] = [
+            b"abcdefghijklmnop",
+            b"ponmlkjihgfedcba",
+            b"aaaaaaaabbbbbbbb",
+            b"zyxwvutsrqponmlk",
+        ];
+        (0..n)
+            .map(|i| {
+                let mut w = centres[i % 4].to_vec();
+                // One deterministic edit per item.
+                let at = (i / 4) % w.len();
+                w[at] = b'a' + (i % 26) as u8;
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let items = clustered(500);
+        let a = plan(&items, &Levenshtein, &PlanConfig::default());
+        let b = plan(&items, &Levenshtein, &PlanConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_corpus_gets_a_pruning_backend() {
+        let items = clustered(2000);
+        let p = plan(&items, &Levenshtein, &PlanConfig::default());
+        assert!(
+            !matches!(p.backend, PlannedBackend::Linear),
+            "near-duplicate corpus should not plan a linear scan: {}",
+            p.report()
+        );
+        assert!(p.costs.laesa < p.costs.linear);
+        assert_eq!(p.corpus, 2000);
+        assert!(p.rho.is_finite());
+    }
+
+    #[test]
+    fn tiny_corpus_plans_linear_without_sampling() {
+        let items = clustered(10);
+        let p = plan(&items, &Levenshtein, &PlanConfig::default());
+        assert_eq!(p.backend, PlannedBackend::Linear);
+        assert_eq!(p.sampled_pairs, 0);
+    }
+
+    #[test]
+    fn non_metric_distances_force_linear() {
+        struct NotAMetric;
+        impl Distance<u8> for NotAMetric {
+            fn distance(&self, a: &[u8], b: &[u8]) -> f64 {
+                (a.len() as f64 - b.len() as f64).abs()
+            }
+            fn name(&self) -> &'static str {
+                "len-diff"
+            }
+            fn is_metric(&self) -> bool {
+                false
+            }
+        }
+        let items = clustered(2000);
+        let p = plan(&items, &NotAMetric, &PlanConfig::default());
+        assert_eq!(
+            p.backend,
+            PlannedBackend::Linear,
+            "pruning is inadmissible without the triangle inequality"
+        );
+    }
+
+    #[test]
+    fn large_clustered_corpus_is_sharded() {
+        let items = clustered(10_000);
+        let config = PlanConfig {
+            shard_target: 2048,
+            ..PlanConfig::default()
+        };
+        let p = plan(&items, &Levenshtein, &config);
+        if matches!(p.backend, PlannedBackend::Laesa { .. }) {
+            assert!(p.shards >= 2, "{}", p.report());
+            assert!(p.shards <= config.max_shards);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let items = clustered(800);
+        let p = plan(&items, &Levenshtein, &PlanConfig::default());
+        let bytes = p.to_bytes();
+        assert_eq!(Plan::from_bytes(&bytes).unwrap(), p);
+        // Truncations and version skews are typed errors.
+        assert!(Plan::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Plan::from_bytes(&[]).is_err());
+        let mut skewed = bytes.clone();
+        skewed[0] = PLAN_VERSION + 1;
+        assert!(Plan::from_bytes(&skewed).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(Plan::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn report_names_the_decision() {
+        let items = clustered(2000);
+        let p = plan(&items, &Levenshtein, &PlanConfig::default());
+        let report = p.report();
+        assert!(report.contains("backend="));
+        assert!(report.contains("rho="));
+    }
+}

@@ -14,6 +14,7 @@
 use crate::error::SearchError;
 use crate::index::{MetricIndex, QueryOptions};
 use crate::parallel::par_map;
+use crate::tombstone::TombstoneSet;
 use crate::{sanitise_distance, Neighbour, SearchStats};
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
@@ -24,6 +25,7 @@ pub struct Aesa<S: Symbol> {
     /// Row-major `n × n` matrix; `matrix[i*n + j] = d(db[i], db[j])`.
     matrix: Vec<f64>,
     preprocessing_computations: u64,
+    tombstones: TombstoneSet,
 }
 
 impl<S: Symbol> Aesa<S> {
@@ -51,6 +53,7 @@ impl<S: Symbol> Aesa<S> {
             db,
             matrix,
             preprocessing_computations: (n * n.saturating_sub(1) / 2) as u64,
+            tombstones: TombstoneSet::new(),
         }
     }
 
@@ -383,7 +386,15 @@ impl<S: Symbol> MetricIndex<S> for Aesa<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (found, stats) = self.nn_prepared(&*prepared, radius);
+        if self.tombstones.is_empty() {
+            let (found, stats) = self.nn_prepared(&*prepared, radius);
+            opts.record(stats);
+            return Ok((found, stats));
+        }
+        // Over-fetch: at most T of the top 1+T answers can be dead.
+        let want = 1 + self.tombstones.count();
+        let (hits, stats) = self.knn_prepared(&*prepared, want, radius);
+        let found = self.tombstones.first_live(&hits);
         opts.record(stats);
         Ok((found, stats))
     }
@@ -399,7 +410,14 @@ impl<S: Symbol> MetricIndex<S> for Aesa<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (best, stats) = self.knn_prepared(&*prepared, opts.k, radius);
+        let want = if self.tombstones.is_empty() {
+            opts.k
+        } else {
+            opts.k.saturating_add(self.tombstones.count())
+        };
+        let (mut best, stats) = self.knn_prepared(&*prepared, want, radius);
+        self.tombstones.retain_live(&mut best);
+        best.truncate(opts.k);
         opts.record(stats);
         Ok((best, stats))
     }
@@ -415,9 +433,25 @@ impl<S: Symbol> MetricIndex<S> for Aesa<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (hits, stats) = self.range_prepared(&*prepared, radius);
+        let (mut hits, stats) = self.range_prepared(&*prepared, radius);
+        self.tombstones.retain_live(&mut hits);
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        if index >= self.db.len() {
+            return Ok(false);
+        }
+        Ok(self.tombstones.insert(index))
+    }
+
+    fn deleted(&self) -> usize {
+        self.tombstones.count()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.tombstones.contains(i)
     }
 }
 

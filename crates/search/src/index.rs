@@ -269,6 +269,42 @@ pub trait MetricIndex<S: Symbol>: Send + Sync {
         None
     }
 
+    /// Logically delete the item at `index` (tombstone it): it stops
+    /// appearing in any query answer, but keeps its physical slot so
+    /// no surviving item is renumbered. Returns `Ok(true)` when the
+    /// item was alive, `Ok(false)` when it was out of range or already
+    /// deleted (deletion is idempotent — replaying a delete is safe).
+    ///
+    /// [`MetricIndex::len`] still reports the *physical* corpus size
+    /// (tombstones included) — sequence numbering, WAL replay and
+    /// replica accounting all key on physical length. The live count
+    /// is `len() - deleted()`. Physical removal is an explicit rebuild
+    /// (`Database::vacuum` in the facade).
+    ///
+    /// The default refuses with [`SearchError::UnsupportedConfig`];
+    /// backends with tombstone support override it.
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        let _ = index;
+        Err(SearchError::UnsupportedConfig {
+            reason: "this backend does not support deletes",
+        })
+    }
+
+    /// Number of tombstoned (logically deleted) items. Zero for
+    /// backends without delete support.
+    fn deleted(&self) -> usize {
+        0
+    }
+
+    /// Whether the item at `i` is tombstoned. `false` for live items,
+    /// out-of-range indices, and backends without delete support —
+    /// the question "would a query ever return `i`" is what callers
+    /// (vacuum rebuilds, serving oracles) actually ask.
+    fn is_deleted(&self, i: usize) -> bool {
+        let _ = i;
+        false
+    }
+
     /// Downcast hook for persistence: backends whose structure
     /// `cned-store` knows how to snapshot (`LinearIndex`, `Laesa`,
     /// `ShardedIndex`) override this with `Some(self)` so
@@ -341,6 +377,18 @@ impl<S: Symbol, T: MetricIndex<S> + ?Sized> MetricIndex<S> for Box<T> {
         opts: &QueryOptions,
     ) -> Result<Vec<(Vec<Neighbour>, SearchStats)>, SearchError> {
         (**self).knn_batch(queries, dist, opts)
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        (**self).delete(index)
+    }
+
+    fn deleted(&self) -> usize {
+        (**self).deleted()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        (**self).is_deleted(i)
     }
 
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {

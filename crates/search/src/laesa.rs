@@ -24,10 +24,13 @@
 use crate::error::SearchError;
 use crate::index::{MetricIndex, QueryOptions};
 use crate::parallel::par_map;
+use crate::tombstone::TombstoneSet;
 use crate::{sanitise_distance, Neighbour, SearchStats};
 use cned_core::lanes::LANES;
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
+use core::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A LAESA index over an owned database of strings.
 #[derive(Debug)]
@@ -41,6 +44,9 @@ pub struct Laesa<S: Symbol> {
     pivot_row: Vec<usize>,
     /// Distance computations spent during preprocessing.
     preprocessing_computations: u64,
+    /// Logically deleted indices; the pivot table keeps its physical
+    /// layout and the dead are filtered at answer emission.
+    tombstones: TombstoneSet,
 }
 
 impl<S: Symbol> Laesa<S> {
@@ -90,6 +96,7 @@ impl<S: Symbol> Laesa<S> {
             rows,
             pivot_row,
             preprocessing_computations,
+            tombstones: TombstoneSet::new(),
         })
     }
 
@@ -184,7 +191,18 @@ impl<S: Symbol> Laesa<S> {
             rows,
             pivot_row,
             preprocessing_computations: preprocessing,
+            tombstones: TombstoneSet::new(),
         })
+    }
+
+    /// The tombstone set (for snapshot encoding).
+    pub fn tombstones(&self) -> &TombstoneSet {
+        &self.tombstones
+    }
+
+    /// Restore a tombstone set (snapshot decode / replica sync).
+    pub fn set_tombstones(&mut self, tombstones: TombstoneSet) {
+        self.tombstones = tombstones;
     }
 
     /// Nearest neighbour of `query`, counting real distance
@@ -345,11 +363,50 @@ impl<S: Symbol> Laesa<S> {
         }
     }
 
-    /// Order the surviving candidates by frozen (lower bound, index) —
-    /// exactly the sequence the per-round minimum selection would
-    /// visit them in once no pivot can tighten bounds any further.
-    fn sort_by_frozen_bounds(cands: &mut [usize], lower: &[f64]) {
-        cands.sort_unstable_by(|&a, &b| lower[a].total_cmp(&lower[b]).then(a.cmp(&b)));
+    /// Lazy bound-ordered candidate feed for the Phase-2 sweeps.
+    ///
+    /// Replaces the former sort-then-sweep: building the heap is
+    /// `O(n)` (vs `O(n log n)` for a full sort) and only the visited
+    /// prefix pays `log n` per pop — on low-dimensional corpora the
+    /// shrinking budget stops the sweep after a handful of chunks, so
+    /// almost none of the eliminated tail is ever ordered.
+    ///
+    /// Pops arrive in exactly the frozen `(lower bound, index)` order
+    /// the sort produced: bounds are built from `abs()` of sanitised
+    /// distances, so they are non-negative and never NaN, which makes
+    /// `f64::to_bits` order coincide with numeric (`total_cmp`) order
+    /// — bit-identical visit sequence, chunk boundaries and budget
+    /// snapshots, pinned by the stats-exact tests below.
+    fn heap_of_frozen_bounds(cands: &[usize], lower: &[f64]) -> BinaryHeap<Reverse<(u64, usize)>> {
+        cands
+            .iter()
+            .map(|&u| Reverse((lower[u].to_bits(), u)))
+            .collect()
+    }
+
+    /// Pop the next lane-width chunk of candidates whose frozen bound
+    /// is `<= slack`, in (bound, index) order. Returns the number of
+    /// candidates written to `out`; `0` ends the sweep (the heap's
+    /// minimum already exceeds the budget, so every remaining
+    /// candidate is eliminated).
+    fn pop_chunk(
+        heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+        slack: f64,
+        out: &mut [usize; LANES],
+    ) -> usize {
+        let mut take = 0;
+        while take < LANES {
+            let Some(&Reverse((bits, u))) = heap.peek() else {
+                break;
+            };
+            if f64::from_bits(bits) > slack {
+                break;
+            }
+            heap.pop();
+            out[take] = u;
+            take += 1;
+        }
+        take
     }
 
     fn nn_core(
@@ -396,26 +453,25 @@ impl<S: Symbol> Laesa<S> {
         );
 
         // Phase 2: surviving candidates, visited in frozen
-        // (bound, index) order and scored through the lane-batched
-        // bounded path. The budget is refreshed at every chunk
-        // boundary; a stale budget only admits a superset of what the
-        // one-at-a-time sweep would, and `better_than` keeps the final
-        // incumbent identical.
-        Self::sort_by_frozen_bounds(&mut cands, &lower);
+        // (bound, index) order via a lazy bound-ordered heap and
+        // scored through the lane-batched bounded path. The budget is
+        // refreshed at every chunk boundary; a stale budget only
+        // admits a superset of what the one-at-a-time sweep would, and
+        // `better_than` keeps the final incumbent identical.
+        let mut heap = Self::heap_of_frozen_bounds(&cands, &lower);
+        let mut chunk = [0usize; LANES];
         let mut targets: [&[S]; LANES] = [&[]; LANES];
         let mut results: [Option<f64>; LANES] = [None; LANES];
-        let mut pos = 0;
-        while pos < cands.len() {
+        loop {
             let slack = best.distance + crate::ELIMINATION_SLACK;
-            if lower[cands[pos]] > slack {
-                // Bounds are sorted: every later candidate is
-                // eliminated too.
+            let take = Self::pop_chunk(&mut heap, slack, &mut chunk);
+            if take == 0 {
+                // The heap's minimum exceeds the budget: every
+                // remaining candidate is eliminated too.
                 break;
             }
-            let mut take = 0;
-            while take < LANES && pos + take < cands.len() && lower[cands[pos + take]] <= slack {
-                targets[take] = &self.db[cands[pos + take]];
-                take += 1;
+            for (t, &u) in chunk[..take].iter().enumerate() {
+                targets[t] = &self.db[u];
             }
             prepared.distance_to_batch_bounded(
                 &targets[..take],
@@ -426,14 +482,13 @@ impl<S: Symbol> Laesa<S> {
             for (i, d) in results[..take].iter().enumerate() {
                 let Some(d) = *d else { continue };
                 let candidate = Neighbour {
-                    index: cands[pos + i],
+                    index: chunk[i],
                     distance: d,
                 };
                 if candidate.better_than(&best) {
                     best = candidate;
                 }
             }
-            pos += take;
         }
 
         let found = (best.index != usize::MAX).then_some(best);
@@ -549,32 +604,31 @@ impl<S: Symbol> Laesa<S> {
             },
         );
 
-        // Phase 2: survivors in frozen (bound, index) order, batched
-        // through the bounded lane path with the k-th distance as the
-        // budget. Stale chunk budgets only admit a superset; the sorted
-        // insert + truncate keeps the final k identical.
-        Self::sort_by_frozen_bounds(&mut cands, &lower);
+        // Phase 2: survivors in frozen (bound, index) order via the
+        // lazy bound-ordered heap, batched through the bounded lane
+        // path with the k-th distance as the budget. Stale chunk
+        // budgets only admit a superset; the sorted insert + truncate
+        // keeps the final k identical.
+        let mut heap = Self::heap_of_frozen_bounds(&cands, &lower);
+        let mut chunk = [0usize; LANES];
         let mut targets: [&[S]; LANES] = [&[]; LANES];
         let mut results: [Option<f64>; LANES] = [None; LANES];
-        let mut pos = 0;
-        while pos < cands.len() {
+        loop {
             let budget = kth(&best, k, radius);
             let slack = budget + crate::ELIMINATION_SLACK;
-            if lower[cands[pos]] > slack {
+            let take = Self::pop_chunk(&mut heap, slack, &mut chunk);
+            if take == 0 {
                 break;
             }
-            let mut take = 0;
-            while take < LANES && pos + take < cands.len() && lower[cands[pos + take]] <= slack {
-                targets[take] = &self.db[cands[pos + take]];
-                take += 1;
+            for (t, &u) in chunk[..take].iter().enumerate() {
+                targets[t] = &self.db[u];
             }
             prepared.distance_to_batch_bounded(&targets[..take], budget, &mut results[..take]);
             computations += take as u64;
             for (i, d) in results[..take].iter().enumerate() {
                 let Some(d) = *d else { continue };
-                admit_knn(&mut best, k, radius, cands[pos + i], d);
+                admit_knn(&mut best, k, radius, chunk[i], d);
             }
-            pos += take;
         }
 
         (
@@ -763,7 +817,16 @@ impl<S: Symbol> MetricIndex<S> for Laesa<S> {
         let radius = opts.checked_radius()?;
         let limit = opts.pivot_budget.unwrap_or(self.pivots.len());
         let prepared = dist.prepare(query);
-        let (found, stats) = self.nn_core(&*prepared, limit, radius);
+        if self.tombstones.is_empty() {
+            let (found, stats) = self.nn_core(&*prepared, limit, radius);
+            opts.record(stats);
+            return Ok((found, stats));
+        }
+        // Over-fetch: at most T of the top 1+T answers can be dead,
+        // so the first survivor is the true live NN.
+        let want = 1 + self.tombstones.count();
+        let (hits, stats) = self.knn_core(&*prepared, want, radius, limit);
+        let found = self.tombstones.first_live(&hits);
         opts.record(stats);
         Ok((found, stats))
     }
@@ -780,7 +843,14 @@ impl<S: Symbol> MetricIndex<S> for Laesa<S> {
         let radius = opts.checked_radius()?;
         let limit = opts.pivot_budget.unwrap_or(self.pivots.len());
         let prepared = dist.prepare(query);
-        let (best, stats) = self.knn_core(&*prepared, opts.k, radius, limit);
+        let want = if self.tombstones.is_empty() {
+            opts.k
+        } else {
+            opts.k.saturating_add(self.tombstones.count())
+        };
+        let (mut best, stats) = self.knn_core(&*prepared, want, radius, limit);
+        self.tombstones.retain_live(&mut best);
+        best.truncate(opts.k);
         opts.record(stats);
         Ok((best, stats))
     }
@@ -797,9 +867,25 @@ impl<S: Symbol> MetricIndex<S> for Laesa<S> {
         let radius = opts.checked_radius()?;
         let limit = opts.pivot_budget.unwrap_or(self.pivots.len());
         let prepared = dist.prepare(query);
-        let (hits, stats) = self.range_core(&*prepared, radius, limit);
+        let (mut hits, stats) = self.range_core(&*prepared, radius, limit);
+        self.tombstones.retain_live(&mut hits);
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        if index >= self.db.len() {
+            return Ok(false);
+        }
+        Ok(self.tombstones.insert(index))
+    }
+
+    fn deleted(&self) -> usize {
+        self.tombstones.count()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.tombstones.contains(i)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -79,6 +79,7 @@ pub mod laesa;
 pub mod linear;
 pub mod parallel;
 pub mod pivots;
+pub mod tombstone;
 pub mod vptree;
 
 pub use aesa::Aesa;
@@ -91,6 +92,7 @@ pub use linear::LinearIndex;
 pub use linear::{linear_knn, linear_knn_batch, linear_nn, linear_nn_batch};
 pub use parallel::{num_threads, par_map, par_map_with, workers_for};
 pub use pivots::{select_pivots_max_sum, select_pivots_random};
+pub use tombstone::TombstoneSet;
 pub use vptree::VpTree;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -20,6 +20,7 @@
 use crate::error::SearchError;
 use crate::index::{InsertableIndex, MetricIndex, QueryOptions};
 use crate::parallel::par_map;
+use crate::tombstone::TombstoneSet;
 use crate::{Neighbour, SearchStats};
 use cned_core::lanes::LANES;
 use cned_core::metric::{Distance, PreparedQuery};
@@ -227,15 +228,20 @@ pub(crate) fn range_scan<S: Symbol>(
 /// The correctness oracle every other backend is tested against.
 pub struct LinearIndex<S: Symbol> {
     db: Vec<Vec<S>>,
+    tombstones: TombstoneSet,
 }
 
 impl<S: Symbol> LinearIndex<S> {
     /// Wrap a database for exhaustive scanning (no preprocessing).
     pub fn new(db: Vec<Vec<S>>) -> LinearIndex<S> {
-        LinearIndex { db }
+        LinearIndex {
+            db,
+            tombstones: TombstoneSet::new(),
+        }
     }
 
-    /// The database the index scans.
+    /// The database the index scans (physical corpus; tombstoned slots
+    /// included).
     pub fn database(&self) -> &[Vec<S>] {
         &self.db
     }
@@ -243,6 +249,16 @@ impl<S: Symbol> LinearIndex<S> {
     /// Unwrap back into the database.
     pub fn into_database(self) -> Vec<Vec<S>> {
         self.db
+    }
+
+    /// The tombstone set (for snapshot encoding).
+    pub fn tombstones(&self) -> &TombstoneSet {
+        &self.tombstones
+    }
+
+    /// Restore a tombstone set (snapshot decode / replica sync).
+    pub fn set_tombstones(&mut self, tombstones: TombstoneSet) {
+        self.tombstones = tombstones;
     }
 }
 
@@ -270,7 +286,15 @@ impl<S: Symbol> MetricIndex<S> for LinearIndex<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (found, stats) = nn_scan(&self.db, &*prepared, radius);
+        if self.tombstones.is_empty() {
+            let (found, stats) = nn_scan(&self.db, &*prepared, radius);
+            opts.record(stats);
+            return Ok((found, stats));
+        }
+        // Over-fetch: with T tombstones, at most T of the top 1+T
+        // answers can be dead, so the first survivor is the true NN.
+        let (hits, stats) = knn_scan(&self.db, &*prepared, 1 + self.tombstones.count(), radius);
+        let found = self.tombstones.first_live(&hits);
         opts.record(stats);
         Ok((found, stats))
     }
@@ -286,7 +310,16 @@ impl<S: Symbol> MetricIndex<S> for LinearIndex<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (best, stats) = knn_scan(&self.db, &*prepared, opts.k, radius);
+        if self.tombstones.is_empty() {
+            let (best, stats) = knn_scan(&self.db, &*prepared, opts.k, radius);
+            opts.record(stats);
+            return Ok((best, stats));
+        }
+        // Over-fetch k + T answers, filter the dead, truncate to k.
+        let want = opts.k.saturating_add(self.tombstones.count());
+        let (mut best, stats) = knn_scan(&self.db, &*prepared, want, radius);
+        self.tombstones.retain_live(&mut best);
+        best.truncate(opts.k);
         opts.record(stats);
         Ok((best, stats))
     }
@@ -302,9 +335,25 @@ impl<S: Symbol> MetricIndex<S> for LinearIndex<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (hits, stats) = range_scan(&self.db, &*prepared, radius);
+        let (mut hits, stats) = range_scan(&self.db, &*prepared, radius);
+        self.tombstones.retain_live(&mut hits);
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        if index >= self.db.len() {
+            return Ok(false);
+        }
+        Ok(self.tombstones.insert(index))
+    }
+
+    fn deleted(&self) -> usize {
+        self.tombstones.count()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.tombstones.contains(i)
     }
 
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {

@@ -22,6 +22,7 @@
 
 use crate::error::SearchError;
 use crate::index::{MetricIndex, QueryOptions};
+use crate::tombstone::TombstoneSet;
 use crate::{sanitise_distance, Neighbour, SearchStats};
 use cned_core::metric::{Distance, PreparedQuery};
 use cned_core::Symbol;
@@ -40,6 +41,7 @@ pub struct VpTree<S: Symbol> {
     db: Vec<Vec<S>>,
     root: Option<Box<Node>>,
     preprocessing_computations: u64,
+    tombstones: TombstoneSet,
 }
 
 impl<S: Symbol> VpTree<S> {
@@ -53,6 +55,7 @@ impl<S: Symbol> VpTree<S> {
             db,
             root,
             preprocessing_computations: computations,
+            tombstones: TombstoneSet::new(),
         }
     }
 
@@ -356,7 +359,15 @@ impl<S: Symbol> MetricIndex<S> for VpTree<S> {
         // Prepared once per query (Myers Peq cache for d_E); every
         // vantage-point comparison during the descent reuses it.
         let prepared = dist.prepare(query);
-        let (found, stats) = self.nn_prepared(&*prepared, radius);
+        if self.tombstones.is_empty() {
+            let (found, stats) = self.nn_prepared(&*prepared, radius);
+            opts.record(stats);
+            return Ok((found, stats));
+        }
+        // Over-fetch: at most T of the top 1+T answers can be dead.
+        let want = 1 + self.tombstones.count();
+        let (hits, stats) = self.knn_prepared(&*prepared, want, radius);
+        let found = self.tombstones.first_live(&hits);
         opts.record(stats);
         Ok((found, stats))
     }
@@ -372,7 +383,14 @@ impl<S: Symbol> MetricIndex<S> for VpTree<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (best, stats) = self.knn_prepared(&*prepared, opts.k, radius);
+        let want = if self.tombstones.is_empty() {
+            opts.k
+        } else {
+            opts.k.saturating_add(self.tombstones.count())
+        };
+        let (mut best, stats) = self.knn_prepared(&*prepared, want, radius);
+        self.tombstones.retain_live(&mut best);
+        best.truncate(opts.k);
         opts.record(stats);
         Ok((best, stats))
     }
@@ -388,9 +406,25 @@ impl<S: Symbol> MetricIndex<S> for VpTree<S> {
         }
         let radius = opts.checked_radius()?;
         let prepared = dist.prepare(query);
-        let (hits, stats) = self.range_prepared(&*prepared, radius);
+        let (mut hits, stats) = self.range_prepared(&*prepared, radius);
+        self.tombstones.retain_live(&mut hits);
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        if index >= self.db.len() {
+            return Ok(false);
+        }
+        Ok(self.tombstones.insert(index))
+    }
+
+    fn deleted(&self) -> usize {
+        self.tombstones.count()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.tombstones.contains(i)
     }
 }
 

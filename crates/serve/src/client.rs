@@ -487,6 +487,17 @@ impl<S: WireSymbol + 'static> Client<S> {
         }
     }
 
+    /// Tombstone the item at global `index`. Returns whether it was
+    /// alive (idempotent: a second delete, or an out-of-range index,
+    /// answers `Ok(false)`, not an error).
+    pub fn delete(&mut self, index: usize) -> Result<bool, ClientError> {
+        match self.call(Request::Delete { index })? {
+            ResponseBody::Deleted { existed } => Ok(existed),
+            ResponseBody::Failed { error } => Err(ClientError::Search(error)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
     /// Close the connection. Outstanding tickets resolve to
     /// `Failed { Shutdown }` if their responses never arrived.
     pub fn close(self) {

@@ -92,7 +92,7 @@ pub mod wire;
 pub use client::{BatchTicket, Client, ClientConfig, ClientError};
 pub use ordered::{OrderedGuard, OrderedMutex};
 pub use pipeline::QueryPipeline;
-pub use server::{ReplicaHub, Server, ServerConfig};
+pub use server::{ReplOp, ReplicaHub, Server, ServerConfig};
 pub use session::{
     Request, RequestId, Response, ResponseBody, ServeSession, SessionConfig, SessionHandle, Ticket,
 };

@@ -93,12 +93,12 @@ use std::time::{Duration, Instant};
 ///
 /// The event loop calls [`ReplicaHub::subscribe`] **before**
 /// [`ReplicaHub::sync_payload`]. Implementations must publish each
-/// accepted insert to existing subscribers only *after* it is visible
+/// accepted write to existing subscribers only *after* it is visible
 /// to `sync_payload` (i.e. after the durable write). Together those
-/// two rules make the handoff gap-free: an insert committed around
+/// two rules make the handoff gap-free: a write committed around
 /// registration time appears in the payload, in the stream, or in
-/// both — never in neither — and replicas dedupe the overlap by
-/// sequence number.
+/// both — never in neither — and replicas dedupe the overlap (by
+/// sequence number for inserts; deletes are idempotent).
 pub trait ReplicaHub<S: WireSymbol>: Send + Sync {
     /// The catch-up payload for a replica that already holds `have`
     /// items, as `(mode, bytes)` chunks ([`wire::SYNC_SNAPSHOT`] /
@@ -106,8 +106,26 @@ pub trait ReplicaHub<S: WireSymbol>: Send + Sync {
     fn sync_payload(&self, have: u64) -> Result<Vec<(u8, Vec<u8>)>, SearchError>;
 
     /// Register a live-stream subscriber; every subsequently accepted
-    /// insert arrives as `(seq, item)`.
-    fn subscribe(&self) -> mpsc::Receiver<(u64, Vec<S>)>;
+    /// insert or delete arrives as one [`ReplOp`].
+    fn subscribe(&self) -> mpsc::Receiver<ReplOp<S>>;
+}
+
+/// One accepted write streamed from a primary's [`ReplicaHub`] to its
+/// registered replicas, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplOp<S> {
+    /// An accepted insert: the item and its global index (`seq`).
+    Insert {
+        /// The item's global index on the primary.
+        seq: u64,
+        /// The item itself.
+        item: Vec<S>,
+    },
+    /// An accepted delete: the tombstoned item's global index.
+    Delete {
+        /// The tombstoned item's global index on the primary.
+        index: u64,
+    },
 }
 
 /// Knobs of a [`Server`].
@@ -463,13 +481,13 @@ impl Pending {
 }
 
 /// A connection's live replica subscription (created by a
-/// [`wire::kind::REQ_SYNC`] frame): accepted inserts drain from the
-/// hub's channel into [`wire::kind::RESP_REPL_INSERT`] frames each
-/// sweep.
+/// [`wire::kind::REQ_SYNC`] frame): accepted writes drain from the
+/// hub's channel into [`wire::kind::RESP_REPL_INSERT`] /
+/// [`wire::kind::RESP_REPL_DELETE`] frames each sweep.
 struct ReplState<S: WireSymbol> {
     /// The sync request's id; every streamed frame echoes it.
     id: RequestId,
-    rx: mpsc::Receiver<(u64, Vec<S>)>,
+    rx: mpsc::Receiver<ReplOp<S>>,
 }
 
 /// Streaming backpressure: stop encoding replica frames into a
@@ -563,7 +581,7 @@ impl<S: WireSymbol> Conn<S> {
         }
     }
 
-    /// Drain the live insert stream (if this connection is a
+    /// Drain the live write stream (if this connection is a
     /// registered replica) into the outbox, bounded by
     /// [`REPL_OUTBOX_BYTES`]. Returns whether anything was queued.
     fn repl_sweep(&mut self, payload: &mut Vec<u8>) -> bool {
@@ -573,8 +591,15 @@ impl<S: WireSymbol> Conn<S> {
         let mut moved = false;
         while self.outbox.len() - self.sent < REPL_OUTBOX_BYTES {
             match repl.rx.try_recv() {
-                Ok((seq, item)) => {
-                    wire::encode_repl_insert(repl.id, seq, &item, payload);
+                Ok(op) => {
+                    match op {
+                        ReplOp::Insert { seq, item } => {
+                            wire::encode_repl_insert(repl.id, seq, &item, payload)
+                        }
+                        ReplOp::Delete { index } => {
+                            wire::encode_repl_delete(repl.id, index, payload)
+                        }
+                    }
                     if wire::write_frame_unflushed(&mut self.outbox, payload).is_err() {
                         self.reading = false;
                         break;
@@ -600,7 +625,7 @@ impl<S: WireSymbol> Conn<S> {
             match self.frames.next_frame() {
                 Ok(Some(frame)) => match wire::decode_request_frame::<S>(&frame) {
                     Ok((id, WireRequest::One(request))) => {
-                        if config.read_only && matches!(request, Request::Insert { .. }) {
+                        if config.read_only && is_write(&request) {
                             self.inflight.push_back(Pending::One {
                                 id,
                                 slot: SlotState::Done(read_only_rejection()),
@@ -616,11 +641,9 @@ impl<S: WireSymbol> Conn<S> {
                         self.inflight.push_back(Pending::One { id, slot });
                     }
                     Ok((id, WireRequest::Batch(requests))) => {
-                        if config.read_only
-                            && requests.iter().any(|r| matches!(r, Request::Insert { .. }))
-                        {
+                        if config.read_only && requests.iter().any(is_write) {
                             // All-or-nothing, like admission: a batch
-                            // smuggling an insert fails as one frame.
+                            // smuggling a write fails as one frame.
                             self.inflight.push_back(Pending::One {
                                 id,
                                 slot: SlotState::Done(read_only_rejection()),
@@ -804,11 +827,17 @@ impl<S: WireSymbol> Conn<S> {
     }
 }
 
-/// The typed answer a read-only server gives a network insert.
+/// Whether a request mutates the index (and must be refused by a
+/// read-only server).
+fn is_write<S: cned_core::Symbol>(request: &Request<S>) -> bool {
+    matches!(request, Request::Insert { .. } | Request::Delete { .. })
+}
+
+/// The typed answer a read-only server gives a network write.
 fn read_only_rejection() -> ResponseBody {
     ResponseBody::Failed {
         error: SearchError::UnsupportedConfig {
-            reason: "this server is read-only (a replica); send inserts to the primary",
+            reason: "this server is read-only (a replica); send writes to the primary",
         },
     }
 }

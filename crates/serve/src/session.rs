@@ -95,6 +95,13 @@ pub enum Request<S: Symbol> {
         /// The item to add.
         item: Vec<S>,
     },
+    /// Tombstone delete of one global index (a barrier, like
+    /// [`Request::Insert`]: earlier queries still observe the item,
+    /// later ones never do).
+    Delete {
+        /// Global index of the item to delete.
+        index: usize,
+    },
 }
 
 impl<S: Symbol> Request<S> {
@@ -105,6 +112,8 @@ impl<S: Symbol> Request<S> {
             Request::Knn { query, .. } => query,
             Request::Range { query, .. } => query,
             Request::Insert { item } => item,
+            // A delete addresses an index, not a payload.
+            Request::Delete { .. } => &[],
         }
     }
 }
@@ -148,6 +157,12 @@ pub enum ResponseBody {
     Inserted {
         /// Global index assigned to the inserted item.
         index: usize,
+    },
+    /// Answer to [`Request::Delete`].
+    Deleted {
+        /// Whether the index was alive (idempotent: deleting an
+        /// already-deleted or out-of-range index answers `false`).
+        existed: bool,
     },
     /// The request could not be answered; the typed error explains
     /// why. Other requests in the queue are unaffected.
@@ -363,8 +378,13 @@ impl<S: Symbol> SessionShared<S> {
 enum Chunk<S: Symbol> {
     /// A maximal run of consecutive queries (answered in parallel).
     Queries(Vec<Slot<S>>),
-    /// A single insert (a barrier).
-    Insert(Slot<S>),
+    /// A single insert or delete (a barrier).
+    Barrier(Slot<S>),
+}
+
+/// Is this request a scheduling barrier (mutates the index)?
+fn is_barrier<S: Symbol>(request: &Request<S>) -> bool {
+    matches!(request, Request::Insert { .. } | Request::Delete { .. })
 }
 
 /// Answer one query request against the index's current state.
@@ -418,7 +438,9 @@ fn answer<S: Symbol, I: MetricIndex<S> + ?Sized>(
                 Err(error) => ResponseBody::Failed { error },
             }
         }
-        Request::Insert { .. } => unreachable!("inserts are barriers, never batched"),
+        Request::Insert { .. } | Request::Delete { .. } => {
+            unreachable!("inserts/deletes are barriers, never batched")
+        }
     }
 }
 
@@ -441,15 +463,17 @@ pub(crate) fn scheduler_loop<S: Symbol, I: MetricIndex<S> + ?Sized>(
             let mut state = shared.state.lock();
             loop {
                 if !state.queue.is_empty() {
-                    let is_insert =
-                        matches!(state.queue.front(), Some((_, Request::Insert { .. }, _)));
-                    if is_insert {
+                    let front_is_barrier = state
+                        .queue
+                        .front()
+                        .is_some_and(|(_, request, _)| is_barrier(request));
+                    if front_is_barrier {
                         let slot = state.queue.pop_front().expect("front checked non-empty");
-                        break Chunk::Insert(slot);
+                        break Chunk::Barrier(slot);
                     }
                     let mut batch = Vec::new();
                     while let Some(front) = state.queue.front() {
-                        if matches!(front.1, Request::Insert { .. }) {
+                        if is_barrier(&front.1) {
                             break;
                         }
                         batch.push(state.queue.pop_front().expect("front checked non-empty"));
@@ -463,24 +487,28 @@ pub(crate) fn scheduler_loop<S: Symbol, I: MetricIndex<S> + ?Sized>(
             }
         };
         match chunk {
-            Chunk::Insert((id, request, tx)) => {
-                let Request::Insert { item } = request else {
-                    unreachable!("Chunk::Insert holds an insert request");
-                };
-                let body = match index.as_insertable() {
-                    // A durable index reports a failed WAL commit as a
-                    // typed error in the insert's own response slot;
-                    // the item was not accepted and later requests are
-                    // unaffected.
-                    Some(idx) => match idx.insert(item, dist) {
-                        Ok(index) => ResponseBody::Inserted { index },
-                        Err(error) => ResponseBody::Failed { error },
-                    },
-                    None => ResponseBody::Failed {
-                        error: SearchError::UnsupportedConfig {
-                            reason: "this backend does not support incremental inserts",
+            Chunk::Barrier((id, request, tx)) => {
+                let body = match request {
+                    Request::Insert { item } => match index.as_insertable() {
+                        // A durable index reports a failed WAL commit
+                        // as a typed error in the insert's own
+                        // response slot; the item was not accepted and
+                        // later requests are unaffected.
+                        Some(idx) => match idx.insert(item, dist) {
+                            Ok(index) => ResponseBody::Inserted { index },
+                            Err(error) => ResponseBody::Failed { error },
+                        },
+                        None => ResponseBody::Failed {
+                            error: SearchError::UnsupportedConfig {
+                                reason: "this backend does not support incremental inserts",
+                            },
                         },
                     },
+                    Request::Delete { index: target } => match index.delete(target) {
+                        Ok(existed) => ResponseBody::Deleted { existed },
+                        Err(error) => ResponseBody::Failed { error },
+                    },
+                    _ => unreachable!("Chunk::Barrier holds an insert or delete"),
                 };
                 // A dropped ticket just discards its response.
                 let _ = tx.send(Response { id, body });

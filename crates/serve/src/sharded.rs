@@ -16,6 +16,7 @@ use cned_search::linear::{knn_scan_into, nn_scan_into, range_scan_into};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::{
     par_map, InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
+    TombstoneSet,
 };
 
 /// Shape of a [`ShardedIndex`].
@@ -82,6 +83,11 @@ pub struct ShardedIndex<S: Symbol> {
     indexed_len: usize,
     config: ShardConfig,
     preprocessing_computations: u64,
+    /// Logically deleted global indices. Compaction and rebalancing
+    /// never renumber global indices (shards merge contiguously), so
+    /// the set survives both untouched; physical removal is an
+    /// explicit vacuum/rebuild at the facade.
+    tombstones: TombstoneSet,
 }
 
 impl<S: Symbol> ShardedIndex<S> {
@@ -143,6 +149,7 @@ impl<S: Symbol> ShardedIndex<S> {
             indexed_len: n,
             config,
             preprocessing_computations,
+            tombstones: TombstoneSet::new(),
         })
     }
 
@@ -246,7 +253,19 @@ impl<S: Symbol> ShardedIndex<S> {
             indexed_len: at,
             config,
             preprocessing_computations: preprocessing,
+            tombstones: TombstoneSet::new(),
         })
+    }
+
+    /// The tombstone set of logically deleted global indices (for
+    /// snapshot encoding).
+    pub fn tombstones(&self) -> &TombstoneSet {
+        &self.tombstones
+    }
+
+    /// Restore a tombstone set (snapshot decode / replica sync).
+    pub fn set_tombstones(&mut self, tombstones: TombstoneSet) {
+        self.tombstones = tombstones;
     }
 
     /// The item at global index `i` (panics when out of range).
@@ -665,7 +684,17 @@ impl<S: Symbol> MetricIndex<S> for ShardedIndex<S> {
         let radius = opts.checked_radius()?;
         let limit = opts.pivot_budget.unwrap_or(usize::MAX);
         let prepared = dist.prepare(query);
-        let (found, stats) = self.nn_core(&*prepared, radius, limit);
+        if self.tombstones.is_empty() {
+            let (found, stats) = self.nn_core(&*prepared, radius, limit);
+            let stats = stats.total();
+            opts.record(stats);
+            return Ok((found, stats));
+        }
+        // Over-fetch: at most T of the top 1+T answers can be dead,
+        // so the first survivor is the true live NN.
+        let want = 1 + self.tombstones.count();
+        let (hits, stats) = self.knn_core(&*prepared, want, radius, limit);
+        let found = self.tombstones.first_live(&hits);
         let stats = stats.total();
         opts.record(stats);
         Ok((found, stats))
@@ -683,7 +712,14 @@ impl<S: Symbol> MetricIndex<S> for ShardedIndex<S> {
         let radius = opts.checked_radius()?;
         let limit = opts.pivot_budget.unwrap_or(usize::MAX);
         let prepared = dist.prepare(query);
-        let (best, stats) = self.knn_core(&*prepared, opts.k, radius, limit);
+        let want = if self.tombstones.is_empty() {
+            opts.k
+        } else {
+            opts.k.saturating_add(self.tombstones.count())
+        };
+        let (mut best, stats) = self.knn_core(&*prepared, want, radius, limit);
+        self.tombstones.retain_live(&mut best);
+        best.truncate(opts.k);
         let stats = stats.total();
         opts.record(stats);
         Ok((best, stats))
@@ -701,10 +737,26 @@ impl<S: Symbol> MetricIndex<S> for ShardedIndex<S> {
         let radius = opts.checked_radius()?;
         let limit = opts.pivot_budget.unwrap_or(usize::MAX);
         let prepared = dist.prepare(query);
-        let (hits, stats) = self.range_core(&*prepared, radius, limit);
+        let (mut hits, stats) = self.range_core(&*prepared, radius, limit);
+        self.tombstones.retain_live(&mut hits);
         let stats = stats.total();
         opts.record(stats);
         Ok((hits, stats))
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        if index >= self.len() {
+            return Ok(false);
+        }
+        Ok(self.tombstones.insert(index))
+    }
+
+    fn deleted(&self) -> usize {
+        self.tombstones.count()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.tombstones.contains(i)
     }
 
     fn as_insertable(&mut self) -> Option<&mut dyn InsertableIndex<S>> {

@@ -57,8 +57,10 @@ use cned_search::{Neighbour, SearchError, SearchStats};
 /// History: v1 = the base request/response + batch protocol (PR 5/7);
 /// v2 added the replication frames ([`kind::REQ_SYNC`],
 /// [`kind::RESP_SYNC`], [`kind::RESP_REPL_INSERT`]) and the
-/// `Persistence` error code.
-pub const WIRE_VERSION: u8 = 2;
+/// `Persistence` error code; v3 added tombstoned deletes
+/// ([`kind::REQ_DELETE`], [`kind::RESP_DELETED`],
+/// [`kind::RESP_REPL_DELETE`]).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Version byte of the **batch** frame body ([`kind::REQ_BATCH`] /
 /// [`kind::RESP_BATCH`]). Batch frames were added after the base
@@ -101,6 +103,11 @@ pub mod kind {
     /// stays open and receives one [`RESP_REPL_INSERT`] frame per
     /// accepted insert.
     pub const REQ_SYNC: u8 = 5;
+    /// [`super::Request::Delete`]: tombstone one item by its global
+    /// index. Body is the index as `u64 LE`; answered by a
+    /// [`RESP_DELETED`] frame (idempotent: deleting a missing or
+    /// already-deleted index answers `existed = 0`, not an error).
+    pub const REQ_DELETE: u8 = 6;
     /// [`super::ResponseBody::Nn`].
     pub const RESP_NN: u8 = 16;
     /// [`super::ResponseBody::Knn`].
@@ -124,6 +131,17 @@ pub mod kind {
     /// being the item's global index. Replicas dedupe by `seq`, so
     /// overlap with the catch-up payload is harmless.
     pub const RESP_REPL_INSERT: u8 = 23;
+    /// [`super::ResponseBody::Deleted`]: the answer to a
+    /// [`REQ_DELETE`] frame. Body is one byte — `1` if the item was
+    /// alive and is now tombstoned, `0` if it was already deleted or
+    /// the index was out of range.
+    pub const RESP_DELETED: u8 = 24;
+    /// One accepted delete streamed to a registered replica (under
+    /// the [`REQ_SYNC`] frame's id): `[index: u64 LE]`, the
+    /// tombstoned item's global index. Deletes are idempotent, so
+    /// overlap with a catch-up payload that already folded the
+    /// tombstone in is harmless.
+    pub const RESP_REPL_DELETE: u8 = 25;
 }
 
 /// [`kind::RESP_SYNC`] mode: the chunk bytes are part of a whole
@@ -209,7 +227,7 @@ impl From<std::io::Error> for WireError {
 /// A symbol type that can cross the wire: fixed-width little-endian
 /// encoding. Implemented for the unsigned integer widths the datasets
 /// use (`u8` chain codes and dictionary bytes, `u32` codepoints, …).
-pub trait WireSymbol: Symbol {
+pub trait WireSymbol: Symbol + std::hash::Hash {
     /// Encoded width in bytes.
     const WIDTH: usize;
 
@@ -475,6 +493,7 @@ fn request_kind<S: Symbol>(request: &Request<S>) -> u8 {
         Request::Knn { .. } => kind::REQ_KNN,
         Request::Range { .. } => kind::REQ_RANGE,
         Request::Insert { .. } => kind::REQ_INSERT,
+        Request::Delete { .. } => kind::REQ_DELETE,
     }
 }
 
@@ -491,6 +510,7 @@ fn put_request_body<S: WireSymbol>(out: &mut Vec<u8>, request: &Request<S>) {
             put_string(out, query);
         }
         Request::Insert { item } => put_string(out, item),
+        Request::Delete { index } => put_u64(out, *index as u64),
     }
 }
 
@@ -517,6 +537,7 @@ fn get_request_body<S: WireSymbol>(k: u8, r: &mut Reader<'_>) -> Result<Request<
         kind::REQ_INSERT => Request::Insert {
             item: get_string(r)?,
         },
+        kind::REQ_DELETE => Request::Delete { index: r.usize()? },
         got => return Err(WireError::BadKind { got }),
     })
 }
@@ -640,6 +661,7 @@ fn response_kind(body: &ResponseBody) -> u8 {
         ResponseBody::Knn { .. } => kind::RESP_KNN,
         ResponseBody::Range { .. } => kind::RESP_RANGE,
         ResponseBody::Inserted { .. } => kind::RESP_INSERTED,
+        ResponseBody::Deleted { .. } => kind::RESP_DELETED,
         ResponseBody::Failed { .. } => kind::RESP_FAILED,
     }
 }
@@ -662,6 +684,7 @@ fn put_response_body(out: &mut Vec<u8>, body: &ResponseBody) {
             put_stats(out, stats);
         }
         ResponseBody::Inserted { index } => put_u64(out, *index as u64),
+        ResponseBody::Deleted { existed } => out.push(u8::from(*existed)),
         ResponseBody::Failed { error } => put_error(out, error),
     }
 }
@@ -693,6 +716,17 @@ fn get_response_body(k: u8, r: &mut Reader<'_>) -> Result<ResponseBody, WireErro
             stats: get_stats(r)?,
         },
         kind::RESP_INSERTED => ResponseBody::Inserted { index: r.usize()? },
+        kind::RESP_DELETED => ResponseBody::Deleted {
+            existed: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(WireError::BadPayload {
+                        detail: "deleted flag must be 0 or 1",
+                    })
+                }
+            },
+        },
         kind::RESP_FAILED => ResponseBody::Failed {
             error: get_error(r)?,
         },
@@ -807,6 +841,14 @@ pub fn encode_repl_insert<S: WireSymbol>(id: RequestId, seq: u64, item: &[S], ou
     put_string(out, item);
 }
 
+/// Encode one streamed accepted delete (`index` = the tombstoned
+/// item's global index) under the sync request's `id`.
+pub fn encode_repl_delete(id: RequestId, index: u64, out: &mut Vec<u8>) {
+    out.clear();
+    begin(out, kind::RESP_REPL_DELETE, id);
+    put_u64(out, index);
+}
+
 /// A frame as seen by a replica's catch-up connection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReplicaFrame<S: Symbol> {
@@ -827,6 +869,11 @@ pub enum ReplicaFrame<S: Symbol> {
         seq: u64,
         /// The item itself.
         item: Vec<S>,
+    },
+    /// One streamed accepted delete.
+    Delete {
+        /// The tombstoned item's global index on the primary.
+        index: u64,
     },
     /// An ordinary response frame (e.g. a [`CONTROL_ID`]-tagged
     /// rejection, or a typed `Failed` answering the sync request on a
@@ -875,6 +922,7 @@ pub fn decode_replica_frame<S: WireSymbol>(payload: &[u8]) -> Result<ReplicaFram
             let item = get_string(&mut r)?;
             ReplicaFrame::Insert { seq, item }
         }
+        kind::RESP_REPL_DELETE => ReplicaFrame::Delete { index: r.u64()? },
         k => ReplicaFrame::Response(Response {
             id,
             body: get_response_body(k, &mut r)?,
@@ -1029,6 +1077,7 @@ mod tests {
             Request::Insert {
                 item: b"nuevo".to_vec(),
             },
+            Request::Delete { index: 12 },
         ];
         let mut payload = Vec::new();
         for (i, request) in requests.iter().enumerate() {
@@ -1078,6 +1127,8 @@ mod tests {
                 stats,
             },
             ResponseBody::Inserted { index: 17 },
+            ResponseBody::Deleted { existed: true },
+            ResponseBody::Deleted { existed: false },
         ];
         let mut payload = Vec::new();
         for (i, body) in bodies.into_iter().enumerate() {
@@ -1278,6 +1329,16 @@ mod tests {
         assert_eq!(fb.next_frame().unwrap(), Some(payload_a));
         assert_eq!(fb.next_frame().unwrap(), Some(payload_b));
         assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn repl_delete_roundtrips() {
+        let mut payload = Vec::new();
+        encode_repl_delete(RequestId(4), 99, &mut payload);
+        assert_eq!(
+            decode_replica_frame::<u8>(&payload).unwrap(),
+            ReplicaFrame::Delete { index: 99 }
+        );
     }
 
     #[test]

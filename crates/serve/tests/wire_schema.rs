@@ -119,8 +119,9 @@ fn known_response_kinds_are_exactly_the_declared_constants() {
         kind::RESP_INSERTED,
         kind::RESP_FAILED,
         kind::RESP_BATCH,
+        kind::RESP_DELETED,
     ];
-    assert_eq!(known, [16, 17, 18, 19, 20, 21]);
+    assert_eq!(known, [16, 17, 18, 19, 20, 21, 24]);
     for k in 0..=255u8 {
         // An unknown kind byte is rejected as `BadKind` (carrying the
         // byte); a known kind gets past the kind dispatch — with an
@@ -139,7 +140,7 @@ fn known_response_kinds_are_exactly_the_declared_constants() {
 fn known_replica_frame_kinds_are_the_response_kinds_plus_replication() {
     // `RESP_BATCH` is absent: a replica's sync connection only ever
     // carries single responses (a refusal answering the sync request),
-    // sync chunks, and streamed inserts.
+    // sync chunks, and streamed writes.
     let known = [
         kind::RESP_NN,
         kind::RESP_KNN,
@@ -148,8 +149,10 @@ fn known_replica_frame_kinds_are_the_response_kinds_plus_replication() {
         kind::RESP_FAILED,
         kind::RESP_SYNC,
         kind::RESP_REPL_INSERT,
+        kind::RESP_DELETED,
+        kind::RESP_REPL_DELETE,
     ];
-    assert_eq!(known, [16, 17, 18, 19, 20, 22, 23]);
+    assert_eq!(known, [16, 17, 18, 19, 20, 22, 23, 24, 25]);
     for k in 0..=255u8 {
         let result = wire::decode_replica_frame::<u8>(&bare_frame(k));
         let bad_kind = matches!(result, Err(WireError::BadKind { got }) if got == k);
@@ -170,8 +173,9 @@ fn known_request_kinds_are_exactly_the_declared_constants() {
         kind::REQ_INSERT,
         kind::REQ_BATCH,
         kind::REQ_SYNC,
+        kind::REQ_DELETE,
     ];
-    assert_eq!(known, [0, 1, 2, 3, 4, 5]);
+    assert_eq!(known, [0, 1, 2, 3, 4, 5, 6]);
     for k in 0..=255u8 {
         let result = decode_request_frame::<u8>(&bare_frame(k));
         let bad_kind = matches!(result, Err(WireError::BadKind { got }) if got == k);
@@ -199,6 +203,7 @@ fn request_round_trip_still_works_for_every_kind() {
             radius: 0.25,
         },
         Request::Insert { item: vec![7, 8] },
+        Request::Delete { index: 9 },
     ];
     let mut buf = Vec::new();
     for request in &requests {

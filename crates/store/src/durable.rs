@@ -1,20 +1,20 @@
 //! [`Durable`]: the persistence wrapper a serving session owns.
 //!
-//! Wraps a [`StoredIndex`] and threads every accepted insert through
-//! the durability pipeline, in this order:
+//! Wraps a [`StoredIndex`] and threads every accepted write (insert
+//! or delete) through the durability pipeline, in this order:
 //!
-//! 1. **WAL append + fsync** — the insert is on disk before anything
-//!    else observes it. If this fails, the insert fails typed and the
+//! 1. **WAL append + fsync** — the write is on disk before anything
+//!    else observes it. If this fails, the write fails typed and the
 //!    in-memory index is untouched.
-//! 2. **In-memory insert** — the index mutates only after the entry is
+//! 2. **In-memory apply** — the index mutates only after the entry is
 //!    durable, so disk is always a superset of acknowledged state.
-//! 3. **Feed publish** — replica subscribers receive `(seq, item)`
-//!    strictly after the durable write, which is what makes the hub's
+//! 3. **Feed publish** — replica subscribers receive the op strictly
+//!    after the durable write, which is what makes the hub's
 //!    subscribe-then-read-disk registration protocol gap-free.
 //! 4. **Threshold snapshot** — once `snapshot_every` WAL entries
 //!    accumulate, the index is re-snapshotted and the WAL truncated.
 //!
-//! Snapshots happen *on the scheduler thread inside the insert call*,
+//! Snapshots happen *on the scheduler thread inside the write call*,
 //! which is exactly the consistency barrier the session already
 //! provides: no query or other insert can observe the index mid-write.
 //!
@@ -27,17 +27,16 @@ use cned_search::{
     InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
 };
 use cned_serve::ordered::{rank, OrderedMutex};
+use cned_serve::server::ReplOp;
 use cned_serve::wire::WireSymbol;
 use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 
 use crate::format::StoreError;
-use crate::snapshot::{decode_snapshot, encode_snapshot, write_atomic, SnapshotMeta, StoredIndex};
-use crate::wal::{replay_file, Wal};
-
-/// A durable insert as published to replica subscribers: the WAL
-/// sequence number and the item itself.
-pub(crate) type SeqItem<S> = (u64, Vec<S>);
+use crate::snapshot::{
+    decode_snapshot_plan, encode_snapshot_with, write_atomic, SnapshotMeta, StoredIndex,
+};
+use crate::wal::{replay_file, Wal, WalOp};
 
 /// Snapshot file name inside a data dir.
 pub const SNAPSHOT_FILE: &str = "snapshot.cned";
@@ -50,7 +49,7 @@ pub(crate) struct StoreShared<S: WireSymbol> {
     pub(crate) dir: PathBuf,
     /// Live replica subscriptions. Rank 30: taken alone, briefly, by
     /// either side.
-    pub(crate) subs: OrderedMutex<Vec<mpsc::Sender<SeqItem<S>>>>,
+    pub(crate) subs: OrderedMutex<Vec<mpsc::Sender<ReplOp<S>>>>,
     /// Guards the *install* of new file states (snapshot rename + WAL
     /// truncate) against concurrent sync-payload reads. Plain appends
     /// don't take it — a torn WAL tail is harmless to a reader, but an
@@ -68,14 +67,14 @@ impl<S: WireSymbol> StoreShared<S> {
         self.dir.join(WAL_FILE)
     }
 
-    /// Deliver one durable insert to every live subscriber, dropping
+    /// Deliver one durable write to every live subscriber, dropping
     /// subscriptions whose receiver has gone away.
-    fn publish(&self, seq: u64, item: &[S]) {
+    fn publish(&self, op: &ReplOp<S>) {
         let mut subs = self.subs.lock();
-        subs.retain(|tx| tx.send((seq, item.to_vec())).is_ok());
+        subs.retain(|tx| tx.send(op.clone()).is_ok());
     }
 
-    pub(crate) fn subscribe(&self) -> mpsc::Receiver<(u64, Vec<S>)> {
+    pub(crate) fn subscribe(&self) -> mpsc::Receiver<ReplOp<S>> {
         let (tx, rx) = mpsc::channel();
         self.subs.lock().push(tx);
         rx
@@ -90,6 +89,10 @@ pub struct Durable<S: WireSymbol> {
     wal: Wal,
     snapshot_every: u64,
     shared: Arc<StoreShared<S>>,
+    /// Opaque planner-decision blob (`cned-plan` codec) carried into
+    /// every snapshot, so `Backend::Auto` restores its decision
+    /// bit-identically on warm restart.
+    plan: Option<Vec<u8>>,
 }
 
 /// Does `dir` hold a snapshot a [`Durable::recover`] could load?
@@ -113,7 +116,7 @@ impl<S: WireSymbol> Durable<S> {
             subs: OrderedMutex::new(rank::STORE_SUBS, "StoreShared::subs", Vec::new()),
             files: OrderedMutex::new(rank::STORE_FILES, "StoreShared::files", ()),
         });
-        let bytes = encode_snapshot(metric, &index.view());
+        let bytes = encode_snapshot_with(metric, &index.view(), None);
         write_atomic(&shared.snapshot_path(), &bytes)?;
         // Replace any stale WAL from a previous incarnation of the dir.
         let wal_path = shared.wal_path();
@@ -125,6 +128,7 @@ impl<S: WireSymbol> Durable<S> {
             wal,
             snapshot_every: snapshot_every.max(1),
             shared,
+            plan: None,
         })
     }
 
@@ -147,23 +151,48 @@ impl<S: WireSymbol> Durable<S> {
         });
         let bytes = std::fs::read(shared.snapshot_path())
             .map_err(|e| StoreError::io("read snapshot", e))?;
-        let (meta, mut index) = decode_snapshot::<S>(&bytes)?;
-        for (seq, item) in replay_file::<S>(&shared.wal_path())? {
-            let len = index.len() as u64;
-            // Entries the snapshot already covers replay as no-ops
-            // (snapshot-then-crash-before-truncate leaves an overlap);
-            // a gap beyond the index length means a lost entry.
-            if seq < len {
-                continue;
+        let (meta, mut index, plan) = decode_snapshot_plan::<S>(&bytes)?;
+        for op in replay_file::<S>(&shared.wal_path())? {
+            match op {
+                WalOp::Insert { seq, item } => {
+                    let len = index.len() as u64;
+                    // Entries the snapshot already covers replay as
+                    // no-ops (snapshot-then-crash-before-truncate
+                    // leaves an overlap); a gap beyond the index
+                    // length means a lost entry.
+                    if seq < len {
+                        continue;
+                    }
+                    if seq > len {
+                        return Err(StoreError::Corrupt {
+                            detail: format!(
+                                "wal sequence gap: log holds {seq}, index holds {len} items"
+                            ),
+                        });
+                    }
+                    index.insert(item, dist).map_err(|e| StoreError::Corrupt {
+                        detail: format!("wal replay insert failed: {e}"),
+                    })?;
+                }
+                WalOp::Delete { index: target } => {
+                    let target = usize::try_from(target).map_err(|_| StoreError::Corrupt {
+                        detail: "wal delete index exceeds usize".into(),
+                    })?;
+                    if target >= index.len() {
+                        return Err(StoreError::Corrupt {
+                            detail: format!(
+                                "wal delete index {target} out of range ({} items)",
+                                index.len()
+                            ),
+                        });
+                    }
+                    // Deletes the snapshot already folded in replay as
+                    // no-ops (`Ok(false)`): deletes are idempotent.
+                    index.delete(target).map_err(|e| StoreError::Corrupt {
+                        detail: format!("wal replay delete failed: {e}"),
+                    })?;
+                }
             }
-            if seq > len {
-                return Err(StoreError::Corrupt {
-                    detail: format!("wal sequence gap: log holds {seq}, index holds {len} items"),
-                });
-            }
-            index.insert(item, dist).map_err(|e| StoreError::Corrupt {
-                detail: format!("wal replay insert failed: {e}"),
-            })?;
         }
         let wal = Wal::open::<S>(&shared.wal_path())?;
         let mut durable = Durable {
@@ -172,6 +201,7 @@ impl<S: WireSymbol> Durable<S> {
             wal,
             snapshot_every: snapshot_every.max(1),
             shared,
+            plan,
         };
         // Fold the replayed tail into the snapshot immediately: replay
         // cost stays bounded across repeated restarts.
@@ -202,11 +232,23 @@ impl<S: WireSymbol> Durable<S> {
         }
     }
 
+    /// The planner-decision blob carried into snapshots, if any.
+    pub fn plan(&self) -> Option<&[u8]> {
+        self.plan.as_deref()
+    }
+
+    /// Set the planner-decision blob persisted with every snapshot
+    /// from now on (it survives warm restarts via the snapshot's PLAN
+    /// record). Takes effect at the next snapshot.
+    pub fn set_plan(&mut self, plan: Option<Vec<u8>>) {
+        self.plan = plan;
+    }
+
     /// Write a fresh snapshot of the current index and truncate the
     /// WAL. Called automatically by the threshold policy and on drop;
     /// callable directly for explicit checkpoints.
     pub fn snapshot(&mut self) -> Result<(), StoreError> {
-        let bytes = encode_snapshot(self.metric, &self.inner.view());
+        let bytes = encode_snapshot_with(self.metric, &self.inner.view(), self.plan.as_deref());
         // Install under the files lock so a concurrently registering
         // replica never pairs the old snapshot with the new WAL.
         let _g = self.shared.files.lock();
@@ -229,11 +271,36 @@ impl<S: WireSymbol> Durable<S> {
             index as u64, seq,
             "inserts append at the end of the database"
         );
-        self.shared.publish(seq, &item);
+        self.shared.publish(&ReplOp::Insert { seq, item });
         if self.wal.entries() >= self.snapshot_every {
             self.snapshot().map_err(SearchError::from)?;
         }
         Ok(index)
+    }
+
+    /// The durable delete pipeline: WAL append + fsync, tombstone the
+    /// in-memory index, publish to replicas, threshold snapshot. A
+    /// no-op delete (already tombstoned, or out of range) is answered
+    /// `Ok(false)` *without* touching disk.
+    pub fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        // An out-of-range delete cannot change anything — refuse it
+        // before disk. Repeat deletes of a live-range index do write
+        // a WAL entry (the backend's answer is only known after the
+        // mutate), which is harmless: delete replay is idempotent.
+        if index >= self.inner.len() {
+            return Ok(false);
+        }
+        self.wal
+            .append_delete(index as u64)
+            .map_err(SearchError::from)?;
+        let existed = self.inner.delete(index)?;
+        self.shared.publish(&ReplOp::Delete {
+            index: index as u64,
+        });
+        if self.wal.entries() >= self.snapshot_every {
+            self.snapshot().map_err(SearchError::from)?;
+        }
+        Ok(existed)
     }
 }
 
@@ -296,6 +363,19 @@ impl<S: WireSymbol> MetricIndex<S> for Durable<S> {
             StoredIndex::Laesa(_) => None,
             _ => Some(self),
         }
+    }
+
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        // The durable pipeline, not the raw in-memory tombstone.
+        Durable::delete(self, index)
+    }
+
+    fn deleted(&self) -> usize {
+        self.inner.deleted()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.inner.is_deleted(i)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -41,13 +41,20 @@ pub const WAL_MAGIC: [u8; 8] = *b"CNEDWAL0";
 ///
 /// * v1 — initial format: META / LINEAR / LAESA / SHARD / DELTA /
 ///   SHARDED_META records, per-record CRC-32, END terminator.
-pub const SNAP_VERSION: u8 = 1;
+/// * v2 — added the optional [`kind::TOMBSTONES`] (deleted global
+///   indices) and [`kind::PLAN`] (query-planner decision) records,
+///   both appearing after the index body and before [`kind::END`].
+///   v1 files (no tombstones, no plan) still decode.
+pub const SNAP_VERSION: u8 = 2;
 
 /// WAL format version. History:
 ///
 /// * v1 — initial format: `[len][seq][item][crc32]` entries,
 ///   fsync-per-commit, torn tail dropped on replay.
-pub const WAL_VERSION: u8 = 1;
+/// * v2 — each entry body starts with an op byte: `1` = insert
+///   (`[seq][item]` as before), `2` = delete (`[index u64 LE]`).
+///   v1 files (implicit op byte `1`) still replay.
+pub const WAL_VERSION: u8 = 2;
 
 /// Largest accepted record/entry body. Snapshot records hold whole
 /// shards so the bound is generous, but it still stops a corrupt
@@ -72,6 +79,14 @@ pub mod kind {
     pub const DELTA: u8 = 6;
     /// Terminator; empty body. Its presence is the completeness proof.
     pub const END: u8 = 7;
+    /// Tombstoned (deleted) global indices: `u64` count + sorted
+    /// `u64` indices. Optional (snapshot v2+); absent means none.
+    pub const TOMBSTONES: u8 = 8;
+    /// The query planner's recorded decision (`cned-plan` byte
+    /// codec), replayed verbatim on warm restart so `Backend::Auto`
+    /// restores bit-identically without re-sampling. Optional
+    /// (snapshot v2+).
+    pub const PLAN: u8 = 9;
 }
 
 /// Backend tags stored in the META record.

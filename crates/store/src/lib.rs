@@ -44,8 +44,9 @@ pub mod wal;
 pub use durable::{data_dir_initialised, Durable, SNAPSHOT_FILE, WAL_FILE};
 pub use format::{StoreError, SNAP_VERSION, WAL_VERSION};
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, read_snapshot_meta, write_atomic, IndexView, SnapshotMeta,
+    decode_snapshot, decode_snapshot_plan, encode_snapshot, encode_snapshot_with,
+    read_snapshot_meta, snapshot_has_tombstones, write_atomic, IndexView, SnapshotMeta,
     StoredIndex,
 };
 pub use sync::{decode_items, StoreHub, SyncAccumulator, SyncOutcome, SYNC_CHUNK};
-pub use wal::Wal;
+pub use wal::{Wal, WalOp};

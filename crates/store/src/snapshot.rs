@@ -134,6 +134,22 @@ impl<S: Symbol> MetricIndex<S> for StoredIndex<S> {
         self.inner().range(query, dist, opts)
     }
 
+    fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        match self {
+            StoredIndex::Linear(i) => i.delete(index),
+            StoredIndex::Laesa(i) => i.delete(index),
+            StoredIndex::Sharded(i) => i.delete(index),
+        }
+    }
+
+    fn deleted(&self) -> usize {
+        self.inner().deleted()
+    }
+
+    fn is_deleted(&self, i: usize) -> bool {
+        self.inner().is_deleted(i)
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         self.inner().as_any()
     }
@@ -164,6 +180,15 @@ impl<'a, S: Symbol> IndexView<'a, S> {
     /// Whether the view holds no items.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The backend's tombstoned global indices, sorted ascending.
+    pub fn tombstone_indices(&self) -> Vec<u64> {
+        match self {
+            IndexView::Linear(i) => i.tombstones().indices(),
+            IndexView::Laesa(i) => i.tombstones().indices(),
+            IndexView::Sharded(i) => i.tombstones().indices(),
+        }
     }
 
     /// Downcast a dynamic index into a view, if it is one of the three
@@ -270,8 +295,21 @@ fn get_laesa_body<S: WireSymbol>(r: &mut Reader<'_>) -> Result<Laesa<S>, StoreEr
 ///
 /// `metric` is the `(code, flag)` pair identifying the distance the
 /// index was built with — the loader refuses to pair the bytes with a
-/// different metric.
+/// different metric. Tombstones are read off the view's backend and
+/// written as a [`kind::TOMBSTONES`] record when non-empty.
 pub fn encode_snapshot<S: WireSymbol>(metric: (u8, u8), view: &IndexView<'_, S>) -> Vec<u8> {
+    encode_snapshot_with(metric, view, None)
+}
+
+/// [`encode_snapshot`] plus an opaque planner-decision blob
+/// (`cned-plan`'s byte codec), written as a [`kind::PLAN`] record so
+/// `Backend::Auto` restores its decision bit-identically on warm
+/// restart.
+pub fn encode_snapshot_with<S: WireSymbol>(
+    metric: (u8, u8),
+    view: &IndexView<'_, S>,
+    plan: Option<&[u8]>,
+) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&SNAP_MAGIC);
     out.push(SNAP_VERSION);
@@ -323,6 +361,19 @@ pub fn encode_snapshot<S: WireSymbol>(metric: (u8, u8), view: &IndexView<'_, S>)
         }
     }
 
+    let dead = view.tombstone_indices();
+    if !dead.is_empty() {
+        body.clear();
+        put_u64(&mut body, dead.len() as u64);
+        for &idx in &dead {
+            put_u64(&mut body, idx);
+        }
+        record(&mut out, kind::TOMBSTONES, &body);
+    }
+    if let Some(plan) = plan {
+        record(&mut out, kind::PLAN, plan);
+    }
+
     record(&mut out, kind::END, &[]);
     out
 }
@@ -369,8 +420,9 @@ fn snapshot_header<'a, S: WireSymbol>(bytes: &'a [u8]) -> Result<Reader<'a>, Sto
             expected: SNAP_MAGIC,
         });
     }
+    // v1 files (no TOMBSTONES / PLAN records) still decode.
     let version = r.u8()?;
-    if version != SNAP_VERSION {
+    if version != 1 && version != SNAP_VERSION {
         return Err(StoreError::BadVersion {
             expected: SNAP_VERSION,
             got: version,
@@ -410,10 +462,38 @@ pub fn read_snapshot_meta<S: WireSymbol>(bytes: &[u8]) -> Result<SnapshotMeta, S
     parse_meta(rec.body)
 }
 
-/// Decode a full snapshot into its metadata and an owned index.
+/// Whether a snapshot carries a [`kind::TOMBSTONES`] record — i.e.
+/// deletes have been folded into it that a log tail can no longer
+/// convey. Walks the record stream without materialising the index.
+pub fn snapshot_has_tombstones<S: WireSymbol>(bytes: &[u8]) -> Result<bool, StoreError> {
+    let mut r = snapshot_header::<S>(bytes)?;
+    loop {
+        let rec = next_record(&mut r)?;
+        match rec.kind {
+            kind::TOMBSTONES => return Ok(true),
+            kind::END => return Ok(false),
+            _ => {}
+        }
+    }
+}
+
+/// Decode a full snapshot into its metadata and an owned index
+/// (tombstones restored into the backend; the planner blob, if any,
+/// is dropped — use [`decode_snapshot_plan`] to keep it).
 pub fn decode_snapshot<S: WireSymbol>(
     bytes: &[u8],
 ) -> Result<(SnapshotMeta, StoredIndex<S>), StoreError> {
+    let (meta, index, _) = decode_snapshot_plan(bytes)?;
+    Ok((meta, index))
+}
+
+/// Everything a snapshot decodes to: metadata, the rebuilt index, and
+/// the planner-decision blob persisted alongside it (if any).
+pub type DecodedSnapshot<S> = (SnapshotMeta, StoredIndex<S>, Option<Vec<u8>>);
+
+/// Decode a full snapshot into its metadata, an owned index and the
+/// planner-decision blob stored alongside it (if any).
+pub fn decode_snapshot_plan<S: WireSymbol>(bytes: &[u8]) -> Result<DecodedSnapshot<S>, StoreError> {
     let mut r = snapshot_header::<S>(bytes)?;
     let rec = next_record(&mut r)?;
     if rec.kind != kind::META {
@@ -489,7 +569,43 @@ pub fn decode_snapshot<S: WireSymbol>(
         }
     };
 
-    let rec = next_record(&mut r)?;
+    // Optional trailing records (snapshot v2+): TOMBSTONES, then
+    // PLAN, then the mandatory END terminator.
+    let mut index = index;
+    let mut plan = None;
+    let mut rec = next_record(&mut r)?;
+    if rec.kind == kind::TOMBSTONES {
+        let mut body = Reader::new(rec.body);
+        let count = body.usize()?;
+        if count.saturating_mul(8) > body.remaining() {
+            return Err(StoreError::Truncated {
+                needed: count.saturating_mul(8),
+                got: body.remaining(),
+            });
+        }
+        let mut dead = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = body.u64()?;
+            if idx >= index.len() as u64 {
+                return Err(StoreError::Corrupt {
+                    detail: format!("tombstone index {idx} out of range"),
+                });
+            }
+            dead.push(idx);
+        }
+        expect_consumed(&body, "TOMBSTONES record")?;
+        let set = cned_search::TombstoneSet::from_indices(&dead);
+        match &mut index {
+            StoredIndex::Linear(i) => i.set_tombstones(set),
+            StoredIndex::Laesa(i) => i.set_tombstones(set),
+            StoredIndex::Sharded(i) => i.set_tombstones(set),
+        }
+        rec = next_record(&mut r)?;
+    }
+    if rec.kind == kind::PLAN {
+        plan = Some(rec.body.to_vec());
+        rec = next_record(&mut r)?;
+    }
     if rec.kind != kind::END {
         return Err(StoreError::Corrupt {
             detail: format!("expected END record, found kind {}", rec.kind),
@@ -509,7 +625,7 @@ pub fn decode_snapshot<S: WireSymbol>(
             ),
         });
     }
-    Ok((meta, index))
+    Ok((meta, index, plan))
 }
 
 fn expect_record<'a>(r: &mut Reader<'a>, want: u8) -> Result<Record<'a>, StoreError> {

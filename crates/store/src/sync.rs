@@ -23,14 +23,14 @@
 //! lock.
 
 use cned_search::SearchError;
-use cned_serve::server::ReplicaHub;
+use cned_serve::server::{ReplOp, ReplicaHub};
 use cned_serve::wire::{WireSymbol, SYNC_ITEMS, SYNC_SNAPSHOT};
 use std::sync::{mpsc, Arc};
 
 use crate::durable::StoreShared;
 use crate::format::{put_u32, put_u64, Reader, StoreError};
-use crate::snapshot::read_snapshot_meta;
-use crate::wal::replay_file;
+use crate::snapshot::{read_snapshot_meta, snapshot_has_tombstones};
+use crate::wal::{replay_file, WalOp};
 
 /// Target size of one sync chunk (bytes). Well under the 16 MiB wire
 /// frame cap, large enough to amortise framing.
@@ -55,12 +55,21 @@ impl<S: WireSymbol> StoreHub<S> {
         drop(_g);
 
         let mut chunks = Vec::new();
-        if have > 0 && have >= meta.items {
+        // Tail-only catch-up additionally requires a tombstone-free
+        // snapshot: a delete folded into the snapshot exists nowhere
+        // in the log, so a replica that may have missed it needs the
+        // whole snapshot to learn of it.
+        if have > 0 && have >= meta.items && !snapshot_has_tombstones::<S>(&snap_bytes)? {
             // The replica's base is at least ours: it only needs the
-            // log tail it hasn't applied yet.
-            let tail: Vec<(u64, Vec<S>)> = wal_entries
+            // log tail it hasn't applied yet. Deletes ship whole (they
+            // are idempotent); inserts the replica already holds are
+            // filtered by sequence number.
+            let tail: Vec<WalOp<S>> = wal_entries
                 .into_iter()
-                .filter(|&(seq, _)| seq >= have)
+                .filter(|op| match op {
+                    WalOp::Insert { seq, .. } => *seq >= have,
+                    WalOp::Delete { .. } => true,
+                })
                 .collect();
             push_item_chunks(&mut chunks, &tail);
         } else {
@@ -80,22 +89,37 @@ impl<S: WireSymbol> ReplicaHub<S> for StoreHub<S> {
         self.payload(have).map_err(SearchError::from)
     }
 
-    fn subscribe(&self) -> mpsc::Receiver<(u64, Vec<S>)> {
+    fn subscribe(&self) -> mpsc::Receiver<ReplOp<S>> {
         self.shared.subscribe()
     }
 }
 
 // ------------------------------------------------------ item chunk codec
 
-/// Append `(seq, item)` records as `SYNC_ITEMS` chunks of at most
-/// [`SYNC_CHUNK`] bytes (record boundaries respected).
-fn push_item_chunks<S: WireSymbol>(chunks: &mut Vec<(u8, Vec<u8>)>, items: &[(u64, Vec<S>)]) {
+/// `SYNC_ITEMS` record op byte: an insert (`[seq][count][syms]`).
+const ITEM_INSERT: u8 = 1;
+/// `SYNC_ITEMS` record op byte: a delete (`[index u64]`).
+const ITEM_DELETE: u8 = 2;
+
+/// Append WAL ops as `SYNC_ITEMS` chunks of at most [`SYNC_CHUNK`]
+/// bytes (record boundaries respected). Each record is
+/// `[op][seq][count][syms]` for inserts, `[op][index]` for deletes.
+fn push_item_chunks<S: WireSymbol>(chunks: &mut Vec<(u8, Vec<u8>)>, items: &[WalOp<S>]) {
     let mut chunk = Vec::new();
-    for (seq, item) in items {
-        put_u64(&mut chunk, *seq);
-        put_u32(&mut chunk, item.len() as u32);
-        for &sym in item {
-            sym.put(&mut chunk);
+    for op in items {
+        match op {
+            WalOp::Insert { seq, item } => {
+                chunk.push(ITEM_INSERT);
+                put_u64(&mut chunk, *seq);
+                put_u32(&mut chunk, item.len() as u32);
+                for &sym in item {
+                    sym.put(&mut chunk);
+                }
+            }
+            WalOp::Delete { index } => {
+                chunk.push(ITEM_DELETE);
+                put_u64(&mut chunk, *index);
+            }
         }
         if chunk.len() >= SYNC_CHUNK {
             chunks.push((SYNC_ITEMS, std::mem::take(&mut chunk)));
@@ -106,15 +130,28 @@ fn push_item_chunks<S: WireSymbol>(chunks: &mut Vec<(u8, Vec<u8>)>, items: &[(u6
     }
 }
 
-/// Decode a `SYNC_ITEMS` chunk back into `(seq, item)` records.
-pub fn decode_items<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<(u64, Vec<S>)>, StoreError> {
+/// Decode a `SYNC_ITEMS` chunk back into its op records.
+pub fn decode_items<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<WalOp<S>>, StoreError> {
     let mut r = Reader::new(bytes);
     let mut out = Vec::new();
     while r.remaining() > 0 {
-        let seq = r.u64()?;
-        let count = r.u32()? as usize;
-        let sym_bytes = r.take(count.saturating_mul(S::WIDTH))?;
-        out.push((seq, sym_bytes.chunks_exact(S::WIDTH).map(S::get).collect()));
+        match r.u8()? {
+            ITEM_INSERT => {
+                let seq = r.u64()?;
+                let count = r.u32()? as usize;
+                let sym_bytes = r.take(count.saturating_mul(S::WIDTH))?;
+                out.push(WalOp::Insert {
+                    seq,
+                    item: sym_bytes.chunks_exact(S::WIDTH).map(S::get).collect(),
+                });
+            }
+            ITEM_DELETE => out.push(WalOp::Delete { index: r.u64()? }),
+            other => {
+                return Err(StoreError::Corrupt {
+                    detail: format!("unknown sync item op byte {other}"),
+                })
+            }
+        }
     }
     Ok(out)
 }
@@ -124,8 +161,8 @@ pub struct SyncOutcome<S: WireSymbol> {
     /// The primary's full snapshot bytes, when one was transferred
     /// (`None` for a tail-only catch-up).
     pub snapshot: Option<Vec<u8>>,
-    /// Log-tail records to apply after (or instead of) the snapshot.
-    pub items: Vec<(u64, Vec<S>)>,
+    /// Log-tail ops to apply after (or instead of) the snapshot.
+    pub items: Vec<WalOp<S>>,
 }
 
 /// Replica-side accumulator for `RESP_SYNC` chunks: feed each chunk in
@@ -134,7 +171,7 @@ pub struct SyncOutcome<S: WireSymbol> {
 pub struct SyncAccumulator<S: WireSymbol> {
     snapshot: Vec<u8>,
     saw_snapshot: bool,
-    items: Vec<(u64, Vec<S>)>,
+    items: Vec<WalOp<S>>,
 }
 
 impl<S: WireSymbol> SyncAccumulator<S> {
@@ -186,8 +223,17 @@ mod tests {
 
     #[test]
     fn item_chunks_roundtrip() {
-        let items: Vec<(u64, Vec<u32>)> = (0..100)
-            .map(|i| (i, vec![i as u32; (i % 7) as usize]))
+        let items: Vec<WalOp<u32>> = (0..100)
+            .map(|i| {
+                if i % 5 == 4 {
+                    WalOp::Delete { index: i }
+                } else {
+                    WalOp::Insert {
+                        seq: i,
+                        item: vec![i as u32; (i % 7) as usize],
+                    }
+                }
+            })
             .collect();
         let mut chunks = Vec::new();
         push_item_chunks(&mut chunks, &items);
@@ -203,7 +249,13 @@ mod tests {
     #[test]
     fn truncated_item_chunk_fails_typed() {
         let mut chunks = Vec::new();
-        push_item_chunks(&mut chunks, &[(4u64, vec![1u32, 2, 3])]);
+        push_item_chunks(
+            &mut chunks,
+            &[WalOp::Insert {
+                seq: 4,
+                item: vec![1u32, 2, 3],
+            }],
+        );
         let bytes = &chunks[0].1;
         let got = decode_items::<u32>(&bytes[..bytes.len() - 1]);
         assert!(matches!(got, Err(StoreError::Truncated { .. })));
@@ -212,7 +264,7 @@ mod tests {
     #[test]
     fn snapshot_after_items_is_rejected() {
         let mut acc = SyncAccumulator::<u32>::new();
-        let mut item_chunk = Vec::new();
+        let mut item_chunk = vec![ITEM_INSERT];
         put_u64(&mut item_chunk, 0);
         put_u32(&mut item_chunk, 0);
         acc.push(SYNC_ITEMS, &item_chunk).unwrap();

@@ -1,12 +1,12 @@
-//! The insert write-ahead log: an append-only, fsync-on-commit record
-//! of every insert accepted since the last snapshot.
+//! The write-ahead log: an append-only, fsync-on-commit record of
+//! every insert and delete accepted since the last snapshot.
 //!
-//! The durability contract is *disk before ack*: [`Wal::append`]
-//! fsyncs before it returns, and the caller only acknowledges the
-//! insert (resolves the client's ticket) after that return. A crash
-//! therefore loses at most inserts that were never acknowledged — and
-//! those appear, if at all, as a torn tail that replay drops. See the
-//! layout notes in [`crate::format`].
+//! The durability contract is *disk before ack*: [`Wal::append`] /
+//! [`Wal::append_delete`] fsync before they return, and the caller
+//! only acknowledges the write (resolves the client's ticket) after
+//! that return. A crash therefore loses at most writes that were
+//! never acknowledged — and those appear, if at all, as a torn tail
+//! that replay drops. See the layout notes in [`crate::format`].
 
 use cned_serve::wire::WireSymbol;
 use std::fs::{File, OpenOptions};
@@ -20,6 +20,28 @@ use crate::format::{
 /// Byte length of the WAL header (magic + version + symbol width).
 const HEADER_LEN: usize = 10;
 
+/// WAL v2 entry op byte: an accepted insert (`[seq][item]` body).
+const OP_INSERT: u8 = 1;
+/// WAL v2 entry op byte: an accepted delete (`[index u64]` body).
+const OP_DELETE: u8 = 2;
+
+/// One replayed WAL entry, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp<S> {
+    /// An accepted insert: the item and its global index (`seq`).
+    Insert {
+        /// The item's global index (== the index count before it).
+        seq: u64,
+        /// The item itself.
+        item: Vec<S>,
+    },
+    /// An accepted delete: the tombstoned item's global index.
+    Delete {
+        /// The tombstoned item's global index.
+        index: u64,
+    },
+}
+
 /// An open WAL file, positioned for appends.
 pub struct Wal {
     file: File,
@@ -31,7 +53,7 @@ pub struct Wal {
 impl Wal {
     /// Open `path` for appending, creating it (with a fresh header) if
     /// missing or empty. Existing contents are validated only by
-    /// [`Wal::replay`]; opening is cheap.
+    /// [`replay`]; opening is cheap.
     pub fn open<S: WireSymbol>(path: &Path) -> Result<Wal, StoreError> {
         let mut file = OpenOptions::new()
             .create(true)
@@ -64,10 +86,22 @@ impl Wal {
     /// Append one committed insert and fsync. `seq` is the item's
     /// global index (== the index count before the insert).
     pub fn append<S: WireSymbol>(&mut self, seq: u64, item: &[S]) -> Result<(), StoreError> {
-        let mut buf = Vec::with_capacity(4 + 8 + 4 + item.len() * S::WIDTH + 4);
+        let mut buf = Vec::with_capacity(4 + 1 + 8 + 4 + item.len() * S::WIDTH + 4);
         encode_entry(&mut buf, seq, item);
+        self.write_entry(&buf)
+    }
+
+    /// Append one committed delete (the tombstoned item's global
+    /// `index`) and fsync.
+    pub fn append_delete(&mut self, index: u64) -> Result<(), StoreError> {
+        let mut buf = Vec::with_capacity(4 + 1 + 8 + 4);
+        encode_delete_entry(&mut buf, index);
+        self.write_entry(&buf)
+    }
+
+    fn write_entry(&mut self, buf: &[u8]) -> Result<(), StoreError> {
         self.file
-            .write_all(&buf)
+            .write_all(buf)
             .map_err(|e| StoreError::io("append wal entry", e))?;
         self.file
             .sync_all()
@@ -107,11 +141,12 @@ fn header<S: WireSymbol>() -> [u8; HEADER_LEN] {
     h
 }
 
-/// Append one `[len][seq][item][crc]` entry to `buf`.
+/// Append one `[len][op=insert][seq][item][crc]` entry to `buf`.
 pub fn encode_entry<S: WireSymbol>(buf: &mut Vec<u8>, seq: u64, item: &[S]) {
     let start = buf.len();
-    let body_len = 8 + 4 + item.len() * S::WIDTH;
+    let body_len = 1 + 8 + 4 + item.len() * S::WIDTH;
     put_u32(buf, body_len as u32);
+    buf.push(OP_INSERT);
     put_u64(buf, seq);
     put_u32(buf, item.len() as u32);
     for &sym in item {
@@ -121,14 +156,26 @@ pub fn encode_entry<S: WireSymbol>(buf: &mut Vec<u8>, seq: u64, item: &[S]) {
     put_u32(buf, crc);
 }
 
-/// Replay a WAL byte buffer into `(seq, item)` pairs.
+/// Append one `[len][op=delete][index][crc]` entry to `buf`.
+pub fn encode_delete_entry(buf: &mut Vec<u8>, index: u64) {
+    let start = buf.len();
+    put_u32(buf, (1 + 8) as u32);
+    buf.push(OP_DELETE);
+    put_u64(buf, index);
+    let crc = crc32(&buf[start..]);
+    put_u32(buf, crc);
+}
+
+/// Replay a WAL byte buffer into its committed ops, in commit order.
 ///
-/// A tail that ends mid-entry — including a length prefix promising
-/// more bytes than the file holds — is treated as a torn final write
-/// and dropped: the entry's fsync never completed, so no client was
-/// ever told it succeeded. A *complete* entry with a CRC mismatch is
-/// corruption and fails typed.
-pub fn replay<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<(u64, Vec<S>)>, StoreError> {
+/// Both WAL versions replay: v1 entries are implicit inserts (no op
+/// byte); v2 entries carry an op byte. A tail that ends mid-entry —
+/// including a length prefix promising more bytes than the file
+/// holds — is treated as a torn final write and dropped: the entry's
+/// fsync never completed, so no client was ever told it succeeded. A
+/// *complete* entry with a CRC mismatch is corruption and fails
+/// typed.
+pub fn replay<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<WalOp<S>>, StoreError> {
     let mut r = Reader::new(bytes);
     if r.take(8).map_err(|_| StoreError::Truncated {
         needed: HEADER_LEN,
@@ -140,7 +187,7 @@ pub fn replay<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<(u64, Vec<S>)>, StoreEr
         });
     }
     let version = r.u8()?;
-    if version != WAL_VERSION {
+    if version != 1 && version != WAL_VERSION {
         return Err(StoreError::BadVersion {
             expected: WAL_VERSION,
             got: version,
@@ -182,21 +229,36 @@ pub fn replay<S: WireSymbol>(bytes: &[u8]) -> Result<Vec<(u64, Vec<S>)>, StoreEr
             return Err(StoreError::Checksum { what: "wal entry" });
         }
         let mut b = Reader::new(body);
-        let seq = b.u64()?;
-        let count = b.u32()? as usize;
-        let sym_bytes = b.take(count.saturating_mul(S::WIDTH))?;
+        let op = if version == 1 { OP_INSERT } else { b.u8()? };
+        let entry = match op {
+            OP_INSERT => {
+                let seq = b.u64()?;
+                let count = b.u32()? as usize;
+                let sym_bytes = b.take(count.saturating_mul(S::WIDTH))?;
+                WalOp::Insert {
+                    seq,
+                    item: sym_bytes.chunks_exact(S::WIDTH).map(S::get).collect(),
+                }
+            }
+            OP_DELETE => WalOp::Delete { index: b.u64()? },
+            other => {
+                return Err(StoreError::Corrupt {
+                    detail: format!("unknown wal op byte {other}"),
+                })
+            }
+        };
         if b.remaining() != 0 {
             return Err(StoreError::Corrupt {
                 detail: format!("{} trailing bytes inside wal entry", b.remaining()),
             });
         }
-        out.push((seq, sym_bytes.chunks_exact(S::WIDTH).map(S::get).collect()));
+        out.push(entry);
     }
 }
 
 /// Read and replay a WAL file from disk. A missing file replays empty
 /// (a fresh data dir has no log yet).
-pub fn replay_file<S: WireSymbol>(path: &Path) -> Result<Vec<(u64, Vec<S>)>, StoreError> {
+pub fn replay_file<S: WireSymbol>(path: &Path) -> Result<Vec<WalOp<S>>, StoreError> {
     let mut bytes = Vec::new();
     match File::open(path) {
         Ok(mut f) => {
@@ -222,10 +284,74 @@ mod tests {
         bytes
     }
 
+    fn inserts(entries: &[(u64, Vec<u32>)]) -> Vec<WalOp<u32>> {
+        entries
+            .iter()
+            .map(|(seq, item)| WalOp::Insert {
+                seq: *seq,
+                item: item.clone(),
+            })
+            .collect()
+    }
+
     #[test]
     fn replay_roundtrips() {
         let entries = vec![(3, vec![1u32, 2, 3]), (4, vec![]), (5, vec![9])];
-        assert_eq!(replay::<u32>(&roundtrip(&entries)).unwrap(), entries);
+        assert_eq!(
+            replay::<u32>(&roundtrip(&entries)).unwrap(),
+            inserts(&entries)
+        );
+    }
+
+    #[test]
+    fn mixed_insert_delete_log_replays_in_commit_order() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&header::<u32>());
+        encode_entry(&mut bytes, 0, &[7u32, 8]);
+        encode_delete_entry(&mut bytes, 0);
+        encode_entry(&mut bytes, 1, &[9u32]);
+        encode_delete_entry(&mut bytes, 5);
+        assert_eq!(
+            replay::<u32>(&bytes).unwrap(),
+            vec![
+                WalOp::Insert {
+                    seq: 0,
+                    item: vec![7, 8],
+                },
+                WalOp::Delete { index: 0 },
+                WalOp::Insert {
+                    seq: 1,
+                    item: vec![9],
+                },
+                WalOp::Delete { index: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn v1_logs_replay_as_implicit_inserts() {
+        // A v1 entry is `[len][seq][item][crc]` with no op byte.
+        let mut bytes = Vec::new();
+        let mut h = header::<u32>();
+        h[8] = 1; // WAL v1
+        bytes.extend_from_slice(&h);
+        let start = bytes.len();
+        let item = [4u32, 5];
+        put_u32(&mut bytes, (8 + 4 + item.len() * 4) as u32);
+        put_u64(&mut bytes, 9);
+        put_u32(&mut bytes, item.len() as u32);
+        for &sym in &item {
+            sym.put(&mut bytes);
+        }
+        let crc = crc32(&bytes[start..]);
+        put_u32(&mut bytes, crc);
+        assert_eq!(
+            replay::<u32>(&bytes).unwrap(),
+            vec![WalOp::Insert {
+                seq: 9,
+                item: vec![4, 5],
+            }]
+        );
     }
 
     #[test]
@@ -237,7 +363,7 @@ mod tests {
         let first_only = roundtrip(&entries[..1]);
         for cut in first_only.len()..bytes.len() {
             let got = replay::<u32>(&bytes[..cut]).unwrap();
-            assert_eq!(got, entries[..1], "cut at {cut}");
+            assert_eq!(got, inserts(&entries[..1]), "cut at {cut}");
         }
     }
 

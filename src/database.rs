@@ -36,6 +36,9 @@ use cned_core::normalized::marzal_vidal::MarzalVidal;
 use cned_core::normalized::simple::{MaxNorm, MinNorm, SumNorm};
 use cned_core::normalized::yujian_bo::YujianBo;
 use cned_core::Symbol;
+use cned_plan::{
+    CacheConfig, CacheHandle, CacheStats, CachedIndex, Plan, PlanConfig, PlannedBackend,
+};
 use cned_search::pivots::select_pivots_max_sum;
 use cned_search::{
     Aesa, Laesa, LinearIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
@@ -48,8 +51,8 @@ use cned_serve::{
     SessionHandle, ShardConfig, ShardedIndex, Ticket,
 };
 use cned_store::{
-    data_dir_initialised, decode_snapshot, encode_snapshot, read_snapshot_meta, write_atomic,
-    Durable, IndexView, SNAPSHOT_FILE, WAL_FILE,
+    data_dir_initialised, decode_snapshot, decode_snapshot_plan, encode_snapshot_with,
+    read_snapshot_meta, write_atomic, Durable, IndexView, SNAPSHOT_FILE, WAL_FILE,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,7 +160,30 @@ pub enum Backend {
     Aesa,
     /// A vantage-point tree.
     VpTree,
+    /// Measure, then choose: a seeded distance sample over the corpus
+    /// prices the linear scan, LAESA (over a pivot ladder) and the
+    /// vp-tree in distance evaluations per query, and the cheapest
+    /// structure wins — shard split included (explicit
+    /// [`DatabaseBuilder::shards`] is ignored; the plan decides).
+    /// Non-metric distances always resolve to [`Backend::Linear`],
+    /// because triangle-inequality pruning would be inadmissible. The
+    /// decision is recorded as a [`Plan`] ([`Database::plan`]) and
+    /// persisted in snapshots, so a warm restart reports the same
+    /// choice it serves. Tune the sampling with
+    /// [`DatabaseBuilder::plan_config`].
+    Auto,
 }
+
+/// Constructor closure that wraps an index with a [`CachedIndex`].
+///
+/// Captured at the [`DatabaseBuilder::cache`] call site — the only
+/// place `S: Hash` is provable — so `build()`, `vacuum()` and the
+/// durable serving paths stay generic over plain [`Symbol`].
+type CacheWrap<S> = Arc<
+    dyn Fn(Box<dyn MetricIndex<S>>, CacheConfig) -> (Box<dyn MetricIndex<S>>, CacheHandle)
+        + Send
+        + Sync,
+>;
 
 /// Builder for [`Database`]; see the module docs for the flow.
 pub struct DatabaseBuilder<S: Symbol + 'static> {
@@ -167,6 +193,8 @@ pub struct DatabaseBuilder<S: Symbol + 'static> {
     backend: Backend,
     shards: usize,
     compact_threshold: usize,
+    plan_config: PlanConfig,
+    cache: Option<(CacheConfig, CacheWrap<S>)>,
 }
 
 impl<S: Symbol + 'static> DatabaseBuilder<S> {
@@ -214,6 +242,43 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
         self
     }
 
+    /// Tuning knobs for [`Backend::Auto`] planning (sample size, pivot
+    /// ladder ceiling, shard target, seed). No effect on explicit
+    /// backends.
+    pub fn plan_config(mut self, config: PlanConfig) -> DatabaseBuilder<S> {
+        self.plan_config = config;
+        self
+    }
+
+    /// Put an exact hot-query result cache in front of the index, with
+    /// the default [`CacheConfig`] — see [`cned_plan::cache`] for the
+    /// semantics. Answers (statistics included) stay bit-identical;
+    /// repeated queries replay from the cache and near-duplicate
+    /// queries get an admissible radius seed. The cache follows the
+    /// database into sessions and served deployments, and every
+    /// insert/delete barrier flushes it, so a stale answer is never
+    /// served. Inspect with [`Database::cache_stats`].
+    pub fn cache(self) -> DatabaseBuilder<S>
+    where
+        S: std::hash::Hash,
+    {
+        self.cache_with(CacheConfig::default())
+    }
+
+    /// [`DatabaseBuilder::cache`] with explicit knobs.
+    pub fn cache_with(mut self, config: CacheConfig) -> DatabaseBuilder<S>
+    where
+        S: std::hash::Hash,
+    {
+        let wrap: CacheWrap<S> = Arc::new(|index, cfg| {
+            let cached = CachedIndex::new(index, cfg);
+            let handle = cached.handle();
+            (Box::new(cached) as Box<dyn MetricIndex<S>>, handle)
+        });
+        self.cache = Some((config, wrap));
+        self
+    }
+
     /// Build the index and pair it with the metric.
     pub fn build(self) -> Result<Database<S>, SearchError> {
         let DatabaseBuilder {
@@ -223,7 +288,21 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
             backend,
             shards,
             compact_threshold,
+            plan_config,
+            cache,
         } = self;
+        let (backend, shards, plan) = match backend {
+            Backend::Auto => {
+                let plan = cned_plan::plan(&items, &*metric, &plan_config);
+                let resolved = match plan.backend {
+                    PlannedBackend::Linear => Backend::Linear,
+                    PlannedBackend::Laesa { pivots } => Backend::Laesa { pivots },
+                    PlannedBackend::VpTree => Backend::VpTree,
+                };
+                (resolved, plan.shards.max(1), Some(plan))
+            }
+            explicit => (explicit, shards, None),
+        };
         let index: Box<dyn MetricIndex<S>> = if shards > 1 {
             let Backend::Laesa { pivots } = backend else {
                 return Err(SearchError::UnsupportedConfig {
@@ -246,12 +325,24 @@ impl<S: Symbol + 'static> DatabaseBuilder<S> {
                 }
                 Backend::Aesa => Box::new(Aesa::build(items, &*metric)),
                 Backend::VpTree => Box::new(VpTree::build(items, &*metric)),
+                Backend::Auto => unreachable!("Auto resolved to a concrete backend above"),
             }
+        };
+        let (index, cache_wrap, cache) = match cache {
+            Some((config, wrap)) => {
+                let (wrapped, handle) = wrap(index, config.clone());
+                (wrapped, Some((config, wrap)), Some(handle))
+            }
+            None => (index, None, None),
         };
         Ok(Database {
             metric,
             metric_tag,
             index,
+            plan,
+            plan_config,
+            cache_wrap,
+            cache,
         })
     }
 }
@@ -265,11 +356,33 @@ pub struct Database<S: Symbol + 'static> {
     /// persistable identity. `None` for custom metrics.
     metric_tag: Option<Metric>,
     index: Box<dyn MetricIndex<S>>,
+    /// The planner's decision record, under [`Backend::Auto`] or
+    /// recovered from a snapshot that persisted one.
+    plan: Option<Plan>,
+    plan_config: PlanConfig,
+    /// Cache config + re-wrap constructor, kept so serving paths and
+    /// vacuum rebuilds can re-apply the cache around a new index.
+    cache_wrap: Option<(CacheConfig, CacheWrap<S>)>,
+    /// Counter view of the active cache, if one is configured.
+    cache: Option<CacheHandle>,
+}
+
+/// Everything a [`Database`] carries besides the index — split off so
+/// session/server/replica handles can hold it while the index is away
+/// serving, and reassemble the database on shutdown.
+struct DatabaseParts<S: Symbol + 'static> {
+    metric: Arc<dyn Distance<S>>,
+    metric_tag: Option<Metric>,
+    plan: Option<Plan>,
+    plan_config: PlanConfig,
+    cache_wrap: Option<(CacheConfig, CacheWrap<S>)>,
+    cache: Option<CacheHandle>,
 }
 
 impl<S: Symbol + 'static> Database<S> {
     /// Start building a database over `items`. Defaults:
-    /// [`Metric::Levenshtein`], [`Backend::Linear`], no sharding.
+    /// [`Metric::Levenshtein`], [`Backend::Linear`], no sharding, no
+    /// cache.
     pub fn builder(items: Vec<Vec<S>>) -> DatabaseBuilder<S> {
         DatabaseBuilder {
             items,
@@ -278,6 +391,51 @@ impl<S: Symbol + 'static> Database<S> {
             backend: Backend::Linear,
             shards: 1,
             compact_threshold: ShardConfig::default().compact_threshold,
+            plan_config: PlanConfig::default(),
+            cache: None,
+        }
+    }
+
+    fn into_parts(self) -> (DatabaseParts<S>, Box<dyn MetricIndex<S>>) {
+        let Database {
+            metric,
+            metric_tag,
+            index,
+            plan,
+            plan_config,
+            cache_wrap,
+            cache,
+        } = self;
+        (
+            DatabaseParts {
+                metric,
+                metric_tag,
+                plan,
+                plan_config,
+                cache_wrap,
+                cache,
+            },
+            index,
+        )
+    }
+
+    fn from_parts(parts: DatabaseParts<S>, index: Box<dyn MetricIndex<S>>) -> Database<S> {
+        let DatabaseParts {
+            metric,
+            metric_tag,
+            plan,
+            plan_config,
+            cache_wrap,
+            cache,
+        } = parts;
+        Database {
+            metric,
+            metric_tag,
+            index,
+            plan,
+            plan_config,
+            cache_wrap,
+            cache,
         }
     }
 
@@ -305,6 +463,86 @@ impl<S: Symbol + 'static> Database<S> {
     /// The item at index `i` (result indices address this).
     pub fn item(&self, i: usize) -> Option<&[S]> {
         self.index.item(i)
+    }
+
+    /// Append `item`, returning its assigned index. Requires an
+    /// insertable backend ([`Backend::Linear`] or a sharded build);
+    /// anything else refuses with a typed error. The in-process
+    /// counterpart of submitting [`Request::Insert`] to a session —
+    /// and, like it, a barrier that flushes any configured cache.
+    pub fn insert(&mut self, item: Vec<S>) -> Result<usize, SearchError> {
+        let metric = Arc::clone(&self.metric);
+        self.index
+            .as_insertable()
+            .ok_or(SearchError::UnsupportedConfig {
+                reason: "this backend does not support inserts",
+            })?
+            .insert(item, &*metric)
+    }
+
+    /// Tombstone item `i`: it stops appearing in any query answer but
+    /// keeps its slot, so surviving indices never shift. Returns
+    /// whether the item was live (`false` for an index already
+    /// deleted); an out-of-range index is a typed error. Requires a
+    /// backend with delete support ([`Backend::Linear`],
+    /// [`Backend::Laesa`], or a sharded build).
+    pub fn delete(&mut self, index: usize) -> Result<bool, SearchError> {
+        self.index.delete(index)
+    }
+
+    /// Number of tombstoned (logically deleted) items still occupying
+    /// slots. [`Database::len`] counts them; queries never return them.
+    pub fn deleted(&self) -> usize {
+        self.index.deleted()
+    }
+
+    /// Whether item `i` is tombstoned ([`Database::delete`]). `false`
+    /// for live items and out-of-range indices.
+    pub fn is_deleted(&self, i: usize) -> bool {
+        self.index.is_deleted(i)
+    }
+
+    /// The planner's decision record, when this database was built
+    /// with [`Backend::Auto`] (or recovered from a snapshot carrying
+    /// one); `None` for explicit backends. [`Plan::report`] renders it
+    /// for humans.
+    pub fn plan(&self) -> Option<&Plan> {
+        self.plan.as_ref()
+    }
+
+    /// Hot-query cache counters, when a cache is configured
+    /// ([`DatabaseBuilder::cache`]); `None` otherwise.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(CacheHandle::stats)
+    }
+
+    /// Physically drop tombstoned items: rebuild the same kind of
+    /// index (metric, backend shape, shard split, cache) over the
+    /// surviving items only. Survivors are **renumbered** to
+    /// `0..live` in their original order — the one operation that
+    /// invalidates previously returned result indices, which is why it
+    /// is explicit. Afterwards, answers are bit-identical to a fresh
+    /// build over the surviving corpus. A database built with
+    /// [`Backend::Auto`] re-plans for the surviving corpus.
+    pub fn vacuum(self) -> Result<Database<S>, SearchError> {
+        let shape = if self.plan.is_some() {
+            (Backend::Auto, 1)
+        } else {
+            backend_shape(&*self.index)?
+        };
+        let survivors: Vec<Vec<S>> = (0..self.index.len())
+            .filter(|&i| !self.index.is_deleted(i))
+            .filter_map(|i| self.index.item(i).map(<[S]>::to_vec))
+            .collect();
+        let (parts, _) = self.into_parts();
+        let mut builder = Database::builder(survivors)
+            .backend(shape.0)
+            .shards(shape.1)
+            .plan_config(parts.plan_config);
+        builder.metric = Arc::clone(&parts.metric);
+        builder.metric_tag = parts.metric_tag;
+        builder.cache = parts.cache_wrap;
+        builder.build()
     }
 
     /// Nearest neighbour of `query`.
@@ -392,11 +630,47 @@ impl<S: Symbol + 'static> Database<S> {
 
     /// [`Database::session`] with explicit knobs (admission depth).
     pub fn session_with(self, config: SessionConfig) -> DatabaseSession<S> {
+        let (parts, index) = self.into_parts();
+        let metric = Arc::clone(&parts.metric);
         DatabaseSession {
-            metric: Arc::clone(&self.metric),
-            metric_tag: self.metric_tag,
-            session: ServeSession::spawn_with(self.index, Arc::clone(&self.metric), config),
+            parts,
+            session: ServeSession::spawn_with(index, metric, config),
         }
+    }
+}
+
+/// Recover the concrete backend shape (for a [`Database::vacuum`]
+/// rebuild) from a running index, via the persistence downcast for
+/// the parameterised backends and the backend label for the rest.
+fn backend_shape<S: Symbol + 'static>(
+    index: &dyn MetricIndex<S>,
+) -> Result<(Backend, usize), SearchError> {
+    if let Some(any) = index.as_any() {
+        if let Some(laesa) = any.downcast_ref::<Laesa<S>>() {
+            return Ok((
+                Backend::Laesa {
+                    pivots: laesa.pivots().len(),
+                },
+                1,
+            ));
+        }
+        if let Some(sharded) = any.downcast_ref::<ShardedIndex<S>>() {
+            let config = sharded.config();
+            return Ok((
+                Backend::Laesa {
+                    pivots: config.pivots_per_shard,
+                },
+                config.shards,
+            ));
+        }
+    }
+    match index.backend_name() {
+        "linear" => Ok((Backend::Linear, 1)),
+        "aesa" => Ok((Backend::Aesa, 1)),
+        "vptree" => Ok((Backend::VpTree, 1)),
+        _ => Err(SearchError::UnsupportedConfig {
+            reason: "cannot infer a rebuild shape for this backend",
+        }),
     }
 }
 
@@ -436,38 +710,59 @@ impl<S: WireSymbol + 'static> Database<S> {
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle<S>> {
         let Some(dir) = config.data_dir.clone() else {
+            let (parts, index) = self.into_parts();
+            let metric = Arc::clone(&parts.metric);
             return Ok(ServerHandle {
-                metric: Arc::clone(&self.metric),
-                metric_tag: self.metric_tag,
-                server: Server::bind_with(addr, self.index, Arc::clone(&self.metric), config)?,
+                server: Server::bind_with(addr, index, metric, config)?,
+                parts,
             });
         };
-        let (durable, metric, metric_tag) = if data_dir_initialised(&dir) {
-            // Disk wins: the persisted state (metric included) is the
-            // authority; `self`'s contents are discarded.
+        let (mut parts, index) = self.into_parts();
+        let durable = if data_dir_initialised(&dir) {
+            // Disk wins: the persisted state (metric and plan
+            // included) is the authority; `self`'s contents are
+            // discarded.
             let (durable, tag, dist) = recover_dir::<S>(&dir, config.snapshot_every)?;
-            (durable, dist, Some(tag))
+            parts.metric = dist;
+            parts.metric_tag = Some(tag);
+            parts.plan = durable.plan().and_then(|b| Plan::from_bytes(b).ok());
+            durable
         } else {
-            let tag = self.metric_tag.ok_or_else(|| {
+            let tag = parts.metric_tag.ok_or_else(|| {
                 invalid_input("custom metrics cannot be persisted; build with a named Metric")
             })?;
-            let view = IndexView::of(&*self.index).ok_or_else(|| {
+            let view = IndexView::of(&*index).ok_or_else(|| {
                 invalid_input("only the linear, laesa and sharded backends can be persisted")
             })?;
+            let plan_bytes = parts.plan.as_ref().map(Plan::to_bytes);
             // Encode-then-decode to obtain the owned StoredIndex the
             // durable wrapper needs from the borrowed trait object.
-            let bytes = encode_snapshot(tag.codes(), &view);
+            let bytes = encode_snapshot_with(tag.codes(), &view, plan_bytes.as_deref());
             let (_, owned) = decode_snapshot::<S>(&bytes).map_err(invalid_data)?;
-            let durable = Durable::create(&dir, tag.codes(), owned, config.snapshot_every)
+            let mut durable = Durable::create(&dir, tag.codes(), owned, config.snapshot_every)
                 .map_err(invalid_data)?;
-            (durable, Arc::clone(&self.metric), Some(tag))
+            if plan_bytes.is_some() {
+                // Re-snapshot so the plan is on disk from the first
+                // restart, not only after the first checkpoint.
+                durable.set_plan(plan_bytes);
+                durable.snapshot().map_err(invalid_data)?;
+            }
+            durable
         };
         let hub: Arc<dyn ReplicaHub<S>> = Arc::new(durable.hub());
-        let index: Box<dyn MetricIndex<S>> = Box::new(durable);
+        let mut served: Box<dyn MetricIndex<S>> = Box::new(durable);
+        // Re-apply the hot-query cache around the durable wrapper; the
+        // one built around the in-memory index was discarded with it.
+        parts.cache = None;
+        if let Some((cache_config, wrap)) = &parts.cache_wrap {
+            let (wrapped, handle) = wrap(served, cache_config.clone());
+            served = wrapped;
+            parts.cache = Some(handle);
+        }
+        let metric = Arc::clone(&parts.metric);
         Ok(ServerHandle {
-            metric: Arc::clone(&metric),
-            metric_tag,
-            server: Server::bind_replicated(addr, index, metric, config, Some(hub))?,
+            server: Server::bind_replicated(addr, served, metric, config, Some(hub))?,
+            parts,
         })
     }
 
@@ -486,7 +781,8 @@ impl<S: WireSymbol + 'static> Database<S> {
         let view = IndexView::of(&*self.index).ok_or(SearchError::UnsupportedConfig {
             reason: "only the linear, laesa and sharded backends can be persisted",
         })?;
-        let bytes = encode_snapshot(tag.codes(), &view);
+        let plan_bytes = self.plan.as_ref().map(Plan::to_bytes);
+        let bytes = encode_snapshot_with(tag.codes(), &view, plan_bytes.as_deref());
         write_atomic(path.as_ref(), &bytes).map_err(SearchError::from)
     }
 
@@ -497,7 +793,7 @@ impl<S: WireSymbol + 'static> Database<S> {
         let bytes = std::fs::read(path.as_ref()).map_err(|e| SearchError::Persistence {
             reason: format!("read snapshot: {e}"),
         })?;
-        let (meta, index) = decode_snapshot::<S>(&bytes)?;
+        let (meta, index, plan_bytes) = decode_snapshot_plan::<S>(&bytes)?;
         let tag = Metric::from_codes(meta.metric_code, meta.metric_flag).ok_or_else(|| {
             SearchError::Persistence {
                 reason: format!(
@@ -514,6 +810,12 @@ impl<S: WireSymbol + 'static> Database<S> {
                 cned_store::StoredIndex::Laesa(i) => Box::new(i),
                 cned_store::StoredIndex::Sharded(i) => Box::new(i),
             },
+            // A plan from a newer build (unknown version) degrades to
+            // "no plan" rather than refusing the whole snapshot.
+            plan: plan_bytes.as_deref().and_then(|b| Plan::from_bytes(b).ok()),
+            plan_config: PlanConfig::default(),
+            cache_wrap: None,
+            cache: None,
         })
     }
 
@@ -574,10 +876,8 @@ impl<S: WireSymbol + 'static> Database<S> {
                         resp.body
                     )));
                 }
-                ReplicaFrame::Insert { .. } => {
-                    return Err(invalid_data(
-                        "insert frame before the sync stream completed",
-                    ));
+                ReplicaFrame::Insert { .. } | ReplicaFrame::Delete { .. } => {
+                    return Err(invalid_data("write frame before the sync stream completed"));
                 }
             }
         }
@@ -602,21 +902,37 @@ impl<S: WireSymbol + 'static> Database<S> {
         };
 
         // Apply the log tail; overlap with local state is expected
-        // (dedupe by sequence number), a gap is a protocol violation.
-        for (seq, item) in outcome.items {
-            let len = MetricIndex::len(&durable) as u64;
-            if seq < len {
-                continue;
+        // (inserts dedupe by sequence number, deletes are idempotent),
+        // a gap is a protocol violation.
+        for op in outcome.items {
+            match op {
+                cned_store::WalOp::Insert { seq, item } => {
+                    let len = MetricIndex::len(&durable) as u64;
+                    if seq < len {
+                        continue;
+                    }
+                    if seq > len {
+                        return Err(invalid_data(format!(
+                            "sync gap: tail starts at {seq}, replica holds {len} items"
+                        )));
+                    }
+                    durable.insert(item, &*dist).map_err(invalid_data)?;
+                }
+                cned_store::WalOp::Delete { index } => {
+                    let index = usize::try_from(index)
+                        .map_err(|_| invalid_data("delete index exceeds the address space"))?;
+                    if index >= MetricIndex::len(&durable) {
+                        return Err(invalid_data(format!(
+                            "sync delete targets index {index} past the replica's items"
+                        )));
+                    }
+                    durable.delete(index).map_err(invalid_data)?;
+                }
             }
-            if seq > len {
-                return Err(invalid_data(format!(
-                    "sync gap: tail starts at {seq}, replica holds {len} items"
-                )));
-            }
-            durable.insert(item, &*dist).map_err(invalid_data)?;
         }
 
         let applied = Arc::new(AtomicU64::new(MetricIndex::len(&durable) as u64));
+        let plan = durable.plan().and_then(|b| Plan::from_bytes(b).ok());
         let hub: Arc<dyn ReplicaHub<S>> = Arc::new(durable.hub());
         let index: Box<dyn MetricIndex<S>> = Box::new(durable);
         let server = Server::bind_replicated(
@@ -636,8 +952,14 @@ impl<S: WireSymbol + 'static> Database<S> {
                 .expect("spawning the replica applier thread")
         };
         Ok(ReplicaHandle {
-            metric: dist,
-            metric_tag: Some(tag),
+            parts: Some(DatabaseParts {
+                metric: dist,
+                metric_tag: Some(tag),
+                plan,
+                plan_config: PlanConfig::default(),
+                cache_wrap: None,
+                cache: None,
+            }),
             server: Some(server),
             feed,
             applier: Some(applier),
@@ -669,8 +991,9 @@ fn recover_dir<S: WireSymbol + 'static>(
     Ok((durable, tag, dist))
 }
 
-/// The replica's applier loop: stream `RESP_REPL_INSERT` frames from
-/// the primary into the local session, deduping by sequence number.
+/// The replica's applier loop: stream `RESP_REPL_INSERT` and
+/// `RESP_REPL_DELETE` frames from the primary into the local session,
+/// deduping inserts by sequence number (deletes are idempotent).
 /// Exits on connection loss, session shutdown, or any protocol
 /// violation — the replica then simply stops advancing (and a restart
 /// re-syncs from the primary).
@@ -688,21 +1011,34 @@ fn apply_stream<S: WireSymbol + 'static>(
         let Ok(frame) = wire::decode_replica_frame::<S>(&buf) else {
             return;
         };
-        let ReplicaFrame::Insert { seq, item } = frame else {
-            // Stray response frames (e.g. a late error) are ignored.
-            continue;
+        let request = match frame {
+            ReplicaFrame::Insert { seq, item } => {
+                let have = applied.load(Ordering::Acquire);
+                if seq < have {
+                    continue; // overlap with the catch-up payload
+                }
+                if seq > have {
+                    return; // gap — never apply out of order
+                }
+                Request::Insert { item }
+            }
+            ReplicaFrame::Delete { index } => {
+                // The primary publishes a delete only after the insert
+                // it targets, and the stream is ordered, so the target
+                // must already be here. Past-the-end means we lost sync.
+                if index >= applied.load(Ordering::Acquire) {
+                    return;
+                }
+                Request::Delete {
+                    index: index as usize,
+                }
+            }
+            _ => continue, // stray response frames (e.g. a late error)
         };
-        let have = applied.load(Ordering::Acquire);
-        if seq < have {
-            continue; // overlap with the catch-up payload
-        }
-        if seq > have {
-            return; // gap — never apply out of order
-        }
-        // Submit through the session so the insert takes the same
+        // Submit through the session so the write takes the same
         // barrier path as any other; retry briefly on backpressure.
         let ticket = loop {
-            match session.submit(Request::Insert { item: item.clone() }) {
+            match session.submit(request.clone()) {
                 Ok(t) => break t,
                 Err(SearchError::Overloaded { .. }) => {
                     std::thread::sleep(std::time::Duration::from_millis(1));
@@ -710,10 +1046,17 @@ fn apply_stream<S: WireSymbol + 'static>(
                 Err(_) => return, // shutting down
             }
         };
-        match ticket.wait().body {
-            ResponseBody::Inserted { index } if index as u64 == seq => {
+        match (&request, ticket.wait().body) {
+            (Request::Insert { .. }, ResponseBody::Inserted { index }) => {
+                let seq = index as u64;
+                if seq != applied.load(Ordering::Acquire) {
+                    return;
+                }
                 applied.store(seq + 1, Ordering::Release);
             }
+            // `existed: false` is fine — the delete may already have
+            // arrived folded into the catch-up payload.
+            (Request::Delete { .. }, ResponseBody::Deleted { .. }) => {}
             _ => return,
         }
     }
@@ -734,8 +1077,7 @@ fn wire_io(e: cned_serve::WireError) -> std::io::Error {
 /// A [`Database`] being served in-process through the session/ticket
 /// API (see [`Database::session`]).
 pub struct DatabaseSession<S: Symbol + 'static> {
-    metric: Arc<dyn Distance<S>>,
-    metric_tag: Option<Metric>,
+    parts: DatabaseParts<S>,
     session: ServeSession<S, Box<dyn MetricIndex<S>>>,
 }
 
@@ -752,25 +1094,22 @@ impl<S: Symbol + 'static> DatabaseSession<S> {
         self.session.pending()
     }
 
+    /// Hot-query cache counters, when the database was built with a
+    /// cache ([`DatabaseBuilder::cache`]).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.parts.cache.as_ref().map(CacheHandle::stats)
+    }
+
     /// Drain in-flight work and reassemble the [`Database`].
     pub fn shutdown(self) -> Database<S> {
-        let DatabaseSession {
-            metric,
-            metric_tag,
-            session,
-        } = self;
-        Database {
-            index: session.shutdown(),
-            metric,
-            metric_tag,
-        }
+        let DatabaseSession { parts, session } = self;
+        Database::from_parts(parts, session.shutdown())
     }
 }
 
 /// A [`Database`] being served over TCP (see [`Database::serve`]).
 pub struct ServerHandle<S: WireSymbol + 'static> {
-    metric: Arc<dyn Distance<S>>,
-    metric_tag: Option<Metric>,
+    parts: DatabaseParts<S>,
     server: Server<S, Box<dyn MetricIndex<S>>>,
 }
 
@@ -786,21 +1125,27 @@ impl<S: WireSymbol + 'static> ServerHandle<S> {
         self.server.session()
     }
 
+    /// The planner's decision record behind this server, when there is
+    /// one (built with [`Backend::Auto`] or recovered from a snapshot
+    /// carrying a plan).
+    pub fn plan(&self) -> Option<&Plan> {
+        self.parts.plan.as_ref()
+    }
+
+    /// Hot-query cache counters for the serving index, when the
+    /// database was built with a cache ([`DatabaseBuilder::cache`]).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.parts.cache.as_ref().map(CacheHandle::stats)
+    }
+
     /// Stop accepting, drain connections and in-flight work, and
     /// reassemble the [`Database`]. When the server was started with a
-    /// data dir, the returned index is still the durable wrapper: its
-    /// drop (or the next snapshot) persists any WAL tail.
+    /// data dir, the returned index is still the durable wrapper
+    /// (under the cache, when one is configured): its drop (or the
+    /// next snapshot) persists any WAL tail.
     pub fn shutdown(self) -> Database<S> {
-        let ServerHandle {
-            metric,
-            metric_tag,
-            server,
-        } = self;
-        Database {
-            index: server.shutdown(),
-            metric,
-            metric_tag,
-        }
+        let ServerHandle { parts, server } = self;
+        Database::from_parts(parts, server.shutdown())
     }
 }
 
@@ -808,8 +1153,7 @@ impl<S: WireSymbol + 'static> ServerHandle<S> {
 /// over a locally durable copy of the primary, plus the applier thread
 /// streaming the primary's inserts into it.
 pub struct ReplicaHandle<S: WireSymbol + 'static> {
-    metric: Arc<dyn Distance<S>>,
-    metric_tag: Option<Metric>,
+    parts: Option<DatabaseParts<S>>,
     server: Option<Server<S, Box<dyn MetricIndex<S>>>>,
     /// Our clone of the primary connection; shutting it down unblocks
     /// the applier's blocking read.
@@ -840,14 +1184,9 @@ impl<S: WireSymbol + 'static> ReplicaHandle<S> {
     pub fn shutdown(mut self) -> Database<S> {
         self.stop_feed();
         let server = self.server.take().expect("server present until shutdown");
-        let metric = Arc::clone(&self.metric);
-        let metric_tag = self.metric_tag;
+        let parts = self.parts.take().expect("parts present until shutdown");
         drop(self);
-        Database {
-            metric,
-            metric_tag,
-            index: server.shutdown(),
-        }
+        Database::from_parts(parts, server.shutdown())
     }
 
     fn stop_feed(&mut self) {
@@ -995,6 +1334,141 @@ mod tests {
         assert!(db.is_empty());
         assert_eq!(db.nn(b"x").unwrap_err(), SearchError::EmptyDatabase);
         assert_eq!(db.range(b"x", 1.0).unwrap_err(), SearchError::EmptyDatabase);
+    }
+
+    /// A corpus large enough for the planner to sample (clustered, so
+    /// pruning backends win) — `i` perturbs a handful of base words.
+    fn clustered(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let mut w = [&b"casa"[..], b"cosa", b"masa", b"taza"][i % 4].to_vec();
+                w.push(b'a' + (i % 26) as u8);
+                if i % 3 == 0 {
+                    w.push(b'a' + (i / 26 % 26) as u8);
+                }
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn auto_backend_records_a_plan_and_matches_its_concrete_twin() {
+        let auto = Database::builder(clustered(300))
+            .backend(Backend::Auto)
+            .build()
+            .unwrap();
+        let plan = auto.plan().expect("Auto records a plan").clone();
+        let twin = Database::builder(clustered(300))
+            .backend(match plan.backend {
+                PlannedBackend::Linear => Backend::Linear,
+                PlannedBackend::Laesa { pivots } => Backend::Laesa { pivots },
+                PlannedBackend::VpTree => Backend::VpTree,
+            })
+            .shards(plan.shards.max(1))
+            .build()
+            .unwrap();
+        for q in [&b"casaq"[..], b"tazaxx", b"zzzz"] {
+            let (a, sa) = auto.nn(q).unwrap();
+            let (t, st) = twin.nn(q).unwrap();
+            let (a, t) = (a.unwrap(), t.unwrap());
+            assert_eq!(
+                (a.index, a.distance.to_bits()),
+                (t.index, t.distance.to_bits())
+            );
+            assert_eq!(sa, st, "identical structure, identical work");
+        }
+        assert!(plan.report().contains("backend"), "report names the choice");
+    }
+
+    #[test]
+    fn auto_forces_linear_for_non_metric_distances() {
+        let db = Database::builder(clustered(300))
+            .metric(Metric::MaxNorm)
+            .backend(Backend::Auto)
+            .build()
+            .unwrap();
+        assert_eq!(db.plan().unwrap().backend, PlannedBackend::Linear);
+        assert_eq!(db.index().backend_name(), "linear");
+    }
+
+    #[test]
+    fn cached_facade_replays_hits_and_flushes_on_delete() {
+        let mut db = Database::builder(words()).cache().build().unwrap();
+        let (first, s1) = db.nn(b"cesa").unwrap();
+        let (again, s2) = db.nn(b"cesa").unwrap();
+        assert_eq!(
+            (first.unwrap().index, first.unwrap().distance.to_bits()),
+            (again.unwrap().index, again.unwrap().distance.to_bits())
+        );
+        assert_eq!(s1, s2, "a hit replays the stored statistics too");
+        let stats = db.cache_stats().expect("cache configured");
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The delete barrier flushes: the dead item vanishes from the
+        // recomputed answer instead of being replayed stale.
+        let dead = first.unwrap().index;
+        assert!(db.delete(dead).unwrap());
+        let (after, _) = db.nn(b"cesa").unwrap();
+        assert_ne!(after.unwrap().index, dead, "no stale cached answer");
+        assert!(db.cache_stats().unwrap().invalidations >= 1);
+    }
+
+    #[test]
+    fn vacuum_matches_a_fresh_build_of_the_survivors() {
+        let mut db = Database::builder(words())
+            .backend(Backend::Laesa { pivots: 2 })
+            .build()
+            .unwrap();
+        assert!(db.delete(1).unwrap());
+        assert!(db.delete(4).unwrap());
+        assert!(db.is_deleted(1) && !db.is_deleted(0));
+        let survivors: Vec<Vec<u8>> = words()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1 && *i != 4)
+            .map(|(_, w)| w)
+            .collect();
+        let vacuumed = db.vacuum().unwrap();
+        assert_eq!((vacuumed.len(), vacuumed.deleted()), (4, 0));
+        let fresh = Database::builder(survivors)
+            .backend(Backend::Laesa { pivots: 2 })
+            .build()
+            .unwrap();
+        for q in [&b"casa"[..], b"cesa", b"pasta"] {
+            let (v, sv) = vacuumed.nn(q).unwrap();
+            let (f, sf) = fresh.nn(q).unwrap();
+            let (v, f) = (v.unwrap(), f.unwrap());
+            assert_eq!(
+                (v.index, v.distance.to_bits()),
+                (f.index, f.distance.to_bits())
+            );
+            assert_eq!(sv, sf, "vacuum is indistinguishable from a fresh build");
+        }
+    }
+
+    #[test]
+    fn auto_plan_survives_save_and_load() {
+        let path = std::env::temp_dir().join(format!("cned-planload-{}.cned", std::process::id()));
+        let db = Database::builder(clustered(300))
+            .backend(Backend::Auto)
+            .build()
+            .unwrap();
+        let saved_plan = db.plan().expect("Auto records a plan").clone();
+        db.save(&path).unwrap();
+        let loaded = Database::<u8>::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            loaded.plan(),
+            Some(&saved_plan),
+            "warm restart reports the decision it serves"
+        );
+        let (a, sa) = db.nn(b"casaq").unwrap();
+        let (b, sb) = loaded.nn(b"casaq").unwrap();
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(
+            (a.index, a.distance.to_bits()),
+            (b.index, b.distance.to_bits())
+        );
+        assert_eq!(sa, sb);
     }
 
     #[test]

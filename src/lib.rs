@@ -49,6 +49,10 @@
 //!   bound propagation and rebalancing, the session/ticket front-end
 //!   ([`Database::session`]), and the TCP wire protocol
 //!   ([`Database::serve`] / [`Client`]), all generic over the trait.
+//! * [`plan`] — the decision layer: [`Backend::Auto`] planning from a
+//!   seeded distance sample (backend, pivot count, shard split — with
+//!   an inspectable [`Plan`] report), and the exact hot-query result
+//!   cache behind [`DatabaseBuilder::cache`].
 //! * [`datasets`] — synthetic stand-ins for the paper's three
 //!   benchmarks: a Spanish-like dictionary, DNA gene sequences, and
 //!   handwritten-digit contour chain codes.
@@ -94,6 +98,7 @@
 pub use cned_classify as classify;
 pub use cned_core as core;
 pub use cned_datasets as datasets;
+pub use cned_plan as plan;
 pub use cned_search as search;
 pub use cned_serve as serve;
 pub use cned_stats as stats;
@@ -101,6 +106,7 @@ pub use cned_store as store;
 
 mod database;
 
+pub use cned_plan::{CacheConfig, CacheStats, Plan, PlanConfig};
 pub use cned_search::{
     InsertableIndex, MetricIndex, Neighbour, QueryOptions, SearchError, SearchStats,
 };

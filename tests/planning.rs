@@ -1,0 +1,174 @@
+//! Property tests for the decision layer: the hot-query cache must be
+//! invisible except in cost (no stale answer survives an insert/delete
+//! barrier), and tombstoned deletes — with or without a vacuum — must
+//! answer exactly like a fresh build over the surviving corpus, for
+//! every metric × backend shape the serving stack supports.
+
+use cned::{Backend, Database, Metric, Neighbour};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn word() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(97u8..=122, 0..=8)
+}
+
+/// Bit-exact comparison key for an answer set.
+fn key(ns: &[Neighbour]) -> Vec<(usize, u64)> {
+    ns.iter().map(|n| (n.index, n.distance.to_bits())).collect()
+}
+
+/// `key`, with indices renumbered through `map` (tombstoned database
+/// vs fresh build of the survivors). Canonical order is
+/// `(distance, index)` and the survivor map is monotone, so mapped
+/// answers must match the fresh ones exactly.
+fn mapped_key(ns: &[Neighbour], map: &BTreeMap<usize, usize>) -> Vec<(usize, u64)> {
+    ns.iter()
+        .map(|n| (map[&n.index], n.distance.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleave queries, inserts and deletes through a cached
+    /// database and an uncached twin: every answer must be
+    /// bit-identical. The write barrier is what makes this hold — a
+    /// cached entry may only be replayed while the corpus is
+    /// untouched.
+    #[test]
+    fn cache_never_serves_a_stale_answer(
+        corpus in proptest::collection::vec(word(), 4..=16),
+        ops in proptest::collection::vec((0u8..=4, word(), 0u16..1024), 1..=40),
+    ) {
+        let mut cached = Database::builder(corpus.clone()).cache().build().unwrap();
+        let mut plain = Database::builder(corpus).build().unwrap();
+        for (kind, w, sel) in ops {
+            let sel = sel as usize;
+            // Bias queries towards existing items so cache hits and
+            // near-duplicate radius seeds actually occur.
+            let q = if sel.is_multiple_of(2) {
+                w.clone()
+            } else {
+                plain.item(sel % plain.len()).unwrap().to_vec()
+            };
+            match kind {
+                0 => {
+                    let a = cached.insert(w.clone()).unwrap();
+                    let b = plain.insert(w).unwrap();
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    let i = sel % plain.len();
+                    prop_assert_eq!(cached.delete(i).unwrap(), plain.delete(i).unwrap());
+                }
+                2 => {
+                    let (a, _) = cached.nn(&q).unwrap();
+                    let (b, _) = plain.nn(&q).unwrap();
+                    prop_assert_eq!(
+                        a.map(|n| (n.index, n.distance.to_bits())),
+                        b.map(|n| (n.index, n.distance.to_bits()))
+                    );
+                }
+                3 => {
+                    let k = sel % 4 + 1;
+                    let (a, _) = cached.knn(&q, k).unwrap();
+                    let (b, _) = plain.knn(&q, k).unwrap();
+                    prop_assert_eq!(key(&a), key(&b));
+                }
+                _ => {
+                    let r = (sel % 5) as f64 * 0.75;
+                    let (a, _) = cached.range(&q, r).unwrap();
+                    let (b, _) = plain.range(&q, r).unwrap();
+                    prop_assert_eq!(key(&a), key(&b));
+                }
+            }
+        }
+        // Deletes always flushed; queries may or may not have hit.
+        prop_assert!(cached.cache_stats().is_some());
+    }
+
+    /// Tombstoned answers (indices mapped through the survivor
+    /// renumbering) and a post-vacuum rebuild must both be
+    /// bit-identical to a fresh build over the surviving corpus —
+    /// across metrics (`d_E`, `d_YB`, `d_C,h`) and backend shapes
+    /// (linear, LAESA, sharded LAESA with delta compaction).
+    #[test]
+    fn deletes_answer_like_a_fresh_build_of_the_survivors(
+        corpus in proptest::collection::vec(word(), 6..=14),
+        kills in proptest::collection::vec(0u16..1024, 0..=5),
+        extras in proptest::collection::vec(word(), 0..=3),
+        queries in proptest::collection::vec(word(), 1..=3),
+    ) {
+        let shapes = [
+            (Backend::Linear, 1usize),
+            (Backend::Laesa { pivots: 3 }, 1),
+            (Backend::Laesa { pivots: 2 }, 2),
+        ];
+        for metric in [Metric::Levenshtein, Metric::YujianBo, Metric::ContextualHeuristic] {
+            for (backend, shards) in shapes {
+                let insertable = shards > 1 || matches!(backend, Backend::Linear);
+                let mut db = Database::builder(corpus.clone())
+                    .metric(metric)
+                    .backend(backend)
+                    .shards(shards)
+                    .compact_threshold(2)
+                    .build()
+                    .unwrap();
+                let mut dead = std::collections::BTreeSet::new();
+                for k in &kills {
+                    let i = *k as usize % corpus.len();
+                    prop_assert_eq!(db.delete(i).unwrap(), dead.insert(i));
+                }
+                // Post-delete inserts drive the sharded delta/compaction
+                // path (threshold 2) on top of live tombstones.
+                if insertable {
+                    for w in &extras {
+                        db.insert(w.clone()).unwrap();
+                    }
+                }
+                let mut survivors: Vec<Vec<u8>> = corpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !dead.contains(i))
+                    .map(|(_, w)| w.clone())
+                    .collect();
+                let mut map = BTreeMap::new();
+                for (next, i) in (0..corpus.len()).filter(|i| !dead.contains(i)).enumerate() {
+                    map.insert(i, next);
+                }
+                if insertable {
+                    for (j, w) in extras.iter().enumerate() {
+                        map.insert(corpus.len() + j, survivors.len());
+                        survivors.push(w.clone());
+                    }
+                }
+                if survivors.is_empty() {
+                    continue;
+                }
+                let fresh = Database::builder(survivors)
+                    .metric(metric)
+                    .backend(backend)
+                    .shards(shards)
+                    .compact_threshold(2)
+                    .build()
+                    .unwrap();
+                for q in &queries {
+                    let (t, _) = db.knn(q, 3).unwrap();
+                    let (f, _) = fresh.knn(q, 3).unwrap();
+                    prop_assert_eq!(mapped_key(&t, &map), key(&f), "tombstoned vs fresh");
+                    let (tr, _) = db.range(q, 1.0).unwrap();
+                    let (fr, _) = fresh.range(q, 1.0).unwrap();
+                    prop_assert_eq!(mapped_key(&tr, &map), key(&fr));
+                }
+                let vacuumed = db.vacuum().unwrap();
+                prop_assert_eq!(vacuumed.deleted(), 0);
+                for q in &queries {
+                    let (v, vs) = vacuumed.knn(q, 3).unwrap();
+                    let (f, fs) = fresh.knn(q, 3).unwrap();
+                    prop_assert_eq!(key(&v), key(&f), "vacuumed vs fresh");
+                    prop_assert_eq!(vs, fs, "vacuum is indistinguishable, stats included");
+                }
+            }
+        }
+    }
+}
